@@ -1,0 +1,85 @@
+"""E-JOIN — acyclic join processing: Yannakakis / full reducer vs. the naive plan.
+
+The paper's Section 7 (with its references to Bernstein–Goodman and the
+universal-relation papers) argues that acyclic object sets admit well-behaved
+join processing.  This experiment regenerates the *shape* of that claim on
+synthetic data with dangling tuples:
+
+* both plans compute the same join (correctness);
+* the semijoin-reduced / join-tree plan never produces a larger maximum
+  intermediate than the naive declaration-order plan, and the gap grows with
+  the fraction of dangling tuples;
+* a full reducer exists for the acyclic schema and removes every dangling
+  tuple, while the cyclic schema admits no full reducer at all.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import CyclicHypergraphError
+from repro.generators import cyclic_supplier_schema, generate_database, university_schema
+from repro.relational import (
+    execute_plan,
+    full_reducer_program,
+    fully_reduce,
+    join_tree_plan,
+    naive_join,
+    naive_join_plan,
+    yannakakis_join,
+)
+
+OUTPUT_ATTRIBUTES = ("Student", "Teacher")
+
+
+@pytest.mark.benchmark(group="E-JOIN yannakakis vs naive")
+def test_yannakakis_plan(benchmark, dirty_university_db):
+    result = benchmark(lambda: yannakakis_join(dirty_university_db, OUTPUT_ATTRIBUTES))
+    slow, slow_stats = naive_join(dirty_university_db, OUTPUT_ATTRIBUTES)
+    assert frozenset(result.relation.rows) == frozenset(slow.rows)
+    # Shape: the acyclic-aware plan wins on intermediate sizes.
+    assert result.statistics.max_intermediate <= slow_stats.max_intermediate
+
+
+@pytest.mark.benchmark(group="E-JOIN yannakakis vs naive")
+def test_naive_plan(benchmark, dirty_university_db):
+    result, stats = benchmark(lambda: naive_join(dirty_university_db, OUTPUT_ATTRIBUTES))
+    assert stats.output_size == len(result)
+
+
+@pytest.mark.benchmark(group="E-JOIN full reducer")
+def test_full_reducer_removes_dangling_tuples(benchmark, dirty_university_db):
+    assert dirty_university_db.dangling_tuple_count() > 0
+    reduced = benchmark(lambda: fully_reduce(dirty_university_db))
+    assert reduced.dangling_tuple_count() == 0
+
+
+@pytest.mark.benchmark(group="E-JOIN full reducer")
+def test_no_full_reducer_for_cyclic_schema(benchmark):
+    database = generate_database(cyclic_supplier_schema(), universe_rows=20,
+                                 domain_size=5, seed=99)
+
+    def attempt() -> bool:
+        try:
+            full_reducer_program(database)
+        except CyclicHypergraphError:
+            return True
+        return False
+
+    assert benchmark(attempt)
+
+
+@pytest.mark.benchmark(group="E-JOIN dangling-fraction sweep")
+@pytest.mark.parametrize("dangling", [0.0, 0.5, 1.0])
+def test_plan_gap_grows_with_dangling_fraction(benchmark, dangling):
+    database = generate_database(university_schema(), universe_rows=30, domain_size=7,
+                                 dangling_fraction=dangling, seed=55)
+
+    def run_both():
+        fast = yannakakis_join(database, OUTPUT_ATTRIBUTES)
+        slow, slow_stats = naive_join(database, OUTPUT_ATTRIBUTES)
+        return fast.statistics, slow_stats, frozenset(fast.relation.rows) == frozenset(slow.rows)
+
+    fast_stats, slow_stats, agree = benchmark(run_both)
+    assert agree
+    assert fast_stats.max_intermediate <= slow_stats.max_intermediate

@@ -1,0 +1,33 @@
+"""E-CYCLIC-S3 — the cyclic example following Theorem 3.5.
+
+On ``H = {AB, AC, BC, AD}`` with only ``D`` sacred, tableau reduction maps
+every edge onto ``{A, D}`` and yields ``{{D}}``, while Graham reduction cannot
+remove anything and keeps all four edges — exactly the disagreement the paper
+uses to show Theorem 3.5 genuinely needs acyclicity.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import is_acyclic, tableau_reduce
+from repro.core.canonical import graham_connection
+from repro.generators import cyclic_counterexample_sacred
+
+
+@pytest.mark.benchmark(group="E-CYCLIC-S3 counterexample")
+def test_tableau_side_collapses_to_d(benchmark, cyclic_example):
+    result = benchmark(lambda: tableau_reduce(cyclic_example, cyclic_counterexample_sacred()))
+    assert result.edge_set == frozenset({frozenset({"D"})})
+
+
+@pytest.mark.benchmark(group="E-CYCLIC-S3 counterexample")
+def test_graham_side_keeps_all_edges(benchmark, cyclic_example):
+    result = benchmark(lambda: graham_connection(cyclic_example,
+                                                 cyclic_counterexample_sacred()))
+    assert result.edge_set == cyclic_example.edge_set
+
+
+@pytest.mark.benchmark(group="E-CYCLIC-S3 counterexample")
+def test_hypergraph_is_cyclic(benchmark, cyclic_example):
+    assert not benchmark(lambda: is_acyclic(cyclic_example))

@@ -1,0 +1,38 @@
+"""E-FIG1 — Fig. 1 and Example 2.2: Graham reduction with sacred nodes.
+
+Regenerates the worked example: ``GR(H, {A, D})`` on the Fig. 1 hypergraph
+must equal ``{{A, C, E}, {C, D, E}}``, the non-sacred leaf nodes ``F`` and
+``B`` must be the ones removed, and the reduction must be confluent
+(Lemma 2.1).  The benchmark times the full reduction.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import graham_reduction, gyo_reduction
+from repro.core.graham import check_confluence
+from repro.generators import figure_1_expected_reduction, figure_1_sacred
+
+
+@pytest.mark.benchmark(group="E-FIG1 graham reduction")
+def test_example_2_2_reduction(benchmark, fig1):
+    """Time GR(H, {A, D}) and pin its result to the paper's."""
+    result = benchmark(lambda: graham_reduction(fig1, figure_1_sacred()))
+    assert result.hypergraph.edge_set == figure_1_expected_reduction()
+    assert result.trace.removed_nodes() == {"B", "F"}
+    assert {step.edge for step in result.trace.edge_removals} == \
+        {frozenset({"A", "C"}), frozenset({"A", "E"})}
+
+
+@pytest.mark.benchmark(group="E-FIG1 graham reduction")
+def test_gyo_reduction_to_nothing(benchmark, fig1):
+    """With no sacred nodes the acyclic Fig. 1 reduces to nothing (GYO test)."""
+    result = benchmark(lambda: gyo_reduction(fig1))
+    assert result.reduced_to_nothing()
+
+
+@pytest.mark.benchmark(group="E-FIG1 graham reduction")
+def test_lemma_2_1_confluence(benchmark, fig1):
+    """Time the Church–Rosser check (several randomised reduction orders)."""
+    assert benchmark(lambda: check_confluence(fig1, figure_1_sacred(), trials=5, seed=0))

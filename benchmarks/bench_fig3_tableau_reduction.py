@@ -1,0 +1,34 @@
+"""E-FIG3 — Fig. 3 / Example 3.3: tableau reduction of the Fig. 2 tableau.
+
+Regenerates the minimal row set (the rows of ``{C,D,E}`` and ``{A,C,E}``), the
+row mapping that sends every other row onto the ``{A,C,E}`` row, and the
+resulting ``TR(H, {A, D}) = {{C,D,E}, {A,C,E}}``; the benchmark times the full
+reduction (core computation plus retraction search plus trimming).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import tableau_reduction
+from repro.generators import figure_1_expected_reduction, figure_1_sacred
+
+
+@pytest.mark.benchmark(group="E-FIG3 tableau reduction")
+def test_example_3_3_reduction(benchmark, fig1):
+    """Time TR(H, {A, D}) and pin the minimal rows and partial edges."""
+    outcome = benchmark(lambda: tableau_reduction(fig1, figure_1_sacred()))
+    assert set(outcome.target_edges) == {frozenset("CDE"), frozenset("ACE")}
+    assert outcome.result.edge_set == figure_1_expected_reduction()
+    # The witnessing row mapping folds ABC and AEF onto ACE and fixes CDE.
+    assert outcome.maps_edge(frozenset("ABC")) == frozenset("ACE")
+    assert outcome.maps_edge(frozenset("AEF")) == frozenset("ACE")
+    assert outcome.maps_edge(frozenset("CDE")) == frozenset("CDE")
+
+
+@pytest.mark.benchmark(group="E-FIG3 tableau reduction")
+def test_theorem_3_5_agreement(benchmark, fig1):
+    """Time the GR-vs-TR comparison of Theorem 3.5 on the Fig. 1 instance."""
+    from repro.core.theorems import check_theorem_3_5
+
+    assert benchmark(lambda: check_theorem_3_5(fig1, figure_1_sacred()))

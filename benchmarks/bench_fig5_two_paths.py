@@ -1,0 +1,42 @@
+"""E-FIG5 — Fig. 5 (reconstruction): two apparent paths, one canonical connection.
+
+The chain ``{ABC, BCD, CDE, DEF}`` is acyclic; its canonical connection for
+``{A, F}`` contains all four edges even though either interior edge alone can
+be dropped while keeping ``A`` and ``F`` connected — the Section 7 footnote's
+caveat that *subsets* of the canonical connection can also serve to connect
+the nodes.  The benchmark times the canonical-connection computation and the
+two drop-an-edge connectivity checks.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import canonical_connection_result, find_independent_path, is_acyclic
+from repro.generators import figure_5_endpoints
+
+
+@pytest.mark.benchmark(group="E-FIG5 two apparent paths")
+def test_canonical_connection_contains_all_edges(benchmark, fig5):
+    source, target = figure_5_endpoints()
+    connection = benchmark(lambda: canonical_connection_result(fig5, {source, target}))
+    assert set(connection.objects) == fig5.edge_set
+    assert is_acyclic(fig5)
+
+
+@pytest.mark.benchmark(group="E-FIG5 two apparent paths")
+def test_either_interior_edge_suffices(benchmark, fig5):
+    source, target = figure_5_endpoints()
+    interior = [frozenset("BCD"), frozenset("CDE")]
+
+    def both_drops_stay_connected() -> bool:
+        return all(fig5.remove_edge(edge).nodes_connected(source, target)
+                   for edge in interior)
+
+    assert benchmark(both_drops_stay_connected)
+
+
+@pytest.mark.benchmark(group="E-FIG5 two apparent paths")
+def test_yet_no_independent_path_exists(benchmark, fig5):
+    """Despite the two apparent paths, the acyclic Fig. 5 has no independent path."""
+    assert benchmark(lambda: find_independent_path(fig5)) is None

@@ -1,0 +1,54 @@
+"""E-FIG6 — Example 5.1 / Fig. 6: an independent tree and its destruction.
+
+On ``H = Fig. 1 − {A,C,E}`` with ``X = {A, C}``: ``CC(X) = {{A, C}}`` and the
+collection ``{{A}, {E}, {C}}`` forms an independent path (witness ``{E}``);
+putting the edge ``{A, C, E}`` back makes the same collection violate the
+minimality condition, so Fig. 6 is no longer an independent tree.  The
+benchmark times the connection computation, the independence verdicts and the
+Lemma 5.2 tree-to-path extraction.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import ConnectingPath, ConnectingTree, canonical_connection
+from repro.core.connecting_tree import independent_path_from_tree
+from repro.generators import (
+    example_5_1_independent_tree_sets,
+    example_5_1_sacred,
+    figure_1,
+)
+
+
+@pytest.mark.benchmark(group="E-FIG6 independent tree")
+def test_canonical_connection_of_example_5_1(benchmark, example51):
+    connection = benchmark(lambda: canonical_connection(example51, example_5_1_sacred()))
+    assert connection.edge_set == frozenset({frozenset({"A", "C"})})
+
+
+@pytest.mark.benchmark(group="E-FIG6 independent tree")
+def test_tree_is_independent(benchmark, example51):
+    def verdict() -> bool:
+        path = ConnectingPath.from_sequence(example51, example_5_1_independent_tree_sets())
+        return path.is_independent()
+
+    assert benchmark(verdict)
+
+
+@pytest.mark.benchmark(group="E-FIG6 independent tree")
+def test_tree_stops_being_independent_in_fig1(benchmark):
+    fig1 = figure_1()
+
+    def verdict() -> bool:
+        path = ConnectingPath.from_sequence(fig1, example_5_1_independent_tree_sets())
+        return bool(path.violations())
+
+    assert benchmark(verdict)
+
+
+@pytest.mark.benchmark(group="E-FIG6 independent tree")
+def test_lemma_5_2_extraction(benchmark, example51):
+    tree = ConnectingTree.path(example51, example_5_1_independent_tree_sets())
+    path = benchmark(lambda: independent_path_from_tree(tree))
+    assert path is not None and path.is_independent()

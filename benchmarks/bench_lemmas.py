@@ -1,0 +1,110 @@
+"""E-LEMMAS — sweep of the supporting lemmas (3.6–3.10, 4.1, 4.2, 5.2).
+
+Each benchmark runs one lemma's checker over a small generated family (both
+acyclic and cyclic members) and asserts that every instance passes — the
+mechanical counterpart of the paper's proofs.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import ConnectingTree, find_independent_path
+from repro.core.theorems import (
+    check_lemma_3_6,
+    check_lemma_3_8,
+    check_lemma_3_9,
+    check_lemma_3_10,
+    check_lemma_4_1,
+    check_lemma_4_2,
+    check_lemma_5_2,
+)
+from repro.generators import (
+    random_acyclic_hypergraph,
+    random_cyclic_hypergraph,
+    random_sacred_set,
+    ring_hypergraph,
+)
+
+
+def _family():
+    for seed in range(3):
+        yield random_acyclic_hypergraph(5, max_arity=3, seed=seed)
+        yield random_cyclic_hypergraph(5, max_arity=3, seed=seed)
+
+
+@pytest.mark.benchmark(group="E-LEMMAS section 3")
+def test_lemma_3_6_and_3_9_sweep(benchmark):
+    def sweep() -> int:
+        checked = 0
+        for hypergraph in _family():
+            sacred = random_sacred_set(hypergraph, max_size=2, seed=checked)
+            assert check_lemma_3_6(hypergraph, sacred)
+            assert check_lemma_3_9(hypergraph, sacred)
+            checked += 1
+        return checked
+
+    assert benchmark(sweep) == 6
+
+
+@pytest.mark.benchmark(group="E-LEMMAS section 3")
+def test_lemma_3_8_and_3_10_sweep(benchmark):
+    def sweep() -> int:
+        checked = 0
+        for hypergraph in _family():
+            nodes = sorted(hypergraph.nodes)
+            smaller = frozenset(nodes[:1])
+            larger = frozenset(nodes[:3])
+            assert check_lemma_3_8(hypergraph, smaller, larger)
+            assert check_lemma_3_10(hypergraph, smaller)
+            checked += 1
+        return checked
+
+    assert benchmark(sweep) == 6
+
+
+@pytest.mark.benchmark(group="E-LEMMAS section 4")
+def test_lemma_4_1_rings_force_cyclicity(benchmark):
+    def sweep() -> int:
+        checked = 0
+        for length in (3, 4, 5):
+            ring = ring_hypergraph(length, arity=2, overlap=1)
+            sets = [frozenset({node}) for node in sorted(ring.nodes)]
+            assert check_lemma_4_1(ring, sets)
+            checked += 1
+        return checked
+
+    assert benchmark(sweep) == 3
+
+
+@pytest.mark.benchmark(group="E-LEMMAS section 4")
+def test_lemma_4_2_sweep(benchmark):
+    def sweep() -> int:
+        checked = 0
+        for hypergraph in _family():
+            sacred = random_sacred_set(hypergraph, max_size=3, seed=checked)
+            assert check_lemma_4_2(hypergraph, sacred)
+            checked += 1
+        return checked
+
+    assert benchmark(sweep) == 6
+
+
+@pytest.mark.benchmark(group="E-LEMMAS section 5")
+def test_lemma_5_2_sweep(benchmark):
+    """Every certificate found on cyclic inputs, re-read as a tree, yields a path."""
+
+    def sweep() -> int:
+        checked = 0
+        for seed in range(3):
+            hypergraph = random_cyclic_hypergraph(5, max_arity=3, seed=seed)
+            certificate = find_independent_path(hypergraph)
+            assert certificate is not None
+            sets = certificate.path.sets
+            links = [(index, index + 1) for index in range(len(sets) - 1)]
+            tree = ConnectingTree.from_sets(hypergraph, sets, links)
+            assert check_lemma_5_2(tree)
+            checked += 1
+        return checked
+
+    assert benchmark(sweep) == 3

@@ -1,0 +1,37 @@
+"""E-SCALE-GYO — scaling of Graham (GYO) reduction with hypergraph size.
+
+An extension experiment (the paper reports no running times): GYO reduction
+and the derived acyclicity test are timed on acyclic chains, stars and random
+acyclic hypergraphs of growing size.  The expected shape is mild polynomial
+growth, with the acyclic-vs-cyclic verdict unaffected by size.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import gyo_reduction, is_acyclic
+from repro.generators import chain_hypergraph, random_acyclic_hypergraph, star_hypergraph
+
+
+@pytest.mark.benchmark(group="E-SCALE-GYO chains")
+@pytest.mark.parametrize("length", [10, 20, 40])
+def test_gyo_on_chains(benchmark, length):
+    hypergraph = chain_hypergraph(length, arity=3, overlap=2)
+    result = benchmark(lambda: gyo_reduction(hypergraph))
+    assert result.reduced_to_nothing()
+
+
+@pytest.mark.benchmark(group="E-SCALE-GYO stars")
+@pytest.mark.parametrize("rays", [10, 20, 40])
+def test_gyo_on_stars(benchmark, rays):
+    hypergraph = star_hypergraph(rays, arity=3)
+    result = benchmark(lambda: gyo_reduction(hypergraph))
+    assert result.reduced_to_nothing()
+
+
+@pytest.mark.benchmark(group="E-SCALE-GYO random acyclic")
+@pytest.mark.parametrize("edges", [10, 20, 30])
+def test_acyclicity_test_on_random_acyclic(benchmark, edges):
+    hypergraph = random_acyclic_hypergraph(num_edges=edges, max_arity=4, seed=edges)
+    assert benchmark(lambda: is_acyclic(hypergraph))

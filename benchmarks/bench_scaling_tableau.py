@@ -1,0 +1,44 @@
+"""E-SCALE-TR — scaling of tableau reduction (canonical connections) with size.
+
+An extension experiment: ``TR(H, X)`` is timed on growing acyclic chains and
+on cyclic rings.  The expected shape: the acyclic cases stay fast (the core
+collapses quickly along the chain) and grow with the number of edges, while
+the cyclic rings are costlier per edge because rows cannot fold (every row has
+two neighbours pinning it), but remain tractable at these sizes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import tableau_reduce
+from repro.generators import chain_hypergraph, ring_hypergraph
+
+
+@pytest.mark.benchmark(group="E-SCALE-TR acyclic chains")
+@pytest.mark.parametrize("length", [5, 10, 20])
+def test_tableau_reduction_on_chains(benchmark, length):
+    hypergraph = chain_hypergraph(length, arity=3, overlap=2)
+    endpoints = {"C0", f"C{hypergraph.num_nodes - 1}"}
+    result = benchmark(lambda: tableau_reduce(hypergraph, endpoints))
+    # The connection between the chain's two end nodes needs the whole chain.
+    assert result.num_edges == length
+
+
+@pytest.mark.benchmark(group="E-SCALE-TR acyclic chains, local query")
+@pytest.mark.parametrize("length", [5, 10, 20])
+def test_tableau_reduction_local_query(benchmark, length):
+    """A query about two adjacent nodes collapses to a single object regardless of size."""
+    hypergraph = chain_hypergraph(length, arity=3, overlap=2)
+    result = benchmark(lambda: tableau_reduce(hypergraph, {"C0", "C1"}))
+    assert result.num_edges == 1
+
+
+@pytest.mark.benchmark(group="E-SCALE-TR cyclic rings")
+@pytest.mark.parametrize("length", [4, 6, 8])
+def test_tableau_reduction_on_rings(benchmark, length):
+    ring = ring_hypergraph(length, arity=3, overlap=1)
+    nodes = sorted(ring.nodes)
+    sacred = {nodes[0], nodes[len(nodes) // 2]}
+    result = benchmark(lambda: tableau_reduce(ring, sacred))
+    assert result.num_edges >= 1

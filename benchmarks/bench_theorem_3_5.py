@@ -1,0 +1,40 @@
+"""E-THM35 — Theorem 3.5 sweep: GR(H, X) = TR(H, X) over generated acyclic hypergraphs.
+
+The paper proves the equality for every acyclic hypergraph and every sacred
+set; the sweep regenerates that claim over a family of random acyclic
+hypergraphs × random sacred sets and times one full sweep.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.theorems import check_theorem_3_5
+from repro.generators import random_acyclic_hypergraph, random_sacred_set
+
+SWEEP = [(edges, seed) for edges in (4, 6, 8) for seed in (0, 1, 2)]
+
+
+def _run_sweep() -> int:
+    checked = 0
+    for edges, seed in SWEEP:
+        hypergraph = random_acyclic_hypergraph(num_edges=edges, max_arity=3, seed=seed)
+        for sacred_seed in range(3):
+            sacred = random_sacred_set(hypergraph, max_size=3, seed=sacred_seed)
+            assert check_theorem_3_5(hypergraph, sacred)
+            checked += 1
+    return checked
+
+
+@pytest.mark.benchmark(group="E-THM35 GR = TR on acyclic hypergraphs")
+def test_theorem_3_5_sweep(benchmark):
+    checked = benchmark(_run_sweep)
+    assert checked == len(SWEEP) * 3
+
+
+@pytest.mark.benchmark(group="E-THM35 GR = TR on acyclic hypergraphs")
+@pytest.mark.parametrize("edges", [4, 8, 12])
+def test_theorem_3_5_single_instance(benchmark, edges):
+    hypergraph = random_acyclic_hypergraph(num_edges=edges, max_arity=3, seed=edges)
+    sacred = random_sacred_set(hypergraph, max_size=3, seed=edges)
+    assert benchmark(lambda: check_theorem_3_5(hypergraph, sacred))

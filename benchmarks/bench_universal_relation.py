@@ -1,0 +1,86 @@
+"""E-UR — Section 7: universal-relation query answering through canonical connections.
+
+Regenerates the qualitative claims of Section 7 on synthetic databases:
+
+* acyclic schema — every window query's connection is uniquely defined
+  (Graham and tableau reductions agree), and the canonical-connection answer
+  never loses tuples relative to the join-everything answer (it is a superset,
+  and equal once the database is fully reduced);
+* cyclic schema — the connection for a cross-object query is *not* uniquely
+  defined (the two reductions disagree), the paper's warning case.
+
+The benchmarks time whole query workloads under both semantics.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.generators import (
+    cyclic_supplier_schema,
+    generate_database,
+    query_attribute_workload,
+    university_schema,
+)
+from repro.relational import UniversalRelationInterface, fully_reduce
+
+WORKLOAD = query_attribute_workload(university_schema(), queries=6,
+                                    min_attributes=1, max_attributes=3, seed=202)
+
+
+@pytest.mark.benchmark(group="E-UR canonical-connection windows (acyclic schema)")
+def test_window_workload_via_canonical_connection(benchmark, dirty_university_db):
+    interface = UniversalRelationInterface(dirty_university_db)
+
+    def run_workload() -> int:
+        total = 0
+        for attributes in WORKLOAD:
+            total += len(interface.window(list(attributes)).relation)
+        return total
+
+    total_rows = benchmark(run_workload)
+    assert total_rows > 0
+    assert interface.is_acyclic
+    assert all(interface.connection_is_unique(attributes) for attributes in WORKLOAD)
+
+
+@pytest.mark.benchmark(group="E-UR join-everything semantics (acyclic schema)")
+def test_window_workload_via_full_join(benchmark, dirty_university_db):
+    interface = UniversalRelationInterface(dirty_university_db)
+
+    def run_workload() -> int:
+        total = 0
+        for attributes in WORKLOAD:
+            total += len(interface.window_by_full_join(list(attributes)))
+        return total
+
+    full_total = benchmark(run_workload)
+    canonical_total = sum(len(interface.window(list(attributes)).relation)
+                          for attributes in WORKLOAD)
+    # Shape: the canonical-connection semantics never loses answers.
+    assert canonical_total >= full_total
+
+
+@pytest.mark.benchmark(group="E-UR semantics agreement after full reduction")
+def test_semantics_agree_on_reduced_database(benchmark, dirty_university_db):
+    reduced = fully_reduce(dirty_university_db)
+    interface = UniversalRelationInterface(reduced)
+
+    def compare_all() -> bool:
+        return all(interface.compare_semantics(list(attributes))["answers_agree"]
+                   for attributes in WORKLOAD)
+
+    assert benchmark(compare_all)
+
+
+@pytest.mark.benchmark(group="E-UR cyclic schema warning")
+def test_cyclic_schema_connection_not_unique(benchmark):
+    database = generate_database(cyclic_supplier_schema(), universe_rows=25,
+                                 domain_size=6, seed=77)
+    interface = UniversalRelationInterface(database)
+
+    def verdict() -> bool:
+        return interface.connection_is_unique(("Supplier", "Project"))
+
+    assert not benchmark(verdict)
+    assert not interface.is_acyclic

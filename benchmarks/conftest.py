@@ -1,0 +1,64 @@
+"""Shared fixtures and reporting helpers for the benchmark harness.
+
+Every benchmark module regenerates one experiment of EXPERIMENTS.md: it
+re-derives the figure / example / sweep result, asserts that the *shape*
+matches what the paper reports, and times the computation with
+pytest-benchmark.  Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.generators import (
+    cyclic_counterexample,
+    example_5_1_hypergraph,
+    figure_1,
+    figure_5,
+    generate_database,
+    university_schema,
+)
+
+
+def pytest_configure(config):
+    # Benchmarks are organised one experiment per module; group output by module.
+    config.option.benchmark_group_by = getattr(config.option, "benchmark_group_by", "group")
+
+
+@pytest.fixture(scope="session")
+def fig1():
+    """Fig. 1's hypergraph."""
+    return figure_1()
+
+
+@pytest.fixture(scope="session")
+def fig5():
+    """The reconstructed Fig. 5 chain."""
+    return figure_5()
+
+
+@pytest.fixture(scope="session")
+def example51():
+    """Example 5.1's hypergraph (Fig. 1 minus {A, C, E})."""
+    return example_5_1_hypergraph()
+
+
+@pytest.fixture(scope="session")
+def cyclic_example():
+    """The cyclic counterexample after Theorem 3.5."""
+    return cyclic_counterexample()
+
+
+@pytest.fixture(scope="session")
+def clean_university_db():
+    """A consistent database over the acyclic university schema."""
+    return generate_database(university_schema(), universe_rows=40, domain_size=8, seed=101)
+
+
+@pytest.fixture(scope="session")
+def dirty_university_db():
+    """The university database with a large fraction of dangling tuples."""
+    return generate_database(university_schema(), universe_rows=40, domain_size=8,
+                             dangling_fraction=1.0, seed=101)

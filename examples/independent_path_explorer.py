@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""Independent-path explorer: watch Theorem 6.1 at work on a family of hypergraphs.
+
+For each hypergraph in a mixed family (paper figures, rings, chains, random
+acyclic and cyclic instances) the script reports the acyclicity verdict, the
+result of the constructive independent-path search, and — when a certificate
+is found — the path, its witness set, and the canonical connection it escapes
+from.  It closes with an exhaustive confirmation of the theorem on every
+connected hypergraph over four nodes.
+
+Run with::
+
+    python examples/independent_path_explorer.py
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+from repro import (
+    Hypergraph,
+    canonical_connection,
+    find_independent_path,
+    is_acyclic,
+)
+from repro.analysis import banner, format_table
+from repro.core.nodes import format_node_set
+from repro.generators import (
+    chain_hypergraph,
+    cyclic_counterexample,
+    example_5_1_hypergraph,
+    figure_1,
+    figure_5,
+    random_acyclic_hypergraph,
+    random_cyclic_hypergraph,
+    ring_hypergraph,
+    square_cycle,
+    triangle,
+)
+
+
+def family():
+    yield "Fig. 1", figure_1()
+    yield "Fig. 5", figure_5()
+    yield "Example 5.1", example_5_1_hypergraph()
+    yield "cyclic counterexample", cyclic_counterexample()
+    yield "triangle", triangle()
+    yield "square", square_cycle()
+    yield "ring(6)", ring_hypergraph(6, arity=3, overlap=1)
+    yield "chain(6)", chain_hypergraph(6, arity=3, overlap=2)
+    for seed in range(2):
+        yield f"random acyclic #{seed}", random_acyclic_hypergraph(6, max_arity=3, seed=seed)
+        yield f"random cyclic #{seed}", random_cyclic_hypergraph(6, max_arity=3, seed=seed)
+
+
+def main() -> None:
+    print(banner("Theorem 6.1: a hypergraph is acyclic iff it has no independent path"))
+    rows = []
+    details = []
+    for name, hypergraph in family():
+        acyclic = is_acyclic(hypergraph)
+        certificate = find_independent_path(hypergraph)
+        rows.append({
+            "hypergraph": name,
+            "edges": hypergraph.num_edges,
+            "acyclic": acyclic,
+            "independent path found": certificate is not None,
+            "theorem 6.1 holds": acyclic == (certificate is None),
+        })
+        if certificate is not None:
+            details.append((name, hypergraph, certificate))
+    print(format_table(rows))
+
+    print(banner("Certificates in detail"))
+    for name, hypergraph, certificate in details:
+        first, last = certificate.endpoints
+        connection = canonical_connection(hypergraph, first | last)
+        print(f"\n{name}: {hypergraph}")
+        print(f"  {certificate.path.describe()}")
+        print(f"  CC({format_node_set(first | last)}) covers nodes "
+              f"{format_node_set(connection.nodes)}")
+        print(f"  witness {format_node_set(certificate.witness)} escapes it")
+
+    print(banner("Exhaustive check over all connected hypergraphs on 4 nodes"))
+    nodes = ("A", "B", "C", "D")
+    possible_edges = [frozenset(combo) for size in (2, 3, 4)
+                      for combo in combinations(nodes, size)]
+    total = confirmed = 0
+    for count in range(1, 5):
+        for edge_choice in combinations(possible_edges, count):
+            hypergraph = Hypergraph(edge_choice)
+            if not hypergraph.is_connected() or hypergraph.nodes != frozenset(nodes):
+                continue
+            total += 1
+            acyclic = is_acyclic(hypergraph)
+            certificate = find_independent_path(hypergraph)
+            if acyclic == (certificate is None):
+                confirmed += 1
+    print(f"checked {total} connected hypergraphs on exactly 4 nodes; "
+          f"Theorem 6.1 held for {confirmed} of them")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""Schema design audit: is your set of objects acyclic, and does it matter?
+
+Takes several database schemas (acyclic and cyclic), reads each as a
+hypergraph, and reports exactly the diagnostics the paper's Section 7 makes
+relevant to a designer:
+
+* is the object hypergraph α-acyclic (and β / Berge, for contrast);
+* where does the cyclicity live (GYO residue, cyclic blocks);
+* does a join tree / full reducer exist;
+* for a sample of attribute pairs, is the connection uniquely defined
+  (Graham reduction agrees with tableau reduction), and if the schema is
+  cyclic, what does an independent path — a genuinely different way to connect
+  the attributes — look like;
+* which equivalent MVDs an acyclic schema's join dependency decomposes into.
+
+Run with::
+
+    python examples/schema_design_audit.py
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+from repro import build_join_tree, find_independent_path, is_acyclic
+from repro.analysis import banner, cyclicity_diagnostics, describe_hypergraph, format_table
+from repro.core.canonical import graham_connection
+from repro.core.nodes import format_node_set, sorted_nodes
+from repro.core.tableau_reduction import tableau_reduce
+from repro.generators import (
+    cyclic_supplier_schema,
+    supplier_part_schema,
+    university_schema,
+)
+from repro.relational import DatabaseSchema, JoinDependency
+
+
+def audit_schema(schema: DatabaseSchema) -> None:
+    hypergraph = schema.to_hypergraph()
+    print(banner(f"Schema: {schema.name}"))
+    print(schema.describe())
+
+    stats = describe_hypergraph(hypergraph)
+    print()
+    print(format_table([stats.as_row()], title="Hypergraph statistics"))
+
+    diagnostics = cyclicity_diagnostics(hypergraph)
+    print()
+    print(format_table([{
+        "alpha acyclic": diagnostics["alpha_acyclic"],
+        "GYO residue": diagnostics["gyo_residue_size"],
+        "cyclic blocks": diagnostics["cyclic_block_count"],
+        "join tree": diagnostics["has_join_tree"],
+    }], title="Cyclicity diagnostics"))
+
+    if diagnostics["alpha_acyclic"]:
+        tree = build_join_tree(hypergraph)
+        assert tree is not None
+        print("\nJoin tree (the execution skeleton for reducers and Yannakakis):")
+        print(tree.describe())
+        jd = JoinDependency.of([relation.attribute_set for relation in schema])
+        print("\nThe schema's acyclic join dependency decomposes into MVDs:")
+        for mvd in jd.equivalent_mvds():
+            print(f"  {mvd}")
+    else:
+        print("\nGYO residue (where the cyclicity lives): "
+              + ", ".join(diagnostics["gyo_residue_edges"]))
+        certificate = find_independent_path(hypergraph)
+        if certificate is not None:
+            print(certificate.describe())
+
+    # Connection uniqueness for a sample of attribute pairs.
+    attributes = sorted_nodes(schema.attributes)
+    rows = []
+    for left, right in list(combinations(attributes, 2))[:8]:
+        graham_side = frozenset(e for e in graham_connection(hypergraph, {left, right}).edges if e)
+        tableau_side = frozenset(e for e in tableau_reduce(hypergraph, {left, right}).edges if e)
+        rows.append({
+            "attributes": f"{left}, {right}",
+            "objects in CC": len(tableau_side),
+            "GR agrees": graham_side == tableau_side,
+        })
+    print()
+    print(format_table(rows, title="Connection uniqueness per attribute pair "
+                                   "(Theorem 3.5 / Theorem 6.1 in practice)"))
+
+
+def main() -> None:
+    for schema in (university_schema(), supplier_part_schema(), cyclic_supplier_schema()):
+        audit_schema(schema)
+    print(banner("Summary"))
+    print("Acyclic object sets: connections are uniquely defined, join trees and full")
+    print("reducers exist, and universal-relation query answering is safe.")
+    print("Cyclic object sets: Graham and tableau reductions can disagree, independent")
+    print("paths exist, and extra semantics (e.g. maximal objects) is needed.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""Universal-relation query answering over an acyclic schema (Section 7).
+
+Builds a small university database (objects: ENROL, TEACHES, MEETS, LIVES),
+adds dangling tuples, and answers window queries two ways:
+
+* through the canonical connection (the paper's intended semantics — join
+  exactly the objects in CC(query attributes));
+* by joining *all* the objects and projecting (the naive semantics the paper
+  contrasts with).
+
+It then shows that the connection is uniquely defined because the schema is
+acyclic, that a full reducer (semijoin program) exists and removes every
+dangling tuple, and that Yannakakis' algorithm computes the same answers with
+smaller intermediates than the naive plan.
+
+Run with::
+
+    python examples/universal_relation_queries.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis import banner, format_table
+from repro.generators import generate_database, university_schema
+from repro.relational import (
+    UniversalRelationInterface,
+    full_reducer_program,
+    fully_reduce,
+    naive_join,
+    yannakakis_join,
+)
+
+QUERIES = [
+    ("Student", "Teacher"),
+    ("Student", "Room"),
+    ("Teacher", "Dorm"),
+    ("Course", "Hour"),
+    ("Dorm",),
+]
+
+
+def main() -> None:
+    schema = university_schema()
+    database = generate_database(schema, universe_rows=30, domain_size=6,
+                                 dangling_fraction=0.6, seed=7)
+    interface = UniversalRelationInterface(database)
+
+    print(banner("The schema, read as a hypergraph of objects"))
+    print(schema.describe())
+    print(f"object hypergraph: {interface.hypergraph}")
+    print(f"acyclic: {interface.is_acyclic}")
+    print(database.describe())
+    print(f"dangling tuples: {database.dangling_tuple_count()}")
+
+    print(banner("Window queries: canonical connection vs. join-everything"))
+    rows = []
+    for attributes in QUERIES:
+        report = interface.compare_semantics(list(attributes))
+        rows.append({
+            "query": "[" + ", ".join(attributes) + "]",
+            "objects joined": ", ".join(report["objects_joined"]),
+            "connection unique": report["connection_unique"],
+            "window rows": report["canonical_rows"],
+            "full-join rows": report["full_join_rows"],
+            "agree": report["answers_agree"],
+        })
+    print(format_table(rows))
+    print("\nThe window semantics never loses answers; the full join drops tuples")
+    print("that dangle with respect to objects unrelated to the query.")
+
+    print(banner("A sample window in full"))
+    window = interface.window(["Student", "Teacher"])
+    print(window.describe())
+    print(window.relation.to_table(limit=8))
+
+    print(banner("Full reducer (Bernstein–Goodman) and Yannakakis' algorithm"))
+    program = full_reducer_program(database)
+    print("Semijoin program derived from the join tree:")
+    print(program.describe())
+    reduced = fully_reduce(database)
+    print(f"dangling tuples after reduction: {reduced.dangling_tuple_count()}")
+
+    fast = yannakakis_join(database, ("Student", "Teacher"))
+    slow, slow_stats = naive_join(database, ("Student", "Teacher"))
+    print()
+    print(fast.statistics.describe())
+    print(slow_stats.describe())
+    print(f"answers agree: {frozenset(fast.relation.rows) == frozenset(slow.rows)}")
+
+    print(banner("After full reduction the two query semantics coincide"))
+    reduced_interface = UniversalRelationInterface(reduced)
+    rows = []
+    for attributes in QUERIES:
+        report = reduced_interface.compare_semantics(list(attributes))
+        rows.append({
+            "query": "[" + ", ".join(attributes) + "]",
+            "window rows": report["canonical_rows"],
+            "full-join rows": report["full_join_rows"],
+            "agree": report["answers_agree"],
+        })
+    print(format_table(rows))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+The project is fully described by ``pyproject.toml``; this file exists only so
+that editable installs work in offline environments whose setuptools/pip lack
+PEP 517 editable-wheel support (``pip install -e . --no-use-pep517``).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,13 @@
+"""Hypergraph statistics, cyclicity diagnostics, and report formatting."""
+
+from .reports import banner, format_mapping, format_table
+from .statistics import HypergraphStatistics, cyclicity_diagnostics, describe_hypergraph
+
+__all__ = [
+    "HypergraphStatistics",
+    "describe_hypergraph",
+    "cyclicity_diagnostics",
+    "format_table",
+    "format_mapping",
+    "banner",
+]

@@ -1,0 +1,59 @@
+"""Plain-text report rendering shared by the examples and the benchmark harness.
+
+The benchmark modules print small tables (one per figure/experiment) in the
+same spirit as the paper's worked examples; this module centralises the
+formatting so every experiment's output looks the same.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+__all__ = ["format_table", "format_mapping", "banner"]
+
+
+def format_table(rows: Sequence[Mapping[str, object]], *,
+                 columns: Optional[Sequence[str]] = None,
+                 title: Optional[str] = None) -> str:
+    """Render a list of dict rows as an aligned plain-text table.
+
+    ``columns`` fixes the column order (default: keys of the first row, in
+    insertion order).  Values are rendered with ``str``.
+    """
+    if not rows:
+        return f"{title}\n(no rows)" if title else "(no rows)"
+    ordered_columns: List[str] = list(columns) if columns is not None else list(rows[0].keys())
+    widths = {column: len(str(column)) for column in ordered_columns}
+    rendered_rows: List[List[str]] = []
+    for row in rows:
+        rendered = [str(row.get(column, "")) for column in ordered_columns]
+        rendered_rows.append(rendered)
+        for column, value in zip(ordered_columns, rendered):
+            widths[column] = max(widths[column], len(value))
+    header = "  ".join(str(column).ljust(widths[column]) for column in ordered_columns)
+    rule = "-" * len(header)
+    lines = []
+    if title:
+        lines.extend([title, "=" * len(title)])
+    lines.extend([header, rule])
+    for rendered in rendered_rows:
+        lines.append("  ".join(value.ljust(widths[column])
+                               for column, value in zip(ordered_columns, rendered)))
+    return "\n".join(lines)
+
+
+def format_mapping(mapping: Mapping[str, object], *, title: Optional[str] = None) -> str:
+    """Render a flat mapping as ``key: value`` lines."""
+    lines = []
+    if title:
+        lines.extend([title, "-" * len(title)])
+    width = max((len(str(key)) for key in mapping), default=0)
+    for key, value in mapping.items():
+        lines.append(f"{str(key).ljust(width)} : {value}")
+    return "\n".join(lines)
+
+
+def banner(text: str) -> str:
+    """A one-line banner used to separate experiment sections in benchmark output."""
+    rule = "=" * max(len(text), 8)
+    return f"\n{rule}\n{text}\n{rule}"

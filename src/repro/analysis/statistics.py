@@ -1,0 +1,106 @@
+"""Descriptive statistics and cyclicity diagnostics for hypergraphs.
+
+Used by the examples (schema audits) and by the benchmark harness to label the
+workloads it sweeps (number of nodes/edges, arities, overlap structure, which
+acyclicity notions hold, how far from acyclic a cyclic hypergraph is).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from ..core.acyclicity import is_acyclic, is_berge_acyclic, is_beta_acyclic
+from ..core.articulation import articulation_sets, block_decomposition
+from ..core.graham import gyo_reduction
+from ..core.hypergraph import Hypergraph
+from ..core.join_tree import build_join_tree
+from ..core.nodes import format_node_set, sorted_nodes
+
+__all__ = ["HypergraphStatistics", "describe_hypergraph", "cyclicity_diagnostics"]
+
+
+@dataclass(frozen=True)
+class HypergraphStatistics:
+    """A summary of one hypergraph's size and structure."""
+
+    name: str
+    num_nodes: int
+    num_edges: int
+    min_arity: int
+    max_arity: int
+    mean_arity: float
+    is_connected: bool
+    is_reduced: bool
+    alpha_acyclic: bool
+    beta_acyclic: bool
+    berge_acyclic: bool
+    articulation_set_count: int
+    block_count: int
+    largest_block_edges: int
+    gyo_residue_edges: int
+
+    def as_row(self) -> Dict[str, object]:
+        """The statistics as a flat dict — one row of a benchmark report table."""
+        return {
+            "name": self.name,
+            "nodes": self.num_nodes,
+            "edges": self.num_edges,
+            "arity": f"{self.min_arity}-{self.max_arity}",
+            "mean_arity": round(self.mean_arity, 2),
+            "connected": self.is_connected,
+            "reduced": self.is_reduced,
+            "alpha": self.alpha_acyclic,
+            "beta": self.beta_acyclic,
+            "berge": self.berge_acyclic,
+            "articulation_sets": self.articulation_set_count,
+            "blocks": self.block_count,
+            "largest_block": self.largest_block_edges,
+            "gyo_residue": self.gyo_residue_edges,
+        }
+
+
+def describe_hypergraph(hypergraph: Hypergraph) -> HypergraphStatistics:
+    """Compute the full :class:`HypergraphStatistics` for one hypergraph."""
+    arities = [len(edge) for edge in hypergraph.edges] or [0]
+    blocks = block_decomposition(hypergraph)
+    residue = gyo_reduction(hypergraph).hypergraph
+    residue_edges = len([edge for edge in residue.edges if edge])
+    return HypergraphStatistics(
+        name=hypergraph.name or "(unnamed)",
+        num_nodes=hypergraph.num_nodes,
+        num_edges=hypergraph.num_edges,
+        min_arity=min(arities),
+        max_arity=max(arities),
+        mean_arity=sum(arities) / len(arities),
+        is_connected=hypergraph.is_connected(),
+        is_reduced=hypergraph.is_reduced,
+        alpha_acyclic=is_acyclic(hypergraph),
+        beta_acyclic=is_beta_acyclic(hypergraph),
+        berge_acyclic=is_berge_acyclic(hypergraph),
+        articulation_set_count=len(articulation_sets(hypergraph)),
+        block_count=len(blocks),
+        largest_block_edges=max((block.num_edges for block in blocks), default=0),
+        gyo_residue_edges=residue_edges,
+    )
+
+
+def cyclicity_diagnostics(hypergraph: Hypergraph) -> Dict[str, object]:
+    """Diagnostics aimed at cyclic hypergraphs: where the cyclicity lives and how big it is.
+
+    Reports the GYO residue (the stuck partial edges), the cyclic blocks, and
+    whether a join tree exists; for acyclic hypergraphs the residue is empty
+    and every block is a single edge.
+    """
+    residue = gyo_reduction(hypergraph).hypergraph
+    residue_edges = [edge for edge in residue.edges if edge]
+    blocks = block_decomposition(hypergraph)
+    cyclic_blocks = [block for block in blocks if block.num_edges > 1]
+    return {
+        "alpha_acyclic": is_acyclic(hypergraph),
+        "gyo_residue_edges": [format_node_set(edge) for edge in residue_edges],
+        "gyo_residue_size": len(residue_edges),
+        "cyclic_block_count": len(cyclic_blocks),
+        "cyclic_block_sizes": [block.num_edges for block in cyclic_blocks],
+        "has_join_tree": build_join_tree(hypergraph.reduce()) is not None,
+    }

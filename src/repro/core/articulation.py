@@ -1,0 +1,203 @@
+"""Articulation sets and block decomposition (Sections 1 and 5 of the paper).
+
+An *articulation set* of a hypergraph ``H`` is the intersection ``X = E ∩ F``
+of two edges such that removing the nodes of ``X`` from the hypergraph (and
+from every edge containing them) increases the number of components.  The
+notion generalises articulation points of ordinary graphs; the paper's main
+theorem says that, with the right notion of "alternative connection"
+(independent paths), acyclic hypergraphs are exactly those in which every
+node-generated sub-hypergraph that is not a single edge can be split by an
+articulation set.
+
+Section 5 speaks of *blocks*: components with no articulation sets.  The
+:func:`block_decomposition` here recursively splits a hypergraph at
+articulation sets until no piece can be split further, which yields the
+maximal pieces in which "two alternative connections" questions are posed.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from ..exceptions import HypergraphError
+from .components import component_count, components, components_after_removal
+from .hypergraph import Edge, Hypergraph
+from .nodes import Node, NodeSet, sorted_nodes
+
+__all__ = [
+    "candidate_articulation_sets",
+    "is_articulation_set",
+    "articulation_sets",
+    "has_articulation_set",
+    "find_articulation_set",
+    "articulation_split",
+    "blocks",
+    "block_decomposition",
+    "maximal_edge_intersection",
+]
+
+
+def candidate_articulation_sets(hypergraph: Hypergraph) -> Tuple[NodeSet, ...]:
+    """All distinct pairwise edge intersections, the candidates for articulation sets.
+
+    By definition an articulation set must be the intersection of two edges, so
+    this finite family is the complete candidate pool.  Empty intersections are
+    included because removing the empty set from a *disconnected* family never
+    increases the component count, so they are harmless candidates, but they are
+    placed last for determinism.
+    """
+    seen = set()
+    ordered: List[NodeSet] = []
+    edges = hypergraph.edges
+    for i, left in enumerate(edges):
+        for right in edges[i + 1:]:
+            intersection = left & right
+            if intersection not in seen:
+                seen.add(intersection)
+                ordered.append(intersection)
+    ordered.sort(key=lambda nodes: (len(nodes), sorted_nodes(nodes)))
+    return tuple(ordered)
+
+
+def is_articulation_set(hypergraph: Hypergraph, nodes: Iterable[Node]) -> bool:
+    """Check the definition: ``nodes`` is an edge intersection whose removal disconnects.
+
+    Both conditions are verified — that ``nodes`` equals ``E ∩ F`` for some pair
+    of distinct edges, and that removing it increases the number of components.
+    """
+    node_set = frozenset(nodes)
+    edges = hypergraph.edges
+    found_as_intersection = False
+    for i, left in enumerate(edges):
+        for right in edges[i + 1:]:
+            if left & right == node_set:
+                found_as_intersection = True
+                break
+        if found_as_intersection:
+            break
+    if not found_as_intersection:
+        return False
+    before = component_count(hypergraph)
+    after = component_count(hypergraph.remove_nodes(node_set))
+    return after > before
+
+
+def articulation_sets(hypergraph: Hypergraph) -> Tuple[NodeSet, ...]:
+    """All articulation sets of ``hypergraph`` in a deterministic order."""
+    before = component_count(hypergraph)
+    result = []
+    for candidate in candidate_articulation_sets(hypergraph):
+        after = component_count(hypergraph.remove_nodes(candidate))
+        if after > before:
+            result.append(candidate)
+    return tuple(result)
+
+
+def has_articulation_set(hypergraph: Hypergraph) -> bool:
+    """``True`` when at least one articulation set exists."""
+    return find_articulation_set(hypergraph) is not None
+
+
+def find_articulation_set(hypergraph: Hypergraph) -> Optional[NodeSet]:
+    """Return some articulation set, or ``None`` when there is none.
+
+    Candidates are tried smallest-first, which tends to produce the most
+    informative splits for the block decomposition.
+    """
+    before = component_count(hypergraph)
+    for candidate in candidate_articulation_sets(hypergraph):
+        after = component_count(hypergraph.remove_nodes(candidate))
+        if after > before:
+            return candidate
+    return None
+
+
+def articulation_split(hypergraph: Hypergraph,
+                       articulation: Iterable[Node]) -> Tuple[Hypergraph, ...]:
+    """Split ``hypergraph`` at an articulation set.
+
+    Each returned piece is the node-generated sub-hypergraph on
+    ``component ∪ articulation`` for one component of the hypergraph with the
+    articulation set removed.  The union of the pieces' edges covers every edge
+    of the original that is not contained in the articulation set itself.
+    """
+    articulation_set = frozenset(articulation)
+    if not is_articulation_set(hypergraph, articulation_set):
+        raise HypergraphError(
+            f"{sorted_nodes(articulation_set)} is not an articulation set of this hypergraph")
+    pieces = []
+    for component in components_after_removal(hypergraph, articulation_set):
+        pieces.append(hypergraph.node_generated(component | articulation_set))
+    return tuple(pieces)
+
+
+def blocks(hypergraph: Hypergraph) -> Tuple[Hypergraph, ...]:
+    """The blocks of the hypergraph: pieces with no articulation set.
+
+    Produced by recursively splitting at articulation sets
+    (:func:`block_decomposition`); single-edge pieces are blocks trivially.
+    """
+    return block_decomposition(hypergraph)
+
+
+def block_decomposition(hypergraph: Hypergraph,
+                        *, _depth: int = 0, _max_depth: int = 10_000) -> Tuple[Hypergraph, ...]:
+    """Recursively split the hypergraph at articulation sets.
+
+    Returns the leaves of the decomposition tree: node-generated
+    sub-hypergraphs that have no articulation set of their own.  For acyclic
+    hypergraphs every leaf is a single edge; for cyclic hypergraphs at least
+    one leaf is a multi-edge block with no articulation set (a "cyclic core").
+    """
+    if _depth > _max_depth:  # pragma: no cover - defensive guard
+        raise HypergraphError("block decomposition exceeded the recursion bound")
+    if hypergraph.num_edges <= 1:
+        return (hypergraph,)
+    if not hypergraph.is_connected():
+        pieces: List[Hypergraph] = []
+        for component in components(hypergraph):
+            pieces.extend(block_decomposition(hypergraph.node_generated(component),
+                                              _depth=_depth + 1, _max_depth=_max_depth))
+        return tuple(pieces)
+    articulation = find_articulation_set(hypergraph)
+    if articulation is None:
+        return (hypergraph,)
+    pieces = []
+    for piece in articulation_split(hypergraph, articulation):
+        if piece.edge_set == hypergraph.edge_set and piece.nodes == hypergraph.nodes:
+            # Degenerate split (can happen if a component re-absorbs everything);
+            # treat the hypergraph as a block to guarantee termination.
+            return (hypergraph,)
+        pieces.extend(block_decomposition(piece, _depth=_depth + 1, _max_depth=_max_depth))
+    return tuple(pieces)
+
+
+def maximal_edge_intersection(hypergraph: Hypergraph) -> Tuple[Edge, Edge, NodeSet] | None:
+    """Find edges ``F, G`` whose intersection is maximal (not properly contained in another).
+
+    This is the selection step in the 'if' direction of Theorem 6.1: in a
+    cyclic hypergraph with no articulation set, a maximal edge intersection
+    ``X = F ∩ G`` seeds the construction of an independent path.  Returns
+    ``None`` for hypergraphs with fewer than two edges.
+    """
+    edges = hypergraph.edges
+    if len(edges) < 2:
+        return None
+    intersections: List[Tuple[Edge, Edge, NodeSet]] = []
+    for i, left in enumerate(edges):
+        for right in edges[i + 1:]:
+            intersections.append((left, right, left & right))
+    best: Tuple[Edge, Edge, NodeSet] | None = None
+    for left, right, shared in intersections:
+        dominated = any(shared < other_shared for _, _, other_shared in intersections)
+        if dominated:
+            continue
+        if best is None:
+            best = (left, right, shared)
+            continue
+        key = (len(shared), sorted_nodes(shared), sorted_nodes(left), sorted_nodes(right))
+        best_key = (len(best[2]), sorted_nodes(best[2]), sorted_nodes(best[0]),
+                    sorted_nodes(best[1]))
+        if key > best_key:
+            best = (left, right, shared)
+    return best

@@ -1,0 +1,144 @@
+"""Canonical connections (Section 5 of the paper).
+
+The *canonical connection* for a set of nodes ``X`` in a hypergraph ``H`` is
+simply ``TR(H, X)``, written ``CC_H(X)`` (or ``CC(X)`` when ``H`` is
+understood).  It is intended — at least when ``H`` is acyclic — as *the*
+natural set of partial edges with which to link the nodes of ``X``; the
+database reading (Section 7) is that a query mentioning the attributes ``X``
+should be answered over the join of exactly the objects in ``CC(X)``.
+
+This module wraps :mod:`repro.core.tableau_reduction` with the Section 5
+vocabulary and adds the convenience queries the rest of the library (and the
+universal-relation layer) needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, Optional, Tuple
+
+from .graham import graham_reduction
+from .hypergraph import Edge, Hypergraph
+from .nodes import Node, NodeSet, format_node_set, sorted_nodes
+from .tableau_reduction import TableauReductionResult, tableau_reduction
+
+__all__ = [
+    "CanonicalConnection",
+    "canonical_connection",
+    "canonical_connection_result",
+    "connection_nodes",
+    "connection_objects",
+    "connects",
+    "graham_connection",
+]
+
+
+@dataclass(frozen=True)
+class CanonicalConnection:
+    """The canonical connection ``CC_H(X)`` together with its provenance.
+
+    Attributes
+    ----------
+    hypergraph:
+        The hypergraph ``H``.
+    nodes_of_interest:
+        The set ``X``.
+    connection:
+        ``CC_H(X) = TR(H, X)`` as a hypergraph of partial edges.
+    reduction:
+        The underlying :class:`TableauReductionResult` (tableau, minimal rows,
+        witnessing row mapping).
+    """
+
+    hypergraph: Hypergraph
+    nodes_of_interest: NodeSet
+    connection: Hypergraph
+    reduction: TableauReductionResult
+
+    @property
+    def partial_edges(self) -> Tuple[Edge, ...]:
+        """The partial edges making up the canonical connection."""
+        return self.connection.edges
+
+    @property
+    def nodes(self) -> NodeSet:
+        """The node set of the canonical connection."""
+        return self.connection.nodes
+
+    @property
+    def objects(self) -> Tuple[Edge, ...]:
+        """The *original* edges (objects) of ``H`` whose rows survive the reduction.
+
+        In the Section 7 reading these are the objects that must be joined to
+        answer a query over the attributes ``X``.
+        """
+        return self.reduction.target_edges
+
+    def contains_set(self, nodes: Iterable[Node]) -> bool:
+        """``True`` when ``nodes`` is wholly contained in the connection's node set."""
+        return frozenset(nodes) <= self.nodes
+
+    def describe(self) -> str:
+        """A multi-line report used by the examples."""
+        lines = [f"CC({format_node_set(self.nodes_of_interest)}) in {self.hypergraph}"]
+        lines.append(f"  partial edges: "
+                     f"{', '.join(format_node_set(e) for e in self.partial_edges) or '(none)'}")
+        lines.append(f"  objects joined: "
+                     f"{', '.join(format_node_set(e) for e in self.objects) or '(none)'}")
+        lines.append(f"  node set: {format_node_set(self.nodes)}")
+        return "\n".join(lines)
+
+
+def canonical_connection_result(hypergraph: Hypergraph,
+                                nodes: Iterable[Node]) -> CanonicalConnection:
+    """Compute ``CC_H(X)`` and return it with full provenance."""
+    node_set = frozenset(nodes)
+    reduction = tableau_reduction(hypergraph, node_set)
+    return CanonicalConnection(
+        hypergraph=hypergraph,
+        nodes_of_interest=node_set & hypergraph.nodes,
+        connection=reduction.result,
+        reduction=reduction,
+    )
+
+
+def canonical_connection(hypergraph: Hypergraph, nodes: Iterable[Node]) -> Hypergraph:
+    """``CC_H(X)`` as a hypergraph of partial edges (the Section 5 definition)."""
+    return canonical_connection_result(hypergraph, nodes).connection
+
+
+def connection_nodes(hypergraph: Hypergraph, nodes: Iterable[Node]) -> NodeSet:
+    """The node set of ``CC_H(X)`` — what independence of trees/paths is measured against."""
+    return canonical_connection(hypergraph, nodes).nodes
+
+
+def connection_objects(hypergraph: Hypergraph, nodes: Iterable[Node]) -> Tuple[Edge, ...]:
+    """The original edges whose rows survive the tableau reduction for ``X``."""
+    return canonical_connection_result(hypergraph, nodes).objects
+
+
+def connects(hypergraph: Hypergraph, nodes: Iterable[Node]) -> bool:
+    """``True`` when the canonical connection actually links all the nodes of ``X``.
+
+    Concretely: ``CC_H(X)`` contains every node of ``X`` (it always does when
+    each node of ``X`` occurs in some edge) and is connected as a hypergraph.
+    """
+    node_set = frozenset(nodes) & hypergraph.nodes
+    connection = canonical_connection(hypergraph, node_set)
+    if not node_set <= connection.nodes:
+        return False
+    return connection.is_connected()
+
+
+def graham_connection(hypergraph: Hypergraph, nodes: Iterable[Node]) -> Hypergraph:
+    """``GR(H, X)`` packaged like a connection, for comparing against ``CC_H(X)``.
+
+    Theorem 3.5 states that on *acyclic* hypergraphs ``GR(H, X) = TR(H, X)``;
+    on cyclic hypergraphs the two can differ (the paper's example after the
+    theorem), which the benchmarks demonstrate.
+    """
+    result = graham_reduction(hypergraph, frozenset(nodes)).hypergraph
+    non_empty = [edge for edge in result.edges if edge]
+    universe = frozenset().union(*non_empty) if non_empty else frozenset()
+    return Hypergraph(non_empty, nodes=universe,
+                      name=f"GR({hypergraph.name or 'H'}, {format_node_set(frozenset(nodes))})")

@@ -1,0 +1,205 @@
+"""Connectivity and components of hypergraphs (Section 1 of the paper).
+
+A set of nodes ``N`` is *connected* when for every pair ``n, m`` in ``N`` there
+is a sequence of edges ``E_1, …, E_k`` (k ≥ 1) with ``n ∈ E_1``, ``m ∈ E_k``
+and consecutive edges intersecting.  A *component* is a maximal connected set
+of nodes.  Isolated nodes (nodes in no edge) are each their own component.
+
+The implementation uses a union–find structure over nodes, merging all nodes
+of each edge, which runs in near-linear time in the total size of the edges.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from ..exceptions import UnknownNodeError
+from .hypergraph import Edge, Hypergraph
+from .nodes import Node, NodeSet, sorted_nodes
+
+__all__ = [
+    "UnionFind",
+    "components",
+    "component_count",
+    "is_connected",
+    "nodes_connected",
+    "connecting_edge_sequence",
+    "edge_components",
+    "components_after_removal",
+    "separates",
+]
+
+
+class UnionFind:
+    """A straightforward union–find (disjoint set) structure over hashable items."""
+
+    def __init__(self, items: Iterable[Node] = ()) -> None:
+        self._parent: Dict[Node, Node] = {}
+        self._rank: Dict[Node, int] = {}
+        for item in items:
+            self.add(item)
+
+    def add(self, item: Node) -> None:
+        """Insert ``item`` as its own singleton class if not already present."""
+        if item not in self._parent:
+            self._parent[item] = item
+            self._rank[item] = 0
+
+    def find(self, item: Node) -> Node:
+        """Return the canonical representative of ``item``'s class."""
+        parent = self._parent
+        root = item
+        while parent[root] != root:
+            root = parent[root]
+        # Path compression.
+        while parent[item] != root:
+            parent[item], item = root, parent[item]
+        return root
+
+    def union(self, left: Node, right: Node) -> None:
+        """Merge the classes of ``left`` and ``right``."""
+        left_root, right_root = self.find(left), self.find(right)
+        if left_root == right_root:
+            return
+        if self._rank[left_root] < self._rank[right_root]:
+            left_root, right_root = right_root, left_root
+        self._parent[right_root] = left_root
+        if self._rank[left_root] == self._rank[right_root]:
+            self._rank[left_root] += 1
+
+    def connected(self, left: Node, right: Node) -> bool:
+        """``True`` iff both items are in the same class."""
+        return self.find(left) == self.find(right)
+
+    def groups(self) -> Tuple[NodeSet, ...]:
+        """Return all classes as frozensets, deterministically ordered."""
+        buckets: Dict[Node, set] = {}
+        for item in self._parent:
+            buckets.setdefault(self.find(item), set()).add(item)
+        ordered = sorted(buckets.values(), key=lambda group: sorted_nodes(group))
+        return tuple(frozenset(group) for group in ordered)
+
+    def __len__(self) -> int:
+        return len(self._parent)
+
+
+def _union_find_for(hypergraph: Hypergraph) -> UnionFind:
+    structure = UnionFind(hypergraph.nodes)
+    for edge in hypergraph.edges:
+        ordered = sorted_nodes(edge)
+        for node in ordered[1:]:
+            structure.union(ordered[0], node)
+    return structure
+
+
+def components(hypergraph: Hypergraph) -> Tuple[NodeSet, ...]:
+    """Return the components of ``hypergraph`` as a tuple of node sets."""
+    if not hypergraph.nodes:
+        return ()
+    return _union_find_for(hypergraph).groups()
+
+
+def component_count(hypergraph: Hypergraph) -> int:
+    """The number of components of ``hypergraph``."""
+    return len(components(hypergraph))
+
+
+def is_connected(hypergraph: Hypergraph) -> bool:
+    """``True`` when the hypergraph has at most one component."""
+    return component_count(hypergraph) <= 1
+
+
+def nodes_connected(hypergraph: Hypergraph, source: Node, target: Node) -> bool:
+    """``True`` iff ``source`` and ``target`` lie in the same component."""
+    if source not in hypergraph.nodes:
+        raise UnknownNodeError(source)
+    if target not in hypergraph.nodes:
+        raise UnknownNodeError(target)
+    if source == target:
+        return True
+    return _union_find_for(hypergraph).connected(source, target)
+
+
+def connecting_edge_sequence(hypergraph: Hypergraph, source: Node,
+                             target: Node) -> Tuple[Edge, ...] | None:
+    """Return a witnessing sequence of edges ``E_1, …, E_k`` connecting two nodes.
+
+    The sequence satisfies the paper's Section 1 definition: ``source ∈ E_1``,
+    ``target ∈ E_k`` and consecutive edges intersect.  Returns ``None`` when the
+    nodes are not connected.  A shortest such sequence (in number of edges) is
+    returned, found by breadth-first search over the intersection graph of the
+    edges.
+    """
+    if source not in hypergraph.nodes:
+        raise UnknownNodeError(source)
+    if target not in hypergraph.nodes:
+        raise UnknownNodeError(target)
+    start_edges = [edge for edge in hypergraph.edges if source in edge]
+    if not start_edges:
+        return None
+    # BFS over edges; predecessors let us rebuild the path.
+    predecessor: Dict[Edge, Edge | None] = {edge: None for edge in start_edges}
+    frontier: List[Edge] = list(start_edges)
+    while frontier:
+        next_frontier: List[Edge] = []
+        for edge in frontier:
+            if target in edge:
+                path = [edge]
+                back = predecessor[edge]
+                while back is not None:
+                    path.append(back)
+                    back = predecessor[back]
+                return tuple(reversed(path))
+            for other in hypergraph.edges:
+                if other in predecessor:
+                    continue
+                if edge & other:
+                    predecessor[other] = edge
+                    next_frontier.append(other)
+        frontier = next_frontier
+    return None
+
+
+def edge_components(hypergraph: Hypergraph) -> Tuple[Tuple[Edge, ...], ...]:
+    """Group the edges by the component their nodes fall into.
+
+    Every edge lies entirely within one component, so this is a partition of
+    the edge set (empty edges, having no nodes, are dropped).
+    """
+    node_components = components(hypergraph)
+    groups: List[List[Edge]] = [[] for _ in node_components]
+    for edge in hypergraph.edges:
+        if not edge:
+            continue
+        anchor = sorted_nodes(edge)[0]
+        for index, component in enumerate(node_components):
+            if anchor in component:
+                groups[index].append(edge)
+                break
+    return tuple(tuple(group) for group in groups if group)
+
+
+def components_after_removal(hypergraph: Hypergraph,
+                             nodes: Iterable[Node]) -> Tuple[NodeSet, ...]:
+    """Components of the hypergraph after removing ``nodes`` from it and all edges."""
+    return components(hypergraph.remove_nodes(nodes))
+
+
+def separates(hypergraph: Hypergraph, nodes: Iterable[Node],
+              left: Iterable[Node], right: Iterable[Node]) -> bool:
+    """``True`` when removing ``nodes`` disconnects every node of ``left`` from every node of ``right``.
+
+    Nodes of ``left``/``right`` that are themselves removed are ignored; if
+    either side becomes empty after removal the answer is ``True`` vacuously.
+    """
+    removed = hypergraph.remove_nodes(nodes)
+    left_nodes = frozenset(left) & removed.nodes
+    right_nodes = frozenset(right) & removed.nodes
+    if not left_nodes or not right_nodes:
+        return True
+    structure = _union_find_for(removed)
+    for l_node in left_nodes:
+        for r_node in right_nodes:
+            if structure.connected(l_node, r_node):
+                return False
+    return True

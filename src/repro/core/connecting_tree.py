@@ -1,0 +1,339 @@
+"""Connecting trees, connecting paths, and independence (Section 5 of the paper).
+
+A *connecting tree* is a collection of sets of nodes ``{N_1, …, N_k}`` of a
+hypergraph ``H`` together with a tree structure on these sets; each tree edge
+``(N_i, N_j)`` must be contained within one edge of ``H``, and — the
+minimality condition — no three tree nodes may be contained within one edge of
+``H``.  The tree is *for* the collection of sets at its leaves.
+
+A connecting tree is an *independent tree* when some tree node is not wholly
+contained within the node set of the canonical connection ``CC(∪ leaves)``.
+A connecting tree that is a single path is a *connecting path*, and an
+independent path is defined analogously (with the canonical connection taken
+over the union of its two end sets).
+
+Lemma 5.2: if any independent tree exists for ``H``, then an independent path
+exists for ``H`` — :func:`independent_path_from_tree` implements the proof's
+construction.  The main Theorem 6.1 (acyclic ⇔ no independent path) is
+exercised through :mod:`repro.core.independent_path`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..exceptions import HypergraphError
+from .canonical import connection_nodes
+from .hypergraph import Edge, Hypergraph
+from .nodes import Node, NodeSet, format_node_set, sorted_nodes
+
+__all__ = [
+    "ConnectingTree",
+    "ConnectingPath",
+    "connecting_tree_violations",
+    "independent_path_from_tree",
+]
+
+
+def _edge_containing(hypergraph: Hypergraph, nodes: Iterable[Node]) -> Optional[Edge]:
+    """Some edge of the hypergraph containing all of ``nodes``, or ``None``."""
+    node_set = frozenset(nodes)
+    for edge in hypergraph.edges:
+        if node_set <= edge:
+            return edge
+    return None
+
+
+@dataclass(frozen=True)
+class ConnectingTree:
+    """A connecting tree: node sets of ``H`` linked by tree edges within edges of ``H``.
+
+    Parameters
+    ----------
+    hypergraph:
+        The hypergraph ``H``.
+    sets:
+        The tree nodes, each a non-empty set of nodes of ``H``.  They must be
+        pairwise distinct.
+    links:
+        The tree edges as pairs of indices into ``sets``.
+    """
+
+    hypergraph: Hypergraph
+    sets: Tuple[NodeSet, ...]
+    links: Tuple[Tuple[int, int], ...]
+
+    # ------------------------------------------------------------------ #
+    # Construction helpers
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_sets(cls, hypergraph: Hypergraph, sets: Sequence[Iterable[Node]],
+                  links: Sequence[Tuple[int, int]]) -> "ConnectingTree":
+        """Build a connecting tree from raw node collections and index pairs."""
+        frozen = tuple(frozenset(item) for item in sets)
+        normalised = tuple((min(a, b), max(a, b)) for a, b in links)
+        return cls(hypergraph=hypergraph, sets=frozen, links=normalised)
+
+    @classmethod
+    def path(cls, hypergraph: Hypergraph, sets: Sequence[Iterable[Node]]) -> "ConnectingTree":
+        """Build the tree whose structure is the path ``sets[0] — sets[1] — …``."""
+        frozen = tuple(frozenset(item) for item in sets)
+        links = tuple((index, index + 1) for index in range(len(frozen) - 1))
+        return cls(hypergraph=hypergraph, sets=frozen, links=links)
+
+    # ------------------------------------------------------------------ #
+    # Structure
+    # ------------------------------------------------------------------ #
+    def degree(self, index: int) -> int:
+        """The number of tree edges incident to the tree node ``sets[index]``."""
+        return sum(1 for a, b in self.links if index in (a, b))
+
+    def leaves(self) -> Tuple[NodeSet, ...]:
+        """The tree nodes of degree at most one (the sets the tree is *for*)."""
+        if len(self.sets) == 1:
+            return self.sets
+        return tuple(node_set for index, node_set in enumerate(self.sets)
+                     if self.degree(index) <= 1)
+
+    def leaf_union(self) -> NodeSet:
+        """The union of the leaf sets — the argument of the canonical connection."""
+        leaves = self.leaves()
+        return frozenset().union(*leaves) if leaves else frozenset()
+
+    def is_path(self) -> bool:
+        """``True`` when no tree node lies in more than two tree edges (a connecting path)."""
+        return all(self.degree(index) <= 2 for index in range(len(self.sets)))
+
+    def path_sequence(self) -> Tuple[NodeSet, ...]:
+        """The sets in path order (only meaningful when :meth:`is_path` holds)."""
+        if not self.is_path():
+            raise HypergraphError("the connecting tree is not a path")
+        if len(self.sets) <= 1:
+            return self.sets
+        adjacency: Dict[int, List[int]] = {index: [] for index in range(len(self.sets))}
+        for a, b in self.links:
+            adjacency[a].append(b)
+            adjacency[b].append(a)
+        endpoints = [index for index in adjacency if len(adjacency[index]) <= 1]
+        start = min(endpoints) if endpoints else 0
+        order = [start]
+        seen = {start}
+        current = start
+        while len(order) < len(self.sets):
+            next_candidates = [n for n in adjacency[current] if n not in seen]
+            if not next_candidates:
+                break
+            current = next_candidates[0]
+            seen.add(current)
+            order.append(current)
+        return tuple(self.sets[index] for index in order)
+
+    def tree_path_between(self, left_index: int, right_index: int) -> Tuple[int, ...]:
+        """Indices of the tree nodes along the unique tree path between two tree nodes."""
+        adjacency: Dict[int, List[int]] = {index: [] for index in range(len(self.sets))}
+        for a, b in self.links:
+            adjacency[a].append(b)
+            adjacency[b].append(a)
+        stack: List[Tuple[int, Tuple[int, ...]]] = [(left_index, (left_index,))]
+        visited = {left_index}
+        while stack:
+            current, path = stack.pop()
+            if current == right_index:
+                return path
+            for neighbour in adjacency[current]:
+                if neighbour not in visited:
+                    visited.add(neighbour)
+                    stack.append((neighbour, path + (neighbour,)))
+        raise HypergraphError("the connecting tree is not connected")
+
+    # ------------------------------------------------------------------ #
+    # Validity and independence
+    # ------------------------------------------------------------------ #
+    def violations(self) -> List[str]:
+        """Human-readable reasons this is not a valid connecting tree (empty when valid)."""
+        return connecting_tree_violations(self.hypergraph, self.sets, self.links)
+
+    def is_connecting_tree(self) -> bool:
+        """``True`` when all the Section 5 conditions hold."""
+        return not self.violations()
+
+    def is_independent(self) -> bool:
+        """``True`` when some tree node is not contained in ``CC(∪ leaves)``.
+
+        Only meaningful for valid connecting trees; a :class:`HypergraphError`
+        is raised if the structural conditions fail.
+        """
+        problems = self.violations()
+        if problems:
+            raise HypergraphError("not a connecting tree: " + "; ".join(problems))
+        connection = connection_nodes(self.hypergraph, self.leaf_union())
+        return any(not node_set <= connection for node_set in self.sets)
+
+    def independence_witness(self) -> Optional[NodeSet]:
+        """A tree node not contained in ``CC(∪ leaves)``, or ``None``."""
+        connection = connection_nodes(self.hypergraph, self.leaf_union())
+        for node_set in self.sets:
+            if not node_set <= connection:
+                return node_set
+        return None
+
+    def describe(self) -> str:
+        """A multi-line rendering of the tree."""
+        lines = [f"Connecting tree over {self.hypergraph}"]
+        for index, node_set in enumerate(self.sets):
+            lines.append(f"  N{index + 1} = {format_node_set(node_set)}"
+                         f"{'  (leaf)' if self.degree(index) <= 1 else ''}")
+        for a, b in self.links:
+            witness = _edge_containing(self.hypergraph, self.sets[a] | self.sets[b])
+            lines.append(f"  N{a + 1} -- N{b + 1}  within edge "
+                         f"{format_node_set(witness) if witness else '??'}")
+        return "\n".join(lines)
+
+
+def connecting_tree_violations(hypergraph: Hypergraph, sets: Sequence[NodeSet],
+                               links: Sequence[Tuple[int, int]]) -> List[str]:
+    """Check the Section 5 conditions and return the list of violations.
+
+    The conditions are: the sets are non-empty, distinct sets of nodes of the
+    hypergraph; the links form an (undirected, unrooted) tree on all the sets;
+    every linked pair of sets is contained within one edge; and no edge of the
+    hypergraph contains three or more of the sets.
+    """
+    problems: List[str] = []
+    if not sets:
+        problems.append("a connecting tree needs at least one set of nodes")
+        return problems
+    for index, node_set in enumerate(sets):
+        if not node_set:
+            problems.append(f"set N{index + 1} is empty")
+        if not node_set <= hypergraph.nodes:
+            problems.append(f"set N{index + 1} = {format_node_set(node_set)} is not a set of "
+                            "nodes of the hypergraph")
+    if len(set(sets)) != len(sets):
+        problems.append("the sets of a connecting tree must be pairwise distinct")
+    # Tree structure: k - 1 links, connected, acyclic.
+    k = len(sets)
+    for a, b in links:
+        if not (0 <= a < k and 0 <= b < k) or a == b:
+            problems.append(f"link ({a}, {b}) does not join two distinct sets")
+    if len(set((min(a, b), max(a, b)) for a, b in links)) != len(links):
+        problems.append("duplicate links")
+    if len(links) != k - 1:
+        problems.append(f"a tree on {k} sets needs exactly {k - 1} links (got {len(links)})")
+    else:
+        from .components import UnionFind
+
+        structure = UnionFind(range(k))
+        acyclic = True
+        for a, b in links:
+            if not (0 <= a < k and 0 <= b < k) or a == b:
+                continue
+            if structure.connected(a, b):
+                acyclic = False
+            structure.union(a, b)
+        if not acyclic or len(structure.groups()) != 1:
+            problems.append("the links do not form a single tree")
+    # Each linked pair within an edge.
+    for a, b in links:
+        if not (0 <= a < k and 0 <= b < k):
+            continue
+        if _edge_containing(hypergraph, sets[a] | sets[b]) is None:
+            problems.append(f"linked sets N{a + 1} and N{b + 1} are not contained within any "
+                            "single edge of the hypergraph")
+    # Minimality: no edge contains three of the sets.
+    for edge in hypergraph.edges:
+        contained = [index for index, node_set in enumerate(sets) if node_set <= edge]
+        if len(contained) >= 3:
+            problems.append(
+                f"edge {format_node_set(edge)} contains three of the sets "
+                f"({', '.join('N' + str(i + 1) for i in contained)})")
+    return problems
+
+
+class ConnectingPath(ConnectingTree):
+    """A connecting tree in the form of a single path.
+
+    The natural constructor is :meth:`from_sequence`; the sets are kept in
+    path order and the two end sets are the pair the path connects.
+    """
+
+    @classmethod
+    def from_sequence(cls, hypergraph: Hypergraph,
+                      sets: Sequence[Iterable[Node]]) -> "ConnectingPath":
+        """Build a connecting path from the ordered sequence of its sets."""
+        frozen = tuple(frozenset(item) for item in sets)
+        links = tuple((index, index + 1) for index in range(len(frozen) - 1))
+        return cls(hypergraph=hypergraph, sets=frozen, links=links)
+
+    @property
+    def endpoints(self) -> Tuple[NodeSet, NodeSet]:
+        """The two end sets ``(N_1, N_k)`` the path connects."""
+        if not self.sets:
+            raise HypergraphError("an empty connecting path has no endpoints")
+        return self.sets[0], self.sets[-1]
+
+    def endpoint_union(self) -> NodeSet:
+        """``N_1 ∪ N_k`` — the argument of the canonical connection for paths."""
+        first, last = self.endpoints
+        return first | last
+
+    def violations(self) -> List[str]:
+        """Structural violations, including the requirement of being a path."""
+        problems = connecting_tree_violations(self.hypergraph, self.sets, self.links)
+        if not self.is_path():
+            problems.append("the structure is not a path (some set lies in more than two links)")
+        return problems
+
+    def is_independent(self) -> bool:
+        """``True`` when some set of the path is not contained in ``CC(N_1 ∪ N_k)``."""
+        problems = self.violations()
+        if problems:
+            raise HypergraphError("not a connecting path: " + "; ".join(problems))
+        connection = connection_nodes(self.hypergraph, self.endpoint_union())
+        return any(not node_set <= connection for node_set in self.sets)
+
+    def independence_witness(self) -> Optional[NodeSet]:
+        """A set of the path not contained in ``CC(N_1 ∪ N_k)``, or ``None``."""
+        connection = connection_nodes(self.hypergraph, self.endpoint_union())
+        for node_set in self.sets:
+            if not node_set <= connection:
+                return node_set
+        return None
+
+    def describe(self) -> str:
+        """A one-line rendering of the path."""
+        chain = " — ".join(format_node_set(node_set) for node_set in self.sets)
+        return f"Connecting path {chain}"
+
+
+def independent_path_from_tree(tree: ConnectingTree) -> Optional[ConnectingPath]:
+    """The construction in the proof of Lemma 5.2.
+
+    Given an *independent* connecting tree ``T``, find a pair of leaves whose
+    tree path passes through a set not contained in ``CC(∪ leaves)``; by Lemma
+    3.8 that path is an independent path.  Returns ``None`` when the tree is
+    not independent (no witness exists).
+    """
+    if not tree.is_connecting_tree():
+        raise HypergraphError("independent_path_from_tree requires a valid connecting tree")
+    connection = connection_nodes(tree.hypergraph, tree.leaf_union())
+    witness_indices = [index for index, node_set in enumerate(tree.sets)
+                       if not node_set <= connection]
+    if not witness_indices:
+        return None
+    leaf_indices = [index for index in range(len(tree.sets)) if tree.degree(index) <= 1]
+    for witness in witness_indices:
+        for i, left in enumerate(leaf_indices):
+            for right in leaf_indices[i:]:
+                if left == right and len(tree.sets) > 1:
+                    continue
+                path_indices = tree.tree_path_between(left, right)
+                if witness not in path_indices:
+                    continue
+                candidate = ConnectingPath.from_sequence(
+                    tree.hypergraph, [tree.sets[index] for index in path_indices])
+                if candidate.is_connecting_tree() and candidate.is_path() \
+                        and candidate.is_independent():
+                    return candidate
+    return None

@@ -1,0 +1,341 @@
+"""Row mappings on tableaux (Section 3 of the paper).
+
+A *row mapping* ``h`` maps the rows of a tableau to a subset of the rows (the
+*target subset*) subject to:
+
+(1) if a row ``r`` is in the target subset, then ``h(r) = r``;
+(2) if a symbol appears in two or more rows — in these tableaux such a symbol
+    is special and appears in the same column of each — then ``h(r1)`` and
+    ``h(r2)`` agree on that column;
+(3) if a row ``r`` has a distinguished symbol in a column, then ``h(r)`` has
+    the same symbol in that column.
+
+Because of (2), ``h`` also acts on symbols.  Tableaux and their row mappings
+form a finite Church–Rosser system (Aho–Sagiv–Ullman), which is what makes the
+*minimal* target subset unique up to renaming of symbols; the minimization
+itself lives in :mod:`repro.core.tableau_reduction`.
+
+This module provides:
+
+* :class:`RowMapping` — an explicit, validated mapping, with the induced
+  symbol mapping;
+* :func:`find_homomorphism` — backtracking search for a mapping satisfying
+  (2) and (3) with an arbitrary restriction on each row's allowed images;
+* :func:`find_retraction` — search for a full row mapping (conditions (1)–(3))
+  onto a prescribed target subset.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+
+from ..exceptions import InvalidRowMappingError, TableauError
+from .nodes import Node, node_sort_key, sorted_nodes
+from .tableau import SpecialSymbol, Symbol, Tableau, TableauRow, UniqueSymbol
+
+__all__ = [
+    "RowMapping",
+    "violations",
+    "is_valid_row_mapping",
+    "find_homomorphism",
+    "find_retraction",
+    "identity_mapping",
+    "compose",
+]
+
+
+@dataclass(frozen=True)
+class RowMapping:
+    """A validated row mapping ``h`` on a tableau.
+
+    ``assignment`` maps row indices to row indices.  The target subset is the
+    image of the assignment.  Construction does not validate; call
+    :meth:`validate` or use the search functions, which only return valid
+    mappings.
+    """
+
+    tableau: Tableau
+    assignment: Mapping[int, int]
+
+    # ------------------------------------------------------------------ #
+    def __call__(self, row_index: int) -> int:
+        """Apply the mapping to a row index."""
+        try:
+            return self.assignment[row_index]
+        except KeyError:
+            raise InvalidRowMappingError(f"row {row_index} is not in the mapping's domain") from None
+
+    def image(self) -> FrozenSet[int]:
+        """The target subset (image) of the mapping, as row indices."""
+        return frozenset(self.assignment.values())
+
+    def target_rows(self) -> Tuple[TableauRow, ...]:
+        """The rows of the target subset, in tableau order."""
+        image = self.image()
+        return tuple(row for row in self.tableau.rows if row.index in image)
+
+    def target_edges(self) -> Tuple[FrozenSet[Node], ...]:
+        """The edges corresponding to the target rows."""
+        return tuple(row.edge for row in self.target_rows())
+
+    def is_identity(self) -> bool:
+        """``True`` when every row maps to itself."""
+        return all(source == target for source, target in self.assignment.items())
+
+    def is_surjective(self) -> bool:
+        """``True`` when the image is the whole domain."""
+        return self.image() == frozenset(self.assignment.keys())
+
+    def maps_edge(self, edge: Iterable[Node]) -> FrozenSet[Node]:
+        """``h(E)``: the edge of the row that the row of ``E`` is mapped to.
+
+        The paper writes ``h(E)`` for ``h(r)`` where ``r`` is the row of edge
+        ``E``; this helper mirrors that usage.
+        """
+        row = self.tableau.row_for_edge(edge)
+        return self.tableau.row(self(row.index)).edge
+
+    def symbol_image(self, symbol: Symbol) -> Optional[Symbol]:
+        """The induced action of ``h`` on a symbol (condition (2) makes it well defined).
+
+        ``h(a)`` is the symbol appearing in the same column as ``a`` in rows
+        ``h(r)`` for rows ``r`` containing ``a``.  Returns ``None`` for symbols
+        that appear in no row of the tableau.
+        """
+        occurrences = self.tableau.occurrences(symbol)
+        if not occurrences:
+            return None
+        images = {self.tableau.row(self(index)).symbol(symbol.column) for index in occurrences}
+        if len(images) != 1:
+            raise InvalidRowMappingError(
+                f"the mapping does not act consistently on symbol {symbol!r}")
+        return next(iter(images))
+
+    def validate(self) -> None:
+        """Raise :class:`InvalidRowMappingError` when any of conditions (1)–(3) fails."""
+        problems = violations(self.tableau, self.assignment)
+        if problems:
+            raise InvalidRowMappingError("; ".join(problems))
+
+    def is_valid(self) -> bool:
+        """``True`` when all three conditions hold."""
+        return not violations(self.tableau, self.assignment)
+
+    def describe(self) -> str:
+        """A one-line description like ``1→4, 2→2, 3→4, 4→4``."""
+        parts = [f"{source}→{target}" for source, target
+                 in sorted(self.assignment.items())]
+        return ", ".join(parts)
+
+
+def violations(tableau: Tableau, assignment: Mapping[int, int]) -> List[str]:
+    """Collect human-readable descriptions of every violated condition.
+
+    The assignment must be total on the tableau's rows and map into them.
+    """
+    problems: List[str] = []
+    row_indices = {row.index for row in tableau.rows}
+    if set(assignment.keys()) != row_indices:
+        problems.append("the mapping must be defined on exactly the tableau's rows")
+        return problems
+    if not set(assignment.values()) <= row_indices:
+        problems.append("the mapping must map rows to rows of the tableau")
+        return problems
+    image = set(assignment.values())
+    # Condition (1): identity on the target subset.
+    for target in sorted(image):
+        if assignment[target] != target:
+            problems.append(f"condition (1): row {target} is in the target subset but "
+                            f"maps to {assignment[target]}")
+    # Condition (2): symbols occurring in >= 2 rows must have consistent images.
+    for symbol in tableau.repeated_symbols():
+        occurrences = tableau.occurrences(symbol)
+        cells = {tableau.row(assignment[index]).symbol(symbol.column) for index in occurrences}
+        if len(cells) != 1:
+            problems.append(
+                f"condition (2): symbol {symbol.render()} (column {symbol.column}) appears in rows "
+                f"{sorted(occurrences)} whose images disagree on that column")
+    # Condition (3): distinguished symbols are preserved.
+    for row in tableau.rows:
+        for column in tableau.sacred:
+            symbol = row.symbol(column)
+            if tableau.is_distinguished(symbol):
+                image_symbol = tableau.row(assignment[row.index]).symbol(column)
+                if image_symbol != symbol:
+                    problems.append(
+                        f"condition (3): row {row.index} has distinguished symbol "
+                        f"{symbol.render()} in column {column} but its image does not")
+    return problems
+
+
+def is_valid_row_mapping(tableau: Tableau, assignment: Mapping[int, int]) -> bool:
+    """``True`` when ``assignment`` satisfies conditions (1)–(3) on ``tableau``."""
+    return not violations(tableau, assignment)
+
+
+def identity_mapping(tableau: Tableau) -> RowMapping:
+    """The identity row mapping (always valid)."""
+    return RowMapping(tableau=tableau, assignment={row.index: row.index for row in tableau.rows})
+
+
+def compose(outer: RowMapping, inner: RowMapping) -> RowMapping:
+    """The composition ``outer ∘ inner`` (both on the same tableau).
+
+    The composition of valid mappings satisfying (2) and (3) again satisfies
+    them; condition (1) must be re-checked by the caller if needed.
+    """
+    if outer.tableau is not inner.tableau and outer.tableau.rows != inner.tableau.rows:
+        raise TableauError("can only compose row mappings over the same tableau")
+    assignment = {source: outer.assignment[target] if target in outer.assignment else target
+                  for source, target in inner.assignment.items()}
+    return RowMapping(tableau=inner.tableau, assignment=assignment)
+
+
+# --------------------------------------------------------------------------- #
+# Backtracking searches
+# --------------------------------------------------------------------------- #
+def _candidate_targets(tableau: Tableau, row: TableauRow,
+                       allowed: Sequence[int]) -> List[int]:
+    """Targets for ``row`` that satisfy the unary part of conditions (2)/(3).
+
+    Condition (3) is unary: every sacred column of the row's edge must also be
+    a column of the target's edge.  The binary part of condition (2) is
+    enforced during the search.
+    """
+    sacred_in_row = row.edge & tableau.sacred
+    result = []
+    for target_index in allowed:
+        target = tableau.row(target_index)
+        if sacred_in_row <= target.edge:
+            result.append(target_index)
+    return result
+
+
+def find_homomorphism(tableau: Tableau, *, rows: Optional[Iterable[int]] = None,
+                      allowed_targets: Optional[Mapping[int, Iterable[int]]] = None,
+                      default_targets: Optional[Iterable[int]] = None,
+                      fixed: Optional[Mapping[int, int]] = None
+                      ) -> Optional[Dict[int, int]]:
+    """Search for a mapping on ``rows`` satisfying conditions (2) and (3).
+
+    Parameters
+    ----------
+    tableau:
+        The tableau whose symbols define the constraints.  Occurrence counts
+        for condition (2) are taken relative to the *given* ``rows`` (so the
+        function can be used on sub-tableaux without materialising them).
+    rows:
+        The row indices forming the mapping's domain (default: all rows).
+    allowed_targets:
+        Per-row restriction of the codomain (default: ``default_targets``).
+    default_targets:
+        Codomain for rows without an entry in ``allowed_targets`` (default:
+        the domain ``rows`` itself).
+    fixed:
+        Pre-assigned images (e.g. to force identity on a target subset).
+
+    Returns the assignment as a dict, or ``None`` when no mapping exists.
+    """
+    domain: List[int] = sorted(rows) if rows is not None else [row.index for row in tableau.rows]
+    domain_set = set(domain)
+    codomain_default: List[int] = (sorted(default_targets) if default_targets is not None
+                                   else list(domain))
+    assignment: Dict[int, int] = {}
+    if fixed:
+        for source, target in fixed.items():
+            if source not in domain_set:
+                raise TableauError(f"fixed row {source} is not in the mapping's domain")
+            assignment[source] = target
+
+    # Pre-compute, for every node, the domain rows whose edge contains it: the
+    # shared special symbol of that node constrains those rows jointly.
+    rows_by_node: Dict[Node, List[int]] = {}
+    for index in domain:
+        for node in tableau.row(index).edge:
+            rows_by_node.setdefault(node, []).append(index)
+    shared_nodes = {node: indices for node, indices in rows_by_node.items() if len(indices) >= 2}
+
+    def consistent(source: int, target: int, current: Dict[int, int]) -> bool:
+        source_row = tableau.row(source)
+        target_row = tableau.row(target)
+        # Condition (3): distinguished symbols preserved.
+        if not (source_row.edge & tableau.sacred) <= target_row.edge:
+            return False
+        # Condition (2): for every node shared with an already-assigned row,
+        # the two images must agree on that column.
+        for node in source_row.edge:
+            partners = shared_nodes.get(node)
+            if not partners:
+                continue
+            for partner in partners:
+                if partner == source or partner not in current:
+                    continue
+                partner_target = tableau.row(current[partner])
+                # The two image cells agree iff the images are the same row or
+                # both image edges contain the shared node (both cells are the
+                # node's special symbol).
+                if current[partner] == target:
+                    continue
+                if node in target_row.edge and node in partner_target.edge:
+                    continue
+                return False
+        return True
+
+    # Validate any fixed assignments against each other first.
+    for source, target in list(assignment.items()):
+        trimmed = {k: v for k, v in assignment.items() if k != source}
+        if not consistent(source, target, trimmed):
+            return None
+
+    unassigned = [index for index in domain if index not in assignment]
+    # Most-constrained-first ordering: rows with many sacred columns and many
+    # shared nodes first.
+    unassigned.sort(key=lambda index: (-len(tableau.row(index).edge & tableau.sacred),
+                                       -len(tableau.row(index).edge),
+                                       index))
+
+    allowed_targets = allowed_targets or {}
+
+    def backtrack(position: int) -> bool:
+        if position == len(unassigned):
+            return True
+        source = unassigned[position]
+        row = tableau.row(source)
+        raw_allowed = allowed_targets.get(source, codomain_default)
+        for target in _candidate_targets(tableau, row, sorted(raw_allowed)):
+            if consistent(source, target, assignment):
+                assignment[source] = target
+                if backtrack(position + 1):
+                    return True
+                del assignment[source]
+        return False
+
+    if backtrack(0):
+        return dict(assignment)
+    return None
+
+
+def find_retraction(tableau: Tableau, target_rows: Iterable[int],
+                    *, rows: Optional[Iterable[int]] = None) -> Optional[RowMapping]:
+    """Search for a full row mapping (conditions (1)–(3)) onto ``target_rows``.
+
+    The mapping's domain is ``rows`` (default: all tableau rows); every row of
+    ``target_rows`` is forced to map to itself (condition (1)), and every other
+    row may map to any target row.  Returns a validated :class:`RowMapping`
+    whose image is contained in ``target_rows``, or ``None``.
+    """
+    domain = sorted(rows) if rows is not None else [row.index for row in tableau.rows]
+    targets = sorted(set(target_rows))
+    missing = set(targets) - set(domain)
+    if missing:
+        raise TableauError(f"target rows {sorted(missing)} are not part of the mapping's domain")
+    fixed = {index: index for index in targets}
+    assignment = find_homomorphism(tableau, rows=domain, default_targets=targets, fixed=fixed)
+    if assignment is None:
+        return None
+    mapping = RowMapping(tableau=tableau, assignment=assignment)
+    if rows is None:
+        # Full-domain mappings can be validated against the paper's conditions directly.
+        mapping.validate()
+    return mapping

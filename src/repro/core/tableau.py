@@ -1,0 +1,264 @@
+"""Tableaux of hypergraphs (Section 3 of the paper).
+
+In the paper's setting a *tableau* is a table whose columns correspond to the
+nodes of a hypergraph in a fixed order.  It has a *summary* row and one row
+per edge.  For each column (node) there is a *special symbol* which appears in
+exactly those rows whose edge contains the node.  Special symbols of *sacred*
+nodes also appear in the summary and are called *distinguished*.  Every other
+cell holds a symbol that appears nowhere else (rendered as a blank, following
+the paper's convention in Fig. 2).
+
+This module builds such tableaux from hypergraphs and renders them in the
+style of Figs. 2 and 3.  Row mappings live in :mod:`repro.core.row_mapping`
+and minimization / ``TR(H, X)`` in :mod:`repro.core.tableau_reduction`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from ..exceptions import TableauError
+from .hypergraph import Edge, Hypergraph
+from .nodes import Node, NodeSet, format_node_set, node_sort_key, sorted_nodes
+
+__all__ = ["Symbol", "SpecialSymbol", "UniqueSymbol", "TableauRow", "Tableau"]
+
+
+@dataclass(frozen=True)
+class SpecialSymbol:
+    """The special symbol of a column; appears in every row whose edge contains the node."""
+
+    column: Node
+
+    @property
+    def is_special(self) -> bool:
+        """Always ``True`` for special symbols."""
+        return True
+
+    def render(self) -> str:
+        """Lower-case rendering à la the paper (node ``A`` has special symbol ``a``)."""
+        text = str(self.column)
+        return text.lower() if text.upper() == text and len(text) == 1 else f"s({text})"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SpecialSymbol({self.column!r})"
+
+
+@dataclass(frozen=True)
+class UniqueSymbol:
+    """A symbol that appears in exactly one cell (rendered as a blank in the figures)."""
+
+    column: Node
+    row_index: int
+
+    @property
+    def is_special(self) -> bool:
+        """Always ``False`` for unique symbols."""
+        return False
+
+    def render(self) -> str:
+        """Rendered as ``b<row>·<column>`` when blanks are not used."""
+        return f"u{self.row_index}({self.column})"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"UniqueSymbol({self.column!r}, row={self.row_index})"
+
+
+Symbol = SpecialSymbol | UniqueSymbol
+
+
+@dataclass(frozen=True)
+class TableauRow:
+    """One row of the tableau, corresponding to one edge of the hypergraph."""
+
+    index: int
+    edge: Edge
+    cells: Mapping[Node, Symbol]
+
+    def symbol(self, column: Node) -> Symbol:
+        """The symbol in ``column`` of this row."""
+        try:
+            return self.cells[column]
+        except KeyError:
+            raise TableauError(f"column {column!r} does not exist in this tableau") from None
+
+    def columns_with_special(self) -> NodeSet:
+        """The columns in which this row carries the column's special symbol."""
+        return frozenset(column for column, symbol in self.cells.items()
+                         if isinstance(symbol, SpecialSymbol))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"TableauRow({self.index}, edge={format_node_set(self.edge)})"
+
+
+class Tableau:
+    """A tableau for a hypergraph with a chosen set of sacred nodes.
+
+    The tableau is immutable.  Row order follows the order the edges were
+    supplied in (which, for :meth:`from_hypergraph`, is the hypergraph's
+    deterministic edge order unless an explicit ``edge_order`` is given —
+    the figure reproductions pass the paper's ordering explicitly).
+    """
+
+    def __init__(self, columns: Sequence[Node], rows: Sequence[TableauRow],
+                 sacred: Iterable[Node] = (),
+                 hypergraph: Optional[Hypergraph] = None) -> None:
+        self._columns: Tuple[Node, ...] = tuple(columns)
+        if len(set(self._columns)) != len(self._columns):
+            raise TableauError("tableau columns must be distinct")
+        self._rows: Tuple[TableauRow, ...] = tuple(rows)
+        for row in self._rows:
+            if set(row.cells.keys()) != set(self._columns):
+                raise TableauError(
+                    f"row {row.index} does not assign a symbol to every column")
+        self._sacred: NodeSet = frozenset(sacred) & frozenset(self._columns)
+        self._hypergraph = hypergraph
+        self._occurrences: Dict[Symbol, Tuple[int, ...]] = {}
+        for row in self._rows:
+            for column in self._columns:
+                symbol = row.cells[column]
+                self._occurrences.setdefault(symbol, ())
+                self._occurrences[symbol] = self._occurrences[symbol] + (row.index,)
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_hypergraph(cls, hypergraph: Hypergraph, sacred: Iterable[Node] = (),
+                        *, edge_order: Optional[Sequence[Iterable[Node]]] = None,
+                        column_order: Optional[Sequence[Node]] = None) -> "Tableau":
+        """Build the tableau of ``hypergraph`` with the nodes of ``sacred`` distinguished.
+
+        ``edge_order`` fixes the row order (it must list exactly the edges of
+        the hypergraph); ``column_order`` fixes the column order.  Defaults are
+        the deterministic orders of the hypergraph.
+        """
+        if column_order is None:
+            columns: Tuple[Node, ...] = sorted_nodes(hypergraph.nodes)
+        else:
+            columns = tuple(column_order)
+            if frozenset(columns) != hypergraph.nodes:
+                raise TableauError("column_order must list exactly the hypergraph's nodes")
+        if edge_order is None:
+            edges: Tuple[Edge, ...] = hypergraph.edges
+        else:
+            edges = tuple(frozenset(edge) for edge in edge_order)
+            if frozenset(edges) != hypergraph.edge_set or len(edges) != hypergraph.num_edges:
+                raise TableauError("edge_order must list exactly the hypergraph's edges, once each")
+        rows: List[TableauRow] = []
+        for index, edge in enumerate(edges):
+            cells: Dict[Node, Symbol] = {}
+            for column in columns:
+                if column in edge:
+                    cells[column] = SpecialSymbol(column)
+                else:
+                    cells[column] = UniqueSymbol(column, index)
+            rows.append(TableauRow(index=index, edge=edge, cells=cells))
+        return cls(columns=columns, rows=rows, sacred=sacred, hypergraph=hypergraph)
+
+    # ------------------------------------------------------------------ #
+    # Accessors
+    # ------------------------------------------------------------------ #
+    @property
+    def columns(self) -> Tuple[Node, ...]:
+        """The columns (nodes) in their fixed order."""
+        return self._columns
+
+    @property
+    def rows(self) -> Tuple[TableauRow, ...]:
+        """The rows (one per edge)."""
+        return self._rows
+
+    @property
+    def sacred(self) -> NodeSet:
+        """The sacred nodes; their special symbols are the distinguished symbols."""
+        return self._sacred
+
+    @property
+    def hypergraph(self) -> Optional[Hypergraph]:
+        """The hypergraph the tableau was built from, when known."""
+        return self._hypergraph
+
+    @property
+    def num_rows(self) -> int:
+        """The number of rows."""
+        return len(self._rows)
+
+    def row(self, index: int) -> TableauRow:
+        """The row with the given index."""
+        for candidate in self._rows:
+            if candidate.index == index:
+                return candidate
+        raise TableauError(f"no row with index {index}")
+
+    def row_for_edge(self, edge: Iterable[Node]) -> TableauRow:
+        """The row corresponding to ``edge`` (exact set match)."""
+        target = frozenset(edge)
+        for candidate in self._rows:
+            if candidate.edge == target:
+                return candidate
+        raise TableauError(f"no row for edge {format_node_set(target)}")
+
+    def is_distinguished(self, symbol: Symbol) -> bool:
+        """``True`` for the special symbols of sacred columns."""
+        return isinstance(symbol, SpecialSymbol) and symbol.column in self._sacred
+
+    def summary(self) -> Dict[Node, Optional[Symbol]]:
+        """The summary row: distinguished symbols in their columns, ``None`` elsewhere."""
+        return {column: (SpecialSymbol(column) if column in self._sacred else None)
+                for column in self._columns}
+
+    def occurrences(self, symbol: Symbol) -> Tuple[int, ...]:
+        """Indices of the rows in which ``symbol`` appears (within this tableau)."""
+        return self._occurrences.get(symbol, ())
+
+    def repeated_symbols(self) -> Tuple[Symbol, ...]:
+        """Symbols appearing in two or more rows; in these tableaux they are always special."""
+        repeated = [symbol for symbol, rows in self._occurrences.items() if len(rows) >= 2]
+        repeated.sort(key=lambda s: (node_sort_key(s.column), not s.is_special))
+        return tuple(repeated)
+
+    def subtableau(self, row_indices: Iterable[int]) -> "Tableau":
+        """The tableau restricted to the rows with the given indices (same columns, same sacred set)."""
+        wanted = frozenset(row_indices)
+        kept = [row for row in self._rows if row.index in wanted]
+        if len(kept) != len(wanted):
+            missing = wanted - {row.index for row in kept}
+            raise TableauError(f"unknown row indices {sorted(missing)}")
+        return Tableau(columns=self._columns, rows=kept, sacred=self._sacred,
+                       hypergraph=self._hypergraph)
+
+    # ------------------------------------------------------------------ #
+    # Rendering (Figs. 2 and 3)
+    # ------------------------------------------------------------------ #
+    def render(self, *, blanks: bool = True, column_width: int = 6) -> str:
+        """Render the tableau as text in the style of Fig. 2.
+
+        With ``blanks=True`` (the paper's convention) symbols that appear
+        nowhere else are shown as blanks; otherwise their explicit names are
+        printed.  The summary row is shown first, between horizontal rules.
+        """
+        header = "".join(str(column).center(column_width) for column in self._columns)
+        rule = "-" * len(header)
+        summary_cells = []
+        for column in self._columns:
+            if column in self._sacred:
+                summary_cells.append(SpecialSymbol(column).render().center(column_width))
+            else:
+                summary_cells.append(" ".center(column_width))
+        lines = [header, rule, "".join(summary_cells), rule]
+        for row in self._rows:
+            cells = []
+            for column in self._columns:
+                symbol = row.cells[column]
+                if isinstance(symbol, UniqueSymbol) and blanks:
+                    cells.append(" ".center(column_width))
+                else:
+                    cells.append(symbol.render().center(column_width))
+            lines.append("".join(cells))
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (f"Tableau(columns={len(self._columns)}, rows={len(self._rows)}, "
+                f"sacred={format_node_set(self._sacred)})")

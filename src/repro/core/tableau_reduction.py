@@ -1,0 +1,196 @@
+"""Tableau reduction and ``TR(H, X)`` (Section 3 of the paper).
+
+``TR(H, X)`` is defined in three steps:
+
+(1) construct the tableau for ``H`` with the special symbols of the sacred
+    nodes ``X`` made distinguished;
+(2) reduce that tableau to the (unique up to renaming) minimal set of rows
+    that admits only identity row mappings and onto which the full set of rows
+    has a row mapping;
+(3) letting ``h`` be such a row mapping, ``TR(H, X) = h(H)``: take the edges
+    whose rows are in the target, and delete from them the nodes not in ``X``
+    that appear in only one of those edges.
+
+The minimal row set is the *core* of the tableau under row mappings (the
+finite Church–Rosser property of Aho–Sagiv–Ullman guarantees uniqueness); it
+is computed here by repeatedly folding rows away whenever a homomorphism into
+the remaining rows exists, and a witnessing full row mapping (a retraction
+onto the core) is produced at the end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+
+from ..exceptions import TableauError
+from .hypergraph import Edge, Hypergraph
+from .nodes import Node, NodeSet, format_node_set, maximal_sets, sorted_nodes
+from .row_mapping import RowMapping, find_homomorphism, find_retraction
+from .tableau import Tableau
+
+__all__ = [
+    "TableauReductionResult",
+    "minimal_rows",
+    "core_rows",
+    "partial_edges_from_target",
+    "tableau_reduction",
+    "tableau_reduce",
+    "canonical_row_mapping",
+]
+
+
+@dataclass(frozen=True)
+class TableauReductionResult:
+    """The full outcome of a tableau reduction.
+
+    Attributes
+    ----------
+    hypergraph:
+        The input hypergraph ``H``.
+    sacred:
+        The sacred node set ``X``.
+    tableau:
+        The tableau built in step (1).
+    target_rows:
+        The indices of the minimal row set found in step (2).
+    row_mapping:
+        A witnessing row mapping from all rows onto the target rows
+        (conditions (1)–(3) of Section 3 all hold).
+    partial_edges:
+        The partial edges of step (3), before removing subsumed ones.
+    result:
+        ``TR(H, X)`` as a (reduced) hypergraph.
+    """
+
+    hypergraph: Hypergraph
+    sacred: NodeSet
+    tableau: Tableau
+    target_rows: Tuple[int, ...]
+    row_mapping: RowMapping
+    partial_edges: Tuple[Edge, ...]
+    result: Hypergraph
+
+    @property
+    def target_edges(self) -> Tuple[Edge, ...]:
+        """The original edges whose rows form the minimal target subset."""
+        return tuple(self.tableau.row(index).edge for index in self.target_rows)
+
+    def maps_edge(self, edge: Iterable[Node]) -> Edge:
+        """``h(E)`` for the witnessing row mapping ``h``."""
+        return self.row_mapping.maps_edge(edge)
+
+    def describe(self) -> str:
+        """A multi-line report used by the examples and benchmarks."""
+        lines = [f"TR(H, X) for H = {self.hypergraph} and X = {format_node_set(self.sacred)}"]
+        lines.append(f"  minimal rows: {list(self.target_rows)} "
+                     f"(edges {', '.join(format_node_set(e) for e in self.target_edges)})")
+        lines.append(f"  row mapping: {self.row_mapping.describe()}")
+        lines.append(f"  TR(H, X) = {self.result}")
+        return "\n".join(lines)
+
+
+# --------------------------------------------------------------------------- #
+# Core computation
+# --------------------------------------------------------------------------- #
+def minimal_rows(tableau: Tableau) -> Tuple[int, ...]:
+    """Step (2): the minimal set of rows admitting only identity row mappings.
+
+    Implemented as a core computation: starting from all rows, repeatedly look
+    for a homomorphism (conditions (2) and (3), occurrence counts relative to
+    the current row set) from the current rows into the current rows minus one
+    row; when one exists the current set shrinks to the homomorphism's image.
+    When no row can be dropped the remaining set is the core — every
+    endomorphism of it is surjective, hence (being also injective on a finite
+    set and identity-forcing on distinguished symbols) only the identity
+    retraction exists, which is the paper's minimality condition.
+    """
+    current: List[int] = [row.index for row in tableau.rows]
+    changed = True
+    while changed and len(current) > 1:
+        changed = False
+        for candidate in list(current):
+            remaining = [index for index in current if index != candidate]
+            assignment = find_homomorphism(tableau, rows=current, default_targets=remaining)
+            if assignment is not None:
+                image = sorted(set(assignment.values()))
+                current = image
+                changed = True
+                break
+    return tuple(sorted(current))
+
+
+def core_rows(tableau: Tableau) -> Tuple[int, ...]:
+    """Alias for :func:`minimal_rows` using the standard "core" terminology."""
+    return minimal_rows(tableau)
+
+
+def canonical_row_mapping(tableau: Tableau, target_rows: Iterable[int]) -> RowMapping:
+    """A full row mapping (retraction) from all rows onto ``target_rows``.
+
+    Such a mapping exists whenever ``target_rows`` was produced by
+    :func:`minimal_rows`; a :class:`TableauError` is raised otherwise.
+    """
+    mapping = find_retraction(tableau, target_rows)
+    if mapping is None:
+        raise TableauError(
+            f"no row mapping from the full tableau onto rows {sorted(set(target_rows))} exists")
+    return mapping
+
+
+def partial_edges_from_target(tableau: Tableau, target_rows: Iterable[int],
+                              sacred: Iterable[Node]) -> Tuple[Edge, ...]:
+    """Step (3): trim the target edges into the partial edges of ``h(H)``.
+
+    From each target edge delete the nodes *not in X* that appear in only one
+    of the target edges.  (A non-distinguished special symbol appearing only
+    once does not cause its node to appear in a partial edge — Example 3.3.)
+    """
+    sacred_set = frozenset(sacred)
+    target = sorted(set(target_rows))
+    target_edges = [tableau.row(index).edge for index in target]
+    counts: Dict[Node, int] = {}
+    for edge in target_edges:
+        for node in edge:
+            counts[node] = counts.get(node, 0) + 1
+    trimmed: List[Edge] = []
+    for edge in target_edges:
+        kept = frozenset(node for node in edge
+                         if node in sacred_set or counts.get(node, 0) >= 2)
+        trimmed.append(kept)
+    return tuple(trimmed)
+
+
+def tableau_reduction(hypergraph: Hypergraph, sacred: Iterable[Node] = ()
+                      ) -> TableauReductionResult:
+    """Compute ``TR(H, X)`` and return the full :class:`TableauReductionResult`.
+
+    Sacred nodes outside the hypergraph are ignored (they have no column).
+    The resulting hypergraph is reduced: partial edges contained in others are
+    dropped and empty partial edges disappear, matching the paper's remark
+    that ``TR(H, X)`` "will always be a reduced hypergraph".
+    """
+    sacred_set = frozenset(sacred) & hypergraph.nodes
+    tableau = Tableau.from_hypergraph(hypergraph, sacred=sacred_set)
+    target = minimal_rows(tableau)
+    mapping = canonical_row_mapping(tableau, target)
+    partial = partial_edges_from_target(tableau, target, sacred_set)
+    non_empty = [edge for edge in partial if edge]
+    reduced_edges = maximal_sets(non_empty)
+    nodes = frozenset().union(*reduced_edges) if reduced_edges else frozenset()
+    result = Hypergraph(reduced_edges, nodes=nodes,
+                        name=f"TR({hypergraph.name or 'H'}, {format_node_set(sacred_set)})")
+    return TableauReductionResult(
+        hypergraph=hypergraph,
+        sacred=sacred_set,
+        tableau=tableau,
+        target_rows=target,
+        row_mapping=mapping,
+        partial_edges=partial,
+        result=result,
+    )
+
+
+def tableau_reduce(hypergraph: Hypergraph, sacred: Iterable[Node] = ()) -> Hypergraph:
+    """Convenience wrapper returning only the hypergraph ``TR(H, X)``."""
+    return tableau_reduction(hypergraph, sacred).result

@@ -1,0 +1,294 @@
+"""Executable statements of the paper's lemmas and theorems.
+
+Each ``check_*`` function returns ``True`` exactly when the corresponding
+statement holds for the supplied instance.  They are used three ways:
+
+* the unit tests pin them to the paper's worked examples;
+* the property-based tests assert them over random hypergraph families;
+* the benchmark harness sweeps them over generated workloads, which is this
+  reproduction's stand-in for the paper's (example-driven) evaluation.
+
+A ``check_*`` function returning ``False`` therefore means either a bug in the
+library or a counterexample to the paper — the tests treat both as failures.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from .acyclicity import is_acyclic
+from .articulation import articulation_sets, is_articulation_set
+from .canonical import canonical_connection, graham_connection
+from .components import components_after_removal, separates
+from .connecting_tree import ConnectingPath, ConnectingTree, independent_path_from_tree
+from .generated import is_node_generated
+from .graham import check_confluence, graham_reduction
+from .hypergraph import Edge, Hypergraph
+from .independent_path import find_independent_path
+from .nodes import Node, NodeSet, format_node_set, sorted_nodes
+from .tableau_reduction import tableau_reduction
+
+__all__ = [
+    "check_lemma_2_1",
+    "check_theorem_3_5",
+    "check_lemma_3_6",
+    "check_corollary_3_7",
+    "check_lemma_3_8",
+    "check_lemma_3_9",
+    "check_lemma_3_10",
+    "is_edge_ring",
+    "check_lemma_4_1",
+    "check_lemma_4_2",
+    "check_lemma_5_2",
+    "check_theorem_6_1",
+    "check_corollary_6_2",
+    "check_all",
+]
+
+
+def _non_empty_edge_family(hypergraph: Hypergraph) -> frozenset:
+    return frozenset(edge for edge in hypergraph.edges if edge)
+
+
+# --------------------------------------------------------------------------- #
+# Section 2
+# --------------------------------------------------------------------------- #
+def check_lemma_2_1(hypergraph: Hypergraph, sacred: Iterable[Node] = (), *,
+                    trials: int = 8, seed: int = 0) -> bool:
+    """Lemma 2.1: Graham reduction is finite Church–Rosser.
+
+    Checked empirically: the deterministic schedules and ``trials`` randomised
+    schedules all produce the same ``GR(H, X)``.
+    """
+    return check_confluence(hypergraph, sacred, trials=trials, seed=seed)
+
+
+# --------------------------------------------------------------------------- #
+# Section 3
+# --------------------------------------------------------------------------- #
+def check_theorem_3_5(hypergraph: Hypergraph, sacred: Iterable[Node] = ()) -> bool:
+    """Theorem 3.5: for acyclic ``H``, ``GR(H, X) = TR(H, X)``.
+
+    Vacuously ``True`` for cyclic hypergraphs (the theorem's hypothesis fails;
+    the paper's own counterexample shows the equality genuinely breaks there).
+    Empty partial edges are ignored on the Graham side: reducing with no sacred
+    nodes legitimately leaves a single empty edge behind.
+    """
+    if not is_acyclic(hypergraph):
+        return True
+    graham_side = _non_empty_edge_family(graham_connection(hypergraph, sacred))
+    tableau_side = _non_empty_edge_family(tableau_reduction(hypergraph, sacred).result)
+    return graham_side == tableau_side
+
+
+def check_lemma_3_6(hypergraph: Hypergraph, sacred: Iterable[Node] = ()) -> bool:
+    """Lemma 3.6: ``TR(H, X)`` is a node-generated set of edges (of any ``H``)."""
+    result = tableau_reduction(hypergraph, sacred).result
+    return is_node_generated(hypergraph, result)
+
+
+def check_corollary_3_7(hypergraph: Hypergraph, sacred: Iterable[Node] = ()) -> bool:
+    """Corollary 3.7: if ``H`` is acyclic, so is ``TR(H, X)``.
+
+    Vacuously ``True`` for cyclic ``H``.
+    """
+    if not is_acyclic(hypergraph):
+        return True
+    return is_acyclic(tableau_reduction(hypergraph, sacred).result)
+
+
+def check_lemma_3_8(hypergraph: Hypergraph, smaller: Iterable[Node],
+                    larger: Iterable[Node]) -> bool:
+    """Lemma 3.8: ``X ⊆ Y`` implies ``TR(H, X) ⊆ TR(H, Y)``.
+
+    Containment of node-generated families is read as: every partial edge of
+    ``TR(H, X)`` is a subset of some partial edge of ``TR(H, Y)`` (hence, in
+    particular, the node sets are contained).  Returns ``True`` vacuously when
+    ``X ⊄ Y``.
+    """
+    smaller_set = frozenset(smaller)
+    larger_set = frozenset(larger)
+    if not smaller_set <= larger_set:
+        return True
+    small_result = tableau_reduction(hypergraph, smaller_set).result
+    large_result = tableau_reduction(hypergraph, larger_set).result
+    for edge in small_result.edges:
+        if not any(edge <= other for other in large_result.edges):
+            return False
+    return small_result.nodes <= large_result.nodes
+
+
+def check_lemma_3_9(hypergraph: Hypergraph, sacred: Iterable[Node] = ()) -> bool:
+    """Lemma 3.9: if ``h(E)`` does not contain ``n`` for some edge ``E ∋ n``,
+    then ``n`` does not appear in ``TR(H, X)``.
+
+    Checked for the witnessing row mapping computed by the reduction.
+    """
+    reduction = tableau_reduction(hypergraph, sacred)
+    result_nodes = reduction.result.nodes
+    for edge in hypergraph.edges:
+        image = reduction.maps_edge(edge)
+        for node in edge:
+            if node not in image and node in result_nodes:
+                return False
+    return True
+
+
+def check_lemma_3_10(hypergraph: Hypergraph, sacred: Iterable[Node] = ()) -> bool:
+    """Lemma 3.10: for an articulation set ``Y`` and a component ``A`` of ``H − Y``
+    with ``X ∩ A = ∅``, ``TR(H, X)`` contains no node of ``A``.
+
+    Checked for every articulation set of ``H`` and every such component.
+    """
+    sacred_set = frozenset(sacred)
+    result_nodes = tableau_reduction(hypergraph, sacred_set).result.nodes
+    for articulation in articulation_sets(hypergraph):
+        for component in components_after_removal(hypergraph, articulation):
+            if sacred_set & component:
+                continue
+            if result_nodes & component:
+                return False
+    return True
+
+
+# --------------------------------------------------------------------------- #
+# Section 4
+# --------------------------------------------------------------------------- #
+def is_edge_ring(hypergraph: Hypergraph, sets: Sequence[Iterable[Node]]) -> bool:
+    """Check the hypotheses of Lemma 4.1 for a cyclic arrangement of node sets.
+
+    ``sets`` is read cyclically: there must be at least three sets, all
+    non-empty and pairwise distinct, every cyclically-consecutive pair must be
+    contained within a single edge of the hypergraph, and no edge may contain
+    three or more of the sets.
+    """
+    frozen = [frozenset(item) for item in sets]
+    if len(frozen) < 3:
+        return False
+    if any(not item for item in frozen):
+        return False
+    if len(set(frozen)) != len(frozen):
+        return False
+    count = len(frozen)
+    for index in range(count):
+        pair = frozen[index] | frozen[(index + 1) % count]
+        if not any(pair <= edge for edge in hypergraph.edges):
+            return False
+    for edge in hypergraph.edges:
+        if sum(1 for item in frozen if item <= edge) >= 3:
+            return False
+    return True
+
+
+def check_lemma_4_1(hypergraph: Hypergraph, sets: Sequence[Iterable[Node]]) -> bool:
+    """Lemma 4.1: a ring of ≥ 3 node sets (no edge containing three of them) forces cyclicity.
+
+    Returns ``True`` vacuously when ``sets`` does not satisfy the ring
+    hypotheses; otherwise the hypergraph must be cyclic.  (Fig. 1 shows why
+    the "no edge contains three of the sets" condition is needed: its three
+    outer edges form a ring, but the edge ``{A, C, E}`` contains three of the
+    pairwise intersections, and the hypergraph is acyclic.)
+    """
+    if not is_edge_ring(hypergraph, sets):
+        return True
+    return not is_acyclic(hypergraph)
+
+
+def check_lemma_4_2(hypergraph: Hypergraph, sacred: Iterable[Node] = ()) -> bool:
+    """Lemma 4.2: articulation sets of ``TR(H, X)`` behave like articulation sets of ``H``.
+
+    For every articulation set ``Y`` of ``TR(H, X)``: (a) ``Y`` is the
+    intersection of two edges of ``H``; (b) node sets separated by removing
+    ``Y`` from ``TR(H, X)`` are also separated by removing ``Y`` from ``H``.
+    The lemma is stated (and used) for acyclic ``H``; the check is vacuous for
+    cyclic inputs.
+    """
+    if not is_acyclic(hypergraph):
+        return True
+    result = tableau_reduction(hypergraph, sacred).result
+    for articulation in articulation_sets(result):
+        # (a) Y must also be an intersection of two *original* edges.
+        found = False
+        edges = hypergraph.edges
+        for i, left in enumerate(edges):
+            for right in edges[i + 1:]:
+                if left & right == articulation:
+                    found = True
+                    break
+            if found:
+                break
+        if not found:
+            return False
+        # (b) components of TR(H, X) − Y stay separated in H − Y.
+        pieces = components_after_removal(result, articulation)
+        for i, first in enumerate(pieces):
+            for second in pieces[i + 1:]:
+                if not separates(hypergraph, articulation, first, second):
+                    return False
+    return True
+
+
+# --------------------------------------------------------------------------- #
+# Sections 5 and 6
+# --------------------------------------------------------------------------- #
+def check_lemma_5_2(tree: ConnectingTree) -> bool:
+    """Lemma 5.2: an independent tree yields an independent path (for the same hypergraph).
+
+    Vacuously ``True`` when the supplied connecting tree is not independent
+    (or not a valid connecting tree at all).
+    """
+    if not tree.is_connecting_tree():
+        return True
+    if not tree.is_independent():
+        return True
+    path = independent_path_from_tree(tree)
+    return path is not None and path.is_independent()
+
+
+def check_theorem_6_1(hypergraph: Hypergraph) -> bool:
+    """Theorem 6.1: ``H`` is acyclic iff no pair of node sets has an independent path.
+
+    The certificate search only returns *verified* independent paths, so the
+    check is meaningful in both directions: acyclic hypergraphs must yield no
+    certificate, cyclic hypergraphs must yield one.
+    """
+    certificate = find_independent_path(hypergraph)
+    if is_acyclic(hypergraph):
+        return certificate is None
+    return certificate is not None
+
+
+def check_corollary_6_2(hypergraph: Hypergraph) -> bool:
+    """Corollary 6.2: ``H`` is acyclic iff it has no independent trees.
+
+    An independent path is an independent tree, and Lemma 5.2 turns any
+    independent tree into an independent path, so the corollary reduces to
+    Theorem 6.1; the check additionally confirms that a found certificate is a
+    valid (independent) connecting *tree*.
+    """
+    certificate = find_independent_path(hypergraph)
+    if is_acyclic(hypergraph):
+        return certificate is None
+    if certificate is None:
+        return False
+    return certificate.path.is_connecting_tree() and certificate.path.is_independent()
+
+
+def check_all(hypergraph: Hypergraph, sacred: Iterable[Node] = ()) -> Dict[str, bool]:
+    """Run every per-hypergraph check and return a name → outcome mapping.
+
+    Used by the lemma-sweep benchmark (experiment E-LEMMAS) and by the
+    integration tests.
+    """
+    sacred_set = frozenset(sacred)
+    return {
+        "lemma_2_1": check_lemma_2_1(hypergraph, sacred_set),
+        "theorem_3_5": check_theorem_3_5(hypergraph, sacred_set),
+        "lemma_3_6": check_lemma_3_6(hypergraph, sacred_set),
+        "corollary_3_7": check_corollary_3_7(hypergraph, sacred_set),
+        "lemma_3_9": check_lemma_3_9(hypergraph, sacred_set),
+        "lemma_3_10": check_lemma_3_10(hypergraph, sacred_set),
+        "lemma_4_2": check_lemma_4_2(hypergraph, sacred_set),
+        "theorem_6_1": check_theorem_6_1(hypergraph),
+        "corollary_6_2": check_corollary_6_2(hypergraph),
+    }

@@ -1,0 +1,55 @@
+"""Workload generators: the paper's figures, random hypergraphs, and synthetic databases."""
+
+from .classic import (
+    cyclic_counterexample,
+    cyclic_counterexample_sacred,
+    cyclic_supplier_schema,
+    example_5_1_hypergraph,
+    example_5_1_independent_tree_sets,
+    example_5_1_sacred,
+    figure_1,
+    figure_1_expected_reduction,
+    figure_1_sacred,
+    figure_5,
+    figure_5_endpoints,
+    paper_hypergraphs,
+    square_cycle,
+    supplier_part_schema,
+    triangle,
+    triangle_with_covering_edge,
+    university_schema,
+)
+from .random_hypergraphs import (
+    chain_hypergraph,
+    mutate_to_cyclic,
+    node_names,
+    random_acyclic_hypergraph,
+    random_cyclic_hypergraph,
+    random_hypergraph,
+    random_sacred_set,
+    ring_hypergraph,
+    star_hypergraph,
+)
+from .workloads import (
+    add_dangling_tuples,
+    generate_consistent_database,
+    generate_database,
+    query_attribute_workload,
+)
+
+__all__ = [
+    # figures / classics
+    "figure_1", "figure_1_sacred", "figure_1_expected_reduction",
+    "cyclic_counterexample", "cyclic_counterexample_sacred",
+    "figure_5", "figure_5_endpoints",
+    "example_5_1_hypergraph", "example_5_1_sacred", "example_5_1_independent_tree_sets",
+    "triangle", "square_cycle", "triangle_with_covering_edge", "paper_hypergraphs",
+    "university_schema", "supplier_part_schema", "cyclic_supplier_schema",
+    # random hypergraphs
+    "node_names", "random_acyclic_hypergraph", "random_cyclic_hypergraph",
+    "random_hypergraph", "random_sacred_set", "mutate_to_cyclic",
+    "chain_hypergraph", "star_hypergraph", "ring_hypergraph",
+    # relational workloads
+    "generate_database", "generate_consistent_database", "add_dangling_tuples",
+    "query_attribute_workload",
+]

@@ -1,0 +1,173 @@
+"""The paper's figures and a few classic database schemas, as ready-made objects.
+
+Every figure of the paper that depicts a hypergraph is available here as a
+constructor returning a named :class:`~repro.core.hypergraph.Hypergraph`,
+together with the sacred sets and expected results of the worked examples, so
+tests and benchmarks can refer to "Fig. 1" directly.
+
+Fig. 5 is a reconstruction: the paper describes the phenomenon ("two apparent
+paths between A and F — either the second or the third edge may be
+eliminated") but does not list the edge set in the text; the 4-edge acyclic
+chain used here exhibits exactly the stated behaviour (see DESIGN.md §5).
+Figures 4, 7 and 8 are proof diagrams with no edge sets to reproduce.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Tuple
+
+from ..core.hypergraph import Hypergraph
+from ..core.nodes import NodeSet
+from ..relational.schema import DatabaseSchema, RelationSchema
+
+__all__ = [
+    "figure_1",
+    "figure_1_sacred",
+    "figure_1_expected_reduction",
+    "cyclic_counterexample",
+    "cyclic_counterexample_sacred",
+    "figure_5",
+    "figure_5_endpoints",
+    "example_5_1_hypergraph",
+    "example_5_1_sacred",
+    "example_5_1_independent_tree_sets",
+    "triangle",
+    "square_cycle",
+    "triangle_with_covering_edge",
+    "paper_hypergraphs",
+    "university_schema",
+    "supplier_part_schema",
+    "cyclic_supplier_schema",
+]
+
+
+# --------------------------------------------------------------------------- #
+# Figures and worked examples of the paper
+# --------------------------------------------------------------------------- #
+def figure_1() -> Hypergraph:
+    """Fig. 1: the acyclic hypergraph with edges {A,B,C}, {C,D,E}, {A,E,F}, {A,C,E}."""
+    return Hypergraph.from_compact(["ABC", "CDE", "AEF", "ACE"], name="Fig. 1")
+
+
+def figure_1_sacred() -> NodeSet:
+    """The sacred set X = {A, D} used in Examples 2.2, 3.1 and 3.3."""
+    return frozenset({"A", "D"})
+
+
+def figure_1_expected_reduction() -> FrozenSet[FrozenSet[str]]:
+    """The result of Examples 2.2 / 3.3: GR(H, {A,D}) = TR(H, {A,D}) = {{A,C,E}, {C,D,E}}."""
+    return frozenset({frozenset("ACE"), frozenset("CDE")})
+
+
+def cyclic_counterexample() -> Hypergraph:
+    """The cyclic example after Theorem 3.5: edges {A,B}, {A,C}, {B,C}, {A,D}.
+
+    With only ``D`` sacred, tableau reduction collapses to {{D}} while Graham
+    reduction cannot remove anything — the theorem genuinely needs acyclicity.
+    """
+    return Hypergraph.from_compact(["AB", "AC", "BC", "AD"], name="cyclic counterexample")
+
+
+def cyclic_counterexample_sacred() -> NodeSet:
+    """The sacred set {D} of the post-Theorem-3.5 example."""
+    return frozenset({"D"})
+
+
+def figure_5() -> Hypergraph:
+    """Fig. 5 (reconstructed): an acyclic hypergraph with two apparent paths between A and F.
+
+    The chain {A,B,C}, {B,C,D}, {C,D,E}, {D,E,F} is acyclic, the canonical
+    connection CC({A, F}) contains all four edges, and yet either of the two
+    interior edges can be dropped while A and F stay connected — the
+    phenomenon the figure illustrates and the Section 7 footnote warns about.
+    """
+    return Hypergraph.from_compact(["ABC", "BCD", "CDE", "DEF"], name="Fig. 5")
+
+
+def figure_5_endpoints() -> Tuple[str, str]:
+    """The two nodes between which Fig. 5 exhibits two apparent paths."""
+    return ("A", "F")
+
+
+def example_5_1_hypergraph() -> Hypergraph:
+    """Example 5.1 / Fig. 6: the hypergraph of Fig. 1 with edge {A,C,E} removed."""
+    return Hypergraph.from_compact(["ABC", "CDE", "AEF"], name="Example 5.1")
+
+
+def example_5_1_sacred() -> NodeSet:
+    """The set X = {A, C} of Example 5.1 (CC(X) = {{A, C}})."""
+    return frozenset({"A", "C"})
+
+
+def example_5_1_independent_tree_sets() -> Tuple[FrozenSet[str], ...]:
+    """The sets {{A}, {E}, {C}} forming the independent tree/path of Fig. 6."""
+    return (frozenset({"A"}), frozenset({"E"}), frozenset({"C"}))
+
+
+def triangle() -> Hypergraph:
+    """The 3-cycle {A,B}, {B,C}, {C,A} — the smallest cyclic hypergraph."""
+    return Hypergraph.from_compact(["AB", "BC", "CA"], name="triangle")
+
+
+def square_cycle() -> Hypergraph:
+    """The 4-cycle {A,B}, {B,C}, {C,D}, {D,A}."""
+    return Hypergraph.from_compact(["AB", "BC", "CD", "DA"], name="square")
+
+
+def triangle_with_covering_edge() -> Hypergraph:
+    """{A,B}, {B,C}, {C,A}, {A,B,C}: α-acyclic but not β-acyclic (and not Berge-acyclic)."""
+    return Hypergraph.from_compact(["AB", "BC", "CA", "ABC"], name="covered triangle")
+
+
+def paper_hypergraphs() -> Dict[str, Hypergraph]:
+    """Every named hypergraph of the paper (plus the small classics), keyed by label."""
+    return {
+        "fig1": figure_1(),
+        "fig5": figure_5(),
+        "example_5_1": example_5_1_hypergraph(),
+        "cyclic_counterexample": cyclic_counterexample(),
+        "triangle": triangle(),
+        "square": square_cycle(),
+        "covered_triangle": triangle_with_covering_edge(),
+    }
+
+
+# --------------------------------------------------------------------------- #
+# Classic database schemas used by the examples and the E-UR / E-JOIN benchmarks
+# --------------------------------------------------------------------------- #
+def university_schema() -> DatabaseSchema:
+    """An acyclic "university" schema in the spirit of the universal-relation papers.
+
+    Objects: ENROL(Student, Course), TEACHES(Course, Teacher),
+    MEETS(Course, Room, Hour), LIVES(Student, Dorm).  The object hypergraph is
+    acyclic, so every window query has a uniquely defined connection.
+    """
+    return DatabaseSchema.from_dict({
+        "ENROL": ("Student", "Course"),
+        "TEACHES": ("Course", "Teacher"),
+        "MEETS": ("Course", "Room", "Hour"),
+        "LIVES": ("Student", "Dorm"),
+    }, name="university")
+
+
+def supplier_part_schema() -> DatabaseSchema:
+    """An acyclic supplier–part–project schema (chain-shaped objects)."""
+    return DatabaseSchema.from_dict({
+        "SUPPLIES": ("Supplier", "Part"),
+        "USED_IN": ("Part", "Project"),
+        "LOCATED": ("Project", "City"),
+        "SUPPLIER_INFO": ("Supplier", "SCity", "Status"),
+    }, name="supplier-part")
+
+
+def cyclic_supplier_schema() -> DatabaseSchema:
+    """A cyclic variant: Supplier–Part, Part–Project, Project–Supplier form a 3-cycle.
+
+    The canonical connection of {Supplier, Project} is then *not* uniquely
+    defined, which is the situation the paper's Section 7 warns about.
+    """
+    return DatabaseSchema.from_dict({
+        "SUPPLIES": ("Supplier", "Part"),
+        "USED_IN": ("Part", "Project"),
+        "SERVES": ("Project", "Supplier"),
+    }, name="cyclic supplier")

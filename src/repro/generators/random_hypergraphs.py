@@ -1,0 +1,232 @@
+"""Random hypergraph generators for the property tests and benchmark sweeps.
+
+The paper has no experimental workload of its own (its evaluation is by
+worked example), so the theorem-scale experiments sweep generated families:
+
+* :func:`random_acyclic_hypergraph` grows a hypergraph along a random join
+  tree, which guarantees α-acyclicity by construction;
+* :func:`random_cyclic_hypergraph` plants a cycle (a ring of partially
+  overlapping edges with no covering edge) and pads it with acyclic growth,
+  guaranteeing cyclicity by construction;
+* :func:`random_hypergraph` is an unconstrained Erdős–Rényi-style generator
+  whose acyclicity is whatever it happens to be (useful for unbiased property
+  tests);
+* :func:`mutate_to_cyclic` adds a single cycle-creating edge to an acyclic
+  hypergraph, for before/after comparisons.
+
+All generators take an explicit ``random.Random`` (or a seed) so every test
+and benchmark is reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from ..core.acyclicity import is_acyclic
+from ..core.hypergraph import Hypergraph
+from ..core.nodes import Node, sorted_nodes
+from ..exceptions import GenerationError
+
+__all__ = [
+    "node_names",
+    "random_acyclic_hypergraph",
+    "random_cyclic_hypergraph",
+    "random_hypergraph",
+    "random_sacred_set",
+    "mutate_to_cyclic",
+    "chain_hypergraph",
+    "star_hypergraph",
+    "ring_hypergraph",
+]
+
+
+def _rng(seed_or_rng: int | random.Random | None) -> random.Random:
+    if isinstance(seed_or_rng, random.Random):
+        return seed_or_rng
+    return random.Random(seed_or_rng)
+
+
+def node_names(count: int, *, prefix: str = "N") -> Tuple[str, ...]:
+    """``count`` distinct node names: single letters when they suffice, ``N1, N2, …`` otherwise."""
+    letters = "ABCDEFGHIJKLMNOPQRSTUVWXYZ"
+    if count <= len(letters):
+        return tuple(letters[:count])
+    return tuple(f"{prefix}{index}" for index in range(1, count + 1))
+
+
+def random_acyclic_hypergraph(num_edges: int, *, max_arity: int = 4,
+                              seed: int | random.Random | None = 0,
+                              name: Optional[str] = None) -> Hypergraph:
+    """Generate an α-acyclic hypergraph with ``num_edges`` edges.
+
+    Construction: start from one random edge; every further edge picks an
+    existing edge as its join-tree parent, reuses a non-empty subset of the
+    parent's nodes as separator, and pads with fresh nodes.  The running
+    intersection property holds by construction, so the result is acyclic.
+    """
+    if num_edges < 1:
+        raise GenerationError("an acyclic hypergraph needs at least one edge")
+    if max_arity < 1:
+        raise GenerationError("max_arity must be at least 1")
+    rng = _rng(seed)
+    fresh = iter(node_names(num_edges * max_arity + max_arity))
+    first_arity = rng.randint(1, max_arity)
+    edges: List[frozenset] = [frozenset(next(fresh) for _ in range(first_arity))]
+    for _ in range(num_edges - 1):
+        parent = rng.choice(edges)
+        parent_nodes = sorted_nodes(parent)
+        separator_size = rng.randint(1, min(len(parent_nodes), max(1, max_arity - 1)))
+        separator = rng.sample(list(parent_nodes), separator_size)
+        fresh_count = rng.randint(0 if separator_size > 0 else 1,
+                                  max(0, max_arity - separator_size))
+        new_edge = frozenset(separator) | frozenset(next(fresh) for _ in range(fresh_count))
+        edges.append(new_edge)
+    return Hypergraph(edges, name=name or f"acyclic({num_edges})")
+
+
+def ring_hypergraph(length: int, *, arity: int = 2, overlap: int = 1,
+                    prefix: str = "R", name: Optional[str] = None) -> Hypergraph:
+    """A ring of ``length`` edges, each overlapping the next in ``overlap`` nodes.
+
+    For ``length ≥ 3`` (and ``overlap < arity``) the ring is cyclic: no edge
+    contains another, no articulation set exists, and GYO gets stuck.
+    """
+    if length < 3:
+        raise GenerationError("a ring needs at least three edges")
+    if overlap >= arity:
+        raise GenerationError("overlap must be smaller than the edge arity")
+    # Lay out nodes around a circle; edge i covers a window of `arity` nodes
+    # starting at position i * (arity - overlap).
+    step = arity - overlap
+    total_nodes = length * step
+    nodes = [f"{prefix}{index}" for index in range(total_nodes)]
+    edges = []
+    for index in range(length):
+        start = index * step
+        edge = frozenset(nodes[(start + offset) % total_nodes] for offset in range(arity))
+        edges.append(edge)
+    return Hypergraph(edges, name=name or f"ring({length})")
+
+
+def chain_hypergraph(length: int, *, arity: int = 3, overlap: int = 2,
+                     prefix: str = "C", name: Optional[str] = None) -> Hypergraph:
+    """A chain of ``length`` overlapping edges (an interval hypergraph; always acyclic).
+
+    Fig. 5's reconstruction is ``chain_hypergraph(4, arity=3, overlap=2)`` up
+    to renaming.
+    """
+    if length < 1:
+        raise GenerationError("a chain needs at least one edge")
+    if overlap >= arity:
+        raise GenerationError("overlap must be smaller than the edge arity")
+    step = arity - overlap
+    total_nodes = arity + step * (length - 1)
+    nodes = [f"{prefix}{index}" for index in range(total_nodes)]
+    edges = []
+    for index in range(length):
+        start = index * step
+        edges.append(frozenset(nodes[start:start + arity]))
+    return Hypergraph(edges, name=name or f"chain({length})")
+
+
+def star_hypergraph(rays: int, *, arity: int = 2, prefix: str = "S",
+                    name: Optional[str] = None) -> Hypergraph:
+    """A star: ``rays`` edges all sharing one central node (always acyclic)."""
+    if rays < 1:
+        raise GenerationError("a star needs at least one ray")
+    centre = f"{prefix}0"
+    edges = []
+    for index in range(1, rays + 1):
+        edge = {centre} | {f"{prefix}{index}_{offset}" for offset in range(1, arity)}
+        edges.append(frozenset(edge))
+    return Hypergraph(edges, name=name or f"star({rays})")
+
+
+def random_cyclic_hypergraph(num_edges: int, *, max_arity: int = 4,
+                             seed: int | random.Random | None = 0,
+                             name: Optional[str] = None) -> Hypergraph:
+    """Generate a cyclic hypergraph: a planted ring plus random acyclic growth.
+
+    At least three edges are required.  The planted ring guarantees a
+    node-generated sub-hypergraph with no articulation set, so the result is
+    cyclic regardless of the added edges; the construction is verified with
+    the GYO test and re-tried with more overlap in the (rare) case padding
+    accidentally covers the ring.
+    """
+    if num_edges < 3:
+        raise GenerationError("a cyclic hypergraph needs at least three edges")
+    rng = _rng(seed)
+    ring_length = rng.randint(3, max(3, min(num_edges, 5)))
+    core = ring_hypergraph(ring_length, arity=max(2, min(3, max_arity)), overlap=1,
+                           prefix="Q")
+    edges = list(core.edges)
+    fresh_names = (f"Z{index}" for index in range(1, num_edges * max_arity + 1))
+    while len(edges) < num_edges:
+        parent = rng.choice(edges)
+        parent_nodes = sorted_nodes(parent)
+        separator_size = rng.randint(1, min(len(parent_nodes), max(1, max_arity - 1)))
+        separator = rng.sample(list(parent_nodes), separator_size)
+        fresh_count = rng.randint(1, max(1, max_arity - separator_size))
+        new_edge = frozenset(separator) | frozenset(next(fresh_names) for _ in range(fresh_count))
+        if any(new_edge >= existing for existing in edges):
+            continue
+        edges.append(new_edge)
+    result = Hypergraph(edges, name=name or f"cyclic({num_edges})")
+    if is_acyclic(result):  # pragma: no cover - the planted ring prevents this
+        raise GenerationError("failed to generate a cyclic hypergraph")
+    return result
+
+
+def random_hypergraph(num_nodes: int, num_edges: int, *, max_arity: int = 4,
+                      min_arity: int = 1, seed: int | random.Random | None = 0,
+                      name: Optional[str] = None) -> Hypergraph:
+    """An unconstrained random hypergraph (acyclic or cyclic, as luck has it)."""
+    if num_nodes < 1 or num_edges < 1:
+        raise GenerationError("random_hypergraph needs at least one node and one edge")
+    if min_arity > max_arity:
+        raise GenerationError("min_arity cannot exceed max_arity")
+    rng = _rng(seed)
+    nodes = list(node_names(num_nodes))
+    edges = []
+    for _ in range(num_edges):
+        arity = rng.randint(min_arity, min(max_arity, num_nodes))
+        edges.append(frozenset(rng.sample(nodes, arity)))
+    return Hypergraph(edges, name=name or f"random({num_nodes},{num_edges})")
+
+
+def random_sacred_set(hypergraph: Hypergraph, *, max_size: int = 3,
+                      seed: int | random.Random | None = 0) -> frozenset:
+    """A random subset of the hypergraph's nodes to use as sacred / query attributes."""
+    rng = _rng(seed)
+    nodes = list(sorted_nodes(hypergraph.nodes))
+    if not nodes:
+        return frozenset()
+    size = rng.randint(1, min(max_size, len(nodes)))
+    return frozenset(rng.sample(nodes, size))
+
+
+def mutate_to_cyclic(hypergraph: Hypergraph, *, seed: int | random.Random | None = 0
+                     ) -> Hypergraph:
+    """Plant a triangle among existing nodes so that the result is cyclic.
+
+    Three existing nodes are picked and linked pairwise by three new 2-node
+    edges; unless an existing edge already covers the triple, the triangle is
+    a cyclic core.  Raises :class:`GenerationError` when the hypergraph is too
+    small (or too densely covered) to be made cyclic this way.
+    """
+    rng = _rng(seed)
+    nodes = list(sorted_nodes(hypergraph.nodes))
+    if len(nodes) < 3:
+        raise GenerationError("need at least three nodes to plant a cycle")
+    for _ in range(200):
+        picked = rng.sample(nodes, 3)
+        first, second, third = picked
+        candidate = hypergraph.add_edges([
+            frozenset({first, second}),
+            frozenset({second, third}),
+            frozenset({third, first}),
+        ])
+        if not is_acyclic(candidate):
+            return candidate.with_name(f"{hypergraph.name or 'H'}+cycle")
+    raise GenerationError("could not make the hypergraph cyclic by planting a triangle")

@@ -1,0 +1,123 @@
+"""Synthetic relational data and query workloads for the Section 7 experiments.
+
+The paper's database claims are about query *semantics*, not about a concrete
+data set, so the E-UR and E-JOIN experiments run on synthetic instances whose
+parameters (tuples per relation, value skew, fraction of dangling tuples) are
+explicit.  Dangling tuples are what separates naive join plans from semijoin-
+reduced ones, so the generator controls them directly.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from ..core.nodes import sorted_nodes
+from ..exceptions import GenerationError
+from ..relational.database import Database
+from ..relational.relation import Relation
+from ..relational.schema import Attribute, DatabaseSchema
+
+__all__ = [
+    "generate_database",
+    "generate_consistent_database",
+    "add_dangling_tuples",
+    "query_attribute_workload",
+]
+
+
+def _rng(seed_or_rng: int | random.Random | None) -> random.Random:
+    if isinstance(seed_or_rng, random.Random):
+        return seed_or_rng
+    return random.Random(seed_or_rng)
+
+
+def generate_consistent_database(schema: DatabaseSchema, *, universe_rows: int = 50,
+                                 domain_size: int = 12,
+                                 seed: int | random.Random | None = 0) -> Database:
+    """Generate a globally consistent database over ``schema``.
+
+    A synthetic universal relation with ``universe_rows`` rows over the
+    schema's full attribute set is generated first; every relation instance is
+    then its projection onto the relation's scheme.  By construction every
+    stored tuple participates in the universal join (no dangling tuples), so
+    the database is globally — hence also pairwise — consistent.
+    """
+    rng = _rng(seed)
+    attributes = tuple(sorted_nodes(schema.attributes))
+    if not attributes:
+        raise GenerationError("the schema has no attributes")
+    universe: List[Dict[Attribute, Any]] = []
+    for _ in range(universe_rows):
+        universe.append({attribute: f"{attribute}{rng.randint(1, domain_size)}"
+                         for attribute in attributes})
+    rows: Dict[str, List[Dict[Attribute, Any]]] = {}
+    for relation_schema in schema:
+        projected = [{attribute: row[attribute] for attribute in relation_schema.attributes}
+                     for row in universe]
+        rows[relation_schema.name] = projected
+    return Database.from_rows(schema, rows)
+
+
+def add_dangling_tuples(database: Database, *, fraction: float = 0.5,
+                        seed: int | random.Random | None = 0) -> Database:
+    """Add dangling tuples to every relation of a database.
+
+    For each relation, ``fraction`` × (current size) new tuples are added
+    whose values are fresh (never used elsewhere), so they cannot join with
+    anything — they are exactly the tuples a full reducer removes and the
+    tuples that blow up naive join plans' intermediate sizes the least but
+    waste their scans; more importantly they make the database globally
+    inconsistent, which is what distinguishes the two universal-relation
+    semantics in E-UR.
+    """
+    if fraction < 0:
+        raise GenerationError("fraction must be non-negative")
+    rng = _rng(seed)
+    current = database
+    counter = 0
+    for relation in database.relations():
+        extra_count = int(len(relation) * fraction)
+        extra_rows = []
+        for _ in range(extra_count):
+            counter += 1
+            extra_rows.append({attribute: f"dangling-{attribute}-{counter}-{rng.randint(0, 10**6)}"
+                               for attribute in relation.attributes})
+        if extra_rows:
+            current = current.with_relation(relation.add_rows(extra_rows))
+    return current
+
+
+def generate_database(schema: DatabaseSchema, *, universe_rows: int = 50,
+                      domain_size: int = 12, dangling_fraction: float = 0.0,
+                      seed: int | random.Random | None = 0) -> Database:
+    """Generate a database with a controlled fraction of dangling tuples.
+
+    ``dangling_fraction = 0`` yields a globally consistent instance (see
+    :func:`generate_consistent_database`); larger values add that fraction of
+    non-joining tuples per relation.
+    """
+    rng = _rng(seed)
+    consistent = generate_consistent_database(schema, universe_rows=universe_rows,
+                                              domain_size=domain_size, seed=rng)
+    if dangling_fraction <= 0:
+        return consistent
+    return add_dangling_tuples(consistent, fraction=dangling_fraction, seed=rng)
+
+
+def query_attribute_workload(schema: DatabaseSchema, *, queries: int = 10,
+                             min_attributes: int = 1, max_attributes: int = 3,
+                             seed: int | random.Random | None = 0
+                             ) -> Tuple[Tuple[Attribute, ...], ...]:
+    """A workload of attribute sets to pose as universal-relation window queries."""
+    rng = _rng(seed)
+    attributes = list(sorted_nodes(schema.attributes))
+    if not attributes:
+        raise GenerationError("the schema has no attributes")
+    if min_attributes < 1 or max_attributes < min_attributes:
+        raise GenerationError("invalid attribute-count bounds for the query workload")
+    workload = []
+    for _ in range(queries):
+        size = rng.randint(min_attributes, min(max_attributes, len(attributes)))
+        workload.append(tuple(sorted_nodes(rng.sample(attributes, size))))
+    return tuple(workload)

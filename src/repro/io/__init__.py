@@ -1,0 +1,19 @@
+"""Text and DOT serialisation of hypergraphs, schemas, and trees."""
+
+from .dot import connecting_tree_to_dot, hypergraph_to_dot, join_tree_to_dot
+from .text_format import (
+    parse_database_schema,
+    parse_hypergraph,
+    serialize_database_schema,
+    serialize_hypergraph,
+)
+
+__all__ = [
+    "parse_hypergraph",
+    "serialize_hypergraph",
+    "parse_database_schema",
+    "serialize_database_schema",
+    "hypergraph_to_dot",
+    "join_tree_to_dot",
+    "connecting_tree_to_dot",
+]

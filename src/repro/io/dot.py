@@ -1,0 +1,69 @@
+"""Graphviz (DOT) export for hypergraphs, join trees and connecting trees.
+
+The paper draws hypergraphs as regions around their nodes; the closest
+faithful rendering in DOT is the bipartite incidence graph (node vertices plus
+one box per edge), which is what :func:`hypergraph_to_dot` emits.  Join trees
+and connecting trees are ordinary graphs and are rendered directly.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from ..core.connecting_tree import ConnectingTree
+from ..core.hypergraph import Hypergraph
+from ..core.join_tree import JoinTree
+from ..core.nodes import format_node_set, sorted_nodes
+
+__all__ = ["hypergraph_to_dot", "join_tree_to_dot", "connecting_tree_to_dot"]
+
+
+def _escape(text: str) -> str:
+    return text.replace('"', '\\"')
+
+
+def hypergraph_to_dot(hypergraph: Hypergraph, *, highlight: Iterable = ()) -> str:
+    """The incidence-graph DOT rendering of a hypergraph.
+
+    Nodes become ellipses, edges become boxes labelled with their node set;
+    ``highlight`` nodes are filled (used by the examples to mark sacred nodes).
+    """
+    highlighted = frozenset(highlight)
+    lines = ["graph hypergraph {", '  layout=neato;', '  overlap=false;']
+    if hypergraph.name:
+        lines.append(f'  label="{_escape(str(hypergraph.name))}";')
+    for node in sorted_nodes(hypergraph.nodes):
+        style = ' style=filled fillcolor="lightgoldenrod"' if node in highlighted else ""
+        lines.append(f'  "n_{_escape(str(node))}" [label="{_escape(str(node))}" shape=ellipse{style}];')
+    for index, edge in enumerate(hypergraph.edges):
+        label = _escape(format_node_set(edge))
+        lines.append(f'  "e_{index}" [label="{label}" shape=box style=rounded];')
+        for node in sorted_nodes(edge):
+            lines.append(f'  "e_{index}" -- "n_{_escape(str(node))}";')
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def join_tree_to_dot(tree: JoinTree) -> str:
+    """A DOT rendering of a join tree, with separators as edge labels."""
+    lines = ["graph join_tree {", "  node [shape=box style=rounded];"]
+    index_of = {vertex: index for index, vertex in enumerate(tree.vertices)}
+    for vertex, index in index_of.items():
+        lines.append(f'  "v_{index}" [label="{_escape(format_node_set(vertex))}"];')
+    for pair in tree.tree_edges:
+        left, right = tuple(pair)
+        separator = _escape(format_node_set(left & right))
+        lines.append(f'  "v_{index_of[left]}" -- "v_{index_of[right]}" [label="{separator}"];')
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def connecting_tree_to_dot(tree: ConnectingTree) -> str:
+    """A DOT rendering of a connecting tree (Fig. 6 style)."""
+    lines = ["graph connecting_tree {", "  node [shape=circle];"]
+    for index, node_set in enumerate(tree.sets):
+        lines.append(f'  "s_{index}" [label="{_escape(format_node_set(node_set))}"];')
+    for a, b in tree.links:
+        lines.append(f'  "s_{a}" -- "s_{b}";')
+    lines.append("}")
+    return "\n".join(lines)

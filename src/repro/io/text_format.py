@@ -1,0 +1,115 @@
+"""A small text format for hypergraphs and database schemas.
+
+The format is line-oriented and human-writable::
+
+    # comment lines and blank lines are ignored
+    name: Fig. 1
+    edge ABC            # compact single-letter nodes
+    edge C D E          # or whitespace-separated node names
+    R1: Student Course  # named edges (used for database schemas)
+
+Parsing is deliberately forgiving: ``edge`` lines and ``NAME:`` lines can be
+mixed, and the compact form is only used when a token has no separators.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..core.hypergraph import Hypergraph
+from ..core.nodes import parse_compact_nodes, sorted_nodes
+from ..exceptions import ParseError
+from ..relational.schema import DatabaseSchema, RelationSchema
+
+__all__ = [
+    "parse_hypergraph",
+    "serialize_hypergraph",
+    "parse_database_schema",
+    "serialize_database_schema",
+]
+
+
+def _strip_comment(line: str) -> str:
+    if "#" in line:
+        line = line.split("#", 1)[0]
+    return line.strip()
+
+
+def parse_hypergraph(text: str) -> Hypergraph:
+    """Parse the text format into a hypergraph."""
+    name: Optional[str] = None
+    edges: List[frozenset] = []
+    for line_number, raw in enumerate(text.splitlines(), start=1):
+        line = _strip_comment(raw)
+        if not line:
+            continue
+        if line.lower().startswith("name:"):
+            name = line.split(":", 1)[1].strip() or None
+            continue
+        if line.lower().startswith("edge"):
+            spec = line[4:].strip()
+            if not spec:
+                raise ParseError(f"line {line_number}: 'edge' without any nodes")
+            edges.append(_parse_nodes(spec))
+            continue
+        if ":" in line:
+            _, spec = line.split(":", 1)
+            spec = spec.strip()
+            if not spec:
+                raise ParseError(f"line {line_number}: named edge without any nodes")
+            edges.append(_parse_nodes(spec))
+            continue
+        raise ParseError(f"line {line_number}: cannot parse {raw!r}")
+    if not edges:
+        raise ParseError("the text describes no edges")
+    return Hypergraph(edges, name=name)
+
+
+def _parse_nodes(spec: str) -> frozenset:
+    tokens = spec.replace(",", " ").split()
+    if len(tokens) == 1:
+        return frozenset(parse_compact_nodes(tokens[0]))
+    return frozenset(tokens)
+
+
+def serialize_hypergraph(hypergraph: Hypergraph) -> str:
+    """Serialize a hypergraph into the text format (round-trips through :func:`parse_hypergraph`)."""
+    lines = []
+    if hypergraph.name:
+        lines.append(f"name: {hypergraph.name}")
+    for edge in hypergraph.edges:
+        lines.append("edge " + " ".join(str(node) for node in sorted_nodes(edge)))
+    return "\n".join(lines) + "\n"
+
+
+def parse_database_schema(text: str) -> DatabaseSchema:
+    """Parse ``NAME: attr attr …`` lines into a database schema."""
+    name: Optional[str] = None
+    relations: List[RelationSchema] = []
+    for line_number, raw in enumerate(text.splitlines(), start=1):
+        line = _strip_comment(raw)
+        if not line:
+            continue
+        if line.lower().startswith("name:"):
+            name = line.split(":", 1)[1].strip() or None
+            continue
+        if ":" not in line:
+            raise ParseError(f"line {line_number}: expected 'RELATION: attributes', got {raw!r}")
+        relation_name, spec = line.split(":", 1)
+        tokens = spec.replace(",", " ").split()
+        if not tokens:
+            raise ParseError(f"line {line_number}: relation {relation_name!r} has no attributes")
+        relations.append(RelationSchema.of(relation_name.strip(), tokens))
+    if not relations:
+        raise ParseError("the text describes no relations")
+    return DatabaseSchema(relations, name=name)
+
+
+def serialize_database_schema(schema: DatabaseSchema) -> str:
+    """Serialize a database schema into the ``NAME: attr attr …`` format."""
+    lines = []
+    if schema.name:
+        lines.append(f"name: {schema.name}")
+    for relation in schema:
+        lines.append(f"{relation.name}: " + " ".join(str(a) for a in relation.attributes))
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,19 @@
+"""Query substrate: conjunctive queries, tableau queries and SPJ expressions.
+
+This is the Aho–Sagiv–Ullman machinery the paper builds on (its reference
+[1]): tableau queries with homomorphism-based containment, equivalence and
+minimization, plus conjunctive queries over a database schema (whose query
+hypergraphs feed straight into the acyclicity theory of :mod:`repro.core`).
+"""
+
+from .conjunctive import Atom, ConjunctiveQuery, find_query_homomorphism
+from .spj import BaseObject, Join, Project, Select, SPJExpression, spj_to_tableau
+from .tableau_query import TableauQuery, find_tableau_homomorphism
+from .terms import Constant, DistinguishedVariable, NondistinguishedVariable, Term, is_variable
+
+__all__ = [
+    "Atom", "ConjunctiveQuery", "find_query_homomorphism",
+    "TableauQuery", "find_tableau_homomorphism",
+    "BaseObject", "Select", "Project", "Join", "SPJExpression", "spj_to_tableau",
+    "Constant", "DistinguishedVariable", "NondistinguishedVariable", "Term", "is_variable",
+]

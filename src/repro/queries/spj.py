@@ -1,0 +1,196 @@
+"""Select–project–join expressions and their translation to tableau queries.
+
+"When the query is of a type that can be represented by a tableau, as many
+are, tableau minimization can then be applied" (Section 7).  The queries the
+paper has in mind are SPJ expressions over the universal relation's objects:
+restrictions (equality selections), projections and natural joins.  This
+module gives those expressions a small AST and translates them into
+:class:`~repro.queries.tableau_query.TableauQuery` objects so the
+Aho–Sagiv–Ullman minimization (and the paper's canonical-connection story) can
+be applied to them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
+
+from ..core.nodes import sorted_nodes
+from ..exceptions import QueryError
+from ..relational.schema import Attribute, DatabaseSchema
+from .tableau_query import TableauQuery
+from .terms import Constant, DistinguishedVariable, NondistinguishedVariable, Term
+
+__all__ = ["BaseObject", "Select", "Project", "Join", "SPJExpression", "spj_to_tableau"]
+
+
+@dataclass(frozen=True)
+class BaseObject:
+    """A reference to one object (relation) of the database schema."""
+
+    relation: str
+
+
+@dataclass(frozen=True)
+class Select:
+    """An equality selection ``attribute = value`` applied to a sub-expression."""
+
+    child: "SPJExpression"
+    attribute: Attribute
+    value: Any
+
+
+@dataclass(frozen=True)
+class Project:
+    """A projection onto a set of attributes."""
+
+    child: "SPJExpression"
+    attributes: Tuple[Attribute, ...]
+
+
+@dataclass(frozen=True)
+class Join:
+    """The natural join of two sub-expressions."""
+
+    left: "SPJExpression"
+    right: "SPJExpression"
+
+
+SPJExpression = Union[BaseObject, Select, Project, Join]
+
+
+def _expression_attributes(expression: SPJExpression, schema: DatabaseSchema) -> FrozenSet[Attribute]:
+    """The output attributes of an expression."""
+    if isinstance(expression, BaseObject):
+        return schema.relation(expression.relation).attribute_set
+    if isinstance(expression, Select):
+        child = _expression_attributes(expression.child, schema)
+        if expression.attribute not in child:
+            raise QueryError(f"selection on {expression.attribute!r}, which the child "
+                             "expression does not produce")
+        return child
+    if isinstance(expression, Project):
+        child = _expression_attributes(expression.child, schema)
+        wanted = frozenset(expression.attributes)
+        if not wanted <= child:
+            raise QueryError("projection attributes must be produced by the child expression")
+        return wanted
+    if isinstance(expression, Join):
+        return _expression_attributes(expression.left, schema) \
+            | _expression_attributes(expression.right, schema)
+    raise QueryError(f"unknown SPJ expression node {expression!r}")
+
+
+@dataclass
+class _Translation:
+    """Intermediate translation state: rows plus per-attribute current terms."""
+
+    rows: List[Dict[Attribute, Term]]
+    column_terms: Dict[Attribute, Term]
+
+
+def _fresh_counter() -> Iterable[int]:
+    value = 0
+    while True:
+        yield value
+        value += 1
+
+
+def _translate(expression: SPJExpression, schema: DatabaseSchema,
+               universe: Tuple[Attribute, ...], counter) -> _Translation:
+    if isinstance(expression, BaseObject):
+        relation_schema = schema.relation(expression.relation)
+        row: Dict[Attribute, Term] = {}
+        column_terms: Dict[Attribute, Term] = {}
+        for attribute in universe:
+            if attribute in relation_schema.attribute_set:
+                term: Term = NondistinguishedVariable(f"x_{attribute}")
+                row[attribute] = term
+                column_terms[attribute] = term
+            else:
+                row[attribute] = NondistinguishedVariable(f"b{next(counter)}_{attribute}")
+        return _Translation(rows=[row], column_terms=column_terms)
+    if isinstance(expression, Select):
+        child = _translate(expression.child, schema, universe, counter)
+        target_term = child.column_terms.get(expression.attribute)
+        if target_term is None:
+            raise QueryError(f"selection on {expression.attribute!r}, which the child "
+                             "expression does not produce")
+        constant = Constant(expression.value)
+        replaced_rows = []
+        for row in child.rows:
+            replaced_rows.append({attribute: (constant if term == target_term else term)
+                                  for attribute, term in row.items()})
+        new_columns = {attribute: (constant if term == target_term else term)
+                       for attribute, term in child.column_terms.items()}
+        return _Translation(rows=replaced_rows, column_terms=new_columns)
+    if isinstance(expression, Project):
+        child = _translate(expression.child, schema, universe, counter)
+        kept = {attribute: term for attribute, term in child.column_terms.items()
+                if attribute in expression.attributes}
+        return _Translation(rows=child.rows, column_terms=kept)
+    if isinstance(expression, Join):
+        left = _translate(expression.left, schema, universe, counter)
+        right = _translate(expression.right, schema, universe, counter)
+        shared = set(left.column_terms) & set(right.column_terms)
+        substitution: Dict[Term, Term] = {}
+        for attribute in shared:
+            left_term, right_term = left.column_terms[attribute], right.column_terms[attribute]
+            if left_term == right_term:
+                continue
+            if isinstance(left_term, Constant) and isinstance(right_term, Constant):
+                if left_term.value != right_term.value:
+                    # The join is unsatisfiable; an empty tableau body would be
+                    # the honest answer, but tableau queries require rows, so
+                    # report the contradiction to the caller.
+                    raise QueryError(
+                        f"join condition on {attribute!r} equates distinct constants")
+                continue
+            if isinstance(left_term, Constant):
+                substitution[right_term] = left_term
+            else:
+                substitution[left_term] = right_term
+
+        def substitute(term: Term) -> Term:
+            seen = set()
+            while term in substitution and term not in seen:
+                seen.add(term)
+                term = substitution[term]
+            return term
+
+        rows = []
+        for row in left.rows + right.rows:
+            rows.append({attribute: substitute(term) for attribute, term in row.items()})
+        column_terms: Dict[Attribute, Term] = {}
+        for attribute, term in list(left.column_terms.items()) + list(right.column_terms.items()):
+            column_terms[attribute] = substitute(term)
+        return _Translation(rows=rows, column_terms=column_terms)
+    raise QueryError(f"unknown SPJ expression node {expression!r}")
+
+
+def spj_to_tableau(expression: SPJExpression, schema: DatabaseSchema,
+                   *, name: str = "T") -> TableauQuery:
+    """Translate an SPJ expression into a tableau query over the schema's attribute universe.
+
+    The tableau's attributes are all the schema's attributes (the universal
+    scheme); its summary carries a distinguished variable (or constant) for
+    every output attribute of the expression.
+    """
+    universe = tuple(sorted_nodes(schema.attributes))
+    counter = _fresh_counter()
+    translation = _translate(expression, schema, universe, counter)
+    output = _expression_attributes(expression, schema)
+    summary: Dict[Attribute, Term] = {}
+    promote: Dict[Term, Term] = {}
+    for attribute in sorted_nodes(output):
+        term = translation.column_terms[attribute]
+        if isinstance(term, Constant):
+            summary[attribute] = term
+        else:
+            distinguished = DistinguishedVariable(f"d_{attribute}")
+            promote[term] = distinguished
+            summary[attribute] = distinguished
+    rows = []
+    for row in translation.rows:
+        rows.append({attribute: promote.get(term, term) for attribute, term in row.items()})
+    return TableauQuery(universe, summary, rows, name=name)

@@ -1,0 +1,245 @@
+"""Tableau queries over a universal relation scheme (Aho–Sagiv–Ullman, ref. [1]).
+
+A tableau query consists of a *summary* (one term per attribute, either a
+distinguished variable or blank/constant) and a set of *rows*, each assigning
+a term to every attribute.  Applied to a universal relation instance ``I``, it
+returns every instantiation of the summary obtainable from a valuation of the
+variables under which every row becomes a tuple of ``I``.
+
+The paper's Section 3 tableaux are the special case where the rows come from
+the edges of a hypergraph and the only constraints are the shared (special)
+symbols; this module provides the general machinery the paper cites:
+containment and equivalence via homomorphisms, and minimization to the unique
+(up to renaming) minimal tableau — the finite Church–Rosser property that
+Section 3 relies on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from ..core.nodes import sorted_nodes
+from ..exceptions import QueryError
+from ..relational.relation import Relation, Row
+from ..relational.schema import Attribute, RelationSchema
+from .terms import Constant, DistinguishedVariable, NondistinguishedVariable, Term, is_variable
+
+__all__ = ["TableauQuery", "find_tableau_homomorphism"]
+
+
+class TableauQuery:
+    """A tableau query: a summary row plus body rows over a fixed attribute tuple."""
+
+    def __init__(self, attributes: Sequence[Attribute],
+                 summary: Mapping[Attribute, Term],
+                 rows: Sequence[Mapping[Attribute, Term]],
+                 name: str = "T") -> None:
+        self._attributes = tuple(attributes)
+        self._name = name
+        if len(set(self._attributes)) != len(self._attributes):
+            raise QueryError("tableau attributes must be distinct")
+        missing_summary = [a for a in summary if a not in self._attributes]
+        if missing_summary:
+            raise QueryError(f"summary mentions unknown attributes {missing_summary}")
+        self._summary: Dict[Attribute, Term] = dict(summary)
+        normalised_rows: List[Dict[Attribute, Term]] = []
+        for index, row in enumerate(rows):
+            if set(row.keys()) != set(self._attributes):
+                raise QueryError(f"row {index} does not assign a term to every attribute")
+            normalised_rows.append(dict(row))
+        self._rows: Tuple[Dict[Attribute, Term], ...] = tuple(normalised_rows)
+        # Every distinguished variable of the summary must occur in some row
+        # (otherwise the query could never produce a value for it).
+        for attribute, term in self._summary.items():
+            if isinstance(term, DistinguishedVariable):
+                if not any(row[column] == term for row in self._rows
+                           for column in self._attributes):
+                    raise QueryError(
+                        f"distinguished variable {term.render()} does not occur in any row")
+
+    # ------------------------------------------------------------------ #
+    @property
+    def attributes(self) -> Tuple[Attribute, ...]:
+        """The universal scheme's attributes, in order."""
+        return self._attributes
+
+    @property
+    def summary(self) -> Dict[Attribute, Term]:
+        """The summary row (only the attributes that carry a term)."""
+        return dict(self._summary)
+
+    @property
+    def rows(self) -> Tuple[Dict[Attribute, Term], ...]:
+        """The body rows."""
+        return tuple(dict(row) for row in self._rows)
+
+    @property
+    def name(self) -> str:
+        """The tableau's name."""
+        return self._name
+
+    @property
+    def output_attributes(self) -> Tuple[Attribute, ...]:
+        """The attributes for which the summary carries a term."""
+        return tuple(a for a in self._attributes if a in self._summary)
+
+    def with_rows(self, rows: Sequence[Mapping[Attribute, Term]]) -> "TableauQuery":
+        """The same summary over a different set of body rows."""
+        return TableauQuery(self._attributes, self._summary, rows, name=self._name)
+
+    def render(self) -> str:
+        """A plain-text rendering: summary between rules, then the rows."""
+        width = 12
+        header = "".join(str(a).center(width) for a in self._attributes)
+        rule = "-" * len(header)
+        summary_cells = []
+        for attribute in self._attributes:
+            term = self._summary.get(attribute)
+            summary_cells.append((term.render() if term is not None else "").center(width))
+        lines = [header, rule, "".join(summary_cells), rule]
+        for row in self._rows:
+            lines.append("".join(row[a].render().center(width) for a in self._attributes))
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------------ #
+    # Evaluation against a universal relation instance
+    # ------------------------------------------------------------------ #
+    def evaluate(self, instance: Relation) -> Relation:
+        """Apply the tableau query to a universal relation instance.
+
+        Every valuation of the variables that sends each body row to a tuple
+        of ``instance`` contributes one instantiated summary to the answer.
+        Evaluation backtracks row by row, which is adequate for the moderate
+        tableau sizes that arise from hypergraph edges.
+        """
+        if frozenset(self._attributes) != instance.schema.attribute_set:
+            raise QueryError("the instance's scheme must match the tableau's attributes")
+        answers: List[Dict[Attribute, Any]] = []
+        instance_rows = list(instance.rows)
+
+        def backtrack(index: int, valuation: Dict[Term, Any]) -> None:
+            if index == len(self._rows):
+                answer: Dict[Attribute, Any] = {}
+                for attribute in self.output_attributes:
+                    term = self._summary[attribute]
+                    if isinstance(term, Constant):
+                        answer[attribute] = term.value
+                    else:
+                        answer[attribute] = valuation[term]
+                answers.append(answer)
+                return
+            row = self._rows[index]
+            for candidate in instance_rows:
+                extended = dict(valuation)
+                matched = True
+                for attribute in self._attributes:
+                    term = row[attribute]
+                    value = candidate[attribute]
+                    if isinstance(term, Constant):
+                        if term.value != value:
+                            matched = False
+                            break
+                    else:
+                        if term in extended and extended[term] != value:
+                            matched = False
+                            break
+                        extended[term] = value
+                if matched:
+                    backtrack(index + 1, extended)
+
+        backtrack(0, {})
+        schema = RelationSchema.of(self._name, self.output_attributes)
+        return Relation(schema, answers)
+
+    # ------------------------------------------------------------------ #
+    # Containment / equivalence / minimization
+    # ------------------------------------------------------------------ #
+    def contains(self, other: "TableauQuery") -> bool:
+        """``True`` when this tableau's answers always include ``other``'s.
+
+        ``T1 ⊇ T2`` iff there is a homomorphism from ``T1`` to ``T2``.
+        """
+        return find_tableau_homomorphism(self, other) is not None
+
+    def is_equivalent_to(self, other: "TableauQuery") -> bool:
+        """Mutual containment."""
+        return self.contains(other) and other.contains(self)
+
+    def minimize(self) -> "TableauQuery":
+        """The minimal equivalent tableau (drop rows while a homomorphism avoids them).
+
+        By the finite Church–Rosser property (Aho–Sagiv–Ullman) the result is
+        unique up to renaming of nondistinguished variables.
+        """
+        rows = list(self._rows)
+        changed = True
+        while changed and len(rows) > 1:
+            changed = False
+            for index in range(len(rows)):
+                candidate_rows = rows[:index] + rows[index + 1:]
+                try:
+                    candidate = self.with_rows(candidate_rows)
+                except QueryError:
+                    continue
+                source = self.with_rows(rows)
+                if find_tableau_homomorphism(source, candidate) is not None:
+                    rows = candidate_rows
+                    changed = True
+                    break
+        return self.with_rows(rows)
+
+
+def find_tableau_homomorphism(source: TableauQuery,
+                              target: TableauQuery) -> Optional[Dict[Term, Term]]:
+    """A homomorphism from ``source`` to ``target`` (terms → terms), or ``None``.
+
+    Constants and distinguished variables map to themselves; every row of
+    ``source`` must map to a row of ``target`` column-compatibly.
+    """
+    if source.attributes != target.attributes:
+        return None
+    if source.output_attributes != target.output_attributes:
+        return None
+    for attribute in source.output_attributes:
+        if source.summary[attribute] != target.summary[attribute]:
+            return None
+
+    source_rows = list(source.rows)
+    target_rows = list(target.rows)
+    attributes = source.attributes
+
+    def unify(row: Mapping[Attribute, Term], candidate: Mapping[Attribute, Term],
+              current: Dict[Term, Term]) -> Optional[Dict[Term, Term]]:
+        extended = dict(current)
+        for attribute in attributes:
+            term = row[attribute]
+            image = candidate[attribute]
+            if isinstance(term, Constant):
+                if not isinstance(image, Constant) or image.value != term.value:
+                    return None
+                continue
+            if isinstance(term, DistinguishedVariable):
+                if image != term:
+                    return None
+                continue
+            bound = extended.get(term)
+            if bound is None:
+                extended[term] = image
+            elif bound != image:
+                return None
+        return extended
+
+    def backtrack(index: int, current: Dict[Term, Term]) -> Optional[Dict[Term, Term]]:
+        if index == len(source_rows):
+            return current
+        row = source_rows[index]
+        for candidate in target_rows:
+            extended = unify(row, candidate, current)
+            if extended is not None:
+                result = backtrack(index + 1, extended)
+                if result is not None:
+                    return result
+        return None
+
+    return backtrack(0, {})

@@ -1,0 +1,55 @@
+"""Terms shared by the query representations (conjunctive and tableau queries).
+
+A term is a distinguished variable (appears in the query's head / tableau
+summary), a nondistinguished variable, or a constant.  The split matters for
+homomorphisms: constants map to themselves, distinguished variables map to
+themselves, nondistinguished variables may map to anything.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Union
+
+__all__ = ["DistinguishedVariable", "NondistinguishedVariable", "Constant", "Term", "is_variable"]
+
+
+@dataclass(frozen=True)
+class DistinguishedVariable:
+    """A variable exported by the query (appears in the head / summary)."""
+
+    name: str
+
+    def render(self) -> str:
+        """Rendered like the paper's distinguished symbols: lower-case name."""
+        return str(self.name)
+
+
+@dataclass(frozen=True)
+class NondistinguishedVariable:
+    """A variable internal to the query body."""
+
+    name: str
+
+    def render(self) -> str:
+        """Rendered with a leading underscore to set it apart from distinguished ones."""
+        return f"_{self.name}"
+
+
+@dataclass(frozen=True)
+class Constant:
+    """A constant value appearing in the query."""
+
+    value: Any
+
+    def render(self) -> str:
+        """Rendered as the repr of the constant value."""
+        return repr(self.value)
+
+
+Term = Union[DistinguishedVariable, NondistinguishedVariable, Constant]
+
+
+def is_variable(term: Term) -> bool:
+    """``True`` for (distinguished or nondistinguished) variables."""
+    return isinstance(term, (DistinguishedVariable, NondistinguishedVariable))

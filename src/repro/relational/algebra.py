@@ -1,0 +1,180 @@
+"""Relational-algebra operators over :class:`~repro.relational.relation.Relation`.
+
+Only the operators the paper's Section 7 story needs are provided — natural
+join, projection, selection, semijoin, rename, union, difference, intersection
+— plus a hash-based join implementation so that the benchmark harness can
+compare naive and acyclic (Yannakakis) join plans on non-trivial data sizes.
+
+All operators are pure functions returning new relations.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from ..core.nodes import sorted_nodes
+from ..exceptions import SchemaError, UnknownAttributeError
+from .relation import Relation, Row
+from .schema import Attribute, RelationSchema
+
+__all__ = [
+    "project",
+    "select",
+    "rename_relation",
+    "natural_join",
+    "join_all",
+    "semijoin",
+    "antijoin",
+    "union",
+    "difference",
+    "intersection",
+    "cartesian_product",
+]
+
+
+def _joined_schema(name: str, left: RelationSchema, right: RelationSchema) -> RelationSchema:
+    attributes = list(left.attributes)
+    for attribute in right.attributes:
+        if attribute not in left.attribute_set:
+            attributes.append(attribute)
+    return RelationSchema.of(name, attributes)
+
+
+def project(relation: Relation, attributes: Iterable[Attribute],
+            *, name: Optional[str] = None) -> Relation:
+    """``π_attributes(relation)`` — duplicate-eliminating projection."""
+    wanted = list(dict.fromkeys(attributes))
+    unknown = [a for a in wanted if not relation.schema.has_attribute(a)]
+    if unknown:
+        raise UnknownAttributeError(unknown[0])
+    schema = RelationSchema.of(name or f"π({relation.name})", wanted)
+    rows = [row.project(wanted) for row in relation.rows]
+    return Relation(schema, rows)
+
+
+def select(relation: Relation, predicate: Callable[[Row], bool],
+           *, name: Optional[str] = None) -> Relation:
+    """``σ_predicate(relation)`` — keep the rows satisfying ``predicate``."""
+    schema = relation.schema if name is None else relation.schema.rename(name)
+    return Relation(schema, [row for row in relation.rows if predicate(row)])
+
+
+def rename_relation(relation: Relation, new_name: str,
+                    attribute_mapping: Optional[Mapping[Attribute, Attribute]] = None) -> Relation:
+    """Rename the relation and, optionally, some of its attributes."""
+    mapping = dict(attribute_mapping or {})
+    new_attributes = [mapping.get(attribute, attribute) for attribute in relation.attributes]
+    if len(set(new_attributes)) != len(new_attributes):
+        raise SchemaError("attribute renaming must keep attribute names distinct")
+    schema = RelationSchema.of(new_name, new_attributes)
+    rows = [{mapping.get(attribute, attribute): value for attribute, value in row.items()}
+            for row in relation.rows]
+    return Relation(schema, rows)
+
+
+def natural_join(left: Relation, right: Relation, *, name: Optional[str] = None) -> Relation:
+    """``left ⋈ right`` — natural join on the shared attributes (hash join).
+
+    With no shared attributes this degenerates to the Cartesian product, as
+    usual for the natural join.
+    """
+    shared = tuple(sorted_nodes(left.schema.attribute_set & right.schema.attribute_set))
+    schema = _joined_schema(name or f"({left.name} ⋈ {right.name})", left.schema, right.schema)
+    if not shared:
+        rows = []
+        for left_row in left.rows:
+            for right_row in right.rows:
+                merged = left_row.merge(right_row)
+                if merged is not None:
+                    rows.append(merged)
+        return Relation(schema, rows)
+    # Hash the smaller side on the shared attributes.
+    build, probe = (left, right) if len(left) <= len(right) else (right, left)
+    buckets: Dict[Tuple[Any, ...], List[Row]] = {}
+    for row in build.rows:
+        key = tuple(row[attribute] for attribute in shared)
+        buckets.setdefault(key, []).append(row)
+    rows = []
+    for row in probe.rows:
+        key = tuple(row[attribute] for attribute in shared)
+        for partner in buckets.get(key, ()):
+            merged = row.merge(partner)
+            if merged is not None:
+                rows.append(merged)
+    return Relation(schema, rows)
+
+
+def join_all(relations: Sequence[Relation], *, name: Optional[str] = None) -> Relation:
+    """The natural join of all the given relations, left to right.
+
+    This is the "join all the objects" operation of the universal-relation
+    interpretation; the paper's point is that for acyclic schemas only the
+    objects in the canonical connection need to participate.
+    """
+    if not relations:
+        raise SchemaError("join_all needs at least one relation")
+    result = relations[0]
+    for relation in relations[1:]:
+        result = natural_join(result, relation)
+    if name is not None:
+        result = rename_relation(result, name)
+    return result
+
+
+def semijoin(left: Relation, right: Relation, *, name: Optional[str] = None) -> Relation:
+    """``left ⋉ right`` — the rows of ``left`` that join with at least one row of ``right``."""
+    shared = tuple(sorted_nodes(left.schema.attribute_set & right.schema.attribute_set))
+    schema = left.schema if name is None else left.schema.rename(name)
+    if not shared:
+        # With no shared attributes every left row joins with any right row.
+        return Relation(schema, left.rows if len(right) else ())
+    keys = {tuple(row[attribute] for attribute in shared) for row in right.rows}
+    rows = [row for row in left.rows
+            if tuple(row[attribute] for attribute in shared) in keys]
+    return Relation(schema, rows)
+
+
+def antijoin(left: Relation, right: Relation, *, name: Optional[str] = None) -> Relation:
+    """``left ▷ right`` — the rows of ``left`` that join with *no* row of ``right``."""
+    surviving = semijoin(left, right)
+    schema = left.schema if name is None else left.schema.rename(name)
+    return Relation(schema, [row for row in left.rows if row not in surviving.rows])
+
+
+def _require_same_scheme(left: Relation, right: Relation, operation: str) -> None:
+    if left.schema.attribute_set != right.schema.attribute_set:
+        raise SchemaError(
+            f"{operation} requires identical attribute sets; got "
+            f"{sorted_nodes(left.schema.attribute_set)} and "
+            f"{sorted_nodes(right.schema.attribute_set)}")
+
+
+def union(left: Relation, right: Relation, *, name: Optional[str] = None) -> Relation:
+    """Set union of two relations over the same attribute set."""
+    _require_same_scheme(left, right, "union")
+    schema = left.schema if name is None else left.schema.rename(name)
+    return Relation(schema, list(left.rows) + [dict(row) for row in right.rows])
+
+
+def difference(left: Relation, right: Relation, *, name: Optional[str] = None) -> Relation:
+    """Set difference ``left − right`` over the same attribute set."""
+    _require_same_scheme(left, right, "difference")
+    schema = left.schema if name is None else left.schema.rename(name)
+    right_rows = {Row({a: row[a] for a in left.attributes}) for row in right.rows}
+    return Relation(schema, [row for row in left.rows if row not in right_rows])
+
+
+def intersection(left: Relation, right: Relation, *, name: Optional[str] = None) -> Relation:
+    """Set intersection of two relations over the same attribute set."""
+    _require_same_scheme(left, right, "intersection")
+    schema = left.schema if name is None else left.schema.rename(name)
+    right_rows = {Row({a: row[a] for a in left.attributes}) for row in right.rows}
+    return Relation(schema, [row for row in left.rows if row in right_rows])
+
+
+def cartesian_product(left: Relation, right: Relation, *, name: Optional[str] = None) -> Relation:
+    """The Cartesian product (disjoint attribute sets required)."""
+    if left.schema.attribute_set & right.schema.attribute_set:
+        raise SchemaError("cartesian_product requires disjoint attribute sets; "
+                          "use natural_join for overlapping schemes")
+    return natural_join(left, right, name=name)

@@ -1,0 +1,221 @@
+"""The chase, and the classical lossless-join (tableau) test.
+
+The tableau machinery of Section 3 is the hypergraph-specific instance of a
+general tool: tableaux chased by data dependencies (Aho–Sagiv–Ullman,
+Maier–Mendelzon–Sagiv).  This module implements the classical chase over a
+symbol matrix:
+
+* one row per scheme of a decomposition, carrying the *distinguished* symbol
+  ``a_A`` in column ``A`` when the scheme contains ``A`` and a fresh symbol
+  ``b_{i,A}`` otherwise;
+* functional dependencies equate symbols (preferring distinguished ones);
+* multivalued / join dependencies add rows;
+* the decomposition is lossless (the join dependency holds) iff some row
+  becomes all-distinguished.
+
+The connection to the paper: an *acyclic* join dependency is equivalent to the
+MVDs read off its join tree (:meth:`repro.relational.dependencies.JoinDependency.equivalent_mvds`),
+and chasing with those MVDs always certifies the acyclic JD — one of the
+"desirable properties" the paper's Section 7 builds on, checked by the tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..core.nodes import sorted_nodes
+from ..exceptions import DependencyError
+from .dependencies import FunctionalDependency, JoinDependency, MultivaluedDependency
+from .schema import Attribute
+
+__all__ = [
+    "ChaseSymbol",
+    "ChaseTableau",
+    "decomposition_is_lossless",
+    "chase_join_dependency",
+]
+
+
+@dataclass(frozen=True)
+class ChaseSymbol:
+    """A symbol of the chase matrix.
+
+    ``distinguished`` symbols are the ``a_A``; non-distinguished symbols carry
+    the index of the row that introduced them (the ``b_{i,A}``).
+    """
+
+    attribute: Attribute
+    distinguished: bool
+    origin: int = -1
+
+    def render(self) -> str:
+        """``a(A)`` or ``b3(A)`` — the usual textbook notation."""
+        if self.distinguished:
+            return f"a({self.attribute})"
+        return f"b{self.origin}({self.attribute})"
+
+
+class ChaseTableau:
+    """A chase matrix: rows mapping every attribute of a universal scheme to a symbol."""
+
+    def __init__(self, attributes: Sequence[Attribute],
+                 rows: Sequence[Dict[Attribute, ChaseSymbol]]) -> None:
+        self._attributes: Tuple[Attribute, ...] = tuple(attributes)
+        self._rows: List[Dict[Attribute, ChaseSymbol]] = [dict(row) for row in rows]
+
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def for_decomposition(cls, attributes: Iterable[Attribute],
+                          schemes: Sequence[Iterable[Attribute]]) -> "ChaseTableau":
+        """The initial matrix of the lossless-join test for a decomposition."""
+        universe = tuple(sorted_nodes(frozenset(attributes)))
+        rows: List[Dict[Attribute, ChaseSymbol]] = []
+        for index, scheme in enumerate(schemes):
+            scheme_set = frozenset(scheme)
+            unknown = scheme_set - frozenset(universe)
+            if unknown:
+                raise DependencyError(
+                    f"scheme attributes {sorted_nodes(unknown)} are not in the universal scheme")
+            row = {}
+            for attribute in universe:
+                if attribute in scheme_set:
+                    row[attribute] = ChaseSymbol(attribute=attribute, distinguished=True)
+                else:
+                    row[attribute] = ChaseSymbol(attribute=attribute, distinguished=False,
+                                                 origin=index)
+            rows.append(row)
+        return cls(universe, rows)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def attributes(self) -> Tuple[Attribute, ...]:
+        """The universal scheme's attributes, in order."""
+        return self._attributes
+
+    @property
+    def rows(self) -> Tuple[Dict[Attribute, ChaseSymbol], ...]:
+        """The current rows (copies; the tableau mutates only through chase steps)."""
+        return tuple(dict(row) for row in self._rows)
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def has_all_distinguished_row(self) -> bool:
+        """``True`` when some row consists solely of distinguished symbols."""
+        return any(all(symbol.distinguished for symbol in row.values()) for row in self._rows)
+
+    # ------------------------------------------------------------------ #
+    # Chase steps
+    # ------------------------------------------------------------------ #
+    def _equate(self, keep: ChaseSymbol, replace: ChaseSymbol) -> None:
+        """Replace every occurrence of ``replace`` by ``keep``."""
+        for row in self._rows:
+            for attribute, symbol in row.items():
+                if symbol == replace:
+                    row[attribute] = keep
+
+    def apply_fd(self, dependency: FunctionalDependency) -> bool:
+        """Apply one FD until it causes no further change; report whether anything changed."""
+        changed = False
+        progress = True
+        while progress:
+            progress = False
+            for i, first in enumerate(self._rows):
+                for second in self._rows[i + 1:]:
+                    if any(first[a] != second[a] for a in dependency.lhs):
+                        continue
+                    for attribute in dependency.rhs:
+                        left_symbol, right_symbol = first[attribute], second[attribute]
+                        if left_symbol == right_symbol:
+                            continue
+                        # Prefer keeping a distinguished symbol.
+                        if right_symbol.distinguished and not left_symbol.distinguished:
+                            self._equate(right_symbol, left_symbol)
+                        else:
+                            self._equate(left_symbol, right_symbol)
+                        progress = True
+                        changed = True
+        return changed
+
+    def apply_mvd(self, dependency: MultivaluedDependency) -> bool:
+        """Apply one MVD (tuple-generating): add the swapped rows it requires.
+
+        Returns whether any new row was added.  Rows are compared as whole
+        symbol tuples, so the step is idempotent.
+        """
+        existing = {tuple(row[a] for a in self._attributes) for row in self._rows}
+        added = False
+        rhs = frozenset(dependency.rhs) - frozenset(dependency.lhs)
+        rest = frozenset(self._attributes) - frozenset(dependency.lhs) - rhs
+        snapshot = list(self._rows)
+        for first in snapshot:
+            for second in snapshot:
+                if first is second:
+                    continue
+                if any(first[a] != second[a] for a in dependency.lhs):
+                    continue
+                new_row: Dict[Attribute, ChaseSymbol] = {}
+                for attribute in self._attributes:
+                    if attribute in dependency.lhs:
+                        new_row[attribute] = first[attribute]
+                    elif attribute in rhs:
+                        new_row[attribute] = first[attribute]
+                    else:
+                        new_row[attribute] = second[attribute]
+                key = tuple(new_row[a] for a in self._attributes)
+                if key not in existing:
+                    existing.add(key)
+                    self._rows.append(new_row)
+                    added = True
+        return added
+
+    def chase(self, fds: Sequence[FunctionalDependency] = (),
+              mvds: Sequence[MultivaluedDependency] = (), *,
+              max_rounds: int = 1000) -> "ChaseTableau":
+        """Chase to a fixpoint (or until ``max_rounds``) and return ``self``.
+
+        FDs are applied before MVDs in every round because equating symbols
+        can only enable more MVD steps, never invalidate them.
+        """
+        for _ in range(max_rounds):
+            changed = False
+            for dependency in fds:
+                changed |= self.apply_fd(dependency)
+            for dependency in mvds:
+                changed |= self.apply_mvd(dependency)
+            if self.has_all_distinguished_row():
+                return self
+            if not changed:
+                return self
+        raise DependencyError("the chase did not terminate within the round limit")
+
+    def render(self) -> str:
+        """A plain-text rendering of the matrix (textbook style)."""
+        header = " | ".join(str(a) for a in self._attributes)
+        lines = [header, "-" * len(header)]
+        for row in self._rows:
+            lines.append(" | ".join(row[a].render() for a in self._attributes))
+        return "\n".join(lines)
+
+
+def decomposition_is_lossless(attributes: Iterable[Attribute],
+                              schemes: Sequence[Iterable[Attribute]],
+                              fds: Sequence[FunctionalDependency] = (),
+                              mvds: Sequence[MultivaluedDependency] = ()) -> bool:
+    """The classical lossless-join test: chase the decomposition tableau.
+
+    The decomposition ``schemes`` of the universal scheme ``attributes`` is a
+    lossless join (the corresponding join dependency is implied by the given
+    dependencies) iff the chased tableau contains an all-distinguished row.
+    """
+    tableau = ChaseTableau.for_decomposition(attributes, schemes)
+    tableau.chase(fds, mvds)
+    return tableau.has_all_distinguished_row()
+
+
+def chase_join_dependency(dependency: JoinDependency,
+                          fds: Sequence[FunctionalDependency] = (),
+                          mvds: Sequence[MultivaluedDependency] = ()) -> bool:
+    """Is the join dependency implied by the given FDs and MVDs (via the chase)?"""
+    return decomposition_is_lossless(dependency.attributes, dependency.components, fds, mvds)

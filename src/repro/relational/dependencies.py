@@ -1,0 +1,216 @@
+"""Data dependencies: functional, multivalued and join dependencies.
+
+The paper's acyclic hypergraphs are, in database terms, *acyclic join
+dependencies*: a universal relation scheme ``U`` decomposed into objects
+``R_1, …, R_k`` satisfies the join dependency ``⋈[R_1, …, R_k]`` when every
+instance equals the join of its projections.  The dependency is *acyclic* when
+the hypergraph with edges ``R_i`` is acyclic — exactly the class the paper's
+abstract refers to ("the universal relations described by acyclic join
+dependencies are exactly those for which the connections among attributes are
+defined uniquely").
+
+This module provides the dependency classes, satisfaction tests against
+concrete relations, and the classical equivalence for the acyclic case: an
+acyclic join dependency is equivalent to the set of multivalued dependencies
+read off its join tree (one ``S →→ left-side`` per tree edge separator ``S``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..core.acyclicity import is_acyclic
+from ..core.hypergraph import Hypergraph
+from ..core.join_tree import JoinTree, build_join_tree
+from ..core.nodes import format_node_set, sorted_nodes
+from ..exceptions import DependencyError
+from .algebra import join_all, project
+from .relation import Relation
+from .schema import Attribute
+
+__all__ = [
+    "FunctionalDependency",
+    "MultivaluedDependency",
+    "JoinDependency",
+    "fd_closure",
+    "implies_fd",
+]
+
+
+@dataclass(frozen=True)
+class FunctionalDependency:
+    """A functional dependency ``lhs → rhs``."""
+
+    lhs: FrozenSet[Attribute]
+    rhs: FrozenSet[Attribute]
+
+    @classmethod
+    def of(cls, lhs: Iterable[Attribute], rhs: Iterable[Attribute]) -> "FunctionalDependency":
+        """Build an FD from any attribute iterables."""
+        left, right = frozenset(lhs), frozenset(rhs)
+        if not left or not right:
+            raise DependencyError("a functional dependency needs non-empty sides")
+        return cls(lhs=left, rhs=right)
+
+    def holds_in(self, relation: Relation) -> bool:
+        """``True`` when the relation satisfies the FD."""
+        missing = (self.lhs | self.rhs) - relation.schema.attribute_set
+        if missing:
+            raise DependencyError(
+                f"attributes {sorted_nodes(missing)} of the FD are not in the relation scheme")
+        seen: Dict[Tuple, Tuple] = {}
+        for row in relation.rows:
+            key = tuple(row[a] for a in sorted_nodes(self.lhs))
+            value = tuple(row[a] for a in sorted_nodes(self.rhs))
+            if key in seen and seen[key] != value:
+                return False
+            seen[key] = value
+        return True
+
+    def __str__(self) -> str:
+        return f"{format_node_set(self.lhs)} → {format_node_set(self.rhs)}"
+
+
+@dataclass(frozen=True)
+class MultivaluedDependency:
+    """A multivalued dependency ``lhs →→ rhs`` (over a universal scheme)."""
+
+    lhs: FrozenSet[Attribute]
+    rhs: FrozenSet[Attribute]
+
+    @classmethod
+    def of(cls, lhs: Iterable[Attribute], rhs: Iterable[Attribute]) -> "MultivaluedDependency":
+        """Build an MVD from any attribute iterables."""
+        return cls(lhs=frozenset(lhs), rhs=frozenset(rhs))
+
+    def holds_in(self, relation: Relation) -> bool:
+        """``True`` when the relation satisfies ``lhs →→ rhs``.
+
+        Equivalent formulation used here: the relation equals the join of its
+        projections onto ``lhs ∪ rhs`` and ``lhs ∪ (rest)``.
+        """
+        attributes = relation.schema.attribute_set
+        missing = (self.lhs | self.rhs) - attributes
+        if missing:
+            raise DependencyError(
+                f"attributes {sorted_nodes(missing)} of the MVD are not in the relation scheme")
+        left_side = self.lhs | self.rhs
+        right_side = self.lhs | (attributes - self.rhs)
+        left = project(relation, sorted_nodes(left_side))
+        right = project(relation, sorted_nodes(right_side))
+        rejoined = join_all([left, right])
+        return frozenset(project(rejoined, sorted_nodes(attributes)).rows) == frozenset(relation.rows)
+
+    def __str__(self) -> str:
+        return f"{format_node_set(self.lhs)} →→ {format_node_set(self.rhs)}"
+
+
+@dataclass(frozen=True)
+class JoinDependency:
+    """A join dependency ``⋈[R_1, …, R_k]`` over a universal scheme."""
+
+    components: Tuple[FrozenSet[Attribute], ...]
+
+    @classmethod
+    def of(cls, components: Iterable[Iterable[Attribute]]) -> "JoinDependency":
+        """Build a JD from any iterable of attribute collections."""
+        frozen = tuple(frozenset(component) for component in components)
+        if not frozen:
+            raise DependencyError("a join dependency needs at least one component")
+        if any(not component for component in frozen):
+            raise DependencyError("join dependency components must be non-empty")
+        return cls(components=frozen)
+
+    @property
+    def attributes(self) -> FrozenSet[Attribute]:
+        """The universal scheme the dependency speaks about."""
+        return frozenset().union(*self.components)
+
+    def hypergraph(self) -> Hypergraph:
+        """The dependency's hypergraph: attributes as nodes, components as edges."""
+        return Hypergraph(self.components, name="JD")
+
+    def is_acyclic(self) -> bool:
+        """``True`` when the dependency is an *acyclic* join dependency."""
+        return is_acyclic(self.hypergraph())
+
+    def holds_in(self, relation: Relation) -> bool:
+        """``True`` when the relation equals the join of its projections onto the components."""
+        missing = self.attributes - relation.schema.attribute_set
+        if missing:
+            raise DependencyError(
+                f"attributes {sorted_nodes(missing)} of the JD are not in the relation scheme")
+        if self.attributes != relation.schema.attribute_set:
+            raise DependencyError("the join dependency must cover the whole relation scheme")
+        projections = [project(relation, sorted_nodes(component))
+                       for component in self.components]
+        rejoined = join_all(projections)
+        return frozenset(project(rejoined, sorted_nodes(self.attributes)).rows) \
+            == frozenset(relation.rows)
+
+    def equivalent_mvds(self) -> Tuple[MultivaluedDependency, ...]:
+        """The MVD set equivalent to this JD, when the JD is acyclic.
+
+        Read off a join tree: for every tree edge with separator ``S``, the
+        attributes on one side of the edge are independent of the rest given
+        ``S`` — i.e. ``S →→ (attributes of that side)``.  Raises
+        :class:`DependencyError` for cyclic JDs (no such equivalence exists).
+        """
+        tree = build_join_tree(self.hypergraph())
+        if tree is None:
+            raise DependencyError("only acyclic join dependencies decompose into MVDs")
+        mvds: List[MultivaluedDependency] = []
+        for pair in tree.tree_edges:
+            left, right = tuple(pair)
+            separator = left & right
+            # Attributes reachable from `left` without crossing this tree edge.
+            side = _side_attributes(tree, left, right)
+            mvds.append(MultivaluedDependency.of(separator, side - separator))
+        return tuple(mvds)
+
+    def __str__(self) -> str:
+        inner = ", ".join(format_node_set(component) for component in self.components)
+        return f"⋈[{inner}]"
+
+
+def _side_attributes(tree: JoinTree, start, excluded_neighbour) -> FrozenSet[Attribute]:
+    """Union of edge attributes in the join-tree component of ``start`` when the
+    tree edge to ``excluded_neighbour`` is removed."""
+    frontier = [start]
+    visited = {start}
+    gathered: Set[Attribute] = set()
+    while frontier:
+        vertex = frontier.pop()
+        gathered |= set(vertex)
+        for neighbour in tree.neighbours(vertex):
+            if vertex == start and neighbour == excluded_neighbour:
+                continue
+            if neighbour in visited:
+                continue
+            visited.add(neighbour)
+            frontier.append(neighbour)
+    return frozenset(gathered)
+
+
+# --------------------------------------------------------------------------- #
+# FD reasoning (Armstrong closure) — used by the chase and the schema examples.
+# --------------------------------------------------------------------------- #
+def fd_closure(attributes: Iterable[Attribute],
+               fds: Sequence[FunctionalDependency]) -> FrozenSet[Attribute]:
+    """The closure ``X⁺`` of an attribute set under a set of FDs."""
+    closure: Set[Attribute] = set(attributes)
+    changed = True
+    while changed:
+        changed = False
+        for dependency in fds:
+            if dependency.lhs <= closure and not dependency.rhs <= closure:
+                closure |= dependency.rhs
+                changed = True
+    return frozenset(closure)
+
+
+def implies_fd(fds: Sequence[FunctionalDependency],
+               candidate: FunctionalDependency) -> bool:
+    """``True`` when the FD set logically implies ``candidate`` (via attribute closure)."""
+    return candidate.rhs <= fd_closure(candidate.lhs, fds)

@@ -1,0 +1,210 @@
+"""Relation schemas and database schemas (the "objects" of Section 7).
+
+In the universal-relation reading of the paper, the nodes of the hypergraph
+are *attributes* and the edges are *objects* — relation schemes over those
+attributes.  A :class:`DatabaseSchema` is therefore interchangeable with a
+hypergraph (:meth:`DatabaseSchema.to_hypergraph` /
+:meth:`DatabaseSchema.from_hypergraph`), and all of the acyclicity machinery
+of :mod:`repro.core` applies to it directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+from ..core.hypergraph import Hypergraph
+from ..core.nodes import Node, NodeSet, format_node_set, sorted_nodes
+from ..exceptions import SchemaError, UnknownAttributeError
+
+__all__ = ["Attribute", "RelationSchema", "DatabaseSchema"]
+
+Attribute = Node
+"""An attribute is any hashable value, usually a string."""
+
+
+@dataclass(frozen=True)
+class RelationSchema:
+    """A named relation scheme: a relation name plus an ordered attribute tuple.
+
+    The attribute *order* matters only for display and tuple literals; all the
+    algebra operates on attribute names.
+    """
+
+    name: str
+    attributes: Tuple[Attribute, ...]
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SchemaError("a relation schema needs a non-empty name")
+        if len(set(self.attributes)) != len(self.attributes):
+            raise SchemaError(
+                f"relation {self.name!r} lists an attribute more than once: {self.attributes}")
+
+    @classmethod
+    def of(cls, name: str, attributes: Iterable[Attribute]) -> "RelationSchema":
+        """Build a schema from any iterable of attributes (kept in the given order)."""
+        return cls(name=name, attributes=tuple(attributes))
+
+    @property
+    def attribute_set(self) -> FrozenSet[Attribute]:
+        """The attributes as a frozenset (the corresponding hypergraph edge)."""
+        return frozenset(self.attributes)
+
+    @property
+    def arity(self) -> int:
+        """The number of attributes."""
+        return len(self.attributes)
+
+    def has_attribute(self, attribute: Attribute) -> bool:
+        """``True`` when ``attribute`` belongs to this scheme."""
+        return attribute in self.attribute_set
+
+    def project_order(self, attributes: Iterable[Attribute]) -> Tuple[Attribute, ...]:
+        """The given attributes, re-ordered to follow this schema's attribute order."""
+        wanted = frozenset(attributes)
+        unknown = wanted - self.attribute_set
+        if unknown:
+            raise UnknownAttributeError(sorted_nodes(unknown)[0])
+        return tuple(attribute for attribute in self.attributes if attribute in wanted)
+
+    def rename(self, new_name: str) -> "RelationSchema":
+        """The same scheme under a different relation name."""
+        return RelationSchema(name=new_name, attributes=self.attributes)
+
+    def __str__(self) -> str:
+        return f"{self.name}({', '.join(str(a) for a in self.attributes)})"
+
+
+class DatabaseSchema:
+    """A database schema: a collection of named relation schemas.
+
+    The schema doubles as the paper's hypergraph of objects; every query about
+    acyclicity, canonical connections, join trees, etc. is asked of
+    :meth:`to_hypergraph`.
+    """
+
+    def __init__(self, relations: Iterable[RelationSchema], name: Optional[str] = None) -> None:
+        self._relations: Tuple[RelationSchema, ...] = tuple(relations)
+        self._name = name
+        seen: Dict[str, RelationSchema] = {}
+        for relation in self._relations:
+            if relation.name in seen:
+                raise SchemaError(f"duplicate relation name {relation.name!r} in database schema")
+            seen[relation.name] = relation
+        self._by_name: Dict[str, RelationSchema] = seen
+
+    # ------------------------------------------------------------------ #
+    # Constructors
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_dict(cls, relations: Mapping[str, Iterable[Attribute]],
+                  name: Optional[str] = None) -> "DatabaseSchema":
+        """Build a schema from ``{relation name: attributes}``."""
+        return cls([RelationSchema.of(rel_name, attributes)
+                    for rel_name, attributes in relations.items()], name=name)
+
+    @classmethod
+    def from_hypergraph(cls, hypergraph: Hypergraph, *, prefix: str = "R",
+                        name: Optional[str] = None) -> "DatabaseSchema":
+        """Build a schema whose objects are exactly the hypergraph's edges.
+
+        Relations are named ``<prefix>1, <prefix>2, …`` following the
+        hypergraph's deterministic edge order; attribute order within each
+        relation follows the node order.
+        """
+        relations = []
+        for index, edge in enumerate(hypergraph.edges, start=1):
+            relations.append(RelationSchema.of(f"{prefix}{index}", sorted_nodes(edge)))
+        return cls(relations, name=name if name is not None else hypergraph.name)
+
+    # ------------------------------------------------------------------ #
+    # Accessors
+    # ------------------------------------------------------------------ #
+    @property
+    def name(self) -> Optional[str]:
+        """Optional human-readable name."""
+        return self._name
+
+    @property
+    def relations(self) -> Tuple[RelationSchema, ...]:
+        """All relation schemas, in declaration order."""
+        return self._relations
+
+    @property
+    def relation_names(self) -> Tuple[str, ...]:
+        """The relation names, in declaration order."""
+        return tuple(relation.name for relation in self._relations)
+
+    @property
+    def attributes(self) -> FrozenSet[Attribute]:
+        """The union of all relations' attributes (the universe of the universal relation)."""
+        universe: set = set()
+        for relation in self._relations:
+            universe.update(relation.attributes)
+        return frozenset(universe)
+
+    def __iter__(self) -> Iterator[RelationSchema]:
+        return iter(self._relations)
+
+    def __len__(self) -> int:
+        return len(self._relations)
+
+    def relation(self, name: str) -> RelationSchema:
+        """The relation schema with the given name."""
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise SchemaError(f"no relation named {name!r} in this database schema") from None
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._by_name
+
+    def relations_with_attribute(self, attribute: Attribute) -> Tuple[RelationSchema, ...]:
+        """The relation schemas whose scheme contains ``attribute``."""
+        if attribute not in self.attributes:
+            raise UnknownAttributeError(attribute)
+        return tuple(relation for relation in self._relations
+                     if relation.has_attribute(attribute))
+
+    def relations_for_edge(self, edge: Iterable[Attribute]) -> Tuple[RelationSchema, ...]:
+        """The relation schemas whose attribute set equals ``edge``.
+
+        Several relations can share the same scheme; the hypergraph collapses
+        them into one edge, so the reverse direction needs this lookup.
+        """
+        target = frozenset(edge)
+        return tuple(relation for relation in self._relations
+                     if relation.attribute_set == target)
+
+    # ------------------------------------------------------------------ #
+    # Hypergraph view
+    # ------------------------------------------------------------------ #
+    def to_hypergraph(self) -> Hypergraph:
+        """The schema as a hypergraph: attributes are nodes, relation schemes are edges."""
+        return Hypergraph([relation.attribute_set for relation in self._relations],
+                          nodes=self.attributes, name=self._name)
+
+    def is_acyclic(self) -> bool:
+        """``True`` when the schema's hypergraph is α-acyclic."""
+        from ..core.acyclicity import is_acyclic
+
+        return is_acyclic(self.to_hypergraph())
+
+    def describe(self) -> str:
+        """A multi-line description listing each relation scheme."""
+        lines = [f"Database schema {self._name or '(unnamed)'}"]
+        for relation in self._relations:
+            lines.append(f"  {relation}")
+        return "\n".join(lines)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, DatabaseSchema):
+            return NotImplemented
+        return self._relations == other._relations
+
+    def __hash__(self) -> int:
+        return hash(self._relations)
+
+    def __repr__(self) -> str:
+        return f"DatabaseSchema({', '.join(str(r) for r in self._relations)})"

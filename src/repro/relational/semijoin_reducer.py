@@ -1,0 +1,132 @@
+"""Semijoin programs and full reducers (Bernstein–Goodman, reference [5] of the paper).
+
+A *semijoin program* is a sequence of steps ``R_i := R_i ⋉ R_j``.  A *full
+reducer* is a semijoin program that, applied to any database over the schema,
+removes every dangling tuple — afterwards each relation equals the projection
+of the universal join onto its scheme.  Bernstein and Goodman showed that a
+schema has a full reducer iff it is acyclic (it is one of the equivalent
+characterisations the paper's Section 7 leans on); the reducer is read off a
+join tree: semijoin each relation with its children (leaves-to-root pass),
+then with its parent (root-to-leaves pass).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..core.hypergraph import Edge, Hypergraph
+from ..core.join_tree import JoinTree, build_join_tree
+from ..core.nodes import format_node_set, sorted_nodes
+from ..exceptions import CyclicHypergraphError, SchemaError
+from .algebra import project, semijoin
+from .database import Database
+from .relation import Relation
+
+__all__ = [
+    "SemijoinStep",
+    "SemijoinProgram",
+    "full_reducer_program",
+    "apply_semijoin_program",
+    "fully_reduce",
+    "is_fully_reduced",
+]
+
+
+@dataclass(frozen=True)
+class SemijoinStep:
+    """One step ``target := target ⋉ source`` of a semijoin program."""
+
+    target: str
+    source: str
+
+    def describe(self) -> str:
+        """Render the step in the usual ``R := R ⋉ S`` notation."""
+        return f"{self.target} := {self.target} ⋉ {self.source}"
+
+
+@dataclass(frozen=True)
+class SemijoinProgram:
+    """An ordered sequence of semijoin steps, with the join tree it was derived from."""
+
+    steps: Tuple[SemijoinStep, ...]
+    join_tree: Optional[JoinTree] = None
+
+    def __len__(self) -> int:
+        return len(self.steps)
+
+    def __iter__(self):
+        return iter(self.steps)
+
+    def describe(self) -> str:
+        """A multi-line listing of the program's steps."""
+        if not self.steps:
+            return "(empty semijoin program)"
+        return "\n".join(f"{index + 1:3d}. {step.describe()}"
+                         for index, step in enumerate(self.steps))
+
+
+def _relation_name_for_edge(database_or_schema, edge: Edge) -> str:
+    """Pick the (first) relation whose scheme is exactly ``edge``."""
+    schema = database_or_schema.schema if isinstance(database_or_schema, Database) \
+        else database_or_schema
+    matches = schema.relations_for_edge(edge)
+    if not matches:
+        raise SchemaError(f"no relation has scheme {format_node_set(edge)}")
+    return matches[0].name
+
+
+def full_reducer_program(database: Database, *, root: Optional[Edge] = None) -> SemijoinProgram:
+    """Derive a full reducer for an acyclic database schema.
+
+    Raises :class:`CyclicHypergraphError` when the schema is cyclic (no full
+    reducer exists then).  The program consists of an upward (leaves-to-root)
+    pass followed by a downward (root-to-leaves) pass over a join tree.
+    """
+    hypergraph = database.hypergraph
+    tree = build_join_tree(hypergraph)
+    if tree is None:
+        raise CyclicHypergraphError(
+            "the database schema is cyclic; no full reducer (semijoin program) exists")
+    traversal = tree.rooted_traversal(root)
+    steps: List[SemijoinStep] = []
+    # Upward pass: children before parents — process vertices in reverse
+    # traversal order, semijoining each parent with the child.
+    for vertex, parent in reversed(traversal):
+        if parent is None:
+            continue
+        steps.append(SemijoinStep(target=_relation_name_for_edge(database, parent),
+                                  source=_relation_name_for_edge(database, vertex)))
+    # Downward pass: parents before children.
+    for vertex, parent in traversal:
+        if parent is None:
+            continue
+        steps.append(SemijoinStep(target=_relation_name_for_edge(database, vertex),
+                                  source=_relation_name_for_edge(database, parent)))
+    return SemijoinProgram(steps=tuple(steps), join_tree=tree)
+
+
+def apply_semijoin_program(database: Database, program: SemijoinProgram) -> Database:
+    """Apply a semijoin program to a database and return the reduced database."""
+    current = database
+    for step in program:
+        target = current.relation(step.target)
+        source = current.relation(step.source)
+        reduced = semijoin(target, source)
+        current = current.with_relation(reduced)
+    return current
+
+
+def fully_reduce(database: Database, *, root: Optional[Edge] = None) -> Database:
+    """Derive and apply a full reducer (acyclic schemas only)."""
+    return apply_semijoin_program(database, full_reducer_program(database, root=root))
+
+
+def is_fully_reduced(database: Database) -> bool:
+    """``True`` when no relation contains a dangling tuple.
+
+    Equivalent to global consistency: every relation equals the projection of
+    the universal join onto its scheme.  Computes the universal join, so it is
+    intended for tests and benchmarks rather than large data.
+    """
+    return database.dangling_tuple_count() == 0

@@ -1,0 +1,213 @@
+"""The universal-relation interface (Section 7 of the paper).
+
+The interpretation the paper gives its main theorem is about *universal
+relation* query answering: the database's objects (relations) are the edges of
+a hypergraph over the attributes; a query that mentions a set ``X`` of
+attributes is answered by joining the objects in the canonical connection
+``CC(X)`` and applying the query to that join.  Tableau minimization is what
+turns "join all the objects" into "join exactly the objects in the canonical
+connection".
+
+Theorem 6.1's reading: universal relations whose objects form an **acyclic**
+hypergraph are exactly those for which the set of objects connecting any set
+of attributes is uniquely defined — so the straightforward implementation of
+universal-relation queries is sound precisely for acyclic object sets, and a
+warning is warranted otherwise (the paper points to maximal-object semantics
+for the cyclic case).
+
+:class:`UniversalRelationInterface` implements that semantics over the
+in-memory relational substrate, exposes the alternative semantics the paper
+contrasts it with (joining *all* objects), and reports the diagnostic signals
+(acyclicity, uniqueness of the connection, Graham/tableau disagreement) that
+the benchmarks and examples print.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+
+from ..core.acyclicity import is_acyclic
+from ..core.canonical import CanonicalConnection, canonical_connection_result, graham_connection
+from ..core.hypergraph import Edge, Hypergraph
+from ..core.nodes import format_node_set, sorted_nodes
+from ..exceptions import QueryError, SchemaError
+from .algebra import join_all, natural_join, project, select
+from .database import Database
+from .relation import Relation, Row
+from .schema import Attribute
+
+__all__ = ["WindowResult", "UniversalRelationInterface"]
+
+
+@dataclass(frozen=True)
+class WindowResult:
+    """The answer to a universal-relation query plus its provenance.
+
+    Attributes
+    ----------
+    attributes:
+        The query attributes ``X``.
+    relation:
+        The answer: the join of the connection's objects projected onto ``X``
+        (after the optional selection).
+    connection:
+        The canonical connection used to pick the objects.
+    objects_joined:
+        The names of the relations that were actually joined.
+    schema_is_acyclic:
+        Whether the object hypergraph is acyclic — i.e. whether the paper
+        guarantees the connection (and hence this answer) is uniquely defined.
+    """
+
+    attributes: Tuple[Attribute, ...]
+    relation: Relation
+    connection: CanonicalConnection
+    objects_joined: Tuple[str, ...]
+    schema_is_acyclic: bool
+
+    def describe(self) -> str:
+        """A multi-line report used by the examples."""
+        lines = [f"window [{', '.join(str(a) for a in self.attributes)}]"]
+        lines.append(f"  objects joined: {', '.join(self.objects_joined) or '(none)'}")
+        lines.append(f"  connection is {'uniquely defined (acyclic schema)' if self.schema_is_acyclic else 'NOT guaranteed unique (cyclic schema)'}")
+        lines.append(f"  {len(self.relation)} answer rows")
+        return "\n".join(lines)
+
+
+class UniversalRelationInterface:
+    """Universal-relation query answering over a :class:`Database`."""
+
+    def __init__(self, database: Database) -> None:
+        self._database = database
+        self._hypergraph = database.hypergraph
+        self._acyclic = is_acyclic(self._hypergraph)
+
+    # ------------------------------------------------------------------ #
+    # Schema-level diagnostics
+    # ------------------------------------------------------------------ #
+    @property
+    def database(self) -> Database:
+        """The underlying database."""
+        return self._database
+
+    @property
+    def hypergraph(self) -> Hypergraph:
+        """The object hypergraph (attributes as nodes, objects as edges)."""
+        return self._hypergraph
+
+    @property
+    def is_acyclic(self) -> bool:
+        """Whether the objects form an acyclic hypergraph (Theorem 6.1's good case)."""
+        return self._acyclic
+
+    def connection_is_unique(self, attributes: Iterable[Attribute]) -> bool:
+        """Does Graham reduction agree with tableau reduction for these attributes?
+
+        By Theorem 3.5 the two always agree on acyclic schemas; a disagreement
+        is the concrete symptom of the "connection not uniquely defined"
+        problem on cyclic schemas (the paper's post-Theorem-3.5 example).
+        """
+        attribute_set = frozenset(attributes) & self._hypergraph.nodes
+        graham_side = frozenset(edge for edge in
+                                graham_connection(self._hypergraph, attribute_set).edges if edge)
+        tableau_side = frozenset(
+            edge for edge in canonical_connection_result(self._hypergraph, attribute_set)
+            .connection.edges if edge)
+        return graham_side == tableau_side
+
+    # ------------------------------------------------------------------ #
+    # Query answering
+    # ------------------------------------------------------------------ #
+    def connection_for(self, attributes: Iterable[Attribute]) -> CanonicalConnection:
+        """The canonical connection ``CC(X)`` for the query attributes."""
+        attribute_set = frozenset(attributes)
+        unknown = attribute_set - self._database.schema.attributes
+        if unknown:
+            raise QueryError(f"query attributes {sorted_nodes(unknown)} are not in the schema")
+        return canonical_connection_result(self._hypergraph, attribute_set)
+
+    def objects_for(self, attributes: Iterable[Attribute]) -> Tuple[Relation, ...]:
+        """The relation instances the canonical connection says should be joined."""
+        connection = self.connection_for(attributes)
+        relations: List[Relation] = []
+        seen: set = set()
+        for edge in connection.objects:
+            for relation in self._database.relations_for_edge(edge):
+                if relation.name not in seen:
+                    seen.add(relation.name)
+                    relations.append(relation)
+        return tuple(relations)
+
+    def window(self, attributes: Sequence[Attribute],
+               predicate: Optional[Callable[[Row], bool]] = None) -> WindowResult:
+        """Answer a query over ``attributes`` through the canonical connection.
+
+        The objects in ``CC(attributes)`` are joined, the optional
+        ``predicate`` (a selection on the joined rows) is applied, and the
+        result is projected onto ``attributes``.  This is the paper's intended
+        universal-relation semantics; on acyclic schemas it is uniquely
+        determined by the attributes alone.
+        """
+        ordered = list(dict.fromkeys(attributes))
+        connection = self.connection_for(ordered)
+        relations = self.objects_for(ordered)
+        if relations:
+            joined = join_all(relations)
+        else:
+            raise QueryError(
+                f"no object of the schema mentions any of the attributes {ordered}")
+        if predicate is not None:
+            joined = select(joined, predicate)
+        in_scope = [attribute for attribute in ordered
+                    if attribute in joined.schema.attribute_set]
+        if len(in_scope) != len(ordered):
+            missing = [a for a in ordered if a not in joined.schema.attribute_set]
+            raise QueryError(
+                f"attributes {missing} are not connected to the rest of the query "
+                "(the canonical connection does not reach them)")
+        answer = project(joined, ordered, name=f"[{', '.join(str(a) for a in ordered)}]")
+        return WindowResult(
+            attributes=tuple(ordered),
+            relation=answer,
+            connection=connection,
+            objects_joined=tuple(relation.name for relation in relations),
+            schema_is_acyclic=self._acyclic,
+        )
+
+    def window_by_full_join(self, attributes: Sequence[Attribute],
+                            predicate: Optional[Callable[[Row], bool]] = None) -> Relation:
+        """The alternative semantics the paper contrasts with: join *all* the objects.
+
+        On acyclic, globally consistent databases this agrees with
+        :meth:`window`; in general it can lose answers (tuples dangling with
+        respect to unrelated objects disappear from the global join), which is
+        exactly why the canonical-connection semantics is preferable.
+        """
+        ordered = list(dict.fromkeys(attributes))
+        joined = self._database.universal_join()
+        if predicate is not None:
+            joined = select(joined, predicate)
+        missing = [a for a in ordered if a not in joined.schema.attribute_set]
+        if missing:
+            raise QueryError(f"attributes {missing} are not in the schema")
+        return project(joined, ordered, name=f"U[{', '.join(str(a) for a in ordered)}]")
+
+    def compare_semantics(self, attributes: Sequence[Attribute]) -> Dict[str, Any]:
+        """Contrast the two semantics for one attribute set (used by E-UR).
+
+        Returns a dictionary with the two answer sizes, whether they agree,
+        whether the connection is uniquely defined (Graham vs tableau), and
+        the objects joined by the canonical-connection semantics.
+        """
+        canonical = self.window(attributes)
+        full = self.window_by_full_join(attributes)
+        return {
+            "attributes": tuple(attributes),
+            "acyclic_schema": self._acyclic,
+            "connection_unique": self.connection_is_unique(attributes),
+            "objects_joined": canonical.objects_joined,
+            "canonical_rows": len(canonical.relation),
+            "full_join_rows": len(full),
+            "answers_agree": frozenset(canonical.relation.rows) == frozenset(full.rows),
+        }

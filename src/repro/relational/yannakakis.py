@@ -1,0 +1,173 @@
+"""Yannakakis' algorithm for acyclic joins.
+
+Given an acyclic database schema, Yannakakis' algorithm computes the natural
+join of all relations (optionally projected onto a set of output attributes)
+in time polynomial in input + output:
+
+1. pick a join tree for the schema's hypergraph;
+2. run an upward semijoin pass (children into parents) and a downward pass
+   (parents into children) — a Bernstein–Goodman full reducer — so that no
+   dangling tuples remain;
+3. join bottom-up along the tree, projecting each intermediate onto the
+   attributes still needed (output attributes plus separators above).
+
+The algorithm postdates the paper by a year but is the canonical way to make
+Section 7's "join the objects of the canonical connection" operational, and it
+is the acyclic-side contender in the E-JOIN benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+
+from ..core.hypergraph import Edge, Hypergraph
+from ..core.join_tree import JoinTree, build_join_tree
+from ..core.nodes import sorted_nodes
+from ..exceptions import CyclicHypergraphError, SchemaError
+from .algebra import join_all, natural_join, project, semijoin
+from .database import Database
+from .join_plans import JoinStatistics
+from .relation import Relation
+from .schema import Attribute
+
+__all__ = ["YannakakisResult", "yannakakis_join", "naive_join"]
+
+
+@dataclass(frozen=True)
+class YannakakisResult:
+    """The output of a Yannakakis evaluation plus its accounting.
+
+    ``semijoin_count`` is the number of semijoin steps performed by the
+    reducer passes; ``statistics`` records intermediate sizes of the final
+    join phase so the benchmark can compare against the naive plan.
+    """
+
+    relation: Relation
+    join_tree: JoinTree
+    semijoin_count: int
+    statistics: JoinStatistics
+
+
+def _representative_relations(database: Database, tree: JoinTree) -> Dict[Edge, Relation]:
+    """One relation instance per join-tree vertex.
+
+    When several relations share the same scheme they correspond to a single
+    hypergraph edge; their instances are pre-joined (intersected on the common
+    scheme) so the tree walk sees exactly one relation per vertex.
+    """
+    representatives: Dict[Edge, Relation] = {}
+    for vertex in tree.vertices:
+        matches = database.relations_for_edge(vertex)
+        if not matches:
+            raise SchemaError("join tree vertex without a matching relation")
+        combined = matches[0]
+        for extra in matches[1:]:
+            combined = natural_join(combined, extra)
+        representatives[vertex] = combined
+    return representatives
+
+
+def yannakakis_join(database: Database, output_attributes: Optional[Iterable[Attribute]] = None,
+                    *, root: Optional[Edge] = None) -> "YannakakisResult":
+    """Evaluate the full acyclic join (optionally projected) via Yannakakis' algorithm.
+
+    Raises :class:`CyclicHypergraphError` for cyclic schemas.  With
+    ``output_attributes=None`` the full universal join is produced; otherwise
+    the result is projected onto the requested attributes (and intermediates
+    are projected as aggressively as the join tree allows).
+    """
+    hypergraph = database.hypergraph
+    tree = build_join_tree(hypergraph)
+    if tree is None:
+        raise CyclicHypergraphError("Yannakakis' algorithm requires an acyclic schema")
+    wanted: Optional[FrozenSet[Attribute]] = (
+        frozenset(output_attributes) if output_attributes is not None else None)
+    if wanted is not None and not wanted <= database.schema.attributes:
+        missing = wanted - database.schema.attributes
+        raise SchemaError(f"output attributes {sorted_nodes(missing)} are not in the schema")
+
+    relations = _representative_relations(database, tree)
+    traversal = tree.rooted_traversal(root)
+    semijoin_count = 0
+
+    # Upward pass: semijoin each parent with its child (children first).
+    for vertex, parent in reversed(traversal):
+        if parent is None:
+            continue
+        relations[parent] = semijoin(relations[parent], relations[vertex])
+        semijoin_count += 1
+    # Downward pass: semijoin each child with its parent (parents first).
+    for vertex, parent in traversal:
+        if parent is None:
+            continue
+        relations[vertex] = semijoin(relations[vertex], relations[parent])
+        semijoin_count += 1
+
+    # Bottom-up join with projection.  Children are folded into their parent;
+    # each intermediate is projected onto (output attributes ∪ attributes that
+    # still matter higher up), which is what bounds intermediate sizes.
+    children: Dict[Edge, List[Edge]] = {vertex: [] for vertex, _ in traversal}
+    parent_of: Dict[Edge, Optional[Edge]] = {}
+    for vertex, parent in traversal:
+        parent_of[vertex] = parent
+        if parent is not None:
+            children[parent].append(vertex)
+
+    intermediates: List[int] = []
+    partial: Dict[Edge, Relation] = {}
+    for vertex, parent in reversed(traversal):
+        current = relations[vertex]
+        for child in children[vertex]:
+            current = natural_join(current, partial[child])
+            intermediates.append(len(current))
+        if wanted is not None:
+            # Keep only the attributes still needed: requested output
+            # attributes plus the separator shared with the parent.
+            keep = frozenset(current.schema.attribute_set) & wanted
+            if parent is not None:
+                keep |= frozenset(vertex) & frozenset(parent)
+            if keep != current.schema.attribute_set:
+                current = project(current, sorted_nodes(keep))
+        partial[vertex] = current
+
+    roots = [vertex for vertex, parent in traversal if parent is None]
+    result = partial[roots[0]]
+    for other_root in roots[1:]:
+        result = natural_join(result, partial[other_root])
+        intermediates.append(len(result))
+    if wanted is not None:
+        in_scope = frozenset(result.schema.attribute_set) & wanted
+        result = project(result, sorted_nodes(in_scope))
+
+    statistics = JoinStatistics(
+        plan_name="yannakakis",
+        input_sizes=tuple(len(relation) for relation in database.relations()),
+        intermediate_sizes=tuple(intermediates),
+        output_size=len(result),
+    )
+    return YannakakisResult(relation=result, join_tree=tree,
+                            semijoin_count=semijoin_count, statistics=statistics)
+
+
+def naive_join(database: Database,
+               output_attributes: Optional[Iterable[Attribute]] = None) -> Tuple[Relation, JoinStatistics]:
+    """The baseline: join every relation in schema order, then project at the end."""
+    relations = database.relations()
+    if not relations:
+        raise SchemaError("naive_join needs at least one relation")
+    result = relations[0]
+    intermediates: List[int] = []
+    for relation in relations[1:]:
+        result = natural_join(result, relation)
+        intermediates.append(len(result))
+    if output_attributes is not None:
+        wanted = frozenset(output_attributes) & result.schema.attribute_set
+        result = project(result, sorted_nodes(wanted))
+    statistics = JoinStatistics(
+        plan_name="naive",
+        input_sizes=tuple(len(relation) for relation in relations),
+        intermediate_sizes=tuple(intermediates),
+        output_size=len(result),
+    )
+    return result, statistics

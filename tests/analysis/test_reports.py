@@ -1,0 +1,48 @@
+"""Unit tests for the plain-text report helpers."""
+
+from __future__ import annotations
+
+from repro.analysis import banner, format_mapping, format_table
+
+
+class TestFormatTable:
+    def test_basic_table(self):
+        rows = [{"name": "fig1", "edges": 4}, {"name": "triangle", "edges": 3}]
+        text = format_table(rows, title="hypergraphs")
+        assert "hypergraphs" in text
+        assert "fig1" in text and "triangle" in text
+        assert text.splitlines()[2].startswith("name")
+
+    def test_column_selection_and_order(self):
+        rows = [{"a": 1, "b": 2}]
+        text = format_table(rows, columns=["b", "a"])
+        header = text.splitlines()[0]
+        assert header.index("b") < header.index("a")
+
+    def test_missing_values_render_empty(self):
+        text = format_table([{"a": 1}, {"a": 2, "b": 3}], columns=["a", "b"])
+        assert "3" in text
+
+    def test_empty_rows(self):
+        assert "(no rows)" in format_table([], title="nothing")
+        assert "(no rows)" in format_table([])
+
+    def test_alignment(self):
+        rows = [{"key": "x", "value": 1}, {"key": "longer", "value": 22}]
+        lines = format_table(rows).splitlines()
+        assert len(lines[2]) <= len(lines[0]) + 2
+
+
+class TestFormatMappingAndBanner:
+    def test_format_mapping(self):
+        text = format_mapping({"alpha": True, "edges": 4}, title="report")
+        assert "report" in text
+        assert "alpha" in text and "True" in text
+
+    def test_format_mapping_empty(self):
+        assert format_mapping({}) == ""
+
+    def test_banner(self):
+        text = banner("Experiment E-FIG1")
+        assert "Experiment E-FIG1" in text
+        assert text.count("=") >= 2 * len("Experiment E-FIG1")

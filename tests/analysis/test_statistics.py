@@ -1,0 +1,48 @@
+"""Unit tests for hypergraph statistics and cyclicity diagnostics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import cyclicity_diagnostics, describe_hypergraph
+
+
+class TestDescribeHypergraph:
+    def test_fig1_statistics(self, fig1):
+        stats = describe_hypergraph(fig1)
+        assert stats.num_nodes == 6 and stats.num_edges == 4
+        assert stats.min_arity == stats.max_arity == 3
+        assert stats.alpha_acyclic and not stats.beta_acyclic and not stats.berge_acyclic
+        assert stats.is_connected and stats.is_reduced
+        assert stats.gyo_residue_edges == 0
+        assert stats.largest_block_edges == 1
+
+    def test_triangle_statistics(self, triangle_hypergraph):
+        stats = describe_hypergraph(triangle_hypergraph)
+        assert not stats.alpha_acyclic
+        assert stats.gyo_residue_edges == 3
+        assert stats.block_count == 1
+        assert stats.largest_block_edges == 3
+
+    def test_as_row_is_flat(self, fig1):
+        row = describe_hypergraph(fig1).as_row()
+        assert row["nodes"] == 6
+        assert row["alpha"] is True
+        assert isinstance(row["mean_arity"], float)
+
+
+class TestCyclicityDiagnostics:
+    def test_acyclic_diagnostics(self, fig5):
+        report = cyclicity_diagnostics(fig5)
+        assert report["alpha_acyclic"] is True
+        assert report["gyo_residue_size"] == 0
+        assert report["cyclic_block_count"] == 0
+        assert report["has_join_tree"] is True
+
+    def test_cyclic_diagnostics(self, cyclic_example):
+        report = cyclicity_diagnostics(cyclic_example)
+        assert report["alpha_acyclic"] is False
+        assert report["gyo_residue_size"] == 3
+        assert report["cyclic_block_count"] == 1
+        assert report["cyclic_block_sizes"] == [3]
+        assert report["has_join_tree"] is False

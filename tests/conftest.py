@@ -1,0 +1,87 @@
+"""Shared fixtures: the paper's hypergraphs, generated families and example databases."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Hypergraph
+from repro.generators import (
+    cyclic_counterexample,
+    example_5_1_hypergraph,
+    figure_1,
+    figure_5,
+    generate_database,
+    random_acyclic_hypergraph,
+    random_cyclic_hypergraph,
+    square_cycle,
+    triangle,
+    triangle_with_covering_edge,
+    university_schema,
+)
+
+
+@pytest.fixture
+def fig1() -> Hypergraph:
+    """Fig. 1: {ABC, CDE, AEF, ACE} — the paper's canonical acyclic example."""
+    return figure_1()
+
+
+@pytest.fixture
+def fig5() -> Hypergraph:
+    """Fig. 5 (reconstruction): the acyclic chain {ABC, BCD, CDE, DEF}."""
+    return figure_5()
+
+
+@pytest.fixture
+def example51() -> Hypergraph:
+    """Example 5.1: Fig. 1 without the edge {A, C, E}."""
+    return example_5_1_hypergraph()
+
+
+@pytest.fixture
+def cyclic_example() -> Hypergraph:
+    """The cyclic counterexample after Theorem 3.5: {AB, AC, BC, AD}."""
+    return cyclic_counterexample()
+
+
+@pytest.fixture
+def triangle_hypergraph() -> Hypergraph:
+    """The 3-cycle {AB, BC, CA}."""
+    return triangle()
+
+
+@pytest.fixture
+def square_hypergraph() -> Hypergraph:
+    """The 4-cycle {AB, BC, CD, DA}."""
+    return square_cycle()
+
+
+@pytest.fixture
+def covered_triangle() -> Hypergraph:
+    """{AB, BC, CA, ABC}: α-acyclic but neither β- nor Berge-acyclic."""
+    return triangle_with_covering_edge()
+
+
+@pytest.fixture(params=[0, 1, 2, 3])
+def small_acyclic(request) -> Hypergraph:
+    """A small family of generated acyclic hypergraphs (4 seeds)."""
+    return random_acyclic_hypergraph(num_edges=5, max_arity=3, seed=request.param)
+
+
+@pytest.fixture(params=[0, 1, 2, 3])
+def small_cyclic(request) -> Hypergraph:
+    """A small family of generated cyclic hypergraphs (4 seeds)."""
+    return random_cyclic_hypergraph(num_edges=5, max_arity=3, seed=request.param)
+
+
+@pytest.fixture
+def university_database():
+    """A consistent database over the acyclic university schema."""
+    return generate_database(university_schema(), universe_rows=25, domain_size=6, seed=7)
+
+
+@pytest.fixture
+def university_database_with_dangling():
+    """The university database with dangling tuples added to every relation."""
+    return generate_database(university_schema(), universe_rows=25, domain_size=6,
+                             dangling_fraction=0.4, seed=7)

@@ -1,0 +1,146 @@
+"""Unit tests for the acyclicity tests (α by three routes, β, Berge)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Hypergraph
+from repro.core.acyclicity import (
+    acyclicity_report,
+    cyclicity_witness,
+    is_acyclic,
+    is_acyclic_by_definition,
+    is_acyclic_gyo,
+    is_acyclic_via_join_tree,
+    is_berge_acyclic,
+    is_beta_acyclic,
+)
+from repro.core.articulation import has_articulation_set
+
+
+class TestAlphaAcyclicity:
+    def test_fig1_is_acyclic(self, fig1):
+        assert is_acyclic(fig1)
+        assert is_acyclic_gyo(fig1)
+        assert is_acyclic_via_join_tree(fig1)
+        assert is_acyclic_by_definition(fig1)
+
+    def test_fig5_is_acyclic(self, fig5):
+        assert is_acyclic(fig5)
+        assert is_acyclic_by_definition(fig5)
+
+    def test_example_5_1_is_cyclic(self, example51):
+        # Removing {A, C, E} from Fig. 1 leaves the ring {ABC, CDE, AEF}, which
+        # is cyclic — that is exactly why Example 5.1 can exhibit an
+        # independent tree (Theorem 6.1).
+        assert not is_acyclic(example51)
+        assert not is_acyclic_by_definition(example51)
+
+    def test_triangle_is_cyclic(self, triangle_hypergraph):
+        assert not is_acyclic(triangle_hypergraph)
+        assert not is_acyclic_via_join_tree(triangle_hypergraph)
+        assert not is_acyclic_by_definition(triangle_hypergraph)
+
+    def test_square_is_cyclic(self, square_hypergraph):
+        assert not is_acyclic(square_hypergraph)
+
+    def test_cyclic_example_is_cyclic(self, cyclic_example):
+        assert not is_acyclic(cyclic_example)
+
+    def test_covered_triangle_is_alpha_acyclic(self, covered_triangle):
+        assert is_acyclic(covered_triangle)
+        assert is_acyclic_by_definition(covered_triangle)
+
+    def test_single_edge_is_acyclic(self):
+        assert is_acyclic(Hypergraph([{"A", "B", "C"}]))
+
+    def test_empty_hypergraph_is_acyclic(self):
+        assert is_acyclic(Hypergraph.empty())
+
+    def test_disconnected_acyclic(self):
+        h = Hypergraph([{"A", "B"}, {"C", "D"}])
+        assert is_acyclic(h)
+        assert is_acyclic_via_join_tree(h)
+
+    def test_three_tests_agree_on_generated_acyclic(self, small_acyclic):
+        assert is_acyclic_gyo(small_acyclic)
+        assert is_acyclic_via_join_tree(small_acyclic)
+
+    def test_three_tests_agree_on_generated_cyclic(self, small_cyclic):
+        assert not is_acyclic_gyo(small_cyclic)
+        assert not is_acyclic_via_join_tree(small_cyclic)
+
+
+class TestDefinitionalCheck:
+    def test_witness_for_triangle(self, triangle_hypergraph):
+        witness = cyclicity_witness(triangle_hypergraph)
+        assert witness is not None
+        generators, generated = witness
+        assert generated.num_edges > 1
+        assert not has_articulation_set(generated)
+
+    def test_no_witness_for_fig1(self, fig1):
+        assert cyclicity_witness(fig1) is None
+
+    def test_witness_generated_from_original(self, cyclic_example):
+        witness = cyclicity_witness(cyclic_example)
+        assert witness is not None
+        generators, generated = witness
+        assert generated.edge_set == frozenset(cyclic_example.node_generated(generators).edges)
+
+    def test_node_limit_enforced(self):
+        big = Hypergraph([{f"N{i}", f"N{i+1}"} for i in range(20)])
+        with pytest.raises(ValueError):
+            is_acyclic_by_definition(big)
+        with pytest.raises(ValueError):
+            cyclicity_witness(big)
+
+
+class TestStricterNotions:
+    def test_beta_hierarchy(self, covered_triangle):
+        # α-acyclic but not β-acyclic (the triangle is an edge subset).
+        assert is_acyclic(covered_triangle)
+        assert not is_beta_acyclic(covered_triangle)
+
+    def test_fig1_not_berge(self, fig1):
+        # Two edges of Fig. 1 share two nodes, so the incidence graph has a cycle.
+        assert not is_berge_acyclic(fig1)
+
+    def test_chain_is_beta_and_berge(self):
+        chain = Hypergraph([{"A", "B"}, {"B", "C"}, {"C", "D"}])
+        assert is_beta_acyclic(chain)
+        assert is_berge_acyclic(chain)
+        assert is_acyclic(chain)
+
+    def test_triangle_fails_all(self, triangle_hypergraph):
+        assert not is_beta_acyclic(triangle_hypergraph)
+        assert not is_berge_acyclic(triangle_hypergraph)
+
+    def test_beta_implies_alpha(self, small_acyclic, small_cyclic):
+        # On any hypergraph, β-acyclicity implies α-acyclicity.
+        for h in (small_acyclic, small_cyclic):
+            if is_beta_acyclic(h):
+                assert is_acyclic(h)
+
+    def test_berge_implies_beta(self, small_acyclic, small_cyclic):
+        for h in (small_acyclic, small_cyclic):
+            if is_berge_acyclic(h):
+                assert is_beta_acyclic(h)
+
+    def test_single_edge_is_berge_acyclic(self):
+        assert is_berge_acyclic(Hypergraph([{"A", "B", "C"}]))
+
+
+class TestReport:
+    def test_report_keys(self, fig1):
+        report = acyclicity_report(fig1)
+        assert report["alpha"] is True
+        assert report["beta"] is False
+        assert report["berge"] is False
+        assert report["alpha_via_join_tree"] is True
+        assert report["alpha_by_definition"] is True
+
+    def test_report_on_cyclic(self, triangle_hypergraph):
+        report = acyclicity_report(triangle_hypergraph)
+        assert not report["alpha"]
+        assert not report["alpha_by_definition"]

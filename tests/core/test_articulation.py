@@ -1,0 +1,121 @@
+"""Unit tests for articulation sets and block decomposition."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Hypergraph
+from repro.core.articulation import (
+    articulation_sets,
+    articulation_split,
+    block_decomposition,
+    blocks,
+    candidate_articulation_sets,
+    find_articulation_set,
+    has_articulation_set,
+    is_articulation_set,
+    maximal_edge_intersection,
+)
+from repro.exceptions import HypergraphError
+
+
+class TestCandidates:
+    def test_candidates_are_pairwise_intersections(self, fig1):
+        candidates = candidate_articulation_sets(fig1)
+        assert frozenset({"A", "C"}) in candidates
+        assert frozenset({"C", "E"}) in candidates
+
+    def test_candidates_deduplicated(self):
+        h = Hypergraph([{"A", "B"}, {"A", "C"}, {"A", "D"}])
+        candidates = candidate_articulation_sets(h)
+        assert candidates.count(frozenset({"A"})) == 1
+
+    def test_no_candidates_for_single_edge(self):
+        assert candidate_articulation_sets(Hypergraph([{"A", "B"}])) == ()
+
+
+class TestArticulationSets:
+    def test_fig1_has_articulation_sets(self, fig1):
+        found = articulation_sets(fig1)
+        assert frozenset({"C", "E"}) in found   # separates D from the rest
+        assert frozenset({"A", "E"}) in found   # separates F
+        assert frozenset({"A", "C"}) in found   # separates B
+
+    def test_is_articulation_set_checks_intersection_condition(self, fig1):
+        # {C} is not an intersection of two edges of Fig. 1, so it cannot be an
+        # articulation set even if it separated something.
+        assert not is_articulation_set(fig1, {"C"})
+
+    def test_is_articulation_set_true(self, fig1):
+        assert is_articulation_set(fig1, {"C", "E"})
+
+    def test_triangle_has_none(self, triangle_hypergraph):
+        assert not has_articulation_set(triangle_hypergraph)
+        assert find_articulation_set(triangle_hypergraph) is None
+
+    def test_square_has_none(self, square_hypergraph):
+        assert articulation_sets(square_hypergraph) == ()
+
+    def test_cyclic_example_has_articulation(self, cyclic_example):
+        # {A} separates D from {B, C} in {AB, AC, BC, AD}.
+        assert is_articulation_set(cyclic_example, {"A"})
+
+
+class TestSplit:
+    def test_split_at_articulation(self, fig1):
+        pieces = articulation_split(fig1, {"C", "E"})
+        assert len(pieces) == 2
+        sizes = sorted(piece.num_edges for piece in pieces)
+        assert sizes[0] >= 1
+
+    def test_split_requires_articulation(self, fig1):
+        with pytest.raises(HypergraphError):
+            articulation_split(fig1, {"B"})
+
+    def test_split_pieces_cover_nodes(self, cyclic_example):
+        pieces = articulation_split(cyclic_example, {"A"})
+        covered = frozenset().union(*[piece.nodes for piece in pieces])
+        assert covered == cyclic_example.nodes
+
+
+class TestBlocks:
+    def test_acyclic_blocks_are_single_edges(self, fig1):
+        for block in blocks(fig1):
+            assert block.num_edges == 1
+
+    def test_triangle_is_its_own_block(self, triangle_hypergraph):
+        decomposition = block_decomposition(triangle_hypergraph)
+        assert len(decomposition) == 1
+        assert decomposition[0].num_edges == 3
+
+    def test_cyclic_example_block_structure(self, cyclic_example):
+        decomposition = block_decomposition(cyclic_example)
+        cyclic_blocks = [block for block in decomposition if block.num_edges > 1]
+        assert len(cyclic_blocks) == 1
+        assert cyclic_blocks[0].edge_set == frozenset(
+            {frozenset({"A", "B"}), frozenset({"A", "C"}), frozenset({"B", "C"})})
+
+    def test_disconnected_hypergraph_blocks(self):
+        h = Hypergraph([{"A", "B"}, {"C", "D"}])
+        decomposition = block_decomposition(h)
+        assert len(decomposition) == 2
+
+    def test_single_edge_block(self):
+        h = Hypergraph([{"A", "B"}])
+        assert block_decomposition(h) == (h,)
+
+
+class TestMaximalIntersection:
+    def test_maximal_intersection_of_fig1(self, fig1):
+        result = maximal_edge_intersection(fig1)
+        assert result is not None
+        _, _, shared = result
+        assert len(shared) == 2  # the pairwise intersections of size 2 are maximal
+
+    def test_single_edge_returns_none(self):
+        assert maximal_edge_intersection(Hypergraph([{"A"}])) is None
+
+    def test_triangle_maximal_intersections_are_singletons(self, triangle_hypergraph):
+        result = maximal_edge_intersection(triangle_hypergraph)
+        assert result is not None
+        assert len(result[2]) == 1

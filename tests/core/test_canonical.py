@@ -1,0 +1,78 @@
+"""Unit tests for canonical connections CC_H(X) (Section 5)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Hypergraph, canonical_connection, canonical_connection_result
+from repro.core.canonical import (
+    connection_nodes,
+    connection_objects,
+    connects,
+    graham_connection,
+)
+
+
+class TestCanonicalConnection:
+    def test_cc_equals_tr(self, fig1):
+        """CC(X) is by definition TR(H, X)."""
+        from repro import tableau_reduce
+
+        assert canonical_connection(fig1, {"A", "D"}) == tableau_reduce(fig1, {"A", "D"})
+
+    def test_cc_of_example_5_1(self, example51):
+        connection = canonical_connection(example51, {"A", "C"})
+        assert connection.edge_set == frozenset({frozenset({"A", "C"})})
+
+    def test_cc_nodes(self, fig1):
+        assert connection_nodes(fig1, {"A", "D"}) == frozenset({"A", "C", "D", "E"})
+
+    def test_cc_objects_are_original_edges(self, fig1):
+        objects = connection_objects(fig1, {"A", "D"})
+        assert set(objects) == {frozenset("CDE"), frozenset("ACE")}
+        for edge in objects:
+            assert fig1.has_edge(edge)
+
+    def test_result_bundle(self, fig1):
+        result = canonical_connection_result(fig1, {"A", "D"})
+        assert result.nodes_of_interest == frozenset({"A", "D"})
+        assert result.partial_edges == result.connection.edges
+        assert result.contains_set({"A", "C"})
+        assert not result.contains_set({"B"})
+        assert "CC(" in result.describe()
+
+    def test_fig5_connection_has_all_edges(self, fig5):
+        result = canonical_connection_result(fig5, {"A", "F"})
+        assert set(result.objects) == fig5.edge_set
+
+
+class TestConnects:
+    def test_connected_attributes(self, fig1):
+        assert connects(fig1, {"A", "D"})
+        assert connects(fig1, {"B", "F"})
+
+    def test_single_attribute(self, fig1):
+        assert connects(fig1, {"B"})
+
+    def test_disconnected_hypergraph_attributes(self):
+        h = Hypergraph([{"A", "B"}, {"C", "D"}])
+        assert not connects(h, {"A", "C"})
+        assert connects(h, {"A", "B"})
+
+
+class TestGrahamConnection:
+    def test_graham_connection_matches_cc_on_acyclic(self, fig1):
+        """Theorem 3.5 in action."""
+        assert frozenset(graham_connection(fig1, {"A", "D"}).edges) == \
+            frozenset(canonical_connection(fig1, {"A", "D"}).edges)
+
+    def test_graham_connection_differs_on_cyclic(self, cyclic_example):
+        """The paper's counterexample: GR keeps four edges, TR keeps only {D}."""
+        graham_side = graham_connection(cyclic_example, {"D"})
+        tableau_side = canonical_connection(cyclic_example, {"D"})
+        assert graham_side.num_edges == 4
+        assert tableau_side.num_edges == 1
+        assert frozenset(graham_side.edges) != frozenset(tableau_side.edges)
+
+    def test_graham_connection_drops_empty_edges(self, fig1):
+        assert graham_connection(fig1, set()).num_edges == 0

@@ -1,0 +1,130 @@
+"""Unit tests for connectivity and components."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Hypergraph
+from repro.core.components import (
+    UnionFind,
+    component_count,
+    components,
+    components_after_removal,
+    connecting_edge_sequence,
+    edge_components,
+    is_connected,
+    nodes_connected,
+    separates,
+)
+from repro.exceptions import UnknownNodeError
+
+
+class TestUnionFind:
+    def test_singletons(self):
+        uf = UnionFind(["A", "B"])
+        assert not uf.connected("A", "B")
+        assert len(uf.groups()) == 2
+
+    def test_union_and_find(self):
+        uf = UnionFind(["A", "B", "C"])
+        uf.union("A", "B")
+        assert uf.connected("A", "B")
+        assert not uf.connected("A", "C")
+
+    def test_groups_are_frozensets(self):
+        uf = UnionFind(["A", "B"])
+        uf.union("A", "B")
+        assert uf.groups() == (frozenset({"A", "B"}),)
+
+    def test_add_is_idempotent(self):
+        uf = UnionFind()
+        uf.add("A")
+        uf.add("A")
+        assert len(uf) == 1
+
+    def test_union_same_class_is_noop(self):
+        uf = UnionFind(["A", "B"])
+        uf.union("A", "B")
+        uf.union("B", "A")
+        assert len(uf.groups()) == 1
+
+
+class TestComponents:
+    def test_connected_hypergraph(self, fig1):
+        assert components(fig1) == (fig1.nodes,)
+        assert is_connected(fig1)
+
+    def test_disconnected_components(self):
+        h = Hypergraph([{"A", "B"}, {"C", "D"}, {"D", "E"}])
+        comps = components(h)
+        assert len(comps) == 2
+        assert frozenset({"A", "B"}) in comps
+        assert frozenset({"C", "D", "E"}) in comps
+
+    def test_isolated_node_is_own_component(self):
+        h = Hypergraph([{"A", "B"}], nodes={"Z"})
+        assert component_count(h) == 2
+
+    def test_empty_hypergraph_has_no_components(self):
+        assert components(Hypergraph.empty()) == ()
+
+    def test_components_after_removal(self, fig1):
+        # Removing {C, E} separates {A, B, F} from {D} in Fig. 1.
+        comps = components_after_removal(fig1, {"C", "E"})
+        assert len(comps) == 2
+
+    def test_edge_components_partition_edges(self):
+        h = Hypergraph([{"A", "B"}, {"C", "D"}])
+        groups = edge_components(h)
+        assert len(groups) == 2
+        assert sum(len(group) for group in groups) == 2
+
+
+class TestNodeConnectivity:
+    def test_nodes_connected_same_node(self, fig1):
+        assert nodes_connected(fig1, "A", "A")
+
+    def test_nodes_connected_across_edges(self, fig1):
+        assert nodes_connected(fig1, "B", "D")
+
+    def test_nodes_not_connected(self):
+        h = Hypergraph([{"A", "B"}, {"C", "D"}])
+        assert not nodes_connected(h, "A", "C")
+
+    def test_unknown_node_raises(self, fig1):
+        with pytest.raises(UnknownNodeError):
+            nodes_connected(fig1, "A", "Z")
+
+
+class TestConnectingEdgeSequence:
+    def test_sequence_exists_and_is_valid(self, fig1):
+        sequence = connecting_edge_sequence(fig1, "B", "D")
+        assert sequence is not None
+        assert "B" in sequence[0]
+        assert "D" in sequence[-1]
+        for first, second in zip(sequence, sequence[1:]):
+            assert first & second
+
+    def test_sequence_within_single_edge(self, fig1):
+        sequence = connecting_edge_sequence(fig1, "A", "B")
+        assert sequence is not None and len(sequence) == 1
+
+    def test_no_sequence_when_disconnected(self):
+        h = Hypergraph([{"A", "B"}, {"C", "D"}])
+        assert connecting_edge_sequence(h, "A", "C") is None
+
+    def test_shortest_sequence(self):
+        chain = Hypergraph([{"A", "B"}, {"B", "C"}, {"C", "D"}, {"A", "D"}])
+        sequence = connecting_edge_sequence(chain, "A", "D")
+        assert sequence is not None and len(sequence) == 1
+
+
+class TestSeparates:
+    def test_articulation_separates(self, fig1):
+        assert separates(fig1, {"C", "E"}, {"D"}, {"A", "B", "F"})
+
+    def test_non_separator(self, fig1):
+        assert not separates(fig1, {"B"}, {"A"}, {"D"})
+
+    def test_vacuous_when_side_removed(self, fig1):
+        assert separates(fig1, {"D"}, {"D"}, {"A"})

@@ -1,0 +1,163 @@
+"""Unit tests for connecting trees, connecting paths, and independence (Section 5)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import ConnectingPath, ConnectingTree, Hypergraph
+from repro.core.connecting_tree import (
+    connecting_tree_violations,
+    independent_path_from_tree,
+)
+from repro.exceptions import HypergraphError
+
+
+@pytest.fixture
+def fig6_tree(example51):
+    """The independent tree of Fig. 6: sets {A}, {E}, {C} on the path A — E — C."""
+    return ConnectingTree.path(example51, [{"A"}, {"E"}, {"C"}])
+
+
+class TestConnectingTreeValidity:
+    def test_fig6_tree_is_valid(self, fig6_tree):
+        assert fig6_tree.is_connecting_tree()
+        assert fig6_tree.violations() == []
+
+    def test_same_sets_invalid_on_fig1(self, fig1):
+        """With edge {A, C, E} present, one edge contains three of the sets."""
+        tree = ConnectingTree.path(fig1, [{"A"}, {"E"}, {"C"}])
+        problems = tree.violations()
+        assert any("three of the sets" in problem for problem in problems)
+
+    def test_linked_pair_must_be_inside_one_edge(self, example51):
+        tree = ConnectingTree.path(example51, [{"A"}, {"D"}])
+        assert any("not contained within any single edge" in problem
+                   for problem in tree.violations())
+
+    def test_empty_set_rejected(self, example51):
+        tree = ConnectingTree.path(example51, [{"A"}, set()])
+        assert any("empty" in problem for problem in tree.violations())
+
+    def test_foreign_nodes_rejected(self, example51):
+        tree = ConnectingTree.path(example51, [{"A"}, {"Z"}])
+        assert any("not a set of" in problem for problem in tree.violations())
+
+    def test_duplicate_sets_rejected(self, example51):
+        violations = connecting_tree_violations(
+            example51, (frozenset({"A"}), frozenset({"A"})), ((0, 1),))
+        assert any("distinct" in problem for problem in violations)
+
+    def test_link_count_must_form_tree(self, example51):
+        violations = connecting_tree_violations(
+            example51, (frozenset({"A"}), frozenset({"C"})), ())
+        assert any("needs exactly" in problem for problem in violations)
+
+    def test_cyclic_links_rejected(self, example51):
+        violations = connecting_tree_violations(
+            example51,
+            (frozenset({"A"}), frozenset({"C"}), frozenset({"E"})),
+            ((0, 1), (1, 2), (0, 2)))
+        assert violations  # wrong edge count and a cycle
+
+    def test_single_set_tree_is_valid(self, example51):
+        tree = ConnectingTree.from_sets(example51, [{"A"}], [])
+        assert tree.is_connecting_tree()
+        assert tree.leaves() == (frozenset({"A"}),)
+
+
+class TestTreeStructure:
+    def test_leaves_and_leaf_union(self, fig6_tree):
+        assert set(fig6_tree.leaves()) == {frozenset({"A"}), frozenset({"C"})}
+        assert fig6_tree.leaf_union() == frozenset({"A", "C"})
+
+    def test_degree(self, fig6_tree):
+        assert fig6_tree.degree(1) == 2
+        assert fig6_tree.degree(0) == 1
+
+    def test_is_path_and_sequence(self, fig6_tree):
+        assert fig6_tree.is_path()
+        sequence = fig6_tree.path_sequence()
+        assert sequence[0] in {frozenset({"A"}), frozenset({"C"})}
+        assert len(sequence) == 3
+
+    def test_star_tree_is_not_path(self, fig1):
+        tree = ConnectingTree.from_sets(fig1, [{"A"}, {"B"}, {"C"}, {"E"}],
+                                        [(0, 1), (0, 2), (0, 3)])
+        assert not tree.is_path()
+        with pytest.raises(HypergraphError):
+            tree.path_sequence()
+
+    def test_tree_path_between(self, fig6_tree):
+        path = fig6_tree.tree_path_between(0, 2)
+        assert path == (0, 1, 2)
+
+    def test_describe(self, fig6_tree):
+        text = fig6_tree.describe()
+        assert "N1" in text and "leaf" in text
+
+
+class TestIndependence:
+    def test_fig6_tree_is_independent(self, fig6_tree):
+        """Example 5.1: {E} is not inside CC({A, C}) = {{A, C}}."""
+        assert fig6_tree.is_independent()
+        assert fig6_tree.independence_witness() == frozenset({"E"})
+
+    def test_same_tree_invalid_hence_not_checkable_on_fig1(self, fig1):
+        tree = ConnectingTree.path(fig1, [{"A"}, {"E"}, {"C"}])
+        with pytest.raises(HypergraphError):
+            tree.is_independent()
+
+    def test_dependent_tree(self, example51):
+        # {A} — {B} — {C} stays inside CC({A, C})?  {B} is not in CC({A, C}),
+        # so use a genuinely dependent tree: a single link inside one edge.
+        tree = ConnectingTree.path(example51, [{"A"}, {"B"}])
+        assert tree.is_connecting_tree()
+        assert not tree.is_independent()
+
+    def test_connecting_path_endpoints(self, fig6_tree, example51):
+        path = ConnectingPath.from_sequence(example51, [{"A"}, {"E"}, {"C"}])
+        first, last = path.endpoints
+        assert first == frozenset({"A"}) and last == frozenset({"C"})
+        assert path.endpoint_union() == frozenset({"A", "C"})
+        assert path.is_independent()
+        assert path.independence_witness() == frozenset({"E"})
+
+    def test_connecting_path_describe(self, example51):
+        path = ConnectingPath.from_sequence(example51, [{"A"}, {"E"}, {"C"}])
+        assert "—" in path.describe()
+
+    def test_empty_path_has_no_endpoints(self, example51):
+        path = ConnectingPath(hypergraph=example51, sets=(), links=())
+        with pytest.raises(HypergraphError):
+            _ = path.endpoints
+
+
+class TestLemma52Construction:
+    def test_path_extracted_from_independent_tree(self, fig6_tree):
+        path = independent_path_from_tree(fig6_tree)
+        assert path is not None
+        assert path.is_independent()
+
+    def test_no_path_from_dependent_tree(self, example51):
+        tree = ConnectingTree.path(example51, [{"A"}, {"B"}])
+        assert independent_path_from_tree(tree) is None
+
+    def test_tree_built_from_search_certificate(self, square_hypergraph):
+        """An independent path found by the search, re-packaged as a generic
+        connecting tree, still yields an independent path via Lemma 5.2."""
+        from repro import find_independent_path
+
+        certificate = find_independent_path(square_hypergraph)
+        assert certificate is not None
+        sets = certificate.path.sets
+        links = [(index, index + 1) for index in range(len(sets) - 1)]
+        tree = ConnectingTree.from_sets(square_hypergraph, sets, links)
+        assert tree.is_connecting_tree()
+        assert tree.is_independent()
+        path = independent_path_from_tree(tree)
+        assert path is not None and path.is_independent()
+
+    def test_requires_valid_tree(self, fig1):
+        tree = ConnectingTree.path(fig1, [{"A"}, {"E"}, {"C"}])
+        with pytest.raises(HypergraphError):
+            independent_path_from_tree(tree)

@@ -1,0 +1,215 @@
+"""Pin every figure and worked example of the paper to its exact reported result.
+
+This module is the exactness half of the reproduction: each test corresponds
+to a row of EXPERIMENTS.md and asserts the very edge sets / row sets /
+independence verdicts the paper states.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    ConnectingPath,
+    Tableau,
+    canonical_connection,
+    canonical_connection_result,
+    find_independent_path,
+    graham_reduce,
+    is_acyclic,
+    tableau_reduce,
+    tableau_reduction,
+)
+from repro.core.canonical import graham_connection
+from repro.core.tableau import SpecialSymbol
+from repro.core.tableau_reduction import minimal_rows
+from repro.generators import (
+    cyclic_counterexample,
+    cyclic_counterexample_sacred,
+    example_5_1_hypergraph,
+    example_5_1_independent_tree_sets,
+    example_5_1_sacred,
+    figure_1,
+    figure_1_expected_reduction,
+    figure_1_sacred,
+    figure_5,
+    figure_5_endpoints,
+    paper_hypergraphs,
+)
+
+
+class TestFigure1AndExample22:
+    """E-FIG1: Fig. 1 and Example 2.2 (Graham reduction with sacred {A, D})."""
+
+    def test_figure_1_edge_set(self):
+        fig1 = figure_1()
+        assert fig1.edge_set == frozenset({
+            frozenset("ABC"), frozenset("CDE"), frozenset("AEF"), frozenset("ACE")})
+
+    def test_figure_1_is_acyclic(self):
+        assert is_acyclic(figure_1())
+
+    def test_example_2_2_reduction(self):
+        """First F and B are removed, then {A,E} ⊆ {A,C,E} and {A,C} ⊆ {A,C,E}
+        are removed; the result is {{A,C,E}, {C,D,E}} and cannot be reduced further."""
+        result = graham_reduce(figure_1(), figure_1_sacred())
+        assert result.edge_set == figure_1_expected_reduction()
+
+    def test_example_2_2_sacred_d_survives(self):
+        result = graham_reduce(figure_1(), figure_1_sacred())
+        assert "D" in result.nodes
+
+
+class TestFigure2Tableau:
+    """E-FIG2: the tableau of Fig. 2 (Example 3.1)."""
+
+    @pytest.fixture
+    def tableau(self):
+        return Tableau.from_hypergraph(
+            figure_1(), sacred=figure_1_sacred(),
+            edge_order=[{"A", "B", "C"}, {"C", "D", "E"}, {"A", "E", "F"}, {"A", "C", "E"}])
+
+    def test_row_count_and_order(self, tableau):
+        assert tableau.num_rows == 4
+        assert tableau.row(0).edge == frozenset("ABC")
+        assert tableau.row(3).edge == frozenset("ACE")
+
+    def test_distinguished_symbols_are_a_and_d(self, tableau):
+        distinguished = {column for column in tableau.columns
+                         if tableau.is_distinguished(SpecialSymbol(column))}
+        assert distinguished == {"A", "D"}
+
+    def test_special_symbol_occurrence_pattern(self, tableau):
+        assert set(tableau.occurrences(SpecialSymbol("A"))) == {0, 2, 3}
+        assert set(tableau.occurrences(SpecialSymbol("C"))) == {0, 1, 3}
+        assert set(tableau.occurrences(SpecialSymbol("E"))) == {1, 2, 3}
+        assert set(tableau.occurrences(SpecialSymbol("D"))) == {1}
+
+    def test_rendering_matches_figure_layout(self, tableau):
+        lines = tableau.render().splitlines()
+        summary = lines[2]
+        assert "a" in summary and "d" in summary and "b" not in summary
+
+
+class TestFigure3AndExample33:
+    """E-FIG3: the reduced tableau of Fig. 3 and TR(H, {A, D}) of Example 3.3."""
+
+    def test_minimal_rows_are_second_and_fourth(self):
+        tableau = Tableau.from_hypergraph(
+            figure_1(), sacred=figure_1_sacred(),
+            edge_order=[{"A", "B", "C"}, {"C", "D", "E"}, {"A", "E", "F"}, {"A", "C", "E"}])
+        assert set(minimal_rows(tableau)) == {1, 3}
+
+    def test_tr_partial_edges(self):
+        result = tableau_reduce(figure_1(), figure_1_sacred())
+        assert result.edge_set == figure_1_expected_reduction()
+
+    def test_row_mapping_sends_rows_1_3_4_to_4(self):
+        outcome = tableau_reduction(figure_1(), figure_1_sacred())
+        # In the library's deterministic edge order (ABC, ACE, AEF, CDE) the
+        # target rows are ACE and CDE; every other row maps onto ACE.
+        ace = frozenset("ACE")
+        cde = frozenset("CDE")
+        assert outcome.maps_edge(frozenset("ABC")) == ace
+        assert outcome.maps_edge(frozenset("AEF")) == ace
+        assert outcome.maps_edge(cde) == cde
+
+    def test_theorem_3_5_instance(self):
+        """GR(H, {A,D}) and TR(H, {A,D}) agree on the acyclic Fig. 1."""
+        assert graham_reduce(figure_1(), figure_1_sacred()).edge_set == \
+            tableau_reduce(figure_1(), figure_1_sacred()).edge_set
+
+
+class TestCyclicCounterexample:
+    """E-CYCLIC-S3: the example following Theorem 3.5."""
+
+    def test_hypergraph_is_cyclic(self):
+        assert not is_acyclic(cyclic_counterexample())
+
+    def test_tableau_reduction_keeps_only_d(self):
+        result = tableau_reduce(cyclic_counterexample(), cyclic_counterexample_sacred())
+        assert result.edge_set == frozenset({frozenset({"D"})})
+
+    def test_graham_reduction_keeps_all_four_edges(self):
+        result = graham_connection(cyclic_counterexample(), cyclic_counterexample_sacred())
+        assert result.edge_set == cyclic_counterexample().edge_set
+
+    def test_reductions_disagree(self):
+        graham_side = graham_connection(cyclic_counterexample(), {"D"}).edge_set
+        tableau_side = tableau_reduce(cyclic_counterexample(), {"D"}).edge_set
+        assert graham_side != tableau_side
+
+
+class TestFigure5:
+    """E-FIG5: the reconstructed Fig. 5 — two apparent paths, one canonical connection."""
+
+    def test_figure_5_is_acyclic(self):
+        assert is_acyclic(figure_5())
+
+    def test_canonical_connection_contains_all_four_edges(self):
+        fig5 = figure_5()
+        source, target = figure_5_endpoints()
+        connection = canonical_connection_result(fig5, {source, target})
+        assert set(connection.objects) == fig5.edge_set
+
+    def test_either_interior_edge_can_be_dropped(self):
+        fig5 = figure_5()
+        source, target = figure_5_endpoints()
+        interior = [frozenset("BCD"), frozenset("CDE")]
+        for edge in interior:
+            without = fig5.remove_edge(edge)
+            assert without.nodes_connected(source, target)
+
+    def test_dropping_both_interior_edges_disconnects(self):
+        fig5 = figure_5()
+        source, target = figure_5_endpoints()
+        without = fig5.remove_edge(frozenset("BCD")).remove_edge(frozenset("CDE"))
+        assert not without.nodes_connected(source, target)
+
+    def test_no_independent_path_despite_two_apparent_paths(self):
+        assert find_independent_path(figure_5()) is None
+
+
+class TestExample51AndFigure6:
+    """E-FIG6: Example 5.1 and the independent tree of Fig. 6."""
+
+    def test_canonical_connection_is_single_partial_edge(self):
+        connection = canonical_connection(example_5_1_hypergraph(), example_5_1_sacred())
+        assert connection.edge_set == frozenset({frozenset({"A", "C"})})
+
+    def test_sets_form_an_independent_path(self):
+        path = ConnectingPath.from_sequence(example_5_1_hypergraph(),
+                                            example_5_1_independent_tree_sets())
+        assert path.is_connecting_tree()
+        assert path.is_independent()
+        assert path.independence_witness() == frozenset({"E"})
+
+    def test_tree_edges_supplied_by_aef_and_cde(self):
+        """The paper: the edges of H supplying the tree edges are {A,E,F} and {C,D,E}."""
+        hypergraph = example_5_1_hypergraph()
+        assert frozenset({"A", "E"}) <= frozenset("AEF")
+        assert any(frozenset({"A", "E"}) <= edge for edge in hypergraph.edges)
+        assert any(frozenset({"C", "E"}) <= edge for edge in hypergraph.edges)
+
+    def test_not_independent_once_ace_is_added_back(self):
+        """With Fig. 1's edge {A,C,E} restored, Fig. 6 no longer depicts an
+        independent tree: that edge contains three of the sets."""
+        path = ConnectingPath.from_sequence(figure_1(), example_5_1_independent_tree_sets())
+        assert not path.is_connecting_tree()
+
+
+class TestPaperHypergraphRegistry:
+    def test_registry_contains_all_labels(self):
+        registry = paper_hypergraphs()
+        assert {"fig1", "fig5", "example_5_1", "cyclic_counterexample",
+                "triangle", "square", "covered_triangle"} <= set(registry)
+
+    def test_registry_acyclicity_classification(self):
+        registry = paper_hypergraphs()
+        assert is_acyclic(registry["fig1"])
+        assert is_acyclic(registry["fig5"])
+        assert is_acyclic(registry["covered_triangle"])
+        assert not is_acyclic(registry["triangle"])
+        assert not is_acyclic(registry["square"])
+        assert not is_acyclic(registry["example_5_1"])
+        assert not is_acyclic(registry["cyclic_counterexample"])

@@ -1,0 +1,86 @@
+"""Unit tests for node-generated sets of edges and partial edges."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Hypergraph
+from repro.core.generated import (
+    generating_node_sets,
+    is_node_generated,
+    is_partial_edge,
+    iter_node_generated_hypergraphs,
+    node_generated_edges,
+    node_generated_hypergraph,
+    partial_edges_of,
+    witness_generators,
+)
+
+
+class TestPartialEdges:
+    def test_partial_edges_of_edge(self, fig1):
+        partials = partial_edges_of(fig1, {"A", "B", "C"})
+        assert frozenset() in partials
+        assert frozenset({"A", "C"}) in partials
+        assert len(partials) == 8
+
+    def test_is_partial_edge(self, fig1):
+        assert is_partial_edge(fig1, {"A", "C"})
+        assert is_partial_edge(fig1, set())
+        assert not is_partial_edge(fig1, {"B", "D"})
+
+
+class TestNodeGenerated:
+    def test_generated_edges_maximal_only(self, fig1):
+        generated = node_generated_edges(fig1, {"A", "C", "D"})
+        assert set(generated) == {frozenset({"A", "C"}), frozenset({"C", "D"})}
+
+    def test_generated_hypergraph_node_set_is_generator(self, fig1):
+        generated = node_generated_hypergraph(fig1, {"A", "B", "Z"} - {"Z"})
+        assert generated.nodes == frozenset({"A", "B"})
+
+    def test_full_node_set_regenerates_hypergraph(self, fig1):
+        generated = node_generated_hypergraph(fig1, fig1.nodes)
+        assert generated.edge_set == fig1.edge_set
+
+    def test_is_node_generated_true(self, fig1):
+        candidate = fig1.node_generated({"A", "C", "E"})
+        assert is_node_generated(fig1, candidate)
+
+    def test_is_node_generated_false(self, fig1):
+        # {A, B} alone is not the node-generated family of its node set
+        # (that family is {{A, B}} — but {{B}} is not).
+        candidate = Hypergraph([{"B"}], nodes={"A", "B"})
+        assert not is_node_generated(fig1, candidate)
+
+    def test_witness_generators_finds_own_nodes(self, fig1):
+        candidate = fig1.node_generated({"A", "D"})
+        assert witness_generators(fig1, candidate) is not None
+
+    def test_witness_generators_none_for_foreign_family(self, fig1):
+        candidate = Hypergraph([{"A", "B", "D"}])
+        assert witness_generators(fig1, candidate) is None
+
+
+class TestEnumeration:
+    def test_generating_node_sets_counts(self):
+        h = Hypergraph([{"A", "B"}])
+        sets = generating_node_sets(h)
+        assert len(sets) == 3  # {A}, {B}, {A, B}
+
+    def test_generating_node_sets_max_size(self, fig1):
+        sets = generating_node_sets(fig1, max_size=1)
+        assert all(len(s) == 1 for s in sets)
+        assert len(sets) == 6
+
+    def test_iter_node_generated_deduplicates(self):
+        h = Hypergraph([{"A", "B"}, {"B", "C"}])
+        results = list(iter_node_generated_hypergraphs(h))
+        keys = {(generated.nodes, generated.edge_set) for _, generated in results}
+        assert len(keys) == len(results)
+
+    def test_iter_yields_generator_and_hypergraph(self, fig1):
+        for generators, generated in iter_node_generated_hypergraphs(fig1, max_size=2):
+            assert generated.nodes == generators
+            for edge in generated.edges:
+                assert edge <= generators

@@ -1,0 +1,174 @@
+"""Unit tests for Graham (GYO) reduction with sacred nodes."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro import Hypergraph
+from repro.core.graham import (
+    EdgeRemoval,
+    NodeRemoval,
+    applicable_edge_removals,
+    applicable_node_removals,
+    applicable_steps,
+    apply_step,
+    check_confluence,
+    graham_reduce,
+    graham_reduction,
+    gyo_reduction,
+    random_order_reduction,
+    reduces_to_nothing,
+)
+from repro.exceptions import HypergraphError
+
+
+class TestApplicableSteps:
+    def test_node_removals_exclude_sacred(self, fig1):
+        removals = applicable_node_removals(fig1, sacred={"B"})
+        removed_nodes = {step.node for step in removals}
+        assert "B" not in removed_nodes
+        assert "D" in removed_nodes and "F" in removed_nodes
+
+    def test_node_removals_only_degree_one(self, fig1):
+        removals = applicable_node_removals(fig1)
+        assert {step.node for step in removals} == {"B", "D", "F"}
+
+    def test_edge_removals_detect_subsets(self):
+        h = Hypergraph([{"A", "B"}, {"A", "B", "C"}])
+        removals = applicable_edge_removals(h)
+        assert len(removals) == 1
+        assert removals[0].edge == frozenset({"A", "B"})
+        assert removals[0].witness == frozenset({"A", "B", "C"})
+
+    def test_no_edge_removals_in_reduced_hypergraph(self, fig1):
+        assert applicable_edge_removals(fig1) == ()
+
+    def test_applicable_steps_combines_both(self, fig1):
+        steps = applicable_steps(fig1)
+        assert all(isinstance(step, (NodeRemoval, EdgeRemoval)) for step in steps)
+        assert len(steps) == 3
+
+
+class TestApplyStep:
+    def test_apply_node_removal(self, fig1):
+        step = NodeRemoval(node="B", edge=frozenset({"A", "B", "C"}))
+        result = apply_step(fig1, step)
+        assert "B" not in result.nodes
+        assert frozenset({"A", "C"}) in result.edge_set
+
+    def test_apply_node_removal_not_applicable(self, fig1):
+        step = NodeRemoval(node="A", edge=frozenset({"A", "B", "C"}))
+        with pytest.raises(HypergraphError):
+            apply_step(fig1, step)
+
+    def test_apply_edge_removal(self):
+        h = Hypergraph([{"A", "B"}, {"A", "B", "C"}])
+        step = EdgeRemoval(edge=frozenset({"A", "B"}), witness=frozenset({"A", "B", "C"}))
+        result = apply_step(h, step)
+        assert result.num_edges == 1
+
+    def test_apply_edge_removal_not_applicable(self, fig1):
+        step = EdgeRemoval(edge=frozenset({"A", "B", "C"}), witness=frozenset({"A", "C", "E"}))
+        with pytest.raises(HypergraphError):
+            apply_step(fig1, step)
+
+    def test_step_descriptions(self):
+        node_step = NodeRemoval(node="B", edge=frozenset({"A", "B"}))
+        edge_step = EdgeRemoval(edge=frozenset({"A"}), witness=frozenset({"A", "B"}))
+        assert "remove node B" in node_step.describe()
+        assert node_step.kind == "node"
+        assert "subset of" in edge_step.describe()
+        assert edge_step.kind == "edge"
+
+
+class TestGrahamReduction:
+    def test_example_2_2(self, fig1):
+        """Example 2.2: GR(H, {A, D}) = {{A, C, E}, {C, D, E}}."""
+        result = graham_reduce(fig1, {"A", "D"})
+        assert result.edge_set == frozenset({frozenset("ACE"), frozenset("CDE")})
+
+    def test_gyo_reduces_acyclic_to_nothing(self, fig1):
+        result = gyo_reduction(fig1)
+        assert result.reduced_to_nothing()
+        assert reduces_to_nothing(result.hypergraph)
+
+    def test_gyo_stuck_on_cyclic(self, triangle_hypergraph):
+        result = gyo_reduction(triangle_hypergraph)
+        assert not result.reduced_to_nothing()
+        assert result.hypergraph.num_edges == 3
+
+    def test_sacred_nodes_survive(self, fig1):
+        result = graham_reduce(fig1, {"D"})
+        assert "D" in result.nodes
+
+    def test_sacred_outside_hypergraph_ignored(self, fig1):
+        with_unknown = graham_reduce(fig1, {"Z"})
+        without = graham_reduce(fig1, set())
+        assert with_unknown == without
+
+    def test_prefer_edge_gives_same_result(self, fig1):
+        node_first = graham_reduction(fig1, {"A", "D"}, prefer="node").hypergraph
+        edge_first = graham_reduction(fig1, {"A", "D"}, prefer="edge").hypergraph
+        assert node_first == edge_first
+
+    def test_invalid_prefer_value(self, fig1):
+        with pytest.raises(ValueError):
+            graham_reduction(fig1, (), prefer="bogus")
+
+    def test_cyclic_example_cannot_be_reduced_with_sacred_d(self, cyclic_example):
+        """The paper's remark: all four edges remain when only D is sacred."""
+        result = graham_reduce(cyclic_example, {"D"})
+        assert result.edge_set == cyclic_example.edge_set
+
+    def test_empty_hypergraph(self):
+        result = gyo_reduction(Hypergraph.empty())
+        assert result.reduced_to_nothing()
+        assert len(result.trace) == 0
+
+
+class TestTraces:
+    def test_trace_replays_to_same_result(self, fig1):
+        result = graham_reduction(fig1, {"A", "D"})
+        assert result.trace.replay() == result.hypergraph
+
+    def test_trace_contains_both_step_kinds(self, fig1):
+        result = graham_reduction(fig1, {"A", "D"})
+        assert result.trace.node_removals
+        assert result.trace.edge_removals
+
+    def test_trace_removed_nodes(self, fig1):
+        result = graham_reduction(fig1, {"A", "D"})
+        assert result.trace.removed_nodes() == {"B", "F"}
+
+    def test_trace_describe(self, fig1):
+        text = graham_reduction(fig1, {"A", "D"}).trace.describe()
+        assert "remove node" in text
+
+    def test_empty_trace_describe(self):
+        h = Hypergraph([{"A", "B"}, {"B", "C"}])
+        text = graham_reduction(h, {"A", "B", "C"}).trace.describe()
+        assert "no steps applicable" in text
+
+    def test_result_iterates_edges(self, fig1):
+        result = graham_reduction(fig1, {"A", "D"})
+        assert set(result) == result.hypergraph.edge_set
+        assert result.sacred == frozenset({"A", "D"})
+
+
+class TestConfluence:
+    def test_lemma_2_1_on_fig1(self, fig1):
+        assert check_confluence(fig1, {"A", "D"}, trials=10, seed=1)
+
+    def test_lemma_2_1_on_cyclic(self, cyclic_example):
+        assert check_confluence(cyclic_example, {"D"}, trials=10, seed=2)
+
+    def test_random_order_reduction_matches_deterministic(self, small_acyclic):
+        reference = graham_reduce(small_acyclic, set())
+        randomized = random_order_reduction(small_acyclic, set(),
+                                            rng=random.Random(5)).hypergraph
+        assert randomized == reference
+
+    def test_confluence_on_generated_cyclic(self, small_cyclic):
+        assert check_confluence(small_cyclic, set(), trials=5, seed=3)

@@ -1,0 +1,224 @@
+"""Unit tests for the Hypergraph data structure."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Hypergraph
+from repro.exceptions import HypergraphError, UnknownEdgeError, UnknownNodeError
+
+
+class TestConstruction:
+    def test_from_compact(self, fig1):
+        assert fig1.num_edges == 4
+        assert fig1.num_nodes == 6
+        assert frozenset("ABC") in fig1.edge_set
+
+    def test_duplicate_edges_collapse(self):
+        h = Hypergraph([{"A", "B"}, {"B", "A"}])
+        assert h.num_edges == 1
+
+    def test_string_edge_rejected(self):
+        with pytest.raises(HypergraphError):
+            Hypergraph(["ABC"])
+
+    def test_extra_isolated_nodes(self):
+        h = Hypergraph([{"A"}], nodes={"Z"})
+        assert h.num_nodes == 2
+        assert h.isolated_nodes() == frozenset({"Z"})
+
+    def test_empty_hypergraph(self):
+        h = Hypergraph.empty()
+        assert h.num_edges == 0 and h.num_nodes == 0
+
+    def test_single_edge_constructor(self):
+        h = Hypergraph.single_edge({"A", "B"})
+        assert h.edges == (frozenset({"A", "B"}),)
+
+    def test_from_named_edges(self):
+        h = Hypergraph.from_named_edges({"R": {"A", "B"}, "S": {"B", "C"}})
+        assert h.num_edges == 2
+
+    def test_empty_edge_is_allowed(self):
+        h = Hypergraph([frozenset()])
+        assert h.num_edges == 1
+        assert h.rank == 0
+
+
+class TestAccessors:
+    def test_edges_are_deterministically_ordered(self, fig1):
+        assert fig1.edges == tuple(sorted(fig1.edges, key=lambda e: sorted(e)))
+
+    def test_len_and_iter(self, fig1):
+        assert len(fig1) == 4
+        assert set(iter(fig1)) == fig1.edge_set
+
+    def test_contains_edge_and_node(self, fig1):
+        assert {"A", "B", "C"} in fig1
+        assert fig1.has_node("A")
+        assert not fig1.has_edge({"A", "B"})
+
+    def test_edges_containing(self, fig1):
+        containing = fig1.edges_containing("A")
+        assert len(containing) == 3
+        assert all("A" in edge for edge in containing)
+
+    def test_edges_containing_unknown_node(self, fig1):
+        with pytest.raises(UnknownNodeError):
+            fig1.edges_containing("Z")
+
+    def test_degree(self, fig1):
+        assert fig1.degree("A") == 3
+        assert fig1.degree("D") == 1
+
+    def test_rank(self, fig1):
+        assert fig1.rank == 3
+
+
+class TestReduction:
+    def test_reduced_hypergraph(self, fig1):
+        assert fig1.is_reduced
+
+    def test_non_reduced_detection(self):
+        h = Hypergraph([{"A", "B"}, {"A"}])
+        assert not h.is_reduced
+
+    def test_reduce_keeps_maximal_edges(self):
+        h = Hypergraph([{"A", "B"}, {"A"}, {"C"}])
+        reduced = h.reduce()
+        assert reduced.edge_set == frozenset({frozenset({"A", "B"}), frozenset({"C"})})
+
+    def test_reduce_preserves_nodes(self):
+        h = Hypergraph([{"A", "B"}, {"A"}], nodes={"Z"})
+        assert "Z" in h.reduce().nodes
+
+
+class TestDerivedHypergraphs:
+    def test_restrict_keeps_nonmaximal_intersections(self, fig1):
+        restricted = fig1.restrict({"A", "C"})
+        assert frozenset({"A", "C"}) in restricted.edge_set
+        assert frozenset({"C"}) in restricted.edge_set
+
+    def test_node_generated_drops_subsumed(self, fig1):
+        generated = fig1.node_generated({"A", "C"})
+        assert generated.edge_set == frozenset({frozenset({"A", "C"})})
+        assert generated.nodes == frozenset({"A", "C"})
+
+    def test_node_generated_unknown_node(self, fig1):
+        with pytest.raises(UnknownNodeError):
+            fig1.node_generated({"Z"})
+
+    def test_remove_nodes_drops_empty_edges(self):
+        h = Hypergraph([{"A"}, {"A", "B"}])
+        removed = h.remove_nodes({"A"})
+        assert removed.edge_set == frozenset({frozenset({"B"})})
+        assert removed.nodes == frozenset({"B"})
+
+    def test_remove_node_unknown(self, fig1):
+        with pytest.raises(UnknownNodeError):
+            fig1.remove_node("Z")
+
+    def test_remove_node_from_edge(self):
+        h = Hypergraph([{"A", "B"}, {"B", "C"}])
+        updated = h.remove_node_from_edge("A", {"A", "B"})
+        assert frozenset({"B"}) in updated.edge_set
+        assert "A" not in updated.nodes
+
+    def test_remove_node_from_edge_requires_membership(self):
+        h = Hypergraph([{"A", "B"}])
+        with pytest.raises(HypergraphError):
+            h.remove_node_from_edge("C", {"A", "B"})
+
+    def test_remove_node_from_edge_keeps_node_if_still_present(self):
+        h = Hypergraph([{"A", "B"}, {"A", "C"}])
+        updated = h.remove_node_from_edge("A", {"A", "B"})
+        assert "A" in updated.nodes
+
+    def test_remove_edge_keeps_nodes(self):
+        h = Hypergraph([{"A", "B"}, {"B", "C"}])
+        updated = h.remove_edge({"A", "B"})
+        assert updated.num_edges == 1
+        assert "A" in updated.nodes
+
+    def test_remove_unknown_edge(self, fig1):
+        with pytest.raises(UnknownEdgeError):
+            fig1.remove_edge({"X", "Y"})
+
+    def test_add_edge(self, fig1):
+        extended = fig1.add_edge({"F", "G"})
+        assert extended.num_edges == 5
+        assert "G" in extended.nodes
+
+    def test_add_edges(self, fig1):
+        extended = fig1.add_edges([{"X"}, {"Y"}])
+        assert extended.num_edges == 6
+
+    def test_rename_nodes(self, fig1):
+        renamed = fig1.rename_nodes({"A": "Alpha"})
+        assert "Alpha" in renamed.nodes and "A" not in renamed.nodes
+        assert renamed.num_edges == fig1.num_edges
+
+    def test_rename_must_be_injective(self):
+        h = Hypergraph([{"A", "B"}])
+        with pytest.raises(HypergraphError):
+            h.rename_nodes({"A": "B"})
+
+    def test_union(self):
+        left = Hypergraph([{"A", "B"}])
+        right = Hypergraph([{"B", "C"}])
+        combined = left.union(right)
+        assert combined.num_edges == 2
+        assert combined.nodes == frozenset({"A", "B", "C"})
+
+    def test_with_name(self, fig1):
+        assert fig1.with_name("renamed").name == "renamed"
+
+
+class TestEqualityAndRendering:
+    def test_equality_ignores_name_and_order(self):
+        left = Hypergraph([{"A", "B"}, {"B", "C"}], name="left")
+        right = Hypergraph([{"C", "B"}, {"B", "A"}], name="right")
+        assert left == right
+        assert hash(left) == hash(right)
+
+    def test_inequality_on_nodes(self):
+        left = Hypergraph([{"A"}])
+        right = Hypergraph([{"A"}], nodes={"B"})
+        assert left != right
+
+    def test_repr_and_str(self, fig1):
+        assert "Fig. 1" in repr(fig1)
+        assert "{A, B, C}" in str(fig1)
+
+    def test_describe_lists_edges(self, fig1):
+        description = fig1.describe()
+        assert "{A, C, E}" in description
+        assert "nodes (6)" in description
+
+    def test_sorted_edge_tuples(self, fig1):
+        tuples = fig1.sorted_edge_tuples()
+        assert ("A", "B", "C") in tuples
+
+
+class TestStructuralViews:
+    def test_two_section_edges(self):
+        h = Hypergraph([{"A", "B", "C"}])
+        pairs = h.two_section_edges()
+        assert len(pairs) == 3
+
+    def test_edge_intersection_graph(self, fig1):
+        intersections = fig1.edge_intersection_graph()
+        assert len(intersections) == 6  # C(4, 2) pairs
+        assert all(isinstance(value, frozenset) for value in intersections.values())
+
+    def test_components_single(self, fig1):
+        assert fig1.is_connected()
+        assert fig1.component_count() == 1
+
+    def test_components_disconnected(self):
+        h = Hypergraph([{"A", "B"}, {"C", "D"}])
+        assert not h.is_connected()
+        assert h.component_count() == 2
+
+    def test_nodes_connected(self, fig1):
+        assert fig1.nodes_connected("B", "F")

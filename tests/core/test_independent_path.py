@@ -1,0 +1,98 @@
+"""Unit tests for independent-path search (the algorithmic side of Theorem 6.1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    Hypergraph,
+    find_independent_path,
+    independent_path_exists,
+    is_acyclic,
+    is_independent_path,
+)
+from repro.generators import ring_hypergraph
+
+
+class TestDirectChecker:
+    def test_example_5_1_path_is_independent(self, example51):
+        assert is_independent_path(example51, [{"A"}, {"E"}, {"C"}])
+
+    def test_same_path_not_independent_in_fig1(self, fig1):
+        assert not is_independent_path(fig1, [{"A"}, {"E"}, {"C"}])
+
+    def test_invalid_path_is_not_independent(self, fig1):
+        assert not is_independent_path(fig1, [{"A"}, {"D"}])
+
+    def test_triangle_has_an_explicit_independent_path(self, triangle_hypergraph):
+        assert is_independent_path(triangle_hypergraph, [{"B"}, {"C"}, {"A"}])
+
+
+class TestSearchOnCyclicInputs:
+    def test_triangle(self, triangle_hypergraph):
+        certificate = find_independent_path(triangle_hypergraph)
+        assert certificate is not None
+        assert certificate.path.is_independent()
+        assert len(certificate.path.sets) >= 3
+
+    def test_square(self, square_hypergraph):
+        certificate = find_independent_path(square_hypergraph)
+        assert certificate is not None
+        assert certificate.path.is_independent()
+
+    def test_cyclic_counterexample(self, cyclic_example):
+        certificate = find_independent_path(cyclic_example)
+        assert certificate is not None
+        # The cyclicity lives in the triangle block.
+        assert certificate.block.num_edges == 3
+
+    def test_generated_cyclic(self, small_cyclic):
+        assert independent_path_exists(small_cyclic)
+
+    def test_larger_ring(self):
+        ring = ring_hypergraph(6, arity=3, overlap=1)
+        assert not is_acyclic(ring)
+        certificate = find_independent_path(ring)
+        assert certificate is not None
+        assert certificate.path.is_independent()
+
+    def test_certificate_description(self, triangle_hypergraph):
+        certificate = find_independent_path(triangle_hypergraph)
+        assert certificate is not None
+        text = certificate.describe()
+        assert "Independent path" in text
+        assert "witness" in text
+
+    def test_certificate_endpoints_are_path_ends(self, square_hypergraph):
+        certificate = find_independent_path(square_hypergraph)
+        assert certificate is not None
+        first, last = certificate.endpoints
+        assert first == certificate.path.sets[0]
+        assert last == certificate.path.sets[-1]
+
+
+class TestSearchOnAcyclicInputs:
+    def test_fig1(self, fig1):
+        assert find_independent_path(fig1) is None
+
+    def test_fig5(self, fig5):
+        assert find_independent_path(fig5) is None
+
+    def test_example_5_1_is_actually_cyclic(self, example51):
+        # Example 5.1's hypergraph (Fig. 1 minus {A, C, E}) is cyclic, and in
+        # line with Theorem 6.1 the search finds an independent path for it.
+        assert not is_acyclic(example51)
+        assert find_independent_path(example51) is not None
+
+    def test_generated_acyclic(self, small_acyclic):
+        assert find_independent_path(small_acyclic) is None
+
+    def test_single_edge(self):
+        assert find_independent_path(Hypergraph([{"A", "B", "C"}])) is None
+
+    def test_covered_triangle(self, covered_triangle):
+        assert find_independent_path(covered_triangle) is None
+
+    def test_chain(self):
+        chain = Hypergraph([{"A", "B"}, {"B", "C"}, {"C", "D"}])
+        assert find_independent_path(chain) is None

@@ -1,0 +1,133 @@
+"""Unit tests for join-tree construction and the running-intersection property."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Hypergraph
+from repro.core.join_tree import (
+    JoinTree,
+    build_join_tree,
+    has_join_tree,
+    join_tree_via_ears,
+    maximum_weight_join_tree,
+)
+from repro.exceptions import HypergraphError
+
+
+class TestJoinTreeStructure:
+    def test_fig1_join_tree_exists(self, fig1):
+        tree = build_join_tree(fig1)
+        assert tree is not None
+        assert tree.is_join_tree
+        assert tree.is_tree
+        assert len(tree.tree_edges) == fig1.num_edges - 1
+
+    def test_running_intersection_property(self, fig1):
+        tree = build_join_tree(fig1)
+        assert tree is not None
+        assert tree.satisfies_running_intersection()
+
+    def test_triangle_has_no_join_tree(self, triangle_hypergraph):
+        assert build_join_tree(triangle_hypergraph) is None
+        assert not has_join_tree(triangle_hypergraph)
+
+    def test_square_has_no_join_tree(self, square_hypergraph):
+        assert build_join_tree(square_hypergraph) is None
+
+    def test_single_edge_join_tree(self):
+        tree = build_join_tree(Hypergraph([{"A", "B"}]))
+        assert tree is not None
+        assert tree.tree_edges == ()
+
+    def test_disconnected_hypergraph_gives_forest(self):
+        h = Hypergraph([{"A", "B"}, {"C", "D"}])
+        tree = build_join_tree(h)
+        assert tree is not None
+        assert tree.is_forest
+        assert tree.is_join_tree
+
+    def test_vertices_must_match_edges(self, fig1):
+        with pytest.raises(HypergraphError):
+            JoinTree(hypergraph=fig1, vertices=(frozenset({"A"}),), tree_edges=())
+
+    def test_neighbours(self, fig1):
+        tree = build_join_tree(fig1)
+        assert tree is not None
+        ace = frozenset({"A", "C", "E"})
+        # In any join tree of Fig. 1 the edge ACE is the centre: it must be
+        # adjacent to all three other edges.
+        assert len(tree.neighbours(ace)) == 3
+
+    def test_describe_lists_separators(self, fig1):
+        tree = build_join_tree(fig1)
+        assert tree is not None
+        assert "separator" in tree.describe()
+
+
+class TestConstructionMethods:
+    def test_mwst_and_ears_agree_on_acyclicity(self, small_acyclic, small_cyclic):
+        assert (build_join_tree(small_acyclic, method="mwst") is not None) == \
+            (build_join_tree(small_acyclic, method="ears") is not None)
+        assert (build_join_tree(small_cyclic, method="mwst") is not None) == \
+            (build_join_tree(small_cyclic, method="ears") is not None)
+
+    def test_ears_on_fig1(self, fig1):
+        tree = join_tree_via_ears(fig1)
+        assert tree is not None
+        assert tree.is_join_tree
+
+    def test_ears_fails_on_triangle(self, triangle_hypergraph):
+        assert join_tree_via_ears(triangle_hypergraph) is None
+
+    def test_unknown_method(self, fig1):
+        with pytest.raises(ValueError):
+            build_join_tree(fig1, method="magic")
+
+    def test_mwst_candidate_is_always_a_forest(self, small_cyclic):
+        candidate = maximum_weight_join_tree(small_cyclic)
+        assert candidate.is_forest
+
+
+class TestRootedTraversal:
+    def test_traversal_covers_all_vertices(self, fig1):
+        tree = build_join_tree(fig1)
+        assert tree is not None
+        traversal = tree.rooted_traversal()
+        assert len(traversal) == len(tree.vertices)
+        assert traversal[0][1] is None  # the root has no parent
+
+    def test_traversal_parent_before_child(self, fig1):
+        tree = build_join_tree(fig1)
+        assert tree is not None
+        seen = set()
+        for vertex, parent in tree.rooted_traversal():
+            if parent is not None:
+                assert parent in seen
+            seen.add(vertex)
+
+    def test_traversal_with_explicit_root(self, fig1):
+        tree = build_join_tree(fig1)
+        assert tree is not None
+        root = frozenset({"C", "D", "E"})
+        traversal = tree.rooted_traversal(root)
+        assert traversal[0] == (root, None)
+
+    def test_traversal_unknown_root(self, fig1):
+        tree = build_join_tree(fig1)
+        assert tree is not None
+        with pytest.raises(HypergraphError):
+            tree.rooted_traversal(frozenset({"X"}))
+
+    def test_empty_tree_traversal(self):
+        tree = build_join_tree(Hypergraph.empty())
+        assert tree is not None
+        assert tree.rooted_traversal() == ()
+
+
+class TestGeneratedFamilies:
+    def test_generated_acyclic_has_join_tree(self, small_acyclic):
+        assert has_join_tree(small_acyclic)
+
+    def test_generated_cyclic_has_no_join_tree(self, small_cyclic):
+        assert not has_join_tree(small_cyclic.reduce())

@@ -1,0 +1,157 @@
+"""Unit tests for row mappings (conditions (1)-(3) of Section 3)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Hypergraph, Tableau
+from repro.core.row_mapping import (
+    RowMapping,
+    compose,
+    find_homomorphism,
+    find_retraction,
+    identity_mapping,
+    is_valid_row_mapping,
+    violations,
+)
+from repro.exceptions import InvalidRowMappingError
+
+
+@pytest.fixture
+def fig2_tableau(fig1):
+    return Tableau.from_hypergraph(
+        fig1, sacred={"A", "D"},
+        edge_order=[{"A", "B", "C"}, {"C", "D", "E"}, {"A", "E", "F"}, {"A", "C", "E"}])
+
+
+@pytest.fixture
+def cyclic_tableau(cyclic_example):
+    return Tableau.from_hypergraph(
+        cyclic_example, sacred={"D"},
+        edge_order=[{"A", "B"}, {"A", "C"}, {"B", "C"}, {"A", "D"}])
+
+
+class TestValidity:
+    def test_identity_is_valid(self, fig2_tableau):
+        assert identity_mapping(fig2_tableau).is_valid()
+
+    def test_example_3_3_mapping_is_valid(self, fig2_tableau):
+        """The paper's mapping: rows 1, 3, 4 → 4 and 2 → 2 (1-based) is legal."""
+        assignment = {0: 3, 1: 1, 2: 3, 3: 3}
+        assert is_valid_row_mapping(fig2_tableau, assignment)
+
+    def test_condition_1_violation(self, fig2_tableau):
+        # Row 3 is in the image but does not map to itself.
+        assignment = {0: 3, 1: 1, 2: 3, 3: 1}
+        problems = violations(fig2_tableau, assignment)
+        assert any("condition (1)" in problem for problem in problems)
+
+    def test_condition_3_violation(self, fig2_tableau):
+        # Mapping the CDE row (which holds distinguished d) to a row without D.
+        assignment = {0: 3, 1: 3, 2: 3, 3: 3}
+        problems = violations(fig2_tableau, assignment)
+        assert any("condition (3)" in problem for problem in problems)
+
+    def test_condition_2_violation(self, fig1):
+        tableau = Tableau.from_hypergraph(
+            fig1, sacred=set(),
+            edge_order=[{"A", "B", "C"}, {"C", "D", "E"}, {"A", "E", "F"}, {"A", "C", "E"}])
+        # Rows 0 and 3 share symbol a (and c); mapping 0 → 1 and 3 → 3 makes
+        # their images disagree on column A.
+        assignment = {0: 1, 1: 1, 2: 3, 3: 3}
+        problems = violations(tableau, assignment)
+        assert any("condition (2)" in problem for problem in problems)
+
+    def test_mapping_must_be_total(self, fig2_tableau):
+        assert violations(fig2_tableau, {0: 0})
+
+    def test_mapping_must_stay_inside_rows(self, fig2_tableau):
+        assert violations(fig2_tableau, {0: 9, 1: 1, 2: 2, 3: 3})
+
+    def test_validate_raises(self, fig2_tableau):
+        mapping = RowMapping(fig2_tableau, {0: 3, 1: 3, 2: 3, 3: 3})
+        with pytest.raises(InvalidRowMappingError):
+            mapping.validate()
+
+
+class TestRowMappingBehaviour:
+    def test_image_and_target_edges(self, fig2_tableau):
+        mapping = RowMapping(fig2_tableau, {0: 3, 1: 1, 2: 3, 3: 3})
+        assert mapping.image() == {1, 3}
+        assert set(mapping.target_edges()) == {frozenset("CDE"), frozenset("ACE")}
+
+    def test_maps_edge(self, fig2_tableau):
+        mapping = RowMapping(fig2_tableau, {0: 3, 1: 1, 2: 3, 3: 3})
+        assert mapping.maps_edge({"A", "B", "C"}) == frozenset({"A", "C", "E"})
+
+    def test_symbol_image_of_special(self, fig2_tableau):
+        from repro.core.tableau import SpecialSymbol
+
+        mapping = RowMapping(fig2_tableau, {0: 3, 1: 1, 2: 3, 3: 3})
+        # Symbol c appears in rows 0, 1, 3; all images contain C, so c maps to c.
+        assert mapping.symbol_image(SpecialSymbol("C")) == SpecialSymbol("C")
+
+    def test_symbol_image_of_absent_symbol(self, fig2_tableau):
+        from repro.core.tableau import UniqueSymbol
+
+        mapping = identity_mapping(fig2_tableau)
+        assert mapping.symbol_image(UniqueSymbol("A", 99)) is None
+
+    def test_is_identity_and_surjective(self, fig2_tableau):
+        identity = identity_mapping(fig2_tableau)
+        assert identity.is_identity()
+        assert identity.is_surjective()
+        folding = RowMapping(fig2_tableau, {0: 3, 1: 1, 2: 3, 3: 3})
+        assert not folding.is_identity()
+        assert not folding.is_surjective()
+
+    def test_call_and_describe(self, fig2_tableau):
+        mapping = RowMapping(fig2_tableau, {0: 3, 1: 1, 2: 3, 3: 3})
+        assert mapping(0) == 3
+        assert "0→3" in mapping.describe()
+        with pytest.raises(InvalidRowMappingError):
+            mapping(42)
+
+    def test_compose(self, fig2_tableau):
+        first = RowMapping(fig2_tableau, {0: 3, 1: 1, 2: 2, 3: 3})
+        second = RowMapping(fig2_tableau, {0: 0, 1: 1, 2: 3, 3: 3})
+        combined = compose(second, first)
+        assert combined(2) == 3
+        assert combined(0) == 3
+
+
+class TestSearch:
+    def test_find_retraction_onto_core(self, fig2_tableau):
+        mapping = find_retraction(fig2_tableau, [1, 3])
+        assert mapping is not None
+        assert mapping.image() <= {1, 3}
+        assert mapping.is_valid()
+
+    def test_find_retraction_impossible(self, fig2_tableau):
+        # Row 1 (CDE) holds distinguished d; nothing else contains D, so a
+        # retraction onto {0, 3} cannot exist.
+        assert find_retraction(fig2_tableau, [0, 3]) is None
+
+    def test_find_homomorphism_into_single_row(self, cyclic_tableau):
+        # The paper: with only D sacred, every row can map to the AD row (index 3).
+        assignment = find_homomorphism(cyclic_tableau, default_targets=[3])
+        assert assignment is not None
+        assert set(assignment.values()) == {3}
+
+    def test_find_homomorphism_respects_distinguished(self, cyclic_tableau):
+        # Nothing can map the AD row (distinguished d) into the other rows.
+        assert find_homomorphism(cyclic_tableau, default_targets=[0, 1, 2]) is None
+
+    def test_find_homomorphism_on_subset_of_rows(self, fig2_tableau):
+        # Treating only rows {0, 3} as the tableau, row 0 folds onto row 3.
+        assignment = find_homomorphism(fig2_tableau, rows=[0, 3], default_targets=[3])
+        assert assignment == {0: 3, 3: 3}
+
+    def test_fixed_assignments_are_respected(self, fig2_tableau):
+        assignment = find_homomorphism(fig2_tableau, fixed={1: 1, 3: 3},
+                                       default_targets=[1, 3])
+        assert assignment is not None
+        assert assignment[1] == 1 and assignment[3] == 3
+
+    def test_contradictory_fixed_assignment(self, fig2_tableau):
+        assert find_homomorphism(fig2_tableau, fixed={1: 3}, default_targets=[1, 3]) is None

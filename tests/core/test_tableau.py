@@ -1,0 +1,129 @@
+"""Unit tests for tableaux of hypergraphs (Section 3, Figs. 2 and 3)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Hypergraph, Tableau
+from repro.core.tableau import SpecialSymbol, UniqueSymbol
+from repro.exceptions import TableauError
+
+
+@pytest.fixture
+def fig2_tableau(fig1):
+    """The tableau of Fig. 2: Fig. 1's hypergraph with A and D sacred, paper row order."""
+    return Tableau.from_hypergraph(
+        fig1, sacred={"A", "D"},
+        edge_order=[{"A", "B", "C"}, {"C", "D", "E"}, {"A", "E", "F"}, {"A", "C", "E"}])
+
+
+class TestConstruction:
+    def test_columns_are_all_nodes(self, fig2_tableau):
+        assert set(fig2_tableau.columns) == {"A", "B", "C", "D", "E", "F"}
+
+    def test_one_row_per_edge(self, fig2_tableau, fig1):
+        assert fig2_tableau.num_rows == fig1.num_edges
+
+    def test_row_order_follows_edge_order(self, fig2_tableau):
+        assert fig2_tableau.row(0).edge == frozenset({"A", "B", "C"})
+        assert fig2_tableau.row(1).edge == frozenset({"C", "D", "E"})
+
+    def test_special_symbols_exactly_in_member_rows(self, fig2_tableau):
+        symbol = SpecialSymbol("A")
+        occurrences = fig2_tableau.occurrences(symbol)
+        assert set(occurrences) == {0, 2, 3}
+
+    def test_unique_symbols_occur_once(self, fig2_tableau):
+        for row in fig2_tableau.rows:
+            for column, symbol in row.cells.items():
+                if isinstance(symbol, UniqueSymbol):
+                    assert len(fig2_tableau.occurrences(symbol)) == 1
+
+    def test_sacred_outside_nodes_ignored(self, fig1):
+        tableau = Tableau.from_hypergraph(fig1, sacred={"A", "Z"})
+        assert tableau.sacred == frozenset({"A"})
+
+    def test_column_order_can_be_fixed(self, fig1):
+        tableau = Tableau.from_hypergraph(fig1, column_order=["F", "E", "D", "C", "B", "A"])
+        assert tableau.columns[0] == "F"
+
+    def test_bad_column_order_rejected(self, fig1):
+        with pytest.raises(TableauError):
+            Tableau.from_hypergraph(fig1, column_order=["A", "B"])
+
+    def test_bad_edge_order_rejected(self, fig1):
+        with pytest.raises(TableauError):
+            Tableau.from_hypergraph(fig1, edge_order=[{"A", "B", "C"}])
+
+
+class TestAccessors:
+    def test_distinguished_symbols(self, fig2_tableau):
+        assert fig2_tableau.is_distinguished(SpecialSymbol("A"))
+        assert fig2_tableau.is_distinguished(SpecialSymbol("D"))
+        assert not fig2_tableau.is_distinguished(SpecialSymbol("B"))
+        assert not fig2_tableau.is_distinguished(UniqueSymbol("A", 1))
+
+    def test_summary_has_distinguished_only(self, fig2_tableau):
+        summary = fig2_tableau.summary()
+        assert summary["A"] == SpecialSymbol("A")
+        assert summary["B"] is None
+
+    def test_row_for_edge(self, fig2_tableau):
+        row = fig2_tableau.row_for_edge({"A", "C", "E"})
+        assert row.index == 3
+
+    def test_row_for_unknown_edge(self, fig2_tableau):
+        with pytest.raises(TableauError):
+            fig2_tableau.row_for_edge({"X"})
+
+    def test_unknown_row_index(self, fig2_tableau):
+        with pytest.raises(TableauError):
+            fig2_tableau.row(99)
+
+    def test_repeated_symbols_are_special(self, fig2_tableau):
+        repeated = fig2_tableau.repeated_symbols()
+        assert repeated
+        assert all(symbol.is_special for symbol in repeated)
+
+    def test_columns_with_special(self, fig2_tableau):
+        assert fig2_tableau.row(0).columns_with_special() == frozenset({"A", "B", "C"})
+
+    def test_row_symbol_unknown_column(self, fig2_tableau):
+        with pytest.raises(TableauError):
+            fig2_tableau.row(0).symbol("Z")
+
+
+class TestSubtableau:
+    def test_subtableau_keeps_columns_and_sacred(self, fig2_tableau):
+        sub = fig2_tableau.subtableau([1, 3])
+        assert sub.num_rows == 2
+        assert sub.columns == fig2_tableau.columns
+        assert sub.sacred == fig2_tableau.sacred
+
+    def test_subtableau_unknown_rows(self, fig2_tableau):
+        with pytest.raises(TableauError):
+            fig2_tableau.subtableau([1, 42])
+
+
+class TestRendering:
+    def test_render_shows_summary_and_specials(self, fig2_tableau):
+        text = fig2_tableau.render()
+        lines = text.splitlines()
+        # Header, rule, summary, rule, then one line per row.
+        assert len(lines) == 4 + fig2_tableau.num_rows
+        assert "a" in lines[2] and "d" in lines[2]
+
+    def test_render_with_blanks_hides_unique_symbols(self, fig2_tableau):
+        text = fig2_tableau.render(blanks=True)
+        assert "u0" not in text
+
+    def test_render_without_blanks_shows_unique_symbols(self, fig2_tableau):
+        text = fig2_tableau.render(blanks=False)
+        assert "u0" in text
+
+    def test_special_symbol_rendering(self):
+        assert SpecialSymbol("A").render() == "a"
+        assert SpecialSymbol("Student").render() == "s(Student)"
+
+    def test_repr(self, fig2_tableau):
+        assert "rows=4" in repr(fig2_tableau)

@@ -1,0 +1,132 @@
+"""Unit tests for tableau reduction TR(H, X) (Section 3, Example 3.3)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Hypergraph, Tableau, tableau_reduce, tableau_reduction
+from repro.core.tableau_reduction import (
+    canonical_row_mapping,
+    minimal_rows,
+    partial_edges_from_target,
+)
+from repro.exceptions import TableauError
+
+
+class TestMinimalRows:
+    def test_example_3_3_minimal_rows(self, fig1):
+        tableau = Tableau.from_hypergraph(
+            fig1, sacred={"A", "D"},
+            edge_order=[{"A", "B", "C"}, {"C", "D", "E"}, {"A", "E", "F"}, {"A", "C", "E"}])
+        assert set(minimal_rows(tableau)) == {1, 3}
+
+    def test_no_sacred_reduces_to_single_row(self, fig1):
+        tableau = Tableau.from_hypergraph(fig1, sacred=set())
+        assert len(minimal_rows(tableau)) == 1
+
+    def test_all_sacred_keeps_every_row(self, fig1):
+        tableau = Tableau.from_hypergraph(fig1, sacred=fig1.nodes)
+        assert len(minimal_rows(tableau)) == fig1.num_edges
+
+    def test_cyclic_example_collapses_to_ad_row(self, cyclic_example):
+        tableau = Tableau.from_hypergraph(cyclic_example, sacred={"D"})
+        target = minimal_rows(tableau)
+        assert len(target) == 1
+        assert tableau.row(target[0]).edge == frozenset({"A", "D"})
+
+    def test_single_row_tableau(self):
+        h = Hypergraph([{"A", "B"}])
+        tableau = Tableau.from_hypergraph(h, sacred={"A"})
+        assert minimal_rows(tableau) == (0,)
+
+
+class TestCanonicalRowMapping:
+    def test_mapping_exists_for_minimal_rows(self, fig1):
+        tableau = Tableau.from_hypergraph(fig1, sacred={"A", "D"})
+        target = minimal_rows(tableau)
+        mapping = canonical_row_mapping(tableau, target)
+        assert mapping.is_valid()
+        assert mapping.image() <= set(target)
+
+    def test_mapping_fails_for_arbitrary_rows(self, fig1):
+        tableau = Tableau.from_hypergraph(
+            fig1, sacred={"A", "D"},
+            edge_order=[{"A", "B", "C"}, {"C", "D", "E"}, {"A", "E", "F"}, {"A", "C", "E"}])
+        with pytest.raises(TableauError):
+            canonical_row_mapping(tableau, [0])  # row 0 cannot absorb the D row
+
+
+class TestPartialEdgeTrimming:
+    def test_example_3_3_partial_edges(self, fig1):
+        tableau = Tableau.from_hypergraph(
+            fig1, sacred={"A", "D"},
+            edge_order=[{"A", "B", "C"}, {"C", "D", "E"}, {"A", "E", "F"}, {"A", "C", "E"}])
+        partial = partial_edges_from_target(tableau, [1, 3], {"A", "D"})
+        assert set(partial) == {frozenset("CDE"), frozenset("ACE")}
+
+    def test_nondistinguished_singleton_node_dropped(self, cyclic_example):
+        """Example 3.3's remark: a nondistinguished special symbol appearing only
+        once does not put its node into the partial edge."""
+        tableau = Tableau.from_hypergraph(cyclic_example, sacred={"D"})
+        target = minimal_rows(tableau)
+        partial = partial_edges_from_target(tableau, target, {"D"})
+        assert partial == (frozenset({"D"}),)
+
+
+class TestTableauReduction:
+    def test_tr_of_fig1(self, fig1):
+        """Example 3.3: TR(H, {A, D}) = {{C, D, E}, {A, C, E}}."""
+        result = tableau_reduce(fig1, {"A", "D"})
+        assert result.edge_set == frozenset({frozenset("CDE"), frozenset("ACE")})
+
+    def test_tr_of_cyclic_example(self, cyclic_example):
+        """The paper's counterexample: TR(H, {D}) = {{D}}."""
+        result = tableau_reduce(cyclic_example, {"D"})
+        assert result.edge_set == frozenset({frozenset({"D"})})
+
+    def test_tr_with_no_sacred_nodes_is_empty(self, fig1):
+        result = tableau_reduce(fig1, set())
+        assert result.num_edges == 0
+
+    def test_tr_result_is_reduced(self, fig1, small_cyclic):
+        for hypergraph, sacred in ((fig1, {"A", "D"}), (small_cyclic, set())):
+            result = tableau_reduce(hypergraph, sacred)
+            assert result.is_reduced
+
+    def test_tr_result_object_carries_provenance(self, fig1):
+        outcome = tableau_reduction(fig1, {"A", "D"})
+        assert outcome.sacred == frozenset({"A", "D"})
+        assert set(outcome.target_rows) == {r.index for r in outcome.tableau.rows
+                                            if r.edge in set(outcome.target_edges)}
+        assert outcome.row_mapping.is_valid()
+        assert "TR(" in outcome.describe()
+
+    def test_maps_edge_accessor(self, fig1):
+        outcome = tableau_reduction(fig1, {"A", "D"})
+        image = outcome.maps_edge({"A", "B", "C"})
+        assert image in set(outcome.target_edges)
+
+    def test_sacred_outside_hypergraph_ignored(self, fig1):
+        assert tableau_reduce(fig1, {"A", "D", "Z"}) == tableau_reduce(fig1, {"A", "D"})
+
+    def test_example_5_1_connection(self, example51):
+        """Example 5.1: CC({A, C}) is the single partial edge {A, C}."""
+        result = tableau_reduce(example51, {"A", "C"})
+        assert result.edge_set == frozenset({frozenset({"A", "C"})})
+
+    def test_fig5_keeps_all_four_edges(self, fig5):
+        """Fig. 5: CC({A, F}) contains all four (full) edges."""
+        result = tableau_reduce(fig5, {"A", "F"})
+        assert result.edge_set == fig5.edge_set
+
+    def test_tr_single_edge_hypergraph(self):
+        h = Hypergraph([{"A", "B", "C"}])
+        result = tableau_reduce(h, {"A"})
+        assert result.edge_set == frozenset({frozenset({"A"})})
+
+    def test_tr_on_generated_families(self, small_acyclic, small_cyclic):
+        for hypergraph in (small_acyclic, small_cyclic):
+            sacred = frozenset(list(hypergraph.nodes)[:2])
+            result = tableau_reduce(hypergraph, sacred)
+            # Sacred nodes always survive into the connection.
+            assert sacred <= result.nodes | (sacred - hypergraph.nodes)

@@ -1,0 +1,135 @@
+"""Unit tests for the executable lemma/theorem checkers (on paper examples and small families)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import ConnectingTree, Hypergraph
+from repro.core.theorems import (
+    check_all,
+    check_corollary_3_7,
+    check_corollary_6_2,
+    check_lemma_2_1,
+    check_lemma_3_6,
+    check_lemma_3_8,
+    check_lemma_3_9,
+    check_lemma_3_10,
+    check_lemma_4_1,
+    check_lemma_4_2,
+    check_lemma_5_2,
+    check_theorem_3_5,
+    check_theorem_6_1,
+    is_edge_ring,
+)
+
+
+class TestSection2And3Checks:
+    def test_lemma_2_1_on_paper_examples(self, fig1, cyclic_example):
+        assert check_lemma_2_1(fig1, {"A", "D"})
+        assert check_lemma_2_1(cyclic_example, {"D"})
+
+    def test_theorem_3_5_on_fig1(self, fig1):
+        assert check_theorem_3_5(fig1, {"A", "D"})
+        assert check_theorem_3_5(fig1, set())
+        assert check_theorem_3_5(fig1, fig1.nodes)
+
+    def test_theorem_3_5_vacuous_on_cyclic(self, cyclic_example):
+        # GR and TR genuinely differ here, but the theorem only speaks about
+        # acyclic hypergraphs, so the check is vacuously true.
+        assert check_theorem_3_5(cyclic_example, {"D"})
+
+    def test_lemma_3_6_on_both_kinds(self, fig1, cyclic_example):
+        assert check_lemma_3_6(fig1, {"A", "D"})
+        assert check_lemma_3_6(cyclic_example, {"D"})
+
+    def test_corollary_3_7(self, fig1, fig5):
+        assert check_corollary_3_7(fig1, {"A", "D"})
+        assert check_corollary_3_7(fig5, {"A", "F"})
+
+    def test_lemma_3_8_monotonicity(self, fig1):
+        assert check_lemma_3_8(fig1, {"A"}, {"A", "D"})
+        assert check_lemma_3_8(fig1, {"D"}, {"A", "D", "B"})
+        # Vacuous when X is not a subset of Y.
+        assert check_lemma_3_8(fig1, {"A", "B"}, {"A", "D"})
+
+    def test_lemma_3_9(self, fig1, cyclic_example):
+        assert check_lemma_3_9(fig1, {"A", "D"})
+        assert check_lemma_3_9(cyclic_example, {"D"})
+
+    def test_lemma_3_10(self, fig1, fig5):
+        assert check_lemma_3_10(fig1, {"A", "D"})
+        assert check_lemma_3_10(fig1, {"B"})
+        assert check_lemma_3_10(fig5, {"A"})
+
+
+class TestSection4Checks:
+    def test_is_edge_ring_on_triangle(self, triangle_hypergraph):
+        assert is_edge_ring(triangle_hypergraph, [{"A"}, {"B"}, {"C"}])
+
+    def test_fig1_outer_ring_is_not_a_lemma_4_1_ring(self, fig1):
+        """Fig. 1's three outer edges form a 'ring', but {A, C, E} contains three
+        of the pairwise intersections, so the Lemma 4.1 hypotheses fail."""
+        assert not is_edge_ring(fig1, [{"A"}, {"C"}, {"E"}])
+
+    def test_ring_requires_three_sets(self, triangle_hypergraph):
+        assert not is_edge_ring(triangle_hypergraph, [{"A"}, {"B"}])
+
+    def test_ring_requires_consecutive_containment(self, fig1):
+        assert not is_edge_ring(fig1, [{"B"}, {"D"}, {"F"}])
+
+    def test_lemma_4_1_on_triangle(self, triangle_hypergraph):
+        assert check_lemma_4_1(triangle_hypergraph, [{"A"}, {"B"}, {"C"}])
+
+    def test_lemma_4_1_vacuous_on_fig1(self, fig1):
+        assert check_lemma_4_1(fig1, [{"A"}, {"C"}, {"E"}])
+
+    def test_lemma_4_2(self, fig1, fig5):
+        assert check_lemma_4_2(fig1, {"A", "D"})
+        assert check_lemma_4_2(fig1, {"B", "F"})
+        assert check_lemma_4_2(fig5, {"A", "F"})
+
+    def test_lemma_4_2_vacuous_on_cyclic(self, triangle_hypergraph):
+        assert check_lemma_4_2(triangle_hypergraph, {"A"})
+
+
+class TestSection5And6Checks:
+    def test_lemma_5_2_on_fig6_tree(self, example51):
+        tree = ConnectingTree.path(example51, [{"A"}, {"E"}, {"C"}])
+        assert check_lemma_5_2(tree)
+
+    def test_lemma_5_2_vacuous_on_dependent_tree(self, example51):
+        tree = ConnectingTree.path(example51, [{"A"}, {"B"}])
+        assert check_lemma_5_2(tree)
+
+    def test_lemma_5_2_vacuous_on_invalid_tree(self, fig1):
+        tree = ConnectingTree.path(fig1, [{"A"}, {"E"}, {"C"}])
+        assert check_lemma_5_2(tree)
+
+    def test_theorem_6_1_on_paper_examples(self, fig1, fig5, example51, cyclic_example,
+                                           triangle_hypergraph, square_hypergraph,
+                                           covered_triangle):
+        for hypergraph in (fig1, fig5, example51, cyclic_example, triangle_hypergraph,
+                           square_hypergraph, covered_triangle):
+            assert check_theorem_6_1(hypergraph)
+
+    def test_corollary_6_2(self, fig1, triangle_hypergraph):
+        assert check_corollary_6_2(fig1)
+        assert check_corollary_6_2(triangle_hypergraph)
+
+    def test_theorem_6_1_on_generated(self, small_acyclic, small_cyclic):
+        assert check_theorem_6_1(small_acyclic)
+        assert check_theorem_6_1(small_cyclic)
+
+
+class TestCheckAll:
+    def test_check_all_on_fig1(self, fig1):
+        results = check_all(fig1, {"A", "D"})
+        assert all(results.values()), results
+
+    def test_check_all_on_cyclic_example(self, cyclic_example):
+        results = check_all(cyclic_example, {"D"})
+        assert all(results.values()), results
+
+    def test_check_all_on_generated(self, small_acyclic):
+        results = check_all(small_acyclic, frozenset(list(small_acyclic.nodes)[:2]))
+        assert all(results.values()), results

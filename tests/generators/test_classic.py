@@ -1,0 +1,78 @@
+"""Unit tests for the ready-made paper figures and classic schemas."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import is_acyclic
+from repro.generators import (
+    cyclic_counterexample,
+    cyclic_counterexample_sacred,
+    cyclic_supplier_schema,
+    example_5_1_hypergraph,
+    example_5_1_independent_tree_sets,
+    example_5_1_sacred,
+    figure_1,
+    figure_1_expected_reduction,
+    figure_1_sacred,
+    figure_5,
+    figure_5_endpoints,
+    paper_hypergraphs,
+    square_cycle,
+    supplier_part_schema,
+    triangle,
+    triangle_with_covering_edge,
+    university_schema,
+)
+
+
+class TestPaperFigures:
+    def test_figure_1_shape(self):
+        fig1 = figure_1()
+        assert fig1.num_edges == 4 and fig1.num_nodes == 6
+        assert figure_1_sacred() == {"A", "D"}
+        assert figure_1_expected_reduction() == frozenset({frozenset("ACE"), frozenset("CDE")})
+
+    def test_cyclic_counterexample_shape(self):
+        h = cyclic_counterexample()
+        assert h.num_edges == 4
+        assert cyclic_counterexample_sacred() == {"D"}
+
+    def test_figure_5_shape(self):
+        fig5 = figure_5()
+        assert fig5.num_edges == 4 and fig5.num_nodes == 6
+        source, target = figure_5_endpoints()
+        assert source in fig5.nodes and target in fig5.nodes
+
+    def test_example_5_1_relates_to_figure_1(self):
+        assert example_5_1_hypergraph().edge_set == \
+            figure_1().remove_edge(frozenset("ACE")).edge_set
+        assert example_5_1_sacred() == {"A", "C"}
+        assert len(example_5_1_independent_tree_sets()) == 3
+
+    def test_small_classics(self):
+        assert triangle().num_edges == 3
+        assert square_cycle().num_edges == 4
+        assert triangle_with_covering_edge().num_edges == 4
+
+    def test_registry_values_are_fresh_objects(self):
+        first = paper_hypergraphs()
+        second = paper_hypergraphs()
+        assert first["fig1"] == second["fig1"]
+        assert first["fig1"] is not second["fig1"]
+
+
+class TestClassicSchemas:
+    def test_university_schema_is_acyclic(self):
+        schema = university_schema()
+        assert schema.is_acyclic()
+        assert len(schema) == 4
+        assert "Student" in schema.attributes
+
+    def test_supplier_part_schema_is_acyclic(self):
+        assert supplier_part_schema().is_acyclic()
+
+    def test_cyclic_supplier_schema_is_cyclic(self):
+        schema = cyclic_supplier_schema()
+        assert not schema.is_acyclic()
+        assert not is_acyclic(schema.to_hypergraph())

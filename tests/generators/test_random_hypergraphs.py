@@ -1,0 +1,141 @@
+"""Unit tests for the random hypergraph generators."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro import is_acyclic
+from repro.exceptions import GenerationError
+from repro.generators import (
+    chain_hypergraph,
+    mutate_to_cyclic,
+    node_names,
+    random_acyclic_hypergraph,
+    random_cyclic_hypergraph,
+    random_hypergraph,
+    random_sacred_set,
+    ring_hypergraph,
+    star_hypergraph,
+)
+
+
+class TestNodeNames:
+    def test_single_letters_when_possible(self):
+        assert node_names(3) == ("A", "B", "C")
+
+    def test_numbered_names_for_large_counts(self):
+        names = node_names(30)
+        assert len(names) == 30
+        assert len(set(names)) == 30
+
+
+class TestAcyclicGenerator:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_always_acyclic(self, seed):
+        hypergraph = random_acyclic_hypergraph(num_edges=8, max_arity=4, seed=seed)
+        assert is_acyclic(hypergraph)
+
+    def test_edge_count(self):
+        hypergraph = random_acyclic_hypergraph(num_edges=6, seed=1)
+        # Duplicate edges may collapse, so the count is at most the request.
+        assert 1 <= hypergraph.num_edges <= 6
+
+    def test_reproducible(self):
+        assert random_acyclic_hypergraph(5, seed=42) == random_acyclic_hypergraph(5, seed=42)
+
+    def test_accepts_rng_instance(self):
+        rng = random.Random(7)
+        hypergraph = random_acyclic_hypergraph(4, seed=rng)
+        assert is_acyclic(hypergraph)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(GenerationError):
+            random_acyclic_hypergraph(0)
+        with pytest.raises(GenerationError):
+            random_acyclic_hypergraph(3, max_arity=0)
+
+
+class TestCyclicGenerator:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_always_cyclic(self, seed):
+        hypergraph = random_cyclic_hypergraph(num_edges=7, max_arity=4, seed=seed)
+        assert not is_acyclic(hypergraph)
+
+    def test_minimum_size(self):
+        with pytest.raises(GenerationError):
+            random_cyclic_hypergraph(2)
+
+    def test_reproducible(self):
+        assert random_cyclic_hypergraph(6, seed=3) == random_cyclic_hypergraph(6, seed=3)
+
+
+class TestStructuredGenerators:
+    def test_ring_is_cyclic(self):
+        assert not is_acyclic(ring_hypergraph(5, arity=3, overlap=1))
+
+    def test_ring_parameters_validated(self):
+        with pytest.raises(GenerationError):
+            ring_hypergraph(2)
+        with pytest.raises(GenerationError):
+            ring_hypergraph(4, arity=2, overlap=2)
+
+    def test_chain_is_acyclic(self):
+        assert is_acyclic(chain_hypergraph(6, arity=3, overlap=2))
+
+    def test_chain_matches_fig5_shape(self):
+        chain = chain_hypergraph(4, arity=3, overlap=2)
+        assert chain.num_edges == 4
+        assert chain.num_nodes == 6
+
+    def test_chain_parameters_validated(self):
+        with pytest.raises(GenerationError):
+            chain_hypergraph(0)
+        with pytest.raises(GenerationError):
+            chain_hypergraph(3, arity=2, overlap=2)
+
+    def test_star_is_acyclic(self):
+        star = star_hypergraph(5, arity=3)
+        assert is_acyclic(star)
+        assert star.num_edges == 5
+
+    def test_star_needs_a_ray(self):
+        with pytest.raises(GenerationError):
+            star_hypergraph(0)
+
+
+class TestUnconstrainedGeneratorAndHelpers:
+    def test_random_hypergraph_sizes(self):
+        hypergraph = random_hypergraph(num_nodes=8, num_edges=10, max_arity=3, seed=5)
+        assert hypergraph.num_nodes <= 8
+        assert hypergraph.num_edges <= 10
+
+    def test_random_hypergraph_validation(self):
+        with pytest.raises(GenerationError):
+            random_hypergraph(0, 1)
+        with pytest.raises(GenerationError):
+            random_hypergraph(3, 3, min_arity=4, max_arity=2)
+
+    def test_random_sacred_set_is_subset(self):
+        hypergraph = random_acyclic_hypergraph(5, seed=2)
+        sacred = random_sacred_set(hypergraph, max_size=3, seed=2)
+        assert sacred <= hypergraph.nodes
+        assert 1 <= len(sacred) <= 3
+
+    def test_random_sacred_set_empty_hypergraph(self):
+        from repro import Hypergraph
+
+        assert random_sacred_set(Hypergraph.empty()) == frozenset()
+
+    def test_mutate_to_cyclic(self):
+        acyclic = random_acyclic_hypergraph(6, max_arity=3, seed=4)
+        mutated = mutate_to_cyclic(acyclic, seed=4)
+        assert not is_acyclic(mutated)
+        assert acyclic.edge_set <= mutated.edge_set
+
+    def test_mutate_needs_enough_nodes(self):
+        from repro import Hypergraph
+
+        with pytest.raises(GenerationError):
+            mutate_to_cyclic(Hypergraph([{"A", "B"}]), seed=1)

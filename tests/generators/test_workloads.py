@@ -1,0 +1,81 @@
+"""Unit tests for the synthetic database and query-workload generators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import GenerationError
+from repro.generators import (
+    add_dangling_tuples,
+    generate_consistent_database,
+    generate_database,
+    query_attribute_workload,
+    university_schema,
+)
+from repro.relational import DatabaseSchema
+
+
+class TestConsistentDatabases:
+    def test_every_relation_populated(self):
+        db = generate_consistent_database(university_schema(), universe_rows=20, seed=1)
+        for relation in db:
+            assert len(relation) >= 1
+
+    def test_globally_consistent(self):
+        db = generate_consistent_database(university_schema(), universe_rows=20, seed=1)
+        assert db.is_globally_consistent()
+
+    def test_reproducible(self):
+        first = generate_consistent_database(university_schema(), universe_rows=10, seed=5)
+        second = generate_consistent_database(university_schema(), universe_rows=10, seed=5)
+        for name in first.schema.relation_names:
+            assert first[name] == second[name]
+
+    def test_empty_schema_rejected(self):
+        with pytest.raises(GenerationError):
+            generate_consistent_database(DatabaseSchema([]), universe_rows=5)
+
+
+class TestDanglingTuples:
+    def test_dangling_fraction_adds_tuples(self):
+        base = generate_consistent_database(university_schema(), universe_rows=20, seed=2)
+        dirty = add_dangling_tuples(base, fraction=0.5, seed=2)
+        assert dirty.total_rows() > base.total_rows()
+        assert dirty.dangling_tuple_count() > 0
+
+    def test_zero_fraction_is_identity(self):
+        base = generate_consistent_database(university_schema(), universe_rows=10, seed=3)
+        same = add_dangling_tuples(base, fraction=0.0, seed=3)
+        assert same.total_rows() == base.total_rows()
+
+    def test_negative_fraction_rejected(self):
+        base = generate_consistent_database(university_schema(), universe_rows=5, seed=3)
+        with pytest.raises(GenerationError):
+            add_dangling_tuples(base, fraction=-0.1)
+
+    def test_generate_database_wrapper(self):
+        clean = generate_database(university_schema(), universe_rows=10, seed=4)
+        dirty = generate_database(university_schema(), universe_rows=10,
+                                  dangling_fraction=0.5, seed=4)
+        assert clean.dangling_tuple_count() == 0
+        assert dirty.dangling_tuple_count() > 0
+
+
+class TestQueryWorkloads:
+    def test_workload_sizes(self):
+        workload = query_attribute_workload(university_schema(), queries=7,
+                                            min_attributes=1, max_attributes=3, seed=1)
+        assert len(workload) == 7
+        for attributes in workload:
+            assert 1 <= len(attributes) <= 3
+            assert set(attributes) <= university_schema().attributes
+
+    def test_workload_reproducible(self):
+        first = query_attribute_workload(university_schema(), queries=5, seed=9)
+        second = query_attribute_workload(university_schema(), queries=5, seed=9)
+        assert first == second
+
+    def test_invalid_bounds(self):
+        with pytest.raises(GenerationError):
+            query_attribute_workload(university_schema(), queries=3,
+                                     min_attributes=3, max_attributes=1)

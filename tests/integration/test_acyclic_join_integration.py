@@ -1,0 +1,94 @@
+"""Integration tests: acyclicity theory driving join processing (reducers, Yannakakis, JDs)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import build_join_tree, is_acyclic
+from repro.generators import (
+    generate_database,
+    random_acyclic_hypergraph,
+    supplier_part_schema,
+    university_schema,
+)
+from repro.relational import (
+    Database,
+    DatabaseSchema,
+    JoinDependency,
+    chase_join_dependency,
+    decomposition_is_lossless,
+    execute_plan,
+    full_reducer_program,
+    fully_reduce,
+    join_tree_plan,
+    naive_join,
+    naive_join_plan,
+    project,
+    yannakakis_join,
+)
+
+
+class TestSchemasDerivedFromGeneratedHypergraphs:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_pipeline_on_generated_acyclic_schema(self, seed):
+        """Generated acyclic hypergraph → schema → data → reducer → Yannakakis."""
+        hypergraph = random_acyclic_hypergraph(num_edges=5, max_arity=3, seed=seed)
+        schema = DatabaseSchema.from_hypergraph(hypergraph)
+        assert schema.is_acyclic()
+        database = generate_database(schema, universe_rows=15, domain_size=4,
+                                     dangling_fraction=0.5, seed=seed)
+        reduced = fully_reduce(database)
+        assert reduced.dangling_tuple_count() == 0
+        fast = yannakakis_join(database)
+        slow, _ = naive_join(database)
+        assert frozenset(fast.relation.rows) == frozenset(slow.rows)
+
+    def test_join_tree_matches_reducer_tree(self):
+        database = generate_database(university_schema(), universe_rows=10, seed=3)
+        tree = build_join_tree(database.hypergraph)
+        program = full_reducer_program(database)
+        assert tree is not None and program.join_tree is not None
+        assert frozenset(tree.vertices) == frozenset(program.join_tree.vertices)
+
+
+class TestJoinDependencyView:
+    def test_acyclic_schema_join_dependency_holds_on_consistent_data(self):
+        """The universal relation of a consistent database satisfies the schema's JD."""
+        schema = supplier_part_schema()
+        database = generate_database(schema, universe_rows=15, domain_size=4, seed=7)
+        universe = database.universal_join()
+        jd = JoinDependency.of([relation.attribute_set for relation in schema])
+        assert jd.is_acyclic()
+        assert jd.holds_in(project(universe, sorted(universe.schema.attribute_set,
+                                                    key=str)))
+
+    def test_acyclic_jd_equivalent_to_its_mvds_via_chase(self):
+        schema = university_schema()
+        jd = JoinDependency.of([relation.attribute_set for relation in schema])
+        assert chase_join_dependency(jd, mvds=jd.equivalent_mvds())
+
+    def test_schema_decomposition_is_lossless_given_its_mvds(self):
+        schema = university_schema()
+        jd = JoinDependency.of([relation.attribute_set for relation in schema])
+        assert decomposition_is_lossless(jd.attributes, jd.components,
+                                         mvds=jd.equivalent_mvds())
+
+
+class TestPlanComparisonShape:
+    def test_join_tree_plan_keeps_intermediates_no_larger_on_reduced_data(self):
+        """On a fully reduced database the join-tree order never produces larger
+        intermediates than the declaration order produces on the dirty one —
+        the qualitative 'acyclic processing wins' shape of E-JOIN."""
+        dirty = generate_database(university_schema(), universe_rows=25, domain_size=5,
+                                  dangling_fraction=0.8, seed=13)
+        reduced = fully_reduce(dirty)
+        _, naive_stats = execute_plan(naive_join_plan(dirty), plan_name="naive-dirty")
+        _, tree_stats = execute_plan(join_tree_plan(reduced), plan_name="tree-reduced")
+        assert tree_stats.max_intermediate <= naive_stats.max_intermediate
+
+    def test_both_plans_compute_the_same_join(self):
+        database = generate_database(university_schema(), universe_rows=20, domain_size=5,
+                                     dangling_fraction=0.2, seed=17)
+        naive_result, _ = execute_plan(naive_join_plan(database), plan_name="naive")
+        tree_result, _ = execute_plan(join_tree_plan(database), plan_name="tree")
+        assert frozenset(naive_result.rows) == frozenset(tree_result.rows)

@@ -1,0 +1,90 @@
+"""Integration tests: SPJ / conjunctive / tableau queries against the hypergraph theory."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import canonical_connection_result, is_acyclic
+from repro.generators import generate_database, university_schema
+from repro.queries import (
+    BaseObject,
+    ConjunctiveQuery,
+    Join,
+    Project,
+    spj_to_tableau,
+)
+from repro.relational import UniversalRelationInterface, rename_relation
+
+
+@pytest.fixture
+def database():
+    return generate_database(university_schema(), universe_rows=18, domain_size=5, seed=53)
+
+
+class TestQueryHypergraphsMeetSchemaHypergraphs:
+    def test_join_query_over_acyclic_schema_is_acyclic(self):
+        query = ConjunctiveQuery.from_strings(
+            ["s", "t", "r"],
+            body=[("ENROL", ["s", "c"]), ("TEACHES", ["c", "t"]),
+                  ("MEETS", ["c", "r", "h"])])
+        assert query.is_acyclic()
+
+    def test_query_canonical_connection_matches_interface_objects(self, database):
+        """The objects selected by the universal-relation interface for the query's
+        attributes are exactly the canonical connection of those attributes."""
+        interface = UniversalRelationInterface(database)
+        attributes = ("Student", "Room")
+        connection = canonical_connection_result(database.hypergraph, attributes)
+        interface_objects = {relation.schema.attribute_set
+                             for relation in interface.objects_for(attributes)}
+        assert interface_objects == set(connection.objects)
+
+    def test_conjunctive_query_agrees_with_window_semantics(self, database):
+        """Q(s, t) :- ENROL(s, c), TEACHES(c, t) equals the window on {Student, Teacher}."""
+        interface = UniversalRelationInterface(database)
+        query = ConjunctiveQuery.from_strings(
+            ["s", "t"], body=[("ENROL", ["s", "c"]), ("TEACHES", ["c", "t"])])
+        query_pairs = {(row["s"], row["t"]) for row in query.evaluate(database).rows}
+        window = interface.window(["Student", "Teacher"])
+        window_pairs = {(row["Student"], row["Teacher"]) for row in window.relation.rows}
+        assert query_pairs == window_pairs
+
+
+class TestSpjTableauxMeetTheUniversalRelation:
+    def test_spj_tableau_minimization_drops_unneeded_objects(self, database):
+        """Joining ENROL with itself and projecting is answered by one row after
+        minimization — the query-level counterpart of the canonical connection."""
+        schema = database.schema
+        expression = Project(Join(BaseObject("ENROL"), BaseObject("ENROL")),
+                             ("Student", "Course"))
+        tableau = spj_to_tableau(expression, schema)
+        minimized = tableau.minimize()
+        assert len(minimized.rows) == 1
+
+    def test_spj_tableau_evaluation_matches_window(self, database):
+        """Evaluating the minimized tableau of π(ENROL ⋈ TEACHES) on the universal
+        instance matches the interface's window on a consistent database."""
+        interface = UniversalRelationInterface(database)
+        schema = database.schema
+        expression = Project(Join(BaseObject("ENROL"), BaseObject("TEACHES")),
+                             ("Student", "Teacher"))
+        tableau = spj_to_tableau(expression, schema).minimize()
+        universe = rename_relation(database.universal_join(), "U")
+        answers = tableau.evaluate(universe)
+        window = interface.window(["Student", "Teacher"])
+        tableau_pairs = {(row["Student"], row["Teacher"]) for row in answers.rows}
+        window_pairs = {(row["Student"], row["Teacher"]) for row in window.relation.rows}
+        assert tableau_pairs == window_pairs
+
+    def test_minimized_tableau_row_count_matches_connection_size(self, database):
+        """For π_{Student, Teacher}(ENROL ⋈ TEACHES ⋈ LIVES) the minimal tableau has
+        exactly as many rows as the canonical connection of {Student, Teacher} has
+        objects — the Section 7 correspondence in miniature."""
+        schema = database.schema
+        expression = Project(
+            Join(Join(BaseObject("ENROL"), BaseObject("TEACHES")), BaseObject("LIVES")),
+            ("Student", "Teacher"))
+        tableau = spj_to_tableau(expression, schema).minimize()
+        connection = canonical_connection_result(database.hypergraph,
+                                                 {"Student", "Teacher"})
+        assert len(tableau.rows) == len(connection.objects)

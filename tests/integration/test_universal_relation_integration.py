@@ -1,0 +1,101 @@
+"""Integration tests: hypergraph theory driving universal-relation query answering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import canonical_connection_result, is_acyclic
+from repro.generators import (
+    cyclic_supplier_schema,
+    generate_database,
+    query_attribute_workload,
+    university_schema,
+)
+from repro.relational import (
+    UniversalRelationInterface,
+    fully_reduce,
+    join_all,
+    project,
+    yannakakis_join,
+)
+
+
+class TestAcyclicSchemaEndToEnd:
+    @pytest.fixture
+    def database(self):
+        return generate_database(university_schema(), universe_rows=25, domain_size=6,
+                                 dangling_fraction=0.4, seed=31)
+
+    @pytest.fixture
+    def interface(self, database):
+        return UniversalRelationInterface(database)
+
+    def test_window_queries_agree_with_canonical_connection_joins(self, database, interface):
+        """For every workload query: the window equals the projection of the join
+        of exactly the objects named by the canonical connection."""
+        workload = query_attribute_workload(university_schema(), queries=8, seed=31)
+        for attributes in workload:
+            window = interface.window(list(attributes))
+            objects = interface.objects_for(attributes)
+            manual = project(join_all(list(objects)), list(attributes))
+            assert frozenset(window.relation.rows) == frozenset(manual.rows)
+
+    def test_connection_is_unique_for_every_workload_query(self, interface):
+        workload = query_attribute_workload(university_schema(), queries=8, seed=32)
+        for attributes in workload:
+            assert interface.connection_is_unique(attributes)
+
+    def test_window_never_loses_answers_relative_to_full_join(self, interface):
+        """The canonical-connection semantics returns a superset of the full-join
+        semantics (dangling tuples elsewhere cannot erase connected answers)."""
+        workload = query_attribute_workload(university_schema(), queries=6, seed=33)
+        for attributes in workload:
+            window = interface.window(list(attributes))
+            full = interface.window_by_full_join(list(attributes))
+            assert frozenset(full.rows) <= frozenset(window.relation.rows)
+
+    def test_full_reduction_aligns_the_two_semantics(self, database):
+        reduced = fully_reduce(database)
+        interface = UniversalRelationInterface(reduced)
+        workload = query_attribute_workload(university_schema(), queries=6, seed=34)
+        for attributes in workload:
+            window = interface.window(list(attributes))
+            full = interface.window_by_full_join(list(attributes))
+            assert frozenset(window.relation.rows) == frozenset(full.rows)
+
+    def test_yannakakis_computes_each_window_over_the_connection(self, database, interface):
+        """Running Yannakakis on just the connection's objects gives the window."""
+        from repro.relational import Database, DatabaseSchema
+
+        attributes = ("Student", "Teacher")
+        objects = interface.objects_for(attributes)
+        sub_schema = DatabaseSchema([relation.schema for relation in objects])
+        sub_db = Database(sub_schema, {relation.name: relation for relation in objects})
+        result = yannakakis_join(sub_db, attributes)
+        window = interface.window(list(attributes))
+        assert frozenset(result.relation.rows) == frozenset(window.relation.rows)
+
+
+class TestCyclicSchemaWarnings:
+    @pytest.fixture
+    def database(self):
+        return generate_database(cyclic_supplier_schema(), universe_rows=15, domain_size=4,
+                                 seed=41)
+
+    def test_schema_is_flagged_cyclic(self, database):
+        interface = UniversalRelationInterface(database)
+        assert not interface.is_acyclic
+
+    def test_connection_not_unique_for_cross_object_queries(self, database):
+        interface = UniversalRelationInterface(database)
+        assert not interface.connection_is_unique(("Supplier", "Project"))
+
+    def test_canonical_connection_still_computable(self, database):
+        """TR(H, X) is defined for cyclic hypergraphs too; the warning is about
+        uniqueness of 'the' connection, not about computability."""
+        connection = canonical_connection_result(database.hypergraph,
+                                                 {"Supplier", "Project"})
+        assert connection.objects  # some objects are selected
+        interface = UniversalRelationInterface(database)
+        window = interface.window(["Supplier", "Project"])
+        assert window.schema_is_acyclic is False

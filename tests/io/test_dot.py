@@ -1,0 +1,38 @@
+"""Unit tests for DOT export."""
+
+from __future__ import annotations
+
+from repro import ConnectingPath, build_join_tree
+from repro.io import connecting_tree_to_dot, hypergraph_to_dot, join_tree_to_dot
+
+
+class TestHypergraphDot:
+    def test_contains_nodes_and_edge_boxes(self, fig1):
+        dot = hypergraph_to_dot(fig1)
+        assert dot.startswith("graph hypergraph {")
+        assert '"n_A"' in dot
+        assert "{A, B, C}" in dot
+        assert dot.rstrip().endswith("}")
+
+    def test_highlighted_nodes_are_filled(self, fig1):
+        dot = hypergraph_to_dot(fig1, highlight={"A", "D"})
+        assert dot.count("fillcolor") == 2
+
+    def test_label_includes_name(self, fig1):
+        assert 'label="Fig. 1"' in hypergraph_to_dot(fig1)
+
+
+class TestTreeDot:
+    def test_join_tree_dot(self, fig1):
+        tree = build_join_tree(fig1)
+        assert tree is not None
+        dot = join_tree_to_dot(tree)
+        assert dot.startswith("graph join_tree {")
+        assert "label=" in dot
+        assert dot.count("--") == len(tree.tree_edges)
+
+    def test_connecting_tree_dot(self, example51):
+        path = ConnectingPath.from_sequence(example51, [{"A"}, {"E"}, {"C"}])
+        dot = connecting_tree_to_dot(path)
+        assert dot.count("--") == 2
+        assert "{E}" in dot

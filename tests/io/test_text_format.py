@@ -1,0 +1,74 @@
+"""Unit tests for the hypergraph / schema text format."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Hypergraph
+from repro.exceptions import ParseError
+from repro.generators import university_schema
+from repro.io import (
+    parse_database_schema,
+    parse_hypergraph,
+    serialize_database_schema,
+    serialize_hypergraph,
+)
+
+
+class TestHypergraphFormat:
+    def test_round_trip(self, fig1):
+        assert parse_hypergraph(serialize_hypergraph(fig1)) == fig1
+
+    def test_parse_compact_edges(self):
+        hypergraph = parse_hypergraph("edge ABC\nedge CD\n")
+        assert hypergraph.num_edges == 2
+        assert frozenset({"A", "B", "C"}) in hypergraph.edge_set
+
+    def test_parse_named_edges_and_comments(self):
+        text = """
+        # a commented example
+        name: demo
+        R1: Student Course   # enrolment
+        R2: Course Teacher
+        """
+        hypergraph = parse_hypergraph(text)
+        assert hypergraph.name == "demo"
+        assert hypergraph.num_edges == 2
+        assert frozenset({"Student", "Course"}) in hypergraph.edge_set
+
+    def test_parse_whitespace_nodes(self):
+        hypergraph = parse_hypergraph("edge A B C")
+        assert frozenset({"A", "B", "C"}) in hypergraph.edge_set
+
+    def test_parse_errors(self):
+        with pytest.raises(ParseError):
+            parse_hypergraph("")
+        with pytest.raises(ParseError):
+            parse_hypergraph("edge\n")
+        with pytest.raises(ParseError):
+            parse_hypergraph("unparseable line")
+        with pytest.raises(ParseError):
+            parse_hypergraph("R1:\n")
+
+    def test_serialize_preserves_name(self, fig1):
+        assert "name: Fig. 1" in serialize_hypergraph(fig1)
+
+
+class TestDatabaseSchemaFormat:
+    def test_round_trip(self):
+        schema = university_schema()
+        parsed = parse_database_schema(serialize_database_schema(schema))
+        assert parsed.relation_names == schema.relation_names
+        assert parsed.to_hypergraph() == schema.to_hypergraph()
+
+    def test_parse_errors(self):
+        with pytest.raises(ParseError):
+            parse_database_schema("")
+        with pytest.raises(ParseError):
+            parse_database_schema("not a relation line")
+        with pytest.raises(ParseError):
+            parse_database_schema("R:")
+
+    def test_attribute_order_preserved(self):
+        schema = parse_database_schema("R: B A\n")
+        assert schema.relation("R").attributes == ("B", "A")

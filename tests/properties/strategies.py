@@ -1,0 +1,49 @@
+"""Hypothesis strategies for hypergraphs and sacred sets.
+
+Hypergraphs are kept small (≤ 7 nodes, ≤ 6 edges) so that the brute-force
+definitional checks and the tableau-reduction core computation stay fast while
+still covering a rich space of shapes (connected and disconnected, reduced and
+non-reduced, acyclic and cyclic).
+"""
+
+from __future__ import annotations
+
+from hypothesis import strategies as st
+
+from repro import Hypergraph
+
+NODE_POOL = ("A", "B", "C", "D", "E", "F", "G")
+
+
+@st.composite
+def edges(draw, min_size: int = 1, max_size: int = 4):
+    """One edge: a non-empty frozenset of pool nodes."""
+    return frozenset(draw(st.sets(st.sampled_from(NODE_POOL),
+                                  min_size=min_size, max_size=max_size)))
+
+
+@st.composite
+def hypergraphs(draw, min_edges: int = 1, max_edges: int = 5):
+    """An arbitrary small hypergraph (may be disconnected, non-reduced, cyclic)."""
+    edge_list = draw(st.lists(edges(), min_size=min_edges, max_size=max_edges))
+    return Hypergraph(edge_list)
+
+
+@st.composite
+def connected_hypergraphs(draw, min_edges: int = 1, max_edges: int = 5):
+    """A connected small hypergraph: the largest component of an arbitrary one."""
+    hypergraph = draw(hypergraphs(min_edges=min_edges, max_edges=max_edges))
+    components = hypergraph.components()
+    if len(components) <= 1:
+        return hypergraph
+    largest = max(components, key=len)
+    return hypergraph.node_generated(largest)
+
+
+@st.composite
+def hypergraphs_with_sacred(draw, max_edges: int = 5):
+    """A pair (hypergraph, sacred node subset)."""
+    hypergraph = draw(hypergraphs(max_edges=max_edges))
+    sacred = draw(st.sets(st.sampled_from(sorted(hypergraph.nodes)), max_size=3)) \
+        if hypergraph.nodes else set()
+    return hypergraph, frozenset(sacred)

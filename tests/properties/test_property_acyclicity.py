@@ -1,0 +1,75 @@
+"""Property-based tests: the acyclicity notions and their relationships."""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings
+
+from repro.core import (
+    is_acyclic_by_definition,
+    is_acyclic_gyo,
+    is_acyclic_via_join_tree,
+    is_berge_acyclic,
+    is_beta_acyclic,
+)
+from repro.core.graham import check_confluence
+
+from .strategies import connected_hypergraphs, hypergraphs, hypergraphs_with_sacred
+
+COMMON_SETTINGS = settings(max_examples=60, deadline=None,
+                           suppress_health_check=[HealthCheck.too_slow])
+
+
+@COMMON_SETTINGS
+@given(hypergraphs())
+def test_gyo_agrees_with_join_tree_test(hypergraph):
+    """The GYO criterion and join-tree existence coincide on every hypergraph."""
+    assert is_acyclic_gyo(hypergraph) == is_acyclic_via_join_tree(hypergraph)
+
+
+@COMMON_SETTINGS
+@given(connected_hypergraphs())
+def test_gyo_agrees_with_paper_definition_on_connected_hypergraphs(hypergraph):
+    """On connected hypergraphs GYO matches the paper's literal definition."""
+    assert is_acyclic_gyo(hypergraph) == is_acyclic_by_definition(hypergraph)
+
+
+@COMMON_SETTINGS
+@given(hypergraphs())
+def test_beta_implies_alpha(hypergraph):
+    if is_beta_acyclic(hypergraph):
+        assert is_acyclic_gyo(hypergraph)
+
+
+@COMMON_SETTINGS
+@given(hypergraphs())
+def test_berge_implies_beta(hypergraph):
+    if is_berge_acyclic(hypergraph):
+        assert is_beta_acyclic(hypergraph)
+
+
+@COMMON_SETTINGS
+@given(hypergraphs())
+def test_acyclicity_is_preserved_by_reduction(hypergraph):
+    """Removing edges contained in other edges never changes α-acyclicity."""
+    assert is_acyclic_gyo(hypergraph) == is_acyclic_gyo(hypergraph.reduce())
+
+
+@COMMON_SETTINGS
+@given(hypergraphs())
+def test_node_generated_subhypergraphs_of_acyclic_are_acyclic(hypergraph):
+    """α-acyclicity is hereditary for node-generated sub-hypergraphs."""
+    if not is_acyclic_gyo(hypergraph):
+        return
+    nodes = sorted(hypergraph.nodes)
+    for size in (1, 2, 3):
+        subset = frozenset(nodes[:size])
+        if subset and subset <= hypergraph.nodes:
+            assert is_acyclic_gyo(hypergraph.node_generated(subset))
+
+
+@COMMON_SETTINGS
+@given(hypergraphs_with_sacred())
+def test_graham_reduction_is_confluent(pair):
+    """Lemma 2.1 as a property: all reduction orders agree."""
+    hypergraph, sacred = pair
+    assert check_confluence(hypergraph, sacred, trials=4, seed=11)

@@ -1,0 +1,100 @@
+"""Property-based tests: Graham and tableau reductions (Section 3 lemmas)."""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings
+
+from repro import graham_reduce, is_acyclic, tableau_reduce, tableau_reduction
+from repro.core.generated import is_node_generated
+from repro.core.theorems import (
+    check_corollary_3_7,
+    check_lemma_3_6,
+    check_lemma_3_8,
+    check_lemma_3_9,
+    check_lemma_3_10,
+    check_theorem_3_5,
+)
+
+from .strategies import hypergraphs, hypergraphs_with_sacred
+
+COMMON_SETTINGS = settings(max_examples=50, deadline=None,
+                           suppress_health_check=[HealthCheck.too_slow])
+
+
+@COMMON_SETTINGS
+@given(hypergraphs_with_sacred())
+def test_theorem_3_5_gr_equals_tr_on_acyclic(pair):
+    hypergraph, sacred = pair
+    assert check_theorem_3_5(hypergraph, sacred)
+
+
+@COMMON_SETTINGS
+@given(hypergraphs_with_sacred())
+def test_lemma_3_6_tr_is_node_generated(pair):
+    hypergraph, sacred = pair
+    assert check_lemma_3_6(hypergraph, sacred)
+
+
+@COMMON_SETTINGS
+@given(hypergraphs_with_sacred())
+def test_corollary_3_7_tr_preserves_acyclicity(pair):
+    hypergraph, sacred = pair
+    assert check_corollary_3_7(hypergraph, sacred)
+
+
+@COMMON_SETTINGS
+@given(hypergraphs_with_sacred())
+def test_lemma_3_8_monotonicity_in_the_sacred_set(pair):
+    hypergraph, sacred = pair
+    nodes = sorted(hypergraph.nodes)
+    larger = frozenset(sacred | set(nodes[:2]))
+    assert check_lemma_3_8(hypergraph, sacred, larger)
+
+
+@COMMON_SETTINGS
+@given(hypergraphs_with_sacred())
+def test_lemma_3_9_dropped_nodes_leave_the_connection(pair):
+    hypergraph, sacred = pair
+    assert check_lemma_3_9(hypergraph, sacred)
+
+
+@COMMON_SETTINGS
+@given(hypergraphs_with_sacred())
+def test_lemma_3_10_unreachable_components_are_dropped(pair):
+    hypergraph, sacred = pair
+    assert check_lemma_3_10(hypergraph, sacred)
+
+
+@COMMON_SETTINGS
+@given(hypergraphs_with_sacred())
+def test_sacred_nodes_survive_both_reductions(pair):
+    hypergraph, sacred = pair
+    sacred_in_graph = sacred & hypergraph.nodes
+    graham_nodes = graham_reduce(hypergraph, sacred).nodes
+    tableau_nodes = tableau_reduce(hypergraph, sacred).nodes
+    assert sacred_in_graph <= graham_nodes
+    assert sacred_in_graph <= tableau_nodes
+
+
+@COMMON_SETTINGS
+@given(hypergraphs_with_sacred())
+def test_tr_partial_edges_are_partial_edges_of_the_input(pair):
+    hypergraph, sacred = pair
+    result = tableau_reduce(hypergraph, sacred)
+    for partial in result.edges:
+        assert any(partial <= edge for edge in hypergraph.edges)
+
+
+@COMMON_SETTINGS
+@given(hypergraphs_with_sacred())
+def test_tr_is_idempotent_on_its_own_node_set(pair):
+    """Reducing again with the connection's node set as sacred changes nothing."""
+    hypergraph, sacred = pair
+    first = tableau_reduce(hypergraph, sacred)
+    if not first.edges:
+        return
+    again = tableau_reduce(hypergraph, first.nodes)
+    assert is_node_generated(hypergraph, again)
+    # The first connection's edges are all partial edges of the second.
+    for edge in first.edges:
+        assert any(edge <= other for other in again.edges)

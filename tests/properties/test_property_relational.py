@@ -1,0 +1,90 @@
+"""Property-based tests for the relational substrate (algebra laws, reducers, Yannakakis)."""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.generators import generate_database, supplier_part_schema, university_schema
+from repro.relational import (
+    Relation,
+    RelationSchema,
+    fully_reduce,
+    naive_join,
+    natural_join,
+    project,
+    semijoin,
+    yannakakis_join,
+)
+
+COMMON_SETTINGS = settings(max_examples=25, deadline=None,
+                           suppress_health_check=[HealthCheck.too_slow])
+
+VALUES = st.integers(min_value=0, max_value=4)
+
+
+@st.composite
+def ab_bc_relations(draw):
+    """Two small relations R(A, B) and S(B, C) with overlapping value domains."""
+    r_rows = draw(st.lists(st.tuples(VALUES, VALUES), max_size=8))
+    s_rows = draw(st.lists(st.tuples(VALUES, VALUES), max_size=8))
+    r = Relation.from_tuples(RelationSchema.of("R", ["A", "B"]), r_rows)
+    s = Relation.from_tuples(RelationSchema.of("S", ["B", "C"]), s_rows)
+    return r, s
+
+
+@COMMON_SETTINGS
+@given(ab_bc_relations())
+def test_join_commutes(pair):
+    r, s = pair
+    assert frozenset(natural_join(r, s).rows) == frozenset(natural_join(s, r).rows)
+
+
+@COMMON_SETTINGS
+@given(ab_bc_relations())
+def test_semijoin_is_projection_of_join(pair):
+    r, s = pair
+    joined = natural_join(r, s)
+    assert frozenset(semijoin(r, s).rows) == frozenset(project(joined, ["A", "B"]).rows)
+
+
+@COMMON_SETTINGS
+@given(ab_bc_relations())
+def test_semijoin_never_grows(pair):
+    r, s = pair
+    assert len(semijoin(r, s)) <= len(r)
+    assert semijoin(r, s).rows <= r.rows
+
+
+@COMMON_SETTINGS
+@given(ab_bc_relations())
+def test_join_projections_recover_semijoined_inputs(pair):
+    """π_{AB}(R ⋈ S) = R ⋉ S and π_{BC}(R ⋈ S) = S ⋉ R (losslessness of the join)."""
+    r, s = pair
+    joined = natural_join(r, s)
+    assert frozenset(project(joined, ["B", "C"]).rows) == frozenset(semijoin(s, r).rows)
+
+
+@COMMON_SETTINGS
+@given(st.integers(min_value=0, max_value=10_000), st.sampled_from([0.0, 0.3, 0.8]),
+       st.sampled_from(["university", "supplier"]))
+def test_yannakakis_matches_naive_join_on_generated_databases(seed, dangling, which):
+    schema = university_schema() if which == "university" else supplier_part_schema()
+    database = generate_database(schema, universe_rows=12, domain_size=4,
+                                 dangling_fraction=dangling, seed=seed)
+    fast = yannakakis_join(database)
+    slow, _ = naive_join(database)
+    assert frozenset(fast.relation.rows) == frozenset(slow.rows)
+
+
+@COMMON_SETTINGS
+@given(st.integers(min_value=0, max_value=10_000))
+def test_full_reduction_removes_exactly_the_dangling_tuples(seed):
+    database = generate_database(university_schema(), universe_rows=10, domain_size=4,
+                                 dangling_fraction=0.6, seed=seed)
+    reduced = fully_reduce(database)
+    assert reduced.dangling_tuple_count() == 0
+    # Reduction never invents tuples and never changes the universal join.
+    for relation in database.relations():
+        assert reduced.relation(relation.name).rows <= relation.rows
+    assert frozenset(reduced.universal_join().rows) == frozenset(database.universal_join().rows)

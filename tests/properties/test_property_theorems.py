@@ -1,0 +1,51 @@
+"""Property-based tests: Theorem 6.1, Corollary 6.2 and Lemma 4.2 on random hypergraphs."""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings
+
+from repro import find_independent_path, is_acyclic
+from repro.core.theorems import check_lemma_4_2, check_theorem_6_1
+
+from .strategies import connected_hypergraphs, hypergraphs, hypergraphs_with_sacred
+
+COMMON_SETTINGS = settings(max_examples=40, deadline=None,
+                           suppress_health_check=[HealthCheck.too_slow])
+
+
+@COMMON_SETTINGS
+@given(connected_hypergraphs(max_edges=5))
+def test_theorem_6_1_both_directions(hypergraph):
+    """Acyclic ⇒ no verified independent path; cyclic ⇒ the search finds one."""
+    assert check_theorem_6_1(hypergraph)
+
+
+@COMMON_SETTINGS
+@given(connected_hypergraphs(max_edges=5))
+def test_certificates_are_always_genuine(hypergraph):
+    """Whatever the search returns must satisfy the literal definition."""
+    certificate = find_independent_path(hypergraph)
+    if certificate is None:
+        return
+    assert not is_acyclic(hypergraph)
+    path = certificate.path
+    assert path.is_connecting_tree()
+    assert path.is_path()
+    assert path.is_independent()
+    assert certificate.witness in path.sets
+
+
+@COMMON_SETTINGS
+@given(hypergraphs_with_sacred(max_edges=4))
+def test_lemma_4_2_articulation_sets_of_tr(pair):
+    hypergraph, sacred = pair
+    assert check_lemma_4_2(hypergraph, sacred)
+
+
+@COMMON_SETTINGS
+@given(hypergraphs(max_edges=4))
+def test_disconnected_hypergraphs_still_satisfy_theorem_6_1_per_component(hypergraph):
+    """Theorem 6.1 applied component by component (the paper assumes connectivity)."""
+    for component in hypergraph.components():
+        piece = hypergraph.node_generated(component)
+        assert check_theorem_6_1(piece)

@@ -1,0 +1,129 @@
+"""Unit tests for conjunctive queries (evaluation, containment, minimization)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import QueryError
+from repro.generators import generate_database, university_schema
+from repro.queries import Atom, ConjunctiveQuery, Constant, find_query_homomorphism
+from repro.queries.terms import DistinguishedVariable, NondistinguishedVariable
+
+
+@pytest.fixture
+def db():
+    return generate_database(university_schema(), universe_rows=20, domain_size=5, seed=17)
+
+
+@pytest.fixture
+def student_teacher_query():
+    return ConjunctiveQuery.from_strings(
+        ["s", "t"], body=[("ENROL", ["s", "c"]), ("TEACHES", ["c", "t"])])
+
+
+class TestConstruction:
+    def test_from_strings_classifies_variables(self, student_teacher_query):
+        atom = student_teacher_query.atoms[0]
+        assert isinstance(atom.terms[0], DistinguishedVariable)
+        assert isinstance(atom.terms[1], NondistinguishedVariable)
+
+    def test_head_variable_must_occur_in_body(self):
+        with pytest.raises(QueryError):
+            ConjunctiveQuery.from_strings(["x"], body=[("ENROL", ["s", "c"])])
+
+    def test_query_needs_atoms(self):
+        with pytest.raises(QueryError):
+            ConjunctiveQuery([], [])
+
+    def test_render(self, student_teacher_query):
+        text = student_teacher_query.render()
+        assert text.startswith("Q(s, t) :-")
+        assert "ENROL(s, _c)" in text
+
+    def test_constants_in_body(self):
+        query = ConjunctiveQuery.from_strings(
+            ["s"], body=[("ENROL", ["s", Constant("db")])])
+        assert isinstance(query.atoms[0].terms[1], Constant)
+
+
+class TestHypergraphView:
+    def test_query_hypergraph(self, student_teacher_query):
+        hypergraph = student_teacher_query.hypergraph()
+        assert hypergraph.num_edges == 2
+        assert hypergraph.nodes == {"s", "c", "t"}
+
+    def test_acyclic_query(self, student_teacher_query):
+        assert student_teacher_query.is_acyclic()
+
+    def test_cyclic_query(self):
+        query = ConjunctiveQuery.from_strings(
+            ["x"], body=[("R", ["x", "y"]), ("R", ["y", "z"]), ("R", ["z", "x"])])
+        assert not query.is_acyclic()
+
+
+class TestEvaluation:
+    def test_join_query_matches_manual_join(self, db, student_teacher_query):
+        from repro.relational import natural_join, project
+
+        expected = project(natural_join(db["ENROL"], db["TEACHES"]), ["Student", "Teacher"])
+        answers = student_teacher_query.evaluate(db)
+        assert len(answers) == len(expected)
+
+    def test_query_with_constant(self, db):
+        some_course = next(iter(db["ENROL"]))["Course"]
+        query = ConjunctiveQuery.from_strings(
+            ["s"], body=[("ENROL", ["s", Constant(some_course)])])
+        answers = query.evaluate(db)
+        assert len(answers) >= 1
+
+    def test_query_with_repeated_variable(self, db):
+        query = ConjunctiveQuery.from_strings(
+            ["s"], body=[("LIVES", ["s", "d"]), ("ENROL", ["s", "c"])])
+        answers = query.evaluate(db)
+        assert answers.attributes == ("s",)
+
+    def test_arity_mismatch_detected(self, db):
+        query = ConjunctiveQuery.from_strings(["s"], body=[("ENROL", ["s"])])
+        with pytest.raises(QueryError):
+            query.evaluate(db)
+
+    def test_empty_relation_gives_empty_answer(self, db):
+        emptied = db.with_relation(db["TEACHES"].with_rows([]))
+        query = ConjunctiveQuery.from_strings(
+            ["s", "t"], body=[("ENROL", ["s", "c"]), ("TEACHES", ["c", "t"])])
+        assert len(query.evaluate(emptied)) == 0
+
+
+class TestContainmentAndMinimization:
+    def test_containment_of_more_constrained_query(self):
+        broad = ConjunctiveQuery.from_strings(["x"], body=[("R", ["x", "y"])])
+        narrow = ConjunctiveQuery.from_strings(["x"], body=[("R", ["x", "x"])])
+        assert broad.contains(narrow)
+        assert not narrow.contains(broad)
+
+    def test_equivalence_of_renamed_queries(self):
+        left = ConjunctiveQuery.from_strings(["x"], body=[("R", ["x", "y"])])
+        right = ConjunctiveQuery.from_strings(["x"], body=[("R", ["x", "z"])])
+        assert left.is_equivalent_to(right)
+
+    def test_redundant_atom_removed(self):
+        query = ConjunctiveQuery.from_strings(
+            ["s", "t"],
+            body=[("ENROL", ["s", "c"]), ("TEACHES", ["c", "t"]), ("ENROL", ["s", "c2"])])
+        minimized = query.minimize()
+        assert len(minimized.atoms) == 2
+        assert minimized.is_equivalent_to(query)
+
+    def test_non_redundant_query_unchanged(self, student_teacher_query):
+        assert len(student_teacher_query.minimize().atoms) == 2
+
+    def test_homomorphism_respects_constants(self):
+        left = ConjunctiveQuery.from_strings(["x"], body=[("R", ["x", Constant(1)])])
+        right = ConjunctiveQuery.from_strings(["x"], body=[("R", ["x", Constant(2)])])
+        assert find_query_homomorphism(left, right) is None
+        assert find_query_homomorphism(left, left) is not None
+
+    def test_homomorphism_requires_same_head_arity(self):
+        unary = ConjunctiveQuery.from_strings(["x"], body=[("R", ["x", "y"])])
+        binary = ConjunctiveQuery.from_strings(["x", "y"], body=[("R", ["x", "y"])])
+        assert find_query_homomorphism(unary, binary) is None

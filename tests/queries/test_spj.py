@@ -1,0 +1,96 @@
+"""Unit tests for SPJ expressions and their tableau translation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import QueryError
+from repro.generators import generate_database, university_schema
+from repro.queries import BaseObject, Join, Project, Select, spj_to_tableau
+from repro.queries.terms import Constant, DistinguishedVariable
+
+
+@pytest.fixture
+def schema():
+    return university_schema()
+
+
+class TestTranslation:
+    def test_base_object(self, schema):
+        tableau = spj_to_tableau(BaseObject("ENROL"), schema)
+        assert len(tableau.rows) == 1
+        assert set(tableau.output_attributes) == {"Student", "Course"}
+
+    def test_join_produces_one_row_per_object(self, schema):
+        expression = Join(BaseObject("ENROL"), BaseObject("TEACHES"))
+        tableau = spj_to_tableau(expression, schema)
+        assert len(tableau.rows) == 2
+        assert set(tableau.output_attributes) == {"Student", "Course", "Teacher"}
+
+    def test_join_equates_shared_attribute_variables(self, schema):
+        expression = Join(BaseObject("ENROL"), BaseObject("TEACHES"))
+        tableau = spj_to_tableau(expression, schema)
+        first, second = tableau.rows
+        assert first["Course"] == second["Course"]
+
+    def test_projection_restricts_summary(self, schema):
+        expression = Project(Join(BaseObject("ENROL"), BaseObject("TEACHES")),
+                             ("Student", "Teacher"))
+        tableau = spj_to_tableau(expression, schema)
+        assert set(tableau.output_attributes) == {"Student", "Teacher"}
+
+    def test_selection_becomes_constant(self, schema):
+        expression = Select(BaseObject("ENROL"), "Course", "db")
+        tableau = spj_to_tableau(expression, schema)
+        assert tableau.summary["Course"] == Constant("db")
+        row = tableau.rows[0]
+        assert row["Course"] == Constant("db")
+
+    def test_projection_must_use_child_attributes(self, schema):
+        with pytest.raises(QueryError):
+            spj_to_tableau(Project(BaseObject("ENROL"), ("Teacher",)), schema)
+
+    def test_selection_must_use_child_attribute(self, schema):
+        with pytest.raises(QueryError):
+            spj_to_tableau(Select(BaseObject("ENROL"), "Teacher", "x"), schema)
+
+    def test_contradictory_join_constants_rejected(self, schema):
+        expression = Join(Select(BaseObject("ENROL"), "Course", "db"),
+                          Select(BaseObject("TEACHES"), "Course", "ai"))
+        with pytest.raises(QueryError):
+            spj_to_tableau(expression, schema)
+
+    def test_distinguished_variables_in_summary(self, schema):
+        tableau = spj_to_tableau(BaseObject("LIVES"), schema)
+        assert all(isinstance(term, DistinguishedVariable)
+                   for term in tableau.summary.values())
+
+
+class TestTranslationSemantics:
+    def test_translated_tableau_answers_match_algebra(self, schema):
+        """Evaluating the translated tableau on the universal relation agrees with
+        evaluating the SPJ expression directly with the relational algebra."""
+        from repro.relational import UniversalRelationInterface, natural_join, project
+
+        db = generate_database(schema, universe_rows=15, domain_size=4, seed=23)
+        universe = db.universal_join()
+        # π_{Student, Teacher}(ENROL ⋈ TEACHES) on a consistent database.
+        expression = Project(Join(BaseObject("ENROL"), BaseObject("TEACHES")),
+                             ("Student", "Teacher"))
+        tableau = spj_to_tableau(expression, schema)
+        from repro.relational.algebra import rename_relation
+
+        universal_for_tableau = rename_relation(universe, "U")
+        tableau_answer = tableau.evaluate(universal_for_tableau)
+        algebra_answer = project(natural_join(db["ENROL"], db["TEACHES"]),
+                                 ["Student", "Teacher"])
+        tableau_pairs = {(row["Student"], row["Teacher"]) for row in tableau_answer.rows}
+        algebra_pairs = {(row["Student"], row["Teacher"]) for row in algebra_answer.rows}
+        # On a globally consistent database the two agree exactly.
+        assert tableau_pairs == algebra_pairs
+
+    def test_minimization_collapses_redundant_join(self, schema):
+        """ENROL ⋈ ENROL translates to two rows that minimize to one."""
+        expression = Join(BaseObject("ENROL"), BaseObject("ENROL"))
+        tableau = spj_to_tableau(expression, schema)
+        assert len(tableau.minimize().rows) == 1

@@ -1,0 +1,141 @@
+"""Unit tests for Aho–Sagiv–Ullman tableau queries."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import QueryError
+from repro.queries import TableauQuery, find_tableau_homomorphism
+from repro.queries.terms import Constant, DistinguishedVariable, NondistinguishedVariable
+from repro.relational import Relation, RelationSchema
+
+
+def make_join_tableau():
+    """The tableau of π_{A,C}(R[AB] ⋈ R[BC]) over the universal scheme ABC."""
+    a, c = DistinguishedVariable("a"), DistinguishedVariable("c")
+    b = NondistinguishedVariable("b")
+    r1 = {"A": a, "B": b, "C": NondistinguishedVariable("c1")}
+    r2 = {"A": NondistinguishedVariable("a2"), "B": b, "C": c}
+    return TableauQuery(["A", "B", "C"], {"A": a, "C": c}, [r1, r2])
+
+
+@pytest.fixture
+def universal_instance():
+    schema = RelationSchema.of("U", ["A", "B", "C"])
+    return Relation.from_tuples(schema, [
+        (1, "x", True),
+        (2, "x", False),
+        (3, "y", True),
+    ])
+
+
+class TestConstruction:
+    def test_attributes_must_be_distinct(self):
+        with pytest.raises(QueryError):
+            TableauQuery(["A", "A"], {}, [])
+
+    def test_rows_must_cover_all_attributes(self):
+        with pytest.raises(QueryError):
+            TableauQuery(["A", "B"], {}, [{"A": NondistinguishedVariable("x")}])
+
+    def test_summary_must_use_known_attributes(self):
+        with pytest.raises(QueryError):
+            TableauQuery(["A"], {"Z": DistinguishedVariable("z")}, [])
+
+    def test_distinguished_variable_must_occur_in_rows(self):
+        with pytest.raises(QueryError):
+            TableauQuery(["A"], {"A": DistinguishedVariable("a")},
+                         [{"A": NondistinguishedVariable("x")}])
+
+    def test_output_attributes(self):
+        tableau = make_join_tableau()
+        assert tableau.output_attributes == ("A", "C")
+
+    def test_render(self):
+        text = make_join_tableau().render()
+        assert "a" in text and "_b" in text
+
+
+class TestEvaluation:
+    def test_join_tableau_evaluation(self, universal_instance):
+        tableau = make_join_tableau()
+        result = tableau.evaluate(universal_instance)
+        # Rows sharing B = 'x': (1, 2) on A side with C values True/False; pairs
+        # (A, C) reachable: (1,True),(1,False),(2,True),(2,False),(3,True).
+        assert len(result) == 5
+
+    def test_evaluation_requires_matching_scheme(self, universal_instance):
+        tableau = TableauQuery(["A", "B"], {"A": DistinguishedVariable("a")},
+                               [{"A": DistinguishedVariable("a"),
+                                 "B": NondistinguishedVariable("b")}])
+        with pytest.raises(QueryError):
+            tableau.evaluate(universal_instance)
+
+    def test_constant_in_row_filters(self, universal_instance):
+        a = DistinguishedVariable("a")
+        tableau = TableauQuery(["A", "B", "C"], {"A": a},
+                               [{"A": a, "B": Constant("x"),
+                                 "C": NondistinguishedVariable("c")}])
+        result = tableau.evaluate(universal_instance)
+        assert {row["A"] for row in result.rows} == {1, 2}
+
+    def test_constant_in_summary(self, universal_instance):
+        a = DistinguishedVariable("a")
+        tableau = TableauQuery(["A", "B", "C"], {"A": a, "B": Constant("fixed")},
+                               [{"A": a, "B": NondistinguishedVariable("b"),
+                                 "C": NondistinguishedVariable("c")}])
+        result = tableau.evaluate(universal_instance)
+        assert all(row["B"] == "fixed" for row in result.rows)
+
+
+class TestContainmentAndMinimization:
+    def test_identity_homomorphism(self):
+        tableau = make_join_tableau()
+        assert find_tableau_homomorphism(tableau, tableau) is not None
+        assert tableau.is_equivalent_to(tableau)
+
+    def test_containment_with_extra_row(self):
+        tableau = make_join_tableau()
+        extra_row = {"A": NondistinguishedVariable("p"),
+                     "B": NondistinguishedVariable("q"),
+                     "C": NondistinguishedVariable("r")}
+        bigger = tableau.with_rows(list(tableau.rows) + [extra_row])
+        assert bigger.is_equivalent_to(tableau)
+
+    def test_minimization_removes_redundant_row(self):
+        tableau = make_join_tableau()
+        extra_row = {"A": NondistinguishedVariable("p"),
+                     "B": NondistinguishedVariable("q"),
+                     "C": NondistinguishedVariable("r")}
+        bigger = tableau.with_rows(list(tableau.rows) + [extra_row])
+        minimized = bigger.minimize()
+        assert len(minimized.rows) == 2
+        assert minimized.is_equivalent_to(tableau)
+
+    def test_minimization_keeps_necessary_rows(self):
+        tableau = make_join_tableau()
+        assert len(tableau.minimize().rows) == 2
+
+    def test_no_homomorphism_across_different_summaries(self):
+        left = make_join_tableau()
+        a = DistinguishedVariable("a")
+        right = TableauQuery(["A", "B", "C"], {"A": a},
+                             [{"A": a, "B": NondistinguishedVariable("b"),
+                               "C": NondistinguishedVariable("c")}])
+        assert find_tableau_homomorphism(left, right) is None
+
+    def test_no_homomorphism_across_different_universes(self):
+        left = make_join_tableau()
+        a = DistinguishedVariable("a")
+        right = TableauQuery(["A", "B"], {"A": a},
+                             [{"A": a, "B": NondistinguishedVariable("b")}])
+        assert find_tableau_homomorphism(left, right) is None
+
+    def test_distinguished_variables_map_to_themselves(self):
+        a, c = DistinguishedVariable("a"), DistinguishedVariable("c")
+        single = TableauQuery(["A", "B", "C"], {"A": a, "C": c},
+                              [{"A": a, "B": NondistinguishedVariable("b"), "C": c}])
+        joinlike = make_join_tableau()
+        # The single-row tableau is contained in the join tableau but not vice versa.
+        assert joinlike.contains(single)
+        assert not single.contains(joinlike)

@@ -1,0 +1,147 @@
+"""Unit tests for the relational algebra operators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import SchemaError, UnknownAttributeError
+from repro.relational import (
+    Relation,
+    RelationSchema,
+    antijoin,
+    cartesian_product,
+    difference,
+    intersection,
+    join_all,
+    natural_join,
+    project,
+    rename_relation,
+    select,
+    semijoin,
+    union,
+)
+
+
+@pytest.fixture
+def enrol():
+    return Relation.from_tuples(RelationSchema.of("ENROL", ["Student", "Course"]),
+                                [("ann", "db"), ("bob", "db"), ("cal", "ai")])
+
+
+@pytest.fixture
+def teaches():
+    return Relation.from_tuples(RelationSchema.of("TEACHES", ["Course", "Teacher"]),
+                                [("db", "maier"), ("ai", "ullman"), ("os", "stone")])
+
+
+class TestProjectSelectRename:
+    def test_project_removes_duplicates(self, enrol):
+        result = project(enrol, ["Course"])
+        assert len(result) == 2
+        assert result.attributes == ("Course",)
+
+    def test_project_unknown_attribute(self, enrol):
+        with pytest.raises(UnknownAttributeError):
+            project(enrol, ["Nope"])
+
+    def test_project_keeps_requested_order(self, enrol):
+        result = project(enrol, ["Course", "Student"])
+        assert result.attributes == ("Course", "Student")
+
+    def test_select(self, enrol):
+        result = select(enrol, lambda row: row["Course"] == "db")
+        assert len(result) == 2
+
+    def test_select_with_rename(self, enrol):
+        result = select(enrol, lambda row: True, name="COPY")
+        assert result.name == "COPY"
+
+    def test_rename_relation_attributes(self, enrol):
+        renamed = rename_relation(enrol, "E2", {"Student": "Person"})
+        assert "Person" in renamed.schema.attribute_set
+        assert len(renamed) == len(enrol)
+
+    def test_rename_collision_rejected(self, enrol):
+        with pytest.raises(SchemaError):
+            rename_relation(enrol, "E2", {"Student": "Course"})
+
+
+class TestJoins:
+    def test_natural_join_on_shared_attribute(self, enrol, teaches):
+        result = natural_join(enrol, teaches)
+        assert len(result) == 3
+        assert set(result.schema.attribute_set) == {"Student", "Course", "Teacher"}
+
+    def test_join_is_commutative_on_rows(self, enrol, teaches):
+        left = natural_join(enrol, teaches)
+        right = natural_join(teaches, enrol)
+        assert frozenset(left.rows) == frozenset(right.rows)
+
+    def test_join_without_shared_attributes_is_product(self):
+        r = Relation.from_tuples(RelationSchema.of("R", ["A"]), [(1,), (2,)])
+        s = Relation.from_tuples(RelationSchema.of("S", ["B"]), [(10,), (20,), (30,)])
+        assert len(natural_join(r, s)) == 6
+
+    def test_join_all(self, enrol, teaches):
+        rooms = Relation.from_tuples(RelationSchema.of("MEETS", ["Course", "Room"]),
+                                     [("db", "r1"), ("ai", "r2")])
+        result = join_all([enrol, teaches, rooms])
+        assert len(result) == 3
+        assert "Room" in result.schema.attribute_set
+
+    def test_join_all_requires_relations(self):
+        with pytest.raises(SchemaError):
+            join_all([])
+
+    def test_cartesian_product_requires_disjoint_schemes(self, enrol, teaches):
+        with pytest.raises(SchemaError):
+            cartesian_product(enrol, teaches)
+
+    def test_cartesian_product(self):
+        r = Relation.from_tuples(RelationSchema.of("R", ["A"]), [(1,)])
+        s = Relation.from_tuples(RelationSchema.of("S", ["B"]), [(2,)])
+        assert len(cartesian_product(r, s)) == 1
+
+
+class TestSemijoins:
+    def test_semijoin_keeps_matching_rows(self, enrol, teaches):
+        dropped_os = semijoin(enrol, teaches)
+        assert len(dropped_os) == 3  # every enrolment course is taught
+        reduced_teaches = semijoin(teaches, enrol)
+        assert len(reduced_teaches) == 2  # 'os' has no enrolments
+
+    def test_semijoin_schema_unchanged(self, enrol, teaches):
+        assert semijoin(enrol, teaches).schema.attribute_set == enrol.schema.attribute_set
+
+    def test_semijoin_without_shared_attributes(self, enrol):
+        other = Relation.from_tuples(RelationSchema.of("X", ["Z"]), [(1,)])
+        assert len(semijoin(enrol, other)) == len(enrol)
+        empty = Relation.empty(RelationSchema.of("X", ["Z"]))
+        assert len(semijoin(enrol, empty)) == 0
+
+    def test_antijoin(self, enrol, teaches):
+        assert len(antijoin(teaches, enrol)) == 1
+        assert len(antijoin(enrol, teaches)) == 0
+
+
+class TestSetOperators:
+    def test_union(self, enrol):
+        extra = enrol.with_rows([{"Student": "dee", "Course": "os"}])
+        assert len(union(enrol, extra)) == 4
+
+    def test_difference(self, enrol):
+        subset = enrol.with_rows([{"Student": "ann", "Course": "db"}])
+        assert len(difference(enrol, subset)) == 2
+
+    def test_intersection(self, enrol):
+        subset = enrol.with_rows([{"Student": "ann", "Course": "db"},
+                                  {"Student": "zoe", "Course": "ml"}])
+        assert len(intersection(enrol, subset)) == 1
+
+    def test_set_operators_require_same_scheme(self, enrol, teaches):
+        with pytest.raises(SchemaError):
+            union(enrol, teaches)
+        with pytest.raises(SchemaError):
+            difference(enrol, teaches)
+        with pytest.raises(SchemaError):
+            intersection(enrol, teaches)

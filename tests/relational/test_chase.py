@@ -1,0 +1,119 @@
+"""Unit tests for the chase and the classical lossless-join test."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import DependencyError
+from repro.relational import (
+    ChaseTableau,
+    FunctionalDependency,
+    JoinDependency,
+    MultivaluedDependency,
+    chase_join_dependency,
+    decomposition_is_lossless,
+)
+
+
+class TestChaseTableauConstruction:
+    def test_initial_matrix_shape(self):
+        tableau = ChaseTableau.for_decomposition("ABC", [("A", "B"), ("B", "C")])
+        assert len(tableau) == 2
+        assert tableau.attributes == ("A", "B", "C")
+
+    def test_distinguished_symbols_follow_schemes(self):
+        tableau = ChaseTableau.for_decomposition("ABC", [("A", "B"), ("B", "C")])
+        first, second = tableau.rows
+        assert first["A"].distinguished and first["B"].distinguished
+        assert not first["C"].distinguished
+        assert second["C"].distinguished and not second["A"].distinguished
+
+    def test_scheme_must_be_inside_universe(self):
+        with pytest.raises(DependencyError):
+            ChaseTableau.for_decomposition("AB", [("A", "Z")])
+
+    def test_render(self):
+        tableau = ChaseTableau.for_decomposition("AB", [("A",), ("B",)])
+        text = tableau.render()
+        assert "a(A)" in text and "b0(B)" in text
+
+
+class TestLosslessJoinTest:
+    def test_classic_fd_based_lossless_decomposition(self):
+        """R(S, C, T) with C → T decomposes losslessly into (S, C) and (C, T)."""
+        fd = FunctionalDependency.of(["C"], ["T"])
+        assert decomposition_is_lossless("SCT", [("S", "C"), ("C", "T")], fds=[fd])
+
+    def test_lossy_without_the_dependency(self):
+        assert not decomposition_is_lossless("SCT", [("S", "C"), ("C", "T")])
+
+    def test_mvd_based_lossless_decomposition(self):
+        mvd = MultivaluedDependency.of(["C"], ["T"])
+        assert decomposition_is_lossless("SCT", [("S", "C"), ("C", "T")], mvds=[mvd])
+
+    def test_trivial_single_scheme(self):
+        assert decomposition_is_lossless("AB", [("A", "B")])
+
+    def test_binary_decomposition_needs_shared_key(self):
+        fd = FunctionalDependency.of(["B"], ["C"])
+        assert decomposition_is_lossless("ABC", [("A", "B"), ("B", "C")], fds=[fd])
+        assert not decomposition_is_lossless("ABC", [("A", "B"), ("A", "C")], fds=[fd])
+
+    def test_fd_on_other_side(self):
+        # A → C also makes (A, B), (A, C) lossless.
+        fd = FunctionalDependency.of(["A"], ["C"])
+        assert decomposition_is_lossless("ABC", [("A", "B"), ("A", "C")], fds=[fd])
+
+
+class TestAcyclicJoinDependencies:
+    def test_acyclic_jd_is_implied_by_its_mvds(self):
+        """The acyclic-JD ⇔ MVD-set equivalence, exercised through the chase."""
+        jd = JoinDependency.of([("A", "B"), ("B", "C"), ("C", "D")])
+        assert chase_join_dependency(jd, mvds=jd.equivalent_mvds())
+
+    def test_star_jd_is_implied_by_its_mvds(self):
+        jd = JoinDependency.of([("Hub", "A"), ("Hub", "B"), ("Hub", "C")])
+        assert jd.is_acyclic()
+        assert chase_join_dependency(jd, mvds=jd.equivalent_mvds())
+
+    def test_cyclic_jd_not_implied_without_dependencies(self):
+        """The triangle JD does not hold in general (no dependencies given)."""
+        jd = JoinDependency.of([("A", "B"), ("B", "C"), ("C", "A")])
+        assert not chase_join_dependency(jd)
+
+    def test_single_mvd_implies_triangle_jd(self):
+        """B →→ A already implies ⋈[AB, BC], hence the weaker triangle JD."""
+        jd = JoinDependency.of([("A", "B"), ("B", "C"), ("C", "A")])
+        assert chase_join_dependency(jd, mvds=[MultivaluedDependency.of(["B"], ["A"])])
+
+    def test_jd_implied_by_itself_as_decomposition_with_fds(self):
+        jd = JoinDependency.of([("Student", "Course"), ("Course", "Teacher")])
+        fd = FunctionalDependency.of(["Course"], ["Teacher"])
+        assert chase_join_dependency(jd, fds=[fd])
+
+
+class TestChaseMechanics:
+    def test_apply_fd_equates_symbols(self):
+        tableau = ChaseTableau.for_decomposition("ABC", [("A", "B"), ("B", "C")])
+        changed = tableau.apply_fd(FunctionalDependency.of(["B"], ["C"]))
+        assert changed
+        assert tableau.has_all_distinguished_row()
+
+    def test_apply_fd_no_change_when_disagreeing_on_lhs(self):
+        tableau = ChaseTableau.for_decomposition("ABC", [("A", "B"), ("A", "C")])
+        changed = tableau.apply_fd(FunctionalDependency.of(["B"], ["C"]))
+        assert not changed
+
+    def test_apply_mvd_adds_rows(self):
+        tableau = ChaseTableau.for_decomposition("ABC", [("A", "B"), ("B", "C")])
+        added = tableau.apply_mvd(MultivaluedDependency.of(["B"], ["C"]))
+        assert added
+        assert len(tableau) > 2
+
+    def test_chase_is_idempotent_at_fixpoint(self):
+        tableau = ChaseTableau.for_decomposition("ABC", [("A", "B"), ("B", "C")])
+        fd = FunctionalDependency.of(["B"], ["C"])
+        tableau.chase(fds=[fd])
+        rows_after_first = len(tableau)
+        tableau.chase(fds=[fd])
+        assert len(tableau) == rows_after_first

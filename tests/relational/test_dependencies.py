@@ -1,0 +1,131 @@
+"""Unit tests for functional, multivalued and join dependencies."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import DependencyError
+from repro.relational import (
+    FunctionalDependency,
+    JoinDependency,
+    MultivaluedDependency,
+    Relation,
+    RelationSchema,
+    fd_closure,
+    implies_fd,
+)
+
+
+@pytest.fixture
+def universal_relation():
+    schema = RelationSchema.of("U", ["Student", "Course", "Teacher"])
+    return Relation.from_tuples(schema, [
+        ("ann", "db", "maier"),
+        ("bob", "db", "maier"),
+        ("ann", "ai", "ullman"),
+    ])
+
+
+class TestFunctionalDependencies:
+    def test_fd_holds(self, universal_relation):
+        assert FunctionalDependency.of(["Course"], ["Teacher"]).holds_in(universal_relation)
+
+    def test_fd_violated(self, universal_relation):
+        assert not FunctionalDependency.of(["Student"], ["Course"]).holds_in(universal_relation)
+
+    def test_fd_requires_attributes_in_scheme(self, universal_relation):
+        with pytest.raises(DependencyError):
+            FunctionalDependency.of(["Nope"], ["Teacher"]).holds_in(universal_relation)
+
+    def test_fd_requires_non_empty_sides(self):
+        with pytest.raises(DependencyError):
+            FunctionalDependency.of([], ["A"])
+
+    def test_fd_str(self):
+        assert "→" in str(FunctionalDependency.of(["A"], ["B"]))
+
+    def test_closure(self):
+        fds = [FunctionalDependency.of(["A"], ["B"]), FunctionalDependency.of(["B"], ["C"])]
+        assert fd_closure(["A"], fds) == frozenset({"A", "B", "C"})
+
+    def test_implies_fd(self):
+        fds = [FunctionalDependency.of(["A"], ["B"]), FunctionalDependency.of(["B"], ["C"])]
+        assert implies_fd(fds, FunctionalDependency.of(["A"], ["C"]))
+        assert not implies_fd(fds, FunctionalDependency.of(["C"], ["A"]))
+
+
+class TestMultivaluedDependencies:
+    def test_mvd_holds_when_join_decomposes(self):
+        schema = RelationSchema.of("U", ["Course", "Teacher", "Book"])
+        relation = Relation.from_tuples(schema, [
+            ("db", "maier", "ullman-book"),
+            ("db", "maier", "date-book"),
+            ("db", "stone", "ullman-book"),
+            ("db", "stone", "date-book"),
+        ])
+        assert MultivaluedDependency.of(["Course"], ["Teacher"]).holds_in(relation)
+
+    def test_mvd_violated(self):
+        schema = RelationSchema.of("U", ["Course", "Teacher", "Book"])
+        relation = Relation.from_tuples(schema, [
+            ("db", "maier", "ullman-book"),
+            ("db", "stone", "date-book"),
+        ])
+        assert not MultivaluedDependency.of(["Course"], ["Teacher"]).holds_in(relation)
+
+    def test_mvd_attribute_check(self, universal_relation):
+        with pytest.raises(DependencyError):
+            MultivaluedDependency.of(["Nope"], ["Teacher"]).holds_in(universal_relation)
+
+    def test_mvd_str(self):
+        assert "→→" in str(MultivaluedDependency.of(["A"], ["B"]))
+
+
+class TestJoinDependencies:
+    def test_jd_of_requires_components(self):
+        with pytest.raises(DependencyError):
+            JoinDependency.of([])
+        with pytest.raises(DependencyError):
+            JoinDependency.of([[]])
+
+    def test_jd_holds(self, universal_relation):
+        jd = JoinDependency.of([("Student", "Course"), ("Course", "Teacher")])
+        assert jd.holds_in(universal_relation)
+
+    def test_jd_violated(self):
+        schema = RelationSchema.of("U", ["A", "B", "C"])
+        relation = Relation.from_tuples(schema, [(1, 2, 3), (4, 2, 6)])
+        jd = JoinDependency.of([("A", "B"), ("B", "C")])
+        assert not jd.holds_in(relation)
+
+    def test_jd_must_cover_scheme(self, universal_relation):
+        jd = JoinDependency.of([("Student", "Course")])
+        with pytest.raises(DependencyError):
+            jd.holds_in(universal_relation)
+
+    def test_jd_acyclicity(self):
+        acyclic = JoinDependency.of([("A", "B"), ("B", "C"), ("C", "D")])
+        cyclic = JoinDependency.of([("A", "B"), ("B", "C"), ("C", "A")])
+        assert acyclic.is_acyclic()
+        assert not cyclic.is_acyclic()
+
+    def test_jd_hypergraph(self):
+        jd = JoinDependency.of([("A", "B"), ("B", "C")])
+        assert jd.hypergraph().num_edges == 2
+        assert jd.attributes == frozenset({"A", "B", "C"})
+
+    def test_acyclic_jd_equivalent_mvds(self):
+        jd = JoinDependency.of([("A", "B"), ("B", "C"), ("C", "D")])
+        mvds = jd.equivalent_mvds()
+        assert len(mvds) == 2
+        rendered = {str(mvd) for mvd in mvds}
+        assert any("{B}" in text for text in rendered)
+        assert any("{C}" in text for text in rendered)
+
+    def test_cyclic_jd_has_no_mvd_equivalent(self):
+        jd = JoinDependency.of([("A", "B"), ("B", "C"), ("C", "A")])
+        with pytest.raises(DependencyError):
+            jd.equivalent_mvds()
+
+    def test_jd_str(self):
+        assert str(JoinDependency.of([("A", "B")])).startswith("⋈[")

@@ -1,0 +1,75 @@
+"""Unit tests for join plans and tuple-count accounting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import SchemaError
+from repro.generators import (
+    cyclic_supplier_schema,
+    generate_database,
+    university_schema,
+)
+from repro.relational import execute_plan, join_tree_plan, naive_join_plan
+from repro.relational.join_plans import JoinStatistics
+
+
+@pytest.fixture
+def db():
+    return generate_database(university_schema(), universe_rows=20, domain_size=5,
+                             dangling_fraction=0.3, seed=21)
+
+
+class TestPlans:
+    def test_naive_plan_order(self, db):
+        plan = naive_join_plan(db)
+        assert [relation.name for relation in plan] == list(db.schema.relation_names)
+
+    def test_join_tree_plan_contains_every_relation(self, db):
+        plan = join_tree_plan(db)
+        assert sorted(relation.name for relation in plan) == sorted(db.schema.relation_names)
+
+    def test_join_tree_plan_adjacent_relations_share_attributes(self, db):
+        plan = join_tree_plan(db)
+        joined_attributes = set(plan[0].schema.attribute_set)
+        for relation in plan[1:]:
+            assert joined_attributes & set(relation.schema.attribute_set)
+            joined_attributes |= set(relation.schema.attribute_set)
+
+    def test_join_tree_plan_rejects_cyclic_schema(self):
+        cyclic_db = generate_database(cyclic_supplier_schema(), universe_rows=10, seed=2)
+        with pytest.raises(SchemaError):
+            join_tree_plan(cyclic_db)
+
+    def test_join_tree_plan_with_root(self, db):
+        root = frozenset({"Student", "Dorm"})
+        plan = join_tree_plan(db, root=root)
+        assert plan[0].schema.attribute_set == root
+
+
+class TestExecution:
+    def test_execute_plan_matches_universal_join(self, db):
+        result, stats = execute_plan(naive_join_plan(db), plan_name="naive")
+        assert frozenset(result.rows) == frozenset(db.universal_join().rows)
+        assert stats.output_size == len(result)
+
+    def test_both_plans_agree(self, db):
+        naive_result, _ = execute_plan(naive_join_plan(db), plan_name="naive")
+        tree_result, _ = execute_plan(join_tree_plan(db), plan_name="tree")
+        assert frozenset(naive_result.rows) == frozenset(tree_result.rows)
+
+    def test_execute_plan_requires_relations(self):
+        with pytest.raises(SchemaError):
+            execute_plan([])
+
+    def test_statistics_summaries(self):
+        stats = JoinStatistics(plan_name="demo", input_sizes=(3, 4),
+                               intermediate_sizes=(5, 2), output_size=2)
+        assert stats.max_intermediate == 5
+        assert stats.total_intermediate == 7
+        assert "demo" in stats.describe()
+
+    def test_statistics_without_intermediates(self):
+        stats = JoinStatistics(plan_name="single", input_sizes=(3,), output_size=3)
+        assert stats.max_intermediate == 3
+        assert stats.total_intermediate == 0

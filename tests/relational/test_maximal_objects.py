@@ -1,0 +1,122 @@
+"""Unit tests for the maximal-object semantics (the paper's pointer for cyclic schemas)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Hypergraph, is_acyclic
+from repro.exceptions import QueryError
+from repro.generators import (
+    cyclic_supplier_schema,
+    generate_database,
+    university_schema,
+)
+from repro.relational import (
+    Database,
+    MaximalObjectInterface,
+    UniversalRelationInterface,
+    enumerate_maximal_objects,
+)
+
+
+class TestEnumeration:
+    def test_acyclic_hypergraph_has_one_maximal_object(self, fig1):
+        objects = enumerate_maximal_objects(fig1)
+        assert len(objects) == 1
+        assert objects[0].edges == fig1.edge_set
+        assert objects[0].attributes == fig1.nodes
+
+    def test_triangle_maximal_objects_are_pairs(self, triangle_hypergraph):
+        objects = enumerate_maximal_objects(triangle_hypergraph)
+        # Every pair of triangle edges is acyclic and connected; no triple is.
+        assert len(objects) == 3
+        assert all(len(obj.edges) == 2 for obj in objects)
+
+    def test_every_maximal_object_is_connected_and_acyclic(self, cyclic_example):
+        for maximal_object in enumerate_maximal_objects(cyclic_example):
+            hypergraph = maximal_object.hypergraph()
+            assert hypergraph.is_connected()
+            assert is_acyclic(hypergraph)
+
+    def test_maximal_objects_are_inclusion_maximal(self, cyclic_example):
+        objects = enumerate_maximal_objects(cyclic_example)
+        for left in objects:
+            for right in objects:
+                if left is not right:
+                    assert not left.edges < right.edges
+
+    def test_cyclic_supplier_schema_objects(self):
+        hypergraph = cyclic_supplier_schema().to_hypergraph()
+        objects = enumerate_maximal_objects(hypergraph)
+        assert len(objects) == 3
+        assert all(len(obj.edges) == 2 for obj in objects)
+
+    def test_edge_limit_enforced(self):
+        big = Hypergraph([{f"N{i}", f"N{i+1}"} for i in range(20)])
+        with pytest.raises(ValueError):
+            enumerate_maximal_objects(big)
+
+    def test_covers_and_describe(self, fig1):
+        (obj,) = enumerate_maximal_objects(fig1)
+        assert obj.covers({"A", "D"})
+        assert not obj.covers({"A", "Z"})
+        assert "maximal object" in obj.describe()
+
+
+class TestMaximalObjectInterface:
+    @pytest.fixture
+    def cyclic_db(self):
+        return generate_database(cyclic_supplier_schema(), universe_rows=15, domain_size=4,
+                                 seed=61)
+
+    @pytest.fixture
+    def acyclic_db(self):
+        return generate_database(university_schema(), universe_rows=15, domain_size=4,
+                                 seed=61)
+
+    def test_interface_lists_maximal_objects(self, cyclic_db):
+        interface = MaximalObjectInterface(cyclic_db)
+        assert len(interface.maximal_objects) == 3
+        assert "Maximal objects" in interface.describe()
+
+    def test_objects_covering(self, cyclic_db):
+        interface = MaximalObjectInterface(cyclic_db)
+        covering = interface.objects_covering({"Supplier", "Project"})
+        # Every pair of the triangle's objects mentions both Supplier and Project
+        # (each attribute is missing from exactly one object).
+        assert len(covering) == 3
+        assert interface.objects_covering({"Part", "SCity"}) == ()
+
+    def test_window_on_cyclic_schema_unions_per_object_answers(self, cyclic_db):
+        """The maximal-object window is the union of the two 2-step connections."""
+        from repro.relational import join_all, project
+
+        interface = MaximalObjectInterface(cyclic_db)
+        answer = interface.window(["Supplier", "Project"])
+        via_used_in = project(join_all([cyclic_db["SUPPLIES"], cyclic_db["USED_IN"]]),
+                              ["Supplier", "Project"])
+        direct = project(cyclic_db["SERVES"], ["Supplier", "Project"])
+        expected = frozenset(via_used_in.rows) | frozenset(direct.rows)
+        assert frozenset(answer.rows) == expected
+
+    def test_window_agrees_with_universal_interface_on_acyclic_schema(self, acyclic_db):
+        maximal = MaximalObjectInterface(acyclic_db)
+        universal = UniversalRelationInterface(acyclic_db)
+        for attributes in (["Student", "Teacher"], ["Course", "Dorm"]):
+            assert frozenset(maximal.window(attributes).rows) == \
+                frozenset(universal.window(attributes).relation.rows)
+
+    def test_window_unknown_attribute(self, cyclic_db):
+        interface = MaximalObjectInterface(cyclic_db)
+        with pytest.raises(QueryError):
+            interface.window(["Nope"])
+
+    def test_window_with_no_covering_object(self):
+        """Attributes from two different components have no covering maximal object."""
+        from repro.relational import DatabaseSchema
+
+        schema = DatabaseSchema.from_dict({"R": ["A", "B"], "S": ["C", "D"]})
+        database = Database.from_tuples(schema, {"R": [(1, 2)], "S": [(3, 4)]})
+        interface = MaximalObjectInterface(database)
+        with pytest.raises(QueryError):
+            interface.window(["A", "C"])

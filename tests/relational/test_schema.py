@@ -1,0 +1,103 @@
+"""Unit tests for relation and database schemas."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Hypergraph
+from repro.exceptions import SchemaError, UnknownAttributeError
+from repro.generators import cyclic_supplier_schema, university_schema
+from repro.relational import DatabaseSchema, RelationSchema
+
+
+class TestRelationSchema:
+    def test_of_preserves_order(self):
+        schema = RelationSchema.of("R", ["B", "A"])
+        assert schema.attributes == ("B", "A")
+        assert schema.attribute_set == frozenset({"A", "B"})
+
+    def test_arity_and_membership(self):
+        schema = RelationSchema.of("R", ["A", "B", "C"])
+        assert schema.arity == 3
+        assert schema.has_attribute("B")
+        assert not schema.has_attribute("Z")
+
+    def test_duplicate_attributes_rejected(self):
+        with pytest.raises(SchemaError):
+            RelationSchema.of("R", ["A", "A"])
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(SchemaError):
+            RelationSchema.of("", ["A"])
+
+    def test_project_order(self):
+        schema = RelationSchema.of("R", ["A", "B", "C"])
+        assert schema.project_order({"C", "A"}) == ("A", "C")
+
+    def test_project_order_unknown_attribute(self):
+        schema = RelationSchema.of("R", ["A"])
+        with pytest.raises(UnknownAttributeError):
+            schema.project_order({"Z"})
+
+    def test_rename(self):
+        schema = RelationSchema.of("R", ["A"]).rename("S")
+        assert schema.name == "S" and schema.attributes == ("A",)
+
+    def test_str(self):
+        assert str(RelationSchema.of("R", ["A", "B"])) == "R(A, B)"
+
+
+class TestDatabaseSchema:
+    def test_from_dict(self):
+        schema = DatabaseSchema.from_dict({"R": ["A", "B"], "S": ["B", "C"]})
+        assert len(schema) == 2
+        assert schema.attributes == frozenset({"A", "B", "C"})
+        assert "R" in schema and "T" not in schema
+
+    def test_duplicate_relation_names_rejected(self):
+        with pytest.raises(SchemaError):
+            DatabaseSchema([RelationSchema.of("R", ["A"]), RelationSchema.of("R", ["B"])])
+
+    def test_relation_lookup(self):
+        schema = university_schema()
+        assert schema.relation("ENROL").attribute_set == frozenset({"Student", "Course"})
+        with pytest.raises(SchemaError):
+            schema.relation("MISSING")
+
+    def test_relations_with_attribute(self):
+        schema = university_schema()
+        names = {r.name for r in schema.relations_with_attribute("Course")}
+        assert names == {"ENROL", "TEACHES", "MEETS"}
+        with pytest.raises(UnknownAttributeError):
+            schema.relations_with_attribute("Nope")
+
+    def test_relations_for_edge(self):
+        schema = university_schema()
+        matches = schema.relations_for_edge({"Student", "Course"})
+        assert [r.name for r in matches] == ["ENROL"]
+
+    def test_to_hypergraph_roundtrip(self):
+        schema = university_schema()
+        hypergraph = schema.to_hypergraph()
+        assert hypergraph.num_edges == 4
+        rebuilt = DatabaseSchema.from_hypergraph(hypergraph, prefix="T")
+        assert rebuilt.to_hypergraph().edge_set == hypergraph.edge_set
+
+    def test_is_acyclic(self):
+        assert university_schema().is_acyclic()
+        assert not cyclic_supplier_schema().is_acyclic()
+
+    def test_describe_and_repr(self):
+        schema = university_schema()
+        assert "ENROL" in schema.describe()
+        assert "TEACHES" in repr(schema)
+
+    def test_equality_and_hash(self):
+        left = DatabaseSchema.from_dict({"R": ["A"]})
+        right = DatabaseSchema.from_dict({"R": ["A"]})
+        assert left == right
+        assert hash(left) == hash(right)
+
+    def test_iteration_order(self):
+        schema = DatabaseSchema.from_dict({"R": ["A"], "S": ["B"]})
+        assert schema.relation_names == ("R", "S")

@@ -1,0 +1,92 @@
+"""Unit tests for semijoin programs / full reducers (Bernstein–Goodman)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import CyclicHypergraphError
+from repro.generators import (
+    cyclic_supplier_schema,
+    generate_database,
+    university_schema,
+)
+from repro.relational import (
+    Database,
+    DatabaseSchema,
+    apply_semijoin_program,
+    full_reducer_program,
+    fully_reduce,
+    is_fully_reduced,
+)
+from repro.relational.semijoin_reducer import SemijoinProgram, SemijoinStep
+
+
+@pytest.fixture
+def dirty_university():
+    return generate_database(university_schema(), universe_rows=20, domain_size=5,
+                             dangling_fraction=0.6, seed=11)
+
+
+class TestProgramDerivation:
+    def test_program_exists_for_acyclic_schema(self, dirty_university):
+        program = full_reducer_program(dirty_university)
+        # Two passes over a 4-vertex join tree: 2 * 3 steps.
+        assert len(program) == 6
+        assert program.join_tree is not None
+
+    def test_program_steps_reference_schema_relations(self, dirty_university):
+        program = full_reducer_program(dirty_university)
+        names = set(dirty_university.schema.relation_names)
+        for step in program:
+            assert step.target in names and step.source in names
+
+    def test_program_description(self, dirty_university):
+        text = full_reducer_program(dirty_university).describe()
+        assert "⋉" in text
+
+    def test_cyclic_schema_has_no_full_reducer(self):
+        db = generate_database(cyclic_supplier_schema(), universe_rows=10, seed=1)
+        with pytest.raises(CyclicHypergraphError):
+            full_reducer_program(db)
+
+    def test_empty_program_description(self):
+        assert "empty" in SemijoinProgram(steps=()).describe()
+
+    def test_step_description(self):
+        assert SemijoinStep(target="R", source="S").describe() == "R := R ⋉ S"
+
+
+class TestReduction:
+    def test_fully_reduce_removes_all_dangling_tuples(self, dirty_university):
+        assert dirty_university.dangling_tuple_count() > 0
+        reduced = fully_reduce(dirty_university)
+        assert reduced.dangling_tuple_count() == 0
+        assert is_fully_reduced(reduced)
+
+    def test_reduction_preserves_universal_join(self, dirty_university):
+        before = dirty_university.universal_join()
+        reduced = fully_reduce(dirty_university)
+        after = reduced.universal_join()
+        assert frozenset(before.rows) == frozenset(after.rows)
+
+    def test_reduction_only_removes_rows(self, dirty_university):
+        reduced = fully_reduce(dirty_university)
+        for relation in dirty_university.relations():
+            assert reduced.relation(relation.name).rows <= relation.rows
+
+    def test_already_reduced_database_is_fixed_point(self):
+        db = generate_database(university_schema(), universe_rows=15, seed=2)
+        assert is_fully_reduced(db)
+        again = fully_reduce(db)
+        for relation in db.relations():
+            assert again.relation(relation.name) == relation
+
+    def test_apply_program_manually(self, dirty_university):
+        program = full_reducer_program(dirty_university)
+        reduced = apply_semijoin_program(dirty_university, program)
+        assert reduced.dangling_tuple_count() == 0
+
+    def test_rooted_program(self, dirty_university):
+        root = frozenset({"Course", "Room", "Hour"})
+        reduced = fully_reduce(dirty_university, root=root)
+        assert reduced.dangling_tuple_count() == 0

@@ -1,0 +1,112 @@
+"""Unit tests for the universal-relation interface (Section 7 semantics)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import QueryError
+from repro.generators import (
+    cyclic_supplier_schema,
+    generate_database,
+    university_schema,
+)
+from repro.relational import Database, DatabaseSchema, UniversalRelationInterface
+
+
+@pytest.fixture
+def consistent_db():
+    return generate_database(university_schema(), universe_rows=20, domain_size=5, seed=13)
+
+
+@pytest.fixture
+def interface(consistent_db):
+    return UniversalRelationInterface(consistent_db)
+
+
+@pytest.fixture
+def handcrafted_db():
+    """A tiny database where window and full-join semantics visibly differ.
+
+    Student 'cal' is enrolled in a course that nobody teaches; a query over
+    {Student, Course} should still see that enrolment (its canonical
+    connection is ENROL alone), while the full-join semantics loses it.
+    """
+    schema = university_schema()
+    return Database.from_tuples(schema, {
+        "ENROL": [("ann", "db"), ("cal", "art")],
+        "TEACHES": [("db", "maier")],
+        "MEETS": [("db", "r1", "9am"), ("art", "r2", "1pm")],
+        "LIVES": [("ann", "west"), ("cal", "east")],
+    })
+
+
+class TestSchemaDiagnostics:
+    def test_acyclic_schema_detected(self, interface):
+        assert interface.is_acyclic
+        assert interface.hypergraph.num_edges == 4
+
+    def test_cyclic_schema_detected(self):
+        db = generate_database(cyclic_supplier_schema(), universe_rows=10, seed=1)
+        assert not UniversalRelationInterface(db).is_acyclic
+
+    def test_connection_uniqueness_on_acyclic(self, interface):
+        assert interface.connection_is_unique({"Student", "Teacher"})
+        assert interface.connection_is_unique({"Dorm", "Room"})
+
+    def test_connection_uniqueness_fails_on_cyclic(self):
+        db = generate_database(cyclic_supplier_schema(), universe_rows=10, seed=1)
+        interface = UniversalRelationInterface(db)
+        assert not interface.connection_is_unique({"Supplier", "Project"})
+
+
+class TestWindowQueries:
+    def test_window_joins_only_connection_objects(self, interface):
+        result = interface.window(["Student", "Teacher"])
+        assert set(result.objects_joined) == {"ENROL", "TEACHES"}
+        assert result.schema_is_acyclic
+
+    def test_window_single_attribute(self, interface):
+        result = interface.window(["Dorm"])
+        assert result.objects_joined == ("LIVES",)
+        assert result.relation.attributes == ("Dorm",)
+
+    def test_window_with_predicate(self, consistent_db, interface):
+        some_student = next(iter(consistent_db["ENROL"]))["Student"]
+        result = interface.window(["Student", "Course"],
+                                  predicate=lambda row: row["Student"] == some_student)
+        assert len(result.relation) >= 1
+        assert all(row["Student"] == some_student for row in result.relation.rows)
+
+    def test_window_unknown_attribute(self, interface):
+        with pytest.raises(QueryError):
+            interface.window(["Nope"])
+
+    def test_window_result_description(self, interface):
+        assert "objects joined" in interface.window(["Student"]).describe()
+
+    def test_window_matches_full_join_on_consistent_database(self, interface):
+        for attributes in (["Student", "Teacher"], ["Course", "Dorm"], ["Room", "Teacher"]):
+            window = interface.window(attributes)
+            full = interface.window_by_full_join(attributes)
+            assert frozenset(window.relation.rows) == frozenset(full.rows)
+
+    def test_window_differs_from_full_join_with_dangling_tuples(self, handcrafted_db):
+        interface = UniversalRelationInterface(handcrafted_db)
+        window = interface.window(["Student", "Course"])
+        full = interface.window_by_full_join(["Student", "Course"])
+        assert {"Student": "cal", "Course": "art"} in window.relation
+        assert {"Student": "cal", "Course": "art"} not in full
+        assert len(window.relation) > len(full)
+
+    def test_compare_semantics_report(self, handcrafted_db):
+        interface = UniversalRelationInterface(handcrafted_db)
+        report = interface.compare_semantics(["Student", "Course"])
+        assert report["acyclic_schema"] is True
+        assert report["connection_unique"] is True
+        assert report["canonical_rows"] > report["full_join_rows"]
+        assert report["answers_agree"] is False
+
+    def test_objects_for_uses_canonical_connection(self, interface):
+        objects = interface.objects_for({"Student", "Room"})
+        names = {relation.name for relation in objects}
+        assert names == {"ENROL", "MEETS"}

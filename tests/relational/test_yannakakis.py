@@ -1,0 +1,85 @@
+"""Unit tests for Yannakakis' algorithm and the naive-join baseline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import CyclicHypergraphError, SchemaError
+from repro.generators import (
+    cyclic_supplier_schema,
+    generate_database,
+    supplier_part_schema,
+    university_schema,
+)
+from repro.relational import naive_join, yannakakis_join
+from repro.relational.algebra import project
+from repro.core.nodes import sorted_nodes
+
+
+@pytest.fixture
+def dirty_db():
+    return generate_database(university_schema(), universe_rows=25, domain_size=6,
+                             dangling_fraction=0.5, seed=5)
+
+
+class TestCorrectness:
+    def test_full_join_matches_naive(self, dirty_db):
+        fast = yannakakis_join(dirty_db)
+        slow, _ = naive_join(dirty_db)
+        assert frozenset(fast.relation.rows) == frozenset(slow.rows)
+
+    def test_projected_join_matches_naive_projection(self, dirty_db):
+        attributes = ("Student", "Teacher")
+        fast = yannakakis_join(dirty_db, attributes)
+        slow, _ = naive_join(dirty_db, attributes)
+        assert frozenset(fast.relation.rows) == frozenset(slow.rows)
+        assert fast.relation.schema.attribute_set == frozenset(attributes)
+
+    def test_chain_schema(self):
+        db = generate_database(supplier_part_schema(), universe_rows=20, domain_size=5,
+                               dangling_fraction=0.3, seed=9)
+        fast = yannakakis_join(db, ("Supplier", "City"))
+        slow, _ = naive_join(db, ("Supplier", "City"))
+        assert frozenset(fast.relation.rows) == frozenset(slow.rows)
+
+    def test_empty_relation_propagates(self, dirty_db):
+        emptied = dirty_db.with_relation(dirty_db["ENROL"].with_rows([]))
+        fast = yannakakis_join(emptied)
+        assert len(fast.relation) == 0
+
+    def test_cyclic_schema_rejected(self):
+        db = generate_database(cyclic_supplier_schema(), universe_rows=10, seed=1)
+        with pytest.raises(CyclicHypergraphError):
+            yannakakis_join(db)
+
+    def test_unknown_output_attribute_rejected(self, dirty_db):
+        with pytest.raises(SchemaError):
+            yannakakis_join(dirty_db, ("Nope",))
+
+
+class TestAccounting:
+    def test_semijoin_count_is_two_passes(self, dirty_db):
+        result = yannakakis_join(dirty_db)
+        vertices = len(result.join_tree.vertices)
+        assert result.semijoin_count == 2 * (vertices - 1)
+
+    def test_statistics_populated(self, dirty_db):
+        result = yannakakis_join(dirty_db, ("Student", "Teacher"))
+        assert result.statistics.plan_name == "yannakakis"
+        assert result.statistics.output_size == len(result.relation)
+        assert len(result.statistics.input_sizes) == len(dirty_db.relations())
+
+    def test_projected_intermediates_not_larger_than_naive(self, dirty_db):
+        """The shape claim of E-JOIN: with dangling tuples and a projection,
+        Yannakakis' plan never produces a larger maximum intermediate than the
+        naive plan."""
+        attributes = ("Student", "Teacher")
+        fast = yannakakis_join(dirty_db, attributes)
+        _, slow_stats = naive_join(dirty_db, attributes)
+        assert fast.statistics.max_intermediate <= slow_stats.max_intermediate
+
+    def test_naive_join_statistics(self, dirty_db):
+        result, stats = naive_join(dirty_db)
+        assert stats.plan_name == "naive"
+        assert stats.output_size == len(result)
+        assert len(stats.intermediate_sizes) == len(dirty_db.relations()) - 1
