@@ -3,9 +3,10 @@
 Every benchmark module regenerates one experiment of EXPERIMENTS.md: it
 re-derives the figure / example / sweep result, asserts that the *shape*
 matches what the paper reports, and times the computation with
-pytest-benchmark.  Run with::
+pytest-benchmark.  The ``bench_*.py`` naming keeps these modules out of the
+default ``test_*.py`` collection (so tier-1 stays fast); run them with::
 
-    pytest benchmarks/ --benchmark-only
+    pytest benchmarks/ --benchmark-only -o python_files='bench_*.py'
 """
 
 from __future__ import annotations

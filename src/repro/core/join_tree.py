@@ -25,11 +25,74 @@ from .nodes import Node, NodeSet, format_node_set, sorted_nodes
 
 __all__ = [
     "JoinTree",
+    "RootedJoinTree",
     "maximum_weight_join_tree",
     "join_tree_via_ears",
     "build_join_tree",
     "has_join_tree",
 ]
+
+
+@dataclass(frozen=True)
+class RootedJoinTree:
+    """A join tree with a fixed root: the execution skeleton of the engine.
+
+    ``order`` is a parent-before-child traversal ``(vertex, parent)`` (parent
+    is ``None`` for each component's root).  Parent, children and separator
+    lookups are precomputed so that reducer passes and the bottom-up join
+    phase are table lookups rather than tree searches.
+    """
+
+    tree: JoinTree
+    order: Tuple[Tuple[Edge, Optional[Edge]], ...]
+
+    @property
+    def roots(self) -> Tuple[Edge, ...]:
+        """The root of every tree component, in traversal order."""
+        return tuple(vertex for vertex, parent in self.order if parent is None)
+
+    def parent_of(self, vertex: Edge) -> Optional[Edge]:
+        """The parent of ``vertex`` (``None`` for roots)."""
+        return self._parents()[vertex]
+
+    def children_of(self, vertex: Edge) -> Tuple[Edge, ...]:
+        """The children of ``vertex``, in traversal order."""
+        return self._children().get(vertex, ())
+
+    def separator(self, child: Edge) -> FrozenSet[Node]:
+        """The separator between ``child`` and its parent (empty for roots)."""
+        parent = self.parent_of(child)
+        if parent is None:
+            return frozenset()
+        return frozenset(child & parent)
+
+    def leaf_to_root(self) -> Tuple[Tuple[Edge, Optional[Edge]], ...]:
+        """The traversal with children before parents (the upward pass)."""
+        return tuple(reversed(self.order))
+
+    def root_to_leaf(self) -> Tuple[Tuple[Edge, Optional[Edge]], ...]:
+        """The traversal with parents before children (the downward pass)."""
+        return self.order
+
+    # The maps are derived lazily and memoised on the instance; the dataclass
+    # is frozen, so object.__setattr__ is the sanctioned escape hatch.
+    def _parents(self) -> Dict[Edge, Optional[Edge]]:
+        cached = getattr(self, "_parent_map", None)
+        if cached is None:
+            cached = {vertex: parent for vertex, parent in self.order}
+            object.__setattr__(self, "_parent_map", cached)
+        return cached
+
+    def _children(self) -> Dict[Edge, Tuple[Edge, ...]]:
+        cached = getattr(self, "_children_map", None)
+        if cached is None:
+            grouped: Dict[Edge, List[Edge]] = {}
+            for vertex, parent in self.order:
+                if parent is not None:
+                    grouped.setdefault(parent, []).append(vertex)
+            cached = {parent: tuple(children) for parent, children in grouped.items()}
+            object.__setattr__(self, "_children_map", cached)
+        return cached
 
 
 @dataclass(frozen=True)
@@ -171,6 +234,15 @@ class JoinTree:
                     if neighbour not in visited:
                         stack.append((neighbour, vertex))
         return tuple(order)
+
+    def rooted(self, root: Optional[Edge] = None) -> "RootedJoinTree":
+        """The tree rooted for execution: precomputed parents, children and separators.
+
+        ``root`` selects the root of the component containing it; the other
+        components keep their deterministic default roots.  This is the
+        traversal API the :mod:`repro.engine` reducer and evaluator consume.
+        """
+        return RootedJoinTree(tree=self, order=self.rooted_traversal(root))
 
     def describe(self) -> str:
         """A multi-line rendering listing the tree edges and their separators."""

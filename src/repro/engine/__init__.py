@@ -1,0 +1,72 @@
+"""``repro.engine`` — the Yannakakis semijoin execution engine.
+
+This package turns the paper's acyclicity machinery into an actual query
+processor.  Maier & Ullman's Section 7 claim is that for **acyclic** schemas
+the objects relevant to a query are exactly the canonical connection, and
+joining them need never build oversized intermediates; the classical way to
+make that operational is the Bernstein–Goodman full reducer plus Yannakakis'
+algorithm, both of which exist *iff* the schema's hypergraph has a join tree.
+
+Layers (bottom-up):
+
+* :mod:`~repro.engine.indexes` — hash indexes over relation columns with a
+  weak per-relation cache (:func:`index_for`), shared by every operator;
+* :mod:`~repro.engine.semijoin` — indexed semijoin / anti-semijoin / natural
+  join with fused projection, the engine's physical operators;
+* :mod:`~repro.engine.reducer` — full-reducer semijoin programs compiled off
+  a rooted join tree (leaf-to-root then root-to-leaf pass), with a
+  proof-of-reduction check hook;
+* :mod:`~repro.engine.planner` — data-independent :class:`ExecutionPlan`
+  objects in an LRU cache keyed by a canonical schema fingerprint, plus
+  :class:`EngineStatistics` (a :class:`~repro.relational.join_plans.JoinStatistics`
+  extension) for cost accounting;
+* :mod:`~repro.engine.yannakakis` — the end-to-end evaluator: plan → reduce →
+  bottom-up join with early projection.
+
+Entry points: :func:`evaluate` (a set of relations, e.g. a conjunctive
+query's atom relations), :func:`evaluate_database` (a whole database), and
+``ConjunctiveQuery.evaluate(database, engine="yannakakis")`` in the query
+layer, which dispatches acyclic queries here and falls back to the naive
+plan for cyclic ones.
+"""
+
+from .indexes import HashIndex, clear_index_cache, index_cache_info, index_for
+from .planner import (
+    DEFAULT_PLANNER,
+    EngineStatistics,
+    ExecutionPlan,
+    PlanCacheInfo,
+    QueryPlanner,
+    SchemaFingerprint,
+    fingerprint_digest,
+    schema_fingerprint,
+)
+from .reducer import (
+    FullReducer,
+    ReductionError,
+    ReductionStep,
+    ReductionTrace,
+    verify_full_reduction,
+)
+from .semijoin import (
+    antijoin_indexed,
+    natural_join_indexed,
+    semijoin_indexed,
+    shared_attributes,
+)
+from .yannakakis import EngineResult, evaluate, evaluate_database
+
+__all__ = [
+    # indexes
+    "HashIndex", "index_for", "index_cache_info", "clear_index_cache",
+    # physical operators
+    "semijoin_indexed", "antijoin_indexed", "natural_join_indexed", "shared_attributes",
+    # reducer
+    "FullReducer", "ReductionStep", "ReductionTrace", "ReductionError",
+    "verify_full_reduction",
+    # planning
+    "ExecutionPlan", "EngineStatistics", "QueryPlanner", "PlanCacheInfo",
+    "SchemaFingerprint", "schema_fingerprint", "fingerprint_digest", "DEFAULT_PLANNER",
+    # evaluation
+    "EngineResult", "evaluate", "evaluate_database",
+]

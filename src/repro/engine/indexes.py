@@ -1,0 +1,140 @@
+"""Hash indexes over relation columns.
+
+A :class:`HashIndex` partitions a relation's rows by their values on a tuple
+of key attributes — exactly the structure every semijoin, anti-semijoin and
+hash join in the engine probes.  Because :class:`~repro.relational.relation.Relation`
+is immutable, indexes are safe to cache per relation: :func:`index_for` keeps
+a weak per-relation cache so that the two reducer passes, the bottom-up join
+phase and repeated queries over the same database all reuse one build.
+"""
+
+from __future__ import annotations
+
+import weakref
+from typing import Any, Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from ..core.nodes import sorted_nodes
+from ..exceptions import UnknownAttributeError
+from ..relational.relation import Relation, Row
+from ..relational.schema import Attribute
+
+__all__ = ["HashIndex", "index_for", "index_cache_info", "clear_index_cache"]
+
+IndexKey = Tuple[Any, ...]
+
+
+class HashIndex:
+    """An immutable hash index: rows of one relation bucketed by key-attribute values."""
+
+    __slots__ = ("_attributes", "_buckets", "_size")
+
+    def __init__(self, rows: Iterable[Row], attributes: Sequence[Attribute]) -> None:
+        self._attributes: Tuple[Attribute, ...] = tuple(attributes)
+        buckets: Dict[IndexKey, List[Row]] = {}
+        size = 0
+        for row in rows:
+            key = tuple(row[attribute] for attribute in self._attributes)
+            buckets.setdefault(key, []).append(row)
+            size += 1
+        self._buckets: Dict[IndexKey, Tuple[Row, ...]] = {
+            key: tuple(bucket) for key, bucket in buckets.items()
+        }
+        self._size = size
+
+    @classmethod
+    def build(cls, relation: Relation, attributes: Iterable[Attribute]) -> "HashIndex":
+        """Index ``relation`` on ``attributes`` (each must belong to its schema)."""
+        wanted = tuple(attributes)
+        for attribute in wanted:
+            if not relation.schema.has_attribute(attribute):
+                raise UnknownAttributeError(attribute)
+        return cls(relation.rows, wanted)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def attributes(self) -> Tuple[Attribute, ...]:
+        """The key attributes, in the order keys are formed."""
+        return self._attributes
+
+    def key_of(self, row: Row) -> IndexKey:
+        """The index key of a row (the row may come from *any* relation that has the key attributes)."""
+        return tuple(row[attribute] for attribute in self._attributes)
+
+    def lookup(self, key: IndexKey) -> Tuple[Row, ...]:
+        """All indexed rows with the given key (empty tuple when none)."""
+        return self._buckets.get(key, ())
+
+    def matches(self, row: Row) -> Tuple[Row, ...]:
+        """All indexed rows agreeing with ``row`` on the key attributes."""
+        return self._buckets.get(self.key_of(row), ())
+
+    def __contains__(self, key: object) -> bool:
+        return key in self._buckets
+
+    def keys(self) -> FrozenSet[IndexKey]:
+        """The distinct keys present in the index."""
+        return frozenset(self._buckets)
+
+    def __iter__(self) -> Iterator[IndexKey]:
+        return iter(self._buckets)
+
+    def __len__(self) -> int:
+        """The number of distinct keys (not rows)."""
+        return len(self._buckets)
+
+    @property
+    def row_count(self) -> int:
+        """The number of indexed rows."""
+        return self._size
+
+    def __repr__(self) -> str:
+        names = ", ".join(str(a) for a in self._attributes)
+        return f"HashIndex(({names}), {len(self._buckets)} keys, {self._size} rows)"
+
+
+# --------------------------------------------------------------------------- #
+# Per-relation index cache
+# --------------------------------------------------------------------------- #
+# Relations are immutable, so an index on (relation, key attributes) never
+# goes stale; the weak dictionary lets relations (and their indexes) be
+# reclaimed as soon as the caller drops them.
+_INDEX_CACHE: "weakref.WeakKeyDictionary[Relation, Dict[Tuple[Attribute, ...], HashIndex]]" = \
+    weakref.WeakKeyDictionary()
+_CACHE_HITS = 0
+_CACHE_MISSES = 0
+
+
+def index_for(relation: Relation, attributes: Iterable[Attribute]) -> HashIndex:
+    """A (cached) hash index of ``relation`` on ``attributes``.
+
+    The attribute order is canonicalised, so requests for ``(A, B)`` and
+    ``(B, A)`` share one index.
+    """
+    global _CACHE_HITS, _CACHE_MISSES
+    key = tuple(sorted_nodes(attributes))
+    per_relation = _INDEX_CACHE.get(relation)
+    if per_relation is not None:
+        cached = per_relation.get(key)
+        if cached is not None:
+            _CACHE_HITS += 1
+            return cached
+    else:
+        per_relation = _INDEX_CACHE.setdefault(relation, {})
+    _CACHE_MISSES += 1
+    index = HashIndex.build(relation, key)
+    per_relation[key] = index
+    return index
+
+
+def index_cache_info() -> Dict[str, int]:
+    """Cumulative hit/miss counters of the per-relation index cache."""
+    return {"hits": _CACHE_HITS, "misses": _CACHE_MISSES,
+            "relations": len(_INDEX_CACHE)}
+
+
+def clear_index_cache() -> None:
+    """Drop all cached indexes and reset the counters (used by tests/benchmarks)."""
+    global _CACHE_HITS, _CACHE_MISSES
+    _INDEX_CACHE.clear()
+    _CACHE_HITS = 0
+    _CACHE_MISSES = 0

@@ -1,0 +1,217 @@
+"""Plan objects, cost/statistics accounting and the LRU plan cache.
+
+Deriving an execution plan for an acyclic schema means running GYO / the
+maximum-weight-spanning-tree construction, validating the running-intersection
+property, rooting the tree and compiling the full reducer — all of which
+depend only on the schema's *hypergraph*, not on the stored tuples.  The
+planner therefore caches compiled :class:`ExecutionPlan` objects in an LRU
+keyed by a canonical **schema fingerprint**, so repeated queries over the
+same hypergraph skip the whole analysis.
+
+:class:`EngineStatistics` absorbs the tuple-count accounting of
+:class:`~repro.relational.join_plans.JoinStatistics` (so benchmark tables can
+compare engines and naive plans side by side) and extends it with semijoin,
+reduction and cache counters.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, Optional, Sequence, Tuple, Union
+
+from ..core.hypergraph import Edge, Hypergraph
+from ..core.join_tree import JoinTree, RootedJoinTree, build_join_tree
+from ..core.nodes import node_sort_key, sorted_nodes
+from ..exceptions import CyclicHypergraphError
+from ..relational.join_plans import JoinStatistics
+from ..relational.schema import DatabaseSchema
+from .reducer import FullReducer
+
+__all__ = [
+    "SchemaFingerprint",
+    "schema_fingerprint",
+    "EngineStatistics",
+    "ExecutionPlan",
+    "PlanCacheInfo",
+    "QueryPlanner",
+    "DEFAULT_PLANNER",
+]
+
+SchemaFingerprint = Tuple[Tuple[object, ...], ...]
+
+
+def schema_fingerprint(source: Union[Hypergraph, DatabaseSchema, Iterable[Iterable[object]]]
+                       ) -> SchemaFingerprint:
+    """A canonical, hashable fingerprint of a hypergraph / database schema.
+
+    The fingerprint is the sorted tuple of sorted edges, so it is invariant
+    under edge order, duplicate edges and attribute order — any two schemas
+    with the same objects over the same attributes plan identically.
+    """
+    if isinstance(source, DatabaseSchema):
+        edges: Iterable[Iterable[object]] = (r.attribute_set for r in source)
+    elif isinstance(source, Hypergraph):
+        edges = source.edges
+    else:
+        edges = source
+    canonical = sorted({tuple(sorted_nodes(edge)) for edge in edges},
+                       key=lambda edge: tuple(node_sort_key(node) for node in edge))
+    return tuple(canonical)
+
+
+def fingerprint_digest(fingerprint: SchemaFingerprint) -> str:
+    """A short hex digest of a fingerprint, for logs and plan descriptions."""
+    return hashlib.sha256(repr(fingerprint).encode("utf-8")).hexdigest()[:12]
+
+
+@dataclass
+class EngineStatistics(JoinStatistics):
+    """Join-plan accounting extended with the engine's semijoin/caching counters.
+
+    ``intermediate_sizes`` (inherited) records the materialised size after
+    every bottom-up join step *with projection already fused in* — the number
+    the acyclicity story bounds.  ``reduced_sizes`` are the per-vertex sizes
+    after the full-reducer passes.
+    """
+
+    semijoin_steps: int = 0
+    rows_removed_by_reduction: int = 0
+    reduced_sizes: Tuple[int, ...] = ()
+    plan_cache_hit: bool = False
+    index_cache_hits: int = 0
+    index_cache_misses: int = 0
+
+    @property
+    def max_reduced_input(self) -> int:
+        """The largest relation after reduction (0 when nothing was reduced)."""
+        return max(self.reduced_sizes, default=0)
+
+    @property
+    def reduction_ratio(self) -> float:
+        """Fraction of stored tuples removed as dangling by the reducer."""
+        total = sum(self.input_sizes)
+        return (self.rows_removed_by_reduction / total) if total else 0.0
+
+    def describe(self) -> str:
+        """A one-line summary aligned with ``JoinStatistics.describe``."""
+        base = super().describe()
+        return (f"{base} semijoins={self.semijoin_steps} "
+                f"removed={self.rows_removed_by_reduction} "
+                f"reduced={list(self.reduced_sizes)} "
+                f"plan_cache={'hit' if self.plan_cache_hit else 'miss'}")
+
+
+@dataclass(frozen=True)
+class ExecutionPlan:
+    """A compiled plan for one schema fingerprint: join tree, rooting, reducer.
+
+    Plans are data-independent; the same plan evaluates every database whose
+    schema has the plan's fingerprint.
+    """
+
+    fingerprint: SchemaFingerprint
+    join_tree: JoinTree
+    rooted: RootedJoinTree
+    reducer: FullReducer
+    root: Optional[Edge] = None
+
+    @property
+    def vertices(self) -> Tuple[Edge, ...]:
+        """The join-tree vertices (hypergraph edges), in tree-vertex order."""
+        return self.join_tree.vertices
+
+    def estimated_semijoin_steps(self) -> int:
+        """How many semijoin steps one reducer run performs."""
+        return len(self.reducer)
+
+    def describe(self) -> str:
+        """A multi-line plan rendering: fingerprint, tree and reducer program."""
+        lines = [f"ExecutionPlan {fingerprint_digest(self.fingerprint)} "
+                 f"({len(self.vertices)} vertices, {len(self.reducer)} semijoin steps)",
+                 self.join_tree.describe(),
+                 self.reducer.describe()]
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class PlanCacheInfo:
+    """Hit/miss/size counters of a planner's LRU cache."""
+
+    hits: int
+    misses: int
+    size: int
+    capacity: int
+
+
+class QueryPlanner:
+    """Compiles and caches execution plans, LRU-evicted by schema fingerprint.
+
+    One planner can serve many databases and queries; the module-level
+    :data:`DEFAULT_PLANNER` is what the high-level entry points use, so a
+    workload that poses repeated queries over one schema performs the GYO /
+    join-tree analysis exactly once.
+    """
+
+    def __init__(self, capacity: int = 128) -> None:
+        if capacity < 1:
+            raise ValueError("planner cache capacity must be at least 1")
+        self._capacity = capacity
+        self._cache: "OrderedDict[Tuple[SchemaFingerprint, Optional[Edge]], ExecutionPlan]" = \
+            OrderedDict()
+        self._hits = 0
+        self._misses = 0
+
+    @property
+    def capacity(self) -> int:
+        """The maximum number of cached plans."""
+        return self._capacity
+
+    def plan_for(self, hypergraph: Hypergraph, *, root: Optional[Edge] = None
+                 ) -> ExecutionPlan:
+        """The execution plan for ``hypergraph`` (compiled or from cache).
+
+        Raises :class:`CyclicHypergraphError` when the hypergraph admits no
+        join tree — cyclic schemas have no full reducer, so the engine cannot
+        plan them (callers fall back to naive evaluation).
+        """
+        key = (schema_fingerprint(hypergraph), root)
+        cached = self._cache.get(key)
+        if cached is not None:
+            self._cache.move_to_end(key)
+            self._hits += 1
+            return cached
+        self._misses += 1
+        tree = build_join_tree(hypergraph)
+        if tree is None:
+            raise CyclicHypergraphError(
+                "the schema's hypergraph is cyclic: no join tree, hence no "
+                "full reducer — use the naive plan (or a hypertree heuristic)")
+        reducer = FullReducer.from_join_tree(tree, root)
+        plan = ExecutionPlan(fingerprint=key[0], join_tree=tree,
+                             rooted=reducer.rooted, reducer=reducer, root=root)
+        self._cache[key] = plan
+        if len(self._cache) > self._capacity:
+            self._cache.popitem(last=False)
+        return plan
+
+    def plan_for_schema(self, schema: DatabaseSchema, *, root: Optional[Edge] = None
+                        ) -> ExecutionPlan:
+        """The execution plan for a database schema (via its hypergraph)."""
+        return self.plan_for(schema.to_hypergraph(), root=root)
+
+    def cache_info(self) -> PlanCacheInfo:
+        """Current hit/miss/size counters."""
+        return PlanCacheInfo(hits=self._hits, misses=self._misses,
+                             size=len(self._cache), capacity=self._capacity)
+
+    def clear(self) -> None:
+        """Drop every cached plan and reset the counters."""
+        self._cache.clear()
+        self._hits = 0
+        self._misses = 0
+
+
+DEFAULT_PLANNER = QueryPlanner()
+"""The shared planner used by :func:`repro.engine.yannakakis.evaluate` by default."""

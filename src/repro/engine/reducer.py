@@ -1,0 +1,201 @@
+"""Full-reducer semijoin programs over join trees (Bernstein–Goodman).
+
+Given a join tree for an acyclic hypergraph, the *full reducer* is the
+two-pass semijoin program the paper's Section 7 machinery licenses:
+
+* an **upward pass** (leaves to root) semijoining every parent with each of
+  its children, then
+* a **downward pass** (root to leaves) semijoining every child with its
+  parent.
+
+Afterwards no relation holds a dangling tuple: each equals the projection of
+the universal join onto its scheme.  The engine's reducer differs from the
+logical construction in :mod:`repro.relational.semijoin_reducer` in that it
+operates on one relation *per join-tree vertex* (edges, not relation names),
+probes cached hash indexes on the separators, and records per-step accounting.
+
+``check_hook`` is the proof-of-reduction hook: after the two passes the hook
+is called with the reduced vertex map and the rooted tree, and must return
+``True``; the default hook re-verifies semijoin-stability of every tree edge
+in both directions, which is exactly the fixpoint condition full reduction
+guarantees.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, FrozenSet, List, Mapping, Optional, Tuple
+
+from ..core.hypergraph import Edge
+from ..core.join_tree import JoinTree, RootedJoinTree
+from ..core.nodes import format_node_set, sorted_nodes
+from ..exceptions import ReproError
+from ..relational.relation import Relation
+from .semijoin import semijoin_indexed, shared_attributes
+
+__all__ = [
+    "ReductionStep",
+    "ReductionTrace",
+    "ReductionError",
+    "FullReducer",
+    "verify_full_reduction",
+]
+
+VertexMap = Dict[Edge, Relation]
+CheckHook = Callable[[Mapping[Edge, Relation], RootedJoinTree], bool]
+
+
+class ReductionError(ReproError):
+    """Raised when the proof-of-reduction check hook rejects a reducer run."""
+
+
+@dataclass(frozen=True)
+class ReductionStep:
+    """One step ``target := target ⋉ source`` between join-tree vertices."""
+
+    target: Edge
+    source: Edge
+    separator: FrozenSet
+    direction: str  # "up" (child into parent) or "down" (parent into child)
+
+    def describe(self) -> str:
+        """Render the step in ``R := R ⋉ S  [separator]`` notation."""
+        return (f"{format_node_set(self.target)} := {format_node_set(self.target)} ⋉ "
+                f"{format_node_set(self.source)}  [on {format_node_set(self.separator)}]")
+
+
+@dataclass
+class ReductionTrace:
+    """Per-step accounting of one reducer run."""
+
+    steps_run: int = 0
+    rows_removed: int = 0
+    sizes_before: Tuple[int, ...] = ()
+    sizes_after: Tuple[int, ...] = ()
+
+    @property
+    def reduction_ratio(self) -> float:
+        """Fraction of input rows removed by the run (0.0 on empty input)."""
+        total = sum(self.sizes_before)
+        return (self.rows_removed / total) if total else 0.0
+
+
+@dataclass(frozen=True)
+class FullReducer:
+    """A compiled full-reducer program for one rooted join tree.
+
+    The program is derived once per plan and reused across databases with the
+    same schema fingerprint (see :mod:`repro.engine.planner`).
+    """
+
+    rooted: RootedJoinTree
+    steps: Tuple[ReductionStep, ...]
+
+    @classmethod
+    def from_join_tree(cls, tree: JoinTree, root: Optional[Edge] = None) -> "FullReducer":
+        """Compile the upward+downward semijoin program off a join tree."""
+        rooted = tree.rooted(root)
+        steps: List[ReductionStep] = []
+        for vertex, parent in rooted.leaf_to_root():
+            if parent is None:
+                continue
+            steps.append(ReductionStep(target=parent, source=vertex,
+                                       separator=frozenset(vertex & parent), direction="up"))
+        for vertex, parent in rooted.root_to_leaf():
+            if parent is None:
+                continue
+            steps.append(ReductionStep(target=vertex, source=parent,
+                                       separator=frozenset(vertex & parent), direction="down"))
+        return cls(rooted=rooted, steps=tuple(steps))
+
+    def __len__(self) -> int:
+        return len(self.steps)
+
+    def describe(self) -> str:
+        """A multi-line listing of the compiled program."""
+        if not self.steps:
+            return "(empty full reducer)"
+        return "\n".join(f"{index + 1:3d}. [{step.direction:4s}] {step.describe()}"
+                         for index, step in enumerate(self.steps))
+
+    def _component_map(self) -> Dict[Edge, Edge]:
+        """Each vertex mapped to its tree component's root."""
+        component: Dict[Edge, Edge] = {}
+        for vertex, parent in self.rooted.order:
+            component[vertex] = component[parent] if parent is not None else vertex
+        return component
+
+    def run(self, relations: Mapping[Edge, Relation], *,
+            trace: Optional[ReductionTrace] = None,
+            check_hook: Optional[CheckHook] = None) -> VertexMap:
+        """Apply the program to a vertex → relation map and return the reduced map.
+
+        The input map must have one relation per join-tree vertex.  When any
+        vertex becomes empty, every vertex of its tree component is emptied
+        immediately (the join is empty; nothing downstream can survive) and
+        the remaining steps of that component are skipped.
+        """
+        current: VertexMap = dict(relations)
+        sizes_before = tuple(len(current[vertex]) for vertex, _ in self.rooted.order)
+        component_of = self._component_map()
+        dead_components: set = set()
+
+        def kill_component(component: Edge) -> int:
+            dead_components.add(component)
+            emptied = 0
+            for vertex, owner in component_of.items():
+                if owner is component and len(current[vertex]):
+                    emptied += len(current[vertex])
+                    current[vertex] = Relation.from_valid_rows(current[vertex].schema,
+                                                               frozenset())
+            return emptied
+
+        removed = 0
+        steps_run = 0
+        for vertex, _parent in self.rooted.order:
+            if len(current[vertex]) == 0:
+                removed += kill_component(component_of[vertex])
+        for step in self.steps:
+            if component_of[step.target] in dead_components:
+                continue
+            target = current[step.target]
+            reduced = semijoin_indexed(target, current[step.source],
+                                       on=sorted_nodes(step.separator) if step.separator else None)
+            steps_run += 1
+            if reduced is not target:
+                removed += len(target) - len(reduced)
+                current[step.target] = reduced
+                if len(reduced) == 0:
+                    removed += kill_component(component_of[step.target])
+        sizes_after = tuple(len(current[vertex]) for vertex, _ in self.rooted.order)
+        if trace is not None:
+            trace.steps_run += steps_run
+            trace.rows_removed += removed
+            trace.sizes_before = sizes_before
+            trace.sizes_after = sizes_after
+        hook = check_hook if check_hook is not None else verify_full_reduction
+        if not hook(current, self.rooted):
+            raise ReductionError("proof-of-reduction check failed: a relation is "
+                                 "not semijoin-stable against a tree neighbour")
+        return current
+
+
+def verify_full_reduction(relations: Mapping[Edge, Relation],
+                          rooted: RootedJoinTree) -> bool:
+    """The default proof-of-reduction check: semijoin-stability on every tree edge.
+
+    For every tree edge (child, parent), both ``parent ⋉ child`` and
+    ``child ⋉ parent`` must be fixpoints.  On a join tree this local condition
+    implies global consistency (no dangling tuples), which is the paper-level
+    guarantee the engine's join phase relies on.
+    """
+    for vertex, parent in rooted.order:
+        if parent is None:
+            continue
+        child_relation = relations[vertex]
+        parent_relation = relations[parent]
+        if semijoin_indexed(parent_relation, child_relation) is not parent_relation:
+            return False
+        if semijoin_indexed(child_relation, parent_relation) is not child_relation:
+            return False
+    return True

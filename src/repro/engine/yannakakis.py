@@ -1,0 +1,194 @@
+"""End-to-end acyclic join evaluation (Yannakakis' algorithm, engine edition).
+
+The evaluator realises the paper's Section 7 payoff: for an acyclic schema,
+"join the objects" can be processed with intermediates bounded by input +
+output rather than by the worst intermediate a naive left-deep plan builds.
+The phases are
+
+1. **plan** — fetch (or compile) the :class:`~repro.engine.planner.ExecutionPlan`
+   for the schema's hypergraph from the planner's LRU cache;
+2. **reduce** — run the plan's full reducer (indexed semijoins, leaf-to-root
+   then root-to-leaf), leaving no dangling tuples;
+3. **join** — fold children into parents bottom-up along the join tree with
+   the projection onto (output attributes ∪ live separators) *fused into*
+   every join, so dead attributes are never materialised.
+
+Both a sequence of relations (e.g. a conjunctive query's atom relations) and
+a whole :class:`~repro.relational.database.Database` can be evaluated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+
+from ..core.hypergraph import Edge, Hypergraph
+from ..core.nodes import sorted_nodes
+from ..exceptions import SchemaError
+from ..relational.database import Database
+from ..relational.relation import Relation
+from ..relational.schema import Attribute, RelationSchema
+from .indexes import index_cache_info
+from .planner import DEFAULT_PLANNER, EngineStatistics, ExecutionPlan, QueryPlanner
+from .reducer import ReductionTrace
+from .semijoin import natural_join_indexed
+
+__all__ = ["EngineResult", "evaluate", "evaluate_database"]
+
+
+@dataclass(frozen=True)
+class EngineResult:
+    """The engine's answer plus the plan that produced it and its accounting."""
+
+    relation: Relation
+    plan: ExecutionPlan
+    statistics: EngineStatistics
+
+
+def _SKIP_CHECK(relations, rooted) -> bool:
+    """The no-op proof-of-reduction hook used when ``check_reduction`` is off."""
+    return True
+
+
+def _project_validated(relation: Relation, keep: FrozenSet[Attribute],
+                       name: Optional[str] = None) -> Relation:
+    """Project a relation onto ``keep`` without re-validating rows (hot path)."""
+    order = relation.schema.project_order(keep & relation.schema.attribute_set)
+    return Relation.from_valid_rows(
+        RelationSchema.of(name or relation.name, order),
+        frozenset(row.project(order) for row in relation.rows))
+
+
+def _vertex_relations(relations: Sequence[Relation],
+                      vertices: Tuple[Edge, ...]) -> Dict[Edge, Relation]:
+    """One relation per join-tree vertex.
+
+    Relations whose schemes coincide map to the same hypergraph edge; they are
+    intersected (a natural join on an identical scheme) so the tree walk sees
+    exactly one relation per vertex.
+    """
+    grouped: Dict[Edge, List[Relation]] = {}
+    for relation in relations:
+        grouped.setdefault(relation.schema.attribute_set, []).append(relation)
+    result: Dict[Edge, Relation] = {}
+    for vertex in vertices:
+        matches = grouped.get(vertex)
+        if not matches:
+            raise SchemaError("join-tree vertex without a matching relation")
+        combined = matches[0]
+        for extra in matches[1:]:
+            combined = natural_join_indexed(combined, extra, name=combined.name)
+        result[vertex] = combined
+    return result
+
+
+def evaluate(relations: Sequence[Relation],
+             output_attributes: Optional[Iterable[Attribute]] = None, *,
+             planner: Optional[QueryPlanner] = None,
+             root: Optional[Edge] = None,
+             name: str = "yannakakis",
+             check_reduction: bool = False) -> EngineResult:
+    """Evaluate the natural join of ``relations`` (optionally projected) via the engine.
+
+    Raises :class:`~repro.exceptions.CyclicHypergraphError` when the schemas'
+    hypergraph is cyclic, and :class:`~repro.exceptions.SchemaError` when an
+    output attribute is not in scope.  ``check_reduction=True`` runs the
+    reducer's proof-of-reduction hook after the semijoin passes (two extra
+    semijoin scans per tree edge) — a debug/audit aid, off by default so the
+    production path pays only the reducer itself.
+    """
+    if not relations:
+        raise SchemaError("the engine needs at least one relation to evaluate")
+    active_planner = planner if planner is not None else DEFAULT_PLANNER
+    hypergraph = Hypergraph([relation.schema.attribute_set for relation in relations])
+    universe = hypergraph.nodes
+    wanted: Optional[FrozenSet[Attribute]] = (
+        frozenset(output_attributes) if output_attributes is not None else None)
+    if wanted is not None and not wanted <= universe:
+        missing = wanted - universe
+        raise SchemaError(f"output attributes {sorted_nodes(missing)} are not in the schema")
+
+    index_before = index_cache_info()
+    plan_hits_before = active_planner.cache_info().hits
+    plan = active_planner.plan_for(hypergraph, root=root)
+    plan_cache_hit = active_planner.cache_info().hits > plan_hits_before
+
+    # Phase 2: full reduction.
+    vertex_relations = _vertex_relations(relations, plan.vertices)
+    trace = ReductionTrace()
+    reduced = plan.reducer.run(vertex_relations, trace=trace,
+                               check_hook=None if check_reduction else _SKIP_CHECK)
+
+    # Phase 3: bottom-up join with fused projection.  A vertex's partial join
+    # must keep only the requested outputs visible in its subtree plus the
+    # separator to its parent; while its children are being folded in, the
+    # separators to the *not yet joined* children stay live too.
+    rooted = plan.rooted
+    intermediates: List[int] = []
+    partial: Dict[Edge, Relation] = {}
+    for vertex, parent in rooted.leaf_to_root():
+        current = reduced[vertex]
+        children = rooted.children_of(vertex)
+        final_keep: Optional[FrozenSet[Attribute]] = None
+        if wanted is not None:
+            subtree_attributes = set(vertex)
+            for child in children:
+                subtree_attributes.update(partial[child].schema.attribute_set)
+            final_keep = frozenset(subtree_attributes) & wanted
+            if parent is not None:
+                final_keep |= frozenset(vertex) & frozenset(parent)
+        child_separators = [frozenset(vertex) & frozenset(child) for child in children]
+        for index, child in enumerate(children):
+            keep: Optional[FrozenSet[Attribute]] = None
+            if final_keep is not None:
+                keep = final_keep.union(*child_separators[index + 1:]) \
+                    if index + 1 < len(children) else final_keep
+            current = natural_join_indexed(current, partial[child], project_onto=keep)
+            intermediates.append(len(current))
+        if final_keep is not None and final_keep != current.schema.attribute_set:
+            current = _project_validated(current, final_keep)
+        partial[vertex] = current
+
+    roots = rooted.roots
+    result = partial[roots[0]]
+    for other_root in roots[1:]:
+        keep = None
+        if wanted is not None:
+            keep = (frozenset(result.schema.attribute_set)
+                    | frozenset(partial[other_root].schema.attribute_set)) & wanted
+        result = natural_join_indexed(result, partial[other_root], project_onto=keep)
+        intermediates.append(len(result))
+    if wanted is not None and wanted & result.schema.attribute_set != result.schema.attribute_set:
+        result = _project_validated(result, wanted, name=name)
+    if result.name != name:
+        result = Relation.from_valid_rows(result.schema.rename(name), result.rows)
+
+    index_after = index_cache_info()
+    statistics = EngineStatistics(
+        plan_name="engine-yannakakis",
+        input_sizes=tuple(len(relation) for relation in relations),
+        intermediate_sizes=tuple(intermediates),
+        output_size=len(result),
+        semijoin_steps=trace.steps_run,
+        rows_removed_by_reduction=trace.rows_removed,
+        reduced_sizes=trace.sizes_after,
+        plan_cache_hit=plan_cache_hit,
+        index_cache_hits=index_after["hits"] - index_before["hits"],
+        index_cache_misses=index_after["misses"] - index_before["misses"],
+    )
+    return EngineResult(relation=result, plan=plan, statistics=statistics)
+
+
+def evaluate_database(database: Database,
+                      output_attributes: Optional[Iterable[Attribute]] = None, *,
+                      planner: Optional[QueryPlanner] = None,
+                      root: Optional[Edge] = None,
+                      name: str = "U",
+                      check_reduction: bool = False) -> EngineResult:
+    """Evaluate a database's universal join (optionally projected) via the engine.
+
+    The engine counterpart of :func:`repro.relational.yannakakis.yannakakis_join`;
+    results agree, but this path reuses cached plans and hash indexes.
+    """
+    return evaluate(database.relations(), output_attributes, planner=planner,
+                    root=root, name=name, check_reduction=check_reduction)

@@ -20,7 +20,7 @@ from typing import Any, Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequ
 
 from ..core.acyclicity import is_acyclic
 from ..core.hypergraph import Hypergraph
-from ..exceptions import QueryError
+from ..exceptions import CyclicHypergraphError, QueryError
 from ..relational.algebra import join_all, project, rename_relation, select
 from ..relational.database import Database
 from ..relational.relation import Relation, Row
@@ -149,13 +149,59 @@ class ConjunctiveQuery:
     # ------------------------------------------------------------------ #
     # Evaluation
     # ------------------------------------------------------------------ #
-    def evaluate(self, database: Database) -> Relation:
-        """Evaluate the query naively: join the atoms, then project onto the head.
+    def evaluate(self, database: Database, *, engine: str = "auto") -> Relation:
+        """Evaluate the query and project onto the head.
 
         Each atom is turned into a relation over its variable names (constants
         become selections, repeated variables become equality selections), the
-        atom relations are natural-joined, and the result is projected onto the
-        head variables.
+        atom relations are joined, and the result is projected onto the head
+        variables.  ``engine`` selects how the join is processed:
+
+        * ``"naive"`` — natural-join the atom relations left to right (the
+          original behaviour);
+        * ``"yannakakis"`` — dispatch to the semijoin execution engine
+          (:mod:`repro.engine`): full reduction along a join tree, then a
+          bottom-up join projecting early onto the head variables.  Cyclic
+          query hypergraphs have no join tree, so they fall back to the
+          naive plan;
+        * ``"auto"`` (default) — ``"yannakakis"`` semantics: use the engine
+          whenever the query hypergraph is acyclic.
+
+        Either way the answers are identical; the engine only changes how
+        large the intermediates get.
+        """
+        if engine not in ("auto", "naive", "yannakakis"):
+            raise QueryError(f"unknown evaluation engine {engine!r}; "
+                             "expected 'auto', 'naive' or 'yannakakis'")
+        atom_relations = self._atom_relations(database)
+        head_names = [variable.name for variable in self._head]
+        if engine in ("auto", "yannakakis") and self.is_acyclic():
+            from ..engine.yannakakis import evaluate as engine_evaluate
+
+            try:
+                result = engine_evaluate(atom_relations, head_names, name=self._name)
+            except CyclicHypergraphError:
+                # The acyclicity test (GYO) and the planner's join-tree
+                # construction can disagree on degenerate hypergraphs (e.g.
+                # an all-constant atom contributes an empty edge); honour the
+                # naive-fallback contract rather than surfacing the mismatch.
+                pass
+            else:
+                # The engine already projected onto exactly the head
+                # attributes; only the schema's declared order differs, and
+                # rows are order-independent, so re-projection is unnecessary.
+                return Relation.from_valid_rows(
+                    RelationSchema.of(self._name, dict.fromkeys(head_names)),
+                    result.relation.rows)
+        joined = join_all(atom_relations)
+        return project(joined, head_names, name=self._name)
+
+    def _atom_relations(self, database: Database) -> List[Relation]:
+        """One relation per body atom, over the atom's variable names.
+
+        Constants become selections and repeated variables equality
+        selections, so the downstream join only ever sees plain natural-join
+        semantics.
         """
         atom_relations: List[Relation] = []
         for index, atom in enumerate(self._atoms):
@@ -188,15 +234,7 @@ class ConjunctiveQuery:
                     variable_order.append(term.name)
             schema = RelationSchema.of(f"atom{index}", variable_order)
             atom_relations.append(Relation(schema, rows))
-        joined = join_all(atom_relations) if atom_relations else None
-        if joined is None:
-            raise QueryError("cannot evaluate a query with no atoms")
-        head_names = [variable.name for variable in self._head]
-        missing = [name_ for name_ in head_names if name_ not in joined.schema.attribute_set]
-        if missing:
-            # A head variable bound only by atoms whose relations are empty.
-            return Relation(RelationSchema.of(self._name, head_names), ())
-        return project(joined, head_names, name=self._name)
+        return atom_relations
 
     # ------------------------------------------------------------------ #
     # Containment, equivalence, minimization

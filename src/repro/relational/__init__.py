@@ -28,7 +28,13 @@ from .dependencies import (
     fd_closure,
     implies_fd,
 )
-from .join_plans import JoinStatistics, execute_plan, join_tree_plan, naive_join_plan
+from .join_plans import (
+    JoinStatistics,
+    engine_join_plan,
+    execute_plan,
+    join_tree_plan,
+    naive_join_plan,
+)
 from .maximal_objects import MaximalObject, MaximalObjectInterface, enumerate_maximal_objects
 from .relation import Relation, Row
 from .schema import Attribute, DatabaseSchema, RelationSchema
@@ -58,6 +64,7 @@ __all__ = [
     "fully_reduce", "is_fully_reduced",
     "YannakakisResult", "yannakakis_join", "naive_join",
     "JoinStatistics", "execute_plan", "join_tree_plan", "naive_join_plan",
+    "engine_join_plan",
     # universal relation
     "UniversalRelationInterface", "WindowResult",
     # maximal objects (the paper's pointer for cyclic schemas)

@@ -32,14 +32,6 @@ __all__ = [
 ]
 
 
-def _joined_schema(name: str, left: RelationSchema, right: RelationSchema) -> RelationSchema:
-    attributes = list(left.attributes)
-    for attribute in right.attributes:
-        if attribute not in left.attribute_set:
-            attributes.append(attribute)
-    return RelationSchema.of(name, attributes)
-
-
 def project(relation: Relation, attributes: Iterable[Attribute],
             *, name: Optional[str] = None) -> Relation:
     """``π_attributes(relation)`` — duplicate-eliminating projection."""
@@ -78,30 +70,13 @@ def natural_join(left: Relation, right: Relation, *, name: Optional[str] = None)
     With no shared attributes this degenerates to the Cartesian product, as
     usual for the natural join.
     """
-    shared = tuple(sorted_nodes(left.schema.attribute_set & right.schema.attribute_set))
-    schema = _joined_schema(name or f"({left.name} ⋈ {right.name})", left.schema, right.schema)
-    if not shared:
-        rows = []
-        for left_row in left.rows:
-            for right_row in right.rows:
-                merged = left_row.merge(right_row)
-                if merged is not None:
-                    rows.append(merged)
-        return Relation(schema, rows)
-    # Hash the smaller side on the shared attributes.
-    build, probe = (left, right) if len(left) <= len(right) else (right, left)
-    buckets: Dict[Tuple[Any, ...], List[Row]] = {}
-    for row in build.rows:
-        key = tuple(row[attribute] for attribute in shared)
-        buckets.setdefault(key, []).append(row)
-    rows = []
-    for row in probe.rows:
-        key = tuple(row[attribute] for attribute in shared)
-        for partner in buckets.get(key, ()):
-            merged = row.merge(partner)
-            if merged is not None:
-                rows.append(merged)
-    return Relation(schema, rows)
+    # Delegate to the engine's indexed join: same semantics, but the build
+    # side's hash index is cached per relation, so repeated joins against the
+    # same (immutable) relation skip the build phase.  The import is deferred
+    # because repro.engine depends on this package.
+    from ..engine.semijoin import natural_join_indexed
+
+    return natural_join_indexed(left, right, name=name)
 
 
 def join_all(relations: Sequence[Relation], *, name: Optional[str] = None) -> Relation:
@@ -123,22 +98,22 @@ def join_all(relations: Sequence[Relation], *, name: Optional[str] = None) -> Re
 
 def semijoin(left: Relation, right: Relation, *, name: Optional[str] = None) -> Relation:
     """``left ⋉ right`` — the rows of ``left`` that join with at least one row of ``right``."""
-    shared = tuple(sorted_nodes(left.schema.attribute_set & right.schema.attribute_set))
-    schema = left.schema if name is None else left.schema.rename(name)
-    if not shared:
-        # With no shared attributes every left row joins with any right row.
-        return Relation(schema, left.rows if len(right) else ())
-    keys = {tuple(row[attribute] for attribute in shared) for row in right.rows}
-    rows = [row for row in left.rows
-            if tuple(row[attribute] for attribute in shared) in keys]
-    return Relation(schema, rows)
+    from ..engine.semijoin import semijoin_indexed
+
+    result = semijoin_indexed(left, right)
+    if name is not None:
+        result = Relation.from_valid_rows(left.schema.rename(name), result.rows)
+    return result
 
 
 def antijoin(left: Relation, right: Relation, *, name: Optional[str] = None) -> Relation:
     """``left ▷ right`` — the rows of ``left`` that join with *no* row of ``right``."""
-    surviving = semijoin(left, right)
-    schema = left.schema if name is None else left.schema.rename(name)
-    return Relation(schema, [row for row in left.rows if row not in surviving.rows])
+    from ..engine.semijoin import antijoin_indexed
+
+    result = antijoin_indexed(left, right)
+    if name is not None:
+        result = Relation.from_valid_rows(left.schema.rename(name), result.rows)
+    return result
 
 
 def _require_same_scheme(left: Relation, right: Relation, operation: str) -> None:

@@ -20,19 +20,24 @@ __all__ = ["Row", "Relation"]
 class Row(Mapping[Attribute, Any]):
     """An immutable tuple of a relation, viewed as a mapping attribute → value."""
 
-    __slots__ = ("_items", "_hash")
+    __slots__ = ("_items", "_mapping", "_hash")
 
     def __init__(self, values: Mapping[Attribute, Any]) -> None:
         self._items: Tuple[Tuple[Attribute, Any], ...] = tuple(
             sorted(values.items(), key=lambda item: sorted_nodes([item[0]])))
+        self._mapping: Optional[Dict[Attribute, Any]] = None
         self._hash: Optional[int] = None
 
     # Mapping interface ------------------------------------------------- #
     def __getitem__(self, attribute: Attribute) -> Any:
-        for key, value in self._items:
-            if key == attribute:
-                return value
-        raise KeyError(attribute)
+        # Attribute lookup is the hottest operation under joins and
+        # semijoins; the dict gives O(1) access while _items keeps the
+        # sorted-tuple hash/eq semantics.  Built lazily so rows that are
+        # only stored (never probed) don't pay the duplicate storage.
+        mapping = self._mapping
+        if mapping is None:
+            mapping = self._mapping = dict(self._items)
+        return mapping[attribute]
 
     def __iter__(self) -> Iterator[Attribute]:
         return iter(key for key, _ in self._items)
@@ -86,7 +91,7 @@ class Row(Mapping[Attribute, Any]):
 class Relation:
     """An immutable relation: a schema plus a set of rows conforming to it."""
 
-    __slots__ = ("_schema", "_rows")
+    __slots__ = ("_schema", "_rows", "__weakref__")
 
     def __init__(self, schema: RelationSchema, rows: Iterable[Mapping[Attribute, Any]] = ()) -> None:
         self._schema = schema
@@ -121,6 +126,20 @@ class Relation:
     def empty(cls, schema: RelationSchema) -> "Relation":
         """The empty relation over ``schema``."""
         return cls(schema, ())
+
+    @classmethod
+    def from_valid_rows(cls, schema: RelationSchema, rows: Iterable["Row"]) -> "Relation":
+        """Build a relation from rows already known to conform to ``schema``.
+
+        This skips the per-row schema validation of ``__init__`` and is the
+        constructor the execution engine uses on its hot paths, where every
+        row is either taken unchanged from an input relation or produced by
+        :meth:`Row.merge` / :meth:`Row.project` against the target schema.
+        """
+        relation = cls.__new__(cls)
+        relation._schema = schema
+        relation._rows = rows if isinstance(rows, frozenset) else frozenset(rows)
+        return relation
 
     # ------------------------------------------------------------------ #
     # Accessors

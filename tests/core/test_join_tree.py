@@ -131,3 +131,42 @@ class TestGeneratedFamilies:
 
     def test_generated_cyclic_has_no_join_tree(self, small_cyclic):
         assert not has_join_tree(small_cyclic.reduce())
+
+
+class TestRootedJoinTree:
+    """The execution-facing rooted view consumed by repro.engine."""
+
+    def test_rooted_matches_traversal(self, fig1):
+        tree = build_join_tree(fig1)
+        assert tree is not None
+        rooted = tree.rooted()
+        assert rooted.order == tree.rooted_traversal()
+        assert rooted.tree is tree
+
+    def test_parent_and_children_are_consistent(self, fig1):
+        tree = build_join_tree(fig1)
+        rooted = tree.rooted()
+        for vertex, parent in rooted.order:
+            assert rooted.parent_of(vertex) == parent
+            if parent is not None:
+                assert vertex in rooted.children_of(parent)
+
+    def test_separator_is_the_edge_intersection(self, fig1):
+        tree = build_join_tree(fig1)
+        rooted = tree.rooted()
+        for vertex, parent in rooted.order:
+            if parent is None:
+                assert rooted.separator(vertex) == frozenset()
+            else:
+                assert rooted.separator(vertex) == vertex & parent
+
+    def test_leaf_to_root_reverses_root_to_leaf(self, fig1):
+        rooted = build_join_tree(fig1).rooted()
+        assert rooted.leaf_to_root() == tuple(reversed(rooted.root_to_leaf()))
+
+    def test_explicit_root_selected(self, fig1):
+        tree = build_join_tree(fig1)
+        root = frozenset({"C", "D", "E"})
+        rooted = tree.rooted(root)
+        assert rooted.roots[0] == root
+        assert rooted.parent_of(root) is None

@@ -1,0 +1,70 @@
+"""Unit tests for the engine's hash indexes and their per-relation cache."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine.indexes import HashIndex, clear_index_cache, index_cache_info, index_for
+from repro.exceptions import UnknownAttributeError
+from repro.relational import Relation, RelationSchema
+
+
+@pytest.fixture
+def r_ab():
+    schema = RelationSchema.of("R", ("A", "B"))
+    return Relation.from_tuples(schema, [(1, "x"), (1, "y"), (2, "x"), (3, "z")])
+
+
+class TestHashIndex:
+    def test_buckets_group_rows_by_key(self, r_ab):
+        index = HashIndex.build(r_ab, ("A",))
+        assert len(index.lookup((1,))) == 2
+        assert len(index.lookup((2,))) == 1
+        assert index.lookup((99,)) == ()
+
+    def test_len_counts_distinct_keys(self, r_ab):
+        index = HashIndex.build(r_ab, ("A",))
+        assert len(index) == 3
+        assert index.row_count == 4
+
+    def test_contains_and_keys(self, r_ab):
+        index = HashIndex.build(r_ab, ("B",))
+        assert ("x",) in index
+        assert ("nope",) not in index
+        assert index.keys() == {("x",), ("y",), ("z",)}
+
+    def test_matches_probes_with_foreign_rows(self, r_ab):
+        schema = RelationSchema.of("S", ("A", "C"))
+        s = Relation.from_tuples(schema, [(1, "c")])
+        index = HashIndex.build(r_ab, ("A",))
+        (probe,) = s.rows
+        assert len(index.matches(probe)) == 2
+
+    def test_composite_key(self, r_ab):
+        index = HashIndex.build(r_ab, ("A", "B"))
+        assert len(index) == 4
+        assert len(index.lookup((1, "x"))) == 1
+
+    def test_unknown_attribute_rejected(self, r_ab):
+        with pytest.raises(UnknownAttributeError):
+            HashIndex.build(r_ab, ("Nope",))
+
+
+class TestIndexCache:
+    def test_repeated_requests_hit_the_cache(self, r_ab):
+        clear_index_cache()
+        first = index_for(r_ab, ("A",))
+        second = index_for(r_ab, ("A",))
+        assert first is second
+        info = index_cache_info()
+        assert info["hits"] == 1 and info["misses"] == 1
+
+    def test_attribute_order_is_canonicalised(self, r_ab):
+        clear_index_cache()
+        first = index_for(r_ab, ("A", "B"))
+        second = index_for(r_ab, ("B", "A"))
+        assert first is second
+
+    def test_distinct_key_sets_get_distinct_indexes(self, r_ab):
+        clear_index_cache()
+        assert index_for(r_ab, ("A",)) is not index_for(r_ab, ("B",))

@@ -1,0 +1,123 @@
+"""Unit tests for plan objects, schema fingerprints and the LRU plan cache."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.hypergraph import Hypergraph
+from repro.engine.planner import (
+    EngineStatistics,
+    QueryPlanner,
+    fingerprint_digest,
+    schema_fingerprint,
+)
+from repro.exceptions import CyclicHypergraphError
+from repro.generators import (
+    cyclic_supplier_schema,
+    random_acyclic_hypergraph,
+    university_schema,
+)
+
+
+class TestFingerprint:
+    def test_invariant_under_edge_order(self):
+        left = Hypergraph.from_compact(["ABC", "CDE"])
+        right = Hypergraph.from_compact(["CDE", "ABC"])
+        assert schema_fingerprint(left) == schema_fingerprint(right)
+
+    def test_invariant_under_duplicate_edges(self):
+        assert schema_fingerprint([{"A", "B"}, {"A", "B"}, {"B", "C"}]) \
+            == schema_fingerprint([{"B", "C"}, {"A", "B"}])
+
+    def test_distinguishes_different_schemas(self):
+        assert schema_fingerprint([{"A", "B"}]) != schema_fingerprint([{"A", "C"}])
+
+    def test_database_schema_and_hypergraph_agree(self):
+        schema = university_schema()
+        assert schema_fingerprint(schema) == schema_fingerprint(schema.to_hypergraph())
+
+    def test_digest_is_short_and_stable(self):
+        fingerprint = schema_fingerprint([{"A", "B"}])
+        assert fingerprint_digest(fingerprint) == fingerprint_digest(fingerprint)
+        assert len(fingerprint_digest(fingerprint)) == 12
+
+
+class TestPlanner:
+    def test_repeated_schemas_skip_recomputation(self):
+        planner = QueryPlanner()
+        hypergraph = university_schema().to_hypergraph()
+        first = planner.plan_for(hypergraph)
+        second = planner.plan_for(hypergraph)
+        assert first is second
+        info = planner.cache_info()
+        assert info.hits == 1 and info.misses == 1 and info.size == 1
+
+    def test_equivalent_hypergraph_objects_share_a_plan(self):
+        planner = QueryPlanner()
+        first = planner.plan_for(Hypergraph.from_compact(["ABC", "BCD"]))
+        second = planner.plan_for(Hypergraph.from_compact(["BCD", "ABC"]))
+        assert first is second
+
+    def test_lru_eviction_respects_capacity(self):
+        planner = QueryPlanner(capacity=2)
+        graphs = [random_acyclic_hypergraph(4, seed=seed) for seed in range(3)]
+        for graph in graphs:
+            planner.plan_for(graph)
+        assert planner.cache_info().size == 2
+        # The oldest plan (seed 0) was evicted; re-planning it is a miss.
+        planner.plan_for(graphs[0])
+        assert planner.cache_info().misses == 4
+
+    def test_recently_used_plan_survives_eviction(self):
+        planner = QueryPlanner(capacity=2)
+        graphs = [random_acyclic_hypergraph(4, seed=seed) for seed in range(3)]
+        planner.plan_for(graphs[0])
+        planner.plan_for(graphs[1])
+        planner.plan_for(graphs[0])  # refresh 0; 1 becomes LRU
+        planner.plan_for(graphs[2])  # evicts 1
+        hits_before = planner.cache_info().hits
+        planner.plan_for(graphs[0])
+        assert planner.cache_info().hits == hits_before + 1
+
+    def test_cyclic_schema_cannot_be_planned(self):
+        planner = QueryPlanner()
+        with pytest.raises(CyclicHypergraphError):
+            planner.plan_for_schema(cyclic_supplier_schema())
+
+    def test_roots_are_cached_separately(self):
+        planner = QueryPlanner()
+        hypergraph = Hypergraph.from_compact(["ABC", "BCD"])
+        default = planner.plan_for(hypergraph)
+        rooted = planner.plan_for(hypergraph, root=frozenset("BCD"))
+        assert default is not rooted
+        assert rooted.rooted.roots[0] == frozenset("BCD")
+
+    def test_plan_describe_mentions_fingerprint_and_steps(self):
+        planner = QueryPlanner()
+        plan = planner.plan_for_schema(university_schema())
+        text = plan.describe()
+        assert "ExecutionPlan" in text and "semijoin steps" in text
+
+    def test_clear_resets_counters(self):
+        planner = QueryPlanner()
+        planner.plan_for_schema(university_schema())
+        planner.clear()
+        info = planner.cache_info()
+        assert info.hits == 0 and info.misses == 0 and info.size == 0
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            QueryPlanner(capacity=0)
+
+
+class TestEngineStatistics:
+    def test_extends_join_statistics(self):
+        stats = EngineStatistics(plan_name="engine", input_sizes=(10, 20),
+                                 intermediate_sizes=(5, 3), output_size=3,
+                                 semijoin_steps=4, rows_removed_by_reduction=6,
+                                 reduced_sizes=(7, 17))
+        assert stats.max_intermediate == 5
+        assert stats.total_intermediate == 8
+        assert stats.max_reduced_input == 17
+        assert stats.reduction_ratio == pytest.approx(0.2)
+        assert "semijoins=4" in stats.describe()

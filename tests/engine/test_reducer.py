@@ -1,0 +1,111 @@
+"""Unit tests for the engine's compiled full reducers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.join_tree import build_join_tree
+from repro.engine.reducer import (
+    FullReducer,
+    ReductionError,
+    ReductionTrace,
+    verify_full_reduction,
+)
+from repro.generators import generate_database, university_schema
+
+
+@pytest.fixture
+def dirty_db():
+    return generate_database(university_schema(), universe_rows=20, domain_size=5,
+                             dangling_fraction=0.6, seed=11)
+
+
+@pytest.fixture
+def reducer(dirty_db):
+    tree = build_join_tree(dirty_db.hypergraph)
+    assert tree is not None
+    return FullReducer.from_join_tree(tree)
+
+
+def vertex_map(database):
+    return {relation.schema.attribute_set: relation for relation in database.relations()}
+
+
+class TestCompilation:
+    def test_two_passes_over_the_tree(self, reducer):
+        vertices = len(reducer.rooted.tree.vertices)
+        assert len(reducer) == 2 * (vertices - 1)
+        directions = [step.direction for step in reducer.steps]
+        assert directions == ["up"] * (vertices - 1) + ["down"] * (vertices - 1)
+
+    def test_steps_record_their_separators(self, reducer):
+        for step in reducer.steps:
+            assert step.separator == step.target & step.source
+
+    def test_describe_lists_every_step(self, reducer):
+        text = reducer.describe()
+        assert "⋉" in text
+        assert len(text.splitlines()) == len(reducer)
+
+
+class TestRun:
+    def test_removes_all_dangling_tuples(self, dirty_db, reducer):
+        assert dirty_db.dangling_tuple_count() > 0
+        reduced = reducer.run(vertex_map(dirty_db))
+        rebuilt = dirty_db
+        for relation in dirty_db.relations():
+            rebuilt = rebuilt.with_relation(reduced[relation.schema.attribute_set])
+        assert rebuilt.dangling_tuple_count() == 0
+
+    def test_trace_accounts_for_removed_rows(self, dirty_db, reducer):
+        trace = ReductionTrace()
+        reduced = reducer.run(vertex_map(dirty_db), trace=trace)
+        assert trace.steps_run == len(reducer)
+        assert trace.rows_removed == sum(trace.sizes_before) - sum(trace.sizes_after)
+        assert trace.rows_removed > 0
+        assert 0 < trace.reduction_ratio < 1
+        assert sum(len(r) for r in reduced.values()) == sum(trace.sizes_after)
+
+    def test_clean_database_is_a_fixpoint(self):
+        db = generate_database(university_schema(), universe_rows=15, seed=2)
+        tree = build_join_tree(db.hypergraph)
+        reducer = FullReducer.from_join_tree(tree)
+        trace = ReductionTrace()
+        reduced = reducer.run(vertex_map(db), trace=trace)
+        assert trace.rows_removed == 0
+        for relation in db.relations():
+            # The engine returns the input relation itself when nothing shrinks.
+            assert reduced[relation.schema.attribute_set] is relation
+
+    def test_default_check_hook_passes_after_reduction(self, dirty_db, reducer):
+        reduced = reducer.run(vertex_map(dirty_db))
+        assert verify_full_reduction(reduced, reducer.rooted)
+
+    def test_unreduced_input_fails_the_check(self, dirty_db, reducer):
+        assert not verify_full_reduction(vertex_map(dirty_db), reducer.rooted)
+
+    def test_rejecting_hook_raises(self, dirty_db, reducer):
+        with pytest.raises(ReductionError):
+            reducer.run(vertex_map(dirty_db), check_hook=lambda relations, rooted: False)
+
+    def test_custom_hook_receives_reduced_map(self, dirty_db, reducer):
+        seen = {}
+
+        def hook(relations, rooted):
+            seen["vertices"] = set(relations)
+            return True
+
+        reducer.run(vertex_map(dirty_db), check_hook=hook)
+        assert seen["vertices"] == set(reducer.rooted.tree.vertices)
+
+
+class TestShortCircuit:
+    def test_empty_vertex_empties_its_component_and_skips_steps(self, dirty_db, reducer):
+        emptied = dirty_db.with_relation(dirty_db["ENROL"].with_rows([]))
+        trace = ReductionTrace()
+        reduced = reducer.run(vertex_map(emptied), trace=trace)
+        # The university schema is connected: emptiness wipes every vertex
+        # without running a single semijoin step.
+        assert all(len(relation) == 0 for relation in reduced.values())
+        assert trace.steps_run == 0
+        assert trace.rows_removed == sum(trace.sizes_before)

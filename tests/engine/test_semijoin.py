@@ -1,0 +1,91 @@
+"""Unit tests for the engine's indexed physical operators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine.semijoin import (
+    antijoin_indexed,
+    natural_join_indexed,
+    semijoin_indexed,
+    shared_attributes,
+)
+from repro.relational import Relation, RelationSchema, project
+
+
+@pytest.fixture
+def r_ab():
+    return Relation.from_tuples(RelationSchema.of("R", ("A", "B")),
+                                [(1, 10), (2, 20), (3, 30)])
+
+
+@pytest.fixture
+def s_bc():
+    return Relation.from_tuples(RelationSchema.of("S", ("B", "C")),
+                                [(10, "x"), (10, "y"), (30, "z")])
+
+
+class TestSemijoin:
+    def test_keeps_joining_rows_only(self, r_ab, s_bc):
+        result = semijoin_indexed(r_ab, s_bc)
+        assert {row["A"] for row in result.rows} == {1, 3}
+        assert result.schema.attribute_set == r_ab.schema.attribute_set
+
+    def test_fixpoint_returns_left_identity(self, r_ab):
+        full = Relation.from_tuples(RelationSchema.of("S", ("B",)),
+                                    [(10,), (20,), (30,)])
+        assert semijoin_indexed(r_ab, full) is r_ab
+
+    def test_no_shared_attributes_keeps_all_iff_right_nonempty(self, r_ab):
+        nonempty = Relation.from_tuples(RelationSchema.of("T", ("Z",)), [(0,)])
+        empty = Relation.empty(RelationSchema.of("T", ("Z",)))
+        assert semijoin_indexed(r_ab, nonempty) is r_ab
+        assert len(semijoin_indexed(r_ab, empty)) == 0
+
+    def test_explicit_separator_override(self, r_ab, s_bc):
+        result = semijoin_indexed(r_ab, s_bc, on=("B",))
+        assert {row["A"] for row in result.rows} == {1, 3}
+
+
+class TestAntijoin:
+    def test_complements_semijoin(self, r_ab, s_bc):
+        kept = semijoin_indexed(r_ab, s_bc)
+        dropped = antijoin_indexed(r_ab, s_bc)
+        assert kept.rows | dropped.rows == r_ab.rows
+        assert not kept.rows & dropped.rows
+
+    def test_no_shared_attributes(self, r_ab):
+        nonempty = Relation.from_tuples(RelationSchema.of("T", ("Z",)), [(0,)])
+        empty = Relation.empty(RelationSchema.of("T", ("Z",)))
+        assert len(antijoin_indexed(r_ab, nonempty)) == 0
+        assert antijoin_indexed(r_ab, empty) is r_ab
+
+
+class TestIndexedJoin:
+    def test_matches_merge_semantics(self, r_ab, s_bc):
+        result = natural_join_indexed(r_ab, s_bc)
+        assert len(result) == 3  # (1,10)x{x,y}, (3,30)x{z}
+        assert result.schema.attribute_set == {"A", "B", "C"}
+
+    def test_cartesian_when_disjoint(self, r_ab):
+        t = Relation.from_tuples(RelationSchema.of("T", ("Z",)), [(0,), (1,)])
+        assert len(natural_join_indexed(r_ab, t)) == 6
+
+    def test_fused_projection_equals_join_then_project(self, r_ab, s_bc):
+        fused = natural_join_indexed(r_ab, s_bc, project_onto=frozenset({"A", "C"}))
+        late = project(natural_join_indexed(r_ab, s_bc), ("A", "C"))
+        assert frozenset(fused.rows) == frozenset(late.rows)
+        assert fused.schema.attribute_set == {"A", "C"}
+
+
+def test_shared_attributes_is_the_sorted_separator(r_ab, s_bc):
+    assert shared_attributes(r_ab, s_bc) == ("B",)
+
+
+def test_separator_override_must_be_in_both_schemas(r_ab, s_bc):
+    from repro.exceptions import UnknownAttributeError
+
+    with pytest.raises(UnknownAttributeError):
+        semijoin_indexed(r_ab, s_bc, on=("C",))   # C is only in the right schema
+    with pytest.raises(UnknownAttributeError):
+        antijoin_indexed(r_ab, s_bc, on=("A",))   # A is only in the left schema

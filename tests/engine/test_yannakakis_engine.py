@@ -1,0 +1,129 @@
+"""Unit and acceptance tests for the end-to-end semijoin execution engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine import QueryPlanner, evaluate, evaluate_database
+from repro.exceptions import CyclicHypergraphError, SchemaError
+from repro.generators import (
+    chain_hypergraph,
+    cyclic_supplier_schema,
+    generate_database,
+    random_acyclic_hypergraph,
+    university_schema,
+)
+from repro.relational import (
+    DatabaseSchema,
+    Relation,
+    RelationSchema,
+    engine_join_plan,
+    naive_join,
+)
+
+
+@pytest.fixture
+def dirty_db():
+    return generate_database(university_schema(), universe_rows=25, domain_size=6,
+                             dangling_fraction=0.5, seed=5)
+
+
+class TestCorrectness:
+    def test_full_join_matches_naive(self, dirty_db):
+        fast = evaluate_database(dirty_db)
+        slow, _ = naive_join(dirty_db)
+        assert frozenset(fast.relation.rows) == frozenset(slow.rows)
+
+    def test_projected_join_matches_naive(self, dirty_db):
+        attributes = ("Student", "Teacher")
+        fast = evaluate_database(dirty_db, attributes)
+        slow, _ = naive_join(dirty_db, attributes)
+        assert frozenset(fast.relation.rows) == frozenset(slow.rows)
+        assert fast.relation.schema.attribute_set == frozenset(attributes)
+
+    def test_empty_relation_propagates(self, dirty_db):
+        emptied = dirty_db.with_relation(dirty_db["ENROL"].with_rows([]))
+        assert len(evaluate_database(emptied).relation) == 0
+
+    def test_cyclic_schema_rejected(self):
+        db = generate_database(cyclic_supplier_schema(), universe_rows=10, seed=1)
+        with pytest.raises(CyclicHypergraphError):
+            evaluate_database(db)
+
+    def test_unknown_output_attribute_rejected(self, dirty_db):
+        with pytest.raises(SchemaError):
+            evaluate_database(dirty_db, ("Nope",))
+
+    def test_no_relations_rejected(self):
+        with pytest.raises(SchemaError):
+            evaluate([])
+
+    def test_duplicate_schemes_are_intersected(self):
+        schema = RelationSchema.of("R", ("A", "B"))
+        left = Relation.from_tuples(schema, [(1, 1), (2, 2)])
+        right = Relation.from_tuples(schema.rename("S"), [(2, 2), (3, 3)])
+        result = evaluate([left, right])
+        assert frozenset(tuple(row[a] for a in ("A", "B")) for row in result.relation.rows) \
+            == {(2, 2)}
+
+    def test_disconnected_schema_produces_cartesian_product(self):
+        r = Relation.from_tuples(RelationSchema.of("R", ("A",)), [(1,), (2,)])
+        s = Relation.from_tuples(RelationSchema.of("S", ("B",)), [(10,), (20,), (30,)])
+        assert len(evaluate([r, s]).relation) == 6
+
+
+class TestAccounting:
+    def test_statistics_populated(self, dirty_db):
+        result = evaluate_database(dirty_db, ("Student", "Teacher"))
+        stats = result.statistics
+        assert stats.plan_name == "engine-yannakakis"
+        assert stats.output_size == len(result.relation)
+        assert len(stats.input_sizes) == len(dirty_db.relations())
+        assert stats.semijoin_steps == 2 * (len(result.plan.vertices) - 1)
+        assert stats.rows_removed_by_reduction > 0
+        assert len(stats.reduced_sizes) == len(result.plan.vertices)
+
+    def test_plan_cache_hit_reported(self, dirty_db):
+        planner = QueryPlanner()
+        first = evaluate_database(dirty_db, planner=planner)
+        second = evaluate_database(dirty_db, planner=planner)
+        assert not first.statistics.plan_cache_hit
+        assert second.statistics.plan_cache_hit
+        assert first.plan is second.plan
+
+    def test_engine_join_plan_delegates(self, dirty_db):
+        relation, stats = engine_join_plan(dirty_db, ("Student", "Teacher"))
+        slow, _ = naive_join(dirty_db, ("Student", "Teacher"))
+        assert frozenset(relation.rows) == frozenset(slow.rows)
+        assert stats.plan_name == "engine-yannakakis"
+
+
+class TestAcceptanceBounds:
+    """The ISSUE's acceptance criteria on intermediate sizes."""
+
+    def test_random_acyclic_intermediates_bounded(self):
+        """≥ 5 edges, ≥ 100 rows/relation: max intermediate ≤ output + largest reduced input."""
+        hypergraph = random_acyclic_hypergraph(6, max_arity=3, seed=3)
+        schema = DatabaseSchema.from_hypergraph(hypergraph)
+        db = generate_database(schema, universe_rows=150, domain_size=5,
+                               dangling_fraction=0.5, seed=7)
+        assert len(schema) >= 5
+        result = evaluate_database(db)
+        stats = result.statistics
+        assert stats.max_intermediate <= stats.output_size + stats.max_reduced_input
+
+    def test_adversarial_chain_beats_naive(self):
+        """A Fig.-5-style chain with dangling tuples and endpoint projection:
+        the engine's max intermediate is strictly below the naive plan's."""
+        hypergraph = chain_hypergraph(6, arity=3, overlap=2)
+        schema = DatabaseSchema.from_hypergraph(hypergraph)
+        db = generate_database(schema, universe_rows=120, domain_size=4,
+                               dangling_fraction=0.8, seed=42)
+        assert all(len(relation) >= 95 for relation in db.relations())
+        endpoints = ("C0", "C7")
+        fast = evaluate_database(db, endpoints)
+        slow, slow_stats = naive_join(db, endpoints)
+        assert frozenset(fast.relation.rows) == frozenset(slow.rows)
+        stats = fast.statistics
+        assert stats.max_intermediate <= stats.output_size + stats.max_reduced_input
+        assert stats.max_intermediate < slow_stats.max_intermediate

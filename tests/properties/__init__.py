@@ -1,0 +1,5 @@
+"""Property-based tests (Hypothesis).
+
+This package marker lets ``python -m pytest`` import the test modules as a
+package so that their relative ``from .strategies import …`` imports resolve.
+"""

@@ -127,3 +127,61 @@ class TestContainmentAndMinimization:
         unary = ConjunctiveQuery.from_strings(["x"], body=[("R", ["x", "y"])])
         binary = ConjunctiveQuery.from_strings(["x", "y"], body=[("R", ["x", "y"])])
         assert find_query_homomorphism(unary, binary) is None
+
+
+class TestEngineDispatch:
+    """``evaluate(engine=…)`` routes acyclic queries through repro.engine."""
+
+    def test_engines_agree_on_acyclic_query(self, db, student_teacher_query):
+        naive = student_teacher_query.evaluate(db, engine="naive")
+        fast = student_teacher_query.evaluate(db, engine="yannakakis")
+        auto = student_teacher_query.evaluate(db)
+        assert frozenset(naive.rows) == frozenset(fast.rows) == frozenset(auto.rows)
+        assert fast.schema.attribute_set == naive.schema.attribute_set
+
+    def test_cyclic_query_falls_back_to_naive(self):
+        from repro.generators import cyclic_supplier_schema
+
+        db = generate_database(cyclic_supplier_schema(), universe_rows=15,
+                               domain_size=4, seed=3)
+        query = ConjunctiveQuery.from_strings(
+            ["s", "p"],
+            body=[("SUPPLIES", ["s", "part"]), ("USED_IN", ["part", "p"]),
+                  ("SERVES", ["p", "s"])])
+        assert not query.is_acyclic()
+        naive = query.evaluate(db, engine="naive")
+        fallback = query.evaluate(db, engine="yannakakis")
+        assert frozenset(naive.rows) == frozenset(fallback.rows)
+
+    def test_engine_handles_constants_and_repeated_variables(self, db):
+        some_course = next(iter(db["ENROL"]))["Course"]
+        query = ConjunctiveQuery.from_strings(
+            ["s", "t"],
+            body=[("ENROL", ["s", Constant(some_course)]),
+                  ("TEACHES", [Constant(some_course), "t"])])
+        naive = query.evaluate(db, engine="naive")
+        fast = query.evaluate(db, engine="yannakakis")
+        assert frozenset(naive.rows) == frozenset(fast.rows)
+
+    def test_engine_empty_relation_gives_empty_answer(self, db, student_teacher_query):
+        emptied = db.with_relation(db["TEACHES"].with_rows([]))
+        assert len(student_teacher_query.evaluate(emptied, engine="yannakakis")) == 0
+
+    def test_unknown_engine_rejected(self, db, student_teacher_query):
+        with pytest.raises(QueryError):
+            student_teacher_query.evaluate(db, engine="warp-drive")
+
+    def test_all_constant_atom_does_not_crash_default_path(self, db):
+        # An all-constant atom contributes an *empty* hypergraph edge; GYO
+        # calls the query acyclic while the planner's join-tree construction
+        # refuses it, so the default path must quietly fall back to naive.
+        some_row = next(iter(db["TEACHES"]))
+        query = ConjunctiveQuery.from_strings(
+            ["s"],
+            body=[("ENROL", ["s", "c"]),
+                  ("TEACHES", [Constant(some_row["Course"]),
+                               Constant(some_row["Teacher"])])])
+        default = query.evaluate(db)
+        naive = query.evaluate(db, engine="naive")
+        assert frozenset(default.rows) == frozenset(naive.rows)
+        assert len(default) > 0
