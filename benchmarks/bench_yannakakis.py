@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import pytest
 
+from repro.analysis import statistics_table
 from repro.engine import QueryPlanner, evaluate_database
 from repro.generators import chain_hypergraph, generate_database, random_acyclic_hypergraph
 from repro.relational import (
@@ -94,6 +95,9 @@ def test_tuple_count_comparison(adversarial_chain_db):
                                            plan_name="join-tree")
     fast = evaluate_database(adversarial_chain_db, ENDPOINTS)
     engine_stats = fast.statistics
+
+    print(statistics_table([naive_stats, tree_stats, engine_stats],
+                           title="E-YANN: naive vs join-tree vs engine"))
 
     assert frozenset(fast.relation.rows) == frozenset(slow.rows)
     assert engine_stats.max_intermediate < naive_stats.max_intermediate

@@ -1,6 +1,6 @@
 """Hypergraph statistics, cyclicity diagnostics, and report formatting."""
 
-from .reports import banner, format_mapping, format_table
+from .reports import banner, format_mapping, format_table, statistics_table
 from .statistics import HypergraphStatistics, cyclicity_diagnostics, describe_hypergraph
 
 __all__ = [
@@ -10,4 +10,5 @@ __all__ = [
     "format_table",
     "format_mapping",
     "banner",
+    "statistics_table",
 ]

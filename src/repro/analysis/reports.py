@@ -9,7 +9,7 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence
 
-__all__ = ["format_table", "format_mapping", "banner"]
+__all__ = ["format_table", "format_mapping", "banner", "statistics_table"]
 
 
 def format_table(rows: Sequence[Mapping[str, object]], *,
@@ -51,6 +51,43 @@ def format_mapping(mapping: Mapping[str, object], *, title: Optional[str] = None
     for key, value in mapping.items():
         lines.append(f"{str(key).ljust(width)} : {value}")
     return "\n".join(lines)
+
+
+#: Column order of :func:`statistics_table`; engine-only columns render "-"
+#: for plans that do not carry the counter.
+_STATISTICS_COLUMNS = ("plan", "inputs", "max intermediate", "total intermediate",
+                       "output", "semijoins", "removed", "clusters", "plan cache")
+
+
+def statistics_table(statistics: Sequence[object], *,
+                     title: Optional[str] = None) -> str:
+    """Render join-plan statistics uniformly, whatever the plan that produced them.
+
+    Accepts any mix of :class:`~repro.relational.join_plans.JoinStatistics`,
+    :class:`~repro.engine.planner.EngineStatistics` and
+    :class:`~repro.engine.cyclic.plans.CyclicEngineStatistics` (duck-typed, so
+    this module stays import-light); counters a plan does not track render as
+    ``-``.  This is the one table every benchmark module uses to compare
+    naive / join-tree / engine / cyclic-engine runs side by side.
+    """
+    rows: List[Dict[str, object]] = []
+    for stats in statistics:
+        semijoins = getattr(stats, "semijoin_steps", None)
+        removed = getattr(stats, "rows_removed_by_reduction", None)
+        clusters = getattr(stats, "cluster_sizes", None)
+        cache_hit = getattr(stats, "plan_cache_hit", None)
+        rows.append({
+            "plan": stats.plan_name,
+            "inputs": sum(stats.input_sizes),
+            "max intermediate": stats.max_intermediate,
+            "total intermediate": stats.total_intermediate,
+            "output": stats.output_size,
+            "semijoins": "-" if semijoins is None else semijoins,
+            "removed": "-" if removed is None else removed,
+            "clusters": "-" if clusters is None else (list(clusters) or "-"),
+            "plan cache": "-" if cache_hit is None else ("hit" if cache_hit else "miss"),
+        })
+    return format_table(rows, columns=_STATISTICS_COLUMNS, title=title)
 
 
 def banner(text: str) -> str:

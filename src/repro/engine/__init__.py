@@ -21,13 +21,17 @@ Layers (bottom-up):
   :class:`EngineStatistics` (a :class:`~repro.relational.join_plans.JoinStatistics`
   extension) for cost accounting;
 * :mod:`~repro.engine.yannakakis` — the end-to-end evaluator: plan → reduce →
-  bottom-up join with early projection.
+  bottom-up join with early projection;
+* :mod:`~repro.engine.cyclic` — the cyclic-query subsystem: cover the cyclic
+  core with clusters (maximal-object-style grouping), reduce the acyclic
+  quotient with the same machinery, nested-loop only inside the clusters.
 
 Entry points: :func:`evaluate` (a set of relations, e.g. a conjunctive
-query's atom relations), :func:`evaluate_database` (a whole database), and
-``ConjunctiveQuery.evaluate(database, engine="yannakakis")`` in the query
-layer, which dispatches acyclic queries here and falls back to the naive
-plan for cyclic ones.
+query's atom relations), :func:`evaluate_database` (a whole database), their
+cyclic counterparts :func:`evaluate_cyclic` / :func:`evaluate_cyclic_database`,
+and ``ConjunctiveQuery.evaluate(database)`` in the query layer, which
+dispatches acyclic queries to the acyclic engine and cyclic queries to the
+cyclic subsystem (the naive plan is an explicit opt-in only).
 """
 
 from .indexes import HashIndex, clear_index_cache, index_cache_info, index_for
@@ -55,6 +59,18 @@ from .semijoin import (
     shared_attributes,
 )
 from .yannakakis import EngineResult, evaluate, evaluate_database
+from .cyclic import (
+    AcyclicQuotient,
+    ClusterCover,
+    CyclicEngineResult,
+    CyclicEngineStatistics,
+    CyclicExecutionPlan,
+    EdgeCluster,
+    choose_cover,
+    enumerate_covers,
+    evaluate_cyclic,
+    evaluate_cyclic_database,
+)
 
 __all__ = [
     # indexes
@@ -69,4 +85,8 @@ __all__ = [
     "SchemaFingerprint", "schema_fingerprint", "fingerprint_digest", "DEFAULT_PLANNER",
     # evaluation
     "EngineResult", "evaluate", "evaluate_database",
+    # cyclic subsystem
+    "EdgeCluster", "ClusterCover", "choose_cover", "enumerate_covers",
+    "AcyclicQuotient", "CyclicExecutionPlan", "CyclicEngineStatistics",
+    "CyclicEngineResult", "evaluate_cyclic", "evaluate_cyclic_database",
 ]

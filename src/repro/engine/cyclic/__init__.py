@@ -1,0 +1,53 @@
+"""``repro.engine.cyclic`` — decomposition-based execution for cyclic queries.
+
+The paper's conclusion (Section 7) warns that the universal-relation
+construction "will not work when the underlying structure is cyclic: then
+some additional semantics, such as proposed in [8], must be applied".  This
+subsystem is the engine-level reading of that pointer: instead of silently
+falling back to a naive cross-product plan, cyclic query hypergraphs are
+
+1. **covered** (:mod:`~repro.engine.cyclic.covers`) — the cyclic core is
+   detected by ear removal and grouped into clusters (candidates scored by
+   width and fan-out, minimal-width cover wins);
+2. **quotiented** (:mod:`~repro.engine.cyclic.quotient`) — each cluster
+   becomes one virtual relation, so the quotient hypergraph is acyclic by
+   construction and is validated as such;
+3. **compiled** (:mod:`~repro.engine.cyclic.plans` plus
+   :meth:`QueryPlanner.cyclic_plan_for <repro.engine.planner.QueryPlanner.cyclic_plan_for>`)
+   — the :class:`CyclicExecutionPlan` embeds the quotient's ordinary
+   :class:`~repro.engine.planner.ExecutionPlan` and lives in the same LRU
+   cache, keyed by an extended schema fingerprint, so cover search runs once
+   per schema;
+4. **executed** (:mod:`~repro.engine.cyclic.executor`) — clusters are
+   materialised with bounded nested-loop joins, the PR-1 full reducer runs on
+   the quotient, and the bottom-up join projects early onto the output.
+
+Entry points: :func:`evaluate_cyclic`, :func:`evaluate_cyclic_database`, and
+``ConjunctiveQuery.evaluate(database)`` in the query layer, which now
+dispatches cyclic queries here (the naive plan remains as an explicit
+opt-in only).
+"""
+
+from .covers import (
+    ClusterCover,
+    EdgeCluster,
+    choose_cover,
+    core_periphery_cover,
+    cover_score,
+    enumerate_covers,
+)
+from .executor import CyclicEngineResult, evaluate_cyclic, evaluate_cyclic_database
+from .plans import CyclicEngineStatistics, CyclicExecutionPlan
+from .quotient import AcyclicQuotient, ClusterMaterialisation, materialise_clusters
+
+__all__ = [
+    # cover search
+    "EdgeCluster", "ClusterCover", "core_periphery_cover", "enumerate_covers",
+    "cover_score", "choose_cover",
+    # quotient construction
+    "AcyclicQuotient", "ClusterMaterialisation", "materialise_clusters",
+    # compilation
+    "CyclicExecutionPlan", "CyclicEngineStatistics",
+    # execution
+    "CyclicEngineResult", "evaluate_cyclic", "evaluate_cyclic_database",
+]

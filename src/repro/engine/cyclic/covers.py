@@ -1,0 +1,315 @@
+"""Cover search: group a cyclic hypergraph's edges into clusters with an acyclic quotient.
+
+The paper's conclusion warns that the universal-relation construction "will
+not work when the underlying structure is cyclic"; Maier & Ullman's
+maximal-object semantics (ref. [8]) handles cyclicity by interpreting the
+schema through maximal acyclic sub-structures.  The engine's operational
+counterpart is a **cluster cover**: every edge of the query hypergraph is
+assigned to at least one cluster, each cluster is materialised as one virtual
+relation (the join of its member edges), and the *quotient* hypergraph — one
+edge per cluster, the union of the cluster's members — must be acyclic, so
+the PR-1 planner/reducer machinery applies to it unchanged.
+
+The search has two stages:
+
+1. **Core detection** — ear removal (the edge-level form of GYO reduction)
+   peels off every edge whose outside-shared nodes are covered by a witness;
+   what remains stuck is the cyclic core.  Each connected component of the
+   core collapsed to a single cluster always yields an acyclic quotient
+   (peeled ears re-attach to the collapsed cluster in reverse order), so a
+   valid baseline cover exists for every hypergraph.
+2. **Refinement** — small stuck components are additionally partitioned into
+   finer clusters (candidate groupings seeded by exhaustive set partitions,
+   the same search space :func:`~repro.relational.maximal_objects.enumerate_maximal_objects`
+   walks); every candidate cover is validated for quotient acyclicity and
+   scored by cluster *width* (attributes a cluster materialises) and
+   *fan-out* (edges joined inside one cluster), and the minimal-width cover
+   wins.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import product
+from typing import FrozenSet, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from ...core.acyclicity import is_acyclic
+from ...core.components import edge_components
+from ...core.hypergraph import Edge, Hypergraph
+from ...core.nodes import format_node_set, sorted_nodes
+
+__all__ = [
+    "EdgeCluster",
+    "ClusterCover",
+    "core_periphery_cover",
+    "enumerate_covers",
+    "cover_score",
+    "choose_cover",
+]
+
+#: Stuck components larger than this are not refined (set partitions are exponential).
+_REFINEMENT_EDGE_LIMIT = 7
+
+#: Upper bound on how many candidate covers one search examines.
+_CANDIDATE_LIMIT = 256
+
+
+def _edge_sort_key(edge: Edge) -> Tuple:
+    return tuple(sorted_nodes(edge))
+
+
+@dataclass(frozen=True)
+class EdgeCluster:
+    """One cluster: a set of hypergraph edges materialised as a single virtual relation."""
+
+    edges: FrozenSet[Edge]
+
+    @property
+    def attributes(self) -> FrozenSet:
+        """The cluster's scheme — the union of its member edges (the quotient edge)."""
+        return frozenset().union(*self.edges) if self.edges else frozenset()
+
+    @property
+    def width(self) -> int:
+        """How many attributes the cluster materialises (the quotient edge's arity)."""
+        return len(self.attributes)
+
+    @property
+    def fan_out(self) -> int:
+        """How many member edges are joined inside the cluster."""
+        return len(self.edges)
+
+    @property
+    def is_singleton(self) -> bool:
+        """``True`` for clusters of a single edge (no intra-cluster join needed)."""
+        return len(self.edges) == 1
+
+    def sorted_edges(self) -> Tuple[Edge, ...]:
+        """The member edges in canonical order (used by deterministic execution)."""
+        return tuple(sorted(self.edges, key=_edge_sort_key))
+
+    def describe(self) -> str:
+        """``{AB, BC} → ABC``-style rendering."""
+        members = ", ".join(format_node_set(edge) for edge in self.sorted_edges())
+        return f"{{{members}}} → {format_node_set(self.attributes)}"
+
+
+@dataclass(frozen=True)
+class ClusterCover:
+    """A cover of a hypergraph's edges by clusters, in canonical cluster order."""
+
+    clusters: Tuple[EdgeCluster, ...]
+
+    @classmethod
+    def of(cls, groups: Iterable[Iterable[Edge]]) -> "ClusterCover":
+        """Build a cover from edge groups, normalising cluster order."""
+        built = [EdgeCluster(edges=frozenset(group)) for group in groups]
+        built = [cluster for cluster in built if cluster.edges]
+        built.sort(key=lambda cluster: (_edge_sort_key(cluster.attributes),
+                                        tuple(_edge_sort_key(e) for e in cluster.sorted_edges())))
+        return cls(clusters=tuple(built))
+
+    @property
+    def width(self) -> int:
+        """The widest cluster's attribute count — the cover's cost headline."""
+        return max((cluster.width for cluster in self.clusters), default=0)
+
+    @property
+    def fan_out(self) -> int:
+        """The largest number of edges joined inside one cluster."""
+        return max((cluster.fan_out for cluster in self.clusters), default=0)
+
+    @property
+    def covered_edges(self) -> FrozenSet[Edge]:
+        """Every hypergraph edge assigned to some cluster."""
+        return frozenset().union(*(cluster.edges for cluster in self.clusters)) \
+            if self.clusters else frozenset()
+
+    @property
+    def quotient_edges(self) -> Tuple[Edge, ...]:
+        """The distinct cluster schemes — the edge set of the quotient hypergraph."""
+        distinct = {cluster.attributes for cluster in self.clusters}
+        return tuple(sorted(distinct, key=_edge_sort_key))
+
+    @property
+    def is_trivial(self) -> bool:
+        """``True`` when every cluster is a singleton (the quotient is the original)."""
+        return all(cluster.is_singleton for cluster in self.clusters)
+
+    def covers(self, hypergraph: Hypergraph) -> bool:
+        """``True`` when the cover assigns exactly the hypergraph's edges."""
+        return self.covered_edges == hypergraph.edge_set
+
+    def quotient_hypergraph(self, name: Optional[str] = None) -> Hypergraph:
+        """The quotient hypergraph: one edge per distinct cluster scheme."""
+        return Hypergraph(self.quotient_edges, name=name)
+
+    def describe(self) -> str:
+        """A multi-line rendering listing every cluster."""
+        lines = [f"ClusterCover ({len(self.clusters)} clusters, "
+                 f"width {self.width}, fan-out {self.fan_out})"]
+        for cluster in self.clusters:
+            lines.append(f"  {cluster.describe()}")
+        return "\n".join(lines)
+
+
+def _ear_removal(edges: Sequence[Edge]) -> Tuple[List[Edge], List[Edge]]:
+    """Peel ears off an edge list; return (peeled ears, stuck residual).
+
+    An ear is an edge whose nodes shared with the remaining edges are covered
+    by a single witness edge.  The residual is empty or a single edge for
+    acyclic inputs and the cyclic core otherwise; like GYO reduction the
+    stuck set is order-independent, but the scan order is deterministic
+    anyway so that plans are reproducible.
+    """
+    remaining = list(edges)
+    ears: List[Edge] = []
+    changed = True
+    while changed and len(remaining) > 1:
+        changed = False
+        for index, edge in enumerate(remaining):
+            others = remaining[:index] + remaining[index + 1:]
+            outside = frozenset().union(*others)
+            shared = edge & outside
+            if any(shared <= other for other in others):
+                ears.append(remaining.pop(index))
+                changed = True
+                break
+    return ears, remaining
+
+
+def _attach_empty_edges(groups: List[List[Edge]], empty_edges: List[Edge]) -> List[List[Edge]]:
+    """Fold empty edges (0-ary atoms) into the first cluster; they never widen it."""
+    if not empty_edges:
+        return groups
+    if not groups:
+        return [list(empty_edges)]
+    merged = [list(group) for group in groups]
+    merged[0] = merged[0] + list(empty_edges)
+    return merged
+
+
+def _core_decomposition(hypergraph: Hypergraph
+                        ) -> Tuple[List[Edge], List[Edge], List[Edge], List[List[Edge]]]:
+    """One ear-removal pass: (proper edges, empty edges, ears, core components).
+
+    ``ears`` and the component list are empty for acyclic hypergraphs; cover
+    search and the baseline cover both build on this single decomposition so
+    the O(E²) ear scan runs once per search.
+    """
+    proper = [edge for edge in hypergraph.edges if edge]
+    empty = [edge for edge in hypergraph.edges if not edge]
+    if not proper or is_acyclic(Hypergraph(proper)):
+        return proper, empty, [], []
+    ears, residual = _ear_removal(proper)
+    components = [list(component) for component in edge_components(Hypergraph(residual))]
+    return proper, empty, ears, components
+
+
+def _baseline_groups(proper: List[Edge], ears: List[Edge],
+                     components: List[List[Edge]]) -> List[List[Edge]]:
+    """Baseline grouping: singleton ears, one group per stuck-core component."""
+    if not components:
+        return [[edge] for edge in proper]
+    return [[edge] for edge in ears] + [list(component) for component in components]
+
+
+def core_periphery_cover(hypergraph: Hypergraph) -> ClusterCover:
+    """The baseline cover: singleton ears, one cluster per stuck-core component.
+
+    Acyclic hypergraphs get the all-singleton (trivial) cover.  For cyclic
+    ones the ears peeled by :func:`_ear_removal` stay singletons and each
+    connected component of the stuck residual becomes one cluster; the
+    resulting quotient is acyclic by construction (collapsing a component to
+    the union of its nodes makes every peeled ear an ear again).
+    """
+    proper, empty, ears, components = _core_decomposition(hypergraph)
+    return ClusterCover.of(
+        _attach_empty_edges(_baseline_groups(proper, ears, components), empty))
+
+
+def _set_partitions(items: List[Edge]) -> Iterator[List[List[Edge]]]:
+    """All set partitions of ``items`` (callers cap ``len(items)``)."""
+    if not items:
+        yield []
+        return
+    first, rest = items[0], items[1:]
+    for partition in _set_partitions(rest):
+        for index in range(len(partition)):
+            yield partition[:index] + [[first] + partition[index]] + partition[index + 1:]
+        yield partition + [[first]]
+
+
+def enumerate_covers(hypergraph: Hypergraph, *,
+                     max_component_edges: int = _REFINEMENT_EDGE_LIMIT,
+                     max_candidates: int = _CANDIDATE_LIMIT) -> Tuple[ClusterCover, ...]:
+    """Enumerate valid candidate covers (acyclic quotient), baseline included.
+
+    Stuck-core components with at most ``max_component_edges`` edges are
+    refined by exhaustive set partition; every candidate's quotient is
+    validated with the GYO acyclicity test before it is admitted.  The
+    baseline :func:`core_periphery_cover` is always part of the result, so
+    the enumeration is never empty.
+    """
+    proper, empty, ears, components = _core_decomposition(hypergraph)
+    baseline = ClusterCover.of(
+        _attach_empty_edges(_baseline_groups(proper, ears, components), empty))
+    if baseline.is_trivial or not proper:
+        return (baseline,)
+
+    per_component: List[List[List[List[Edge]]]] = []
+    for component in components:
+        options: List[List[List[Edge]]] = [[list(component)]]
+        if 1 < len(component) <= max_component_edges:
+            for partition in _set_partitions(sorted(component, key=_edge_sort_key)):
+                if len(partition) == 1:
+                    continue  # already present as the collapsed baseline option
+                options.append(partition)
+        per_component.append(options)
+
+    seen: set = set()
+    covers: List[ClusterCover] = []
+
+    def admit(candidate: ClusterCover) -> None:
+        if candidate.clusters in seen:
+            return
+        seen.add(candidate.clusters)
+        if not candidate.covers(hypergraph):
+            return
+        if is_acyclic(candidate.quotient_hypergraph()):
+            covers.append(candidate)
+
+    admit(baseline)
+    for combination in product(*per_component):
+        if len(covers) >= max_candidates:
+            break
+        groups: List[List[Edge]] = [[edge] for edge in ears]
+        for partition in combination:
+            groups.extend(partition)
+        admit(ClusterCover.of(_attach_empty_edges(groups, empty)))
+    if not covers:  # unreachable: the baseline always validates
+        covers.append(baseline)
+    return tuple(covers)
+
+
+def cover_score(cover: ClusterCover) -> Tuple:
+    """The cover's cost tuple: (width, fan-out, materialised attributes, tie-break).
+
+    Lexicographic: the widest cluster dominates (it bounds the largest
+    relation the quotient reducer must index), then the largest intra-cluster
+    join, then the total width of the non-singleton clusters (how much the
+    executor materialises at all), then a deterministic rendering.
+    """
+    materialised = sum(cluster.width for cluster in cover.clusters
+                      if not cluster.is_singleton)
+    return (cover.width, cover.fan_out, materialised,
+            tuple(cluster.describe() for cluster in cover.clusters))
+
+
+def choose_cover(hypergraph: Hypergraph, *,
+                 max_component_edges: int = _REFINEMENT_EDGE_LIMIT,
+                 max_candidates: int = _CANDIDATE_LIMIT) -> ClusterCover:
+    """The minimal-width cover of ``hypergraph`` among the enumerated candidates."""
+    candidates = enumerate_covers(hypergraph, max_component_edges=max_component_edges,
+                                  max_candidates=max_candidates)
+    return min(candidates, key=cover_score)

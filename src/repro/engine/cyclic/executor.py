@@ -1,0 +1,119 @@
+"""End-to-end cyclic join evaluation: materialise clusters, reduce the quotient, join.
+
+The cyclic analogue of :mod:`repro.engine.yannakakis`.  The phases are
+
+1. **plan** — fetch (or compile) the :class:`CyclicExecutionPlan` for the
+   schema's hypergraph from the planner's LRU cache (cover search runs once
+   per schema fingerprint);
+2. **materialise** — evaluate every non-trivial cluster with a bounded,
+   greedily ordered nested-loop join (:func:`~repro.engine.cyclic.quotient.materialise_clusters`);
+3. **reduce + join** — hand the cluster relations to the acyclic evaluator:
+   the quotient is acyclic by construction, so the PR-1 full reducer removes
+   every dangling cluster tuple and the bottom-up join with fused projection
+   keeps the quotient-level intermediates inside the output + reduced-input
+   bound.
+
+Only the intra-cluster joins can exceed that bound, and they are confined to
+the cyclic cores — exactly the paper's "additional semantics … must be
+applied" boundary made operational.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Iterable, Optional, Sequence
+
+from ...core.hypergraph import Hypergraph
+from ...core.nodes import sorted_nodes
+from ...exceptions import SchemaError
+from ...relational.database import Database
+from ...relational.relation import Relation
+from ...relational.schema import Attribute
+from ..indexes import index_cache_info
+from ..planner import DEFAULT_PLANNER, QueryPlanner
+from ..yannakakis import evaluate as evaluate_acyclic
+from .plans import CyclicEngineStatistics, CyclicExecutionPlan
+from .quotient import materialise_clusters
+
+__all__ = ["CyclicEngineResult", "evaluate_cyclic", "evaluate_cyclic_database"]
+
+
+@dataclass(frozen=True)
+class CyclicEngineResult:
+    """The cyclic engine's answer plus the plan that produced it and its accounting."""
+
+    relation: Relation
+    plan: CyclicExecutionPlan
+    statistics: CyclicEngineStatistics
+
+
+def evaluate_cyclic(relations: Sequence[Relation],
+                    output_attributes: Optional[Iterable[Attribute]] = None, *,
+                    planner: Optional[QueryPlanner] = None,
+                    name: str = "cyclic",
+                    check_reduction: bool = False,
+                    cluster_row_bound: Optional[int] = None) -> CyclicEngineResult:
+    """Evaluate the natural join of ``relations`` (optionally projected), cyclic schemas included.
+
+    Acyclic schemas work too (the cover is trivially all singletons and the
+    evaluation degenerates to the acyclic engine), so callers need not test
+    acyclicity first.  ``cluster_row_bound`` caps intra-cluster intermediates
+    (:class:`~repro.exceptions.ClusterBoundExceededError` beyond it);
+    ``check_reduction`` is forwarded to the quotient's reducer.
+    """
+    if not relations:
+        raise SchemaError("the cyclic engine needs at least one relation to evaluate")
+    active_planner = planner if planner is not None else DEFAULT_PLANNER
+    hypergraph = Hypergraph([relation.schema.attribute_set for relation in relations])
+    wanted: Optional[FrozenSet[Attribute]] = (
+        frozenset(output_attributes) if output_attributes is not None else None)
+    if wanted is not None and not wanted <= hypergraph.nodes:
+        missing = wanted - hypergraph.nodes
+        raise SchemaError(f"output attributes {sorted_nodes(missing)} are not in the schema")
+
+    index_before = index_cache_info()
+    misses_before = active_planner.cache_info().misses
+    plan = active_planner.cyclic_plan_for(hypergraph)
+    plan_cache_hit = active_planner.cache_info().misses == misses_before
+
+    materialised = materialise_clusters(plan.cover, relations, row_bound=cluster_row_bound)
+    # The quotient plan is executed from the cyclic plan itself — no second
+    # planner lookup, so a small LRU never thrashes between the cyclic plan
+    # and its own embedded quotient plan.
+    inner = evaluate_acyclic(materialised.relations, output_attributes,
+                             planner=active_planner, name=name,
+                             check_reduction=check_reduction, plan=plan.inner)
+
+    index_after = index_cache_info()
+    statistics = CyclicEngineStatistics(
+        plan_name="engine-cyclic",
+        input_sizes=tuple(len(relation) for relation in relations),
+        intermediate_sizes=materialised.intermediate_sizes
+        + inner.statistics.intermediate_sizes,
+        output_size=len(inner.relation),
+        semijoin_steps=inner.statistics.semijoin_steps,
+        rows_removed_by_reduction=inner.statistics.rows_removed_by_reduction,
+        reduced_sizes=inner.statistics.reduced_sizes,
+        plan_cache_hit=plan_cache_hit,
+        index_cache_hits=index_after["hits"] - index_before["hits"],
+        index_cache_misses=index_after["misses"] - index_before["misses"],
+        cluster_sizes=materialised.cluster_sizes,
+        cluster_widths=tuple(cluster.width for cluster in plan.clusters),
+    )
+    return CyclicEngineResult(relation=inner.relation, plan=plan, statistics=statistics)
+
+
+def evaluate_cyclic_database(database: Database,
+                             output_attributes: Optional[Iterable[Attribute]] = None, *,
+                             planner: Optional[QueryPlanner] = None,
+                             name: str = "U",
+                             check_reduction: bool = False,
+                             cluster_row_bound: Optional[int] = None) -> CyclicEngineResult:
+    """Evaluate a database's universal join (optionally projected) via the cyclic engine.
+
+    The cyclic counterpart of :func:`repro.engine.yannakakis.evaluate_database`,
+    for schemas whose hypergraph the acyclic engine rejects.
+    """
+    return evaluate_cyclic(database.relations(), output_attributes, planner=planner,
+                           name=name, check_reduction=check_reduction,
+                           cluster_row_bound=cluster_row_bound)

@@ -1,0 +1,148 @@
+"""Acyclic quotients: the virtual schema a cluster cover induces, plus cluster materialisation.
+
+Once a :class:`~repro.engine.cyclic.covers.ClusterCover` is chosen, each
+cluster becomes one *virtual relation* — the join of its member relations —
+and the quotient hypergraph (one edge per cluster scheme) is acyclic by
+construction, so the PR-1 planner, full reducer and bottom-up join run on it
+unchanged.  This module builds and validates that quotient and materialises
+the cluster relations with bounded, greedily ordered nested-loop joins (each
+next member is picked to share the most attributes with what is already
+joined, so equality filters apply as early as possible).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from ...core.acyclicity import is_acyclic
+from ...core.hypergraph import Hypergraph
+from ...core.nodes import format_node_set, sorted_nodes
+from ...exceptions import ClusterBoundExceededError, CyclicHypergraphError, SchemaError
+from ...relational.relation import Relation
+from ..semijoin import merge_relations_by_scheme, natural_join_indexed
+from .covers import ClusterCover
+
+__all__ = ["AcyclicQuotient", "materialise_clusters", "ClusterMaterialisation"]
+
+
+@dataclass(frozen=True)
+class AcyclicQuotient:
+    """A validated quotient: the original hypergraph, its cover, and the acyclic quotient."""
+
+    original: Hypergraph
+    cover: ClusterCover
+    hypergraph: Hypergraph
+
+    @classmethod
+    def build(cls, original: Hypergraph, cover: ClusterCover) -> "AcyclicQuotient":
+        """Validate ``cover`` against ``original`` and construct the quotient.
+
+        Raises :class:`~repro.exceptions.SchemaError` when the cover does not
+        assign exactly the original's edges and
+        :class:`~repro.exceptions.CyclicHypergraphError` when the quotient is
+        not acyclic (the cover search never emits such a cover; direct
+        construction can).
+        """
+        if cover.covered_edges != original.edge_set:
+            missing = original.edge_set - cover.covered_edges
+            foreign = cover.covered_edges - original.edge_set
+            detail = []
+            if missing:
+                detail.append("uncovered edges "
+                              + ", ".join(format_node_set(e) for e in
+                                          sorted(missing, key=lambda e: sorted_nodes(e))))
+            if foreign:
+                detail.append("foreign edges "
+                              + ", ".join(format_node_set(e) for e in
+                                          sorted(foreign, key=lambda e: sorted_nodes(e))))
+            raise SchemaError("cluster cover does not match the hypergraph: "
+                              + "; ".join(detail))
+        quotient = cover.quotient_hypergraph(
+            name=f"{original.name or 'H'}/{len(cover.clusters)} clusters")
+        if not is_acyclic(quotient):
+            raise CyclicHypergraphError(
+                "the cover's quotient hypergraph is cyclic; the cluster "
+                "grouping does not break every cycle")
+        return cls(original=original, cover=cover, hypergraph=quotient)
+
+    def describe(self) -> str:
+        """A multi-line rendering: the cover plus the quotient's edges."""
+        lines = [self.cover.describe(),
+                 f"quotient: {self.hypergraph}"]
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class ClusterMaterialisation:
+    """The materialised cluster relations plus per-step tuple accounting."""
+
+    relations: Tuple[Relation, ...]
+    intermediate_sizes: Tuple[int, ...]
+    cluster_sizes: Tuple[int, ...]
+
+
+def _greedy_member_order(members: Sequence[Relation]) -> List[Relation]:
+    """Join order inside a cluster: smallest first, then maximal attribute overlap.
+
+    Starting from the smallest member and always joining the relation that
+    shares the most attributes with the scheme accumulated so far applies
+    every equality filter as early as the cluster allows — the bounded
+    nested-loop discipline for cyclic cores.
+    """
+    pending = sorted(members, key=lambda r: (len(r), sorted_nodes(r.schema.attribute_set)))
+    ordered = [pending.pop(0)]
+    scheme = set(ordered[0].schema.attribute_set)
+    while pending:
+        best_index = min(
+            range(len(pending)),
+            key=lambda i: (-len(scheme & pending[i].schema.attribute_set),
+                           len(pending[i]),
+                           sorted_nodes(pending[i].schema.attribute_set)))
+        chosen = pending.pop(best_index)
+        scheme |= chosen.schema.attribute_set
+        ordered.append(chosen)
+    return ordered
+
+
+def materialise_clusters(cover: ClusterCover, relations: Sequence[Relation], *,
+                         row_bound: Optional[int] = None
+                         ) -> ClusterMaterialisation:
+    """One relation per cluster: the (bounded) join of the cluster's member relations.
+
+    Input relations are grouped by scheme (duplicates over the same scheme
+    are intersected, exactly as the acyclic engine does); every cluster edge
+    must have a matching relation.  ``row_bound`` caps the size of every
+    intra-cluster intermediate — exceeding it raises
+    :class:`~repro.exceptions.ClusterBoundExceededError` so callers can fall
+    back rather than materialise a runaway core.
+    """
+    per_edge = merge_relations_by_scheme(relations)
+    cluster_relations: List[Relation] = []
+    intermediates: List[int] = []
+    cluster_sizes: List[int] = []
+    for position, cluster in enumerate(cover.clusters):
+        members = []
+        for edge in cluster.sorted_edges():
+            if edge not in per_edge:
+                raise SchemaError(f"cluster edge {format_node_set(edge)} has no "
+                                  "matching relation")
+            members.append(per_edge[edge])
+        current = members[0]
+        if len(members) > 1:
+            ordered = _greedy_member_order(members)
+            current = ordered[0]
+            for member in ordered[1:]:
+                current = natural_join_indexed(current, member)
+                intermediates.append(len(current))
+                if row_bound is not None and len(current) > row_bound:
+                    raise ClusterBoundExceededError(
+                        f"cluster {cluster.describe()} produced an intermediate "
+                        f"of {len(current)} rows (bound {row_bound})")
+        renamed = Relation.from_valid_rows(
+            current.schema.rename(f"cluster{position}"), current.rows)
+        cluster_relations.append(renamed)
+        cluster_sizes.append(len(renamed))
+    return ClusterMaterialisation(relations=tuple(cluster_relations),
+                                  intermediate_sizes=tuple(intermediates),
+                                  cluster_sizes=tuple(cluster_sizes))

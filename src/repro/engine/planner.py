@@ -17,9 +17,13 @@ reduction and cache counters.
 from __future__ import annotations
 
 import hashlib
+import json
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, Optional, Sequence, Tuple, Union
+from typing import TYPE_CHECKING, Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple, Union
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (cyclic imports planner)
+    from .cyclic.plans import CyclicExecutionPlan
 
 from ..core.hypergraph import Edge, Hypergraph
 from ..core.join_tree import JoinTree, RootedJoinTree, build_join_tree
@@ -40,6 +44,9 @@ __all__ = [
 ]
 
 SchemaFingerprint = Tuple[Tuple[object, ...], ...]
+
+#: Cache-key tag distinguishing cyclic plans from acyclic ones in the shared LRU.
+_CYCLIC_KIND = "cyclic"
 
 
 def schema_fingerprint(source: Union[Hypergraph, DatabaseSchema, Iterable[Iterable[object]]]
@@ -64,6 +71,18 @@ def schema_fingerprint(source: Union[Hypergraph, DatabaseSchema, Iterable[Iterab
 def fingerprint_digest(fingerprint: SchemaFingerprint) -> str:
     """A short hex digest of a fingerprint, for logs and plan descriptions."""
     return hashlib.sha256(repr(fingerprint).encode("utf-8")).hexdigest()[:12]
+
+
+def _node_from_json(node: object) -> object:
+    """Undo JSON's tuple→list coercion when rebuilding dumped fingerprints.
+
+    Nodes are hashable, so a list in the decoded document can only have been
+    a tuple before ``json.dumps``; strings, numbers and booleans round-trip
+    unchanged.
+    """
+    if isinstance(node, list):
+        return tuple(_node_from_json(item) for item in node)
+    return node
 
 
 @dataclass
@@ -158,8 +177,9 @@ class QueryPlanner:
         if capacity < 1:
             raise ValueError("planner cache capacity must be at least 1")
         self._capacity = capacity
-        self._cache: "OrderedDict[Tuple[SchemaFingerprint, Optional[Edge]], ExecutionPlan]" = \
-            OrderedDict()
+        # Keys are (fingerprint, root) for acyclic plans and
+        # (_CYCLIC_KIND, fingerprint) for cyclic ones — one LRU serves both.
+        self._cache: "OrderedDict[Tuple[object, ...], object]" = OrderedDict()
         self._hits = 0
         self._misses = 0
 
@@ -168,38 +188,146 @@ class QueryPlanner:
         """The maximum number of cached plans."""
         return self._capacity
 
-    def plan_for(self, hypergraph: Hypergraph, *, root: Optional[Edge] = None
-                 ) -> ExecutionPlan:
-        """The execution plan for ``hypergraph`` (compiled or from cache).
-
-        Raises :class:`CyclicHypergraphError` when the hypergraph admits no
-        join tree — cyclic schemas have no full reducer, so the engine cannot
-        plan them (callers fall back to naive evaluation).
-        """
-        key = (schema_fingerprint(hypergraph), root)
+    def _cache_get(self, key: Tuple[object, ...]) -> Optional[object]:
+        """LRU lookup with hit/miss accounting (``None`` counts as a miss)."""
         cached = self._cache.get(key)
         if cached is not None:
             self._cache.move_to_end(key)
             self._hits += 1
             return cached
         self._misses += 1
+        return None
+
+    def _cache_put(self, key: Tuple[object, ...], plan: object) -> None:
+        """Insert a freshly compiled plan, evicting the least recently used."""
+        self._cache[key] = plan
+        if len(self._cache) > self._capacity:
+            self._cache.popitem(last=False)
+
+    def plan_for(self, hypergraph: Hypergraph, *, root: Optional[Edge] = None
+                 ) -> ExecutionPlan:
+        """The execution plan for ``hypergraph`` (compiled or from cache).
+
+        Raises :class:`CyclicHypergraphError` when the hypergraph admits no
+        join tree — cyclic schemas have no full reducer, so the engine cannot
+        plan them (callers dispatch to :meth:`cyclic_plan_for` instead).
+        """
+        key = (schema_fingerprint(hypergraph), root)
+        cached = self._cache_get(key)
+        if cached is not None:
+            return cached
         tree = build_join_tree(hypergraph)
         if tree is None:
             raise CyclicHypergraphError(
                 "the schema's hypergraph is cyclic: no join tree, hence no "
-                "full reducer — use the naive plan (or a hypertree heuristic)")
+                "full reducer — use the cyclic subsystem (or the naive plan)")
         reducer = FullReducer.from_join_tree(tree, root)
         plan = ExecutionPlan(fingerprint=key[0], join_tree=tree,
                              rooted=reducer.rooted, reducer=reducer, root=root)
-        self._cache[key] = plan
-        if len(self._cache) > self._capacity:
-            self._cache.popitem(last=False)
+        self._cache_put(key, plan)
         return plan
 
     def plan_for_schema(self, schema: DatabaseSchema, *, root: Optional[Edge] = None
                         ) -> ExecutionPlan:
         """The execution plan for a database schema (via its hypergraph)."""
         return self.plan_for(schema.to_hypergraph(), root=root)
+
+    def cyclic_plan_for(self, hypergraph: Hypergraph) -> "CyclicExecutionPlan":
+        """The cyclic execution plan for ``hypergraph`` (compiled or from cache).
+
+        Works for acyclic hypergraphs too (the cover is trivially all
+        singletons).  The plan — cover, validated acyclic quotient, and the
+        quotient's embedded :class:`ExecutionPlan` — is cached in the same
+        LRU as the acyclic plans under an extended fingerprint key, so cover
+        search runs once per schema.
+        """
+        from .cyclic.covers import choose_cover
+        from .cyclic.plans import CyclicExecutionPlan
+        from .cyclic.quotient import AcyclicQuotient
+
+        fingerprint = schema_fingerprint(hypergraph)
+        key = (_CYCLIC_KIND, fingerprint)
+        cached = self._cache_get(key)
+        if cached is not None:
+            return cached
+        cover = choose_cover(hypergraph)
+        quotient = AcyclicQuotient.build(hypergraph, cover)
+        inner = self.plan_for(quotient.hypergraph)
+        plan = CyclicExecutionPlan(fingerprint=fingerprint, cover=cover,
+                                   quotient=quotient, inner=inner)
+        self._cache_put(key, plan)
+        return plan
+
+    def dump_fingerprints(self) -> str:
+        """The cached plans' fingerprints as a JSON document (LRU → MRU order).
+
+        The dump carries no compiled plans — plans are data-independent and
+        cheap to rebuild relative to a service's lifetime — only what is
+        needed to re-plan: each entry's kind (``acyclic``/``cyclic``), its
+        edge lists and, for acyclic plans, the requested root.  Feed the
+        document to :meth:`warm_up` after a restart to pre-compile the whole
+        workload.  Nodes must be JSON-serialisable (strings, numbers,
+        booleans, or tuples of those — tuples are restored on the way back
+        in); exotic node types raise ``TypeError`` here rather than
+        producing a dump that cannot round-trip.
+        """
+        entries: List[Dict[str, object]] = []
+        for key in self._cache:
+            if key[0] == _CYCLIC_KIND:
+                kind, fingerprint, root = _CYCLIC_KIND, key[1], None
+            else:
+                kind = "acyclic"
+                fingerprint, root = key
+            entries.append({
+                "kind": kind,
+                "edges": [list(edge) for edge in fingerprint],
+                "root": sorted_nodes(root) if root is not None else None,
+            })
+        return json.dumps(entries)
+
+    def warm_up(self, source: Union[str, Iterable[object]]) -> int:
+        """Pre-compile plans for a known workload; return how many were newly compiled.
+
+        ``source`` is a JSON document from :meth:`dump_fingerprints` (or its
+        parsed entry list), or any iterable mixing such entries with
+        :class:`Hypergraph` / :class:`DatabaseSchema` objects.  Entries
+        already cached are refreshed, not recompiled, so warm-up is
+        idempotent.  The count includes the quotient plans cyclic entries
+        compile internally; a planner whose ``capacity`` is smaller than the
+        workload evicts the earliest warmed plans again, so size the planner
+        to the dump before warming.
+        """
+        from ..core.acyclicity import is_acyclic
+
+        if isinstance(source, str):
+            entries: Iterable[object] = json.loads(source)
+        else:
+            entries = source
+        misses_before = self._misses
+        for entry in entries:
+            if isinstance(entry, DatabaseSchema):
+                entry = entry.to_hypergraph()
+            if isinstance(entry, Hypergraph):
+                if is_acyclic(entry):
+                    self.plan_for(entry)
+                else:
+                    self.cyclic_plan_for(entry)
+                continue
+            if not isinstance(entry, dict):
+                raise ValueError(f"cannot warm up from entry {entry!r}; expected a "
+                                 "dump_fingerprints entry, Hypergraph or DatabaseSchema")
+            hypergraph = Hypergraph(
+                frozenset(_node_from_json(node) for node in edge)
+                for edge in entry["edges"])
+            if entry.get("kind") == _CYCLIC_KIND:
+                self.cyclic_plan_for(hypergraph)
+            else:
+                root = entry.get("root")
+                self.plan_for(
+                    hypergraph,
+                    root=frozenset(_node_from_json(node) for node in root)
+                    if root is not None else None)
+        return self._misses - misses_before
 
     def cache_info(self) -> PlanCacheInfo:
         """Current hit/miss/size counters."""

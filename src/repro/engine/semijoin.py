@@ -14,20 +14,42 @@ the join is the Cartesian product.
 
 from __future__ import annotations
 
-from typing import FrozenSet, Iterable, List, Optional, Set, Tuple
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
 
+from ..core.hypergraph import Edge
 from ..core.nodes import sorted_nodes
 from ..exceptions import UnknownAttributeError
 from ..relational.relation import Relation, Row
 from ..relational.schema import Attribute, RelationSchema
 from .indexes import HashIndex, index_for
 
-__all__ = ["shared_attributes", "semijoin_indexed", "antijoin_indexed", "natural_join_indexed"]
+__all__ = ["shared_attributes", "semijoin_indexed", "antijoin_indexed",
+           "natural_join_indexed", "merge_relations_by_scheme"]
 
 
 def shared_attributes(left: Relation, right: Relation) -> Tuple[Attribute, ...]:
     """The separator: attributes common to both schemas, in canonical order."""
     return tuple(sorted_nodes(left.schema.attribute_set & right.schema.attribute_set))
+
+
+def merge_relations_by_scheme(relations: Sequence[Relation]) -> Dict[Edge, Relation]:
+    """One relation per distinct scheme, in first-seen order per scheme.
+
+    Relations over an identical scheme map to the same hypergraph edge; they
+    are intersected (a natural join on an identical scheme), so tree walks
+    and cluster materialisation see exactly one relation per edge.  Shared by
+    the acyclic evaluator's vertex mapping and the cyclic executor's cluster
+    phase.
+    """
+    grouped: Dict[Edge, Relation] = {}
+    for relation in relations:
+        edge = relation.schema.attribute_set
+        existing = grouped.get(edge)
+        if existing is None:
+            grouped[edge] = relation
+        else:
+            grouped[edge] = natural_join_indexed(existing, relation, name=existing.name)
+    return grouped
 
 
 def _separator(left: Relation, right: Relation,

@@ -29,9 +29,15 @@ from ..relational.database import Database
 from ..relational.relation import Relation
 from ..relational.schema import Attribute, RelationSchema
 from .indexes import index_cache_info
-from .planner import DEFAULT_PLANNER, EngineStatistics, ExecutionPlan, QueryPlanner
+from .planner import (
+    DEFAULT_PLANNER,
+    EngineStatistics,
+    ExecutionPlan,
+    QueryPlanner,
+    schema_fingerprint,
+)
 from .reducer import ReductionTrace
-from .semijoin import natural_join_indexed
+from .semijoin import merge_relations_by_scheme, natural_join_indexed
 
 __all__ = ["EngineResult", "evaluate", "evaluate_database"]
 
@@ -61,23 +67,13 @@ def _project_validated(relation: Relation, keep: FrozenSet[Attribute],
 
 def _vertex_relations(relations: Sequence[Relation],
                       vertices: Tuple[Edge, ...]) -> Dict[Edge, Relation]:
-    """One relation per join-tree vertex.
-
-    Relations whose schemes coincide map to the same hypergraph edge; they are
-    intersected (a natural join on an identical scheme) so the tree walk sees
-    exactly one relation per vertex.
-    """
-    grouped: Dict[Edge, List[Relation]] = {}
-    for relation in relations:
-        grouped.setdefault(relation.schema.attribute_set, []).append(relation)
+    """One relation per join-tree vertex (same-scheme relations intersected)."""
+    merged = merge_relations_by_scheme(relations)
     result: Dict[Edge, Relation] = {}
     for vertex in vertices:
-        matches = grouped.get(vertex)
-        if not matches:
+        combined = merged.get(vertex)
+        if combined is None:
             raise SchemaError("join-tree vertex without a matching relation")
-        combined = matches[0]
-        for extra in matches[1:]:
-            combined = natural_join_indexed(combined, extra, name=combined.name)
         result[vertex] = combined
     return result
 
@@ -87,7 +83,8 @@ def evaluate(relations: Sequence[Relation],
              planner: Optional[QueryPlanner] = None,
              root: Optional[Edge] = None,
              name: str = "yannakakis",
-             check_reduction: bool = False) -> EngineResult:
+             check_reduction: bool = False,
+             plan: Optional[ExecutionPlan] = None) -> EngineResult:
     """Evaluate the natural join of ``relations`` (optionally projected) via the engine.
 
     Raises :class:`~repro.exceptions.CyclicHypergraphError` when the schemas'
@@ -95,7 +92,10 @@ def evaluate(relations: Sequence[Relation],
     output attribute is not in scope.  ``check_reduction=True`` runs the
     reducer's proof-of-reduction hook after the semijoin passes (two extra
     semijoin scans per tree edge) — a debug/audit aid, off by default so the
-    production path pays only the reducer itself.
+    production path pays only the reducer itself.  ``plan`` supplies an
+    already-compiled plan (e.g. the one a :class:`CyclicExecutionPlan`
+    embeds), bypassing the planner lookup entirely; its fingerprint must
+    match the relations' schema.
     """
     if not relations:
         raise SchemaError("the engine needs at least one relation to evaluate")
@@ -109,9 +109,15 @@ def evaluate(relations: Sequence[Relation],
         raise SchemaError(f"output attributes {sorted_nodes(missing)} are not in the schema")
 
     index_before = index_cache_info()
-    plan_hits_before = active_planner.cache_info().hits
-    plan = active_planner.plan_for(hypergraph, root=root)
-    plan_cache_hit = active_planner.cache_info().hits > plan_hits_before
+    if plan is None:
+        plan_hits_before = active_planner.cache_info().hits
+        plan = active_planner.plan_for(hypergraph, root=root)
+        plan_cache_hit = active_planner.cache_info().hits > plan_hits_before
+    else:
+        if plan.fingerprint != schema_fingerprint(hypergraph):
+            raise SchemaError("the supplied execution plan was compiled for a "
+                              "different schema fingerprint")
+        plan_cache_hit = True
 
     # Phase 2: full reduction.
     vertex_relations = _vertex_relations(relations, plan.vertices)

@@ -63,6 +63,10 @@ class AcyclicHypergraphError(ReproError):
         super().__init__(message)
 
 
+class ClusterBoundExceededError(ReproError):
+    """A bounded nested-loop cluster join exceeded its intermediate row bound."""
+
+
 class RelationalError(ReproError):
     """Base class for errors raised by the relational substrate."""
 

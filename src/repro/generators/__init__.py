@@ -32,9 +32,13 @@ from .random_hypergraphs import (
 )
 from .workloads import (
     add_dangling_tuples,
+    clique_augmented_chain,
+    cyclic_workload_families,
     generate_consistent_database,
     generate_database,
+    k_cycle_hypergraph,
     query_attribute_workload,
+    triangle_core_chain,
 )
 
 __all__ = [
@@ -52,4 +56,7 @@ __all__ = [
     # relational workloads
     "generate_database", "generate_consistent_database", "add_dangling_tuples",
     "query_attribute_workload",
+    # cyclic workload families
+    "triangle_core_chain", "k_cycle_hypergraph", "clique_augmented_chain",
+    "cyclic_workload_families",
 ]

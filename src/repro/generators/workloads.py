@@ -12,17 +12,23 @@ from __future__ import annotations
 import random
 from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
+from ..core.hypergraph import Hypergraph
 from ..core.nodes import sorted_nodes
 from ..exceptions import GenerationError
 from ..relational.database import Database
 from ..relational.relation import Relation
 from ..relational.schema import Attribute, DatabaseSchema
+from .random_hypergraphs import chain_hypergraph, ring_hypergraph
 
 __all__ = [
     "generate_database",
     "generate_consistent_database",
     "add_dangling_tuples",
     "query_attribute_workload",
+    "triangle_core_chain",
+    "k_cycle_hypergraph",
+    "clique_augmented_chain",
+    "cyclic_workload_families",
 ]
 
 
@@ -103,6 +109,65 @@ def generate_database(schema: DatabaseSchema, *, universe_rows: int = 50,
     if dangling_fraction <= 0:
         return consistent
     return add_dangling_tuples(consistent, fraction=dangling_fraction, seed=rng)
+
+
+def triangle_core_chain(chain_length: int = 4, *, arity: int = 3, overlap: int = 2,
+                        name: Optional[str] = None) -> Hypergraph:
+    """A Fig.-5-style chain whose head attribute closes into an uncovered triangle.
+
+    The chain ``C0C1C2, C1C2C3, …`` is acyclic; the three binary edges
+    ``{C0,T1}, {T1,T2}, {T2,C0}`` form a triangle with no covering edge, so
+    the hypergraph has exactly one cyclic core at the chain's head — the
+    benchmark shape for the cyclic execution subsystem (the chain rewards the
+    full reducer, the core exercises cluster materialisation).
+    """
+    chain = chain_hypergraph(chain_length, arity=arity, overlap=overlap)
+    triangle = [frozenset({"C0", "T1"}), frozenset({"T1", "T2"}), frozenset({"T2", "C0"})]
+    return chain.add_edges(triangle).with_name(
+        name or f"triangle-chain({chain_length})")
+
+
+def k_cycle_hypergraph(k: int, *, prefix: str = "R", name: Optional[str] = None
+                       ) -> Hypergraph:
+    """The classic ``k``-cycle: binary edges ``{R0,R1}, {R1,R2}, …, {R(k-1),R0}``.
+
+    Cyclic for every ``k ≥ 3`` (it is its own cyclic core: no articulation
+    set, GYO gets stuck immediately).
+    """
+    if k < 3:
+        raise GenerationError("a k-cycle needs at least three edges")
+    return ring_hypergraph(k, arity=2, overlap=1, prefix=prefix,
+                           name=name or f"{k}-cycle")
+
+
+def clique_augmented_chain(chain_length: int = 3, *, clique_size: int = 4,
+                           arity: int = 3, overlap: int = 2,
+                           name: Optional[str] = None) -> Hypergraph:
+    """A chain with a cocktail-party-style clique of binary edges at its head.
+
+    ``clique_size`` nodes (the chain's ``C0`` plus fresh ``K…`` attributes)
+    are linked pairwise, so the head carries a dense cyclic core whose
+    minimal cover is a single wide cluster — the stress case for cover
+    search's width scoring.
+    """
+    if clique_size < 3:
+        raise GenerationError("a clique core needs at least three nodes")
+    chain = chain_hypergraph(chain_length, arity=arity, overlap=overlap)
+    members = ["C0"] + [f"K{index}" for index in range(1, clique_size)]
+    pairs = [frozenset({members[i], members[j]})
+             for i in range(len(members)) for j in range(i + 1, len(members))]
+    return chain.add_edges(pairs).with_name(
+        name or f"clique-chain({chain_length},{clique_size})")
+
+
+def cyclic_workload_families(*, chain_length: int = 4) -> Tuple[Tuple[str, Hypergraph], ...]:
+    """The named cyclic families the benchmarks and property sweeps iterate over."""
+    return (
+        ("triangle-chain", triangle_core_chain(chain_length)),
+        ("3-cycle", k_cycle_hypergraph(3)),
+        ("5-cycle", k_cycle_hypergraph(5)),
+        ("clique-chain", clique_augmented_chain(chain_length, clique_size=4)),
+    )
 
 
 def query_attribute_workload(schema: DatabaseSchema, *, queries: int = 10,

@@ -158,41 +158,50 @@ class ConjunctiveQuery:
         variables.  ``engine`` selects how the join is processed:
 
         * ``"naive"`` — natural-join the atom relations left to right (the
-          original behaviour);
+          original behaviour); an explicit opt-in, never chosen implicitly;
         * ``"yannakakis"`` — dispatch to the semijoin execution engine
           (:mod:`repro.engine`): full reduction along a join tree, then a
           bottom-up join projecting early onto the head variables.  Cyclic
-          query hypergraphs have no join tree, so they fall back to the
-          naive plan;
-        * ``"auto"`` (default) — ``"yannakakis"`` semantics: use the engine
-          whenever the query hypergraph is acyclic.
+          query hypergraphs dispatch to the cyclic subsystem
+          (:mod:`repro.engine.cyclic`) instead: the cyclic core is covered
+          by clusters, only the clusters are nested-loop joined, and the
+          acyclic quotient goes through the same reducer;
+        * ``"cyclic"`` — force the cyclic subsystem even for acyclic
+          hypergraphs (its cover degenerates to all singletons);
+        * ``"auto"`` (default) — ``"yannakakis"`` semantics.
 
         Either way the answers are identical; the engine only changes how
         large the intermediates get.
         """
-        if engine not in ("auto", "naive", "yannakakis"):
+        if engine not in ("auto", "naive", "yannakakis", "cyclic"):
             raise QueryError(f"unknown evaluation engine {engine!r}; "
-                             "expected 'auto', 'naive' or 'yannakakis'")
+                             "expected 'auto', 'naive', 'yannakakis' or 'cyclic'")
         atom_relations = self._atom_relations(database)
         head_names = [variable.name for variable in self._head]
-        if engine in ("auto", "yannakakis") and self.is_acyclic():
-            from ..engine.yannakakis import evaluate as engine_evaluate
+        if engine != "naive":
+            result = None
+            if engine != "cyclic" and self.is_acyclic():
+                from ..engine.yannakakis import evaluate as engine_evaluate
 
-            try:
-                result = engine_evaluate(atom_relations, head_names, name=self._name)
-            except CyclicHypergraphError:
-                # The acyclicity test (GYO) and the planner's join-tree
-                # construction can disagree on degenerate hypergraphs (e.g.
-                # an all-constant atom contributes an empty edge); honour the
-                # naive-fallback contract rather than surfacing the mismatch.
-                pass
-            else:
-                # The engine already projected onto exactly the head
-                # attributes; only the schema's declared order differs, and
-                # rows are order-independent, so re-projection is unnecessary.
-                return Relation.from_valid_rows(
-                    RelationSchema.of(self._name, dict.fromkeys(head_names)),
-                    result.relation.rows)
+                try:
+                    result = engine_evaluate(atom_relations, head_names, name=self._name)
+                except CyclicHypergraphError:
+                    # The acyclicity test (GYO) and the planner's join-tree
+                    # construction can disagree on degenerate hypergraphs (e.g.
+                    # an all-constant atom contributes an empty edge); the
+                    # cyclic subsystem folds such edges into a cluster, so it
+                    # handles the mismatch below — naive stays opt-in only.
+                    result = None
+            if result is None:
+                from ..engine.cyclic import evaluate_cyclic
+
+                result = evaluate_cyclic(atom_relations, head_names, name=self._name)
+            # The engine already projected onto exactly the head attributes;
+            # only the schema's declared order differs, and rows are
+            # order-independent, so re-projection is unnecessary.
+            return Relation.from_valid_rows(
+                RelationSchema.of(self._name, dict.fromkeys(head_names)),
+                result.relation.rows)
         joined = join_all(atom_relations)
         return project(joined, head_names, name=self._name)
 

@@ -31,7 +31,7 @@ from ..core.canonical import canonical_connection_result
 from ..core.hypergraph import Edge, Hypergraph
 from ..core.nodes import format_node_set, sorted_nodes
 from ..exceptions import QueryError
-from .algebra import join_all, project, union
+from .algebra import union
 from .database import Database
 from .relation import Relation
 from .schema import Attribute, RelationSchema
@@ -156,6 +156,13 @@ class MaximalObjectInterface:
         the join of the objects in that maximal object's canonical connection,
         projected onto the query attributes.
 
+        Every per-object query is routed through the engine
+        (:mod:`repro.engine.cyclic`, whose cover degenerates to the plain
+        full reducer for acyclic connections): full reduction along a join
+        tree, then a bottom-up join projecting early onto the query
+        attributes, instead of the naive join of the connection.  Answers
+        are identical to the naive join either way.
+
         Raises :class:`QueryError` when no maximal object covers the query
         attributes (the attributes are not "meaningfully connected" under this
         semantics).
@@ -169,23 +176,42 @@ class MaximalObjectInterface:
             raise QueryError(
                 f"no maximal object covers the attributes {ordered}; under the "
                 "maximal-object semantics this query has no meaningful connection")
+        window_name = f"[{', '.join(str(a) for a in ordered)}]"
         answer: Optional[Relation] = None
         for maximal_object in covering:
             connection = canonical_connection_result(maximal_object.hypergraph(), ordered)
             relations = self._relations_for(connection.objects)
             if not relations:
                 continue
-            joined = join_all(relations)
-            in_scope = [a for a in ordered if a in joined.schema.attribute_set]
-            if len(in_scope) != len(ordered):
+            projected = self._evaluate_connection(relations, ordered, window_name)
+            if projected is None:
                 continue
-            projected = project(joined, ordered,
-                                name=f"[{', '.join(str(a) for a in ordered)}]")
             answer = projected if answer is None else union(answer, projected)
         if answer is None:
-            schema = RelationSchema.of(f"[{', '.join(str(a) for a in ordered)}]", ordered)
+            schema = RelationSchema.of(window_name, ordered)
             return Relation(schema, ())
         return answer
+
+    def _evaluate_connection(self, relations: List[Relation],
+                             ordered: List[Attribute],
+                             window_name: str) -> Optional[Relation]:
+        """Join one canonical connection and project it onto the query attributes.
+
+        The connection is evaluated by the engine's cyclic-capable entry
+        point: acyclic connections degenerate to the full reducer plus the
+        early-projecting bottom-up join, and connections that became cyclic
+        (dropping a maximal object's edges can reintroduce a cycle) get the
+        cluster treatment instead of a naive cross-product join.  Returns
+        ``None`` when the connection does not span every query attribute.
+        """
+        scope = frozenset().union(*(r.schema.attribute_set for r in relations))
+        if not frozenset(ordered) <= scope:
+            return None
+        from ..engine.cyclic import evaluate_cyclic
+
+        result = evaluate_cyclic(relations, ordered, name=window_name)
+        return Relation.from_valid_rows(
+            RelationSchema.of(window_name, ordered), result.relation.rows)
 
     def describe(self) -> str:
         """A multi-line report listing the maximal objects."""

@@ -2,7 +2,9 @@
 
 from __future__ import annotations
 
-from repro.analysis import banner, format_mapping, format_table
+from repro.analysis import banner, format_mapping, format_table, statistics_table
+from repro.engine import CyclicEngineStatistics, EngineStatistics
+from repro.relational import JoinStatistics
 
 
 class TestFormatTable:
@@ -31,6 +33,42 @@ class TestFormatTable:
         rows = [{"key": "x", "value": 1}, {"key": "longer", "value": 22}]
         lines = format_table(rows).splitlines()
         assert len(lines[2]) <= len(lines[0]) + 2
+
+
+class TestStatisticsTable:
+    def _three_plans(self):
+        naive = JoinStatistics(plan_name="naive", input_sizes=(10, 10),
+                               intermediate_sizes=(50, 120), output_size=4)
+        engine = EngineStatistics(plan_name="engine-yannakakis", input_sizes=(10, 10),
+                                  intermediate_sizes=(6,), output_size=4,
+                                  semijoin_steps=2, rows_removed_by_reduction=8,
+                                  plan_cache_hit=True)
+        cyclic = CyclicEngineStatistics(plan_name="engine-cyclic", input_sizes=(10, 10, 10),
+                                        intermediate_sizes=(12, 6), output_size=4,
+                                        semijoin_steps=2, rows_removed_by_reduction=5,
+                                        cluster_sizes=(12,), cluster_widths=(3,))
+        return naive, engine, cyclic
+
+    def test_renders_every_plan_kind_uniformly(self):
+        text = statistics_table(self._three_plans(), title="plans")
+        lines = text.splitlines()
+        assert lines[0] == "plans"
+        assert "naive" in text and "engine-yannakakis" in text and "engine-cyclic" in text
+        # Same column set for every row: the header appears once, each row
+        # fills every column (plain JoinStatistics gets "-" placeholders).
+        header = lines[2]
+        for column in ("plan", "max intermediate", "output", "semijoins", "clusters"):
+            assert column in header
+
+    def test_placeholders_for_missing_counters(self):
+        naive, _, cyclic = self._three_plans()
+        text = statistics_table([naive])
+        assert "-" in text  # naive has no semijoin/cluster counters
+        assert "[12]" in statistics_table([cyclic])
+
+    def test_plan_cache_column(self):
+        _, engine, _ = self._three_plans()
+        assert "hit" in statistics_table([engine])
 
 
 class TestFormatMappingAndBanner:

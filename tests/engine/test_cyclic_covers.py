@@ -1,0 +1,136 @@
+"""Unit tests for cover search (repro.engine.cyclic.covers)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.acyclicity import is_acyclic
+from repro.core.hypergraph import Hypergraph
+from repro.engine.cyclic.covers import (
+    ClusterCover,
+    EdgeCluster,
+    choose_cover,
+    core_periphery_cover,
+    cover_score,
+    enumerate_covers,
+)
+from repro.generators import (
+    chain_hypergraph,
+    clique_augmented_chain,
+    figure_1,
+    k_cycle_hypergraph,
+    triangle_core_chain,
+)
+
+
+class TestEdgeCluster:
+    def test_attributes_width_fanout(self):
+        cluster = EdgeCluster(edges=frozenset({frozenset("AB"), frozenset("BC")}))
+        assert cluster.attributes == frozenset("ABC")
+        assert cluster.width == 3
+        assert cluster.fan_out == 2
+        assert not cluster.is_singleton
+
+    def test_singleton(self):
+        cluster = EdgeCluster(edges=frozenset({frozenset("AB")}))
+        assert cluster.is_singleton
+        assert cluster.describe() == "{{A, B}} → {A, B}"
+
+
+class TestClusterCover:
+    def test_quotient_edges_deduplicate_schemes(self):
+        cover = ClusterCover.of([[frozenset("AB"), frozenset("BC")],
+                                 [frozenset("AC"), frozenset("BC")]])
+        assert cover.quotient_edges == (frozenset("ABC"),)
+
+    def test_covers_checks_exact_edge_set(self):
+        hypergraph = Hypergraph.from_compact(["AB", "BC"])
+        assert ClusterCover.of([[frozenset("AB")], [frozenset("BC")]]).covers(hypergraph)
+        assert not ClusterCover.of([[frozenset("AB")]]).covers(hypergraph)
+
+    def test_trivial_cover(self):
+        cover = ClusterCover.of([[frozenset("AB")], [frozenset("BC")]])
+        assert cover.is_trivial
+        assert cover.fan_out == 1
+
+
+class TestCorePeripheryCover:
+    def test_acyclic_hypergraph_gets_trivial_cover(self):
+        hypergraph = chain_hypergraph(4)
+        cover = core_periphery_cover(hypergraph)
+        assert cover.is_trivial
+        assert cover.covers(hypergraph)
+
+    def test_triangle_core_is_one_cluster(self):
+        triangle = k_cycle_hypergraph(3)
+        cover = core_periphery_cover(triangle)
+        assert cover.covers(triangle)
+        assert len(cover.clusters) == 1
+        assert cover.clusters[0].fan_out == 3
+
+    def test_chain_edges_stay_singletons(self):
+        hypergraph = triangle_core_chain(4)
+        cover = core_periphery_cover(hypergraph)
+        assert cover.covers(hypergraph)
+        chain_edges = [edge for edge in hypergraph.edges if len(edge) == 3]
+        for edge in chain_edges:
+            owner = [c for c in cover.clusters if edge in c.edges]
+            assert len(owner) == 1 and owner[0].is_singleton
+
+    def test_quotient_always_acyclic(self):
+        for hypergraph in (k_cycle_hypergraph(3), k_cycle_hypergraph(6),
+                           triangle_core_chain(5), clique_augmented_chain(3)):
+            cover = core_periphery_cover(hypergraph)
+            assert is_acyclic(cover.quotient_hypergraph()), hypergraph.name
+
+
+class TestEnumerateAndChoose:
+    def test_every_candidate_is_valid(self):
+        hypergraph = triangle_core_chain(3)
+        for cover in enumerate_covers(hypergraph):
+            assert cover.covers(hypergraph)
+            assert is_acyclic(cover.quotient_hypergraph())
+
+    def test_enumeration_includes_baseline(self):
+        hypergraph = k_cycle_hypergraph(4)
+        baseline = core_periphery_cover(hypergraph)
+        assert baseline.clusters in {cover.clusters
+                                     for cover in enumerate_covers(hypergraph)}
+
+    def test_chosen_cover_minimises_score(self):
+        hypergraph = triangle_core_chain(4)
+        candidates = enumerate_covers(hypergraph)
+        chosen = choose_cover(hypergraph)
+        assert cover_score(chosen) == min(cover_score(c) for c in candidates)
+
+    def test_choose_on_acyclic_is_trivial(self):
+        assert choose_cover(figure_1()).is_trivial
+
+    def test_large_core_skips_refinement_but_still_covers(self):
+        ring = k_cycle_hypergraph(9)
+        covers = enumerate_covers(ring, max_component_edges=4)
+        assert len(covers) == 1
+        assert covers[0].covers(ring)
+
+    def test_bridged_double_triangle_is_split_by_refinement(self):
+        # Two triangles joined by a bridge edge: GYO sticks on all 7 edges,
+        # so the baseline is one width-6 cluster — refinement must break the
+        # core apart into width-3 clusters instead of materialising the lot.
+        first = k_cycle_hypergraph(3, prefix="X")
+        second = k_cycle_hypergraph(3, prefix="Y")
+        bridge = Hypergraph([frozenset({"X0", "Y0"})])
+        hypergraph = first.union(second).union(bridge)
+        baseline = core_periphery_cover(hypergraph)
+        assert baseline.width == 6
+        chosen = choose_cover(hypergraph)
+        assert chosen.covers(hypergraph)
+        assert chosen.width == 3
+        assert is_acyclic(chosen.quotient_hypergraph())
+        owner = [c for c in chosen.clusters if frozenset({"X0", "Y0"}) in c.edges]
+        assert len(owner) == 1 and owner[0].is_singleton
+
+    def test_empty_edge_joins_an_existing_cluster(self):
+        hypergraph = Hypergraph(list(k_cycle_hypergraph(3).edges) + [frozenset()])
+        cover = choose_cover(hypergraph)
+        assert cover.covers(hypergraph)
+        assert is_acyclic(cover.quotient_hypergraph())

@@ -1,0 +1,146 @@
+"""Unit tests for the cyclic engine's end-to-end evaluation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine import QueryPlanner, evaluate_cyclic, evaluate_cyclic_database
+from repro.exceptions import ClusterBoundExceededError, SchemaError
+from repro.generators import (
+    generate_database,
+    k_cycle_hypergraph,
+    triangle_core_chain,
+    university_schema,
+)
+from repro.relational import (
+    DatabaseSchema,
+    execute_plan,
+    naive_join_plan,
+    project,
+)
+
+
+@pytest.fixture(scope="module")
+def triangle_chain_db():
+    """The acceptance-shape instance: a chain with a triangle core, 60% dangling."""
+    hypergraph = triangle_core_chain(4)
+    schema = DatabaseSchema.from_hypergraph(hypergraph)
+    return generate_database(schema, universe_rows=60, domain_size=4,
+                             dangling_fraction=0.6, seed=11)
+
+
+@pytest.fixture(scope="module")
+def triangle_db():
+    schema = DatabaseSchema.from_hypergraph(k_cycle_hypergraph(3))
+    return generate_database(schema, universe_rows=18, domain_size=3,
+                             dangling_fraction=0.4, seed=7)
+
+
+class TestEquivalence:
+    def test_full_join_matches_naive(self, triangle_db):
+        result = evaluate_cyclic_database(triangle_db)
+        naive, _ = execute_plan(naive_join_plan(triangle_db), plan_name="naive")
+        assert frozenset(result.relation.rows) == frozenset(naive.rows)
+
+    def test_projection_matches_naive(self, triangle_chain_db):
+        endpoints = ("C0", "C5")
+        result = evaluate_cyclic_database(triangle_chain_db, endpoints)
+        naive, _ = execute_plan(naive_join_plan(triangle_chain_db), plan_name="naive")
+        expected = project(naive, endpoints)
+        assert frozenset(result.relation.rows) == frozenset(expected.rows)
+        assert result.relation.schema.attribute_set == frozenset(endpoints)
+
+    def test_acyclic_schema_degenerates_gracefully(self):
+        db = generate_database(university_schema(), universe_rows=20,
+                               domain_size=5, dangling_fraction=0.5, seed=4)
+        result = evaluate_cyclic_database(db)
+        naive, _ = execute_plan(naive_join_plan(db), plan_name="naive")
+        assert result.plan.is_trivial
+        assert frozenset(result.relation.rows) == frozenset(naive.rows)
+
+
+class TestAcceptanceShape:
+    def test_largest_intermediate_at_least_5x_smaller_than_naive(self, triangle_chain_db):
+        endpoints = ("C0", "C5")
+        result = evaluate_cyclic_database(triangle_chain_db, endpoints)
+        _, naive_stats = execute_plan(naive_join_plan(triangle_chain_db),
+                                      plan_name="naive")
+        assert result.statistics.max_intermediate * 5 <= naive_stats.max_intermediate
+        assert result.statistics.savings_versus(naive_stats) >= 5.0
+
+    def test_statistics_report_clusters(self, triangle_chain_db):
+        result = evaluate_cyclic_database(triangle_chain_db)
+        stats = result.statistics
+        assert stats.plan_name == "engine-cyclic"
+        assert len(stats.cluster_sizes) == len(result.plan.clusters)
+        assert stats.cluster_widths == tuple(c.width for c in result.plan.clusters)
+        assert stats.max_cluster_size == max(stats.cluster_sizes)
+        assert "clusters=" in stats.describe()
+
+    def test_reduction_removes_dangling_cluster_tuples(self, triangle_chain_db):
+        result = evaluate_cyclic_database(triangle_chain_db)
+        assert result.statistics.rows_removed_by_reduction > 0
+        assert result.statistics.semijoin_steps > 0
+
+    def test_reduction_ratio_is_a_fraction_of_cluster_tuples(self, triangle_chain_db):
+        # The reducer runs on the materialised clusters, so the ratio must be
+        # removed / cluster tuples — and in particular never exceed 1, which
+        # the inherited input-sizes denominator would allow.
+        stats = evaluate_cyclic_database(triangle_chain_db).statistics
+        assert 0.0 < stats.reduction_ratio <= 1.0
+        expected = stats.rows_removed_by_reduction / sum(stats.cluster_sizes)
+        assert stats.reduction_ratio == pytest.approx(expected)
+
+
+class TestPlanCache:
+    def test_plan_reused_across_equivalent_cyclic_schemas(self, triangle_db):
+        planner = QueryPlanner()
+        first = evaluate_cyclic_database(triangle_db, planner=planner)
+        assert not first.statistics.plan_cache_hit
+        # A structurally identical database (different instance, same schema).
+        other = generate_database(DatabaseSchema.from_hypergraph(k_cycle_hypergraph(3)),
+                                  universe_rows=9, domain_size=3, seed=99)
+        second = evaluate_cyclic_database(other, planner=planner)
+        assert second.statistics.plan_cache_hit
+        assert second.plan is first.plan
+
+    def test_cyclic_and_quotient_plans_share_the_lru(self, triangle_db):
+        planner = QueryPlanner()
+        evaluate_cyclic_database(triangle_db, planner=planner)
+        info = planner.cache_info()
+        # One cyclic plan plus the embedded quotient's acyclic plan.
+        assert info.size == 2
+
+    def test_tiny_cache_does_not_thrash(self, triangle_db):
+        # The executor runs the quotient off the embedded inner plan (no
+        # second planner lookup), so even a capacity-1 LRU keeps serving
+        # cache hits for a single cyclic workload.
+        planner = QueryPlanner(capacity=1)
+        evaluate_cyclic_database(triangle_db, planner=planner)
+        misses_after_first = planner.cache_info().misses
+        second = evaluate_cyclic_database(triangle_db, planner=planner)
+        assert second.statistics.plan_cache_hit
+        assert planner.cache_info().misses == misses_after_first
+
+
+class TestValidation:
+    def test_no_relations_rejected(self):
+        with pytest.raises(SchemaError):
+            evaluate_cyclic([])
+
+    def test_unknown_output_attribute_rejected(self, triangle_db):
+        with pytest.raises(SchemaError):
+            evaluate_cyclic_database(triangle_db, ("NOPE",))
+
+    def test_cluster_row_bound_propagates(self, triangle_db):
+        with pytest.raises(ClusterBoundExceededError):
+            evaluate_cyclic_database(triangle_db, cluster_row_bound=1)
+
+    def test_result_relation_is_named(self, triangle_db):
+        result = evaluate_cyclic_database(triangle_db, name="windows")
+        assert result.relation.name == "windows"
+
+    def test_plan_describe_mentions_clusters(self, triangle_db):
+        result = evaluate_cyclic_database(triangle_db)
+        text = result.plan.describe()
+        assert "CyclicExecutionPlan" in text and "clusters" in text

@@ -1,0 +1,100 @@
+"""Unit tests for plan-cache warm-up (dump_fingerprints / warm_up)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.hypergraph import Hypergraph
+from repro.engine import QueryPlanner, evaluate_cyclic_database, evaluate_database
+from repro.generators import (
+    generate_database,
+    k_cycle_hypergraph,
+    triangle_core_chain,
+    university_schema,
+)
+from repro.relational import DatabaseSchema
+
+
+@pytest.fixture
+def worked_planner():
+    """A planner that has served one acyclic and one cyclic workload."""
+    planner = QueryPlanner()
+    planner.plan_for_schema(university_schema())
+    planner.cyclic_plan_for(triangle_core_chain(3))
+    return planner
+
+
+class TestDump:
+    def test_dump_is_json(self, worked_planner):
+        entries = json.loads(worked_planner.dump_fingerprints())
+        assert isinstance(entries, list) and entries
+        kinds = {entry["kind"] for entry in entries}
+        assert kinds == {"acyclic", "cyclic"}
+
+    def test_dump_preserves_roots(self):
+        planner = QueryPlanner()
+        hypergraph = Hypergraph.from_compact(["ABC", "BCD"])
+        planner.plan_for(hypergraph, root=frozenset("BCD"))
+        entries = json.loads(planner.dump_fingerprints())
+        assert entries[0]["root"] == ["B", "C", "D"]
+
+    def test_empty_planner_dumps_empty_list(self):
+        assert json.loads(QueryPlanner().dump_fingerprints()) == []
+
+
+class TestWarmUp:
+    def test_round_trip_precompiles_every_plan(self, worked_planner):
+        fresh = QueryPlanner()
+        compiled = fresh.warm_up(worked_planner.dump_fingerprints())
+        assert compiled == fresh.cache_info().size == worked_planner.cache_info().size
+
+    def test_warmed_planner_serves_hits_only(self, worked_planner):
+        fresh = QueryPlanner()
+        fresh.warm_up(worked_planner.dump_fingerprints())
+
+        acyclic_db = generate_database(university_schema(), universe_rows=10, seed=1)
+        cyclic_db = generate_database(
+            DatabaseSchema.from_hypergraph(triangle_core_chain(3)),
+            universe_rows=10, seed=1)
+        assert evaluate_database(acyclic_db, planner=fresh).statistics.plan_cache_hit
+        assert evaluate_cyclic_database(cyclic_db,
+                                        planner=fresh).statistics.plan_cache_hit
+
+    def test_warm_up_is_idempotent(self, worked_planner):
+        dump = worked_planner.dump_fingerprints()
+        fresh = QueryPlanner()
+        first = fresh.warm_up(dump)
+        second = fresh.warm_up(dump)
+        assert first > 0 and second == 0
+
+    def test_warm_up_accepts_parsed_entries_and_objects(self):
+        planner = QueryPlanner()
+        entries = [
+            {"kind": "cyclic", "edges": [["R0", "R1"], ["R1", "R2"], ["R0", "R2"]],
+             "root": None},
+            university_schema(),
+            k_cycle_hypergraph(3),  # a raw cyclic hypergraph routes to cyclic_plan_for
+        ]
+        compiled = planner.warm_up(entries)
+        # Cyclic triangle plan + its quotient plan + the university plan; the
+        # raw hypergraph shares the dict entry's fingerprint, so nothing new.
+        assert compiled == planner.cache_info().size == 3
+
+    def test_warm_up_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            QueryPlanner().warm_up([42])
+
+    def test_round_trip_restores_tuple_valued_nodes(self):
+        # JSON coerces tuple nodes to lists; warm_up must restore them so the
+        # rebuilt fingerprints match queries over the original schema.
+        planner = QueryPlanner()
+        hypergraph = Hypergraph([frozenset({("a", 1), ("b", 2)}),
+                                 frozenset({("b", 2), ("c", 3)})])
+        planner.plan_for(hypergraph)
+        fresh = QueryPlanner()
+        assert fresh.warm_up(planner.dump_fingerprints()) == 1
+        hits_before = fresh.cache_info().hits
+        fresh.plan_for(hypergraph)
+        assert fresh.cache_info().hits == hits_before + 1

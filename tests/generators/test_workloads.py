@@ -4,12 +4,17 @@ from __future__ import annotations
 
 import pytest
 
+from repro.core.acyclicity import is_acyclic
 from repro.exceptions import GenerationError
 from repro.generators import (
     add_dangling_tuples,
+    clique_augmented_chain,
+    cyclic_workload_families,
     generate_consistent_database,
     generate_database,
+    k_cycle_hypergraph,
     query_attribute_workload,
+    triangle_core_chain,
     university_schema,
 )
 from repro.relational import DatabaseSchema
@@ -79,3 +84,43 @@ class TestQueryWorkloads:
         with pytest.raises(GenerationError):
             query_attribute_workload(university_schema(), queries=3,
                                      min_attributes=3, max_attributes=1)
+
+
+class TestCyclicWorkloadFamilies:
+    def test_triangle_core_chain_has_one_uncovered_triangle(self):
+        hypergraph = triangle_core_chain(4)
+        assert not is_acyclic(hypergraph)
+        assert frozenset({"C0", "T1"}) in hypergraph.edge_set
+        assert frozenset({"T1", "T2"}) in hypergraph.edge_set
+        assert frozenset({"T2", "C0"}) in hypergraph.edge_set
+        # The chain alone stays intact: 4 ternary edges.
+        assert sum(1 for edge in hypergraph.edges if len(edge) == 3) == 4
+
+    def test_k_cycle_is_cyclic_and_sized(self):
+        for k in (3, 5, 7):
+            hypergraph = k_cycle_hypergraph(k)
+            assert hypergraph.num_edges == k
+            assert not is_acyclic(hypergraph)
+        with pytest.raises(GenerationError):
+            k_cycle_hypergraph(2)
+
+    def test_clique_augmented_chain(self):
+        hypergraph = clique_augmented_chain(3, clique_size=4)
+        assert not is_acyclic(hypergraph)
+        # 4 clique nodes -> 6 pairwise edges, plus the 3 chain edges.
+        assert hypergraph.num_edges == 9
+        with pytest.raises(GenerationError):
+            clique_augmented_chain(3, clique_size=2)
+
+    def test_families_are_named_and_cyclic(self):
+        families = cyclic_workload_families()
+        assert len(families) >= 4
+        for name, hypergraph in families:
+            assert isinstance(name, str) and name
+            assert not is_acyclic(hypergraph), name
+
+    def test_families_generate_databases(self):
+        for name, hypergraph in cyclic_workload_families():
+            schema = DatabaseSchema.from_hypergraph(hypergraph)
+            db = generate_database(schema, universe_rows=5, domain_size=3, seed=0)
+            assert db.total_rows() > 0, name

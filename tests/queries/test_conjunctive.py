@@ -139,7 +139,8 @@ class TestEngineDispatch:
         assert frozenset(naive.rows) == frozenset(fast.rows) == frozenset(auto.rows)
         assert fast.schema.attribute_set == naive.schema.attribute_set
 
-    def test_cyclic_query_falls_back_to_naive(self):
+    def test_cyclic_query_dispatches_to_cyclic_engine(self, monkeypatch):
+        from repro.engine import cyclic as cyclic_engine
         from repro.generators import cyclic_supplier_schema
 
         db = generate_database(cyclic_supplier_schema(), universe_rows=15,
@@ -149,9 +150,41 @@ class TestEngineDispatch:
             body=[("SUPPLIES", ["s", "part"]), ("USED_IN", ["part", "p"]),
                   ("SERVES", ["p", "s"])])
         assert not query.is_acyclic()
+        calls = []
+        original = cyclic_engine.evaluate_cyclic
+
+        def spy(*args, **kwargs):
+            calls.append(args)
+            return original(*args, **kwargs)
+
+        # ConjunctiveQuery.evaluate imports the name from the package at call
+        # time, so patching the package attribute intercepts the dispatch.
+        monkeypatch.setattr(cyclic_engine, "evaluate_cyclic", spy)
         naive = query.evaluate(db, engine="naive")
-        fallback = query.evaluate(db, engine="yannakakis")
-        assert frozenset(naive.rows) == frozenset(fallback.rows)
+        fast = query.evaluate(db, engine="yannakakis")
+        assert frozenset(naive.rows) == frozenset(fast.rows)
+        assert calls, "cyclic queries must dispatch to the cyclic subsystem, not naive"
+
+    def test_cyclic_engine_can_be_forced_on_acyclic_query(self, db, student_teacher_query):
+        naive = student_teacher_query.evaluate(db, engine="naive")
+        forced = student_teacher_query.evaluate(db, engine="cyclic")
+        assert frozenset(naive.rows) == frozenset(forced.rows)
+
+    def test_cyclic_query_with_constant_atom(self):
+        from repro.generators import cyclic_supplier_schema
+
+        db = generate_database(cyclic_supplier_schema(), universe_rows=15,
+                               domain_size=4, seed=3)
+        some_row = next(iter(db["SUPPLIES"]))
+        query = ConjunctiveQuery.from_strings(
+            ["s", "p"],
+            body=[("SUPPLIES", ["s", "part"]), ("USED_IN", ["part", "p"]),
+                  ("SERVES", ["p", "s"]),
+                  ("SUPPLIES", [Constant(some_row["Supplier"]),
+                                Constant(some_row["Part"])])])
+        naive = query.evaluate(db, engine="naive")
+        default = query.evaluate(db)
+        assert frozenset(naive.rows) == frozenset(default.rows)
 
     def test_engine_handles_constants_and_repeated_variables(self, db):
         some_course = next(iter(db["ENROL"]))["Course"]
@@ -174,7 +207,8 @@ class TestEngineDispatch:
     def test_all_constant_atom_does_not_crash_default_path(self, db):
         # An all-constant atom contributes an *empty* hypergraph edge; GYO
         # calls the query acyclic while the planner's join-tree construction
-        # refuses it, so the default path must quietly fall back to naive.
+        # refuses it, so the default path reroutes through the cyclic
+        # subsystem (which folds the empty edge into a cluster).
         some_row = next(iter(db["TEACHES"]))
         query = ConjunctiveQuery.from_strings(
             ["s"],
