@@ -1,0 +1,107 @@
+"""E-ADAPT — cardinality-aware (adaptive) planning vs the static plan.
+
+The workload is the skewed binary chain of
+:func:`repro.generators.skewed_chain_database`: a head relation fanning out
+to a huge ``C1`` domain, a funnel into a handful of junction values, and tiny
+tail lookups — every tuple joins (no dangling rows), so full reduction cannot
+help and the *fold order* is the whole story.  The static plan roots the join
+tree at the lexicographically-first vertex and drags the wide ``C1``
+separator through its intermediates; the adaptive plan reads the database's
+statistics catalog, roots at the narrow junction side and stays near the
+output size.
+
+The acceptance shape is asserted (adaptive largest intermediate ≥ 2× below
+static, identical answers, zero re-planning on a warm start from a plan
+cache saved to disk) and the headline numbers are emitted to
+``BENCH_adaptive.json`` for the CI smoke step; wall clock comes from
+pytest-benchmark (``pytest benchmarks/ --benchmark-only``).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import banner, statistics_table
+from repro.engine import QueryPlanner, evaluate_database
+from repro.generators import skewed_chain_database, skewed_chain_endpoints
+
+CHAIN_LENGTH = 3
+ENDPOINTS = skewed_chain_endpoints(CHAIN_LENGTH)
+
+#: Where the CI smoke step picks up the headline numbers.
+RESULT_PATH = Path("BENCH_adaptive.json")
+
+
+@pytest.fixture(scope="module")
+def skewed_db():
+    """40 heads × 25 fan-out funnelled into 4 junction values (2004 rows)."""
+    return skewed_chain_database(CHAIN_LENGTH, heads=40, fanout=25,
+                                 junction_values=4, seed=42)
+
+
+def test_adaptive_order_halves_the_largest_intermediate(skewed_db):
+    """The acceptance criterion: ≥ 2× smaller max intermediate, same answer."""
+    static = evaluate_database(skewed_db, ENDPOINTS, planner=QueryPlanner())
+    adaptive = evaluate_database(skewed_db, ENDPOINTS, adaptive=True,
+                                 planner=QueryPlanner())
+
+    print(banner("E-ADAPT: skewed chain, endpoints query"))
+    print(statistics_table([static.statistics, adaptive.statistics],
+                           title="static vs adaptive planning"))
+    savings = static.statistics.max_intermediate \
+        / max(adaptive.statistics.max_intermediate, 1)
+    print(f"largest-intermediate savings: {savings:.1f}x")
+
+    assert frozenset(adaptive.relation.rows) == frozenset(static.relation.rows)
+    assert 2 * adaptive.statistics.max_intermediate \
+        <= static.statistics.max_intermediate
+
+    RESULT_PATH.write_text(json.dumps({
+        "workload": f"skewed-chain({CHAIN_LENGTH}, heads=40, fanout=25, "
+                    "junction_values=4)",
+        "static_max_intermediate": static.statistics.max_intermediate,
+        "adaptive_max_intermediate": adaptive.statistics.max_intermediate,
+        "estimated_max_intermediate": adaptive.statistics.estimated_max_intermediate,
+        "output_size": adaptive.statistics.output_size,
+        "savings": round(savings, 2),
+    }, indent=2) + "\n", encoding="utf-8")
+
+
+def test_plan_cache_saved_to_disk_reloads_with_zero_replanning(skewed_db, tmp_path):
+    """The acceptance criterion: warm start from disk compiles nothing new."""
+    serving = QueryPlanner()
+    evaluate_database(skewed_db, ENDPOINTS, adaptive=True, planner=serving)
+    path = tmp_path / "plans.json"
+    saved = serving.save_cache(path)
+    assert saved == serving.cache_info().size
+
+    restarted = QueryPlanner()
+    restarted.load_cache(path)
+    misses_before = restarted.cache_info().misses
+    result = evaluate_database(skewed_db, ENDPOINTS, adaptive=True,
+                               planner=restarted)
+    assert result.statistics.plan_cache_hit
+    assert restarted.cache_info().misses == misses_before
+
+
+@pytest.mark.slow
+@pytest.mark.benchmark(group="E-ADAPT adaptive vs static")
+def test_static_plan_timing(benchmark, skewed_db):
+    planner = QueryPlanner()
+    evaluate_database(skewed_db, ENDPOINTS, planner=planner)  # warm the cache
+    result = benchmark(lambda: evaluate_database(skewed_db, ENDPOINTS,
+                                                 planner=planner))
+    assert result.statistics.plan_cache_hit
+
+
+@pytest.mark.slow
+@pytest.mark.benchmark(group="E-ADAPT adaptive vs static")
+def test_adaptive_plan_timing(benchmark, skewed_db):
+    planner = QueryPlanner()
+    evaluate_database(skewed_db, ENDPOINTS, adaptive=True, planner=planner)
+    result = benchmark(lambda: evaluate_database(skewed_db, ENDPOINTS,
+                                                 adaptive=True, planner=planner))
+    assert result.statistics.plan_cache_hit

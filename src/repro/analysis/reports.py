@@ -55,8 +55,9 @@ def format_mapping(mapping: Mapping[str, object], *, title: Optional[str] = None
 
 #: Column order of :func:`statistics_table`; engine-only columns render "-"
 #: for plans that do not carry the counter.
-_STATISTICS_COLUMNS = ("plan", "inputs", "max intermediate", "total intermediate",
-                       "output", "semijoins", "removed", "clusters", "plan cache")
+_STATISTICS_COLUMNS = ("plan", "inputs", "max intermediate", "est max",
+                       "total intermediate", "output", "est output",
+                       "semijoins", "removed", "clusters", "plan cache")
 
 
 def statistics_table(statistics: Sequence[object], *,
@@ -67,8 +68,12 @@ def statistics_table(statistics: Sequence[object], *,
     :class:`~repro.engine.planner.EngineStatistics` and
     :class:`~repro.engine.cyclic.plans.CyclicEngineStatistics` (duck-typed, so
     this module stays import-light); counters a plan does not track render as
-    ``-``.  This is the one table every benchmark module uses to compare
-    naive / join-tree / engine / cyclic-engine runs side by side.
+    ``-``.  Adaptive runs additionally fill the estimated-vs-actual columns
+    (``est max`` / ``est output`` next to their measured counterparts), so a
+    glance shows both how much smaller the adaptive intermediates are and how
+    well the catalog predicted them.  This is the one table every benchmark
+    module uses to compare naive / join-tree / engine / cyclic-engine runs
+    side by side.
     """
     rows: List[Dict[str, object]] = []
     for stats in statistics:
@@ -76,12 +81,18 @@ def statistics_table(statistics: Sequence[object], *,
         removed = getattr(stats, "rows_removed_by_reduction", None)
         clusters = getattr(stats, "cluster_sizes", None)
         cache_hit = getattr(stats, "plan_cache_hit", None)
+        adaptive = getattr(stats, "adaptive", False)
+        estimated_max = getattr(stats, "estimated_max_intermediate", None)
+        estimated_output = getattr(stats, "estimated_output_size", None)
         rows.append({
             "plan": stats.plan_name,
             "inputs": sum(stats.input_sizes),
             "max intermediate": stats.max_intermediate,
+            "est max": estimated_max if adaptive and estimated_max is not None else "-",
             "total intermediate": stats.total_intermediate,
             "output": stats.output_size,
+            "est output": estimated_output
+            if adaptive and estimated_output is not None else "-",
             "semijoins": "-" if semijoins is None else semijoins,
             "removed": "-" if removed is None else removed,
             "clusters": "-" if clusters is None else (list(clusters) or "-"),

@@ -16,10 +16,16 @@ Layers (bottom-up):
 * :mod:`~repro.engine.reducer` — full-reducer semijoin programs compiled off
   a rooted join tree (leaf-to-root then root-to-leaf pass), with a
   proof-of-reduction check hook;
+* :mod:`~repro.engine.catalog` — per-database :class:`StatisticsCatalog`
+  objects (cardinalities, distinct counts, System-R estimators) and the
+  :class:`CostAnnotation` compiler that simulates plans on estimates — the
+  data-dependent half of two-phase planning;
 * :mod:`~repro.engine.planner` — data-independent :class:`ExecutionPlan`
-  objects in an LRU cache keyed by a canonical schema fingerprint, plus
+  objects in an LRU cache keyed by a canonical schema fingerprint (with
+  disk persistence via ``save_cache``/``load_cache``), composed with
+  annotations into :class:`AnnotatedPlan` by ``plan_for(db)``, plus
   :class:`EngineStatistics` (a :class:`~repro.relational.join_plans.JoinStatistics`
-  extension) for cost accounting;
+  extension) for cost accounting with estimated-vs-actual columns;
 * :mod:`~repro.engine.yannakakis` — the end-to-end evaluator: plan → reduce →
   bottom-up join with early projection;
 * :mod:`~repro.engine.cyclic` — the cyclic-query subsystem: cover the cyclic
@@ -34,14 +40,23 @@ dispatches acyclic queries to the acyclic engine and cyclic queries to the
 cyclic subsystem (the naive plan is an explicit opt-in only).
 """
 
+from .catalog import (
+    CostAnnotation,
+    JoinEstimate,
+    RelationStatistics,
+    StatisticsCatalog,
+    annotate_tree,
+)
 from .indexes import HashIndex, clear_index_cache, index_cache_info, index_for
 from .planner import (
     DEFAULT_PLANNER,
+    AnnotatedPlan,
     EngineStatistics,
     ExecutionPlan,
     PlanCacheInfo,
     QueryPlanner,
     SchemaFingerprint,
+    annotate_plan,
     fingerprint_digest,
     schema_fingerprint,
 )
@@ -80,8 +95,12 @@ __all__ = [
     # reducer
     "FullReducer", "ReductionStep", "ReductionTrace", "ReductionError",
     "verify_full_reduction",
+    # statistics catalog / cost annotation
+    "RelationStatistics", "StatisticsCatalog", "JoinEstimate", "CostAnnotation",
+    "annotate_tree",
     # planning
-    "ExecutionPlan", "EngineStatistics", "QueryPlanner", "PlanCacheInfo",
+    "ExecutionPlan", "AnnotatedPlan", "annotate_plan",
+    "EngineStatistics", "QueryPlanner", "PlanCacheInfo",
     "SchemaFingerprint", "schema_fingerprint", "fingerprint_digest", "DEFAULT_PLANNER",
     # evaluation
     "EngineResult", "evaluate", "evaluate_database",

@@ -1,0 +1,547 @@
+"""Per-database statistics catalogs and the cost annotations they license.
+
+The planner's :class:`~repro.engine.planner.ExecutionPlan` is deliberately
+data-independent — it depends only on the schema's hypergraph and is cached
+by fingerprint.  Everything *data-dependent* about planning lives here:
+
+* :class:`RelationStatistics` — one relation's measured cardinality and
+  per-attribute distinct counts (exact, or extrapolated from a row sample);
+* :class:`StatisticsCatalog` — the per-database collection of those
+  measurements plus the textbook estimators built on them (join selectivity,
+  join/semijoin output sizes);
+* :class:`JoinEstimate` — a symbolic relation used while *simulating* plans:
+  a scheme, an estimated cardinality and estimated per-attribute distinct
+  counts, closed under join and projection;
+* :class:`CostAnnotation` — the result of simulating the bottom-up join over
+  a join tree with catalog estimates: a data-dependent root choice, a
+  per-parent child fold order, per-vertex cardinality estimates and the
+  predicted intermediate sizes.
+
+:func:`annotate_tree` is the annotation compiler.  It mirrors the fused
+projection of :func:`repro.engine.yannakakis.evaluate` step for step, so the
+order it recommends is evaluated against exactly the intermediates it
+predicted; the estimated-vs-actual columns of
+:func:`repro.analysis.reports.statistics_table` make the comparison visible.
+
+Estimates use the classical System-R assumptions (uniformity, independence,
+containment of value sets): a join's size is ``|L|·|R| / Π max(d_L(a),
+d_R(a))`` over the shared attributes, a projection onto ``K`` keeps at most
+``Π d(a)`` rows, and a semijoin keeps the fraction ``min(1, d_src/d_tgt)``
+per separator attribute.  They are wrong in detail and useful in aggregate —
+the annotation only needs the *ordering* of candidate plans to be right.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import islice
+from typing import (
+    Dict,
+    FrozenSet,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from ..core.hypergraph import Edge
+from ..core.join_tree import JoinTree, RootedJoinTree
+from ..core.nodes import format_node_set, node_sort_key, sorted_nodes
+from ..relational.relation import Relation
+from ..relational.schema import Attribute
+
+__all__ = [
+    "RelationStatistics",
+    "StatisticsCatalog",
+    "JoinEstimate",
+    "CostAnnotation",
+    "annotate_tree",
+]
+
+#: Root-candidate enumeration is O(vertices²); beyond this many join-tree
+#: vertices the annotation keeps the structure plan's default root and only
+#: adapts the child fold order.
+_MAX_ROOT_CANDIDATES = 16
+
+
+def _edge_key(edge: Edge) -> Tuple:
+    return tuple(node_sort_key(node) for node in sorted_nodes(edge))
+
+
+def _rows(estimate: float) -> int:
+    """Round a fractional cardinality estimate to whole rows (never negative)."""
+    return max(int(estimate + 0.5), 0)
+
+
+# --------------------------------------------------------------------------- #
+# Measurements
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class RelationStatistics:
+    """Measured statistics of one relation: cardinality and distinct counts.
+
+    ``exact`` is ``False`` when the distinct counts were extrapolated from a
+    row sample (see :meth:`measure`'s ``sample_limit``); the cardinality is
+    always exact (``len`` is free on a materialised relation).
+    """
+
+    edge: Edge
+    cardinality: int
+    distinct_counts: Mapping[Attribute, int]
+    exact: bool = True
+
+    @classmethod
+    def measure(cls, relation: Relation, *,
+                sample_limit: Optional[int] = None) -> "RelationStatistics":
+        """Measure a relation, optionally from a bounded row sample.
+
+        With ``sample_limit`` below the relation's size, distinct counts are
+        computed over the first ``sample_limit`` rows of the relation's
+        deterministic iteration order and scaled linearly — the cheap refresh
+        a serving system can afford on every write burst, and reproducible
+        across processes (a raw ``frozenset`` walk would vary with the hash
+        seed).  Scaled counts are clamped to the cardinality.
+        """
+        attributes = relation.schema.attributes
+        size = len(relation)
+        if sample_limit is not None and sample_limit < 1:
+            raise ValueError("sample_limit must be at least 1")
+        if sample_limit is not None and size > sample_limit:
+            sample = list(islice(iter(relation), sample_limit))
+            scale = size / len(sample)
+            distinct = {
+                attribute: min(size, _rows(len({row[attribute] for row in sample}) * scale))
+                for attribute in attributes
+            }
+            return cls(edge=relation.schema.attribute_set, cardinality=size,
+                       distinct_counts=distinct, exact=False)
+        distinct = {attribute: len({row[attribute] for row in relation.rows})
+                    for attribute in attributes}
+        return cls(edge=relation.schema.attribute_set, cardinality=size,
+                   distinct_counts=distinct, exact=True)
+
+    def merged_with(self, other: "RelationStatistics") -> "RelationStatistics":
+        """Combine measurements of two same-scheme relations.
+
+        Same-scheme relations are intersected by the engine (see
+        :func:`repro.engine.semijoin.merge_relations_by_scheme`), so the
+        combined estimate takes the minimum cardinality and distinct counts.
+        """
+        if other.edge != self.edge:
+            raise ValueError("cannot merge statistics over different schemes")
+        distinct = {attribute: min(self.distinct_counts.get(attribute, self.cardinality),
+                                   other.distinct_counts.get(attribute, other.cardinality))
+                    for attribute in self.edge}
+        return RelationStatistics(edge=self.edge,
+                                  cardinality=min(self.cardinality, other.cardinality),
+                                  distinct_counts=distinct,
+                                  exact=self.exact and other.exact)
+
+    def estimate(self) -> "JoinEstimate":
+        """The measurement as a symbolic relation for plan simulation."""
+        return JoinEstimate(self.edge, self.cardinality, self.distinct_counts)
+
+    def describe(self) -> str:
+        """``{A, B}: 120 rows, distinct A=30 B=4``-style rendering."""
+        parts = " ".join(f"{attribute}={self.distinct_counts[attribute]}"
+                         for attribute in sorted_nodes(self.edge))
+        marker = "" if self.exact else " (sampled)"
+        return f"{format_node_set(self.edge)}: {self.cardinality} rows{marker}" \
+               + (f", distinct {parts}" if parts else "")
+
+
+class StatisticsCatalog:
+    """A per-database collection of relation statistics plus estimators.
+
+    The catalog is keyed by *scheme* (the relation's attribute set — the
+    hypergraph edge), matching how the engine maps relations onto join-tree
+    vertices and cluster members.  Duplicate schemes are merged with
+    :meth:`RelationStatistics.merged_with`.
+    """
+
+    def __init__(self, statistics: Iterable[RelationStatistics] = ()) -> None:
+        self._by_edge: Dict[Edge, RelationStatistics] = {}
+        for entry in statistics:
+            existing = self._by_edge.get(entry.edge)
+            self._by_edge[entry.edge] = entry if existing is None \
+                else existing.merged_with(entry)
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_relations(cls, relations: Sequence[Relation], *,
+                       sample_limit: Optional[int] = None) -> "StatisticsCatalog":
+        """Measure every relation (same-scheme duplicates merged)."""
+        return cls(RelationStatistics.measure(relation, sample_limit=sample_limit)
+                   for relation in relations)
+
+    @classmethod
+    def from_database(cls, database, *,
+                      sample_limit: Optional[int] = None) -> "StatisticsCatalog":
+        """Measure every relation of a :class:`~repro.relational.database.Database`."""
+        return cls.from_relations(database.relations(), sample_limit=sample_limit)
+
+    def refreshed(self, source, *,
+                  sample_limit: Optional[int] = None) -> "StatisticsCatalog":
+        """A fresh catalog re-measured from a database or relation sequence."""
+        relations = source.relations() if hasattr(source, "relations") else source
+        return StatisticsCatalog.from_relations(tuple(relations),
+                                                sample_limit=sample_limit)
+
+    # ------------------------------------------------------------------ #
+    # Lookups
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self._by_edge)
+
+    def __contains__(self, edge: object) -> bool:
+        return frozenset(edge) in self._by_edge  # type: ignore[arg-type]
+
+    @property
+    def edges(self) -> Tuple[Edge, ...]:
+        """The measured schemes, in canonical order."""
+        return tuple(sorted(self._by_edge, key=_edge_key))
+
+    @property
+    def is_exact(self) -> bool:
+        """``True`` when no measurement was sampled."""
+        return all(entry.exact for entry in self._by_edge.values())
+
+    def statistics_for(self, edge: Iterable[Attribute]) -> Optional[RelationStatistics]:
+        """The measurement for a scheme, or ``None`` when it was never measured."""
+        return self._by_edge.get(frozenset(edge))
+
+    def cardinality(self, edge: Iterable[Attribute],
+                    default: Optional[int] = None) -> Optional[int]:
+        """The estimated row count of the relation over ``edge``."""
+        entry = self._by_edge.get(frozenset(edge))
+        return entry.cardinality if entry is not None else default
+
+    def distinct_count(self, edge: Iterable[Attribute], attribute: Attribute,
+                       default: Optional[int] = None) -> Optional[int]:
+        """The estimated distinct values of ``attribute`` within one relation."""
+        entry = self._by_edge.get(frozenset(edge))
+        if entry is None:
+            return default
+        return entry.distinct_counts.get(attribute, entry.cardinality)
+
+    def attribute_distinct(self, attribute: Attribute,
+                           default: Optional[int] = None) -> Optional[int]:
+        """The estimated distinct values of ``attribute`` in the universal join.
+
+        Under the containment assumption this is the *minimum* over the
+        relations whose scheme mentions the attribute.
+        """
+        counts = [entry.distinct_counts.get(attribute, entry.cardinality)
+                  for entry in self._by_edge.values() if attribute in entry.edge]
+        return min(counts) if counts else default
+
+    def _fallback_cardinality(self) -> int:
+        """The stand-in cardinality for schemes the catalog never measured."""
+        if not self._by_edge:
+            return 1
+        total = sum(entry.cardinality for entry in self._by_edge.values())
+        return max(1, total // len(self._by_edge))
+
+    def estimate_for(self, edge: Iterable[Attribute],
+                     fallback_cardinality: Optional[int] = None) -> "JoinEstimate":
+        """A symbolic relation for ``edge``: measured, or a neutral fallback.
+
+        Unmeasured schemes get ``fallback_cardinality`` rows (the catalog's
+        mean cardinality when not supplied) with every attribute fully
+        distinct — deliberately uninformative, so adaptive ordering never
+        *prefers* a scheme it knows nothing about.
+        """
+        scheme = frozenset(edge)
+        entry = self._by_edge.get(scheme)
+        if entry is not None:
+            return entry.estimate()
+        cardinality = fallback_cardinality if fallback_cardinality is not None \
+            else self._fallback_cardinality()
+        return JoinEstimate(scheme, cardinality,
+                            {attribute: cardinality for attribute in scheme})
+
+    # ------------------------------------------------------------------ #
+    # Estimators
+    # ------------------------------------------------------------------ #
+    def join_selectivity(self, left: Iterable[Attribute],
+                         right: Iterable[Attribute]) -> float:
+        """``Π 1/max(d_L(a), d_R(a))`` over the shared attributes (1.0 if none)."""
+        left_edge, right_edge = frozenset(left), frozenset(right)
+        selectivity = 1.0
+        for attribute in left_edge & right_edge:
+            left_distinct = self.distinct_count(left_edge, attribute, default=1) or 1
+            right_distinct = self.distinct_count(right_edge, attribute, default=1) or 1
+            selectivity /= max(left_distinct, right_distinct, 1)
+        return selectivity
+
+    def estimate_join_size(self, left: Iterable[Attribute],
+                           right: Iterable[Attribute]) -> int:
+        """The System-R estimate of ``|L ⋈ R|`` for two measured schemes."""
+        joined = self.estimate_for(left).join(self.estimate_for(right))
+        return _rows(joined.cardinality)
+
+    def estimate_semijoin_size(self, target: Iterable[Attribute],
+                               source: Iterable[Attribute]) -> int:
+        """The estimated size of ``target ⋉ source``."""
+        target_est = self.estimate_for(target)
+        source_est = self.estimate_for(source)
+        return _rows(target_est.cardinality
+                     * target_est.semijoin_selectivity(source_est))
+
+    def describe(self) -> str:
+        """A multi-line rendering, one measured scheme per line."""
+        lines = [f"StatisticsCatalog ({len(self._by_edge)} schemes, "
+                 f"{'exact' if self.is_exact else 'sampled'})"]
+        for edge in self.edges:
+            lines.append(f"  {self._by_edge[edge].describe()}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return f"StatisticsCatalog({len(self._by_edge)} schemes)"
+
+
+# --------------------------------------------------------------------------- #
+# Symbolic relations for plan simulation
+# --------------------------------------------------------------------------- #
+class JoinEstimate:
+    """A symbolic relation: scheme + estimated cardinality + distinct counts.
+
+    Closed under :meth:`join` and :meth:`project`, which apply the System-R
+    formulas, so a whole query plan can be "executed" on estimates alone.
+    Distinct counts are clamped into ``[0 or 1, cardinality]`` on every
+    construction, keeping the estimates self-consistent.
+    """
+
+    __slots__ = ("attributes", "cardinality", "distincts")
+
+    def __init__(self, attributes: Iterable[Attribute], cardinality: float,
+                 distincts: Mapping[Attribute, float]) -> None:
+        self.attributes: FrozenSet[Attribute] = frozenset(attributes)
+        self.cardinality: float = max(float(cardinality), 0.0)
+        floor = 1.0 if self.cardinality >= 1.0 else 0.0
+        self.distincts: Dict[Attribute, float] = {
+            attribute: max(min(float(distincts.get(attribute, self.cardinality)),
+                               self.cardinality), floor)
+            for attribute in self.attributes
+        }
+
+    def join(self, other: "JoinEstimate") -> "JoinEstimate":
+        """The estimated natural join of two symbolic relations."""
+        shared = self.attributes & other.attributes
+        cardinality = self.cardinality * other.cardinality
+        for attribute in shared:
+            cardinality /= max(self.distincts[attribute], other.distincts[attribute], 1.0)
+        merged: Dict[Attribute, float] = {}
+        for attribute in self.attributes | other.attributes:
+            if attribute in shared:
+                merged[attribute] = min(self.distincts[attribute],
+                                        other.distincts[attribute])
+            elif attribute in self.attributes:
+                merged[attribute] = self.distincts[attribute]
+            else:
+                merged[attribute] = other.distincts[attribute]
+        return JoinEstimate(self.attributes | other.attributes, cardinality, merged)
+
+    def project(self, attributes: Iterable[Attribute]) -> "JoinEstimate":
+        """The estimated duplicate-eliminating projection onto ``attributes``."""
+        kept = frozenset(attributes) & self.attributes
+        if not kept:
+            return JoinEstimate(frozenset(), min(self.cardinality, 1.0), {})
+        bound = 1.0
+        for attribute in kept:
+            bound *= self.distincts[attribute]
+        return JoinEstimate(kept, min(self.cardinality, bound), self.distincts)
+
+    def semijoin_selectivity(self, source: "JoinEstimate") -> float:
+        """The estimated surviving fraction of ``self ⋉ source``."""
+        selectivity = 1.0
+        for attribute in self.attributes & source.attributes:
+            own = self.distincts[attribute]
+            if own <= 0.0:
+                continue
+            selectivity *= min(1.0, source.distincts[attribute] / own)
+        return selectivity
+
+    def scaled(self, factor: float) -> "JoinEstimate":
+        """The same scheme with the cardinality scaled by ``factor``."""
+        return JoinEstimate(self.attributes, self.cardinality * factor, self.distincts)
+
+    @property
+    def rows(self) -> int:
+        """The cardinality rounded to whole rows."""
+        return _rows(self.cardinality)
+
+    def __repr__(self) -> str:
+        return (f"JoinEstimate({format_node_set(self.attributes)}, "
+                f"~{self.rows} rows)")
+
+
+# --------------------------------------------------------------------------- #
+# Cost annotations
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class CostAnnotation:
+    """The data-dependent half of a plan: root, fold order, size predictions.
+
+    ``root`` is ``None`` when the structure plan's default rooting already
+    minimises the predicted largest intermediate; ``child_order`` maps each
+    join-tree vertex to the order its children should be folded in during the
+    bottom-up join (and the order the reducer visits sibling semijoins).
+    """
+
+    root: Optional[Edge]
+    child_order: Mapping[Edge, Tuple[Edge, ...]]
+    vertex_estimates: Mapping[Edge, int]
+    reduced_estimates: Mapping[Edge, int]
+    estimated_intermediate_sizes: Tuple[int, ...]
+    estimated_output_size: int
+
+    @property
+    def estimated_max_intermediate(self) -> int:
+        """The predicted largest bottom-up intermediate (0 with no joins)."""
+        return max(self.estimated_intermediate_sizes, default=0)
+
+    def order_children(self, vertex: Edge,
+                       children: Sequence[Edge]) -> Tuple[Edge, ...]:
+        """``children`` re-ordered into the annotation's fold order.
+
+        Children the annotation never saw (defensive case) keep their
+        relative traversal order, after the annotated ones.
+        """
+        preferred = self.child_order.get(vertex)
+        if not preferred:
+            return tuple(children)
+        rank = {child: position for position, child in enumerate(preferred)}
+        fallback = len(rank)
+        return tuple(sorted(children, key=lambda child: (rank.get(child, fallback),
+                                                         _edge_key(child))))
+
+    def describe(self) -> str:
+        """A one-line summary of the annotation's headline predictions."""
+        root = format_node_set(self.root) if self.root is not None else "default"
+        return (f"CostAnnotation root={root} "
+                f"est_max_intermediate={self.estimated_max_intermediate} "
+                f"est_output={self.estimated_output_size}")
+
+
+def _simulate_rooting(rooted: RootedJoinTree,
+                      reduced: Mapping[Edge, JoinEstimate],
+                      wanted: Optional[FrozenSet[Attribute]]
+                      ) -> Tuple[Dict[Edge, Tuple[Edge, ...]], Tuple[int, ...], int]:
+    """Simulate the bottom-up join for one rooting with greedy child ordering.
+
+    Mirrors the fused-projection keeps of
+    :func:`repro.engine.yannakakis.evaluate`: while a vertex still has
+    unfolded children, their separators stay live; afterwards the partial is
+    projected onto (wanted ∩ subtree) ∪ parent separator.  At every vertex
+    the next child folded is the one whose fold is predicted smallest.
+    """
+    partial: Dict[Edge, JoinEstimate] = {}
+    order_map: Dict[Edge, Tuple[Edge, ...]] = {}
+    sizes: List[int] = []
+    for vertex, parent in rooted.leaf_to_root():
+        current = reduced[vertex]
+        children = list(rooted.children_of(vertex))
+        final_keep: Optional[FrozenSet[Attribute]] = None
+        if wanted is not None:
+            subtree_attributes = set(vertex)
+            for child in children:
+                subtree_attributes.update(partial[child].attributes)
+            final_keep = frozenset(subtree_attributes) & wanted
+            if parent is not None:
+                final_keep |= frozenset(vertex) & frozenset(parent)
+        chosen: List[Edge] = []
+        remaining = list(children)
+        while remaining:
+            best: Optional[Tuple[Tuple, Edge, JoinEstimate]] = None
+            for child in remaining:
+                joined = current.join(partial[child])
+                if final_keep is not None:
+                    keep = set(final_keep)
+                    for other in remaining:
+                        if other is not child:
+                            keep |= frozenset(vertex) & frozenset(other)
+                    joined = joined.project(keep)
+                key = (joined.cardinality, _edge_key(child))
+                if best is None or key < best[0]:
+                    best = (key, child, joined)
+            assert best is not None
+            _, child, current = best
+            remaining.remove(child)
+            chosen.append(child)
+            sizes.append(current.rows)
+        if final_keep is not None and final_keep != current.attributes:
+            current = current.project(final_keep)
+        partial[vertex] = current
+        if chosen:
+            order_map[vertex] = tuple(chosen)
+    roots = rooted.roots
+    if not roots:
+        return order_map, tuple(sizes), 0
+    result = partial[roots[0]]
+    for other_root in roots[1:]:
+        result = result.join(partial[other_root])
+        if wanted is not None:
+            result = result.project((result.attributes
+                                     | partial[other_root].attributes) & wanted)
+        sizes.append(result.rows)
+    return order_map, tuple(sizes), result.rows
+
+
+def annotate_tree(tree: JoinTree, catalog: StatisticsCatalog, *,
+                  output_attributes: Optional[Iterable[Attribute]] = None,
+                  candidate_roots: Optional[Sequence[Optional[Edge]]] = None,
+                  max_root_candidates: int = _MAX_ROOT_CANDIDATES) -> CostAnnotation:
+    """Compile the cost annotation for a join tree against a catalog.
+
+    Every candidate rooting (all vertices by default, capped at
+    ``max_root_candidates``, plus the default rooting) is simulated with
+    :func:`_simulate_rooting`; the rooting with the smallest predicted
+    largest intermediate wins, ties broken towards the default rooting so an
+    annotation never forces a new plan compilation without a predicted
+    payoff.  ``candidate_roots`` pins the simulation to explicit rootings
+    (used when the caller has already fixed a root).
+    """
+    wanted: Optional[FrozenSet[Attribute]] = (
+        frozenset(output_attributes) if output_attributes is not None else None)
+    base: Dict[Edge, JoinEstimate] = {
+        vertex: catalog.estimate_for(vertex) for vertex in tree.vertices}
+    reduced: Dict[Edge, JoinEstimate] = {}
+    for vertex in tree.vertices:
+        estimate = base[vertex]
+        factor = 1.0
+        for neighbour in tree.neighbours(vertex):
+            factor *= estimate.semijoin_selectivity(base[neighbour])
+        reduced[vertex] = estimate.scaled(factor)
+
+    if candidate_roots is not None:
+        candidates: List[Optional[Edge]] = list(candidate_roots)
+    elif len(tree.vertices) <= max_root_candidates:
+        candidates = [None] + sorted(tree.vertices, key=_edge_key)
+    else:
+        candidates = [None]
+
+    best: Optional[Tuple[Tuple, Optional[Edge],
+                         Dict[Edge, Tuple[Edge, ...]], Tuple[int, ...], int]] = None
+    for root in candidates:
+        rooted = tree.rooted(root)
+        order_map, sizes, output_estimate = _simulate_rooting(rooted, reduced, wanted)
+        key = (max(sizes, default=0), sum(sizes),
+               0 if root is None else 1,
+               _edge_key(root) if root is not None else ())
+        if best is None or key < best[0]:
+            best = (key, root, order_map, sizes, output_estimate)
+    assert best is not None
+    _, root, order_map, sizes, output_estimate = best
+    return CostAnnotation(
+        root=root,
+        child_order=order_map,
+        vertex_estimates={vertex: base[vertex].rows for vertex in tree.vertices},
+        reduced_estimates={vertex: reduced[vertex].rows for vertex in tree.vertices},
+        estimated_intermediate_sizes=sizes,
+        estimated_output_size=output_estimate,
+    )

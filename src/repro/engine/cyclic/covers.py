@@ -31,12 +31,16 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from itertools import product
-from typing import FrozenSet, Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..catalog import StatisticsCatalog
 
 from ...core.acyclicity import is_acyclic
 from ...core.components import edge_components
 from ...core.hypergraph import Edge, Hypergraph
 from ...core.nodes import format_node_set, sorted_nodes
+from ...exceptions import CoverSearchBudgetExceededError
 
 __all__ = [
     "EdgeCluster",
@@ -52,6 +56,9 @@ _REFINEMENT_EDGE_LIMIT = 7
 
 #: Upper bound on how many candidate covers one search examines.
 _CANDIDATE_LIMIT = 256
+
+#: The budget policies of :func:`enumerate_covers` for over-cap core components.
+_BUDGET_POLICIES = ("degrade", "raise")
 
 
 def _edge_sort_key(edge: Edge) -> Tuple:
@@ -87,6 +94,20 @@ class EdgeCluster:
     def sorted_edges(self) -> Tuple[Edge, ...]:
         """The member edges in canonical order (used by deterministic execution)."""
         return tuple(sorted(self.edges, key=_edge_sort_key))
+
+    def estimated_rows(self, catalog: "StatisticsCatalog") -> int:
+        """The estimated cardinality of the cluster's intra-cluster join.
+
+        Folds the member edges' catalog estimates in canonical order with the
+        System-R join formula; singletons are just their relation estimate.
+        """
+        members = self.sorted_edges()
+        if not members:
+            return 0
+        estimate = catalog.estimate_for(members[0])
+        for edge in members[1:]:
+            estimate = estimate.join(catalog.estimate_for(edge))
+        return estimate.rows
 
     def describe(self) -> str:
         """``{AB, BC} → ABC``-style rendering."""
@@ -242,7 +263,8 @@ def _set_partitions(items: List[Edge]) -> Iterator[List[List[Edge]]]:
 
 def enumerate_covers(hypergraph: Hypergraph, *,
                      max_component_edges: int = _REFINEMENT_EDGE_LIMIT,
-                     max_candidates: int = _CANDIDATE_LIMIT) -> Tuple[ClusterCover, ...]:
+                     max_candidates: int = _CANDIDATE_LIMIT,
+                     on_budget: str = "degrade") -> Tuple[ClusterCover, ...]:
     """Enumerate valid candidate covers (acyclic quotient), baseline included.
 
     Stuck-core components with at most ``max_component_edges`` edges are
@@ -250,8 +272,27 @@ def enumerate_covers(hypergraph: Hypergraph, *,
     validated with the GYO acyclicity test before it is admitted.  The
     baseline :func:`core_periphery_cover` is always part of the result, so
     the enumeration is never empty.
+
+    ``on_budget`` governs core components *beyond* the cap, where exhaustive
+    set partition would blow up (Bell numbers): ``"degrade"`` (the default)
+    keeps only the greedy collapsed-component candidate for them, while
+    ``"raise"`` raises
+    :class:`~repro.exceptions.CoverSearchBudgetExceededError` so callers that
+    would rather fail than accept an unrefined wide cluster can.
     """
+    if on_budget not in _BUDGET_POLICIES:
+        raise ValueError(f"unknown on_budget policy {on_budget!r}; "
+                         f"expected one of {_BUDGET_POLICIES}")
     proper, empty, ears, components = _core_decomposition(hypergraph)
+    over_budget = [component for component in components
+                   if len(component) > max_component_edges]
+    if over_budget and on_budget == "raise":
+        worst = max(len(component) for component in over_budget)
+        raise CoverSearchBudgetExceededError(
+            f"cyclic core component with {worst} edges exceeds the refinement "
+            f"cap of {max_component_edges}; exhaustive partition search would "
+            "blow up — raise max_component_edges, or use on_budget='degrade' "
+            "to accept the greedy collapsed-component cover")
     baseline = ClusterCover.of(
         _attach_empty_edges(_baseline_groups(proper, ears, components), empty))
     if baseline.is_trivial or not proper:
@@ -292,24 +333,44 @@ def enumerate_covers(hypergraph: Hypergraph, *,
     return tuple(covers)
 
 
-def cover_score(cover: ClusterCover) -> Tuple:
-    """The cover's cost tuple: (width, fan-out, materialised attributes, tie-break).
+def cover_score(cover: ClusterCover,
+                catalog: Optional["StatisticsCatalog"] = None) -> Tuple:
+    """The cover's cost tuple (lexicographic; smaller is better).
 
-    Lexicographic: the widest cluster dominates (it bounds the largest
-    relation the quotient reducer must index), then the largest intra-cluster
-    join, then the total width of the non-singleton clusters (how much the
-    executor materialises at all), then a deterministic rendering.
+    Without a catalog the score is the static schema-shape tuple: the widest
+    cluster dominates (it bounds the largest relation the quotient reducer
+    must index), then the largest intra-cluster join (fan-out), then the
+    total width of the non-singleton clusters (how much the executor
+    materialises at all), then a deterministic rendering.
+
+    With a ``catalog`` the width/fan-out tie-breaks become cardinality-aware:
+    after the width, candidates are compared by the *estimated* largest and
+    total materialised cluster cardinality, so two covers of equal width are
+    separated by how many rows their cores would actually produce on this
+    database — the adaptive half of cover selection.
     """
     materialised = sum(cluster.width for cluster in cover.clusters
                       if not cluster.is_singleton)
-    return (cover.width, cover.fan_out, materialised,
-            tuple(cluster.describe() for cluster in cover.clusters))
+    rendering = tuple(cluster.describe() for cluster in cover.clusters)
+    if catalog is None:
+        return (cover.width, cover.fan_out, materialised, rendering)
+    estimates = [cluster.estimated_rows(catalog) for cluster in cover.clusters
+                 if not cluster.is_singleton]
+    return (cover.width, max(estimates, default=0), sum(estimates),
+            cover.fan_out, materialised, rendering)
 
 
 def choose_cover(hypergraph: Hypergraph, *,
                  max_component_edges: int = _REFINEMENT_EDGE_LIMIT,
-                 max_candidates: int = _CANDIDATE_LIMIT) -> ClusterCover:
-    """The minimal-width cover of ``hypergraph`` among the enumerated candidates."""
+                 max_candidates: int = _CANDIDATE_LIMIT,
+                 on_budget: str = "degrade",
+                 catalog: Optional["StatisticsCatalog"] = None) -> ClusterCover:
+    """The minimal-score cover of ``hypergraph`` among the enumerated candidates.
+
+    With a ``catalog`` the candidates are compared by the cardinality-aware
+    score (see :func:`cover_score`); ``on_budget`` is forwarded to
+    :func:`enumerate_covers`.
+    """
     candidates = enumerate_covers(hypergraph, max_component_edges=max_component_edges,
-                                  max_candidates=max_candidates)
-    return min(candidates, key=cover_score)
+                                  max_candidates=max_candidates, on_budget=on_budget)
+    return min(candidates, key=lambda cover: cover_score(cover, catalog=catalog))

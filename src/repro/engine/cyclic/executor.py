@@ -29,6 +29,7 @@ from ...exceptions import SchemaError
 from ...relational.database import Database
 from ...relational.relation import Relation
 from ...relational.schema import Attribute
+from ..catalog import StatisticsCatalog
 from ..indexes import index_cache_info
 from ..planner import DEFAULT_PLANNER, QueryPlanner
 from ..yannakakis import evaluate as evaluate_acyclic
@@ -52,7 +53,8 @@ def evaluate_cyclic(relations: Sequence[Relation],
                     planner: Optional[QueryPlanner] = None,
                     name: str = "cyclic",
                     check_reduction: bool = False,
-                    cluster_row_bound: Optional[int] = None) -> CyclicEngineResult:
+                    cluster_row_bound: Optional[int] = None,
+                    catalog: Optional[StatisticsCatalog] = None) -> CyclicEngineResult:
     """Evaluate the natural join of ``relations`` (optionally projected), cyclic schemas included.
 
     Acyclic schemas work too (the cover is trivially all singletons and the
@@ -60,6 +62,13 @@ def evaluate_cyclic(relations: Sequence[Relation],
     acyclicity first.  ``cluster_row_bound`` caps intra-cluster intermediates
     (:class:`~repro.exceptions.ClusterBoundExceededError` beyond it);
     ``check_reduction`` is forwarded to the quotient's reducer.
+
+    ``catalog`` switches on adaptive execution end to end: the cached plan's
+    candidate covers are re-scored by estimated cluster cardinality, the
+    intra-cluster nested-loop order follows the estimates, and the quotient
+    evaluation runs with a fresh *exact* catalog of the just-materialised
+    cluster relations (cost-ordered reduction and join).  Answers are always
+    identical to the static run.
     """
     if not relations:
         raise SchemaError("the cyclic engine needs at least one relation to evaluate")
@@ -73,20 +82,40 @@ def evaluate_cyclic(relations: Sequence[Relation],
 
     index_before = index_cache_info()
     misses_before = active_planner.cache_info().misses
-    plan = active_planner.cyclic_plan_for(hypergraph)
+    plan = active_planner.cyclic_plan_for(hypergraph, catalog=catalog)
     plan_cache_hit = active_planner.cache_info().misses == misses_before
 
-    materialised = materialise_clusters(plan.cover, relations, row_bound=cluster_row_bound)
+    estimated_cluster_sizes: tuple = ()
+    estimated_materialisation: tuple = ()
+    if catalog is not None:
+        estimated_cluster_sizes = tuple(cluster.estimated_rows(catalog)
+                                        for cluster in plan.clusters)
+        # Non-singleton clusters contribute intra-cluster join intermediates
+        # to ``intermediate_sizes``; their estimated final sizes stand in for
+        # those steps so the est-max column stays comparable to the actual.
+        estimated_materialisation = tuple(
+            estimate for cluster, estimate in zip(plan.clusters,
+                                                  estimated_cluster_sizes)
+            if not cluster.is_singleton)
+    materialised = materialise_clusters(plan.cover, relations,
+                                        row_bound=cluster_row_bound, catalog=catalog)
     # The quotient plan is executed from the cyclic plan itself — no second
     # planner lookup, so a small LRU never thrashes between the cyclic plan
-    # and its own embedded quotient plan.
+    # and its own embedded quotient plan.  Adaptively, the quotient runs with
+    # an exact catalog of the materialised clusters: their sizes are known
+    # the moment they exist, so the quotient-level annotation is free.
+    inner_plan = plan.inner
+    inner_catalog = None
+    if catalog is not None:
+        inner_catalog = StatisticsCatalog.from_relations(materialised.relations)
     inner = evaluate_acyclic(materialised.relations, output_attributes,
                              planner=active_planner, name=name,
-                             check_reduction=check_reduction, plan=plan.inner)
+                             check_reduction=check_reduction, plan=inner_plan,
+                             catalog=inner_catalog)
 
     index_after = index_cache_info()
     statistics = CyclicEngineStatistics(
-        plan_name="engine-cyclic",
+        plan_name="engine-cyclic-adaptive" if catalog is not None else "engine-cyclic",
         input_sizes=tuple(len(relation) for relation in relations),
         intermediate_sizes=materialised.intermediate_sizes
         + inner.statistics.intermediate_sizes,
@@ -97,8 +126,13 @@ def evaluate_cyclic(relations: Sequence[Relation],
         plan_cache_hit=plan_cache_hit,
         index_cache_hits=index_after["hits"] - index_before["hits"],
         index_cache_misses=index_after["misses"] - index_before["misses"],
+        adaptive=catalog is not None,
+        estimated_intermediate_sizes=estimated_materialisation
+        + inner.statistics.estimated_intermediate_sizes,
+        estimated_output_size=inner.statistics.estimated_output_size,
         cluster_sizes=materialised.cluster_sizes,
         cluster_widths=tuple(cluster.width for cluster in plan.clusters),
+        estimated_cluster_sizes=estimated_cluster_sizes,
     )
     return CyclicEngineResult(relation=inner.relation, plan=plan, statistics=statistics)
 
@@ -108,12 +142,19 @@ def evaluate_cyclic_database(database: Database,
                              planner: Optional[QueryPlanner] = None,
                              name: str = "U",
                              check_reduction: bool = False,
-                             cluster_row_bound: Optional[int] = None) -> CyclicEngineResult:
+                             cluster_row_bound: Optional[int] = None,
+                             adaptive: bool = False,
+                             catalog: Optional[StatisticsCatalog] = None
+                             ) -> CyclicEngineResult:
     """Evaluate a database's universal join (optionally projected) via the cyclic engine.
 
     The cyclic counterpart of :func:`repro.engine.yannakakis.evaluate_database`,
-    for schemas whose hypergraph the acyclic engine rejects.
+    for schemas whose hypergraph the acyclic engine rejects.  ``adaptive=True``
+    (or an explicit ``catalog``) runs the cardinality-aware plan from the
+    database's statistics catalog.
     """
+    if adaptive and catalog is None:
+        catalog = database.statistics_catalog()
     return evaluate_cyclic(database.relations(), output_attributes, planner=planner,
                            name=name, check_reduction=check_reduction,
-                           cluster_row_bound=cluster_row_bound)
+                           cluster_row_bound=cluster_row_bound, catalog=catalog)

@@ -29,12 +29,20 @@ __all__ = ["CyclicExecutionPlan", "CyclicEngineStatistics"]
 
 @dataclass(frozen=True)
 class CyclicExecutionPlan:
-    """A compiled plan for one cyclic schema fingerprint: cover, quotient, inner plan."""
+    """A compiled plan for one cyclic schema fingerprint: cover, quotient, inner plan.
+
+    ``candidates`` records every valid cover the search enumerated; it is
+    what the planner re-scores against a per-database statistics catalog to
+    pick a cardinality-aware cover without re-running the search (see
+    :meth:`QueryPlanner.cyclic_plan_for
+    <repro.engine.planner.QueryPlanner.cyclic_plan_for>`).
+    """
 
     fingerprint: SchemaFingerprint
     cover: ClusterCover
     quotient: AcyclicQuotient
     inner: ExecutionPlan
+    candidates: Tuple[ClusterCover, ...] = ()
 
     @property
     def clusters(self) -> Tuple[EdgeCluster, ...]:
@@ -71,6 +79,7 @@ class CyclicEngineStatistics(EngineStatistics):
 
     cluster_sizes: Tuple[int, ...] = ()
     cluster_widths: Tuple[int, ...] = ()
+    estimated_cluster_sizes: Tuple[int, ...] = ()
 
     @property
     def max_cluster_size(self) -> int:

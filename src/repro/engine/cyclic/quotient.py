@@ -13,7 +13,10 @@ joined, so equality filters apply as early as possible).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..catalog import StatisticsCatalog
 
 from ...core.acyclicity import is_acyclic
 from ...core.hypergraph import Hypergraph
@@ -82,31 +85,60 @@ class ClusterMaterialisation:
     cluster_sizes: Tuple[int, ...]
 
 
-def _greedy_member_order(members: Sequence[Relation]) -> List[Relation]:
+def _greedy_member_order(members: Sequence[Relation],
+                         catalog: Optional["StatisticsCatalog"] = None
+                         ) -> List[Relation]:
     """Join order inside a cluster: smallest first, then maximal attribute overlap.
 
     Starting from the smallest member and always joining the relation that
     shares the most attributes with the scheme accumulated so far applies
     every equality filter as early as the cluster allows — the bounded
     nested-loop discipline for cyclic cores.
+
+    With a ``catalog`` the overlap tie-break is replaced by estimated
+    cardinality: the next member is the one whose estimated join with the
+    accumulated intermediate is smallest (the System-R formula over the
+    catalog's distinct counts), so a selective-but-narrow member beats a
+    wide-overlap member that would multiply rows.
     """
-    pending = sorted(members, key=lambda r: (len(r), sorted_nodes(r.schema.attribute_set)))
+    if catalog is None:
+        pending = sorted(members, key=lambda r: (len(r), sorted_nodes(r.schema.attribute_set)))
+        ordered = [pending.pop(0)]
+        scheme = set(ordered[0].schema.attribute_set)
+        while pending:
+            best_index = min(
+                range(len(pending)),
+                key=lambda i: (-len(scheme & pending[i].schema.attribute_set),
+                               len(pending[i]),
+                               sorted_nodes(pending[i].schema.attribute_set)))
+            chosen = pending.pop(best_index)
+            scheme |= chosen.schema.attribute_set
+            ordered.append(chosen)
+        return ordered
+
+    def estimate_of(relation: Relation):
+        return catalog.estimate_for(relation.schema.attribute_set,
+                                    fallback_cardinality=len(relation))
+
+    pending = sorted(members,
+                     key=lambda r: (estimate_of(r).cardinality,
+                                    sorted_nodes(r.schema.attribute_set)))
     ordered = [pending.pop(0)]
-    scheme = set(ordered[0].schema.attribute_set)
+    accumulated = estimate_of(ordered[0])
     while pending:
         best_index = min(
             range(len(pending)),
-            key=lambda i: (-len(scheme & pending[i].schema.attribute_set),
-                           len(pending[i]),
+            key=lambda i: (accumulated.join(estimate_of(pending[i])).cardinality,
                            sorted_nodes(pending[i].schema.attribute_set)))
         chosen = pending.pop(best_index)
-        scheme |= chosen.schema.attribute_set
+        accumulated = accumulated.join(estimate_of(chosen))
         ordered.append(chosen)
     return ordered
 
 
 def materialise_clusters(cover: ClusterCover, relations: Sequence[Relation], *,
-                         row_bound: Optional[int] = None
+                         row_bound: Optional[int] = None,
+                         catalog: Optional["StatisticsCatalog"] = None
                          ) -> ClusterMaterialisation:
     """One relation per cluster: the (bounded) join of the cluster's member relations.
 
@@ -115,7 +147,9 @@ def materialise_clusters(cover: ClusterCover, relations: Sequence[Relation], *,
     must have a matching relation.  ``row_bound`` caps the size of every
     intra-cluster intermediate — exceeding it raises
     :class:`~repro.exceptions.ClusterBoundExceededError` so callers can fall
-    back rather than materialise a runaway core.
+    back rather than materialise a runaway core.  ``catalog`` switches the
+    intra-cluster nested-loop order to estimated-cardinality-first (see
+    :func:`_greedy_member_order`).
     """
     per_edge = merge_relations_by_scheme(relations)
     cluster_relations: List[Relation] = []
@@ -130,7 +164,7 @@ def materialise_clusters(cover: ClusterCover, relations: Sequence[Relation], *,
             members.append(per_edge[edge])
         current = members[0]
         if len(members) > 1:
-            ordered = _greedy_member_order(members)
+            ordered = _greedy_member_order(members, catalog)
             current = ordered[0]
             for member in ordered[1:]:
                 current = natural_join_indexed(current, member)

@@ -8,16 +8,28 @@ planner therefore caches compiled :class:`ExecutionPlan` objects in an LRU
 keyed by a canonical **schema fingerprint**, so repeated queries over the
 same hypergraph skip the whole analysis.
 
+Planning is two-phase.  The fingerprint-cached :class:`ExecutionPlan` is the
+**structure plan**; handing it a per-database
+:class:`~repro.engine.catalog.StatisticsCatalog` (see :meth:`QueryPlanner.annotate`
+or the :meth:`QueryPlanner.plan_for` entry point with a
+:class:`~repro.relational.database.Database`) yields an :class:`AnnotatedPlan`
+— the same structure plus a data-dependent
+:class:`~repro.engine.catalog.CostAnnotation`: a cardinality-chosen root, a
+per-parent fold order and a cost-ordered reducer.  Annotations are cheap and
+never cached; the structure cache is untouched (a re-rooted structure is just
+another ``(fingerprint, root)`` entry).
+
 :class:`EngineStatistics` absorbs the tuple-count accounting of
 :class:`~repro.relational.join_plans.JoinStatistics` (so benchmark tables can
 compare engines and naive plans side by side) and extends it with semijoin,
-reduction and cache counters.
+reduction, cache and estimated-vs-actual counters.
 """
 
 from __future__ import annotations
 
 import hashlib
 import json
+import os
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple, Union
@@ -29,8 +41,10 @@ from ..core.hypergraph import Edge, Hypergraph
 from ..core.join_tree import JoinTree, RootedJoinTree, build_join_tree
 from ..core.nodes import node_sort_key, sorted_nodes
 from ..exceptions import CyclicHypergraphError
+from ..relational.database import Database
 from ..relational.join_plans import JoinStatistics
 from ..relational.schema import DatabaseSchema
+from .catalog import CostAnnotation, StatisticsCatalog, annotate_tree
 from .reducer import FullReducer
 
 __all__ = [
@@ -38,6 +52,8 @@ __all__ = [
     "schema_fingerprint",
     "EngineStatistics",
     "ExecutionPlan",
+    "AnnotatedPlan",
+    "annotate_plan",
     "PlanCacheInfo",
     "QueryPlanner",
     "DEFAULT_PLANNER",
@@ -101,11 +117,21 @@ class EngineStatistics(JoinStatistics):
     plan_cache_hit: bool = False
     index_cache_hits: int = 0
     index_cache_misses: int = 0
+    adaptive: bool = False
+    estimated_intermediate_sizes: Tuple[int, ...] = ()
+    estimated_output_size: Optional[int] = None
 
     @property
     def max_reduced_input(self) -> int:
         """The largest relation after reduction (0 when nothing was reduced)."""
         return max(self.reduced_sizes, default=0)
+
+    @property
+    def estimated_max_intermediate(self) -> Optional[int]:
+        """The annotation's predicted largest intermediate (``None`` when static)."""
+        if not self.adaptive:
+            return None
+        return max(self.estimated_intermediate_sizes, default=0)
 
     @property
     def reduction_ratio(self) -> float:
@@ -116,10 +142,14 @@ class EngineStatistics(JoinStatistics):
     def describe(self) -> str:
         """A one-line summary aligned with ``JoinStatistics.describe``."""
         base = super().describe()
-        return (f"{base} semijoins={self.semijoin_steps} "
-                f"removed={self.rows_removed_by_reduction} "
-                f"reduced={list(self.reduced_sizes)} "
-                f"plan_cache={'hit' if self.plan_cache_hit else 'miss'}")
+        summary = (f"{base} semijoins={self.semijoin_steps} "
+                   f"removed={self.rows_removed_by_reduction} "
+                   f"reduced={list(self.reduced_sizes)} "
+                   f"plan_cache={'hit' if self.plan_cache_hit else 'miss'}")
+        if self.adaptive:
+            summary += (f" adaptive est_max={self.estimated_max_intermediate} "
+                        f"est_output={self.estimated_output_size}")
+        return summary
 
 
 @dataclass(frozen=True)
@@ -152,6 +182,84 @@ class ExecutionPlan:
                  self.join_tree.describe(),
                  self.reducer.describe()]
         return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class AnnotatedPlan:
+    """A structure plan composed with a per-database cost annotation.
+
+    The structure half is a fingerprint-cached :class:`ExecutionPlan` (a new
+    rooting is just another cache entry — the cache is never invalidated);
+    the annotation half is data-dependent and recomputed per database.
+    ``reducer`` is the structure plan's full reducer with its sibling
+    semijoins re-ordered smallest-estimated-first.
+    """
+
+    structure: ExecutionPlan
+    catalog: StatisticsCatalog
+    annotation: CostAnnotation
+    reducer: FullReducer
+
+    # Structure proxies, so the evaluator treats annotated and plain plans
+    # uniformly.
+    @property
+    def fingerprint(self) -> SchemaFingerprint:
+        """The structure plan's schema fingerprint."""
+        return self.structure.fingerprint
+
+    @property
+    def join_tree(self) -> JoinTree:
+        """The structure plan's join tree."""
+        return self.structure.join_tree
+
+    @property
+    def rooted(self) -> RootedJoinTree:
+        """The structure plan's (annotation-chosen) rooting."""
+        return self.structure.rooted
+
+    @property
+    def vertices(self) -> Tuple[Edge, ...]:
+        """The join-tree vertices, in tree-vertex order."""
+        return self.structure.vertices
+
+    @property
+    def root(self) -> Optional[Edge]:
+        """The structure plan's requested root."""
+        return self.structure.root
+
+    def estimated_semijoin_steps(self) -> int:
+        """How many semijoin steps one reducer run performs."""
+        return len(self.reducer)
+
+    def order_children(self, vertex: Edge,
+                       children: Sequence[Edge]) -> Tuple[Edge, ...]:
+        """The annotation's fold order for one vertex's children."""
+        return self.annotation.order_children(vertex, children)
+
+    def describe(self) -> str:
+        """The structure plan's rendering plus the annotation summary."""
+        return "\n".join([self.structure.describe(), self.annotation.describe()])
+
+
+def annotate_plan(structure: ExecutionPlan, catalog: StatisticsCatalog, *,
+                  output_attributes: Optional[Iterable[object]] = None
+                  ) -> AnnotatedPlan:
+    """Annotate an already-rooted structure plan without changing its rooting.
+
+    The annotation's root candidates are pinned to the plan's current
+    rooting, so only the sibling semijoin order and the child fold order
+    adapt — the path used when a caller supplies a pre-compiled plan (e.g.
+    the quotient plan a cyclic plan embeds).  Use
+    :meth:`QueryPlanner.annotate` when the rooting itself should be chosen
+    from the catalog.
+    """
+    roots = structure.rooted.roots
+    annotation = annotate_tree(structure.join_tree, catalog,
+                               output_attributes=output_attributes,
+                               candidate_roots=[roots[0] if roots else None])
+    reducer = structure.reducer.with_cost_order(annotation.reduced_estimates)
+    return AnnotatedPlan(structure=structure, catalog=catalog,
+                         annotation=annotation, reducer=reducer)
 
 
 @dataclass(frozen=True)
@@ -204,14 +312,32 @@ class QueryPlanner:
         if len(self._cache) > self._capacity:
             self._cache.popitem(last=False)
 
-    def plan_for(self, hypergraph: Hypergraph, *, root: Optional[Edge] = None
-                 ) -> ExecutionPlan:
+    def plan_for(self, hypergraph: Union[Hypergraph, Database], *,
+                 root: Optional[Edge] = None,
+                 catalog: Optional[StatisticsCatalog] = None,
+                 output_attributes: Optional[Iterable[object]] = None
+                 ) -> Union[ExecutionPlan, "AnnotatedPlan"]:
         """The execution plan for ``hypergraph`` (compiled or from cache).
+
+        Passing a :class:`~repro.relational.database.Database` (or any
+        hypergraph together with a ``catalog``) composes the two planning
+        phases and returns an :class:`AnnotatedPlan`: the fingerprint-cached
+        structure plan plus a cost annotation computed from the database's
+        statistics catalog — the adaptive entry point.  Without a catalog the
+        data-independent :class:`ExecutionPlan` is returned as before.
 
         Raises :class:`CyclicHypergraphError` when the hypergraph admits no
         join tree — cyclic schemas have no full reducer, so the engine cannot
         plan them (callers dispatch to :meth:`cyclic_plan_for` instead).
         """
+        if isinstance(hypergraph, Database):
+            database = hypergraph
+            if catalog is None:
+                catalog = database.statistics_catalog()
+            hypergraph = database.schema.to_hypergraph()
+        if catalog is not None:
+            return self.annotate(hypergraph, catalog, root=root,
+                                 output_attributes=output_attributes)
         key = (schema_fingerprint(hypergraph), root)
         cached = self._cache_get(key)
         if cached is not None:
@@ -232,7 +358,31 @@ class QueryPlanner:
         """The execution plan for a database schema (via its hypergraph)."""
         return self.plan_for(schema.to_hypergraph(), root=root)
 
-    def cyclic_plan_for(self, hypergraph: Hypergraph) -> "CyclicExecutionPlan":
+    def annotate(self, hypergraph: Hypergraph, catalog: StatisticsCatalog, *,
+                 output_attributes: Optional[Iterable[object]] = None,
+                 root: Optional[Edge] = None) -> AnnotatedPlan:
+        """Compose the cached structure plan with a fresh cost annotation.
+
+        The annotation may pick a different root than the default structure
+        plan (it simulates every candidate rooting against the catalog);
+        re-rooted structures are ordinary ``(fingerprint, root)`` cache
+        entries, so adapting never invalidates or bypasses the LRU.  An
+        explicit ``root`` pins the rooting and only adapts the orders.
+        """
+        base = self.plan_for(hypergraph, root=root)
+        if root is not None:
+            return annotate_plan(base, catalog, output_attributes=output_attributes)
+        annotation = annotate_tree(base.join_tree, catalog,
+                                   output_attributes=output_attributes)
+        structure = base if annotation.root is None \
+            else self.plan_for(hypergraph, root=annotation.root)
+        reducer = structure.reducer.with_cost_order(annotation.reduced_estimates)
+        return AnnotatedPlan(structure=structure, catalog=catalog,
+                             annotation=annotation, reducer=reducer)
+
+    def cyclic_plan_for(self, hypergraph: Hypergraph, *,
+                        catalog: Optional[StatisticsCatalog] = None
+                        ) -> "CyclicExecutionPlan":
         """The cyclic execution plan for ``hypergraph`` (compiled or from cache).
 
         Works for acyclic hypergraphs too (the cover is trivially all
@@ -240,23 +390,50 @@ class QueryPlanner:
         quotient's embedded :class:`ExecutionPlan` — is cached in the same
         LRU as the acyclic plans under an extended fingerprint key, so cover
         search runs once per schema.
+
+        With a ``catalog``, the cached plan's candidate covers are re-scored
+        by estimated cluster-join cardinality (the data-dependent tie-break
+        of :func:`repro.engine.cyclic.covers.cover_score`); when a different
+        candidate wins, a per-database plan is assembled around it — its
+        quotient's inner plan still comes from the fingerprint cache, and the
+        static plan stays cached untouched.
         """
-        from .cyclic.covers import choose_cover
+        from .cyclic.covers import cover_score, enumerate_covers
         from .cyclic.plans import CyclicExecutionPlan
         from .cyclic.quotient import AcyclicQuotient
 
         fingerprint = schema_fingerprint(hypergraph)
         key = (_CYCLIC_KIND, fingerprint)
-        cached = self._cache_get(key)
-        if cached is not None:
-            return cached
-        cover = choose_cover(hypergraph)
-        quotient = AcyclicQuotient.build(hypergraph, cover)
+        plan = self._cache_get(key)
+        if plan is None:
+            candidates = enumerate_covers(hypergraph)
+            cover = min(candidates, key=cover_score)
+            quotient = AcyclicQuotient.build(hypergraph, cover)
+            inner = self.plan_for(quotient.hypergraph)
+            plan = CyclicExecutionPlan(fingerprint=fingerprint, cover=cover,
+                                       quotient=quotient, inner=inner,
+                                       candidates=tuple(candidates))
+            self._cache_put(key, plan)
+        if catalog is None:
+            return plan
+        candidates = plan.candidates or (plan.cover,)
+        best = min(candidates, key=lambda cover: cover_score(cover, catalog=catalog))
+        if best == plan.cover:
+            return plan
+        # The adaptive variant is keyed by the *chosen cover*, not by the
+        # catalog: any catalog picking the same cover gets the same plan, so
+        # repeated adaptive queries over one schema build the quotient once.
+        variant_key = (_CYCLIC_KIND, fingerprint, best)
+        variant = self._cache_get(variant_key)
+        if variant is not None:
+            return variant
+        quotient = AcyclicQuotient.build(hypergraph, best)
         inner = self.plan_for(quotient.hypergraph)
-        plan = CyclicExecutionPlan(fingerprint=fingerprint, cover=cover,
-                                   quotient=quotient, inner=inner)
-        self._cache_put(key, plan)
-        return plan
+        variant = CyclicExecutionPlan(fingerprint=fingerprint, cover=best,
+                                      quotient=quotient, inner=inner,
+                                      candidates=plan.candidates)
+        self._cache_put(variant_key, variant)
+        return variant
 
     def dump_fingerprints(self) -> str:
         """The cached plans' fingerprints as a JSON document (LRU → MRU order).
@@ -274,6 +451,10 @@ class QueryPlanner:
         entries: List[Dict[str, object]] = []
         for key in self._cache:
             if key[0] == _CYCLIC_KIND:
+                if len(key) == 3:
+                    # Catalog-chosen cover variants are derived per database;
+                    # warming the base cyclic entry is enough to rebuild them.
+                    continue
                 kind, fingerprint, root = _CYCLIC_KIND, key[1], None
             else:
                 kind = "acyclic"
@@ -328,6 +509,36 @@ class QueryPlanner:
                     root=frozenset(_node_from_json(node) for node in root)
                     if root is not None else None)
         return self._misses - misses_before
+
+    def save_cache(self, path: Union[str, "os.PathLike[str]"]) -> int:
+        """Persist :meth:`dump_fingerprints` to a JSON file; return the entry count.
+
+        The write goes through a same-directory temp file and ``os.replace``,
+        so a service crashing mid-save never truncates the previous dump.
+        """
+        document = self.dump_fingerprints()
+        count = len(json.loads(document))
+        path = os.fspath(path)
+        temp_path = f"{path}.tmp"
+        with open(temp_path, "w", encoding="utf-8") as handle:
+            handle.write(document)
+        os.replace(temp_path, path)
+        return count
+
+    def load_cache(self, path: Union[str, "os.PathLike[str]"], *,
+                   missing_ok: bool = False) -> int:
+        """Warm the planner from a :meth:`save_cache` file; return plans compiled.
+
+        Loading on service start makes every known workload schema a plan
+        cache hit from the first query — zero re-planning on warm start.
+        ``missing_ok=True`` turns a missing file into a no-op (first boot).
+        """
+        path = os.fspath(path)
+        if missing_ok and not os.path.exists(path):
+            return 0
+        with open(path, "r", encoding="utf-8") as handle:
+            document = handle.read()
+        return self.warm_up(document)
 
     def cache_info(self) -> PlanCacheInfo:
         """Current hit/miss/size counters."""

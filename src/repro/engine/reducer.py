@@ -111,6 +111,36 @@ class FullReducer:
     def __len__(self) -> int:
         return len(self.steps)
 
+    def with_cost_order(self, estimates: Mapping[Edge, float]) -> "FullReducer":
+        """The same program with sibling semijoins ordered smallest-estimated-first.
+
+        ``estimates`` maps join-tree vertices to estimated (reduced)
+        cardinalities, e.g. :attr:`CostAnnotation.reduced_estimates
+        <repro.engine.catalog.CostAnnotation.reduced_estimates>`.  In both
+        passes each parent's sibling steps run in ascending estimate order,
+        so the cheapest (and usually most selective) semijoin shrinks the
+        shared target first and later probes scan fewer rows.  The regrouping
+        keeps every dependency of the two-pass discipline: a parent absorbs a
+        child only after the child absorbed its own subtree, and a child is
+        re-reduced only after its parent was.
+        """
+        def rank(vertex: Edge) -> Tuple:
+            return (estimates.get(vertex, float("inf")),
+                    tuple(sorted_nodes(vertex)))
+
+        steps: List[ReductionStep] = []
+        for vertex, _parent in self.rooted.leaf_to_root():
+            for child in sorted(self.rooted.children_of(vertex), key=rank):
+                steps.append(ReductionStep(target=vertex, source=child,
+                                           separator=frozenset(child & vertex),
+                                           direction="up"))
+        for vertex, _parent in self.rooted.root_to_leaf():
+            for child in sorted(self.rooted.children_of(vertex), key=rank):
+                steps.append(ReductionStep(target=child, source=vertex,
+                                           separator=frozenset(child & vertex),
+                                           direction="down"))
+        return FullReducer(rooted=self.rooted, steps=tuple(steps))
+
     def describe(self) -> str:
         """A multi-line listing of the compiled program."""
         if not self.steps:

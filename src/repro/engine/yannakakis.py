@@ -20,7 +20,7 @@ a whole :class:`~repro.relational.database.Database` can be evaluated.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple, Union
 
 from ..core.hypergraph import Edge, Hypergraph
 from ..core.nodes import sorted_nodes
@@ -28,12 +28,15 @@ from ..exceptions import SchemaError
 from ..relational.database import Database
 from ..relational.relation import Relation
 from ..relational.schema import Attribute, RelationSchema
+from .catalog import StatisticsCatalog
 from .indexes import index_cache_info
 from .planner import (
     DEFAULT_PLANNER,
+    AnnotatedPlan,
     EngineStatistics,
     ExecutionPlan,
     QueryPlanner,
+    annotate_plan,
     schema_fingerprint,
 )
 from .reducer import ReductionTrace
@@ -49,6 +52,7 @@ class EngineResult:
     relation: Relation
     plan: ExecutionPlan
     statistics: EngineStatistics
+    annotated: Optional[AnnotatedPlan] = None
 
 
 def _SKIP_CHECK(relations, rooted) -> bool:
@@ -84,7 +88,8 @@ def evaluate(relations: Sequence[Relation],
              root: Optional[Edge] = None,
              name: str = "yannakakis",
              check_reduction: bool = False,
-             plan: Optional[ExecutionPlan] = None) -> EngineResult:
+             plan: Optional[Union[ExecutionPlan, AnnotatedPlan]] = None,
+             catalog: Optional[StatisticsCatalog] = None) -> EngineResult:
     """Evaluate the natural join of ``relations`` (optionally projected) via the engine.
 
     Raises :class:`~repro.exceptions.CyclicHypergraphError` when the schemas'
@@ -94,8 +99,15 @@ def evaluate(relations: Sequence[Relation],
     semijoin scans per tree edge) — a debug/audit aid, off by default so the
     production path pays only the reducer itself.  ``plan`` supplies an
     already-compiled plan (e.g. the one a :class:`CyclicExecutionPlan`
-    embeds), bypassing the planner lookup entirely; its fingerprint must
-    match the relations' schema.
+    embeds) — plain or annotated — bypassing the planner lookup entirely;
+    its fingerprint must match the relations' schema.
+
+    ``catalog`` switches on adaptive execution: the structure plan is
+    composed with a :class:`~repro.engine.catalog.CostAnnotation` and the
+    run uses the cost-ordered reducer, the cardinality-chosen root and the
+    estimated-smallest-first child fold order.  The answer is always
+    identical to the static run — only the intermediate sizes (and the
+    estimated-vs-actual statistics columns) change.
     """
     if not relations:
         raise SchemaError("the engine needs at least one relation to evaluate")
@@ -109,21 +121,36 @@ def evaluate(relations: Sequence[Relation],
         raise SchemaError(f"output attributes {sorted_nodes(missing)} are not in the schema")
 
     index_before = index_cache_info()
+    annotated: Optional[AnnotatedPlan] = None
     if plan is None:
-        plan_hits_before = active_planner.cache_info().hits
-        plan = active_planner.plan_for(hypergraph, root=root)
-        plan_cache_hit = active_planner.cache_info().hits > plan_hits_before
+        # Misses, not hits: the adaptive path may serve the default-root plan
+        # from cache (a hit) and still compile its re-rooted structure (a
+        # miss) in the same call — only "no compilation happened" counts.
+        plan_misses_before = active_planner.cache_info().misses
+        if catalog is not None:
+            annotated = active_planner.annotate(hypergraph, catalog,
+                                                output_attributes=wanted, root=root)
+            plan = annotated.structure
+        else:
+            plan = active_planner.plan_for(hypergraph, root=root)
+        plan_cache_hit = active_planner.cache_info().misses == plan_misses_before
     else:
+        if isinstance(plan, AnnotatedPlan):
+            annotated = plan
+            plan = annotated.structure
+        elif catalog is not None:
+            annotated = annotate_plan(plan, catalog, output_attributes=wanted)
         if plan.fingerprint != schema_fingerprint(hypergraph):
             raise SchemaError("the supplied execution plan was compiled for a "
                               "different schema fingerprint")
         plan_cache_hit = True
 
-    # Phase 2: full reduction.
+    # Phase 2: full reduction (the cost-ordered program when annotated).
     vertex_relations = _vertex_relations(relations, plan.vertices)
     trace = ReductionTrace()
-    reduced = plan.reducer.run(vertex_relations, trace=trace,
-                               check_hook=None if check_reduction else _SKIP_CHECK)
+    reducer = annotated.reducer if annotated is not None else plan.reducer
+    reduced = reducer.run(vertex_relations, trace=trace,
+                          check_hook=None if check_reduction else _SKIP_CHECK)
 
     # Phase 3: bottom-up join with fused projection.  A vertex's partial join
     # must keep only the requested outputs visible in its subtree plus the
@@ -135,6 +162,8 @@ def evaluate(relations: Sequence[Relation],
     for vertex, parent in rooted.leaf_to_root():
         current = reduced[vertex]
         children = rooted.children_of(vertex)
+        if annotated is not None:
+            children = annotated.order_children(vertex, children)
         final_keep: Optional[FrozenSet[Attribute]] = None
         if wanted is not None:
             subtree_attributes = set(vertex)
@@ -171,7 +200,8 @@ def evaluate(relations: Sequence[Relation],
 
     index_after = index_cache_info()
     statistics = EngineStatistics(
-        plan_name="engine-yannakakis",
+        plan_name="engine-yannakakis-adaptive" if annotated is not None
+        else "engine-yannakakis",
         input_sizes=tuple(len(relation) for relation in relations),
         intermediate_sizes=tuple(intermediates),
         output_size=len(result),
@@ -181,8 +211,15 @@ def evaluate(relations: Sequence[Relation],
         plan_cache_hit=plan_cache_hit,
         index_cache_hits=index_after["hits"] - index_before["hits"],
         index_cache_misses=index_after["misses"] - index_before["misses"],
+        adaptive=annotated is not None,
+        estimated_intermediate_sizes=(
+            annotated.annotation.estimated_intermediate_sizes
+            if annotated is not None else ()),
+        estimated_output_size=(annotated.annotation.estimated_output_size
+                               if annotated is not None else None),
     )
-    return EngineResult(relation=result, plan=plan, statistics=statistics)
+    return EngineResult(relation=result, plan=plan, statistics=statistics,
+                        annotated=annotated)
 
 
 def evaluate_database(database: Database,
@@ -190,11 +227,19 @@ def evaluate_database(database: Database,
                       planner: Optional[QueryPlanner] = None,
                       root: Optional[Edge] = None,
                       name: str = "U",
-                      check_reduction: bool = False) -> EngineResult:
+                      check_reduction: bool = False,
+                      adaptive: bool = False,
+                      catalog: Optional[StatisticsCatalog] = None) -> EngineResult:
     """Evaluate a database's universal join (optionally projected) via the engine.
 
     The engine counterpart of :func:`repro.relational.yannakakis.yannakakis_join`;
     results agree, but this path reuses cached plans and hash indexes.
+    ``adaptive=True`` (or an explicit ``catalog``) runs the cardinality-aware
+    plan: the database's statistics catalog annotates the cached structure
+    plan with a data-dependent root and fold order.
     """
+    if adaptive and catalog is None:
+        catalog = database.statistics_catalog()
     return evaluate(database.relations(), output_attributes, planner=planner,
-                    root=root, name=name, check_reduction=check_reduction)
+                    root=root, name=name, check_reduction=check_reduction,
+                    catalog=catalog)

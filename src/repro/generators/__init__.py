@@ -38,6 +38,8 @@ from .workloads import (
     generate_database,
     k_cycle_hypergraph,
     query_attribute_workload,
+    skewed_chain_database,
+    skewed_chain_endpoints,
     triangle_core_chain,
 )
 
@@ -55,7 +57,7 @@ __all__ = [
     "chain_hypergraph", "star_hypergraph", "ring_hypergraph",
     # relational workloads
     "generate_database", "generate_consistent_database", "add_dangling_tuples",
-    "query_attribute_workload",
+    "query_attribute_workload", "skewed_chain_database", "skewed_chain_endpoints",
     # cyclic workload families
     "triangle_core_chain", "k_cycle_hypergraph", "clique_augmented_chain",
     "cyclic_workload_families",

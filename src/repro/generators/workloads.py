@@ -25,6 +25,8 @@ __all__ = [
     "generate_consistent_database",
     "add_dangling_tuples",
     "query_attribute_workload",
+    "skewed_chain_database",
+    "skewed_chain_endpoints",
     "triangle_core_chain",
     "k_cycle_hypergraph",
     "clique_augmented_chain",
@@ -109,6 +111,53 @@ def generate_database(schema: DatabaseSchema, *, universe_rows: int = 50,
     if dangling_fraction <= 0:
         return consistent
     return add_dangling_tuples(consistent, fraction=dangling_fraction, seed=rng)
+
+
+def skewed_chain_database(chain_length: int = 3, *, heads: int = 30, fanout: int = 20,
+                          junction_values: int = 4,
+                          seed: int | random.Random | None = 0) -> Database:
+    """A binary chain ``C0—C1—…—C_L`` with deliberately skewed cardinalities.
+
+    The shape is the adaptive-planning benchmark workload:
+
+    * ``R1`` over ``(C0, C1)`` fans each of ``heads`` C0-values out to
+      ``fanout`` *globally unique* C1-values — ``heads × fanout`` rows with a
+      huge ``C1`` domain;
+    * ``R2`` over ``(C1, C2)`` funnels every C1-value into one of only
+      ``junction_values`` C2-values — same row count, tiny ``C2`` domain;
+    * the remaining relations ``R3 … R_L`` are tiny 1:1 lookups over the
+      ``junction_values`` values.
+
+    Every tuple participates in the universal join (no dangling tuples), so
+    the skew — not reduction — is the whole story: a static bottom-up join
+    rooted at the lexicographically-first chain vertex drags the wide ``C1``
+    separator through its intermediates, while a cardinality-aware plan
+    folds from the narrow junction side and stays near the output size.
+    Query the endpoints (:func:`skewed_chain_endpoints`) to see the gap.
+    """
+    if chain_length < 2:
+        raise GenerationError("a skewed chain needs at least two edges")
+    if heads < 1 or fanout < 1 or junction_values < 1:
+        raise GenerationError("heads, fanout and junction_values must be positive")
+    rng = _rng(seed)
+    relations = {f"R{index}": (f"C{index - 1}", f"C{index}")
+                 for index in range(1, chain_length + 1)}
+    schema = DatabaseSchema.from_dict(relations, name=f"skewed-chain({chain_length})")
+    tuples: Dict[str, List[Tuple[Any, Any]]] = {name: [] for name in relations}
+    for head in range(heads):
+        for branch in range(fanout):
+            tuples["R1"].append((f"C0-{head}", f"C1-{head}-{branch}"))
+            tuples["R2"].append((f"C1-{head}-{branch}",
+                                 f"C2-{rng.randint(1, junction_values)}"))
+    for index in range(3, chain_length + 1):
+        tuples[f"R{index}"] = [(f"C{index - 1}-{value}", f"C{index}-{value}")
+                               for value in range(1, junction_values + 1)]
+    return Database.from_tuples(schema, tuples)
+
+
+def skewed_chain_endpoints(chain_length: int = 3) -> Tuple[Attribute, Attribute]:
+    """The endpoint attribute pair of a :func:`skewed_chain_database` chain."""
+    return ("C0", f"C{chain_length}")
 
 
 def triangle_core_chain(chain_length: int = 4, *, arity: int = 3, overlap: int = 2,

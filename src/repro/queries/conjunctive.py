@@ -149,7 +149,8 @@ class ConjunctiveQuery:
     # ------------------------------------------------------------------ #
     # Evaluation
     # ------------------------------------------------------------------ #
-    def evaluate(self, database: Database, *, engine: str = "auto") -> Relation:
+    def evaluate(self, database: Database, *, engine: str = "auto",
+                 adaptive: bool = True) -> Relation:
         """Evaluate the query and project onto the head.
 
         Each atom is turned into a relation over its variable names (constants
@@ -170,8 +171,12 @@ class ConjunctiveQuery:
           hypergraphs (its cover degenerates to all singletons);
         * ``"auto"`` (default) — ``"yannakakis"`` semantics.
 
-        Either way the answers are identical; the engine only changes how
-        large the intermediates get.
+        ``adaptive`` (default on) measures the database-derived atom
+        relations into a :class:`~repro.engine.catalog.StatisticsCatalog`
+        and passes it down both the acyclic and the cyclic dispatch paths,
+        so the engine orders semijoins, fold steps and cluster joins by the
+        atoms' actual cardinalities.  Either way the answers are identical;
+        the engine only changes how large the intermediates get.
         """
         if engine not in ("auto", "naive", "yannakakis", "cyclic"):
             raise QueryError(f"unknown evaluation engine {engine!r}; "
@@ -179,12 +184,22 @@ class ConjunctiveQuery:
         atom_relations = self._atom_relations(database)
         head_names = [variable.name for variable in self._head]
         if engine != "naive":
+            catalog = None
+            if adaptive:
+                from ..engine.catalog import StatisticsCatalog
+
+                # The atoms' relations — selections already applied, variables
+                # as attributes — are what the engine actually joins, so they
+                # are what gets measured (the database's own catalog speaks
+                # attribute names, not query variables).
+                catalog = StatisticsCatalog.from_relations(atom_relations)
             result = None
             if engine != "cyclic" and self.is_acyclic():
                 from ..engine.yannakakis import evaluate as engine_evaluate
 
                 try:
-                    result = engine_evaluate(atom_relations, head_names, name=self._name)
+                    result = engine_evaluate(atom_relations, head_names, name=self._name,
+                                             catalog=catalog)
                 except CyclicHypergraphError:
                     # The acyclicity test (GYO) and the planner's join-tree
                     # construction can disagree on degenerate hypergraphs (e.g.
@@ -195,7 +210,8 @@ class ConjunctiveQuery:
             if result is None:
                 from ..engine.cyclic import evaluate_cyclic
 
-                result = evaluate_cyclic(atom_relations, head_names, name=self._name)
+                result = evaluate_cyclic(atom_relations, head_names, name=self._name,
+                                         catalog=catalog)
             # The engine already projected onto exactly the head attributes;
             # only the schema's declared order differs, and rows are
             # order-independent, so re-projection is unnecessary.

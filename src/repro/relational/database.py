@@ -119,6 +119,29 @@ class Database:
         updated[relation.name] = relation
         return Database(self._schema, updated)
 
+    def statistics_catalog(self, *, sample_limit: Optional[int] = None,
+                           refresh: bool = False):
+        """The database's statistics catalog (cardinalities, distinct counts).
+
+        Built lazily and cached on the instance — the database is immutable,
+        so exact measurements never go stale.  ``sample_limit`` bounds the
+        rows scanned per relation for distinct counts (the cheap sampling
+        refresh); ``refresh=True`` forces a re-measure, e.g. after changing
+        ``sample_limit``.  This is the per-database half of adaptive
+        planning: feed it to :meth:`QueryPlanner.plan_for
+        <repro.engine.planner.QueryPlanner.plan_for>` or the engine
+        evaluators' ``catalog`` parameter.
+        """
+        from ..engine.catalog import StatisticsCatalog
+
+        cached = getattr(self, "_catalog_cache", None)
+        if not refresh and cached is not None and cached[0] == sample_limit:
+            return cached[1]
+        catalog = StatisticsCatalog.from_relations(self.relations(),
+                                                   sample_limit=sample_limit)
+        self._catalog_cache = (sample_limit, catalog)
+        return catalog
+
     # ------------------------------------------------------------------ #
     # Whole-database operations
     # ------------------------------------------------------------------ #

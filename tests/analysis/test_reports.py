@@ -70,6 +70,23 @@ class TestStatisticsTable:
         _, engine, _ = self._three_plans()
         assert "hit" in statistics_table([engine])
 
+    def test_estimated_columns_for_adaptive_runs(self):
+        adaptive = EngineStatistics(plan_name="engine-yannakakis-adaptive",
+                                    input_sizes=(10, 10), intermediate_sizes=(6,),
+                                    output_size=4, adaptive=True,
+                                    estimated_intermediate_sizes=(5, 3),
+                                    estimated_output_size=4)
+        text = statistics_table([adaptive])
+        header = text.splitlines()[0]
+        assert "est max" in header and "est output" in header
+        row = text.splitlines()[2]
+        assert " 5 " in f" {row} "  # the predicted largest intermediate
+
+    def test_estimated_columns_are_placeholders_for_static_runs(self):
+        naive, engine, _ = self._three_plans()
+        for line in statistics_table([naive, engine]).splitlines()[2:]:
+            assert "-" in line  # est max / est output render as dashes
+
 
 class TestFormatMappingAndBanner:
     def test_format_mapping(self):

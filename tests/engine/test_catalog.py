@@ -1,0 +1,301 @@
+"""Unit tests for the statistics catalog and cost annotations (repro.engine.catalog)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.hypergraph import Hypergraph
+from repro.core.join_tree import build_join_tree
+from repro.engine import QueryPlanner, evaluate_database
+from repro.engine.catalog import (
+    CostAnnotation,
+    JoinEstimate,
+    RelationStatistics,
+    StatisticsCatalog,
+    annotate_tree,
+)
+from repro.engine.planner import AnnotatedPlan
+from repro.engine.reducer import ReductionTrace, verify_full_reduction
+from repro.generators import (
+    generate_database,
+    skewed_chain_database,
+    skewed_chain_endpoints,
+    university_schema,
+)
+from repro.relational import DatabaseSchema, Relation, RelationSchema
+
+
+def _relation(name, attributes, tuples):
+    return Relation.from_tuples(RelationSchema.of(name, attributes), tuples)
+
+
+class TestRelationStatistics:
+    def test_measure_exact(self):
+        relation = _relation("R", ("A", "B"),
+                             [(1, "x"), (2, "x"), (3, "y"), (3, "z")])
+        stats = RelationStatistics.measure(relation)
+        assert stats.cardinality == 4
+        assert stats.distinct_counts == {"A": 3, "B": 3}
+        assert stats.exact
+
+    def test_measure_sampled_is_flagged_and_clamped(self):
+        relation = _relation("R", ("A",), [(value,) for value in range(100)])
+        stats = RelationStatistics.measure(relation, sample_limit=10)
+        assert not stats.exact
+        assert stats.cardinality == 100  # cardinality stays exact
+        # All-distinct sample scales to the full size, clamped at cardinality.
+        assert stats.distinct_counts["A"] == 100
+
+    def test_sample_limit_above_size_measures_exactly(self):
+        relation = _relation("R", ("A",), [(1,), (2,)])
+        assert RelationStatistics.measure(relation, sample_limit=10).exact
+
+    def test_sample_limit_must_be_positive(self):
+        relation = _relation("R", ("A",), [(1,)])
+        with pytest.raises(ValueError):
+            RelationStatistics.measure(relation, sample_limit=0)
+
+    def test_merged_with_takes_minima(self):
+        left = RelationStatistics(edge=frozenset("AB"), cardinality=10,
+                                  distinct_counts={"A": 10, "B": 2})
+        right = RelationStatistics(edge=frozenset("AB"), cardinality=6,
+                                   distinct_counts={"A": 3, "B": 6})
+        merged = left.merged_with(right)
+        assert merged.cardinality == 6
+        assert merged.distinct_counts == {"A": 3, "B": 2}
+
+    def test_merged_with_rejects_different_schemes(self):
+        left = RelationStatistics(edge=frozenset("AB"), cardinality=1,
+                                  distinct_counts={"A": 1, "B": 1})
+        right = RelationStatistics(edge=frozenset("AC"), cardinality=1,
+                                   distinct_counts={"A": 1, "C": 1})
+        with pytest.raises(ValueError):
+            left.merged_with(right)
+
+    def test_describe_mentions_rows_and_sampling(self):
+        relation = _relation("R", ("A",), [(value,) for value in range(30)])
+        assert "30 rows" in RelationStatistics.measure(relation).describe()
+        assert "sampled" in RelationStatistics.measure(relation,
+                                                       sample_limit=5).describe()
+
+
+class TestStatisticsCatalog:
+    def _catalog(self):
+        return StatisticsCatalog.from_relations([
+            _relation("R", ("A", "B"), [(a, a % 2) for a in range(12)]),
+            _relation("S", ("B", "C"), [(b % 2, b) for b in range(4)]),
+        ])
+
+    def test_cardinality_and_distinct_lookups(self):
+        catalog = self._catalog()
+        assert catalog.cardinality(("A", "B")) == 12
+        assert catalog.cardinality(("B", "C")) == 4
+        assert catalog.distinct_count(("A", "B"), "A") == 12
+        assert catalog.distinct_count(("A", "B"), "B") == 2
+        assert catalog.cardinality(("X",)) is None
+        assert catalog.cardinality(("X",), default=7) == 7
+
+    def test_attribute_distinct_is_minimum_over_schemes(self):
+        catalog = self._catalog()
+        # B has 2 distinct values in both relations.
+        assert catalog.attribute_distinct("B") == 2
+        assert catalog.attribute_distinct("missing") is None
+
+    def test_join_selectivity_uses_max_distinct_per_shared_attribute(self):
+        catalog = self._catalog()
+        assert catalog.join_selectivity(("A", "B"), ("B", "C")) == pytest.approx(1 / 2)
+        assert catalog.join_selectivity(("A", "B"), ("C",)) == 1.0
+
+    def test_estimate_join_size_matches_system_r_formula(self):
+        catalog = self._catalog()
+        # |R|*|S| / max(d_R(B), d_S(B)) = 12*4/2 = 24.
+        assert catalog.estimate_join_size(("A", "B"), ("B", "C")) == 24
+
+    def test_estimate_semijoin_size(self):
+        catalog = self._catalog()
+        # Both sides hold both B values, so nothing is predicted to drop.
+        assert catalog.estimate_semijoin_size(("A", "B"), ("B", "C")) == 12
+
+    def test_duplicate_schemes_are_merged(self):
+        catalog = StatisticsCatalog.from_relations([
+            _relation("R", ("A",), [(1,), (2,), (3,)]),
+            _relation("R2", ("A",), [(1,), (2,)]),
+        ])
+        assert len(catalog) == 1
+        assert catalog.cardinality(("A",)) == 2
+
+    def test_from_database_and_refreshed(self):
+        database = generate_database(university_schema(), universe_rows=15, seed=4)
+        catalog = StatisticsCatalog.from_database(database)
+        assert len(catalog) == len(database.relations())
+        assert catalog.is_exact
+        refreshed = catalog.refreshed(database)
+        assert refreshed.edges == catalog.edges
+
+    def test_estimate_for_unknown_scheme_is_neutral(self):
+        catalog = self._catalog()
+        estimate = catalog.estimate_for(frozenset("XY"))
+        assert estimate.rows >= 1
+        # Unknown attributes are fully distinct: no false selectivity.
+        assert estimate.distincts["X"] == estimate.cardinality
+
+    def test_describe_lists_every_scheme(self):
+        text = self._catalog().describe()
+        assert "StatisticsCatalog" in text and "2 schemes" in text
+
+
+class TestJoinEstimate:
+    def test_join_applies_selectivity(self):
+        left = JoinEstimate(frozenset("AB"), 100, {"A": 100, "B": 10})
+        right = JoinEstimate(frozenset("BC"), 50, {"B": 50, "C": 5})
+        joined = left.join(right)
+        assert joined.attributes == frozenset("ABC")
+        assert joined.cardinality == pytest.approx(100 * 50 / 50)
+        assert joined.distincts["B"] == 10  # min of the two sides
+
+    def test_project_caps_by_distinct_product(self):
+        estimate = JoinEstimate(frozenset("AB"), 1000, {"A": 10, "B": 3})
+        projected = estimate.project(frozenset("AB"))
+        assert projected.cardinality == pytest.approx(30)
+        assert estimate.project(frozenset()).cardinality == 1.0
+
+    def test_distincts_are_clamped_to_cardinality(self):
+        estimate = JoinEstimate(frozenset("A"), 5, {"A": 50})
+        assert estimate.distincts["A"] == 5.0
+
+    def test_semijoin_selectivity(self):
+        target = JoinEstimate(frozenset("AB"), 100, {"A": 100, "B": 10})
+        source = JoinEstimate(frozenset("B"), 2, {"B": 2})
+        assert target.semijoin_selectivity(source) == pytest.approx(0.2)
+
+
+class TestAnnotateTree:
+    def _skewed_setup(self):
+        database = skewed_chain_database(3, heads=20, fanout=10,
+                                         junction_values=3, seed=2)
+        hypergraph = database.schema.to_hypergraph()
+        tree = build_join_tree(hypergraph)
+        return database, tree
+
+    def test_annotation_picks_the_narrow_root(self):
+        database, tree = self._skewed_setup()
+        annotation = annotate_tree(tree, database.statistics_catalog(),
+                                   output_attributes=skewed_chain_endpoints(3))
+        # The default root (lexicographically first: {C0, C1}) drags the wide
+        # C1 separator through the fold; the annotation must move the root
+        # towards the narrow junction side.
+        assert annotation.root is not None
+        assert annotation.root != frozenset({"C0", "C1"})
+
+    def test_annotation_predicts_smaller_intermediates_than_default(self):
+        database, tree = self._skewed_setup()
+        catalog = database.statistics_catalog()
+        wanted = skewed_chain_endpoints(3)
+        adaptive = annotate_tree(tree, catalog, output_attributes=wanted)
+        pinned = annotate_tree(tree, catalog, output_attributes=wanted,
+                               candidate_roots=[None])
+        assert adaptive.estimated_max_intermediate \
+            < pinned.estimated_max_intermediate
+
+    def test_estimates_are_exact_on_the_constructed_chain(self):
+        database, tree = self._skewed_setup()
+        result = evaluate_database(database, skewed_chain_endpoints(3),
+                                   adaptive=True, planner=QueryPlanner())
+        stats = result.statistics
+        assert stats.adaptive
+        assert stats.estimated_max_intermediate is not None
+        # Predictions within 2x of the measured sizes on this workload.
+        assert stats.estimated_max_intermediate <= 2 * max(stats.max_intermediate, 1)
+        assert stats.max_intermediate <= 2 * max(stats.estimated_max_intermediate, 1)
+
+    def test_order_children_keeps_unknown_children_stable(self):
+        annotation = CostAnnotation(
+            root=None, child_order={frozenset("AB"): (frozenset("BC"),)},
+            vertex_estimates={}, reduced_estimates={},
+            estimated_intermediate_sizes=(), estimated_output_size=0)
+        ordered = annotation.order_children(
+            frozenset("AB"), [frozenset("BD"), frozenset("BC")])
+        assert ordered[0] == frozenset("BC")
+        assert annotation.order_children(frozenset("ZZ"), [frozenset("BD")]) \
+            == (frozenset("BD"),)
+
+    def test_universal_join_annotation_has_no_root_preference(self):
+        # Without a projection every rooting materialises the same final
+        # join, so the tie-break must keep the default rooting.
+        database, tree = self._skewed_setup()
+        annotation = annotate_tree(tree, database.statistics_catalog())
+        assert annotation.root is None
+
+
+class TestPlannerIntegration:
+    def test_plan_for_database_returns_annotated_plan(self):
+        planner = QueryPlanner()
+        database = skewed_chain_database(3, heads=10, fanout=5, seed=0)
+        plan = planner.plan_for(database,
+                                output_attributes=skewed_chain_endpoints(3))
+        assert isinstance(plan, AnnotatedPlan)
+        assert plan.fingerprint == plan.structure.fingerprint
+        assert plan.catalog.cardinality(("C0", "C1")) == 50
+
+    def test_annotation_does_not_invalidate_the_fingerprint_cache(self):
+        planner = QueryPlanner()
+        database = skewed_chain_database(3, heads=20, fanout=10, seed=2)
+        hypergraph = database.schema.to_hypergraph()
+        static = planner.plan_for(hypergraph)
+        annotated = planner.annotate(hypergraph, database.statistics_catalog(),
+                                     output_attributes=skewed_chain_endpoints(3))
+        # The static default-root plan is still served from cache ...
+        assert planner.plan_for(hypergraph) is static
+        # ... and the annotation's re-rooted structure is itself cached.
+        assert planner.plan_for(hypergraph,
+                                root=annotated.annotation.root) \
+            is annotated.structure
+
+    def test_cost_ordered_reducer_still_fully_reduces(self):
+        database = skewed_chain_database(3, heads=10, fanout=4, seed=5)
+        planner = QueryPlanner()
+        annotated = planner.annotate(database.schema.to_hypergraph(),
+                                     database.statistics_catalog(),
+                                     output_attributes=skewed_chain_endpoints(3))
+        assert len(annotated.reducer) == len(annotated.structure.reducer)
+        vertex_map = {relation.schema.attribute_set: relation
+                      for relation in database.relations()}
+        trace = ReductionTrace()
+        reduced = annotated.reducer.run(vertex_map, trace=trace)
+        assert verify_full_reduction(reduced, annotated.reducer.rooted)
+
+    def test_explicit_root_pins_the_annotation(self):
+        planner = QueryPlanner()
+        database = skewed_chain_database(3, heads=20, fanout=10, seed=2)
+        pinned_root = frozenset({"C0", "C1"})
+        annotated = planner.annotate(database.schema.to_hypergraph(),
+                                     database.statistics_catalog(),
+                                     output_attributes=skewed_chain_endpoints(3),
+                                     root=pinned_root)
+        assert annotated.structure.root == pinned_root
+
+    def test_annotated_plan_describe_mentions_annotation(self):
+        planner = QueryPlanner()
+        database = skewed_chain_database(3, heads=5, fanout=2, seed=0)
+        plan = planner.plan_for(database)
+        text = plan.describe()
+        assert "ExecutionPlan" in text and "CostAnnotation" in text
+
+
+class TestAdaptiveCyclicCoverScore:
+    def test_cover_score_with_catalog_breaks_ties_by_cardinality(self):
+        from repro.engine.cyclic.covers import choose_cover, cover_score
+
+        # Two triangles bridged: the static score splits the 7-edge core into
+        # the two width-3 triangles either way; the catalog-aware score must
+        # still agree with the static winner's width while ranking by rows.
+        first = Hypergraph([frozenset({"X0", "X1"}), frozenset({"X1", "X2"}),
+                            frozenset({"X0", "X2"})])
+        schema = DatabaseSchema.from_hypergraph(first)
+        database = generate_database(schema, universe_rows=9, domain_size=3, seed=1)
+        catalog = database.statistics_catalog()
+        cover = choose_cover(first, catalog=catalog)
+        assert cover.covers(first)
+        score = cover_score(cover, catalog=catalog)
+        assert score[0] == cover.width
+        assert isinstance(score[1], int)  # the estimated-cardinality tie-break

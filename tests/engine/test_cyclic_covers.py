@@ -6,6 +6,7 @@ import pytest
 
 from repro.core.acyclicity import is_acyclic
 from repro.core.hypergraph import Hypergraph
+from repro.engine.catalog import StatisticsCatalog
 from repro.engine.cyclic.covers import (
     ClusterCover,
     EdgeCluster,
@@ -14,13 +15,16 @@ from repro.engine.cyclic.covers import (
     cover_score,
     enumerate_covers,
 )
+from repro.exceptions import CoverSearchBudgetExceededError
 from repro.generators import (
     chain_hypergraph,
     clique_augmented_chain,
     figure_1,
+    generate_database,
     k_cycle_hypergraph,
     triangle_core_chain,
 )
+from repro.relational import DatabaseSchema
 
 
 class TestEdgeCluster:
@@ -134,3 +138,64 @@ class TestEnumerateAndChoose:
         cover = choose_cover(hypergraph)
         assert cover.covers(hypergraph)
         assert is_acyclic(cover.quotient_hypergraph())
+
+
+class TestSearchBudget:
+    def test_over_cap_core_raises_when_asked(self):
+        ring = k_cycle_hypergraph(9)
+        with pytest.raises(CoverSearchBudgetExceededError) as excinfo:
+            enumerate_covers(ring, max_component_edges=4, on_budget="raise")
+        message = str(excinfo.value)
+        assert "9 edges" in message and "cap of 4" in message
+
+    def test_over_cap_core_degrades_to_greedy_candidate_by_default(self):
+        ring = k_cycle_hypergraph(9)
+        covers = enumerate_covers(ring, max_component_edges=4)
+        assert covers == (core_periphery_cover(ring),)
+        assert covers[0].covers(ring)
+
+    def test_choose_cover_forwards_the_policy(self):
+        ring = k_cycle_hypergraph(9)
+        with pytest.raises(CoverSearchBudgetExceededError):
+            choose_cover(ring, max_component_edges=4, on_budget="raise")
+        degraded = choose_cover(ring, max_component_edges=4)
+        assert degraded.covers(ring)
+
+    def test_within_cap_cores_never_raise(self):
+        triangle = k_cycle_hypergraph(3)
+        assert enumerate_covers(triangle, on_budget="raise")
+
+    def test_unknown_policy_is_rejected(self):
+        with pytest.raises(ValueError):
+            enumerate_covers(k_cycle_hypergraph(3), on_budget="explode")
+
+
+class TestCatalogAwareScore:
+    def _catalog_for(self, hypergraph, *, seed=0):
+        schema = DatabaseSchema.from_hypergraph(hypergraph)
+        database = generate_database(schema, universe_rows=12, domain_size=3,
+                                     seed=seed)
+        return database.statistics_catalog()
+
+    def test_static_and_catalog_scores_share_the_width_head(self):
+        hypergraph = triangle_core_chain(3)
+        catalog = self._catalog_for(hypergraph)
+        for cover in enumerate_covers(hypergraph):
+            assert cover_score(cover)[0] == cover_score(cover, catalog=catalog)[0]
+
+    def test_estimated_rows_of_singleton_is_relation_cardinality(self):
+        hypergraph = chain_hypergraph(3)
+        catalog = self._catalog_for(hypergraph)
+        cover = core_periphery_cover(hypergraph)
+        assert cover.is_trivial
+        for cluster in cover.clusters:
+            assert cluster.estimated_rows(catalog) \
+                == catalog.cardinality(cluster.attributes)
+
+    def test_chosen_cover_with_catalog_minimises_catalog_score(self):
+        hypergraph = triangle_core_chain(4)
+        catalog = self._catalog_for(hypergraph)
+        candidates = enumerate_covers(hypergraph)
+        chosen = choose_cover(hypergraph, catalog=catalog)
+        assert cover_score(chosen, catalog=catalog) \
+            == min(cover_score(c, catalog=catalog) for c in candidates)

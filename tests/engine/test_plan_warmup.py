@@ -86,6 +86,44 @@ class TestWarmUp:
         with pytest.raises(ValueError):
             QueryPlanner().warm_up([42])
 
+    def test_save_and_load_cache_round_trip_via_disk(self, worked_planner, tmp_path):
+        path = tmp_path / "plans.json"
+        saved = worked_planner.save_cache(path)
+        assert saved == json.loads(path.read_text(encoding="utf-8")).__len__()
+        fresh = QueryPlanner()
+        compiled = fresh.load_cache(path)
+        assert compiled == fresh.cache_info().size == worked_planner.cache_info().size
+
+    def test_loaded_cache_serves_warm_start_with_zero_replanning(self, worked_planner,
+                                                                 tmp_path):
+        path = tmp_path / "plans.json"
+        worked_planner.save_cache(path)
+        fresh = QueryPlanner()
+        fresh.load_cache(path)
+        misses_before = fresh.cache_info().misses
+
+        acyclic_db = generate_database(university_schema(), universe_rows=10, seed=1)
+        cyclic_db = generate_database(
+            DatabaseSchema.from_hypergraph(triangle_core_chain(3)),
+            universe_rows=10, seed=1)
+        assert evaluate_database(acyclic_db, planner=fresh).statistics.plan_cache_hit
+        assert evaluate_cyclic_database(cyclic_db,
+                                        planner=fresh).statistics.plan_cache_hit
+        assert fresh.cache_info().misses == misses_before
+
+    def test_save_cache_replaces_atomically(self, worked_planner, tmp_path):
+        path = tmp_path / "plans.json"
+        path.write_text("stale", encoding="utf-8")
+        worked_planner.save_cache(path)
+        assert json.loads(path.read_text(encoding="utf-8"))
+        assert not (tmp_path / "plans.json.tmp").exists()
+
+    def test_load_cache_missing_file(self, tmp_path):
+        planner = QueryPlanner()
+        with pytest.raises(FileNotFoundError):
+            planner.load_cache(tmp_path / "absent.json")
+        assert planner.load_cache(tmp_path / "absent.json", missing_ok=True) == 0
+
     def test_round_trip_restores_tuple_valued_nodes(self):
         # JSON coerces tuple nodes to lists; warm_up must restore them so the
         # rebuilt fingerprints match queries over the original schema.

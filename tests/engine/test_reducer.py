@@ -109,3 +109,44 @@ class TestShortCircuit:
         assert all(len(relation) == 0 for relation in reduced.values())
         assert trace.steps_run == 0
         assert trace.rows_removed == sum(trace.sizes_before)
+
+
+class TestCostOrder:
+    def test_reordered_program_has_same_steps_per_pass(self, reducer):
+        estimates = {vertex: index
+                     for index, vertex in enumerate(reducer.rooted.tree.vertices)}
+        reordered = reducer.with_cost_order(estimates)
+        assert len(reordered) == len(reducer)
+        for program in (reducer, reordered):
+            ups = sum(1 for step in program.steps if step.direction == "up")
+            assert ups == len(program) - ups
+        assert {(step.target, step.source) for step in reordered.steps} \
+            == {(step.target, step.source) for step in reducer.steps}
+
+    def test_siblings_run_smallest_estimated_first(self, reducer):
+        rooted = reducer.rooted
+        parent = next(vertex for vertex, _ in rooted.order
+                      if len(rooted.children_of(vertex)) >= 2)
+        children = rooted.children_of(parent)
+        # Give the canonically-last child the smallest estimate.
+        estimates = {child: len(children) - index
+                     for index, child in enumerate(children)}
+        reordered = reducer.with_cost_order(estimates)
+        up_sources = [step.source for step in reordered.steps
+                      if step.direction == "up" and step.target == parent]
+        assert up_sources == sorted(children, key=lambda child: estimates[child])
+
+    def test_reordered_program_still_fully_reduces(self, dirty_db, reducer):
+        estimates = {vertex: -index  # adversarial: reverse the canonical order
+                     for index, vertex in enumerate(reducer.rooted.tree.vertices)}
+        reordered = reducer.with_cost_order(estimates)
+        reduced = reordered.run(vertex_map(dirty_db))
+        assert verify_full_reduction(reduced, reordered.rooted)
+
+    def test_missing_estimates_fall_back_to_canonical_order(self, reducer):
+        reordered = reducer.with_cost_order({})
+        up_targets = [step.target for step in reordered.steps
+                      if step.direction == "up"]
+        original_up_targets = [step.target for step in reducer.steps
+                               if step.direction == "up"]
+        assert sorted(map(sorted, up_targets)) == sorted(map(sorted, original_up_targets))

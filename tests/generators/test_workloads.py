@@ -124,3 +124,40 @@ class TestCyclicWorkloadFamilies:
             schema = DatabaseSchema.from_hypergraph(hypergraph)
             db = generate_database(schema, universe_rows=5, domain_size=3, seed=0)
             assert db.total_rows() > 0, name
+
+
+class TestSkewedChain:
+    def test_shape_and_cardinalities(self):
+        from repro.generators import skewed_chain_database, skewed_chain_endpoints
+
+        database = skewed_chain_database(4, heads=10, fanout=5, junction_values=3,
+                                         seed=1)
+        assert len(database["R1"]) == 50
+        assert len(database["R2"]) == 50
+        assert len(database["R3"]) == 3
+        assert len(database["R4"]) == 3
+        assert skewed_chain_endpoints(4) == ("C0", "C4")
+
+    def test_no_dangling_tuples(self):
+        from repro.generators import skewed_chain_database
+
+        database = skewed_chain_database(3, heads=5, fanout=3, junction_values=2,
+                                         seed=0)
+        assert database.dangling_tuple_count() == 0
+
+    def test_skew_is_visible_in_the_catalog(self):
+        from repro.generators import skewed_chain_database
+
+        database = skewed_chain_database(3, heads=10, fanout=8, junction_values=2,
+                                         seed=2)
+        catalog = database.statistics_catalog()
+        assert catalog.attribute_distinct("C1") == 80
+        assert catalog.attribute_distinct("C2") <= 2
+
+    def test_rejects_degenerate_parameters(self):
+        from repro.generators import skewed_chain_database
+
+        with pytest.raises(GenerationError):
+            skewed_chain_database(1)
+        with pytest.raises(GenerationError):
+            skewed_chain_database(3, heads=0)

@@ -219,3 +219,30 @@ class TestEngineDispatch:
         naive = query.evaluate(db, engine="naive")
         assert frozenset(default.rows) == frozenset(naive.rows)
         assert len(default) > 0
+
+
+class TestAdaptiveEvaluation:
+    def _query_and_db(self):
+        database = generate_database(university_schema(), universe_rows=25,
+                                     domain_size=4, dangling_fraction=0.4, seed=9)
+        relations = {schema.name: schema for schema in university_schema()}
+        name = next(iter(relations))
+        arity = relations[name].arity
+        query = ConjunctiveQuery.from_strings(
+            [f"v0"], body=[(name, [f"v{i}" for i in range(arity)])], name="Q")
+        return query, database
+
+    def test_adaptive_and_static_answers_agree(self):
+        query, database = self._query_and_db()
+        adaptive = query.evaluate(database)
+        static = query.evaluate(database, adaptive=False)
+        naive = query.evaluate(database, engine="naive")
+        assert frozenset(adaptive.rows) == frozenset(static.rows) \
+            == frozenset(naive.rows)
+
+    def test_adaptive_flag_reaches_both_dispatch_paths(self):
+        query, database = self._query_and_db()
+        for engine in ("auto", "cyclic"):
+            assert frozenset(query.evaluate(database, engine=engine).rows) \
+                == frozenset(query.evaluate(database, engine=engine,
+                                            adaptive=False).rows)

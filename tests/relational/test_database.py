@@ -108,3 +108,25 @@ class TestWholeDatabaseOperations:
                                dangling_fraction=0.5, seed=3)
         assert db.dangling_tuple_count() > 0
         assert not db.is_globally_consistent()
+
+
+class TestStatisticsCatalog:
+    def test_catalog_measures_every_relation(self):
+        database = generate_database(university_schema(), universe_rows=12, seed=1)
+        catalog = database.statistics_catalog()
+        assert len(catalog) == len(database.relations())
+        for relation in database.relations():
+            assert catalog.cardinality(relation.schema.attribute_set) == len(relation)
+
+    def test_catalog_is_cached_per_instance(self):
+        database = generate_database(university_schema(), universe_rows=12, seed=1)
+        assert database.statistics_catalog() is database.statistics_catalog()
+
+    def test_refresh_and_sample_limit_rebuild(self):
+        database = generate_database(university_schema(), universe_rows=40, seed=1)
+        exact = database.statistics_catalog()
+        sampled = database.statistics_catalog(sample_limit=5)
+        assert sampled is not exact
+        assert not sampled.is_exact
+        assert database.statistics_catalog(sample_limit=5) is sampled
+        assert database.statistics_catalog(sample_limit=5, refresh=True) is not sampled
