@@ -25,7 +25,7 @@ from pathlib import Path
 import pytest
 
 from repro.analysis import banner, statistics_table
-from repro.engine import QueryPlanner, evaluate_database
+from repro.engine import EngineSession
 from repro.generators import skewed_chain_database, skewed_chain_endpoints
 
 CHAIN_LENGTH = 3
@@ -44,9 +44,8 @@ def skewed_db():
 
 def test_adaptive_order_halves_the_largest_intermediate(skewed_db):
     """The acceptance criterion: ≥ 2× smaller max intermediate, same answer."""
-    static = evaluate_database(skewed_db, ENDPOINTS, planner=QueryPlanner())
-    adaptive = evaluate_database(skewed_db, ENDPOINTS, adaptive=True,
-                                 planner=QueryPlanner())
+    static = EngineSession(adaptive=False).execute(skewed_db, skewed_db, ENDPOINTS)
+    adaptive = EngineSession(adaptive=True).execute(skewed_db, skewed_db, ENDPOINTS)
 
     print(banner("E-ADAPT: skewed chain, endpoints query"))
     print(statistics_table([static.statistics, adaptive.statistics],
@@ -72,17 +71,16 @@ def test_adaptive_order_halves_the_largest_intermediate(skewed_db):
 
 def test_plan_cache_saved_to_disk_reloads_with_zero_replanning(skewed_db, tmp_path):
     """The acceptance criterion: warm start from disk compiles nothing new."""
-    serving = QueryPlanner()
-    evaluate_database(skewed_db, ENDPOINTS, adaptive=True, planner=serving)
+    serving = EngineSession()
+    serving.prepare(skewed_db, ENDPOINTS).execute(skewed_db)
     path = tmp_path / "plans.json"
-    saved = serving.save_cache(path)
+    saved = serving.save(path)
     assert saved == serving.cache_info().size
 
-    restarted = QueryPlanner()
-    restarted.load_cache(path)
+    restarted = EngineSession()
+    restarted.load(path)
     misses_before = restarted.cache_info().misses
-    result = evaluate_database(skewed_db, ENDPOINTS, adaptive=True,
-                               planner=restarted)
+    result = restarted.prepare(skewed_db, ENDPOINTS).execute(skewed_db)
     assert result.statistics.plan_cache_hit
     assert restarted.cache_info().misses == misses_before
 
@@ -90,18 +88,16 @@ def test_plan_cache_saved_to_disk_reloads_with_zero_replanning(skewed_db, tmp_pa
 @pytest.mark.slow
 @pytest.mark.benchmark(group="E-ADAPT adaptive vs static")
 def test_static_plan_timing(benchmark, skewed_db):
-    planner = QueryPlanner()
-    evaluate_database(skewed_db, ENDPOINTS, planner=planner)  # warm the cache
-    result = benchmark(lambda: evaluate_database(skewed_db, ENDPOINTS,
-                                                 planner=planner))
+    prepared = EngineSession(adaptive=False).prepare(skewed_db, ENDPOINTS)
+    prepared.execute(skewed_db)  # warm
+    result = benchmark(lambda: prepared.execute(skewed_db))
     assert result.statistics.plan_cache_hit
 
 
 @pytest.mark.slow
 @pytest.mark.benchmark(group="E-ADAPT adaptive vs static")
 def test_adaptive_plan_timing(benchmark, skewed_db):
-    planner = QueryPlanner()
-    evaluate_database(skewed_db, ENDPOINTS, adaptive=True, planner=planner)
-    result = benchmark(lambda: evaluate_database(skewed_db, ENDPOINTS,
-                                                 adaptive=True, planner=planner))
+    prepared = EngineSession(adaptive=True).prepare(skewed_db, ENDPOINTS)
+    prepared.execute(skewed_db)  # warm
+    result = benchmark(lambda: prepared.execute(skewed_db))
     assert result.statistics.plan_cache_hit

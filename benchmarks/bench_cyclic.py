@@ -20,7 +20,7 @@ from __future__ import annotations
 import pytest
 
 from repro.analysis import banner, statistics_table
-from repro.engine import QueryPlanner, evaluate_cyclic_database
+from repro.engine import EngineSession
 from repro.generators import (
     cyclic_workload_families,
     generate_database,
@@ -50,7 +50,8 @@ def test_naive_plan(benchmark, triangle_chain_db):
 @pytest.mark.slow
 @pytest.mark.benchmark(group="E-CYC cyclic join engines")
 def test_cyclic_engine(benchmark, triangle_chain_db):
-    result = benchmark(lambda: evaluate_cyclic_database(triangle_chain_db, ENDPOINTS))
+    prepared = EngineSession(adaptive=False).prepare(triangle_chain_db, ENDPOINTS)
+    result = benchmark(lambda: prepared.execute(triangle_chain_db))
     stats = result.statistics
     # Only the cluster materialisation may exceed the acyclic bound; the
     # quotient-level intermediates stay within output + reduced input.
@@ -61,19 +62,22 @@ def test_cyclic_engine(benchmark, triangle_chain_db):
 @pytest.mark.slow
 @pytest.mark.benchmark(group="E-CYC plan cache")
 def test_cover_search_amortised_by_plan_cache(benchmark, triangle_chain_db):
-    planner = QueryPlanner()
-    evaluate_cyclic_database(triangle_chain_db, ENDPOINTS, planner=planner)  # warm
+    session = EngineSession(adaptive=False)
+    prepared = session.prepare(triangle_chain_db, ENDPOINTS)
+    prepared.execute(triangle_chain_db)  # warm
+    frozen = session.cache_info()
 
-    result = benchmark(lambda: evaluate_cyclic_database(triangle_chain_db, ENDPOINTS,
-                                                        planner=planner))
+    result = benchmark(lambda: prepared.execute(triangle_chain_db))
     assert result.statistics.plan_cache_hit
+    assert session.cache_info() == frozen  # cover search never reruns
 
 
 def test_tuple_count_comparison(triangle_chain_db):
     """The acceptance table: cyclic engine ≥ 5× below naive on max intermediates."""
     naive_result, naive_stats = execute_plan(naive_join_plan(triangle_chain_db),
                                              plan_name="naive")
-    fast = evaluate_cyclic_database(triangle_chain_db, ENDPOINTS)
+    fast = EngineSession(adaptive=False).execute(triangle_chain_db,
+                                                 triangle_chain_db, ENDPOINTS)
     engine_stats = fast.statistics
 
     print(banner("E-CYC: chain with a triangle core, endpoints query"))
@@ -89,6 +93,7 @@ def test_tuple_count_comparison(triangle_chain_db):
 
 def test_workload_families_round_trip():
     """Every cyclic family evaluates correctly and reports cluster accounting."""
+    session = EngineSession(adaptive=False)
     rows = []
     for name, hypergraph in cyclic_workload_families():
         schema = DatabaseSchema.from_hypergraph(hypergraph)
@@ -96,7 +101,7 @@ def test_workload_families_round_trip():
                                      dangling_fraction=0.4, seed=7)
         naive_result, naive_stats = execute_plan(naive_join_plan(database),
                                                  plan_name=f"naive:{name}")
-        fast = evaluate_cyclic_database(database)
+        fast = session.execute(database, database)
         assert frozenset(fast.relation.rows) == frozenset(naive_result.rows), name
         assert fast.statistics.max_intermediate <= naive_stats.max_intermediate, name
         rows.append(fast.statistics)

@@ -1,0 +1,143 @@
+"""E-SESSION — prepare-once / execute-many vs the legacy per-call loop.
+
+The session redesign's hot-path claim: after ``session.prepare(...)``, warm
+``execute`` / ``execute_many`` calls do **zero** planning work — no cover
+search, no structure planning, no re-annotation — while the legacy adaptive
+entry point re-runs the cost annotation (every candidate rooting simulated
+against the catalog) on every single call.
+
+The workload is a repeated batch over a handful of skewed chain databases:
+small relations (evaluation is cheap) over a moderately wide schema
+(annotation is comparatively expensive) — exactly the shape of heavy
+repeated traffic the ROADMAP north star asks for.  Both loops produce
+byte-identical answers; only the planning work differs.
+
+The acceptance shape is asserted (warm ``execute_many`` throughput ≥ 2× the
+legacy per-call loop, identical answers, zero planner lookups during the
+timed session loop) and the headline numbers go to ``BENCH_session.json``
+for the CI smoke step; wall clock comes from pytest-benchmark
+(``pytest benchmarks/ --benchmark-only``).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import banner, statistics_table
+from repro.engine import EngineSession, QueryPlanner
+from repro.engine.yannakakis import evaluate_database as legacy_evaluate_database
+from repro.generators import skewed_chain_database, skewed_chain_endpoints
+
+CHAIN_LENGTH = 8
+ENDPOINTS = skewed_chain_endpoints(CHAIN_LENGTH)
+DATABASES = 4
+REPEATS = 30
+
+#: Where the CI smoke step picks up the headline numbers.
+RESULT_PATH = Path("BENCH_session.json")
+
+
+@pytest.fixture(scope="module")
+def workload():
+    """A few small skewed chains — the repeated-traffic batch."""
+    return tuple(
+        skewed_chain_database(CHAIN_LENGTH, heads=4, fanout=3,
+                              junction_values=2, seed=seed)
+        for seed in range(DATABASES))
+
+
+def _legacy_loop(workload, planner):
+    """The pre-session serving loop: one adaptive entry-point call per query."""
+    return [legacy_evaluate_database(database, ENDPOINTS, adaptive=True,
+                                     planner=planner)
+            for _ in range(REPEATS) for database in workload]
+
+
+def _session_loop(prepared, workload):
+    """The session serving loop: one warm ``execute_many`` per repeat."""
+    batches = [prepared.execute_many(workload) for _ in range(REPEATS)]
+    return [result for batch in batches for result in batch.results]
+
+
+def test_warm_execute_many_beats_the_legacy_per_call_loop(workload):
+    """The acceptance criterion: ≥ 2× throughput, identical answers."""
+    legacy_planner = QueryPlanner()
+    session = EngineSession()
+    prepared = session.prepare(workload[0], ENDPOINTS)
+
+    # Warm both sides fully (plan caches, instance catalogs, annotations),
+    # so the timed loops compare steady-state serving work only.
+    _legacy_loop(workload, legacy_planner)
+    warm_batch = prepared.execute_many(workload)
+
+    started = time.perf_counter()
+    legacy_results = _legacy_loop(workload, legacy_planner)
+    legacy_seconds = time.perf_counter() - started
+
+    planner_info = session.cache_info()
+    started = time.perf_counter()
+    session_results = _session_loop(prepared, workload)
+    session_seconds = time.perf_counter() - started
+    assert session.cache_info() == planner_info, \
+        "warm execute_many must not touch the planner"
+
+    assert len(session_results) == len(legacy_results)
+    for ours, theirs in zip(session_results, legacy_results):
+        assert frozenset(ours.relation.rows) == frozenset(theirs.relation.rows)
+
+    calls = DATABASES * REPEATS
+    speedup = legacy_seconds / max(session_seconds, 1e-9)
+    print(banner("E-SESSION: prepare-once/execute-many vs legacy per-call"))
+    print(statistics_table([warm_batch.statistics],
+                           title="one warm batch (per-database + totals)"))
+    print(f"legacy : {calls} calls in {legacy_seconds * 1000:.1f} ms "
+          f"({calls / legacy_seconds:.0f} q/s)")
+    print(f"session: {calls} calls in {session_seconds * 1000:.1f} ms "
+          f"({calls / session_seconds:.0f} q/s)")
+    print(f"throughput gain: {speedup:.1f}x")
+
+    assert 2 * session_seconds <= legacy_seconds, \
+        f"warm execute_many only {speedup:.2f}x over the legacy loop"
+
+    RESULT_PATH.write_text(json.dumps({
+        "workload": f"{DATABASES} skewed-chain({CHAIN_LENGTH}) databases "
+                    f"x {REPEATS} repeats",
+        "calls": calls,
+        "legacy_seconds": round(legacy_seconds, 4),
+        "session_seconds": round(session_seconds, 4),
+        "legacy_qps": round(calls / legacy_seconds, 1),
+        "session_qps": round(calls / session_seconds, 1),
+        "speedup": round(speedup, 2),
+        "output_rows_per_batch": warm_batch.statistics.output_size,
+    }, indent=2) + "\n", encoding="utf-8")
+
+
+def test_warm_path_statistics_report_cache_hits(workload):
+    """Every warm run serves its plan from the prepared query, not the planner."""
+    session = EngineSession()
+    prepared = session.prepare(workload[0], ENDPOINTS)
+    prepared.execute_many(workload)
+    batch = prepared.execute_many(workload)
+    assert batch.statistics.plan_cache_hit
+    assert batch.statistics.adaptive
+
+
+@pytest.mark.slow
+@pytest.mark.benchmark(group="E-SESSION session vs legacy")
+def test_legacy_per_call_timing(benchmark, workload):
+    planner = QueryPlanner()
+    _legacy_loop(workload, planner)  # warm
+    benchmark(lambda: _legacy_loop(workload, planner))
+
+
+@pytest.mark.slow
+@pytest.mark.benchmark(group="E-SESSION session vs legacy")
+def test_session_execute_many_timing(benchmark, workload):
+    session = EngineSession()
+    prepared = session.prepare(workload[0], ENDPOINTS)
+    prepared.execute_many(workload)  # warm
+    benchmark(lambda: _session_loop(prepared, workload))

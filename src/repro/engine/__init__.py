@@ -32,12 +32,21 @@ Layers (bottom-up):
   core with clusters (maximal-object-style grouping), reduce the acyclic
   quotient with the same machinery, nested-loop only inside the clusters.
 
-Entry points: :func:`evaluate` (a set of relations, e.g. a conjunctive
-query's atom relations), :func:`evaluate_database` (a whole database), their
-cyclic counterparts :func:`evaluate_cyclic` / :func:`evaluate_cyclic_database`,
-and ``ConjunctiveQuery.evaluate(database)`` in the query layer, which
-dispatches acyclic queries to the acyclic engine and cyclic queries to the
-cyclic subsystem (the naive plan is an explicit opt-in only).
+* :mod:`~repro.engine.session` — the unified facade: an
+  :class:`EngineSession` owning the planner, the per-database statistics
+  catalogs and cache persistence, and :class:`PreparedQuery` objects that
+  resolve dispatch + planning once and then execute many times (singly or
+  batched via ``execute_many``).
+
+Entry point: :class:`EngineSession` (or the process-wide
+:func:`default_session`) — ``session.prepare(source)`` resolves
+acyclic-vs-cyclic dispatch, structure planning and per-database cost
+annotation exactly once; ``prepared.execute(database)`` is the hot path.
+``ConjunctiveQuery.evaluate(database)`` in the query layer routes through
+the default session.  The PR-1/PR-2 module-level functions
+:func:`evaluate`, :func:`evaluate_database`, :func:`evaluate_cyclic` and
+:func:`evaluate_cyclic_database` remain as deprecated shims that emit
+``DeprecationWarning`` and delegate to the default session's planner.
 """
 
 from .catalog import (
@@ -73,7 +82,7 @@ from .semijoin import (
     semijoin_indexed,
     shared_attributes,
 )
-from .yannakakis import EngineResult, evaluate, evaluate_database
+from .yannakakis import EngineResult
 from .cyclic import (
     AcyclicQuotient,
     ClusterCover,
@@ -83,8 +92,18 @@ from .cyclic import (
     EdgeCluster,
     choose_cover,
     enumerate_covers,
-    evaluate_cyclic,
-    evaluate_cyclic_database,
+)
+from .session import (
+    BatchStatistics,
+    EngineSession,
+    ExecutionBatch,
+    ExecutionOptions,
+    PreparedQuery,
+    default_session,
+    legacy_evaluate as evaluate,
+    legacy_evaluate_database as evaluate_database,
+    legacy_evaluate_cyclic as evaluate_cyclic,
+    legacy_evaluate_cyclic_database as evaluate_cyclic_database,
 )
 
 __all__ = [
@@ -102,7 +121,10 @@ __all__ = [
     "ExecutionPlan", "AnnotatedPlan", "annotate_plan",
     "EngineStatistics", "QueryPlanner", "PlanCacheInfo",
     "SchemaFingerprint", "schema_fingerprint", "fingerprint_digest", "DEFAULT_PLANNER",
-    # evaluation
+    # sessions (the unified facade)
+    "EngineSession", "PreparedQuery", "ExecutionOptions",
+    "ExecutionBatch", "BatchStatistics", "default_session",
+    # evaluation (deprecated shims; prefer EngineSession)
     "EngineResult", "evaluate", "evaluate_database",
     # cyclic subsystem
     "EdgeCluster", "ClusterCover", "choose_cover", "enumerate_covers",

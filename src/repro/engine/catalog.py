@@ -191,6 +191,32 @@ class StatisticsCatalog:
         return StatisticsCatalog.from_relations(tuple(relations),
                                                 sample_limit=sample_limit)
 
+    def with_edge_remeasured(self, edge: Iterable[Attribute],
+                             relations: Sequence[Relation], *,
+                             sample_limit: Optional[int] = None
+                             ) -> "StatisticsCatalog":
+        """A catalog with one scheme's statistics replaced, the rest reused.
+
+        The incremental-maintenance primitive behind
+        :meth:`Database.with_relation
+        <repro.relational.database.Database.with_relation>`: when a single
+        relation instance is swapped, only its scheme needs re-measuring —
+        every other edge's :class:`RelationStatistics` carries over
+        unchanged.  ``relations`` are *all* the (new) instances over
+        ``edge`` (same-scheme instances are merged, exactly as
+        :meth:`from_relations` would); an empty sequence simply drops the
+        scheme.
+        """
+        scheme = frozenset(edge)
+        for relation in relations:
+            if relation.schema.attribute_set != scheme:
+                raise ValueError("with_edge_remeasured got a relation over a "
+                                 "different scheme than the edge being replaced")
+        entries = [entry for entry in self._by_edge.values() if entry.edge != scheme]
+        entries.extend(RelationStatistics.measure(relation, sample_limit=sample_limit)
+                       for relation in relations)
+        return StatisticsCatalog(entries)
+
     # ------------------------------------------------------------------ #
     # Lookups
     # ------------------------------------------------------------------ #

@@ -31,7 +31,7 @@ from ...relational.relation import Relation
 from ...relational.schema import Attribute
 from ..catalog import StatisticsCatalog
 from ..indexes import index_cache_info
-from ..planner import DEFAULT_PLANNER, QueryPlanner
+from ..planner import DEFAULT_PLANNER, QueryPlanner, schema_fingerprint
 from ..yannakakis import evaluate as evaluate_acyclic
 from .plans import CyclicEngineStatistics, CyclicExecutionPlan
 from .quotient import materialise_clusters
@@ -54,7 +54,8 @@ def evaluate_cyclic(relations: Sequence[Relation],
                     name: str = "cyclic",
                     check_reduction: bool = False,
                     cluster_row_bound: Optional[int] = None,
-                    catalog: Optional[StatisticsCatalog] = None) -> CyclicEngineResult:
+                    catalog: Optional[StatisticsCatalog] = None,
+                    plan: Optional[CyclicExecutionPlan] = None) -> CyclicEngineResult:
     """Evaluate the natural join of ``relations`` (optionally projected), cyclic schemas included.
 
     Acyclic schemas work too (the cover is trivially all singletons and the
@@ -69,6 +70,11 @@ def evaluate_cyclic(relations: Sequence[Relation],
     evaluation runs with a fresh *exact* catalog of the just-materialised
     cluster relations (cost-ordered reduction and join).  Answers are always
     identical to the static run.
+
+    ``plan`` supplies an already-resolved :class:`CyclicExecutionPlan` (e.g.
+    the one a :class:`~repro.engine.session.PreparedQuery` memoized),
+    bypassing the planner lookup — and, adaptively, the per-database cover
+    re-scoring — entirely; its fingerprint must match the relations' schema.
     """
     if not relations:
         raise SchemaError("the cyclic engine needs at least one relation to evaluate")
@@ -81,9 +87,15 @@ def evaluate_cyclic(relations: Sequence[Relation],
         raise SchemaError(f"output attributes {sorted_nodes(missing)} are not in the schema")
 
     index_before = index_cache_info()
-    misses_before = active_planner.cache_info().misses
-    plan = active_planner.cyclic_plan_for(hypergraph, catalog=catalog)
-    plan_cache_hit = active_planner.cache_info().misses == misses_before
+    if plan is None:
+        misses_before = active_planner.cache_info().misses
+        plan = active_planner.cyclic_plan_for(hypergraph, catalog=catalog)
+        plan_cache_hit = active_planner.cache_info().misses == misses_before
+    else:
+        if plan.fingerprint != schema_fingerprint(hypergraph):
+            raise SchemaError("the supplied cyclic execution plan was compiled "
+                              "for a different schema fingerprint")
+        plan_cache_hit = True
 
     estimated_cluster_sizes: tuple = ()
     estimated_materialisation: tuple = ()

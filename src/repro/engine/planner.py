@@ -30,6 +30,7 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple, Union
@@ -279,6 +280,14 @@ class QueryPlanner:
     :data:`DEFAULT_PLANNER` is what the high-level entry points use, so a
     workload that poses repeated queries over one schema performs the GYO /
     join-tree analysis exactly once.
+
+    The LRU itself is guarded by a lock, so concurrent ``plan_for`` /
+    ``cyclic_plan_for`` calls from many serving threads never corrupt the
+    underlying ``OrderedDict``.  Compilation happens *outside* the lock —
+    two threads racing on the same cold schema may both compile the plan
+    (plans are immutable and interchangeable; the last insert wins), which
+    trades a little duplicate work for never blocking the cache on a slow
+    join-tree construction.
     """
 
     def __init__(self, capacity: int = 128) -> None:
@@ -290,6 +299,7 @@ class QueryPlanner:
         self._cache: "OrderedDict[Tuple[object, ...], object]" = OrderedDict()
         self._hits = 0
         self._misses = 0
+        self._lock = threading.RLock()
 
     @property
     def capacity(self) -> int:
@@ -298,19 +308,21 @@ class QueryPlanner:
 
     def _cache_get(self, key: Tuple[object, ...]) -> Optional[object]:
         """LRU lookup with hit/miss accounting (``None`` counts as a miss)."""
-        cached = self._cache.get(key)
-        if cached is not None:
-            self._cache.move_to_end(key)
-            self._hits += 1
-            return cached
-        self._misses += 1
-        return None
+        with self._lock:
+            cached = self._cache.get(key)
+            if cached is not None:
+                self._cache.move_to_end(key)
+                self._hits += 1
+                return cached
+            self._misses += 1
+            return None
 
     def _cache_put(self, key: Tuple[object, ...], plan: object) -> None:
         """Insert a freshly compiled plan, evicting the least recently used."""
-        self._cache[key] = plan
-        if len(self._cache) > self._capacity:
-            self._cache.popitem(last=False)
+        with self._lock:
+            self._cache[key] = plan
+            if len(self._cache) > self._capacity:
+                self._cache.popitem(last=False)
 
     def plan_for(self, hypergraph: Union[Hypergraph, Database], *,
                  root: Optional[Edge] = None,
@@ -449,7 +461,9 @@ class QueryPlanner:
         producing a dump that cannot round-trip.
         """
         entries: List[Dict[str, object]] = []
-        for key in self._cache:
+        with self._lock:
+            keys = list(self._cache)
+        for key in keys:
             if key[0] == _CYCLIC_KIND:
                 if len(key) == 3:
                     # Catalog-chosen cover variants are derived per database;
@@ -542,14 +556,16 @@ class QueryPlanner:
 
     def cache_info(self) -> PlanCacheInfo:
         """Current hit/miss/size counters."""
-        return PlanCacheInfo(hits=self._hits, misses=self._misses,
-                             size=len(self._cache), capacity=self._capacity)
+        with self._lock:
+            return PlanCacheInfo(hits=self._hits, misses=self._misses,
+                                 size=len(self._cache), capacity=self._capacity)
 
     def clear(self) -> None:
         """Drop every cached plan and reset the counters."""
-        self._cache.clear()
-        self._hits = 0
-        self._misses = 0
+        with self._lock:
+            self._cache.clear()
+            self._hits = 0
+            self._misses = 0
 
 
 DEFAULT_PLANNER = QueryPlanner()

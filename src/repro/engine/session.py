@@ -1,0 +1,872 @@
+"""The unified engine facade: sessions, prepared queries and batched execution.
+
+Three PRs grew a real query processor whose public surface was an accretion
+of entry points — ``evaluate`` / ``evaluate_database`` / ``evaluate_cyclic``
+/ ``evaluate_cyclic_database``, ``ConjunctiveQuery.evaluate(engine=…,
+adaptive=…)``, ``plan_for`` / ``cyclic_plan_for`` / ``annotate`` — each
+re-threading ``catalog=``/``adaptive=`` plumbing on every call.  Maier &
+Ullman's framing is that the *system*, not the user, picks the relevant
+objects and the join strategy; this module makes that one intelligent entry
+point concrete:
+
+* :class:`ExecutionOptions` — one immutable config object replacing the
+  scattered keyword arguments, merged along a clear precedence chain
+  (session defaults < an explicit ``options=`` object < keyword overrides);
+* :class:`EngineSession` — owns a (thread-safe) :class:`QueryPlanner`, the
+  per-database :class:`~repro.engine.catalog.StatisticsCatalog` lifecycle,
+  and plan-cache persistence (:meth:`~EngineSession.save` /
+  :meth:`~EngineSession.load`);
+* :class:`PreparedQuery` — ``session.prepare(source)`` resolves the
+  acyclic-vs-cyclic dispatch, the structure plan and (per database) the cost
+  annotation **exactly once**; warm :meth:`~PreparedQuery.execute` calls do
+  zero cover search, zero structure planning and zero re-annotation for an
+  unchanged database;
+* :meth:`PreparedQuery.execute_many` — batched execution over many
+  databases (shared hash indexes, one catalog refresh per database) with the
+  per-run accounting aggregated into a :class:`BatchStatistics`.
+
+The legacy module-level entry points live on as deprecated shims (see
+:func:`legacy_evaluate` and friends) that route through the default session,
+so existing callers keep working while new code migrates.
+"""
+
+from __future__ import annotations
+
+import threading
+import warnings
+import weakref
+from collections import OrderedDict
+from dataclasses import dataclass, fields, replace
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    Iterable,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+from ..core.hypergraph import Edge, Hypergraph
+from ..exceptions import SchemaError, CyclicHypergraphError
+from ..relational.database import Database
+from ..relational.relation import Relation
+from ..relational.schema import Attribute, DatabaseSchema
+from .catalog import StatisticsCatalog
+from .planner import (
+    DEFAULT_PLANNER,
+    AnnotatedPlan,
+    ExecutionPlan,
+    PlanCacheInfo,
+    QueryPlanner,
+    fingerprint_digest,
+    schema_fingerprint,
+)
+from . import yannakakis as _yannakakis
+
+if TYPE_CHECKING:  # pragma: no cover - typing-only imports
+    from ..queries.conjunctive import ConjunctiveQuery
+    from .cyclic.plans import CyclicExecutionPlan
+
+__all__ = [
+    "ExecutionOptions",
+    "PreparedQuery",
+    "BatchStatistics",
+    "ExecutionBatch",
+    "EngineSession",
+    "default_session",
+    "legacy_evaluate",
+    "legacy_evaluate_database",
+    "legacy_evaluate_cyclic",
+    "legacy_evaluate_cyclic_database",
+]
+
+#: What ``prepare`` accepts: a conjunctive query, a database (its schema), a
+#: database schema, a hypergraph, or a sequence of relations (their schemas).
+PreparedSource = Union["ConjunctiveQuery", Database, DatabaseSchema,
+                       Hypergraph, Sequence[Relation]]
+
+#: How many schema-keyed prepared queries one session retains.
+_PREPARED_CACHE_CAPACITY = 128
+
+#: Sentinel distinguishing "not passed" from an explicit ``None`` sample limit.
+_UNSET_SAMPLE_LIMIT: Optional[int] = object()  # type: ignore[assignment]
+
+
+# --------------------------------------------------------------------------- #
+# Options
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class ExecutionOptions:
+    """One immutable bundle of execution knobs, replacing scattered kwargs.
+
+    Precedence when a query is prepared: the session's defaults, overridden
+    by an explicit ``options=`` object, overridden by keyword arguments —
+    later wins, field by field for the keywords and wholesale for the
+    ``options=`` object.
+
+    * ``adaptive`` — annotate plans with a per-database statistics catalog
+      (cardinality-chosen root, cost-ordered semijoins and fold order);
+    * ``root`` — pin the acyclic rooting instead of letting the annotation
+      (or the structure default) choose;
+    * ``check_reduction`` — run the reducer's proof-of-reduction hook
+      (debug/audit; two extra semijoin scans per tree edge);
+    * ``cluster_row_bound`` — cap intra-cluster intermediates on the cyclic
+      path (:class:`~repro.exceptions.ClusterBoundExceededError` beyond it);
+    * ``sample_limit`` — bound the rows scanned per relation when measuring
+      statistics catalogs (the cheap sampling refresh);
+    * ``force_cyclic`` — dispatch through the cyclic subsystem even for
+      acyclic schemas (its cover degenerates to singletons).
+    """
+
+    adaptive: bool = True
+    root: Optional[Edge] = None
+    check_reduction: bool = False
+    cluster_row_bound: Optional[int] = None
+    sample_limit: Optional[int] = None
+    force_cyclic: bool = False
+
+    def merged(self, **overrides: object) -> "ExecutionOptions":
+        """A copy with the given fields replaced; unknown names raise ``TypeError``."""
+        known = {field.name for field in fields(self)}
+        unknown = set(overrides) - known
+        if unknown:
+            raise TypeError(f"unknown execution option(s) {sorted(unknown)}; "
+                            f"expected a subset of {sorted(known)}")
+        return replace(self, **overrides)
+
+    @classmethod
+    def resolve(cls, defaults: "ExecutionOptions",
+                options: Optional["ExecutionOptions"],
+                overrides: Dict[str, object]) -> "ExecutionOptions":
+        """Apply the precedence chain: ``defaults`` < ``options`` < ``overrides``."""
+        base = options if options is not None else defaults
+        return base.merged(**overrides) if overrides else base
+
+
+# --------------------------------------------------------------------------- #
+# Batched statistics
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class BatchStatistics:
+    """Per-database engine statistics aggregated across one ``execute_many``.
+
+    Duck-type compatible with :class:`~repro.relational.join_plans.JoinStatistics`
+    (``plan_name`` / ``input_sizes`` / ``intermediate_sizes`` / ``output_size``
+    and the derived ``max_intermediate`` / ``total_intermediate``), so it
+    drops into :func:`repro.analysis.reports.statistics_table` — which
+    additionally recognises ``runs``/``labels`` and renders the per-database
+    breakdown plus a totals row.
+    """
+
+    plan_name: str
+    labels: Tuple[str, ...]
+    runs: Tuple[object, ...]
+
+    @classmethod
+    def from_runs(cls, runs: Sequence[object], *,
+                  labels: Optional[Sequence[str]] = None,
+                  plan_name: str = "session-batch") -> "BatchStatistics":
+        """Aggregate per-run statistics; labels default to ``db0, db1, …``."""
+        if labels is None:
+            labels = tuple(f"db{index}" for index in range(len(runs)))
+        labels = tuple(labels)
+        if len(labels) != len(runs):
+            raise ValueError("one label per run is required")
+        return cls(plan_name=plan_name, labels=labels, runs=tuple(runs))
+
+    # -- JoinStatistics-compatible surface --------------------------------- #
+    @property
+    def input_sizes(self) -> Tuple[int, ...]:
+        """Every run's input sizes, concatenated."""
+        return tuple(size for run in self.runs for size in run.input_sizes)
+
+    @property
+    def intermediate_sizes(self) -> Tuple[int, ...]:
+        """Every run's intermediate sizes, concatenated."""
+        return tuple(size for run in self.runs for size in run.intermediate_sizes)
+
+    @property
+    def output_size(self) -> int:
+        """Total rows returned across the batch."""
+        return sum(run.output_size for run in self.runs)
+
+    @property
+    def max_intermediate(self) -> int:
+        """The largest intermediate any run materialised."""
+        return max((run.max_intermediate for run in self.runs), default=0)
+
+    @property
+    def total_intermediate(self) -> int:
+        """The summed intermediate work across the batch."""
+        return sum(run.total_intermediate for run in self.runs)
+
+    # -- engine-statistics surface ----------------------------------------- #
+    @property
+    def semijoin_steps(self) -> int:
+        """Total semijoin steps across the batch."""
+        return sum(getattr(run, "semijoin_steps", 0) for run in self.runs)
+
+    @property
+    def rows_removed_by_reduction(self) -> int:
+        """Total dangling rows removed across the batch."""
+        return sum(getattr(run, "rows_removed_by_reduction", 0) for run in self.runs)
+
+    @property
+    def plan_cache_hit(self) -> bool:
+        """``True`` when every run served its plan from cache."""
+        return bool(self.runs) and all(getattr(run, "plan_cache_hit", False)
+                                       for run in self.runs)
+
+    @property
+    def adaptive(self) -> bool:
+        """``True`` when every run executed with a cost annotation."""
+        return bool(self.runs) and all(getattr(run, "adaptive", False)
+                                       for run in self.runs)
+
+    @property
+    def estimated_max_intermediate(self) -> Optional[int]:
+        """The largest predicted intermediate, when every run was adaptive."""
+        if not self.adaptive:
+            return None
+        estimates = [getattr(run, "estimated_max_intermediate", None)
+                     for run in self.runs]
+        return max((e for e in estimates if e is not None), default=0)
+
+    @property
+    def estimated_output_size(self) -> Optional[int]:
+        """The summed predicted output, when every run predicted one."""
+        if not self.adaptive:
+            return None
+        estimates = [getattr(run, "estimated_output_size", None) for run in self.runs]
+        if any(estimate is None for estimate in estimates):
+            return None
+        return sum(estimates)
+
+    def describe(self) -> str:
+        """A one-line batch summary aligned with ``JoinStatistics.describe``."""
+        return (f"{self.plan_name}: {len(self.runs)} databases "
+                f"inputs={sum(self.input_sizes)} max={self.max_intermediate} "
+                f"total_intermediate={self.total_intermediate} "
+                f"output={self.output_size} "
+                f"plan_cache={'hit' if self.plan_cache_hit else 'miss'}")
+
+
+@dataclass(frozen=True)
+class ExecutionBatch:
+    """The results of one ``execute_many``: per-database results plus aggregates."""
+
+    results: Tuple[object, ...]
+    statistics: BatchStatistics
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def __iter__(self):
+        return iter(self.results)
+
+    def __getitem__(self, index: int):
+        return self.results[index]
+
+    @property
+    def relations(self) -> Tuple[Relation, ...]:
+        """The per-database answer relations, in batch order."""
+        return tuple(result.relation for result in self.results)
+
+
+# --------------------------------------------------------------------------- #
+# Prepared queries
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class _DatabaseBinding:
+    """Everything one database needs at execution time, resolved once."""
+
+    relations: Tuple[Relation, ...]
+    catalog: Optional[StatisticsCatalog]
+    plan: object  # ExecutionPlan | AnnotatedPlan | CyclicExecutionPlan
+
+
+class PreparedQuery:
+    """A query compiled once: dispatch, structure plan and per-database annotation.
+
+    Obtained from :meth:`EngineSession.prepare`.  The acyclic-vs-cyclic
+    dispatch and the structure plan are resolved at preparation time; the
+    data-dependent half (statistics catalog, cost annotation, adaptive cover
+    choice) is resolved once per database on first :meth:`execute` and then
+    memoized (weakly, keyed by database identity), so warm executions do no
+    planning work of any kind.
+    """
+
+    def __init__(self, session: "EngineSession", *, kind: str,
+                 structure: object, hypergraph: Hypergraph,
+                 output_attributes: Optional[Tuple[Attribute, ...]],
+                 options: ExecutionOptions, name: str,
+                 query: Optional["ConjunctiveQuery"] = None) -> None:
+        self._session = session
+        self._kind = kind
+        self._structure = structure
+        self._hypergraph = hypergraph
+        self._output = output_attributes
+        self._options = options
+        self._name = name
+        self._query = query
+        self._bindings: "weakref.WeakKeyDictionary[Database, _DatabaseBinding]" = \
+            weakref.WeakKeyDictionary()
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def kind(self) -> str:
+        """``"acyclic"`` or ``"cyclic"`` — the dispatch resolved at prepare time."""
+        return self._kind
+
+    @property
+    def fingerprint(self):
+        """The schema fingerprint the structure plan was compiled for."""
+        return self._structure.fingerprint
+
+    @property
+    def options(self) -> ExecutionOptions:
+        """The options the query was prepared with (fully resolved)."""
+        return self._options
+
+    @property
+    def output_attributes(self) -> Optional[Tuple[Attribute, ...]]:
+        """The projection attributes, in order (``None`` = full join)."""
+        return self._output
+
+    @property
+    def name(self) -> str:
+        """The name given to answer relations."""
+        return self._name
+
+    @property
+    def structure(self) -> object:
+        """The data-independent structure plan (acyclic or cyclic)."""
+        return self._structure
+
+    # ------------------------------------------------------------------ #
+    # Execution
+    # ------------------------------------------------------------------ #
+    def execute(self, database: Database):
+        """Evaluate against one database; warm calls do zero planning work.
+
+        Returns an :class:`~repro.engine.yannakakis.EngineResult` (acyclic
+        dispatch) or :class:`~repro.engine.cyclic.executor.CyclicEngineResult`
+        (cyclic dispatch).  The first execution against a database resolves
+        its statistics catalog and cost annotation; subsequent executions
+        against the *same* database reuse them outright — no cover search,
+        no structure planning, no re-annotation.
+        """
+        return self._run(self._binding_for(database))
+
+    def execute_many(self, databases: Iterable[Database], *,
+                     labels: Optional[Sequence[str]] = None) -> ExecutionBatch:
+        """Evaluate against many databases; aggregate the accounting.
+
+        Hash indexes are shared across the batch (they are cached per
+        relation instance), the statistics catalog is refreshed exactly once
+        per distinct database, and the per-run statistics are folded into a
+        :class:`BatchStatistics` that
+        :func:`repro.analysis.reports.statistics_table` renders as a
+        per-database breakdown plus a totals row.
+        """
+        results = tuple(self.execute(database) for database in databases)
+        statistics = BatchStatistics.from_runs(
+            tuple(result.statistics for result in results), labels=labels,
+            plan_name=f"session-batch:{self._name}")
+        return ExecutionBatch(results=results, statistics=statistics)
+
+    def execute_relations(self, relations: Sequence[Relation]):
+        """Evaluate against an explicit relation sequence (no memoization).
+
+        The relations' schemas must match the prepared fingerprint.  Used by
+        callers that assemble relation sets outside a :class:`Database` (e.g.
+        the maximal-object window); per-call catalogs are measured when the
+        options are adaptive, but nothing is memoized — prefer
+        :meth:`execute` for repeated traffic.
+        """
+        binding = self._bind_relations(tuple(relations))
+        return self._run(binding)
+
+    def explain(self, database: Optional[Database] = None) -> str:
+        """A human-readable account of the prepared plan.
+
+        Without a database: dispatch kind, options and the structure plan.
+        With one: additionally the resolved per-database half — the cost
+        annotation (acyclic) or the catalog-chosen cover (cyclic).
+        """
+        wanted = "*" if self._output is None else \
+            ", ".join(str(attribute) for attribute in self._output)
+        lines = [f"PreparedQuery {self._name!r}: {self._kind} dispatch, "
+                 f"fingerprint {fingerprint_digest(self.fingerprint)}",
+                 f"  outputs: {wanted}",
+                 f"  options: {self._options}"]
+        lines.append(self._structure.describe())
+        if database is not None:
+            binding = self._binding_for(database)
+            if isinstance(binding.plan, AnnotatedPlan):
+                lines.append(binding.plan.annotation.describe())
+            elif binding.plan is not self._structure:
+                lines.append("catalog-chosen cyclic plan:")
+                lines.append(binding.plan.describe())
+            if binding.catalog is not None:
+                lines.append(binding.catalog.describe())
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+    def _binding_for(self, database: Database) -> _DatabaseBinding:
+        """The memoized per-database execution state (resolved on first use).
+
+        Resolution (catalog measurement + annotation) runs *outside* the
+        session lock — it can scan data, and holding the lock would stall
+        every other warm execution behind one cold database.  Two threads
+        racing on the same cold database may both resolve; bindings are
+        immutable and interchangeable, and the first insert wins.
+        """
+        with self._session._lock:
+            binding = self._bindings.get(database)
+        if binding is not None:
+            return binding
+        binding = self._resolve_binding(database)
+        with self._session._lock:
+            return self._bindings.setdefault(database, binding)
+
+    def _resolve_binding(self, database: Database) -> _DatabaseBinding:
+        if self._query is not None:
+            relations = tuple(self._query.atom_relations(database))
+            catalog = None
+            if self._options.adaptive:
+                catalog = StatisticsCatalog.from_relations(
+                    relations, sample_limit=self._options.sample_limit)
+        else:
+            expected = schema_fingerprint(database.schema.to_hypergraph())
+            if expected != self.fingerprint:
+                raise SchemaError(
+                    "the prepared query was compiled for a different schema "
+                    "fingerprint than this database's")
+            relations = database.relations()
+            catalog = None
+            if self._options.adaptive:
+                catalog = self._session.catalog_for(
+                    database, sample_limit=self._options.sample_limit)
+        return _DatabaseBinding(relations=relations, catalog=catalog,
+                                plan=self._plan_with(catalog))
+
+    def _bind_relations(self, relations: Tuple[Relation, ...]) -> _DatabaseBinding:
+        expected = schema_fingerprint(
+            Hypergraph([relation.schema.attribute_set for relation in relations]))
+        if expected != self.fingerprint:
+            raise SchemaError(
+                "the prepared query was compiled for a different schema "
+                "fingerprint than these relations'")
+        catalog = None
+        if self._options.adaptive:
+            catalog = StatisticsCatalog.from_relations(
+                relations, sample_limit=self._options.sample_limit)
+        return _DatabaseBinding(relations=relations, catalog=catalog,
+                                plan=self._plan_with(catalog))
+
+    def _plan_with(self, catalog: Optional[StatisticsCatalog]) -> object:
+        """Compose the structure plan with a catalog (static plans pass through)."""
+        if catalog is None:
+            return self._structure
+        planner = self._session.planner
+        if self._kind == "acyclic":
+            return planner.annotate(self._hypergraph, catalog,
+                                    output_attributes=self._output,
+                                    root=self._options.root)
+        return planner.cyclic_plan_for(self._hypergraph, catalog=catalog)
+
+    def _run(self, binding: _DatabaseBinding):
+        options = self._options
+        if self._kind == "acyclic":
+            return _yannakakis.evaluate(
+                binding.relations, self._output, name=self._name,
+                check_reduction=options.check_reduction, plan=binding.plan)
+        # Resolved through the package attribute at call time so test doubles
+        # patched onto ``repro.engine.cyclic`` intercept the dispatch.
+        from . import cyclic
+        return cyclic.evaluate_cyclic(
+            binding.relations, self._output, name=self._name,
+            check_reduction=options.check_reduction,
+            cluster_row_bound=options.cluster_row_bound,
+            plan=binding.plan, catalog=binding.catalog,
+            planner=self._session.planner)
+
+
+# --------------------------------------------------------------------------- #
+# The session
+# --------------------------------------------------------------------------- #
+class EngineSession:
+    """The engine's single intelligent entry point.
+
+    A session owns a thread-safe :class:`QueryPlanner` (structure plans,
+    cover search, LRU + disk persistence), the per-database statistics
+    catalogs, and a prepared-query cache, so heavy repeated traffic compiles
+    each query once and executes it many times::
+
+        session = EngineSession()
+        prepared = session.prepare(database, ("C0", "C3"))
+        for db in incoming:                 # hot path: zero planning work
+            answer = prepared.execute(db).relation
+
+    ``EngineSession()`` builds a private planner; pass ``planner=`` to share
+    one (the process-wide :func:`default_session` wraps
+    :data:`~repro.engine.planner.DEFAULT_PLANNER`, so legacy entry points
+    and session users share a single plan cache).
+    """
+
+    def __init__(self, planner: Optional[QueryPlanner] = None, *,
+                 options: Optional[ExecutionOptions] = None,
+                 planner_capacity: int = 128,
+                 **overrides: object) -> None:
+        self._planner = planner if planner is not None \
+            else QueryPlanner(planner_capacity)
+        self._options = ExecutionOptions.resolve(
+            ExecutionOptions(), options, dict(overrides))
+        self._lock = threading.RLock()
+        # Schema-keyed prepared queries: (fingerprint, outputs, options, name).
+        self._prepared: "OrderedDict[Tuple[object, ...], PreparedQuery]" = OrderedDict()
+        # Query-object-keyed prepared queries.  A WeakKeyDictionary would
+        # never collect here — each PreparedQuery strongly references its
+        # query, which would pin its own weak key — so this is a plain LRU
+        # keyed by id(query), with the stored weakref validating that the id
+        # was not recycled by a different object.
+        self._prepared_queries: "OrderedDict[int, Tuple[weakref.ref, Dict[Tuple[object, ...], PreparedQuery]]]" = \
+            OrderedDict()
+
+    # ------------------------------------------------------------------ #
+    # Accessors
+    # ------------------------------------------------------------------ #
+    @property
+    def planner(self) -> QueryPlanner:
+        """The session's planner (shared structure-plan cache)."""
+        return self._planner
+
+    @property
+    def options(self) -> ExecutionOptions:
+        """The session's default execution options."""
+        return self._options
+
+    # ------------------------------------------------------------------ #
+    # Catalog lifecycle
+    # ------------------------------------------------------------------ #
+    def catalog_for(self, database: Database, *,
+                    sample_limit: Optional[int] = _UNSET_SAMPLE_LIMIT,
+                    refresh: bool = False) -> StatisticsCatalog:
+        """The statistics catalog for one database, measured once per instance.
+
+        Databases are immutable, so a catalog never goes stale; the
+        measurement is cached on the database instance itself (see
+        :meth:`Database.statistics_catalog
+        <repro.relational.database.Database.statistics_catalog>`), keyed by
+        ``sample_limit`` — which defaults to the session's option.
+        ``refresh=True`` forces a re-measure.  Measurement scans data and
+        runs entirely outside the session lock.
+        """
+        if sample_limit is _UNSET_SAMPLE_LIMIT:
+            sample_limit = self._options.sample_limit
+        return database.statistics_catalog(sample_limit=sample_limit,
+                                           refresh=refresh)
+
+    # ------------------------------------------------------------------ #
+    # Preparation
+    # ------------------------------------------------------------------ #
+    def prepare(self, source: PreparedSource,
+                output_attributes: Optional[Iterable[Attribute]] = None, *,
+                options: Optional[ExecutionOptions] = None,
+                name: Optional[str] = None,
+                **overrides: object) -> PreparedQuery:
+        """Compile ``source`` into a :class:`PreparedQuery` (cached per schema).
+
+        ``source`` may be a :class:`~repro.queries.conjunctive.ConjunctiveQuery`
+        (its atoms are re-derived per database at execution time), a
+        :class:`Database` / :class:`DatabaseSchema` / :class:`Hypergraph`
+        (prepared at the schema level; ``execute`` joins the database's
+        relations), or a sequence of :class:`Relation` objects (prepared from
+        their schemas).  Dispatch — acyclic engine vs cyclic subsystem — is
+        resolved here, once: the session tries the acyclic planner first and
+        falls back to the cluster cover on
+        :class:`~repro.exceptions.CyclicHypergraphError` (``force_cyclic``
+        skips straight to the cover).  Preparation results are cached, so
+        repeated ``prepare`` calls with the same schema, outputs and options
+        return the same object.
+        """
+        resolved = ExecutionOptions.resolve(self._options, options, dict(overrides))
+        from ..queries.conjunctive import ConjunctiveQuery
+
+        if isinstance(source, ConjunctiveQuery) and output_attributes is None:
+            # Warm fast path: a repeated prepare of the same query object
+            # needs no hypergraph construction at all — the cache key is
+            # derivable from the query's head alone.
+            head = tuple(variable.name for variable in source.head)
+            cache_key = (head, resolved, name if name is not None else source.name)
+            with self._lock:
+                entry = self._prepared_queries.get(id(source))
+                if entry is not None and entry[0]() is source \
+                        and cache_key in entry[1]:
+                    self._prepared_queries.move_to_end(id(source))
+                    return entry[1][cache_key]
+        query, hypergraph, default_name = self._normalise_source(source)
+        wanted = self._normalise_outputs(output_attributes, query, hypergraph)
+        final_name = name if name is not None else default_name
+
+        cache_key = (wanted, resolved, final_name)
+        with self._lock:
+            if query is not None:
+                entry = self._prepared_queries.get(id(query))
+                if entry is not None and entry[0]() is query \
+                        and cache_key in entry[1]:
+                    self._prepared_queries.move_to_end(id(query))
+                    return entry[1][cache_key]
+            else:
+                schema_key = (schema_fingerprint(hypergraph),) + cache_key
+                cached = self._prepared.get(schema_key)
+                if cached is not None:
+                    self._prepared.move_to_end(schema_key)
+                    return cached
+
+        kind, structure = self._dispatch(hypergraph, query, resolved)
+        prepared = PreparedQuery(self, kind=kind, structure=structure,
+                                 hypergraph=hypergraph,
+                                 output_attributes=wanted, options=resolved,
+                                 name=final_name, query=query)
+        with self._lock:
+            if query is not None:
+                entry = self._prepared_queries.get(id(query))
+                if entry is None or entry[0]() is not query:
+                    entry = (weakref.ref(query), {})
+                    self._prepared_queries[id(query)] = entry
+                entry[1][cache_key] = prepared
+                self._prepared_queries.move_to_end(id(query))
+                # Purge entries whose query died (their ids may be recycled),
+                # then cap what is left.
+                dead = [key for key, (ref, _) in self._prepared_queries.items()
+                        if ref() is None]
+                for key in dead:
+                    del self._prepared_queries[key]
+                while len(self._prepared_queries) > _PREPARED_CACHE_CAPACITY:
+                    self._prepared_queries.popitem(last=False)
+            else:
+                self._prepared[schema_key] = prepared
+                if len(self._prepared) > _PREPARED_CACHE_CAPACITY:
+                    self._prepared.popitem(last=False)
+        return prepared
+
+    def _normalise_source(self, source: PreparedSource):
+        """Split a prepare source into (query?, hypergraph, default name)."""
+        from ..queries.conjunctive import ConjunctiveQuery
+
+        if isinstance(source, ConjunctiveQuery):
+            return source, source.hypergraph(), source.name
+        if isinstance(source, Database):
+            return None, source.schema.to_hypergraph(), "U"
+        if isinstance(source, DatabaseSchema):
+            return None, source.to_hypergraph(), "U"
+        if isinstance(source, Hypergraph):
+            return None, source, "U"
+        try:
+            relations = tuple(source)
+        except TypeError:
+            relations = ()
+        if not relations or not all(isinstance(r, Relation) for r in relations):
+            raise SchemaError(
+                "prepare expects a ConjunctiveQuery, Database, DatabaseSchema, "
+                "Hypergraph or a non-empty sequence of Relations")
+        hypergraph = Hypergraph([relation.schema.attribute_set
+                                 for relation in relations])
+        return None, hypergraph, "yannakakis"
+
+    @staticmethod
+    def _normalise_outputs(output_attributes, query, hypergraph
+                           ) -> Optional[Tuple[Attribute, ...]]:
+        if output_attributes is None:
+            if query is not None:
+                return tuple(variable.name for variable in query.head)
+            return None
+        wanted = tuple(dict.fromkeys(output_attributes))
+        missing = frozenset(wanted) - hypergraph.nodes
+        if missing:
+            raise SchemaError(
+                f"output attributes {sorted(missing, key=str)} are not in the schema")
+        return wanted
+
+    def _dispatch(self, hypergraph: Hypergraph,
+                  query: Optional["ConjunctiveQuery"],
+                  options: ExecutionOptions) -> Tuple[str, object]:
+        """Resolve acyclic-vs-cyclic dispatch and compile the structure plan."""
+        if not options.force_cyclic and (query is None or query.is_acyclic()):
+            try:
+                return "acyclic", self._planner.plan_for(hypergraph,
+                                                         root=options.root)
+            except CyclicHypergraphError:
+                # GYO and the join-tree construction can disagree on
+                # degenerate hypergraphs (e.g. empty edges from all-constant
+                # atoms); the cyclic subsystem folds those into a cluster.
+                pass
+        return "cyclic", self._planner.cyclic_plan_for(hypergraph)
+
+    # ------------------------------------------------------------------ #
+    # One-shot execution conveniences
+    # ------------------------------------------------------------------ #
+    def execute(self, source: PreparedSource, database: Database,
+                output_attributes: Optional[Iterable[Attribute]] = None,
+                **prepare_kwargs: object):
+        """``prepare(source, …).execute(database)`` in one call.
+
+        Preparation is cached, so repeated ``execute`` calls with the same
+        source/outputs/options hit the warm path exactly like a held
+        :class:`PreparedQuery`.
+        """
+        return self.prepare(source, output_attributes,
+                            **prepare_kwargs).execute(database)
+
+    def execute_join(self, relations: Sequence[Relation],
+                     output_attributes: Optional[Iterable[Attribute]] = None, *,
+                     name: Optional[str] = None, **prepare_kwargs: object):
+        """Join an explicit relation sequence (dispatch resolved by the session).
+
+        The schema-level preparation is cached by fingerprint, so repeated
+        joins over the same shapes reuse the compiled dispatch; the relation
+        *contents* are taken from the arguments on every call.
+        """
+        relations = tuple(relations)
+        prepared = self.prepare(relations, output_attributes, name=name,
+                                **prepare_kwargs)
+        return prepared.execute_relations(relations)
+
+    def explain(self, source: PreparedSource,
+                database: Optional[Database] = None,
+                output_attributes: Optional[Iterable[Attribute]] = None,
+                **prepare_kwargs: object) -> str:
+        """The prepared plan's explanation (see :meth:`PreparedQuery.explain`)."""
+        return self.prepare(source, output_attributes,
+                            **prepare_kwargs).explain(database)
+
+    # ------------------------------------------------------------------ #
+    # Cache lifecycle
+    # ------------------------------------------------------------------ #
+    def save(self, path) -> int:
+        """Persist the planner's plan cache to ``path`` (atomic JSON file)."""
+        return self._planner.save_cache(path)
+
+    def load(self, path, *, missing_ok: bool = False) -> int:
+        """Warm the planner from a :meth:`save` file; return plans compiled."""
+        return self._planner.load_cache(path, missing_ok=missing_ok)
+
+    def cache_info(self) -> PlanCacheInfo:
+        """The planner's hit/miss/size counters."""
+        return self._planner.cache_info()
+
+    def clear(self) -> None:
+        """Drop cached plans and prepared queries."""
+        with self._lock:
+            self._planner.clear()
+            self._prepared.clear()
+            self._prepared_queries.clear()
+
+    def describe(self) -> str:
+        """A one-line session summary (plan cache, prepared queries)."""
+        info = self.cache_info()
+        with self._lock:
+            prepared = len(self._prepared) + sum(
+                len(entry[1]) for entry in self._prepared_queries.values())
+        return (f"EngineSession(plans={info.size}/{info.capacity} "
+                f"hits={info.hits} misses={info.misses} "
+                f"prepared={prepared})")
+
+
+# --------------------------------------------------------------------------- #
+# The default session
+# --------------------------------------------------------------------------- #
+_DEFAULT_SESSION: Optional[EngineSession] = None
+_DEFAULT_SESSION_LOCK = threading.Lock()
+
+
+def default_session() -> EngineSession:
+    """The process-wide session used by the legacy shims and the query layer.
+
+    Wraps :data:`~repro.engine.planner.DEFAULT_PLANNER`, so legacy entry
+    points and session users share one structure-plan cache.  This is the
+    only module that manages the default planner's lifecycle.
+    """
+    global _DEFAULT_SESSION
+    with _DEFAULT_SESSION_LOCK:
+        if _DEFAULT_SESSION is None:
+            _DEFAULT_SESSION = EngineSession(planner=DEFAULT_PLANNER)
+        return _DEFAULT_SESSION
+
+
+# --------------------------------------------------------------------------- #
+# Deprecated legacy entry points
+# --------------------------------------------------------------------------- #
+def _warn_legacy(name: str, replacement: str) -> None:
+    warnings.warn(
+        f"repro.engine.{name} is deprecated; use {replacement} "
+        "(see the 'Sessions & prepared queries' section of the README)",
+        DeprecationWarning, stacklevel=3)
+
+
+def _session_planner(planner: Optional[QueryPlanner]) -> QueryPlanner:
+    """The planner a legacy call should run against (default session's when unset)."""
+    return planner if planner is not None else default_session().planner
+
+
+def legacy_evaluate(relations, output_attributes=None, *,
+                    planner=None, root=None, name="yannakakis",
+                    check_reduction=False, plan=None, catalog=None):
+    """Deprecated: ``EngineSession.prepare(relations).execute_relations(...)``."""
+    _warn_legacy("evaluate", "EngineSession.execute_join(...) or "
+                 "EngineSession.prepare(...).execute(...)")
+    return _yannakakis.evaluate(relations, output_attributes,
+                                planner=_session_planner(planner), root=root,
+                                name=name, check_reduction=check_reduction,
+                                plan=plan, catalog=catalog)
+
+
+def legacy_evaluate_database(database, output_attributes=None, *,
+                             planner=None, root=None, name="U",
+                             check_reduction=False, adaptive=False,
+                             catalog=None):
+    """Deprecated: ``EngineSession.prepare(database).execute(database)``."""
+    _warn_legacy("evaluate_database",
+                 "EngineSession.prepare(database, ...).execute(database)")
+    return _yannakakis.evaluate_database(database, output_attributes,
+                                         planner=_session_planner(planner),
+                                         root=root, name=name,
+                                         check_reduction=check_reduction,
+                                         adaptive=adaptive, catalog=catalog)
+
+
+def legacy_evaluate_cyclic(relations, output_attributes=None, *,
+                           planner=None, name="cyclic", check_reduction=False,
+                           cluster_row_bound=None, catalog=None, plan=None):
+    """Deprecated: the session resolves cyclic dispatch itself."""
+    _warn_legacy("evaluate_cyclic", "EngineSession.execute_join(...) or "
+                 "EngineSession.prepare(...).execute(...)")
+    from .cyclic import executor
+    return executor.evaluate_cyclic(relations, output_attributes,
+                                    planner=_session_planner(planner),
+                                    name=name, check_reduction=check_reduction,
+                                    cluster_row_bound=cluster_row_bound,
+                                    catalog=catalog, plan=plan)
+
+
+def legacy_evaluate_cyclic_database(database, output_attributes=None, *,
+                                    planner=None, name="U",
+                                    check_reduction=False,
+                                    cluster_row_bound=None, adaptive=False,
+                                    catalog=None):
+    """Deprecated: ``EngineSession.prepare(database).execute(database)``."""
+    _warn_legacy("evaluate_cyclic_database",
+                 "EngineSession.prepare(database, ...).execute(database)")
+    from .cyclic import executor
+    return executor.evaluate_cyclic_database(
+        database, output_attributes, planner=_session_planner(planner),
+        name=name, check_reduction=check_reduction,
+        cluster_row_bound=cluster_row_bound, adaptive=adaptive,
+        catalog=catalog)

@@ -20,7 +20,7 @@ from typing import Any, Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequ
 
 from ..core.acyclicity import is_acyclic
 from ..core.hypergraph import Hypergraph
-from ..exceptions import CyclicHypergraphError, QueryError
+from ..exceptions import QueryError
 from ..relational.algebra import join_all, project, rename_relation, select
 from ..relational.database import Database
 from ..relational.relation import Relation, Row
@@ -177,49 +177,39 @@ class ConjunctiveQuery:
         so the engine orders semijoins, fold steps and cluster joins by the
         atoms' actual cardinalities.  Either way the answers are identical;
         the engine only changes how large the intermediates get.
+
+        Engine dispatch routes through the process-wide
+        :func:`~repro.engine.session.default_session`: the query is
+        prepared once (dispatch + structure plan, cached on the session) and
+        repeated evaluations hit the session's warm path.
         """
         if engine not in ("auto", "naive", "yannakakis", "cyclic"):
             raise QueryError(f"unknown evaluation engine {engine!r}; "
                              "expected 'auto', 'naive', 'yannakakis' or 'cyclic'")
-        atom_relations = self._atom_relations(database)
         head_names = [variable.name for variable in self._head]
-        if engine != "naive":
-            catalog = None
-            if adaptive:
-                from ..engine.catalog import StatisticsCatalog
+        if engine == "naive":
+            joined = join_all(self._atom_relations(database))
+            return project(joined, head_names, name=self._name)
+        from ..engine.session import default_session
 
-                # The atoms' relations — selections already applied, variables
-                # as attributes — are what the engine actually joins, so they
-                # are what gets measured (the database's own catalog speaks
-                # attribute names, not query variables).
-                catalog = StatisticsCatalog.from_relations(atom_relations)
-            result = None
-            if engine != "cyclic" and self.is_acyclic():
-                from ..engine.yannakakis import evaluate as engine_evaluate
+        prepared = default_session().prepare(self, adaptive=adaptive,
+                                             force_cyclic=(engine == "cyclic"))
+        result = prepared.execute(database)
+        # The engine already projected onto exactly the head attributes;
+        # only the schema's declared order differs, and rows are
+        # order-independent, so re-projection is unnecessary.
+        return Relation.from_valid_rows(
+            RelationSchema.of(self._name, dict.fromkeys(head_names)),
+            result.relation.rows)
 
-                try:
-                    result = engine_evaluate(atom_relations, head_names, name=self._name,
-                                             catalog=catalog)
-                except CyclicHypergraphError:
-                    # The acyclicity test (GYO) and the planner's join-tree
-                    # construction can disagree on degenerate hypergraphs (e.g.
-                    # an all-constant atom contributes an empty edge); the
-                    # cyclic subsystem folds such edges into a cluster, so it
-                    # handles the mismatch below — naive stays opt-in only.
-                    result = None
-            if result is None:
-                from ..engine.cyclic import evaluate_cyclic
+    def atom_relations(self, database: Database) -> List[Relation]:
+        """One relation per body atom, over the atom's variable names.
 
-                result = evaluate_cyclic(atom_relations, head_names, name=self._name,
-                                         catalog=catalog)
-            # The engine already projected onto exactly the head attributes;
-            # only the schema's declared order differs, and rows are
-            # order-independent, so re-projection is unnecessary.
-            return Relation.from_valid_rows(
-                RelationSchema.of(self._name, dict.fromkeys(head_names)),
-                result.relation.rows)
-        joined = join_all(atom_relations)
-        return project(joined, head_names, name=self._name)
+        The public face of the atom-to-relation translation the engine
+        session executes against (constants and repeated variables become
+        selections, so the join downstream is a plain natural join).
+        """
+        return self._atom_relations(database)
 
     def _atom_relations(self, database: Database) -> List[Relation]:
         """One relation per body atom, over the atom's variable names.

@@ -112,23 +112,49 @@ class Database:
                      for schema in self._schema.relations_for_edge(edge))
 
     def with_relation(self, relation: Relation) -> "Database":
-        """A database identical to this one except for one replaced instance."""
+        """A database identical to this one except for one replaced instance.
+
+        When this database has already measured its statistics catalog, the
+        derived database inherits it *incrementally*: the replaced relation's
+        scheme is marked stale and re-measured lazily on the next
+        :meth:`statistics_catalog` access, every other edge's statistics
+        carry over — so a write burst never silently serves stale statistics,
+        never pays a full re-measure, and pays nothing at all on the write
+        path itself (chained updates accumulate stale schemes and are
+        measured once, at the first read).
+        """
         if relation.name not in self._relations:
             raise SchemaError(f"no relation named {relation.name!r} to replace")
         updated = dict(self._relations)
         updated[relation.name] = relation
-        return Database(self._schema, updated)
+        derived = Database(self._schema, updated)
+        edge = relation.schema.attribute_set
+        cached = getattr(self, "_catalog_cache", None)
+        pending = getattr(self, "_catalog_pending", None)
+        if cached is not None:
+            sample_limit, catalog = cached
+            derived._catalog_pending = (sample_limit, catalog,
+                                        frozenset((edge,)))
+        elif pending is not None:
+            sample_limit, base, stale = pending
+            derived._catalog_pending = (sample_limit, base,
+                                        stale | frozenset((edge,)))
+        return derived
 
     def statistics_catalog(self, *, sample_limit: Optional[int] = None,
                            refresh: bool = False):
         """The database's statistics catalog (cardinalities, distinct counts).
 
         Built lazily and cached on the instance — the database is immutable,
-        so exact measurements never go stale.  ``sample_limit`` bounds the
-        rows scanned per relation for distinct counts (the cheap sampling
-        refresh); ``refresh=True`` forces a re-measure, e.g. after changing
-        ``sample_limit``.  This is the per-database half of adaptive
-        planning: feed it to :meth:`QueryPlanner.plan_for
+        so exact measurements never go stale.  A database derived through
+        :meth:`with_relation` from one whose catalog was already measured
+        completes *incrementally* here: only the stale (replaced) schemes are
+        re-measured, the rest reuse the parent's measurements.
+        ``sample_limit`` bounds the rows scanned per relation for distinct
+        counts (the cheap sampling refresh); ``refresh=True`` forces a full
+        re-measure, e.g. after changing ``sample_limit``.  This is the
+        per-database half of adaptive planning: feed it to
+        :meth:`QueryPlanner.plan_for
         <repro.engine.planner.QueryPlanner.plan_for>` or the engine
         evaluators' ``catalog`` parameter.
         """
@@ -137,9 +163,21 @@ class Database:
         cached = getattr(self, "_catalog_cache", None)
         if not refresh and cached is not None and cached[0] == sample_limit:
             return cached[1]
+        pending = getattr(self, "_catalog_pending", None)
+        if not refresh and pending is not None and pending[0] == sample_limit:
+            _, catalog, stale = pending
+            for edge in stale:
+                same_scheme = tuple(instance for instance in self
+                                    if instance.schema.attribute_set == edge)
+                catalog = catalog.with_edge_remeasured(
+                    edge, same_scheme, sample_limit=sample_limit)
+            self._catalog_cache = (sample_limit, catalog)
+            self._catalog_pending = None
+            return catalog
         catalog = StatisticsCatalog.from_relations(self.relations(),
                                                    sample_limit=sample_limit)
         self._catalog_cache = (sample_limit, catalog)
+        self._catalog_pending = None
         return catalog
 
     # ------------------------------------------------------------------ #

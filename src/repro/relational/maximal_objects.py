@@ -121,10 +121,21 @@ class MaximalObjectInterface:
     per-object answers.
     """
 
-    def __init__(self, database: Database) -> None:
+    def __init__(self, database: Database, *, session=None) -> None:
         self._database = database
         self._hypergraph = database.hypergraph
         self._objects = enumerate_maximal_objects(self._hypergraph)
+        # Per-object window queries route through an engine session (the
+        # process-wide default unless one is injected), so repeated windows
+        # over the same connections reuse prepared dispatch and plans.
+        self._session = session
+
+    def _engine_session(self):
+        if self._session is None:
+            from ..engine.session import default_session
+
+            self._session = default_session()
+        return self._session
 
     @property
     def database(self) -> Database:
@@ -197,19 +208,21 @@ class MaximalObjectInterface:
                              window_name: str) -> Optional[Relation]:
         """Join one canonical connection and project it onto the query attributes.
 
-        The connection is evaluated by the engine's cyclic-capable entry
-        point: acyclic connections degenerate to the full reducer plus the
-        early-projecting bottom-up join, and connections that became cyclic
-        (dropping a maximal object's edges can reintroduce a cycle) get the
-        cluster treatment instead of a naive cross-product join.  Returns
-        ``None`` when the connection does not span every query attribute.
+        The connection is evaluated through the engine session's unified
+        entry point (:meth:`~repro.engine.session.EngineSession.execute_join`):
+        the session resolves the dispatch itself — acyclic connections go
+        through the full reducer plus the early-projecting bottom-up join,
+        and connections that became cyclic (dropping a maximal object's
+        edges can reintroduce a cycle) get the cluster treatment instead of
+        a naive cross-product join.  Returns ``None`` when the connection
+        does not span every query attribute.
         """
         scope = frozenset().union(*(r.schema.attribute_set for r in relations))
         if not frozenset(ordered) <= scope:
             return None
-        from ..engine.cyclic import evaluate_cyclic
-
-        result = evaluate_cyclic(relations, ordered, name=window_name)
+        result = self._engine_session().execute_join(relations, ordered,
+                                                     name=window_name,
+                                                     adaptive=False)
         return Relation.from_valid_rows(
             RelationSchema.of(window_name, ordered), result.relation.rows)
 

@@ -101,3 +101,49 @@ class TestFormatMappingAndBanner:
         text = banner("Experiment E-FIG1")
         assert "Experiment E-FIG1" in text
         assert text.count("=") >= 2 * len("Experiment E-FIG1")
+
+
+class TestBatchStatisticsTable:
+    def _batch(self):
+        from repro.engine.session import BatchStatistics
+
+        runs = (
+            EngineStatistics(plan_name="engine-yannakakis", input_sizes=(10, 10),
+                             intermediate_sizes=(6,), output_size=4,
+                             semijoin_steps=2, rows_removed_by_reduction=8,
+                             plan_cache_hit=True),
+            EngineStatistics(plan_name="engine-yannakakis", input_sizes=(20, 5),
+                             intermediate_sizes=(9, 3), output_size=7,
+                             semijoin_steps=2, rows_removed_by_reduction=1,
+                             plan_cache_hit=True),
+        )
+        return BatchStatistics.from_runs(runs, plan_name="session-batch:U")
+
+    def test_batch_expands_to_per_database_rows_plus_totals(self):
+        batch = self._batch()
+        text = statistics_table([batch], title="batch")
+        lines = text.splitlines()
+        # Two per-database rows (labelled) and one totals row.
+        assert any("[db0]" in line for line in lines)
+        assert any("[db1]" in line for line in lines)
+        totals = [line for line in lines if "(total)" in line]
+        assert len(totals) == 1
+        assert "session-batch:U (total)" in totals[0]
+
+    def test_totals_row_aggregates_the_runs(self):
+        batch = self._batch()
+        assert batch.output_size == 11
+        assert batch.max_intermediate == 9
+        assert batch.total_intermediate == 18
+        assert batch.semijoin_steps == 4
+        assert batch.rows_removed_by_reduction == 9
+        assert batch.plan_cache_hit
+        totals = [line for line in statistics_table([batch]).splitlines()
+                  if "(total)" in line][0]
+        assert " 11 " in f" {totals} "
+
+    def test_batches_mix_with_plain_statistics(self):
+        naive = JoinStatistics(plan_name="naive", input_sizes=(10,),
+                               intermediate_sizes=(50,), output_size=4)
+        text = statistics_table([naive, self._batch()])
+        assert "naive" in text and "(total)" in text

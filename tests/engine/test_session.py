@@ -1,0 +1,363 @@
+"""EngineSession / PreparedQuery lifecycle: the unified engine facade."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.engine import (
+    DEFAULT_PLANNER,
+    EngineSession,
+    ExecutionOptions,
+    PreparedQuery,
+    QueryPlanner,
+    default_session,
+)
+from repro.engine.session import BatchStatistics
+from repro.generators import (
+    chain_hypergraph,
+    generate_database,
+    random_acyclic_hypergraph,
+    triangle_core_chain,
+)
+from repro.queries import ConjunctiveQuery
+from repro.relational import DatabaseSchema
+
+pytestmark = pytest.mark.filterwarnings("ignore::DeprecationWarning")
+
+
+@pytest.fixture()
+def acyclic_db():
+    hypergraph = chain_hypergraph(4, arity=3, overlap=2)
+    schema = DatabaseSchema.from_hypergraph(hypergraph)
+    return generate_database(schema, universe_rows=40, domain_size=4,
+                             dangling_fraction=0.4, seed=11)
+
+
+@pytest.fixture()
+def cyclic_db():
+    schema = DatabaseSchema.from_hypergraph(triangle_core_chain(3))
+    return generate_database(schema, universe_rows=40, domain_size=4,
+                             dangling_fraction=0.4, seed=7)
+
+
+class TestDispatchAndEquivalence:
+    def test_acyclic_source_dispatches_to_acyclic_engine(self, acyclic_db):
+        prepared = EngineSession().prepare(acyclic_db, ("C0", "C5"))
+        assert prepared.kind == "acyclic"
+
+    def test_cyclic_source_dispatches_to_cyclic_subsystem(self, cyclic_db):
+        prepared = EngineSession().prepare(cyclic_db)
+        assert prepared.kind == "cyclic"
+
+    def test_force_cyclic_overrides_dispatch(self, acyclic_db):
+        prepared = EngineSession().prepare(acyclic_db, force_cyclic=True)
+        assert prepared.kind == "cyclic"
+
+    def test_prepared_matches_legacy_acyclic(self, acyclic_db):
+        from repro.engine import evaluate_database
+
+        session = EngineSession()
+        prepared = session.prepare(acyclic_db, ("C0", "C5"))
+        result = prepared.execute(acyclic_db)
+        legacy = evaluate_database(acyclic_db, ("C0", "C5"), adaptive=True,
+                                   planner=QueryPlanner())
+        assert frozenset(result.relation.rows) == frozenset(legacy.relation.rows)
+
+    def test_prepared_matches_legacy_cyclic(self, cyclic_db):
+        from repro.engine import evaluate_cyclic_database
+
+        session = EngineSession()
+        result = session.prepare(cyclic_db).execute(cyclic_db)
+        legacy = evaluate_cyclic_database(cyclic_db, adaptive=True,
+                                          planner=QueryPlanner())
+        assert frozenset(result.relation.rows) == frozenset(legacy.relation.rows)
+
+    def test_static_options_match_static_legacy(self, acyclic_db):
+        from repro.engine import evaluate_database
+
+        session = EngineSession(adaptive=False)
+        result = session.prepare(acyclic_db).execute(acyclic_db)
+        assert not result.statistics.adaptive
+        legacy = evaluate_database(acyclic_db, planner=QueryPlanner())
+        assert frozenset(result.relation.rows) == frozenset(legacy.relation.rows)
+
+    def test_conjunctive_query_source(self, acyclic_db):
+        query = ConjunctiveQuery.from_strings(
+            ["x", "y"],
+            body=[("R1", ["x", "b", "c"]), ("R2", ["b", "c", "d"]),
+                  ("R3", ["c", "d", "y"])])
+        session = EngineSession()
+        prepared = session.prepare(query)
+        result = prepared.execute(acyclic_db)
+        naive = query.evaluate(acyclic_db, engine="naive")
+        assert frozenset(result.relation.rows) == frozenset(naive.rows)
+
+    def test_execute_join_matches_database_execute(self, acyclic_db):
+        session = EngineSession()
+        via_join = session.execute_join(acyclic_db.relations(), ("C0", "C5"))
+        via_db = session.prepare(acyclic_db, ("C0", "C5")).execute(acyclic_db)
+        assert frozenset(via_join.relation.rows) == frozenset(via_db.relation.rows)
+
+
+class TestWarmPath:
+    def test_warm_execute_does_no_planning_work_acyclic(self, acyclic_db):
+        session = EngineSession()
+        prepared = session.prepare(acyclic_db, ("C0", "C5"))
+        first = prepared.execute(acyclic_db)
+        frozen = session.cache_info()
+        for _ in range(3):
+            again = prepared.execute(acyclic_db)
+            assert session.cache_info() == frozen
+            assert again.statistics.plan_cache_hit
+            assert frozenset(again.relation.rows) == frozenset(first.relation.rows)
+
+    def test_warm_execute_does_no_planning_work_cyclic(self, cyclic_db):
+        session = EngineSession()
+        prepared = session.prepare(cyclic_db)
+        first = prepared.execute(cyclic_db)
+        frozen = session.cache_info()
+        for _ in range(3):
+            again = prepared.execute(cyclic_db)
+            assert session.cache_info() == frozen
+            assert again.statistics.plan_cache_hit
+            assert frozenset(again.relation.rows) == frozenset(first.relation.rows)
+
+    def test_static_prepared_execute_never_touches_the_planner(self, acyclic_db):
+        session = EngineSession(adaptive=False)
+        prepared = session.prepare(acyclic_db)
+        frozen = session.cache_info()
+        prepared.execute(acyclic_db)
+        prepared.execute(acyclic_db)
+        assert session.cache_info() == frozen
+
+    def test_prepare_is_cached_per_schema_and_options(self, acyclic_db):
+        session = EngineSession()
+        first = session.prepare(acyclic_db, ("C0", "C5"))
+        assert session.prepare(acyclic_db, ("C0", "C5")) is first
+        assert session.prepare(acyclic_db, ("C0", "C5"), adaptive=False) is not first
+
+    def test_catalog_measured_once_per_database(self, acyclic_db):
+        session = EngineSession()
+        catalog = session.catalog_for(acyclic_db)
+        assert session.catalog_for(acyclic_db) is catalog
+        assert session.catalog_for(acyclic_db, refresh=True) is not catalog
+
+    def test_prepared_sample_limit_reaches_the_catalog(self, acyclic_db):
+        prepared = EngineSession().prepare(acyclic_db, sample_limit=5)
+        assert prepared.options.sample_limit == 5
+        binding = prepared._binding_for(acyclic_db)
+        assert not binding.catalog.is_exact  # sampled, not a full scan
+
+
+class TestExecuteMany:
+    def test_batch_aggregates_per_database_runs(self, acyclic_db):
+        other = acyclic_db.with_relation(
+            next(iter(acyclic_db)).with_rows(list(next(iter(acyclic_db)).rows)[:5]))
+        session = EngineSession()
+        prepared = session.prepare(acyclic_db, ("C0", "C5"))
+        batch = prepared.execute_many([acyclic_db, other, acyclic_db])
+        assert len(batch) == 3
+        stats = batch.statistics
+        assert isinstance(stats, BatchStatistics)
+        assert stats.labels == ("db0", "db1", "db2")
+        assert stats.output_size == sum(run.output_size for run in stats.runs)
+        assert stats.max_intermediate == max(run.max_intermediate
+                                             for run in stats.runs)
+        assert batch.relations[0].rows == batch.relations[2].rows
+
+    def test_batch_repeats_hit_the_warm_path(self, acyclic_db):
+        session = EngineSession()
+        prepared = session.prepare(acyclic_db, ("C0", "C5"))
+        prepared.execute(acyclic_db)
+        frozen = session.cache_info()
+        batch = prepared.execute_many([acyclic_db] * 4)
+        assert session.cache_info() == frozen
+        assert batch.statistics.plan_cache_hit
+
+    def test_custom_labels(self, acyclic_db):
+        prepared = EngineSession().prepare(acyclic_db)
+        batch = prepared.execute_many([acyclic_db], labels=["prod"])
+        assert batch.statistics.labels == ("prod",)
+        with pytest.raises(ValueError):
+            prepared.execute_many([acyclic_db], labels=["a", "b"])
+
+
+class TestExplain:
+    def test_explain_without_database_describes_structure(self, acyclic_db):
+        session = EngineSession()
+        prepared = session.prepare(acyclic_db, ("C0", "C5"))
+        text = prepared.explain()
+        assert "acyclic dispatch" in text
+        assert "ExecutionPlan" in text
+        assert "C0" in text
+
+    def test_explain_with_database_includes_annotation(self, acyclic_db):
+        session = EngineSession()
+        prepared = session.prepare(acyclic_db, ("C0", "C5"))
+        text = prepared.explain(acyclic_db)
+        assert "cost annotation" in text or "rows" in text
+
+    def test_explain_cyclic(self, cyclic_db):
+        text = EngineSession().explain(cyclic_db, cyclic_db)
+        assert "cyclic dispatch" in text
+
+    def test_session_explain_convenience(self, acyclic_db):
+        assert "PreparedQuery" in EngineSession().explain(acyclic_db)
+
+
+class TestOptionsPrecedence:
+    def test_session_defaults_apply(self):
+        session = EngineSession(adaptive=False, sample_limit=5)
+        assert session.options.adaptive is False
+        assert session.options.sample_limit == 5
+
+    def test_options_object_replaces_session_defaults(self, acyclic_db):
+        session = EngineSession(adaptive=False, check_reduction=True)
+        prepared = session.prepare(acyclic_db,
+                                   options=ExecutionOptions(adaptive=True))
+        # options= replaces wholesale: check_reduction falls back to the
+        # ExecutionOptions default, not the session's.
+        assert prepared.options.adaptive is True
+        assert prepared.options.check_reduction is False
+
+    def test_keyword_overrides_win_over_options_object(self, acyclic_db):
+        session = EngineSession()
+        prepared = session.prepare(
+            acyclic_db, options=ExecutionOptions(adaptive=True,
+                                                 check_reduction=True),
+            adaptive=False)
+        assert prepared.options.adaptive is False
+        assert prepared.options.check_reduction is True
+
+    def test_keyword_overrides_win_over_session_defaults(self, acyclic_db):
+        session = EngineSession(adaptive=True)
+        prepared = session.prepare(acyclic_db, adaptive=False)
+        assert prepared.options.adaptive is False
+
+    def test_unknown_option_raises(self, acyclic_db):
+        with pytest.raises(TypeError):
+            EngineSession().prepare(acyclic_db, turbo=True)
+        with pytest.raises(TypeError):
+            ExecutionOptions().merged(nope=1)
+
+
+class TestPersistence:
+    def test_save_load_round_trip_through_the_session(self, acyclic_db,
+                                                      cyclic_db, tmp_path):
+        serving = EngineSession()
+        serving.prepare(acyclic_db, ("C0", "C5")).execute(acyclic_db)
+        serving.prepare(cyclic_db).execute(cyclic_db)
+        path = tmp_path / "plans.json"
+        saved = serving.save(path)
+        # Catalog-chosen cyclic cover variants are derived per database and
+        # intentionally left out of the dump; everything else persists.
+        assert 0 < saved <= serving.cache_info().size
+
+        restarted = EngineSession()
+        compiled = restarted.load(path)
+        assert compiled > 0
+        misses_before = restarted.cache_info().misses
+        prepared = restarted.prepare(acyclic_db, ("C0", "C5"))
+        result = prepared.execute(acyclic_db)
+        assert restarted.cache_info().misses == misses_before
+        assert result.statistics.plan_cache_hit
+
+    def test_load_missing_ok(self, tmp_path):
+        assert EngineSession().load(tmp_path / "absent.json", missing_ok=True) == 0
+
+    def test_clear_resets_everything(self, acyclic_db):
+        session = EngineSession()
+        session.prepare(acyclic_db).execute(acyclic_db)
+        session.clear()
+        info = session.cache_info()
+        assert info.size == 0 and info.hits == 0 and info.misses == 0
+
+
+class TestErrorsAndShims:
+    def test_execute_with_wrong_schema_raises(self, acyclic_db, cyclic_db):
+        from repro.exceptions import SchemaError
+
+        prepared = EngineSession().prepare(acyclic_db)
+        with pytest.raises(SchemaError):
+            prepared.execute(cyclic_db)
+
+    def test_unknown_output_attribute_raises(self, acyclic_db):
+        from repro.exceptions import SchemaError
+
+        with pytest.raises(SchemaError):
+            EngineSession().prepare(acyclic_db, ("NOPE",))
+
+    def test_prepare_rejects_garbage_source(self):
+        from repro.exceptions import SchemaError
+
+        with pytest.raises(SchemaError):
+            EngineSession().prepare(42)
+
+    def test_default_session_wraps_the_default_planner(self):
+        assert default_session().planner is DEFAULT_PLANNER
+
+    @pytest.mark.filterwarnings("default::DeprecationWarning")
+    def test_legacy_entry_points_warn(self, acyclic_db, cyclic_db):
+        from repro.engine import (
+            evaluate,
+            evaluate_cyclic,
+            evaluate_cyclic_database,
+            evaluate_database,
+        )
+
+        with pytest.warns(DeprecationWarning):
+            evaluate(acyclic_db.relations())
+        with pytest.warns(DeprecationWarning):
+            evaluate_database(acyclic_db)
+        with pytest.warns(DeprecationWarning):
+            evaluate_cyclic(cyclic_db.relations())
+        with pytest.warns(DeprecationWarning):
+            evaluate_cyclic_database(cyclic_db)
+
+
+class TestThreadSafety:
+    def test_concurrent_plan_for_never_corrupts_the_lru(self):
+        planner = QueryPlanner(capacity=4)
+        hypergraphs = [random_acyclic_hypergraph(n % 5 + 1, max_arity=3, seed=n)
+                       for n in range(24)]
+        errors = []
+
+        def worker(offset):
+            try:
+                for index in range(40):
+                    planner.plan_for(hypergraphs[(offset + index) % len(hypergraphs)])
+            except Exception as error:  # pragma: no cover - failure path
+                errors.append(error)
+
+        threads = [threading.Thread(target=worker, args=(i,)) for i in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        info = planner.cache_info()
+        assert info.size <= info.capacity
+        assert info.hits + info.misses == 8 * 40
+
+    def test_concurrent_prepared_execute(self, acyclic_db):
+        session = EngineSession()
+        prepared = session.prepare(acyclic_db, ("C0", "C5"))
+        expected = frozenset(prepared.execute(acyclic_db).relation.rows)
+        errors = []
+
+        def worker():
+            try:
+                for _ in range(10):
+                    rows = frozenset(prepared.execute(acyclic_db).relation.rows)
+                    assert rows == expected
+            except Exception as error:  # pragma: no cover - failure path
+                errors.append(error)
+
+        threads = [threading.Thread(target=worker) for _ in range(6)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors

@@ -1,0 +1,139 @@
+"""Property-based equivalence: prepared session execution vs the legacy paths.
+
+The session facade only *re-packages* planning and execution — dispatch is
+resolved at prepare time, annotations are memoized per database — so on any
+workload, acyclic or cyclic, adaptive or static, ``PreparedQuery.execute``
+must be byte-identical to the legacy ``evaluate`` / ``evaluate_cyclic``
+entry points: same rows, same schema attributes.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.nodes import sorted_nodes
+from repro.engine import EngineSession, QueryPlanner
+from repro.engine.yannakakis import evaluate_database as legacy_evaluate_database
+from repro.engine.cyclic.executor import (
+    evaluate_cyclic_database as legacy_evaluate_cyclic_database,
+)
+from repro.generators import (
+    cyclic_workload_families,
+    generate_database,
+    random_acyclic_hypergraph,
+)
+from repro.relational import DatabaseSchema, Relation
+
+COMMON_SETTINGS = settings(max_examples=20, deadline=None,
+                           suppress_health_check=[HealthCheck.too_slow])
+
+
+def _skewed(database, seed):
+    """Thin every relation to its own random fraction — skewed cardinalities."""
+    rng = random.Random(seed)
+    current = database
+    for relation in database.relations():
+        fraction = rng.choice((0.1, 0.35, 0.7, 1.0))
+        keep = max(1, int(len(relation) * fraction)) if len(relation) else 0
+        rows = sorted(relation.rows, key=lambda row: sorted(row.items()))[:keep]
+        current = current.with_relation(
+            Relation.from_valid_rows(relation.schema, frozenset(rows)))
+    return current
+
+
+@st.composite
+def skewed_acyclic_databases(draw):
+    """A random acyclic database whose relations have wildly different sizes."""
+    num_edges = draw(st.integers(min_value=1, max_value=5))
+    schema_seed = draw(st.integers(min_value=0, max_value=200))
+    data_seed = draw(st.integers(min_value=0, max_value=200))
+    skew_seed = draw(st.integers(min_value=0, max_value=200))
+    dangling = draw(st.sampled_from([0.0, 0.4]))
+    hypergraph = random_acyclic_hypergraph(num_edges, max_arity=3, seed=schema_seed)
+    schema = DatabaseSchema.from_hypergraph(hypergraph)
+    database = generate_database(schema, universe_rows=14, domain_size=3,
+                                 dangling_fraction=dangling, seed=data_seed)
+    return _skewed(database, skew_seed)
+
+
+@st.composite
+def skewed_cyclic_databases(draw):
+    """A random database over one of the cyclic workload family hypergraphs."""
+    family = draw(st.sampled_from([name for name, _ in cyclic_workload_families()]))
+    data_seed = draw(st.integers(min_value=0, max_value=100))
+    skew_seed = draw(st.integers(min_value=0, max_value=100))
+    hypergraph = dict(cyclic_workload_families())[family]
+    schema = DatabaseSchema.from_hypergraph(hypergraph)
+    return _skewed(generate_database(schema, universe_rows=12, domain_size=3,
+                                     dangling_fraction=0.3, seed=data_seed),
+                   skew_seed)
+
+
+def _assert_identical(left: Relation, right: Relation):
+    assert frozenset(left.rows) == frozenset(right.rows)
+    assert left.schema.attribute_set == right.schema.attribute_set
+
+
+@pytest.mark.slow
+@COMMON_SETTINGS
+@given(database=skewed_acyclic_databases(),
+       adaptive=st.booleans())
+def test_prepared_acyclic_is_byte_identical_to_legacy(database, adaptive):
+    session = EngineSession(adaptive=adaptive)
+    prepared = session.prepare(database)
+    result = prepared.execute(database)
+    again = prepared.execute(database)
+    legacy = legacy_evaluate_database(database, adaptive=adaptive,
+                                      planner=QueryPlanner())
+    assert result.statistics.adaptive is adaptive
+    _assert_identical(result.relation, legacy.relation)
+    _assert_identical(again.relation, legacy.relation)
+
+
+@pytest.mark.slow
+@COMMON_SETTINGS
+@given(database=skewed_acyclic_databases(),
+       selector=st.integers(min_value=0, max_value=10 ** 6))
+def test_prepared_acyclic_projection_is_byte_identical(database, selector):
+    attributes = sorted_nodes(database.schema.attributes)
+    size = 1 + selector % len(attributes)
+    wanted = attributes[:size]
+    result = EngineSession().prepare(database, wanted).execute(database)
+    legacy = legacy_evaluate_database(database, wanted, adaptive=True,
+                                      planner=QueryPlanner())
+    _assert_identical(result.relation, legacy.relation)
+
+
+@pytest.mark.slow
+@COMMON_SETTINGS
+@given(database=skewed_cyclic_databases(),
+       adaptive=st.booleans())
+def test_prepared_cyclic_is_byte_identical_to_legacy(database, adaptive):
+    session = EngineSession(adaptive=adaptive)
+    prepared = session.prepare(database)
+    assert prepared.kind == "cyclic"
+    result = prepared.execute(database)
+    again = prepared.execute(database)
+    legacy = legacy_evaluate_cyclic_database(database, adaptive=adaptive,
+                                             planner=QueryPlanner())
+    _assert_identical(result.relation, legacy.relation)
+    _assert_identical(again.relation, legacy.relation)
+
+
+@pytest.mark.slow
+@COMMON_SETTINGS
+@given(database=skewed_acyclic_databases())
+def test_execute_many_agrees_with_singleton_executes(database):
+    variant = _skewed(database, seed=99)
+    session = EngineSession()
+    prepared = session.prepare(database)
+    batch = prepared.execute_many([database, variant, database])
+    _assert_identical(batch.results[0].relation, batch.results[2].relation)
+    single = prepared.execute(variant)
+    _assert_identical(batch.results[1].relation, single.relation)
+    assert batch.statistics.output_size == sum(
+        run.output_size for run in batch.statistics.runs)

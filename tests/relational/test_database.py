@@ -130,3 +130,65 @@ class TestStatisticsCatalog:
         assert not sampled.is_exact
         assert database.statistics_catalog(sample_limit=5) is sampled
         assert database.statistics_catalog(sample_limit=5, refresh=True) is not sampled
+
+    def test_with_relation_updates_the_catalog_incrementally(self):
+        database = generate_database(university_schema(), universe_rows=12, seed=1)
+        parent_catalog = database.statistics_catalog()
+        replaced = next(iter(database))
+        shrunk = replaced.with_rows(list(replaced.rows)[: max(1, len(replaced) // 2)])
+        derived = database.with_relation(shrunk)
+
+        # The write path itself measures nothing — the replaced scheme is
+        # only marked stale, and the re-measure happens on first access.
+        assert getattr(derived, "_catalog_cache", None) is None
+        derived_catalog = derived.statistics_catalog()
+        edge = replaced.schema.attribute_set
+        assert derived_catalog.cardinality(edge) == len(shrunk)
+        # Every other scheme's statistics carry over from the parent catalog
+        # untouched (same objects — nothing was re-measured).
+        for relation in derived:
+            if relation.schema.attribute_set == edge:
+                continue
+            assert derived_catalog.statistics_for(relation.schema.attribute_set) \
+                is parent_catalog.statistics_for(relation.schema.attribute_set)
+
+    def test_with_relation_without_a_measured_catalog_stays_lazy(self):
+        database = generate_database(university_schema(), universe_rows=12, seed=1)
+        replaced = next(iter(database))
+        derived = database.with_relation(replaced.with_rows(list(replaced.rows)[:3]))
+        assert getattr(derived, "_catalog_cache", None) is None
+        assert derived.statistics_catalog().cardinality(
+            replaced.schema.attribute_set) == 3
+
+    def test_with_relation_preserves_the_sample_limit(self):
+        database = generate_database(university_schema(), universe_rows=40, seed=1)
+        parent_catalog = database.statistics_catalog(sample_limit=5)
+        replaced = next(iter(database))
+        derived = database.with_relation(replaced.with_rows(list(replaced.rows)))
+        catalog = derived.statistics_catalog(sample_limit=5)
+        for relation in derived:
+            if relation.schema.attribute_set == replaced.schema.attribute_set:
+                continue
+            assert catalog.statistics_for(relation.schema.attribute_set) \
+                is parent_catalog.statistics_for(relation.schema.attribute_set)
+        # Memoized after the incremental completion.
+        assert derived.statistics_catalog(sample_limit=5) is catalog
+
+    def test_chained_updates_accumulate_and_measure_once_on_read(self):
+        database = generate_database(university_schema(), universe_rows=12, seed=1)
+        parent_catalog = database.statistics_catalog()
+        relations = list(database)
+        first, second = relations[0], relations[1]
+        chained = database \
+            .with_relation(first.with_rows(list(first.rows)[:4])) \
+            .with_relation(second.with_rows(list(second.rows)[:3]))
+        sample_limit, base, stale = chained._catalog_pending
+        assert stale == {first.schema.attribute_set, second.schema.attribute_set}
+        catalog = chained.statistics_catalog()
+        assert catalog.cardinality(first.schema.attribute_set) == 4
+        assert catalog.cardinality(second.schema.attribute_set) == 3
+        for relation in chained:
+            if relation.schema.attribute_set in stale:
+                continue
+            assert catalog.statistics_for(relation.schema.attribute_set) \
+                is parent_catalog.statistics_for(relation.schema.attribute_set)
