@@ -1,0 +1,170 @@
+"""E-COLUMNAR — vectorized block kernels vs the row-at-a-time reference engine.
+
+The columnar refactor's claim: once plans, catalogs and blocks are warm, the
+engine's physical work — two full-reducer passes plus the bottom-up join —
+runs on cached per-attribute arrays with grouped key encodings, so a warm
+execution does integer-set semijoins and positional gathers instead of
+building a key tuple per row and a ``Row`` object per join match.  Decoding
+to rows happens once, at the (projected, small) result boundary.
+
+Two workload families, the same ones the adaptive and cyclic benchmarks use:
+
+* **skewed chain** — the endpoint query over a fanout/junction chain
+  (acyclic dispatch: reducer + join fold dominate);
+* **cyclic triangle-chain** — an endpoint query over a chain whose head
+  closes into an uncovered triangle (cyclic dispatch: cluster
+  materialisation + quotient pipeline dominate).
+
+Both modes produce byte-identical answers; only the physical layer differs.
+The acceptance shape is asserted (columnar ≥ 2× the row engine warm-path
+throughput on *both* families) and the headline numbers go to
+``BENCH_columnar.json`` for the CI smoke step; wall clock comes from
+pytest-benchmark (``pytest benchmarks/ --benchmark-only``).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import banner, statistics_table
+from repro.engine import EngineSession, clear_column_caches, clear_index_cache
+from repro.generators import (
+    generate_database,
+    skewed_chain_database,
+    skewed_chain_endpoints,
+    triangle_core_chain,
+)
+from repro.relational import DatabaseSchema
+
+CHAIN_LENGTH = 8
+CHAIN_ENDPOINTS = skewed_chain_endpoints(CHAIN_LENGTH)
+CYCLIC_CHAIN_LENGTH = 4
+CYCLIC_ENDPOINTS = ("C0", "C5")
+REPEATS = 20
+
+#: Where the CI smoke step picks up the headline numbers.
+RESULT_PATH = Path("BENCH_columnar.json")
+
+
+@pytest.fixture(scope="module")
+def chain_database():
+    """The adaptive benchmark's skewed chain: wide fanout into a narrow junction."""
+    return skewed_chain_database(CHAIN_LENGTH, heads=30, fanout=20,
+                                 junction_values=4, seed=0)
+
+
+@pytest.fixture(scope="module")
+def cyclic_database():
+    """A triangle-core chain instance with dangling tuples (cyclic dispatch)."""
+    hypergraph = triangle_core_chain(CYCLIC_CHAIN_LENGTH)
+    schema = DatabaseSchema.from_hypergraph(hypergraph)
+    return generate_database(schema, universe_rows=100, domain_size=8,
+                             dangling_fraction=0.5, seed=3)
+
+
+def _prepared_pair(database, outputs):
+    """(row, columnar) prepared queries over private sessions, fully warmed."""
+    row = EngineSession(execution_mode="row").prepare(database, outputs)
+    columnar = EngineSession(execution_mode="columnar").prepare(database, outputs)
+    for prepared in (row, columnar):
+        prepared.execute(database)
+        prepared.execute(database)
+    return row, columnar
+
+
+def _timed_loop(prepared, database, repeats=REPEATS):
+    started = time.perf_counter()
+    results = [prepared.execute(database) for _ in range(repeats)]
+    return time.perf_counter() - started, results
+
+
+def _race(database, outputs, label):
+    """Time both modes warm; return (row statistics row, headline dict)."""
+    row_prepared, columnar_prepared = _prepared_pair(database, outputs)
+    row_seconds, row_results = _timed_loop(row_prepared, database)
+    columnar_seconds, columnar_results = _timed_loop(columnar_prepared, database)
+    for ours, theirs in zip(columnar_results, row_results):
+        assert frozenset(ours.relation.rows) == frozenset(theirs.relation.rows)
+        assert ours.relation.schema.attributes == theirs.relation.schema.attributes
+    speedup = row_seconds / max(columnar_seconds, 1e-9)
+    print(f"{label}: row {row_seconds * 1000:.1f} ms, "
+          f"columnar {columnar_seconds * 1000:.1f} ms "
+          f"({REPEATS} warm executions) -> {speedup:.1f}x")
+    print(statistics_table([row_results[-1].statistics,
+                            columnar_results[-1].statistics],
+                           title=f"{label}: one warm execution per mode"))
+    return {
+        "workload": label,
+        "executions": REPEATS,
+        "row_seconds": round(row_seconds, 4),
+        "columnar_seconds": round(columnar_seconds, 4),
+        "row_qps": round(REPEATS / row_seconds, 1),
+        "columnar_qps": round(REPEATS / columnar_seconds, 1),
+        "speedup": round(speedup, 2),
+        "output_rows": row_results[-1].statistics.output_size,
+    }
+
+
+def test_columnar_beats_row_on_both_workload_families(chain_database,
+                                                      cyclic_database):
+    """The acceptance criterion: ≥ 2× warm-path speedup, identical answers."""
+    clear_index_cache()
+    clear_column_caches()
+    print(banner("E-COLUMNAR: vectorized blocks vs row-at-a-time"))
+    chain = _race(chain_database, CHAIN_ENDPOINTS,
+                  f"skewed-chain({CHAIN_LENGTH}) endpoints")
+    cyclic = _race(cyclic_database, CYCLIC_ENDPOINTS,
+                   f"triangle-chain({CYCLIC_CHAIN_LENGTH}) endpoints")
+
+    assert chain["speedup"] >= 2.0, \
+        f"columnar only {chain['speedup']}x over row on the skewed chain"
+    assert cyclic["speedup"] >= 2.0, \
+        f"columnar only {cyclic['speedup']}x over row on the cyclic workload"
+
+    RESULT_PATH.write_text(json.dumps({
+        "families": [chain, cyclic],
+        "min_speedup": min(chain["speedup"], cyclic["speedup"]),
+    }, indent=2) + "\n", encoding="utf-8")
+
+
+def test_warm_columnar_executions_reencode_nothing(chain_database):
+    """Warm runs serve every block from the per-relation cache (zero misses)."""
+    prepared = EngineSession(execution_mode="columnar").prepare(chain_database,
+                                                                CHAIN_ENDPOINTS)
+    prepared.execute(chain_database)
+    warm = prepared.execute(chain_database)
+    assert warm.statistics.execution_mode == "columnar"
+    assert warm.statistics.index_cache_misses == 0
+    assert warm.statistics.plan_cache_hit
+
+
+@pytest.mark.slow
+@pytest.mark.benchmark(group="E-COLUMNAR chain")
+def test_chain_row_timing(benchmark, chain_database):
+    prepared, _ = _prepared_pair(chain_database, CHAIN_ENDPOINTS)
+    benchmark(lambda: prepared.execute(chain_database))
+
+
+@pytest.mark.slow
+@pytest.mark.benchmark(group="E-COLUMNAR chain")
+def test_chain_columnar_timing(benchmark, chain_database):
+    _, prepared = _prepared_pair(chain_database, CHAIN_ENDPOINTS)
+    benchmark(lambda: prepared.execute(chain_database))
+
+
+@pytest.mark.slow
+@pytest.mark.benchmark(group="E-COLUMNAR cyclic")
+def test_cyclic_row_timing(benchmark, cyclic_database):
+    prepared, _ = _prepared_pair(cyclic_database, CYCLIC_ENDPOINTS)
+    benchmark(lambda: prepared.execute(cyclic_database))
+
+
+@pytest.mark.slow
+@pytest.mark.benchmark(group="E-COLUMNAR cyclic")
+def test_cyclic_columnar_timing(benchmark, cyclic_database):
+    _, prepared = _prepared_pair(cyclic_database, CYCLIC_ENDPOINTS)
+    benchmark(lambda: prepared.execute(cyclic_database))

@@ -55,9 +55,10 @@ def format_mapping(mapping: Mapping[str, object], *, title: Optional[str] = None
 
 #: Column order of :func:`statistics_table`; engine-only columns render "-"
 #: for plans that do not carry the counter.
-_STATISTICS_COLUMNS = ("plan", "inputs", "max intermediate", "est max",
+_STATISTICS_COLUMNS = ("plan", "mode", "inputs", "max intermediate", "est max",
                        "total intermediate", "output", "est output",
-                       "semijoins", "removed", "clusters", "plan cache")
+                       "semijoins", "removed", "clusters", "plan cache",
+                       "index cache")
 
 
 def _statistics_row(stats: object, *, plan: Optional[str] = None) -> Dict[str, object]:
@@ -69,8 +70,12 @@ def _statistics_row(stats: object, *, plan: Optional[str] = None) -> Dict[str, o
     adaptive = getattr(stats, "adaptive", False)
     estimated_max = getattr(stats, "estimated_max_intermediate", None)
     estimated_output = getattr(stats, "estimated_output_size", None)
+    mode = getattr(stats, "execution_mode", None)
+    index_hits = getattr(stats, "index_cache_hits", None)
+    index_misses = getattr(stats, "index_cache_misses", None)
     return {
         "plan": plan if plan is not None else stats.plan_name,
+        "mode": "-" if mode is None else mode,
         "inputs": sum(stats.input_sizes),
         "max intermediate": stats.max_intermediate,
         "est max": estimated_max if adaptive and estimated_max is not None else "-",
@@ -82,6 +87,9 @@ def _statistics_row(stats: object, *, plan: Optional[str] = None) -> Dict[str, o
         "removed": "-" if removed is None else removed,
         "clusters": "-" if clusters is None else (list(clusters) or "-"),
         "plan cache": "-" if cache_hit is None else ("hit" if cache_hit else "miss"),
+        # Index/block reuse, e.g. "6h/0m": a warm run is all hits — the
+        # observable payoff of the per-relation index and block caches.
+        "index cache": "-" if index_hits is None else f"{index_hits}h/{index_misses}m",
     }
 
 

@@ -11,8 +11,14 @@ Layers (bottom-up):
 
 * :mod:`~repro.engine.indexes` — hash indexes over relation columns with a
   weak per-relation cache (:func:`index_for`), shared by every operator;
+* :mod:`~repro.engine.columnar` — the columnar physical layer (the
+  default): :class:`ColumnBlock` value arrays with zero-copy selection
+  vectors, grouped key encoding, and whole-block semijoin/antijoin/join
+  kernels; relations are decoded only at the result boundary, and
+  ``execution_mode="row"`` keeps the row operators below as the reference
+  implementation;
 * :mod:`~repro.engine.semijoin` — indexed semijoin / anti-semijoin / natural
-  join with fused projection, the engine's physical operators;
+  join with fused projection, the engine's row-at-a-time physical operators;
 * :mod:`~repro.engine.reducer` — full-reducer semijoin programs compiled off
   a rooted join tree (leaf-to-root then root-to-leaf pass), with a
   proof-of-reduction check hook;
@@ -55,6 +61,18 @@ from .catalog import (
     RelationStatistics,
     StatisticsCatalog,
     annotate_tree,
+)
+from .columnar import (
+    ColumnBlock,
+    antijoin_blocks,
+    block_for,
+    clear_column_caches,
+    column_cache_info,
+    default_execution_mode,
+    intersect_blocks,
+    natural_join_blocks,
+    semijoin_blocks,
+    set_default_execution_mode,
 )
 from .indexes import HashIndex, clear_index_cache, index_cache_info, index_for
 from .planner import (
@@ -109,7 +127,11 @@ from .session import (
 __all__ = [
     # indexes
     "HashIndex", "index_for", "index_cache_info", "clear_index_cache",
-    # physical operators
+    # columnar physical layer
+    "ColumnBlock", "block_for", "column_cache_info", "clear_column_caches",
+    "semijoin_blocks", "antijoin_blocks", "natural_join_blocks", "intersect_blocks",
+    "default_execution_mode", "set_default_execution_mode",
+    # physical operators (row reference implementation)
     "semijoin_indexed", "antijoin_indexed", "natural_join_indexed", "shared_attributes",
     # reducer
     "FullReducer", "ReductionStep", "ReductionTrace", "ReductionError",

@@ -1,0 +1,455 @@
+"""Columnar blocks: per-attribute value arrays with positional selection vectors.
+
+A :class:`ColumnBlock` is the columnar physical representation of a relation:
+one value array per attribute plus an optional *selection vector* of storage
+positions.  Filtering a block (semijoin, antijoin) only replaces the selection
+vector; projecting or renaming it only changes the visible column set — the
+underlying :class:`_ColumnStorage` (and everything cached on it: grouped key
+encodings, key-group indexes) is shared zero-copy by every derived block.
+
+**Grouped key encoding** is what makes whole-block kernels cheap: for a tuple
+of key attributes, every row's key is encoded exactly once into a cached
+per-storage array (the bare column value for single-attribute keys, a
+canonical-order tuple otherwise) and grouped into a position index.  Equal
+keys in *different* blocks encode to equal values, so a semijoin degenerates
+to set membership over two cached key arrays and a hash join groups
+positions by key — no per-row attribute lookups on the warm path, and no
+shared mutable state between blocks.
+
+Blocks built from relations are cached weakly per relation instance
+(:func:`block_for`), mirroring the row engine's
+:func:`~repro.engine.indexes.index_for` cache, so repeated executions over
+one database encode each stored relation exactly once.
+
+The process-wide **execution mode** switch also lives here:
+``"columnar"`` (the default) runs the engine's physical layer on blocks,
+``"row"`` keeps the original row-at-a-time operators as the reference
+implementation for differential testing.
+"""
+
+from __future__ import annotations
+
+import threading
+import weakref
+from typing import Any, Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from ...core.nodes import sorted_nodes
+from ...exceptions import SchemaError, UnknownAttributeError
+from ...relational.relation import Relation, Row
+from ...relational.schema import Attribute, RelationSchema
+
+__all__ = [
+    "ColumnBlock",
+    "block_for",
+    "peek_block",
+    "column_cache_info",
+    "clear_column_caches",
+    "EXECUTION_MODES",
+    "default_execution_mode",
+    "set_default_execution_mode",
+    "resolve_execution_mode",
+]
+
+KeyAttributes = Tuple[Attribute, ...]
+
+# --------------------------------------------------------------------------- #
+# Execution mode
+# --------------------------------------------------------------------------- #
+EXECUTION_MODES = ("columnar", "row")
+
+_DEFAULT_MODE = "columnar"
+
+
+def default_execution_mode() -> str:
+    """The process-wide physical execution mode (``"columnar"`` unless overridden)."""
+    return _DEFAULT_MODE
+
+
+def set_default_execution_mode(mode: str) -> str:
+    """Set the process-wide execution mode; return the previous one.
+
+    Used by differential tests and benchmarks to flip the whole engine
+    between the columnar and the row reference implementation without
+    threading an option through every call site.
+    """
+    global _DEFAULT_MODE
+    if mode not in EXECUTION_MODES:
+        raise ValueError(f"unknown execution mode {mode!r}; "
+                         f"expected one of {EXECUTION_MODES}")
+    previous = _DEFAULT_MODE
+    _DEFAULT_MODE = mode
+    return previous
+
+
+def resolve_execution_mode(mode: Optional[str]) -> str:
+    """``None`` → the process default; anything else is validated and returned."""
+    if mode is None:
+        return _DEFAULT_MODE
+    if mode not in EXECUTION_MODES:
+        raise ValueError(f"unknown execution mode {mode!r}; "
+                         f"expected one of {EXECUTION_MODES}")
+    return mode
+
+
+class _ColumnStorage:
+    """The shared, immutable column arrays one or more blocks view.
+
+    ``key_codes`` and ``key_groups`` memoise the grouped key encoding per
+    key-attribute tuple: every selection-vector block derived from this
+    storage reuses them, which is where the warm-path win comes from.  The
+    encoding is *value-based* (the bare column value for a single key
+    attribute, a canonical-order tuple otherwise): encodings of different
+    storages never share state, yet equal keys encode equal — so the arrays
+    compare across blocks, are immune to concurrent encoding races, and die
+    with their storage instead of accumulating process-wide.
+    """
+
+    __slots__ = ("columns", "length", "source_rows", "_code_cache", "_group_cache",
+                 "_set_cache")
+
+    def __init__(self, columns: Dict[Attribute, List[Any]], length: int,
+                 source_rows: Optional[Tuple[Row, ...]] = None) -> None:
+        self.columns = columns
+        self.length = length
+        self.source_rows = source_rows
+        self._code_cache: Dict[KeyAttributes, List[Any]] = {}
+        self._group_cache: Dict[KeyAttributes, Dict[Any, Tuple[int, ...]]] = {}
+        self._set_cache: Dict[KeyAttributes, FrozenSet[Any]] = {}
+
+    def key_codes(self, attributes: KeyAttributes) -> List[Any]:
+        """One encoded key per storage position (cached per attribute tuple)."""
+        cached = self._code_cache.get(attributes)
+        if cached is not None:
+            return cached
+        if len(attributes) == 1:
+            codes: List[Any] = self.columns[attributes[0]]
+        else:
+            codes = list(zip(*(self.columns[attribute] for attribute in attributes)))
+        self._code_cache[attributes] = codes
+        return codes
+
+    def key_groups(self, attributes: KeyAttributes) -> Dict[Any, Tuple[int, ...]]:
+        """All storage positions grouped by encoded key (cached per attribute tuple)."""
+        cached = self._group_cache.get(attributes)
+        if cached is not None:
+            return cached
+        codes = self.key_codes(attributes)
+        grouped: Dict[Any, List[int]] = {}
+        for position, code in enumerate(codes):
+            bucket = grouped.get(code)
+            if bucket is None:
+                grouped[code] = [position]
+            else:
+                bucket.append(position)
+        groups = {code: tuple(positions) for code, positions in grouped.items()}
+        self._group_cache[attributes] = groups
+        return groups
+
+    def key_set(self, attributes: KeyAttributes) -> FrozenSet[Any]:
+        """The distinct encoded keys over all positions (cached per attribute tuple)."""
+        cached = self._set_cache.get(attributes)
+        if cached is None:
+            cached = self._set_cache[attributes] = frozenset(self.key_codes(attributes))
+        return cached
+
+
+class ColumnBlock:
+    """A columnar view of a relation: shared columns + a positional selection.
+
+    Blocks are immutable; every operation returns a new block.  ``project``,
+    ``rename`` and ``select`` are zero-copy (they share the storage), so the
+    reducer's semijoin fixpoints and the join phase's fused projections never
+    duplicate value arrays.
+    """
+
+    __slots__ = ("_name", "_attributes", "_attribute_set", "_storage", "_sel",
+                 "_schema")
+
+    def __init__(self, name: str, attributes: KeyAttributes,
+                 storage: _ColumnStorage,
+                 selection: Optional[Tuple[int, ...]] = None) -> None:
+        self._name = name
+        self._attributes = attributes
+        self._attribute_set: FrozenSet[Attribute] = frozenset(attributes)
+        self._storage = storage
+        self._sel = selection
+        self._schema: Optional[RelationSchema] = None
+
+    # ------------------------------------------------------------------ #
+    # Constructors
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_relation(cls, relation: Relation) -> "ColumnBlock":
+        """Encode a relation into columns (one pass over its rows).
+
+        The source rows are retained on the storage so the row engine's
+        :meth:`HashIndex.build_columnar
+        <repro.engine.indexes.HashIndex.build_columnar>` path can bucket the
+        *original* ``Row`` objects by encoded key without re-materialising
+        them.
+        """
+        attributes = relation.schema.attributes
+        rows = tuple(relation.rows)
+        columns: Dict[Attribute, List[Any]] = {attribute: [] for attribute in attributes}
+        appenders = [(columns[attribute].append, attribute) for attribute in attributes]
+        for row in rows:
+            for append, attribute in appenders:
+                append(row[attribute])
+        storage = _ColumnStorage(columns, len(rows), source_rows=rows)
+        return cls(relation.name, attributes, storage)
+
+    @classmethod
+    def from_columns(cls, name: str, attributes: Iterable[Attribute],
+                     columns: Dict[Attribute, List[Any]], *,
+                     length: Optional[int] = None) -> "ColumnBlock":
+        """Wrap freshly built column arrays (all the same length) in a block.
+
+        ``length`` is required for 0-ary blocks (no columns to measure): a
+        projection that keeps no attributes still distinguishes "some row
+        survived" from "no row survived" — the relational true/false
+        boundary — so the row count cannot be inferred from an empty
+        column dict.
+        """
+        attributes = tuple(attributes)
+        lengths = {len(columns[attribute]) for attribute in attributes}
+        if length is not None:
+            lengths.add(length)
+        if len(lengths) > 1:
+            raise SchemaError(f"ragged columns for block {name!r}: lengths {sorted(lengths)}")
+        return cls(name, attributes,
+                   _ColumnStorage(dict(columns), lengths.pop() if lengths else 0))
+
+    # ------------------------------------------------------------------ #
+    # Accessors
+    # ------------------------------------------------------------------ #
+    @property
+    def name(self) -> str:
+        """The block's relation name (used when decoding)."""
+        return self._name
+
+    @property
+    def attributes(self) -> KeyAttributes:
+        """The visible attributes, in column order."""
+        return self._attributes
+
+    @property
+    def attribute_set(self) -> FrozenSet[Attribute]:
+        """The visible attributes as a frozenset (the hypergraph edge)."""
+        return self._attribute_set
+
+    @property
+    def schema(self) -> RelationSchema:
+        """The block's scheme as a :class:`RelationSchema` (lazily built)."""
+        if self._schema is None:
+            self._schema = RelationSchema(self._name, self._attributes)
+        return self._schema
+
+    @property
+    def positions(self) -> Sequence[int]:
+        """The selected storage positions, in selection order."""
+        if self._sel is not None:
+            return self._sel
+        return range(self._storage.length)
+
+    def __len__(self) -> int:
+        return len(self._sel) if self._sel is not None else self._storage.length
+
+    def is_empty(self) -> bool:
+        """``True`` when no rows are selected."""
+        return len(self) == 0
+
+    def column(self, attribute: Attribute) -> List[Any]:
+        """The *full-length* storage array of one column (index by positions)."""
+        if attribute not in self._attribute_set:
+            raise UnknownAttributeError(attribute)
+        return self._storage.columns[attribute]
+
+    def key_codes(self, attributes: KeyAttributes) -> List[Any]:
+        """Full-length encoded keys for a key-attribute tuple (storage-cached)."""
+        for attribute in attributes:
+            if attribute not in self._attribute_set:
+                raise UnknownAttributeError(attribute)
+        return self._storage.key_codes(attributes)
+
+    def key_groups(self, attributes: KeyAttributes) -> Dict[Any, Tuple[int, ...]]:
+        """Selected positions grouped by encoded key.
+
+        With no selection vector the storage-level grouping is returned
+        (and cached); a selected block groups only its visible positions.
+        """
+        for attribute in attributes:
+            if attribute not in self._attribute_set:
+                raise UnknownAttributeError(attribute)
+        if self._sel is None:
+            return self._storage.key_groups(attributes)
+        codes = self._storage.key_codes(attributes)
+        grouped: Dict[Any, List[int]] = {}
+        for position in self._sel:
+            code = codes[position]
+            bucket = grouped.get(code)
+            if bucket is None:
+                grouped[code] = [position]
+            else:
+                bucket.append(position)
+        return {code: tuple(positions) for code, positions in grouped.items()}
+
+    def key_code_set(self, attributes: KeyAttributes) -> FrozenSet[Any]:
+        """The distinct encoded keys present among the selected rows.
+
+        Storage-cached for unselected blocks, so warm reducer fixpoint steps
+        against base relations rebuild nothing; a selected block's set is
+        derived from the cached key array per call.
+        """
+        for attribute in attributes:
+            if attribute not in self._attribute_set:
+                raise UnknownAttributeError(attribute)
+        if self._sel is None:
+            return self._storage.key_set(attributes)
+        codes = self._storage.key_codes(attributes)
+        return frozenset(codes[position] for position in self._sel)
+
+    @property
+    def source_rows(self) -> Optional[Tuple[Row, ...]]:
+        """The original ``Row`` objects (only on blocks built from a relation)."""
+        return self._storage.source_rows
+
+    # ------------------------------------------------------------------ #
+    # Zero-copy derivations
+    # ------------------------------------------------------------------ #
+    def select(self, positions: Tuple[int, ...]) -> "ColumnBlock":
+        """The block restricted to the given storage positions (zero-copy)."""
+        return ColumnBlock(self._name, self._attributes, self._storage, positions)
+
+    def empty(self) -> "ColumnBlock":
+        """The empty block over the same scheme (zero-copy)."""
+        return self.select(())
+
+    def rename(self, name: str) -> "ColumnBlock":
+        """The same block under a different relation name (zero-copy)."""
+        return ColumnBlock(name, self._attributes, self._storage, self._sel)
+
+    def project_onto(self, keep: Iterable[Attribute]) -> "ColumnBlock":
+        """Keep only the listed attributes, in this block's column order (zero-copy).
+
+        Projection alone can introduce duplicate rows; callers that need set
+        semantics follow up with :meth:`distinct` — the two are split so the
+        reducer/join phases only pay deduplication where the row engine does.
+        """
+        wanted = frozenset(keep)
+        missing = wanted - self._attribute_set
+        if missing:
+            raise UnknownAttributeError(sorted_nodes(missing)[0])
+        order = tuple(a for a in self._attributes if a in wanted)
+        return ColumnBlock(self._name, order, self._storage, self._sel)
+
+    def distinct(self) -> "ColumnBlock":
+        """The block with duplicate (visible) rows removed, first occurrence kept.
+
+        Returns ``self`` when the selected rows are already distinct, so
+        fixpoints allocate nothing.
+        """
+        columns = [self._storage.columns[attribute] for attribute in self._attributes]
+        seen: set = set()
+        keep: List[int] = []
+        if len(columns) == 1:
+            column = columns[0]
+            for position in self.positions:
+                value = column[position]
+                if value not in seen:
+                    seen.add(value)
+                    keep.append(position)
+        else:
+            for position in self.positions:
+                key = tuple(column[position] for column in columns)
+                if key not in seen:
+                    seen.add(key)
+                    keep.append(position)
+        if len(keep) == len(self):
+            return self
+        return self.select(tuple(keep))
+
+    # ------------------------------------------------------------------ #
+    # Decode boundary
+    # ------------------------------------------------------------------ #
+    def row_values(self, position: int) -> Tuple[Any, ...]:
+        """The values of one storage position, in column order."""
+        return tuple(self._storage.columns[attribute][position]
+                     for attribute in self._attributes)
+
+    def iter_rows(self) -> Iterator[Tuple[Any, ...]]:
+        """The selected rows as plain value tuples, in column order."""
+        columns = [self._storage.columns[attribute] for attribute in self._attributes]
+        for position in self.positions:
+            yield tuple(column[position] for column in columns)
+
+    def to_relation(self, name: Optional[str] = None) -> Relation:
+        """Decode the block back into a :class:`Relation` (the result boundary)."""
+        attributes = self._attributes
+        schema = RelationSchema(name or self._name, attributes)
+        rows = frozenset(Row(dict(zip(attributes, values)))
+                         for values in self.iter_rows())
+        return Relation.from_valid_rows(schema, rows)
+
+    def __repr__(self) -> str:
+        names = ", ".join(str(a) for a in self._attributes)
+        return f"ColumnBlock({self._name}({names}), {len(self)} rows)"
+
+
+# --------------------------------------------------------------------------- #
+# Per-relation block cache
+# --------------------------------------------------------------------------- #
+# Relations are immutable, so a block encoding never goes stale; the weak
+# dictionary lets relations (and their blocks) be reclaimed together.  The
+# lock keeps the WeakKeyDictionary (not thread-safe under concurrent
+# mutation) and the hit/miss counters coherent across concurrent executes;
+# encoding itself runs outside the lock — two threads racing on the same
+# cold relation may both encode (blocks are immutable and interchangeable;
+# the first insert wins), which trades a little duplicate work for never
+# blocking the cache on a large scan.  The per-storage key-encoding caches
+# are deliberately lock-free for the same reason: a race rebuilds an
+# equivalent array and last-write-wins.
+_BLOCK_CACHE: "weakref.WeakKeyDictionary[Relation, ColumnBlock]" = weakref.WeakKeyDictionary()
+_BLOCK_CACHE_LOCK = threading.Lock()
+_BLOCK_HITS = 0
+_BLOCK_MISSES = 0
+
+
+def block_for(relation: Relation) -> ColumnBlock:
+    """The (cached) columnar encoding of ``relation``."""
+    global _BLOCK_HITS, _BLOCK_MISSES
+    with _BLOCK_CACHE_LOCK:
+        cached = _BLOCK_CACHE.get(relation)
+        if cached is not None:
+            _BLOCK_HITS += 1
+            return cached
+        _BLOCK_MISSES += 1
+    block = ColumnBlock.from_relation(relation)
+    with _BLOCK_CACHE_LOCK:
+        return _BLOCK_CACHE.setdefault(relation, block)
+
+
+def peek_block(relation: Relation) -> Optional[ColumnBlock]:
+    """The cached block of ``relation``, or ``None`` (no build, no counter bump)."""
+    with _BLOCK_CACHE_LOCK:
+        return _BLOCK_CACHE.get(relation)
+
+
+def column_cache_info() -> Dict[str, int]:
+    """Cumulative hit/miss counters of the per-relation block cache."""
+    with _BLOCK_CACHE_LOCK:
+        return {"hits": _BLOCK_HITS, "misses": _BLOCK_MISSES,
+                "relations": len(_BLOCK_CACHE)}
+
+
+def clear_column_caches() -> None:
+    """Drop the per-relation block cache and reset its counters (tests/benchmarks).
+
+    Key encodings live on the block storages themselves, so they are
+    reclaimed with their blocks — there is no process-wide encoding state
+    to clear.
+    """
+    global _BLOCK_HITS, _BLOCK_MISSES
+    with _BLOCK_CACHE_LOCK:
+        _BLOCK_CACHE.clear()
+        _BLOCK_HITS = 0
+        _BLOCK_MISSES = 0

@@ -1,0 +1,110 @@
+"""The columnar execution pipeline: reduce and join whole blocks, decode last.
+
+This module is the block-level mirror of the physical half of
+:func:`repro.engine.yannakakis.evaluate`: the same compiled plan (structure
+or annotated), the same two reducer passes, the same bottom-up join fold with
+fused projection — but every operator runs on :class:`ColumnBlock` values and
+the result is decoded to a :class:`~repro.relational.relation.Relation` only
+at the boundary.  All *logical* accounting (intermediate sizes, reduction
+trace, reduced sizes) is byte-identical to the row engine's, so statistics
+and acceptance bounds compare one-to-one across execution modes.
+
+Both the acyclic evaluator and the cyclic executor drive this pipeline: the
+former encodes input relations into cached blocks, the latter feeds the
+cluster blocks :func:`~repro.engine.cyclic.quotient.materialise_cluster_blocks`
+produced — no decode/re-encode round trip between the phases.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Optional, Sequence, Tuple
+
+from ...core.hypergraph import Edge
+from ...exceptions import SchemaError
+from ...relational.relation import Relation
+from ...relational.schema import Attribute
+from ..catalog import RelationStatistics, StatisticsCatalog
+from ..fold import fold_join_tree
+from ..reducer import ReductionTrace
+from .block import ColumnBlock
+from .kernels import merge_blocks_by_scheme, natural_join_blocks
+
+__all__ = [
+    "vertex_blocks",
+    "run_columnar_plan",
+    "catalog_from_blocks",
+    "statistics_from_block",
+]
+
+
+def _skip_check(blocks, rooted) -> bool:
+    """The no-op proof-of-reduction hook used when ``check_reduction`` is off."""
+    return True
+
+
+def vertex_blocks(relations: Sequence[Relation],
+                  vertices: Tuple[Edge, ...]) -> Dict[Edge, ColumnBlock]:
+    """One block per join-tree vertex (same-scheme inputs intersected).
+
+    ``relations`` may mix :class:`Relation` objects (encoded through the
+    per-relation block cache) and pre-built :class:`ColumnBlock` values (the
+    cyclic executor's materialised clusters).
+    """
+    merged = merge_blocks_by_scheme(relations)
+    result: Dict[Edge, ColumnBlock] = {}
+    for vertex in vertices:
+        block = merged.get(vertex)
+        if block is None:
+            raise SchemaError("join-tree vertex without a matching relation")
+        result[vertex] = block
+    return result
+
+
+def run_columnar_plan(plan, annotated, blocks: Dict[Edge, ColumnBlock],
+                      wanted: Optional[FrozenSet[Attribute]], *,
+                      trace: Optional[ReductionTrace] = None,
+                      check_reduction: bool = False
+                      ) -> Tuple[ColumnBlock, Tuple[int, ...]]:
+    """Reduce and bottom-up-join the vertex blocks; return (result block, intermediates).
+
+    ``plan`` is the structure :class:`~repro.engine.planner.ExecutionPlan`;
+    ``annotated`` (optional) supplies the cost-ordered reducer and the child
+    fold order, exactly as in the row evaluator.  The join fold *is* the row
+    evaluator's — :func:`~repro.engine.fold.fold_join_tree` with the block
+    kernels plugged in — so the keep-set computation and the recorded
+    intermediate sizes agree with the row engine by construction.
+    """
+    reducer = annotated.reducer if annotated is not None else plan.reducer
+    reduced = reducer.run_blocks(blocks, trace=trace,
+                                 check_hook=None if check_reduction else _skip_check)
+    result, intermediates = fold_join_tree(
+        plan.rooted, reduced, wanted,
+        order_children=(annotated.order_children if annotated is not None
+                        else lambda vertex, children: children),
+        join=lambda left, right, keep: natural_join_blocks(left, right,
+                                                           project_onto=keep),
+        project=lambda block, keep: block.project_onto(keep).distinct(),
+        attributes_of=lambda block: block.attribute_set)
+    return result, tuple(intermediates)
+
+
+def statistics_from_block(block: ColumnBlock) -> RelationStatistics:
+    """Exact relation statistics measured columnar-side (no row decode).
+
+    Cardinality is the selection length; the per-attribute distinct counts
+    are set sizes over the selected column values — the same numbers
+    :meth:`RelationStatistics.measure
+    <repro.engine.catalog.RelationStatistics.measure>` computes from rows.
+    """
+    positions = block.positions
+    distinct = {}
+    for attribute in block.attributes:
+        column = block.column(attribute)
+        distinct[attribute] = len({column[position] for position in positions})
+    return RelationStatistics(edge=block.attribute_set, cardinality=len(block),
+                              distinct_counts=distinct, exact=True)
+
+
+def catalog_from_blocks(blocks: Iterable[ColumnBlock]) -> StatisticsCatalog:
+    """An exact statistics catalog of already-materialised blocks."""
+    return StatisticsCatalog(statistics_from_block(block) for block in blocks)

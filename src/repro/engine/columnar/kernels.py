@@ -1,0 +1,190 @@
+"""Vectorized semijoin / antijoin / natural-join kernels over column blocks.
+
+These are the columnar physical operators — the whole-block counterparts of
+:mod:`repro.engine.semijoin`.  They compute exactly the same relations (same
+rows, same attribute order rules) but operate on cached grouped key encodings
+instead of probing rows one at a time:
+
+* a **semijoin** filters the left block's selection vector by set membership
+  of its cached encoded keys in the right block's key set;
+* a **natural join** groups the build side's positions by encoded key,
+  probes the other side's key array, and materialises the output by
+  gathering columns positionally — no intermediate ``Row`` objects exist at
+  any point;
+* **fused projection** drops dead columns before the gather and deduplicates
+  positionally, mirroring the row operators' set semantics.
+
+Identity contracts match the row operators: a semijoin/antijoin that filters
+nothing returns the *left block itself*, so reducer fixpoints allocate
+nothing and ``is``-based stability checks work unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
+
+from ...core.hypergraph import Edge
+from ...core.nodes import sorted_nodes
+from ...exceptions import UnknownAttributeError
+from ...relational.relation import Relation
+from ...relational.schema import Attribute
+from .block import ColumnBlock, block_for
+
+__all__ = [
+    "shared_block_attributes",
+    "semijoin_blocks",
+    "antijoin_blocks",
+    "natural_join_blocks",
+    "intersect_blocks",
+    "merge_blocks_by_scheme",
+]
+
+
+def shared_block_attributes(left: ColumnBlock, right: ColumnBlock) -> Tuple[Attribute, ...]:
+    """The separator: attributes common to both blocks, in canonical order."""
+    return tuple(sorted_nodes(left.attribute_set & right.attribute_set))
+
+
+def _separator(left: ColumnBlock, right: ColumnBlock,
+               on: Optional[Iterable[Attribute]]) -> Tuple[Attribute, ...]:
+    """The effective separator, canonicalised so key dictionaries are shared.
+
+    An ``on`` override must be a subset of both blocks' schemes.  Unlike the
+    row operators the attribute order is always canonical here — the grouped
+    key encoding is cached per attribute *tuple*, and key-set membership is
+    order-invariant anyway.
+    """
+    if on is None:
+        return shared_block_attributes(left, right)
+    separator = tuple(sorted_nodes(on))
+    for attribute in separator:
+        if attribute not in left.attribute_set or attribute not in right.attribute_set:
+            raise UnknownAttributeError(attribute)
+    return separator
+
+
+def semijoin_blocks(left: ColumnBlock, right: ColumnBlock,
+                    on: Optional[Iterable[Attribute]] = None) -> ColumnBlock:
+    """``left ⋉ right`` by encoded-key-set membership.
+
+    Returns ``left`` itself when nothing is filtered out, exactly like
+    :func:`~repro.engine.semijoin.semijoin_indexed`.
+    """
+    separator = _separator(left, right, on)
+    if not separator:
+        return left if len(right) else left.empty()
+    right_ids = right.key_code_set(separator)
+    codes = left.key_codes(separator)
+    keep = tuple(position for position in left.positions
+                 if codes[position] in right_ids)
+    if len(keep) == len(left):
+        return left
+    return left.select(keep)
+
+
+def antijoin_blocks(left: ColumnBlock, right: ColumnBlock,
+                    on: Optional[Iterable[Attribute]] = None) -> ColumnBlock:
+    """``left ▷ right`` — the selected rows of ``left`` with no partner in ``right``."""
+    separator = _separator(left, right, on)
+    if not separator:
+        return left.empty() if len(right) else left
+    right_ids = right.key_code_set(separator)
+    codes = left.key_codes(separator)
+    keep = tuple(position for position in left.positions
+                 if codes[position] not in right_ids)
+    if len(keep) == len(left):
+        return left
+    return left.select(keep)
+
+
+def natural_join_blocks(left: ColumnBlock, right: ColumnBlock, *,
+                        project_onto: Optional[FrozenSet[Attribute]] = None,
+                        name: Optional[str] = None) -> ColumnBlock:
+    """``left ⋈ right`` with fused projection, by positional gather.
+
+    The output attribute order follows the row operator's rule — ``left``'s
+    columns then ``right``'s right-only columns, filtered by ``project_onto``
+    — so decoding at the result boundary yields byte-identical schemas.
+    """
+    joined_attributes = list(left.attributes)
+    left_set = left.attribute_set
+    for attribute in right.attributes:
+        if attribute not in left_set:
+            joined_attributes.append(attribute)
+    if project_onto is not None:
+        kept = [a for a in joined_attributes if a in project_onto]
+    else:
+        kept = joined_attributes
+    out_name = name or f"({left.name} ⋈ {right.name})"
+
+    separator = shared_block_attributes(left, right)
+    left_positions: List[int] = []
+    right_positions: List[int] = []
+    if not separator:
+        right_all = tuple(right.positions)
+        for i in left.positions:
+            for j in right_all:
+                left_positions.append(i)
+                right_positions.append(j)
+    else:
+        # Build the key-group index on the smaller side, probe with the other;
+        # the orientation only affects the probe order, never the output.
+        if len(left) <= len(right):
+            groups = left.key_groups(separator)
+            codes = right.key_codes(separator)
+            for j in right.positions:
+                matches = groups.get(codes[j])
+                if matches:
+                    for i in matches:
+                        left_positions.append(i)
+                        right_positions.append(j)
+        else:
+            groups = right.key_groups(separator)
+            codes = left.key_codes(separator)
+            for i in left.positions:
+                matches = groups.get(codes[i])
+                if matches:
+                    for j in matches:
+                        left_positions.append(i)
+                        right_positions.append(j)
+
+    columns: Dict[Attribute, List] = {}
+    for attribute in kept:
+        if attribute in left_set:
+            source = left.column(attribute)
+            positions = left_positions
+        else:
+            source = right.column(attribute)
+            positions = right_positions
+        columns[attribute] = [source[position] for position in positions]
+    # The explicit length carries the row count through 0-ary projections
+    # (boolean sub-results), where there is no column left to measure.
+    block = ColumnBlock.from_columns(out_name, kept, columns,
+                                     length=len(left_positions))
+    if len(kept) != len(joined_attributes):
+        block = block.distinct()
+    return block
+
+
+def intersect_blocks(left: ColumnBlock, right: ColumnBlock) -> ColumnBlock:
+    """The intersection of two same-scheme blocks (keeps ``left``'s name/order)."""
+    return semijoin_blocks(left, right, on=left.attributes)
+
+
+def merge_blocks_by_scheme(relations: Iterable[Relation]) -> Dict[Edge, ColumnBlock]:
+    """One (cached) block per distinct scheme, same-scheme relations intersected.
+
+    The columnar counterpart of
+    :func:`~repro.engine.semijoin.merge_relations_by_scheme`, feeding the
+    evaluator's vertex mapping and the cluster materialisation.
+    """
+    grouped: Dict[Edge, ColumnBlock] = {}
+    for relation in relations:
+        block = block_for(relation) if isinstance(relation, Relation) else relation
+        edge = block.attribute_set
+        existing = grouped.get(edge)
+        if existing is None:
+            grouped[edge] = block
+        else:
+            grouped[edge] = intersect_blocks(existing, block)
+    return grouped

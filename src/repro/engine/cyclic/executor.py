@@ -30,11 +30,14 @@ from ...relational.database import Database
 from ...relational.relation import Relation
 from ...relational.schema import Attribute
 from ..catalog import StatisticsCatalog
+from ..columnar import column_cache_info, resolve_execution_mode
+from ..columnar.executor import catalog_from_blocks, run_columnar_plan, vertex_blocks
 from ..indexes import index_cache_info
-from ..planner import DEFAULT_PLANNER, QueryPlanner, schema_fingerprint
+from ..planner import DEFAULT_PLANNER, QueryPlanner, annotate_plan, schema_fingerprint
+from ..reducer import ReductionTrace
 from ..yannakakis import evaluate as evaluate_acyclic
 from .plans import CyclicEngineStatistics, CyclicExecutionPlan
-from .quotient import materialise_clusters
+from .quotient import materialise_cluster_blocks, materialise_clusters
 
 __all__ = ["CyclicEngineResult", "evaluate_cyclic", "evaluate_cyclic_database"]
 
@@ -55,7 +58,8 @@ def evaluate_cyclic(relations: Sequence[Relation],
                     check_reduction: bool = False,
                     cluster_row_bound: Optional[int] = None,
                     catalog: Optional[StatisticsCatalog] = None,
-                    plan: Optional[CyclicExecutionPlan] = None) -> CyclicEngineResult:
+                    plan: Optional[CyclicExecutionPlan] = None,
+                    execution_mode: Optional[str] = None) -> CyclicEngineResult:
     """Evaluate the natural join of ``relations`` (optionally projected), cyclic schemas included.
 
     Acyclic schemas work too (the cover is trivially all singletons and the
@@ -75,9 +79,16 @@ def evaluate_cyclic(relations: Sequence[Relation],
     the one a :class:`~repro.engine.session.PreparedQuery` memoized),
     bypassing the planner lookup — and, adaptively, the per-database cover
     re-scoring — entirely; its fingerprint must match the relations' schema.
+
+    ``execution_mode`` selects the physical layer (``"columnar"`` — the
+    process default — or ``"row"``): columnar runs materialise the clusters
+    as blocks and feed them straight into the columnar quotient pipeline,
+    decoding only the final result.  Answers and all logical accounting are
+    byte-identical across modes.
     """
     if not relations:
         raise SchemaError("the cyclic engine needs at least one relation to evaluate")
+    mode = resolve_execution_mode(execution_mode)
     active_planner = planner if planner is not None else DEFAULT_PLANNER
     hypergraph = Hypergraph([relation.schema.attribute_set for relation in relations])
     wanted: Optional[FrozenSet[Attribute]] = (
@@ -86,7 +97,6 @@ def evaluate_cyclic(relations: Sequence[Relation],
         missing = wanted - hypergraph.nodes
         raise SchemaError(f"output attributes {sorted_nodes(missing)} are not in the schema")
 
-    index_before = index_cache_info()
     if plan is None:
         misses_before = active_planner.cache_info().misses
         plan = active_planner.cyclic_plan_for(hypergraph, catalog=catalog)
@@ -109,44 +119,84 @@ def evaluate_cyclic(relations: Sequence[Relation],
             estimate for cluster, estimate in zip(plan.clusters,
                                                   estimated_cluster_sizes)
             if not cluster.is_singleton)
-    materialised = materialise_clusters(plan.cover, relations,
-                                        row_bound=cluster_row_bound, catalog=catalog)
     # The quotient plan is executed from the cyclic plan itself — no second
     # planner lookup, so a small LRU never thrashes between the cyclic plan
     # and its own embedded quotient plan.  Adaptively, the quotient runs with
     # an exact catalog of the materialised clusters: their sizes are known
     # the moment they exist, so the quotient-level annotation is free.
     inner_plan = plan.inner
-    inner_catalog = None
-    if catalog is not None:
-        inner_catalog = StatisticsCatalog.from_relations(materialised.relations)
-    inner = evaluate_acyclic(materialised.relations, output_attributes,
-                             planner=active_planner, name=name,
-                             check_reduction=check_reduction, plan=inner_plan,
-                             catalog=inner_catalog)
+    if mode == "columnar":
+        # Columnar end to end: the cluster blocks feed the quotient pipeline
+        # directly — no decode/re-encode round trip between the phases; only
+        # the final quotient result is decoded to a relation.
+        column_before = column_cache_info()
+        materialised = materialise_cluster_blocks(plan.cover, relations,
+                                                  row_bound=cluster_row_bound,
+                                                  catalog=catalog)
+        inner_annotated = None
+        if catalog is not None:
+            inner_annotated = annotate_plan(inner_plan,
+                                            catalog_from_blocks(materialised.blocks),
+                                            output_attributes=wanted)
+        trace = ReductionTrace()
+        blocks = vertex_blocks(materialised.blocks, inner_plan.vertices)
+        result_block, inner_intermediates = run_columnar_plan(
+            inner_plan, inner_annotated, blocks, wanted,
+            trace=trace, check_reduction=check_reduction)
+        relation = result_block.to_relation(name)
+        column_after = column_cache_info()
+        cache_hits = column_after["hits"] - column_before["hits"]
+        cache_misses = column_after["misses"] - column_before["misses"]
+        semijoin_steps = trace.steps_run
+        rows_removed = trace.rows_removed
+        reduced_sizes = trace.sizes_after
+        inner_estimated = (inner_annotated.annotation.estimated_intermediate_sizes
+                           if inner_annotated is not None else ())
+        estimated_output = (inner_annotated.annotation.estimated_output_size
+                            if inner_annotated is not None else None)
+    else:
+        index_before = index_cache_info()
+        materialised = materialise_clusters(plan.cover, relations,
+                                            row_bound=cluster_row_bound,
+                                            catalog=catalog)
+        inner_catalog = None
+        if catalog is not None:
+            inner_catalog = StatisticsCatalog.from_relations(materialised.relations)
+        inner = evaluate_acyclic(materialised.relations, output_attributes,
+                                 planner=active_planner, name=name,
+                                 check_reduction=check_reduction, plan=inner_plan,
+                                 catalog=inner_catalog, execution_mode="row")
+        relation = inner.relation
+        inner_intermediates = inner.statistics.intermediate_sizes
+        semijoin_steps = inner.statistics.semijoin_steps
+        rows_removed = inner.statistics.rows_removed_by_reduction
+        reduced_sizes = inner.statistics.reduced_sizes
+        inner_estimated = inner.statistics.estimated_intermediate_sizes
+        estimated_output = inner.statistics.estimated_output_size
+        index_after = index_cache_info()
+        cache_hits = index_after["hits"] - index_before["hits"]
+        cache_misses = index_after["misses"] - index_before["misses"]
 
-    index_after = index_cache_info()
     statistics = CyclicEngineStatistics(
         plan_name="engine-cyclic-adaptive" if catalog is not None else "engine-cyclic",
-        input_sizes=tuple(len(relation) for relation in relations),
-        intermediate_sizes=materialised.intermediate_sizes
-        + inner.statistics.intermediate_sizes,
-        output_size=len(inner.relation),
-        semijoin_steps=inner.statistics.semijoin_steps,
-        rows_removed_by_reduction=inner.statistics.rows_removed_by_reduction,
-        reduced_sizes=inner.statistics.reduced_sizes,
+        input_sizes=tuple(len(relation_) for relation_ in relations),
+        intermediate_sizes=materialised.intermediate_sizes + tuple(inner_intermediates),
+        output_size=len(relation),
+        semijoin_steps=semijoin_steps,
+        rows_removed_by_reduction=rows_removed,
+        reduced_sizes=reduced_sizes,
         plan_cache_hit=plan_cache_hit,
-        index_cache_hits=index_after["hits"] - index_before["hits"],
-        index_cache_misses=index_after["misses"] - index_before["misses"],
+        index_cache_hits=cache_hits,
+        index_cache_misses=cache_misses,
+        execution_mode=mode,
         adaptive=catalog is not None,
-        estimated_intermediate_sizes=estimated_materialisation
-        + inner.statistics.estimated_intermediate_sizes,
-        estimated_output_size=inner.statistics.estimated_output_size,
+        estimated_intermediate_sizes=estimated_materialisation + tuple(inner_estimated),
+        estimated_output_size=estimated_output,
         cluster_sizes=materialised.cluster_sizes,
         cluster_widths=tuple(cluster.width for cluster in plan.clusters),
         estimated_cluster_sizes=estimated_cluster_sizes,
     )
-    return CyclicEngineResult(relation=inner.relation, plan=plan, statistics=statistics)
+    return CyclicEngineResult(relation=relation, plan=plan, statistics=statistics)
 
 
 def evaluate_cyclic_database(database: Database,
@@ -156,7 +206,8 @@ def evaluate_cyclic_database(database: Database,
                              check_reduction: bool = False,
                              cluster_row_bound: Optional[int] = None,
                              adaptive: bool = False,
-                             catalog: Optional[StatisticsCatalog] = None
+                             catalog: Optional[StatisticsCatalog] = None,
+                             execution_mode: Optional[str] = None
                              ) -> CyclicEngineResult:
     """Evaluate a database's universal join (optionally projected) via the cyclic engine.
 
@@ -169,4 +220,5 @@ def evaluate_cyclic_database(database: Database,
         catalog = database.statistics_catalog()
     return evaluate_cyclic(database.relations(), output_attributes, planner=planner,
                            name=name, check_reduction=check_reduction,
-                           cluster_row_bound=cluster_row_bound, catalog=catalog)
+                           cluster_row_bound=cluster_row_bound, catalog=catalog,
+                           execution_mode=execution_mode)

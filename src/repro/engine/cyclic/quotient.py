@@ -23,10 +23,17 @@ from ...core.hypergraph import Hypergraph
 from ...core.nodes import format_node_set, sorted_nodes
 from ...exceptions import ClusterBoundExceededError, CyclicHypergraphError, SchemaError
 from ...relational.relation import Relation
+from ..columnar import ColumnBlock, merge_blocks_by_scheme, natural_join_blocks
 from ..semijoin import merge_relations_by_scheme, natural_join_indexed
 from .covers import ClusterCover
 
-__all__ = ["AcyclicQuotient", "materialise_clusters", "ClusterMaterialisation"]
+__all__ = [
+    "AcyclicQuotient",
+    "materialise_clusters",
+    "ClusterMaterialisation",
+    "materialise_cluster_blocks",
+    "ClusterBlockMaterialisation",
+]
 
 
 @dataclass(frozen=True)
@@ -85,10 +92,14 @@ class ClusterMaterialisation:
     cluster_sizes: Tuple[int, ...]
 
 
-def _greedy_member_order(members: Sequence[Relation],
+def _greedy_member_order(members: Sequence[object],
                          catalog: Optional["StatisticsCatalog"] = None
-                         ) -> List[Relation]:
+                         ) -> List[object]:
     """Join order inside a cluster: smallest first, then maximal attribute overlap.
+
+    ``members`` are :class:`Relation` or :class:`ColumnBlock` values — both
+    expose ``len`` and ``schema``, and the ordering keys depend on nothing
+    else, so the row and columnar paths pick identical orders.
 
     Starting from the smallest member and always joining the relation that
     shares the most attributes with the scheme accumulated so far applies
@@ -136,6 +147,45 @@ def _greedy_member_order(members: Sequence[Relation],
     return ordered
 
 
+def _materialise_physical(cover: ClusterCover, per_edge, *,
+                          join, rename, row_bound: Optional[int],
+                          catalog: Optional["StatisticsCatalog"]):
+    """The physical-layer-agnostic cluster loop shared by both materialisers.
+
+    Parameterised on ``join(left, right)`` and ``rename(item, name)``
+    exactly like the reducer's ``_run_physical`` and the evaluators'
+    ``fold_join_tree``, so the member lookup, greedy ordering, ``row_bound``
+    discipline and tuple accounting cannot drift between the row and the
+    columnar representations.  Returns (items, intermediate sizes, cluster
+    sizes).
+    """
+    items: List[object] = []
+    intermediates: List[int] = []
+    cluster_sizes: List[int] = []
+    for position, cluster in enumerate(cover.clusters):
+        members = []
+        for edge in cluster.sorted_edges():
+            if edge not in per_edge:
+                raise SchemaError(f"cluster edge {format_node_set(edge)} has no "
+                                  "matching relation")
+            members.append(per_edge[edge])
+        current = members[0]
+        if len(members) > 1:
+            ordered = _greedy_member_order(members, catalog)
+            current = ordered[0]
+            for member in ordered[1:]:
+                current = join(current, member)
+                intermediates.append(len(current))
+                if row_bound is not None and len(current) > row_bound:
+                    raise ClusterBoundExceededError(
+                        f"cluster {cluster.describe()} produced an intermediate "
+                        f"of {len(current)} rows (bound {row_bound})")
+        renamed = rename(current, f"cluster{position}")
+        items.append(renamed)
+        cluster_sizes.append(len(renamed))
+    return items, intermediates, cluster_sizes
+
+
 def materialise_clusters(cover: ClusterCover, relations: Sequence[Relation], *,
                          row_bound: Optional[int] = None,
                          catalog: Optional["StatisticsCatalog"] = None
@@ -151,32 +201,46 @@ def materialise_clusters(cover: ClusterCover, relations: Sequence[Relation], *,
     intra-cluster nested-loop order to estimated-cardinality-first (see
     :func:`_greedy_member_order`).
     """
-    per_edge = merge_relations_by_scheme(relations)
-    cluster_relations: List[Relation] = []
-    intermediates: List[int] = []
-    cluster_sizes: List[int] = []
-    for position, cluster in enumerate(cover.clusters):
-        members = []
-        for edge in cluster.sorted_edges():
-            if edge not in per_edge:
-                raise SchemaError(f"cluster edge {format_node_set(edge)} has no "
-                                  "matching relation")
-            members.append(per_edge[edge])
-        current = members[0]
-        if len(members) > 1:
-            ordered = _greedy_member_order(members, catalog)
-            current = ordered[0]
-            for member in ordered[1:]:
-                current = natural_join_indexed(current, member)
-                intermediates.append(len(current))
-                if row_bound is not None and len(current) > row_bound:
-                    raise ClusterBoundExceededError(
-                        f"cluster {cluster.describe()} produced an intermediate "
-                        f"of {len(current)} rows (bound {row_bound})")
-        renamed = Relation.from_valid_rows(
-            current.schema.rename(f"cluster{position}"), current.rows)
-        cluster_relations.append(renamed)
-        cluster_sizes.append(len(renamed))
-    return ClusterMaterialisation(relations=tuple(cluster_relations),
+    items, intermediates, cluster_sizes = _materialise_physical(
+        cover, merge_relations_by_scheme(relations),
+        join=natural_join_indexed,
+        rename=lambda relation, name: Relation.from_valid_rows(
+            relation.schema.rename(name), relation.rows),
+        row_bound=row_bound, catalog=catalog)
+    return ClusterMaterialisation(relations=tuple(items),
                                   intermediate_sizes=tuple(intermediates),
                                   cluster_sizes=tuple(cluster_sizes))
+
+
+@dataclass(frozen=True)
+class ClusterBlockMaterialisation:
+    """The materialised cluster *blocks* plus per-step tuple accounting."""
+
+    blocks: Tuple[ColumnBlock, ...]
+    intermediate_sizes: Tuple[int, ...]
+    cluster_sizes: Tuple[int, ...]
+
+
+def materialise_cluster_blocks(cover: ClusterCover, relations: Sequence[Relation], *,
+                               row_bound: Optional[int] = None,
+                               catalog: Optional["StatisticsCatalog"] = None
+                               ) -> ClusterBlockMaterialisation:
+    """One :class:`ColumnBlock` per cluster — the columnar twin of
+    :func:`materialise_clusters`.
+
+    Input relations are encoded through the per-relation block cache (so
+    repeated executions over one database encode nothing), singleton clusters
+    are zero-copy renames of their member's block, and multi-member clusters
+    are joined with the whole-block kernel in exactly the greedy order the
+    row path uses — member ordering keys (size, scheme, catalog estimates)
+    are identical across representations, so the recorded intermediate and
+    cluster sizes agree step for step.
+    """
+    items, intermediates, cluster_sizes = _materialise_physical(
+        cover, merge_blocks_by_scheme(relations),
+        join=natural_join_blocks,
+        rename=lambda block, name: block.rename(name),
+        row_bound=row_bound, catalog=catalog)
+    return ClusterBlockMaterialisation(blocks=tuple(items),
+                                       intermediate_sizes=tuple(intermediates),
+                                       cluster_sizes=tuple(cluster_sizes))

@@ -1,0 +1,83 @@
+"""The mode-agnostic bottom-up join fold of Yannakakis' algorithm.
+
+Phase 3 of the evaluator — fold children into parents leaf-to-root with the
+projection onto (requested outputs ∪ live separators) fused into every join,
+then join the tree roots — is identical for the row and the columnar
+physical layers; only the three physical operations differ.  Keeping the
+keep-set computation in one place is what guarantees the two layers stay
+byte-identical: the fused-projection logic is the subtlest part of the
+engine, and a one-sided edit would silently break the differential-testing
+contract.
+
+The fold is parameterised exactly like
+:meth:`FullReducer._run_physical <repro.engine.reducer.FullReducer>`:
+
+* ``join(left, right, keep)`` — natural join with the projection onto
+  ``keep`` fused in (``keep is None`` keeps everything);
+* ``project(item, keep)`` — set-semantics projection onto ``keep``;
+* ``attributes_of(item)`` — the item's visible attribute set.
+
+Items only need ``len`` beyond that, so :class:`~repro.relational.relation.Relation`
+and :class:`~repro.engine.columnar.ColumnBlock` both fit.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, FrozenSet, List, Mapping, Optional, Sequence, Tuple
+
+from ..core.hypergraph import Edge
+from ..core.join_tree import RootedJoinTree
+
+__all__ = ["fold_join_tree"]
+
+
+def fold_join_tree(rooted: RootedJoinTree, reduced: Mapping[Edge, object],
+                   wanted: Optional[FrozenSet], *,
+                   order_children: Callable[[Edge, Sequence[Edge]], Sequence[Edge]],
+                   join: Callable, project: Callable, attributes_of: Callable
+                   ) -> Tuple[object, List[int]]:
+    """Fold the reduced vertex map bottom-up; return (result, intermediate sizes).
+
+    A vertex's partial join keeps only the requested outputs visible in its
+    subtree plus the separator to its parent; while its children are being
+    folded in, the separators to the *not yet joined* children stay live
+    too.  ``order_children`` injects the cost annotation's fold order (the
+    identity for static plans).
+    """
+    intermediates: List[int] = []
+    partial: Dict[Edge, object] = {}
+    for vertex, parent in rooted.leaf_to_root():
+        current = reduced[vertex]
+        children = order_children(vertex, rooted.children_of(vertex))
+        final_keep: Optional[FrozenSet] = None
+        if wanted is not None:
+            subtree_attributes = set(vertex)
+            for child in children:
+                subtree_attributes.update(attributes_of(partial[child]))
+            final_keep = frozenset(subtree_attributes) & wanted
+            if parent is not None:
+                final_keep |= frozenset(vertex) & frozenset(parent)
+        child_separators = [frozenset(vertex) & frozenset(child) for child in children]
+        for index, child in enumerate(children):
+            keep: Optional[FrozenSet] = None
+            if final_keep is not None:
+                keep = final_keep.union(*child_separators[index + 1:]) \
+                    if index + 1 < len(children) else final_keep
+            current = join(current, partial[child], keep)
+            intermediates.append(len(current))
+        if final_keep is not None and final_keep != attributes_of(current):
+            current = project(current, final_keep)
+        partial[vertex] = current
+
+    roots = rooted.roots
+    result = partial[roots[0]]
+    for other_root in roots[1:]:
+        keep = None
+        if wanted is not None:
+            keep = (frozenset(attributes_of(result))
+                    | frozenset(attributes_of(partial[other_root]))) & wanted
+        result = join(result, partial[other_root], keep)
+        intermediates.append(len(result))
+    if wanted is not None and wanted & attributes_of(result) != attributes_of(result):
+        result = project(result, wanted)
+    return result, intermediates

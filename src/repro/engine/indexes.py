@@ -50,6 +50,49 @@ class HashIndex:
                 raise UnknownAttributeError(attribute)
         return cls(relation.rows, wanted)
 
+    @classmethod
+    def build_columnar(cls, relation: Relation,
+                       attributes: Iterable[Attribute]) -> "HashIndex":
+        """The columnar build path: bucket rows by the block's encoded key ids.
+
+        Instead of forming a key tuple per row, this groups the relation's
+        (cached) :class:`~repro.engine.columnar.ColumnBlock` positions by its
+        grouped key encoding — the per-storage key array is computed once
+        and shared with every block kernel and every other index over the
+        same separator, so building a second index over a different attribute
+        subset of an already-encoded relation re-hashes nothing.  The
+        resulting index is indistinguishable from :meth:`build`'s.
+
+        This path is strictly opt-in: :func:`index_for` (the row engine's
+        cache) always uses :meth:`build`, keeping the reference
+        implementation independent of the columnar encoding it is
+        differentially tested against.
+        """
+        from .columnar import block_for
+
+        wanted = tuple(attributes)
+        for attribute in wanted:
+            if not relation.schema.has_attribute(attribute):
+                raise UnknownAttributeError(attribute)
+        block = block_for(relation)
+        index = cls.__new__(cls)
+        index._attributes = wanted
+        if not wanted:
+            index._buckets = {(): tuple(block.source_rows or ())} if len(block) else {}
+            index._size = len(block)
+            return index
+        groups = block.key_groups(tuple(sorted_nodes(wanted)))
+        rows = block.source_rows
+        columns = [block.column(attribute) for attribute in wanted]
+        buckets: Dict[IndexKey, Tuple[Row, ...]] = {}
+        for positions in groups.values():
+            first = positions[0]
+            key = tuple(column[first] for column in columns)
+            buckets[key] = tuple(rows[position] for position in positions)
+        index._buckets = buckets
+        index._size = len(block)
+        return index
+
     # ------------------------------------------------------------------ #
     @property
     def attributes(self) -> Tuple[Attribute, ...]:
@@ -121,6 +164,11 @@ def index_for(relation: Relation, attributes: Iterable[Attribute]) -> HashIndex:
     else:
         per_relation = _INDEX_CACHE.setdefault(relation, {})
     _CACHE_MISSES += 1
+    # Always the row build, never the columnar one: the row engine is the
+    # *reference implementation* the columnar layer is differentially tested
+    # against, so its indexes must not be derived from the very encoding
+    # under test.  Callers that already hold a block and want to share its
+    # encoding opt in explicitly via HashIndex.build_columnar.
     index = HashIndex.build(relation, key)
     per_relation[key] = index
     return index

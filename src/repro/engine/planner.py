@@ -116,8 +116,13 @@ class EngineStatistics(JoinStatistics):
     rows_removed_by_reduction: int = 0
     reduced_sizes: Tuple[int, ...] = ()
     plan_cache_hit: bool = False
+    #: Physical-structure cache traffic during the run: the hash-index cache
+    #: (:func:`~repro.engine.indexes.index_cache_info`) in row mode, the
+    #: per-relation block cache in columnar mode — either way, "how much of
+    #: the build work was reused" is observable per run and in reports.
     index_cache_hits: int = 0
     index_cache_misses: int = 0
+    execution_mode: str = "row"
     adaptive: bool = False
     estimated_intermediate_sizes: Tuple[int, ...] = ()
     estimated_output_size: Optional[int] = None
@@ -143,10 +148,12 @@ class EngineStatistics(JoinStatistics):
     def describe(self) -> str:
         """A one-line summary aligned with ``JoinStatistics.describe``."""
         base = super().describe()
-        summary = (f"{base} semijoins={self.semijoin_steps} "
+        summary = (f"{base} mode={self.execution_mode} "
+                   f"semijoins={self.semijoin_steps} "
                    f"removed={self.rows_removed_by_reduction} "
                    f"reduced={list(self.reduced_sizes)} "
-                   f"plan_cache={'hit' if self.plan_cache_hit else 'miss'}")
+                   f"plan_cache={'hit' if self.plan_cache_hit else 'miss'} "
+                   f"index_cache={self.index_cache_hits}h/{self.index_cache_misses}m")
         if self.adaptive:
             summary += (f" adaptive est_max={self.estimated_max_intermediate} "
                         f"est_output={self.estimated_output_size}")

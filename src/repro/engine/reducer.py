@@ -39,6 +39,7 @@ __all__ = [
     "ReductionError",
     "FullReducer",
     "verify_full_reduction",
+    "verify_full_reduction_blocks",
 ]
 
 VertexMap = Dict[Edge, Relation]
@@ -165,7 +166,38 @@ class FullReducer:
         immediately (the join is empty; nothing downstream can survive) and
         the remaining steps of that component are skipped.
         """
-        current: VertexMap = dict(relations)
+        hook = check_hook if check_hook is not None else verify_full_reduction
+        return self._run_physical(
+            relations,
+            semijoin=semijoin_indexed,
+            empty=lambda relation: Relation.from_valid_rows(relation.schema,
+                                                            frozenset()),
+            trace=trace, hook=hook)
+
+    def run_blocks(self, blocks: Mapping[Edge, object], *,
+                   trace: Optional[ReductionTrace] = None,
+                   check_hook: Optional[CheckHook] = None) -> Dict[Edge, object]:
+        """Both full-reducer passes over a vertex → :class:`ColumnBlock` map.
+
+        The columnar twin of :meth:`run`: the same compiled program, the same
+        dead-component short-circuit and the same trace accounting, with the
+        indexed semijoin swapped for the whole-block kernel
+        :func:`~repro.engine.columnar.kernels.semijoin_blocks` — filtering is
+        pure selection-vector work, so fixpoint steps allocate nothing.
+        """
+        from .columnar.kernels import semijoin_blocks  # deferred: import cycle
+
+        hook = check_hook if check_hook is not None else verify_full_reduction_blocks
+        return self._run_physical(blocks, semijoin=semijoin_blocks,
+                                  empty=lambda block: block.empty(),
+                                  trace=trace, hook=hook)
+
+    def _run_physical(self, relations: Mapping[Edge, object], *,
+                      semijoin: Callable, empty: Callable,
+                      trace: Optional[ReductionTrace], hook: Callable
+                      ) -> Dict[Edge, object]:
+        """The mode-agnostic reducer loop shared by :meth:`run` and :meth:`run_blocks`."""
+        current: Dict[Edge, object] = dict(relations)
         sizes_before = tuple(len(current[vertex]) for vertex, _ in self.rooted.order)
         component_of = self._component_map()
         dead_components: set = set()
@@ -176,8 +208,7 @@ class FullReducer:
             for vertex, owner in component_of.items():
                 if owner is component and len(current[vertex]):
                     emptied += len(current[vertex])
-                    current[vertex] = Relation.from_valid_rows(current[vertex].schema,
-                                                               frozenset())
+                    current[vertex] = empty(current[vertex])
             return emptied
 
         removed = 0
@@ -189,8 +220,8 @@ class FullReducer:
             if component_of[step.target] in dead_components:
                 continue
             target = current[step.target]
-            reduced = semijoin_indexed(target, current[step.source],
-                                       on=sorted_nodes(step.separator) if step.separator else None)
+            reduced = semijoin(target, current[step.source],
+                               on=sorted_nodes(step.separator) if step.separator else None)
             steps_run += 1
             if reduced is not target:
                 removed += len(target) - len(reduced)
@@ -203,7 +234,6 @@ class FullReducer:
             trace.rows_removed += removed
             trace.sizes_before = sizes_before
             trace.sizes_after = sizes_after
-        hook = check_hook if check_hook is not None else verify_full_reduction
         if not hook(current, self.rooted):
             raise ReductionError("proof-of-reduction check failed: a relation is "
                                  "not semijoin-stable against a tree neighbour")
@@ -227,5 +257,26 @@ def verify_full_reduction(relations: Mapping[Edge, Relation],
         if semijoin_indexed(parent_relation, child_relation) is not parent_relation:
             return False
         if semijoin_indexed(child_relation, parent_relation) is not child_relation:
+            return False
+    return True
+
+
+def verify_full_reduction_blocks(blocks: Mapping[Edge, object],
+                                 rooted: RootedJoinTree) -> bool:
+    """The columnar proof-of-reduction check: block semijoin-stability per tree edge.
+
+    Relies on the same identity contract as the row check — a whole-block
+    semijoin that filters nothing returns its left block unchanged.
+    """
+    from .columnar.kernels import semijoin_blocks  # deferred: import cycle
+
+    for vertex, parent in rooted.order:
+        if parent is None:
+            continue
+        child_block = blocks[vertex]
+        parent_block = blocks[parent]
+        if semijoin_blocks(parent_block, child_block) is not parent_block:
+            return False
+        if semijoin_blocks(child_block, parent_block) is not child_block:
             return False
     return True

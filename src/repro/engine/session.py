@@ -116,7 +116,13 @@ class ExecutionOptions:
     * ``sample_limit`` — bound the rows scanned per relation when measuring
       statistics catalogs (the cheap sampling refresh);
     * ``force_cyclic`` — dispatch through the cyclic subsystem even for
-      acyclic schemas (its cover degenerates to singletons).
+      acyclic schemas (its cover degenerates to singletons);
+    * ``execution_mode`` — the physical layer: ``"columnar"`` runs the
+      vectorized block kernels and decodes to relations only at the result
+      boundary, ``"row"`` is the row-at-a-time reference implementation,
+      ``None`` (the default) inherits the process-wide default — columnar,
+      unless :func:`~repro.engine.columnar.set_default_execution_mode`
+      flipped it.  Answers are byte-identical across modes.
     """
 
     adaptive: bool = True
@@ -125,6 +131,15 @@ class ExecutionOptions:
     cluster_row_bound: Optional[int] = None
     sample_limit: Optional[int] = None
     force_cyclic: bool = False
+    execution_mode: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        from .columnar import EXECUTION_MODES
+
+        if self.execution_mode is not None \
+                and self.execution_mode not in EXECUTION_MODES:
+            raise ValueError(f"unknown execution mode {self.execution_mode!r}; "
+                             f"expected one of {EXECUTION_MODES} or None")
 
     def merged(self, **overrides: object) -> "ExecutionOptions":
         """A copy with the given fields replaced; unknown names raise ``TypeError``."""
@@ -217,6 +232,38 @@ class BatchStatistics:
         """``True`` when every run served its plan from cache."""
         return bool(self.runs) and all(getattr(run, "plan_cache_hit", False)
                                        for run in self.runs)
+
+    @property
+    def index_cache_hits(self) -> Optional[int]:
+        """Total physical-structure cache hits (indexes/blocks) across the batch.
+
+        ``None`` when no run carries the counter (e.g. a naive-only batch),
+        so reports render "-" instead of a fabricated measured zero.
+        """
+        counted = [run.index_cache_hits for run in self.runs
+                   if hasattr(run, "index_cache_hits")]
+        return sum(counted) if counted else None
+
+    @property
+    def index_cache_misses(self) -> Optional[int]:
+        """Total physical-structure cache misses across the batch (see hits)."""
+        counted = [run.index_cache_misses for run in self.runs
+                   if hasattr(run, "index_cache_misses")]
+        return sum(counted) if counted else None
+
+    @property
+    def execution_mode(self) -> str:
+        """The runs' physical execution mode.
+
+        ``"mixed"`` when engine runs disagree; ``"-"`` when no run carries a
+        mode at all (e.g. a batch of naive :class:`JoinStatistics`), so the
+        table never fabricates a physical mode for plans that have none.
+        """
+        modes = {mode for mode in (getattr(run, "execution_mode", None)
+                                   for run in self.runs) if mode is not None}
+        if not modes:
+            return "-"
+        return modes.pop() if len(modes) == 1 else "mixed"
 
     @property
     def adaptive(self) -> bool:
@@ -486,7 +533,8 @@ class PreparedQuery:
         if self._kind == "acyclic":
             return _yannakakis.evaluate(
                 binding.relations, self._output, name=self._name,
-                check_reduction=options.check_reduction, plan=binding.plan)
+                check_reduction=options.check_reduction, plan=binding.plan,
+                execution_mode=options.execution_mode)
         # Resolved through the package attribute at call time so test doubles
         # patched onto ``repro.engine.cyclic`` intercept the dispatch.
         from . import cyclic
@@ -495,7 +543,8 @@ class PreparedQuery:
             check_reduction=options.check_reduction,
             cluster_row_bound=options.cluster_row_bound,
             plan=binding.plan, catalog=binding.catalog,
-            planner=self._session.planner)
+            planner=self._session.planner,
+            execution_mode=options.execution_mode)
 
 
 # --------------------------------------------------------------------------- #

@@ -20,7 +20,7 @@ a whole :class:`~repro.relational.database.Database` can be evaluated.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple, Union
+from typing import Dict, FrozenSet, Iterable, Optional, Sequence, Tuple, Union
 
 from ..core.hypergraph import Edge, Hypergraph
 from ..core.nodes import sorted_nodes
@@ -29,6 +29,9 @@ from ..relational.database import Database
 from ..relational.relation import Relation
 from ..relational.schema import Attribute, RelationSchema
 from .catalog import StatisticsCatalog
+from .columnar import column_cache_info, resolve_execution_mode
+from .columnar.executor import run_columnar_plan, vertex_blocks
+from .fold import fold_join_tree
 from .indexes import index_cache_info
 from .planner import (
     DEFAULT_PLANNER,
@@ -89,7 +92,8 @@ def evaluate(relations: Sequence[Relation],
              name: str = "yannakakis",
              check_reduction: bool = False,
              plan: Optional[Union[ExecutionPlan, AnnotatedPlan]] = None,
-             catalog: Optional[StatisticsCatalog] = None) -> EngineResult:
+             catalog: Optional[StatisticsCatalog] = None,
+             execution_mode: Optional[str] = None) -> EngineResult:
     """Evaluate the natural join of ``relations`` (optionally projected) via the engine.
 
     Raises :class:`~repro.exceptions.CyclicHypergraphError` when the schemas'
@@ -108,9 +112,17 @@ def evaluate(relations: Sequence[Relation],
     estimated-smallest-first child fold order.  The answer is always
     identical to the static run — only the intermediate sizes (and the
     estimated-vs-actual statistics columns) change.
+
+    ``execution_mode`` selects the physical layer: ``"columnar"`` (the
+    process default) runs the reducer and the join fold on whole
+    :class:`~repro.engine.columnar.ColumnBlock` values and decodes to a
+    :class:`Relation` only at the result boundary; ``"row"`` is the original
+    row-at-a-time reference implementation.  Results and all logical
+    accounting are byte-identical across modes.
     """
     if not relations:
         raise SchemaError("the engine needs at least one relation to evaluate")
+    mode = resolve_execution_mode(execution_mode)
     active_planner = planner if planner is not None else DEFAULT_PLANNER
     hypergraph = Hypergraph([relation.schema.attribute_set for relation in relations])
     universe = hypergraph.nodes
@@ -120,7 +132,6 @@ def evaluate(relations: Sequence[Relation],
         missing = wanted - universe
         raise SchemaError(f"output attributes {sorted_nodes(missing)} are not in the schema")
 
-    index_before = index_cache_info()
     annotated: Optional[AnnotatedPlan] = None
     if plan is None:
         # Misses, not hits: the adaptive path may serve the default-root plan
@@ -145,60 +156,45 @@ def evaluate(relations: Sequence[Relation],
                               "different schema fingerprint")
         plan_cache_hit = True
 
-    # Phase 2: full reduction (the cost-ordered program when annotated).
-    vertex_relations = _vertex_relations(relations, plan.vertices)
     trace = ReductionTrace()
-    reducer = annotated.reducer if annotated is not None else plan.reducer
-    reduced = reducer.run(vertex_relations, trace=trace,
-                          check_hook=None if check_reduction else _SKIP_CHECK)
+    if mode == "columnar":
+        # Columnar physical layer: encode once (cached per relation), reduce
+        # and join whole blocks, decode only the final result.
+        column_before = column_cache_info()
+        blocks = vertex_blocks(relations, plan.vertices)
+        result_block, intermediate_sizes = run_columnar_plan(
+            plan, annotated, blocks, wanted,
+            trace=trace, check_reduction=check_reduction)
+        result = result_block.to_relation(name)
+        intermediates = list(intermediate_sizes)
+        column_after = column_cache_info()
+        cache_hits = column_after["hits"] - column_before["hits"]
+        cache_misses = column_after["misses"] - column_before["misses"]
+    else:
+        index_before = index_cache_info()
+        # Phase 2: full reduction (the cost-ordered program when annotated).
+        vertex_relations = _vertex_relations(relations, plan.vertices)
+        reducer = annotated.reducer if annotated is not None else plan.reducer
+        reduced = reducer.run(vertex_relations, trace=trace,
+                              check_hook=None if check_reduction else _SKIP_CHECK)
 
-    # Phase 3: bottom-up join with fused projection.  A vertex's partial join
-    # must keep only the requested outputs visible in its subtree plus the
-    # separator to its parent; while its children are being folded in, the
-    # separators to the *not yet joined* children stay live too.
-    rooted = plan.rooted
-    intermediates: List[int] = []
-    partial: Dict[Edge, Relation] = {}
-    for vertex, parent in rooted.leaf_to_root():
-        current = reduced[vertex]
-        children = rooted.children_of(vertex)
-        if annotated is not None:
-            children = annotated.order_children(vertex, children)
-        final_keep: Optional[FrozenSet[Attribute]] = None
-        if wanted is not None:
-            subtree_attributes = set(vertex)
-            for child in children:
-                subtree_attributes.update(partial[child].schema.attribute_set)
-            final_keep = frozenset(subtree_attributes) & wanted
-            if parent is not None:
-                final_keep |= frozenset(vertex) & frozenset(parent)
-        child_separators = [frozenset(vertex) & frozenset(child) for child in children]
-        for index, child in enumerate(children):
-            keep: Optional[FrozenSet[Attribute]] = None
-            if final_keep is not None:
-                keep = final_keep.union(*child_separators[index + 1:]) \
-                    if index + 1 < len(children) else final_keep
-            current = natural_join_indexed(current, partial[child], project_onto=keep)
-            intermediates.append(len(current))
-        if final_keep is not None and final_keep != current.schema.attribute_set:
-            current = _project_validated(current, final_keep)
-        partial[vertex] = current
+        # Phase 3: the shared bottom-up join fold with the row operators
+        # plugged in (fused projection lives in fold_join_tree).
+        result, intermediates = fold_join_tree(
+            plan.rooted, reduced, wanted,
+            order_children=(annotated.order_children if annotated is not None
+                            else lambda vertex, children: children),
+            join=lambda left, right, keep: natural_join_indexed(left, right,
+                                                                project_onto=keep),
+            project=_project_validated,
+            attributes_of=lambda relation: relation.schema.attribute_set)
+        if result.name != name:
+            result = Relation.from_valid_rows(result.schema.rename(name), result.rows)
 
-    roots = rooted.roots
-    result = partial[roots[0]]
-    for other_root in roots[1:]:
-        keep = None
-        if wanted is not None:
-            keep = (frozenset(result.schema.attribute_set)
-                    | frozenset(partial[other_root].schema.attribute_set)) & wanted
-        result = natural_join_indexed(result, partial[other_root], project_onto=keep)
-        intermediates.append(len(result))
-    if wanted is not None and wanted & result.schema.attribute_set != result.schema.attribute_set:
-        result = _project_validated(result, wanted, name=name)
-    if result.name != name:
-        result = Relation.from_valid_rows(result.schema.rename(name), result.rows)
+        index_after = index_cache_info()
+        cache_hits = index_after["hits"] - index_before["hits"]
+        cache_misses = index_after["misses"] - index_before["misses"]
 
-    index_after = index_cache_info()
     statistics = EngineStatistics(
         plan_name="engine-yannakakis-adaptive" if annotated is not None
         else "engine-yannakakis",
@@ -209,8 +205,9 @@ def evaluate(relations: Sequence[Relation],
         rows_removed_by_reduction=trace.rows_removed,
         reduced_sizes=trace.sizes_after,
         plan_cache_hit=plan_cache_hit,
-        index_cache_hits=index_after["hits"] - index_before["hits"],
-        index_cache_misses=index_after["misses"] - index_before["misses"],
+        index_cache_hits=cache_hits,
+        index_cache_misses=cache_misses,
+        execution_mode=mode,
         adaptive=annotated is not None,
         estimated_intermediate_sizes=(
             annotated.annotation.estimated_intermediate_sizes
@@ -229,7 +226,8 @@ def evaluate_database(database: Database,
                       name: str = "U",
                       check_reduction: bool = False,
                       adaptive: bool = False,
-                      catalog: Optional[StatisticsCatalog] = None) -> EngineResult:
+                      catalog: Optional[StatisticsCatalog] = None,
+                      execution_mode: Optional[str] = None) -> EngineResult:
     """Evaluate a database's universal join (optionally projected) via the engine.
 
     The engine counterpart of :func:`repro.relational.yannakakis.yannakakis_join`;
@@ -242,4 +240,4 @@ def evaluate_database(database: Database,
         catalog = database.statistics_catalog()
     return evaluate(database.relations(), output_attributes, planner=planner,
                     root=root, name=name, check_reduction=check_reduction,
-                    catalog=catalog)
+                    catalog=catalog, execution_mode=execution_mode)

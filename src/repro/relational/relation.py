@@ -55,7 +55,12 @@ class Row(Mapping[Attribute, Any]):
         if isinstance(other, Row):
             return self._items == other._items
         if isinstance(other, Mapping):
-            return dict(self._items) == dict(other)
+            # Reuse (and keep) the lazily built lookup dict instead of
+            # allocating a fresh dict for the left side on every comparison.
+            mapping = self._mapping
+            if mapping is None:
+                mapping = self._mapping = dict(self._items)
+            return mapping == dict(other)
         return NotImplemented
 
     def __repr__(self) -> str:

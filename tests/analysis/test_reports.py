@@ -70,6 +70,20 @@ class TestStatisticsTable:
         _, engine, _ = self._three_plans()
         assert "hit" in statistics_table([engine])
 
+    def test_execution_mode_and_index_cache_columns(self):
+        naive, _, _ = self._three_plans()
+        columnar = EngineStatistics(plan_name="engine-yannakakis", input_sizes=(10,),
+                                    intermediate_sizes=(6,), output_size=4,
+                                    execution_mode="columnar",
+                                    index_cache_hits=6, index_cache_misses=1)
+        text = statistics_table([naive, columnar])
+        header = text.splitlines()[0]
+        assert "mode" in header and "index cache" in header
+        assert "columnar" in text
+        assert "6h/1m" in text
+        naive_row = [line for line in text.splitlines() if "naive" in line][0]
+        assert "h/" not in naive_row  # plain plans render dashes
+
     def test_estimated_columns_for_adaptive_runs(self):
         adaptive = EngineStatistics(plan_name="engine-yannakakis-adaptive",
                                     input_sizes=(10, 10), intermediate_sizes=(6,),
@@ -141,6 +155,28 @@ class TestBatchStatisticsTable:
         totals = [line for line in statistics_table([batch]).splitlines()
                   if "(total)" in line][0]
         assert " 11 " in f" {totals} "
+
+    def test_batch_aggregates_mode_and_index_cache(self):
+        batch = self._batch()
+        assert batch.execution_mode == "row"  # both runs use the field default
+        assert batch.index_cache_hits == 0
+        from repro.engine.session import BatchStatistics
+
+        mixed = BatchStatistics.from_runs((
+            EngineStatistics(plan_name="e", input_sizes=(1,), output_size=1,
+                             execution_mode="columnar", index_cache_hits=3),
+            EngineStatistics(plan_name="e", input_sizes=(1,), output_size=1,
+                             execution_mode="row", index_cache_misses=2),
+        ))
+        assert mixed.execution_mode == "mixed"
+        assert mixed.index_cache_hits == 3
+        assert mixed.index_cache_misses == 2
+        naive_only = BatchStatistics.from_runs((
+            JoinStatistics(plan_name="naive", input_sizes=(1,), output_size=1),
+        ))
+        assert naive_only.execution_mode == "-"  # no fabricated physical mode
+        assert naive_only.index_cache_hits is None  # ... nor fabricated traffic
+        assert "0h/0m" not in statistics_table([naive_only])
 
     def test_batches_mix_with_plain_statistics(self):
         naive = JoinStatistics(plan_name="naive", input_sizes=(10,),

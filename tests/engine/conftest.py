@@ -1,0 +1,23 @@
+"""Engine-package fixtures: every test runs under both physical execution modes.
+
+The columnar layer is a pure physical-representation change — results and
+logical accounting must be byte-identical to the row reference
+implementation.  Parametrising the process-wide default over both modes
+makes the whole engine test package (sessions, evaluators, reducer, cyclic
+subsystem, planner) a differential suite: anything the columnar kernels get
+wrong fails the same test that passes in row mode.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine.columnar import set_default_execution_mode
+
+
+@pytest.fixture(params=["columnar", "row"], autouse=True)
+def engine_execution_mode(request):
+    """Flip the process-default execution mode for every engine test."""
+    previous = set_default_execution_mode(request.param)
+    yield request.param
+    set_default_execution_mode(previous)

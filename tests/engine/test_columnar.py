@@ -1,0 +1,304 @@
+"""Unit tests for the columnar physical layer: blocks, kernels, mode switch."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine import (
+    EngineSession,
+    ExecutionOptions,
+    HashIndex,
+    clear_index_cache,
+    index_for,
+)
+from repro.engine.columnar import (
+    ColumnBlock,
+    antijoin_blocks,
+    block_for,
+    clear_column_caches,
+    column_cache_info,
+    default_execution_mode,
+    intersect_blocks,
+    merge_blocks_by_scheme,
+    natural_join_blocks,
+    peek_block,
+    resolve_execution_mode,
+    semijoin_blocks,
+    set_default_execution_mode,
+)
+from repro.engine.reducer import FullReducer, verify_full_reduction_blocks
+from repro.exceptions import SchemaError, UnknownAttributeError
+from repro.relational import Relation, RelationSchema
+
+
+@pytest.fixture
+def r_ab():
+    return Relation.from_tuples(RelationSchema.of("R", ("A", "B")),
+                                [(1, "x"), (2, "y"), (3, "z")])
+
+
+@pytest.fixture
+def s_bc():
+    return Relation.from_tuples(RelationSchema.of("S", ("B", "C")),
+                                [("x", 10), ("x", 11), ("z", 12)])
+
+
+class TestColumnBlock:
+    def test_round_trip_is_identity(self, r_ab):
+        block = ColumnBlock.from_relation(r_ab)
+        assert block.to_relation() == r_ab
+        assert block.attributes == r_ab.schema.attributes
+        assert len(block) == 3
+
+    def test_select_and_empty_are_zero_copy(self, r_ab):
+        block = ColumnBlock.from_relation(r_ab)
+        first = block.select(tuple(block.positions)[:1])
+        assert len(first) == 1
+        assert first.column("A") is block.column("A")
+        assert len(block.empty()) == 0
+
+    def test_project_keeps_block_column_order(self, r_ab):
+        block = ColumnBlock.from_relation(r_ab)
+        projected = block.project_onto({"B", "A"})
+        assert projected.attributes == ("A", "B")
+        assert projected.project_onto({"B"}).attributes == ("B",)
+        with pytest.raises(UnknownAttributeError):
+            block.project_onto({"Nope"})
+
+    def test_projection_then_distinct_deduplicates(self):
+        relation = Relation.from_tuples(RelationSchema.of("R", ("A", "B")),
+                                        [(1, "x"), (1, "y"), (2, "x")])
+        block = ColumnBlock.from_relation(relation).project_onto({"A"})
+        assert len(block) == 3  # projection alone keeps positional duplicates
+        distinct = block.distinct()
+        assert len(distinct) == 2
+        assert distinct.distinct() is distinct
+
+    def test_rename_is_zero_copy(self, r_ab):
+        block = ColumnBlock.from_relation(r_ab)
+        renamed = block.rename("T")
+        assert renamed.name == "T"
+        assert renamed.column("A") is block.column("A")
+        assert renamed.to_relation().name == "T"
+
+    def test_ragged_columns_rejected(self):
+        with pytest.raises(SchemaError):
+            ColumnBlock.from_columns("R", ("A", "B"), {"A": [1, 2], "B": [1]})
+
+    def test_key_codes_shared_across_blocks(self, r_ab, s_bc):
+        left = ColumnBlock.from_relation(r_ab)
+        right = ColumnBlock.from_relation(s_bc)
+        left_codes = {left.column("B")[p]: left.key_codes(("B",))[p]
+                      for p in left.positions}
+        right_codes = {right.column("B")[p]: right.key_codes(("B",))[p]
+                       for p in right.positions}
+        for value in set(left_codes) & set(right_codes):
+            assert left_codes[value] == right_codes[value]
+
+
+class TestBlockCache:
+    def test_block_for_is_cached_per_relation(self, r_ab):
+        clear_column_caches()
+        before = column_cache_info()
+        first = block_for(r_ab)
+        second = block_for(r_ab)
+        assert first is second
+        after = column_cache_info()
+        assert after["hits"] - before["hits"] == 1
+        assert after["misses"] - before["misses"] == 1
+
+    def test_peek_does_not_build(self):
+        clear_column_caches()
+        relation = Relation.from_tuples(RelationSchema.of("P", ("A",)), [(1,)])
+        assert peek_block(relation) is None
+        block_for(relation)
+        assert peek_block(relation) is not None
+
+
+class TestKernels:
+    def test_semijoin_matches_row_semantics(self, r_ab, s_bc):
+        left, right = block_for(r_ab), block_for(s_bc)
+        kept = semijoin_blocks(left, right).to_relation()
+        assert {row["A"] for row in kept.rows} == {1, 3}
+
+    def test_semijoin_identity_on_fixpoint(self, r_ab):
+        left = block_for(r_ab)
+        assert semijoin_blocks(left, left) is left
+
+    def test_semijoin_empty_separator_degenerates(self, r_ab):
+        left = block_for(r_ab)
+        other = block_for(Relation.from_tuples(RelationSchema.of("T", ("Z",)), [(9,)]))
+        assert semijoin_blocks(left, other) is left
+        assert len(semijoin_blocks(left, other.empty())) == 0
+
+    def test_antijoin_is_the_complement(self, r_ab, s_bc):
+        left, right = block_for(r_ab), block_for(s_bc)
+        anti = antijoin_blocks(left, right)
+        semi = semijoin_blocks(left, right)
+        assert len(anti) + len(semi) == len(left)
+        assert {row["A"] for row in anti.to_relation().rows} == {2}
+
+    def test_natural_join_matches_row_operator(self, r_ab, s_bc):
+        from repro.engine import natural_join_indexed
+
+        block = natural_join_blocks(block_for(r_ab), block_for(s_bc))
+        row_result = natural_join_indexed(r_ab, s_bc)
+        assert block.to_relation(row_result.name) == row_result
+        assert block.attributes == row_result.schema.attributes
+
+    def test_natural_join_fused_projection_deduplicates(self, r_ab, s_bc):
+        from repro.engine import natural_join_indexed
+
+        keep = frozenset({"A", "C"})
+        block = natural_join_blocks(block_for(r_ab), block_for(s_bc),
+                                    project_onto=keep)
+        row_result = natural_join_indexed(r_ab, s_bc, project_onto=keep)
+        assert frozenset(block.to_relation().rows) == frozenset(row_result.rows)
+        assert block.attributes == row_result.schema.attributes
+
+    def test_cartesian_product_without_separator(self, r_ab):
+        other = block_for(Relation.from_tuples(RelationSchema.of("T", ("Z",)),
+                                               [(9,), (10,)]))
+        product = natural_join_blocks(block_for(r_ab), other)
+        assert len(product) == 6
+        assert product.attributes == ("A", "B", "Z")
+
+    def test_zero_ary_projection_keeps_the_row_count(self, r_ab, s_bc):
+        # Projecting every attribute away must still say whether rows
+        # survived (the relational true/false boundary), not collapse to 0.
+        joined = natural_join_blocks(block_for(r_ab), block_for(s_bc),
+                                     project_onto=frozenset())
+        assert joined.attributes == ()
+        assert len(joined) == 1  # deduplicated "true"
+        assert len(joined.to_relation("q")) == 1
+        empty = natural_join_blocks(block_for(r_ab).empty(), block_for(s_bc),
+                                    project_onto=frozenset())
+        assert len(empty) == 0
+
+    def test_intersect_and_merge_by_scheme(self, r_ab):
+        same_scheme = Relation.from_tuples(RelationSchema.of("R2", ("A", "B")),
+                                           [(1, "x"), (9, "q")])
+        merged = merge_blocks_by_scheme([r_ab, same_scheme])
+        (block,) = merged.values()
+        assert {tuple(values) for values in block.iter_rows()} == {(1, "x")}
+        direct = intersect_blocks(block_for(r_ab), block_for(same_scheme))
+        assert {tuple(v) for v in direct.iter_rows()} == {(1, "x")}
+
+
+class TestReducerOnBlocks:
+    def test_run_blocks_matches_run(self, r_ab, s_bc):
+        from repro.core.join_tree import build_join_tree
+        from repro.core.hypergraph import Hypergraph
+        from repro.engine.reducer import ReductionTrace
+
+        hypergraph = Hypergraph([frozenset({"A", "B"}), frozenset({"B", "C"})])
+        reducer = FullReducer.from_join_tree(build_join_tree(hypergraph))
+        relations = {frozenset({"A", "B"}): r_ab, frozenset({"B", "C"}): s_bc}
+        blocks = {edge: block_for(relation) for edge, relation in relations.items()}
+        row_trace, block_trace = ReductionTrace(), ReductionTrace()
+        reduced_rows = reducer.run(relations, trace=row_trace)
+        reduced_blocks = reducer.run_blocks(blocks, trace=block_trace)
+        for edge, relation in reduced_rows.items():
+            assert frozenset(reduced_blocks[edge].to_relation().rows) \
+                == frozenset(relation.rows)
+        assert row_trace.sizes_after == block_trace.sizes_after
+        assert row_trace.rows_removed == block_trace.rows_removed
+        assert verify_full_reduction_blocks(reduced_blocks, reducer.rooted)
+
+
+class TestColumnarHashIndexBuild:
+    def test_build_columnar_equals_row_build(self, r_ab):
+        columnar = HashIndex.build_columnar(r_ab, ("B",))
+        classic = HashIndex.build(r_ab, ("B",))
+        assert columnar.keys() == classic.keys()
+        for key in classic.keys():
+            assert frozenset(columnar.lookup(key)) == frozenset(classic.lookup(key))
+        assert columnar.row_count == classic.row_count
+
+    def test_index_for_stays_independent_of_the_columnar_encoding(self, r_ab):
+        """The row reference engine must not probe structures derived from
+        the encoding it is differentially tested against — index_for always
+        row-builds, even when a columnar block is already cached."""
+        clear_index_cache()
+        clear_column_caches()
+        block_for(r_ab)  # pre-encoded, as after a columnar run
+        index = index_for(r_ab, ("B",))
+        assert isinstance(index, HashIndex)
+        assert frozenset(index.lookup(("x",))) == frozenset(
+            HashIndex.build(r_ab, ("B",)).lookup(("x",)))
+        # The buckets hold the relation's own Row objects via the row build
+        # path; the columnar build is opt-in only.
+        assert all(row in r_ab.rows for row in index.lookup(("x",)))
+
+
+class TestExecutionModeSwitch:
+    def test_default_mode_is_columnar(self):
+        # The engine conftest parametrises the default; resolve() must follow it.
+        assert default_execution_mode() in ("columnar", "row")
+        assert resolve_execution_mode(None) == default_execution_mode()
+
+    def test_set_and_restore(self):
+        previous = set_default_execution_mode("row")
+        try:
+            assert default_execution_mode() == "row"
+            assert resolve_execution_mode(None) == "row"
+            assert resolve_execution_mode("columnar") == "columnar"
+        finally:
+            set_default_execution_mode(previous)
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError):
+            set_default_execution_mode("simd")
+        with pytest.raises(ValueError):
+            resolve_execution_mode("simd")
+        with pytest.raises(ValueError):
+            ExecutionOptions(execution_mode="simd")
+
+    def test_session_option_overrides_process_default(self, university_database):
+        row = EngineSession(execution_mode="row")
+        columnar = EngineSession(execution_mode="columnar")
+        row_result = row.prepare(university_database).execute(university_database)
+        col_result = columnar.prepare(university_database).execute(university_database)
+        assert row_result.statistics.execution_mode == "row"
+        assert col_result.statistics.execution_mode == "columnar"
+        assert frozenset(row_result.relation.rows) == frozenset(col_result.relation.rows)
+        assert row_result.relation.attributes == col_result.relation.attributes
+        assert row_result.statistics.intermediate_sizes \
+            == col_result.statistics.intermediate_sizes
+
+    def test_boolean_query_agrees_across_modes(self, university_database):
+        """An empty projection is a boolean query: 1 row iff the join is non-empty."""
+        row = EngineSession(execution_mode="row") \
+            .prepare(university_database, ()).execute(university_database)
+        columnar = EngineSession(execution_mode="columnar") \
+            .prepare(university_database, ()).execute(university_database)
+        assert len(row.relation) == len(columnar.relation) == 1
+
+    def test_projection_excluding_a_component_agrees_across_modes(self):
+        """A disconnected component projected away still gates the answer."""
+        relations = [
+            Relation.from_tuples(RelationSchema.of("R", ("A", "B")), [(1, "x")]),
+            Relation.from_tuples(RelationSchema.of("S", ("B", "C")), [("x", 5)]),
+            Relation.from_tuples(RelationSchema.of("T", ("D", "E")), [(7, 8), (9, 10)]),
+        ]
+        from repro.engine.yannakakis import evaluate
+
+        row = evaluate(relations, ("A",), execution_mode="row")
+        columnar = evaluate(relations, ("A",), execution_mode="columnar")
+        assert frozenset(columnar.relation.rows) == frozenset(row.relation.rows)
+        assert len(columnar.relation) == 1
+        # ... and an emptied component kills the answer in both modes.
+        emptied = relations[:2] + [relations[2].with_rows([])]
+        assert len(evaluate(emptied, ("A",), execution_mode="columnar").relation) \
+            == len(evaluate(emptied, ("A",), execution_mode="row").relation) == 0
+
+    def test_statistics_report_the_mode_and_cache_traffic(self, university_database):
+        session = EngineSession(execution_mode="columnar")
+        prepared = session.prepare(university_database)
+        prepared.execute(university_database)
+        warm = prepared.execute(university_database)
+        assert warm.statistics.execution_mode == "columnar"
+        # Warm runs re-encode nothing: every block comes from the cache.
+        assert warm.statistics.index_cache_misses == 0
+        assert warm.statistics.index_cache_hits > 0
+        assert "mode=columnar" in warm.statistics.describe()

@@ -1,12 +1,17 @@
-"""Hypothesis strategies for hypergraphs and sacred sets.
+"""Hypothesis strategies for hypergraphs, sacred sets and skewed databases.
 
 Hypergraphs are kept small (≤ 7 nodes, ≤ 6 edges) so that the brute-force
 definitional checks and the tableau-reduction core computation stay fast while
 still covering a rich space of shapes (connected and disconnected, reduced and
-non-reduced, acyclic and cyclic).
+non-reduced, acyclic and cyclic).  The database strategies generate small
+random instances with wildly different relation sizes — the shape the
+engine-equivalence property suites (session vs legacy, columnar vs row)
+exercise.
 """
 
 from __future__ import annotations
+
+import random
 
 from hypothesis import strategies as st
 
@@ -47,3 +52,52 @@ def hypergraphs_with_sacred(draw, max_edges: int = 5):
     sacred = draw(st.sets(st.sampled_from(sorted(hypergraph.nodes)), max_size=3)) \
         if hypergraph.nodes else set()
     return hypergraph, frozenset(sacred)
+
+
+def skew_database(database, seed):
+    """Thin every relation to its own random fraction — skewed cardinalities."""
+    from repro.relational import Relation
+
+    rng = random.Random(seed)
+    current = database
+    for relation in database.relations():
+        fraction = rng.choice((0.1, 0.35, 0.7, 1.0))
+        keep = max(1, int(len(relation) * fraction)) if len(relation) else 0
+        rows = sorted(relation.rows, key=lambda row: sorted(row.items()))[:keep]
+        current = current.with_relation(
+            Relation.from_valid_rows(relation.schema, frozenset(rows)))
+    return current
+
+
+@st.composite
+def skewed_acyclic_databases(draw):
+    """A random acyclic database whose relations have wildly different sizes."""
+    from repro.generators import generate_database, random_acyclic_hypergraph
+    from repro.relational import DatabaseSchema
+
+    num_edges = draw(st.integers(min_value=1, max_value=5))
+    schema_seed = draw(st.integers(min_value=0, max_value=200))
+    data_seed = draw(st.integers(min_value=0, max_value=200))
+    skew_seed = draw(st.integers(min_value=0, max_value=200))
+    dangling = draw(st.sampled_from([0.0, 0.4]))
+    hypergraph = random_acyclic_hypergraph(num_edges, max_arity=3, seed=schema_seed)
+    schema = DatabaseSchema.from_hypergraph(hypergraph)
+    database = generate_database(schema, universe_rows=14, domain_size=3,
+                                 dangling_fraction=dangling, seed=data_seed)
+    return skew_database(database, skew_seed)
+
+
+@st.composite
+def skewed_cyclic_databases(draw):
+    """A random database over one of the cyclic workload family hypergraphs."""
+    from repro.generators import cyclic_workload_families, generate_database
+    from repro.relational import DatabaseSchema
+
+    family = draw(st.sampled_from([name for name, _ in cyclic_workload_families()]))
+    data_seed = draw(st.integers(min_value=0, max_value=100))
+    skew_seed = draw(st.integers(min_value=0, max_value=100))
+    hypergraph = dict(cyclic_workload_families())[family]
+    schema = DatabaseSchema.from_hypergraph(hypergraph)
+    return skew_database(generate_database(schema, universe_rows=12, domain_size=3,
+                                           dangling_fraction=0.3, seed=data_seed),
+                         skew_seed)

@@ -9,8 +9,6 @@ entry points: same rows, same schema attributes.
 
 from __future__ import annotations
 
-import random
-
 import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
@@ -21,56 +19,16 @@ from repro.engine.yannakakis import evaluate_database as legacy_evaluate_databas
 from repro.engine.cyclic.executor import (
     evaluate_cyclic_database as legacy_evaluate_cyclic_database,
 )
-from repro.generators import (
-    cyclic_workload_families,
-    generate_database,
-    random_acyclic_hypergraph,
+from repro.relational import Relation
+
+from .strategies import (
+    skew_database as _skewed,
+    skewed_acyclic_databases,
+    skewed_cyclic_databases,
 )
-from repro.relational import DatabaseSchema, Relation
 
 COMMON_SETTINGS = settings(max_examples=20, deadline=None,
                            suppress_health_check=[HealthCheck.too_slow])
-
-
-def _skewed(database, seed):
-    """Thin every relation to its own random fraction — skewed cardinalities."""
-    rng = random.Random(seed)
-    current = database
-    for relation in database.relations():
-        fraction = rng.choice((0.1, 0.35, 0.7, 1.0))
-        keep = max(1, int(len(relation) * fraction)) if len(relation) else 0
-        rows = sorted(relation.rows, key=lambda row: sorted(row.items()))[:keep]
-        current = current.with_relation(
-            Relation.from_valid_rows(relation.schema, frozenset(rows)))
-    return current
-
-
-@st.composite
-def skewed_acyclic_databases(draw):
-    """A random acyclic database whose relations have wildly different sizes."""
-    num_edges = draw(st.integers(min_value=1, max_value=5))
-    schema_seed = draw(st.integers(min_value=0, max_value=200))
-    data_seed = draw(st.integers(min_value=0, max_value=200))
-    skew_seed = draw(st.integers(min_value=0, max_value=200))
-    dangling = draw(st.sampled_from([0.0, 0.4]))
-    hypergraph = random_acyclic_hypergraph(num_edges, max_arity=3, seed=schema_seed)
-    schema = DatabaseSchema.from_hypergraph(hypergraph)
-    database = generate_database(schema, universe_rows=14, domain_size=3,
-                                 dangling_fraction=dangling, seed=data_seed)
-    return _skewed(database, skew_seed)
-
-
-@st.composite
-def skewed_cyclic_databases(draw):
-    """A random database over one of the cyclic workload family hypergraphs."""
-    family = draw(st.sampled_from([name for name, _ in cyclic_workload_families()]))
-    data_seed = draw(st.integers(min_value=0, max_value=100))
-    skew_seed = draw(st.integers(min_value=0, max_value=100))
-    hypergraph = dict(cyclic_workload_families())[family]
-    schema = DatabaseSchema.from_hypergraph(hypergraph)
-    return _skewed(generate_database(schema, universe_rows=12, domain_size=3,
-                                     dangling_fraction=0.3, seed=data_seed),
-                   skew_seed)
 
 
 def _assert_identical(left: Relation, right: Relation):

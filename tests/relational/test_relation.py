@@ -32,6 +32,16 @@ class TestRow:
         assert hash(Row({"A": 1})) == hash(Row({"A": 1}))
         assert Row({"A": 1}) == {"A": 1}
 
+    def test_mapping_equality_reuses_the_lookup_dict(self):
+        row = Row({"A": 1, "B": 2})
+        assert row == {"A": 1, "B": 2}
+        cached = row._mapping
+        assert cached is not None  # the comparison built (and kept) it
+        assert row == {"B": 2, "A": 1}
+        assert row._mapping is cached  # ... and later comparisons reuse it
+        assert row != {"A": 1, "B": 3}
+        assert row != {"A": 1}
+
     def test_project(self):
         row = Row({"A": 1, "B": 2})
         assert row.project(["A"]) == Row({"A": 1})
