@@ -106,6 +106,13 @@ def _race(database, outputs, label):
         "columnar_qps": round(REPEATS / columnar_seconds, 1),
         "speedup": round(speedup, 2),
         "output_rows": row_results[-1].statistics.output_size,
+        # Per-phase wall-time of one warm execution per mode, for the CI
+        # smoke step to spot which phase a regression lives in.
+        "row_phases_ms": {phase: round(seconds * 1000, 4) for phase, seconds
+                          in row_results[-1].statistics.phase_times},
+        "columnar_phases_ms": {phase: round(seconds * 1000, 4)
+                               for phase, seconds
+                               in columnar_results[-1].statistics.phase_times},
     }
 
 

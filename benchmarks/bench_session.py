@@ -113,6 +113,10 @@ def test_warm_execute_many_beats_the_legacy_per_call_loop(workload):
         "session_qps": round(calls / session_seconds, 1),
         "speedup": round(speedup, 2),
         "output_rows_per_batch": warm_batch.statistics.output_size,
+        # Per-phase wall-time summed over one warm batch (see
+        # BatchStatistics.phase_times).
+        "phases_ms": {phase: round(seconds * 1000, 4) for phase, seconds
+                      in warm_batch.statistics.phase_times},
     }, indent=2) + "\n", encoding="utf-8")
 
 

@@ -1,6 +1,13 @@
 """Hypergraph statistics, cyclicity diagnostics, and report formatting."""
 
-from .reports import banner, format_mapping, format_table, statistics_table
+from .reports import (
+    banner,
+    format_mapping,
+    format_table,
+    statistics_table,
+    trace_table,
+    trace_tree,
+)
 from .statistics import HypergraphStatistics, cyclicity_diagnostics, describe_hypergraph
 
 __all__ = [
@@ -11,4 +18,6 @@ __all__ = [
     "format_mapping",
     "banner",
     "statistics_table",
+    "trace_table",
+    "trace_tree",
 ]

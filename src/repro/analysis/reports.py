@@ -9,7 +9,8 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence
 
-__all__ = ["format_table", "format_mapping", "banner", "statistics_table"]
+__all__ = ["format_table", "format_mapping", "banner", "statistics_table",
+           "trace_table", "trace_tree"]
 
 
 def format_table(rows: Sequence[Mapping[str, object]], *,
@@ -58,7 +59,7 @@ def format_mapping(mapping: Mapping[str, object], *, title: Optional[str] = None
 _STATISTICS_COLUMNS = ("plan", "mode", "inputs", "max intermediate", "est max",
                        "total intermediate", "output", "est output",
                        "semijoins", "removed", "clusters", "plan cache",
-                       "index cache")
+                       "index cache", "wall ms", "planner hits")
 
 
 def _statistics_row(stats: object, *, plan: Optional[str] = None) -> Dict[str, object]:
@@ -73,6 +74,8 @@ def _statistics_row(stats: object, *, plan: Optional[str] = None) -> Dict[str, o
     mode = getattr(stats, "execution_mode", None)
     index_hits = getattr(stats, "index_cache_hits", None)
     index_misses = getattr(stats, "index_cache_misses", None)
+    elapsed = getattr(stats, "elapsed_seconds", None)
+    hit_ratio = getattr(stats, "planner_hit_ratio", None)
     return {
         "plan": plan if plan is not None else stats.plan_name,
         "mode": "-" if mode is None else mode,
@@ -90,6 +93,8 @@ def _statistics_row(stats: object, *, plan: Optional[str] = None) -> Dict[str, o
         # Index/block reuse, e.g. "6h/0m": a warm run is all hits — the
         # observable payoff of the per-relation index and block caches.
         "index cache": "-" if index_hits is None else f"{index_hits}h/{index_misses}m",
+        "wall ms": "-" if elapsed is None else f"{elapsed * 1000:.2f}",
+        "planner hits": "-" if hit_ratio is None else f"{hit_ratio:.0%}",
     }
 
 
@@ -131,3 +136,74 @@ def banner(text: str) -> str:
     """A one-line banner used to separate experiment sections in benchmark output."""
     rule = "=" * max(len(text), 8)
     return f"\n{rule}\n{text}\n{rule}"
+
+
+def _interesting_attributes(attributes: Mapping[str, object]) -> str:
+    """The cardinality/context attributes of a span, compactly rendered."""
+    parts = []
+    for key in ("mode", "kind", "left_rows", "right_rows", "output_rows",
+                "rows_removed", "plan_cache_hit", "candidates"):
+        if key in attributes:
+            parts.append(f"{key}={attributes[key]}")
+    return " ".join(parts)
+
+
+def trace_table(records: Sequence[Mapping[str, object]], *,
+                title: Optional[str] = None) -> str:
+    """Render trace records (``Tracer.records`` or a read-back JSONL) as a table.
+
+    One row per span, in completion order: name, wall-time, parent and the
+    common cardinality attributes.  Use :func:`trace_tree` for the nested
+    view.
+    """
+    rows: List[Dict[str, object]] = []
+    for record in records:
+        attributes = record.get("attributes", {}) or {}
+        rows.append({
+            "span": record.get("span_id", "-"),
+            "parent": record.get("parent_id") or "-",
+            "name": record.get("name", "-"),
+            "ms": f"{float(record.get('duration', 0.0)) * 1000:.3f}",
+            "attributes": _interesting_attributes(attributes),
+        })
+    return format_table(rows, columns=("span", "parent", "name", "ms",
+                                       "attributes"), title=title)
+
+
+def trace_tree(records: Sequence[Mapping[str, object]]) -> str:
+    """Render trace records as an indented span tree (children under parents).
+
+    Roots keep their relative completion order; each line shows the span
+    name, its wall-time and the common cardinality attributes.
+    """
+    if not records:
+        return "(empty trace)"
+    children: Dict[object, List[Mapping[str, object]]] = {}
+    ids = {record.get("span_id") for record in records}
+    roots: List[Mapping[str, object]] = []
+    for record in records:
+        parent = record.get("parent_id")
+        if parent is None or parent not in ids:
+            roots.append(record)
+        else:
+            children.setdefault(parent, []).append(record)
+
+    # Children complete before their parent, so render them start-ordered.
+    def start_of(record: Mapping[str, object]) -> float:
+        return float(record.get("start", 0.0))
+
+    lines: List[str] = []
+
+    def render(record: Mapping[str, object], depth: int) -> None:
+        duration = float(record.get("duration", 0.0)) * 1000
+        attributes = _interesting_attributes(record.get("attributes", {}) or {})
+        suffix = f"  [{attributes}]" if attributes else ""
+        lines.append(f"{'  ' * depth}{record.get('name', '-')} "
+                     f"({duration:.3f}ms){suffix}")
+        for child in sorted(children.get(record.get("span_id"), []),
+                            key=start_of):
+            render(child, depth + 1)
+
+    for root in sorted(roots, key=start_of):
+        render(root, 0)
+    return "\n".join(lines)

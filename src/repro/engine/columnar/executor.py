@@ -17,12 +17,14 @@ produced — no decode/re-encode round trip between the phases.
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import Dict, FrozenSet, Iterable, Optional, Sequence, Tuple
 
 from ...core.hypergraph import Edge
 from ...exceptions import SchemaError
 from ...relational.relation import Relation
 from ...relational.schema import Attribute
+from ...telemetry.tracing import current_tracer
 from ..catalog import RelationStatistics, StatisticsCatalog
 from ..fold import fold_join_tree
 from ..reducer import ReductionTrace
@@ -50,22 +52,33 @@ def vertex_blocks(relations: Sequence[Relation],
     per-relation block cache) and pre-built :class:`ColumnBlock` values (the
     cyclic executor's materialised clusters).
     """
-    merged = merge_blocks_by_scheme(relations)
-    result: Dict[Edge, ColumnBlock] = {}
-    for vertex in vertices:
-        block = merged.get(vertex)
-        if block is None:
-            raise SchemaError("join-tree vertex without a matching relation")
-        result[vertex] = block
-    return result
+    span = current_tracer().span("encode")
+    with span:
+        merged = merge_blocks_by_scheme(relations)
+        result: Dict[Edge, ColumnBlock] = {}
+        for vertex in vertices:
+            block = merged.get(vertex)
+            if block is None:
+                raise SchemaError("join-tree vertex without a matching relation")
+            result[vertex] = block
+        if span.is_recording:
+            span.set("mode", "columnar")
+            span.set("vertices", len(result))
+            span.set("input_rows", sum(len(block) for block in result.values()))
+        return result
 
 
 def run_columnar_plan(plan, annotated, blocks: Dict[Edge, ColumnBlock],
                       wanted: Optional[FrozenSet[Attribute]], *,
                       trace: Optional[ReductionTrace] = None,
                       check_reduction: bool = False
-                      ) -> Tuple[ColumnBlock, Tuple[int, ...]]:
-    """Reduce and bottom-up-join the vertex blocks; return (result block, intermediates).
+                      ) -> Tuple[ColumnBlock, Tuple[int, ...], Dict[str, float]]:
+    """Reduce and bottom-up-join the vertex blocks.
+
+    Returns ``(result block, intermediates, phase seconds)`` — the third
+    element holds the measured ``reduce`` and ``fold`` wall-times, which the
+    drivers fold into :attr:`EngineStatistics.phase_times
+    <repro.engine.planner.EngineStatistics.phase_times>`.
 
     ``plan`` is the structure :class:`~repro.engine.planner.ExecutionPlan`;
     ``annotated`` (optional) supplies the cost-ordered reducer and the child
@@ -75,8 +88,11 @@ def run_columnar_plan(plan, annotated, blocks: Dict[Edge, ColumnBlock],
     intermediate sizes agree with the row engine by construction.
     """
     reducer = annotated.reducer if annotated is not None else plan.reducer
+    reduce_started = perf_counter()
     reduced = reducer.run_blocks(blocks, trace=trace,
                                  check_hook=None if check_reduction else _skip_check)
+    reduce_seconds = perf_counter() - reduce_started
+    fold_started = perf_counter()
     result, intermediates = fold_join_tree(
         plan.rooted, reduced, wanted,
         order_children=(annotated.order_children if annotated is not None
@@ -85,7 +101,9 @@ def run_columnar_plan(plan, annotated, blocks: Dict[Edge, ColumnBlock],
                                                            project_onto=keep),
         project=lambda block, keep: block.project_onto(keep).distinct(),
         attributes_of=lambda block: block.attribute_set)
-    return result, tuple(intermediates)
+    fold_seconds = perf_counter() - fold_started
+    return result, tuple(intermediates), {"reduce": reduce_seconds,
+                                          "fold": fold_seconds}
 
 
 def statistics_from_block(block: ColumnBlock) -> RelationStatistics:

@@ -28,6 +28,7 @@ from ...core.nodes import sorted_nodes
 from ...exceptions import UnknownAttributeError
 from ...relational.relation import Relation
 from ...relational.schema import Attribute
+from ...telemetry.tracing import current_tracer
 from .block import ColumnBlock, block_for
 
 __all__ = [
@@ -70,31 +71,45 @@ def semijoin_blocks(left: ColumnBlock, right: ColumnBlock,
     Returns ``left`` itself when nothing is filtered out, exactly like
     :func:`~repro.engine.semijoin.semijoin_indexed`.
     """
-    separator = _separator(left, right, on)
-    if not separator:
-        return left if len(right) else left.empty()
-    right_ids = right.key_code_set(separator)
-    codes = left.key_codes(separator)
-    keep = tuple(position for position in left.positions
-                 if codes[position] in right_ids)
-    if len(keep) == len(left):
-        return left
-    return left.select(keep)
+    span = current_tracer().span("kernel:semijoin")
+    with span:
+        separator = _separator(left, right, on)
+        if not separator:
+            result = left if len(right) else left.empty()
+        else:
+            right_ids = right.key_code_set(separator)
+            codes = left.key_codes(separator)
+            keep = tuple(position for position in left.positions
+                         if codes[position] in right_ids)
+            result = left if len(keep) == len(left) else left.select(keep)
+        if span.is_recording:
+            span.set("mode", "columnar")
+            span.set("left_rows", len(left))
+            span.set("right_rows", len(right))
+            span.set("output_rows", len(result))
+        return result
 
 
 def antijoin_blocks(left: ColumnBlock, right: ColumnBlock,
                     on: Optional[Iterable[Attribute]] = None) -> ColumnBlock:
     """``left ▷ right`` — the selected rows of ``left`` with no partner in ``right``."""
-    separator = _separator(left, right, on)
-    if not separator:
-        return left.empty() if len(right) else left
-    right_ids = right.key_code_set(separator)
-    codes = left.key_codes(separator)
-    keep = tuple(position for position in left.positions
-                 if codes[position] not in right_ids)
-    if len(keep) == len(left):
-        return left
-    return left.select(keep)
+    span = current_tracer().span("kernel:antijoin")
+    with span:
+        separator = _separator(left, right, on)
+        if not separator:
+            result = left.empty() if len(right) else left
+        else:
+            right_ids = right.key_code_set(separator)
+            codes = left.key_codes(separator)
+            keep = tuple(position for position in left.positions
+                         if codes[position] not in right_ids)
+            result = left if len(keep) == len(left) else left.select(keep)
+        if span.is_recording:
+            span.set("mode", "columnar")
+            span.set("left_rows", len(left))
+            span.set("right_rows", len(right))
+            span.set("output_rows", len(result))
+        return result
 
 
 def natural_join_blocks(left: ColumnBlock, right: ColumnBlock, *,
@@ -106,64 +121,72 @@ def natural_join_blocks(left: ColumnBlock, right: ColumnBlock, *,
     columns then ``right``'s right-only columns, filtered by ``project_onto``
     — so decoding at the result boundary yields byte-identical schemas.
     """
-    joined_attributes = list(left.attributes)
-    left_set = left.attribute_set
-    for attribute in right.attributes:
-        if attribute not in left_set:
-            joined_attributes.append(attribute)
-    if project_onto is not None:
-        kept = [a for a in joined_attributes if a in project_onto]
-    else:
-        kept = joined_attributes
-    out_name = name or f"({left.name} ⋈ {right.name})"
-
-    separator = shared_block_attributes(left, right)
-    left_positions: List[int] = []
-    right_positions: List[int] = []
-    if not separator:
-        right_all = tuple(right.positions)
-        for i in left.positions:
-            for j in right_all:
-                left_positions.append(i)
-                right_positions.append(j)
-    else:
-        # Build the key-group index on the smaller side, probe with the other;
-        # the orientation only affects the probe order, never the output.
-        if len(left) <= len(right):
-            groups = left.key_groups(separator)
-            codes = right.key_codes(separator)
-            for j in right.positions:
-                matches = groups.get(codes[j])
-                if matches:
-                    for i in matches:
-                        left_positions.append(i)
-                        right_positions.append(j)
+    span = current_tracer().span("kernel:join")
+    with span:
+        joined_attributes = list(left.attributes)
+        left_set = left.attribute_set
+        for attribute in right.attributes:
+            if attribute not in left_set:
+                joined_attributes.append(attribute)
+        if project_onto is not None:
+            kept = [a for a in joined_attributes if a in project_onto]
         else:
-            groups = right.key_groups(separator)
-            codes = left.key_codes(separator)
+            kept = joined_attributes
+        out_name = name or f"({left.name} ⋈ {right.name})"
+
+        separator = shared_block_attributes(left, right)
+        left_positions: List[int] = []
+        right_positions: List[int] = []
+        if not separator:
+            right_all = tuple(right.positions)
             for i in left.positions:
-                matches = groups.get(codes[i])
-                if matches:
-                    for j in matches:
-                        left_positions.append(i)
-                        right_positions.append(j)
-
-    columns: Dict[Attribute, List] = {}
-    for attribute in kept:
-        if attribute in left_set:
-            source = left.column(attribute)
-            positions = left_positions
+                for j in right_all:
+                    left_positions.append(i)
+                    right_positions.append(j)
         else:
-            source = right.column(attribute)
-            positions = right_positions
-        columns[attribute] = [source[position] for position in positions]
-    # The explicit length carries the row count through 0-ary projections
-    # (boolean sub-results), where there is no column left to measure.
-    block = ColumnBlock.from_columns(out_name, kept, columns,
-                                     length=len(left_positions))
-    if len(kept) != len(joined_attributes):
-        block = block.distinct()
-    return block
+            # Build the key-group index on the smaller side, probe with the
+            # other; the orientation only affects the probe order, never the
+            # output.
+            if len(left) <= len(right):
+                groups = left.key_groups(separator)
+                codes = right.key_codes(separator)
+                for j in right.positions:
+                    matches = groups.get(codes[j])
+                    if matches:
+                        for i in matches:
+                            left_positions.append(i)
+                            right_positions.append(j)
+            else:
+                groups = right.key_groups(separator)
+                codes = left.key_codes(separator)
+                for i in left.positions:
+                    matches = groups.get(codes[i])
+                    if matches:
+                        for j in matches:
+                            left_positions.append(i)
+                            right_positions.append(j)
+
+        columns: Dict[Attribute, List] = {}
+        for attribute in kept:
+            if attribute in left_set:
+                source = left.column(attribute)
+                positions = left_positions
+            else:
+                source = right.column(attribute)
+                positions = right_positions
+            columns[attribute] = [source[position] for position in positions]
+        # The explicit length carries the row count through 0-ary projections
+        # (boolean sub-results), where there is no column left to measure.
+        block = ColumnBlock.from_columns(out_name, kept, columns,
+                                         length=len(left_positions))
+        if len(kept) != len(joined_attributes):
+            block = block.distinct()
+        if span.is_recording:
+            span.set("mode", "columnar")
+            span.set("left_rows", len(left))
+            span.set("right_rows", len(right))
+            span.set("output_rows", len(block))
+        return block
 
 
 def intersect_blocks(left: ColumnBlock, right: ColumnBlock) -> ColumnBlock:

@@ -41,6 +41,7 @@ from ...core.components import edge_components
 from ...core.hypergraph import Edge, Hypergraph
 from ...core.nodes import format_node_set, sorted_nodes
 from ...exceptions import CoverSearchBudgetExceededError
+from ...telemetry.tracing import current_tracer
 
 __all__ = [
     "EdgeCluster",
@@ -280,6 +281,23 @@ def enumerate_covers(hypergraph: Hypergraph, *,
     :class:`~repro.exceptions.CoverSearchBudgetExceededError` so callers that
     would rather fail than accept an unrefined wide cluster can.
     """
+    span = current_tracer().span("cover_search")
+    with span:
+        covers = _enumerate_covers(hypergraph,
+                                   max_component_edges=max_component_edges,
+                                   max_candidates=max_candidates,
+                                   on_budget=on_budget)
+        if span.is_recording:
+            span.set("edges", len(hypergraph.edges))
+            span.set("candidates", len(covers))
+        return covers
+
+
+def _enumerate_covers(hypergraph: Hypergraph, *,
+                      max_component_edges: int,
+                      max_candidates: int,
+                      on_budget: str) -> Tuple[ClusterCover, ...]:
+    """The untraced cover enumeration (see :func:`enumerate_covers`)."""
     if on_budget not in _BUDGET_POLICIES:
         raise ValueError(f"unknown on_budget policy {on_budget!r}; "
                          f"expected one of {_BUDGET_POLICIES}")

@@ -21,6 +21,7 @@ applied" boundary made operational.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from time import perf_counter
 from typing import FrozenSet, Iterable, Optional, Sequence
 
 from ...core.hypergraph import Hypergraph
@@ -36,6 +37,7 @@ from ..indexes import index_cache_info
 from ..planner import DEFAULT_PLANNER, QueryPlanner, annotate_plan, schema_fingerprint
 from ..reducer import ReductionTrace
 from ..yannakakis import evaluate as evaluate_acyclic
+from ...telemetry.tracing import current_tracer, merge_phase_times
 from .plans import CyclicEngineStatistics, CyclicExecutionPlan
 from .quotient import materialise_cluster_blocks, materialise_clusters
 
@@ -97,15 +99,26 @@ def evaluate_cyclic(relations: Sequence[Relation],
         missing = wanted - hypergraph.nodes
         raise SchemaError(f"output attributes {sorted_nodes(missing)} are not in the schema")
 
-    if plan is None:
-        misses_before = active_planner.cache_info().misses
-        plan = active_planner.cyclic_plan_for(hypergraph, catalog=catalog)
-        plan_cache_hit = active_planner.cache_info().misses == misses_before
-    else:
-        if plan.fingerprint != schema_fingerprint(hypergraph):
-            raise SchemaError("the supplied cyclic execution plan was compiled "
-                              "for a different schema fingerprint")
-        plan_cache_hit = True
+    tracer = current_tracer()
+    prepare_span = tracer.span("prepare")
+    prepare_started = perf_counter()
+    with prepare_span:
+        if plan is None:
+            misses_before = active_planner.cache_info().misses
+            plan = active_planner.cyclic_plan_for(hypergraph, catalog=catalog)
+            plan_cache_hit = active_planner.cache_info().misses == misses_before
+        else:
+            if plan.fingerprint != schema_fingerprint(hypergraph):
+                raise SchemaError("the supplied cyclic execution plan was "
+                                  "compiled for a different schema fingerprint")
+            plan_cache_hit = True
+        if prepare_span.is_recording:
+            prepare_span.set("kind", "cyclic")
+            prepare_span.set("mode", mode)
+            prepare_span.set("plan_cache_hit", plan_cache_hit)
+            prepare_span.set("adaptive", catalog is not None)
+            prepare_span.set("clusters", len(plan.clusters))
+    prepare_seconds = perf_counter() - prepare_started
 
     estimated_cluster_sizes: tuple = ()
     estimated_materialisation: tuple = ()
@@ -130,20 +143,49 @@ def evaluate_cyclic(relations: Sequence[Relation],
         # directly — no decode/re-encode round trip between the phases; only
         # the final quotient result is decoded to a relation.
         column_before = column_cache_info()
-        materialised = materialise_cluster_blocks(plan.cover, relations,
-                                                  row_bound=cluster_row_bound,
-                                                  catalog=catalog)
+        materialise_span = tracer.span("materialise")
+        materialise_started = perf_counter()
+        with materialise_span:
+            materialised = materialise_cluster_blocks(plan.cover, relations,
+                                                      row_bound=cluster_row_bound,
+                                                      catalog=catalog)
+            if materialise_span.is_recording:
+                materialise_span.set("mode", mode)
+                materialise_span.set("cluster_sizes",
+                                     list(materialised.cluster_sizes))
+                materialise_span.set("intermediates",
+                                     list(materialised.intermediate_sizes))
+        materialise_seconds = perf_counter() - materialise_started
+        annotate_started = perf_counter()
         inner_annotated = None
         if catalog is not None:
             inner_annotated = annotate_plan(inner_plan,
                                             catalog_from_blocks(materialised.blocks),
                                             output_attributes=wanted)
+        # The quotient-level annotation is planning work, so its time counts
+        # toward the prepare phase even though it runs post-materialisation.
+        prepare_seconds += perf_counter() - annotate_started
         trace = ReductionTrace()
+        encode_started = perf_counter()
         blocks = vertex_blocks(materialised.blocks, inner_plan.vertices)
-        result_block, inner_intermediates = run_columnar_plan(
+        encode_seconds = perf_counter() - encode_started
+        result_block, inner_intermediates, physical_seconds = run_columnar_plan(
             inner_plan, inner_annotated, blocks, wanted,
             trace=trace, check_reduction=check_reduction)
-        relation = result_block.to_relation(name)
+        decode_span = tracer.span("decode")
+        decode_started = perf_counter()
+        with decode_span:
+            relation = result_block.to_relation(name)
+            if decode_span.is_recording:
+                decode_span.set("mode", mode)
+                decode_span.set("output_rows", len(relation))
+        decode_seconds = perf_counter() - decode_started
+        phase_times = (("prepare", prepare_seconds),
+                       ("materialise", materialise_seconds),
+                       ("encode", encode_seconds),
+                       ("reduce", physical_seconds["reduce"]),
+                       ("fold", physical_seconds["fold"]),
+                       ("decode", decode_seconds))
         column_after = column_cache_info()
         cache_hits = column_after["hits"] - column_before["hits"]
         cache_misses = column_after["misses"] - column_before["misses"]
@@ -156,9 +198,19 @@ def evaluate_cyclic(relations: Sequence[Relation],
                             if inner_annotated is not None else None)
     else:
         index_before = index_cache_info()
-        materialised = materialise_clusters(plan.cover, relations,
-                                            row_bound=cluster_row_bound,
-                                            catalog=catalog)
+        materialise_span = tracer.span("materialise")
+        materialise_started = perf_counter()
+        with materialise_span:
+            materialised = materialise_clusters(plan.cover, relations,
+                                                row_bound=cluster_row_bound,
+                                                catalog=catalog)
+            if materialise_span.is_recording:
+                materialise_span.set("mode", mode)
+                materialise_span.set("cluster_sizes",
+                                     list(materialised.cluster_sizes))
+                materialise_span.set("intermediates",
+                                     list(materialised.intermediate_sizes))
+        materialise_seconds = perf_counter() - materialise_started
         inner_catalog = None
         if catalog is not None:
             inner_catalog = StatisticsCatalog.from_relations(materialised.relations)
@@ -173,6 +225,12 @@ def evaluate_cyclic(relations: Sequence[Relation],
         reduced_sizes = inner.statistics.reduced_sizes
         inner_estimated = inner.statistics.estimated_intermediate_sizes
         estimated_output = inner.statistics.estimated_output_size
+        # The inner acyclic run times its own prepare/encode/reduce/fold/
+        # decode phases; the outer plan resolution and the cluster
+        # materialisation are merged in by name.
+        phase_times = merge_phase_times(
+            (("prepare", prepare_seconds), ("materialise", materialise_seconds)),
+            inner.statistics.phase_times)
         index_after = index_cache_info()
         cache_hits = index_after["hits"] - index_before["hits"]
         cache_misses = index_after["misses"] - index_before["misses"]
@@ -195,6 +253,7 @@ def evaluate_cyclic(relations: Sequence[Relation],
         cluster_sizes=materialised.cluster_sizes,
         cluster_widths=tuple(cluster.width for cluster in plan.clusters),
         estimated_cluster_sizes=estimated_cluster_sizes,
+        phase_times=phase_times,
     )
     return CyclicEngineResult(relation=relation, plan=plan, statistics=statistics)
 

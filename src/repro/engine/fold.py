@@ -27,6 +27,7 @@ from typing import Callable, Dict, FrozenSet, List, Mapping, Optional, Sequence,
 
 from ..core.hypergraph import Edge
 from ..core.join_tree import RootedJoinTree
+from ..telemetry.tracing import current_tracer
 
 __all__ = ["fold_join_tree"]
 
@@ -44,6 +45,23 @@ def fold_join_tree(rooted: RootedJoinTree, reduced: Mapping[Edge, object],
     too.  ``order_children`` injects the cost annotation's fold order (the
     identity for static plans).
     """
+    span = current_tracer().span("fold")
+    with span:
+        result, intermediates = _fold_join_tree(
+            rooted, reduced, wanted, order_children=order_children,
+            join=join, project=project, attributes_of=attributes_of)
+        if span.is_recording:
+            span.set("intermediates", list(intermediates))
+            span.set("output_rows", len(result))
+        return result, intermediates
+
+
+def _fold_join_tree(rooted: RootedJoinTree, reduced: Mapping[Edge, object],
+                    wanted: Optional[FrozenSet], *,
+                    order_children: Callable[[Edge, Sequence[Edge]], Sequence[Edge]],
+                    join: Callable, project: Callable, attributes_of: Callable
+                    ) -> Tuple[object, List[int]]:
+    """The untraced fold body (see :func:`fold_join_tree`)."""
     intermediates: List[int] = []
     partial: Dict[Edge, object] = {}
     for vertex, parent in rooted.leaf_to_root():

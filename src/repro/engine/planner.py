@@ -45,6 +45,7 @@ from ..exceptions import CyclicHypergraphError
 from ..relational.database import Database
 from ..relational.join_plans import JoinStatistics
 from ..relational.schema import DatabaseSchema
+from ..telemetry.tracing import current_tracer
 from .catalog import CostAnnotation, StatisticsCatalog, annotate_tree
 from .reducer import FullReducer
 
@@ -126,6 +127,21 @@ class EngineStatistics(JoinStatistics):
     adaptive: bool = False
     estimated_intermediate_sizes: Tuple[int, ...] = ()
     estimated_output_size: Optional[int] = None
+    #: Measured per-phase wall-times of the run, as ``(phase name, seconds)``
+    #: pairs in execution order — e.g. ``prepare``/``encode``/``reduce``/
+    #: ``fold``/``decode`` for the acyclic evaluator.  Empty for results
+    #: produced before timing existed, so reports must treat it as optional.
+    phase_times: Tuple[Tuple[str, float], ...] = ()
+    #: The serving planner's LRU hit ratio at the time of the run (stamped by
+    #: :class:`~repro.engine.session.EngineSession`; ``None`` outside one).
+    planner_hit_ratio: Optional[float] = None
+
+    @property
+    def elapsed_seconds(self) -> Optional[float]:
+        """Total measured wall-time (``None`` when the run was not timed)."""
+        if not self.phase_times:
+            return None
+        return sum(seconds for _, seconds in self.phase_times)
 
     @property
     def max_reduced_input(self) -> int:
@@ -157,6 +173,12 @@ class EngineStatistics(JoinStatistics):
         if self.adaptive:
             summary += (f" adaptive est_max={self.estimated_max_intermediate} "
                         f"est_output={self.estimated_output_size}")
+        if self.phase_times:
+            phases = " ".join(f"{phase}={seconds * 1000:.2f}ms"
+                              for phase, seconds in self.phase_times)
+            summary += f" wall={self.elapsed_seconds * 1000:.2f}ms ({phases})"
+        if self.planner_hit_ratio is not None:
+            summary += f" planner_hits={self.planner_hit_ratio:.0%}"
         return summary
 
 
@@ -261,13 +283,18 @@ def annotate_plan(structure: ExecutionPlan, catalog: StatisticsCatalog, *,
     :meth:`QueryPlanner.annotate` when the rooting itself should be chosen
     from the catalog.
     """
-    roots = structure.rooted.roots
-    annotation = annotate_tree(structure.join_tree, catalog,
-                               output_attributes=output_attributes,
-                               candidate_roots=[roots[0] if roots else None])
-    reducer = structure.reducer.with_cost_order(annotation.reduced_estimates)
-    return AnnotatedPlan(structure=structure, catalog=catalog,
-                         annotation=annotation, reducer=reducer)
+    span = current_tracer().span("annotate")
+    with span:
+        roots = structure.rooted.roots
+        annotation = annotate_tree(structure.join_tree, catalog,
+                                   output_attributes=output_attributes,
+                                   candidate_roots=[roots[0] if roots else None])
+        reducer = structure.reducer.with_cost_order(annotation.reduced_estimates)
+        if span.is_recording:
+            span.set("vertices", len(structure.vertices))
+            span.set("pinned_root", True)
+        return AnnotatedPlan(structure=structure, catalog=catalog,
+                             annotation=annotation, reducer=reducer)
 
 
 @dataclass(frozen=True)
@@ -391,13 +418,19 @@ class QueryPlanner:
         base = self.plan_for(hypergraph, root=root)
         if root is not None:
             return annotate_plan(base, catalog, output_attributes=output_attributes)
-        annotation = annotate_tree(base.join_tree, catalog,
-                                   output_attributes=output_attributes)
-        structure = base if annotation.root is None \
-            else self.plan_for(hypergraph, root=annotation.root)
-        reducer = structure.reducer.with_cost_order(annotation.reduced_estimates)
-        return AnnotatedPlan(structure=structure, catalog=catalog,
-                             annotation=annotation, reducer=reducer)
+        span = current_tracer().span("annotate")
+        with span:
+            annotation = annotate_tree(base.join_tree, catalog,
+                                       output_attributes=output_attributes)
+            structure = base if annotation.root is None \
+                else self.plan_for(hypergraph, root=annotation.root)
+            reducer = structure.reducer.with_cost_order(annotation.reduced_estimates)
+            if span.is_recording:
+                span.set("vertices", len(structure.vertices))
+                span.set("pinned_root", False)
+                span.set("rerooted", annotation.root is not None)
+            return AnnotatedPlan(structure=structure, catalog=catalog,
+                                 annotation=annotation, reducer=reducer)
 
     def cyclic_plan_for(self, hypergraph: Hypergraph, *,
                         catalog: Optional[StatisticsCatalog] = None

@@ -31,6 +31,7 @@ from ..core.join_tree import JoinTree, RootedJoinTree
 from ..core.nodes import format_node_set, sorted_nodes
 from ..exceptions import ReproError
 from ..relational.relation import Relation
+from ..telemetry.tracing import current_tracer
 from .semijoin import semijoin_indexed, shared_attributes
 
 __all__ = [
@@ -197,47 +198,56 @@ class FullReducer:
                       trace: Optional[ReductionTrace], hook: Callable
                       ) -> Dict[Edge, object]:
         """The mode-agnostic reducer loop shared by :meth:`run` and :meth:`run_blocks`."""
-        current: Dict[Edge, object] = dict(relations)
-        sizes_before = tuple(len(current[vertex]) for vertex, _ in self.rooted.order)
-        component_of = self._component_map()
-        dead_components: set = set()
+        span = current_tracer().span("reduce")
+        with span:
+            current: Dict[Edge, object] = dict(relations)
+            sizes_before = tuple(len(current[vertex]) for vertex, _ in self.rooted.order)
+            component_of = self._component_map()
+            dead_components: set = set()
 
-        def kill_component(component: Edge) -> int:
-            dead_components.add(component)
-            emptied = 0
-            for vertex, owner in component_of.items():
-                if owner is component and len(current[vertex]):
-                    emptied += len(current[vertex])
-                    current[vertex] = empty(current[vertex])
-            return emptied
+            def kill_component(component: Edge) -> int:
+                dead_components.add(component)
+                emptied = 0
+                for vertex, owner in component_of.items():
+                    if owner is component and len(current[vertex]):
+                        emptied += len(current[vertex])
+                        current[vertex] = empty(current[vertex])
+                return emptied
 
-        removed = 0
-        steps_run = 0
-        for vertex, _parent in self.rooted.order:
-            if len(current[vertex]) == 0:
-                removed += kill_component(component_of[vertex])
-        for step in self.steps:
-            if component_of[step.target] in dead_components:
-                continue
-            target = current[step.target]
-            reduced = semijoin(target, current[step.source],
-                               on=sorted_nodes(step.separator) if step.separator else None)
-            steps_run += 1
-            if reduced is not target:
-                removed += len(target) - len(reduced)
-                current[step.target] = reduced
-                if len(reduced) == 0:
-                    removed += kill_component(component_of[step.target])
-        sizes_after = tuple(len(current[vertex]) for vertex, _ in self.rooted.order)
-        if trace is not None:
-            trace.steps_run += steps_run
-            trace.rows_removed += removed
-            trace.sizes_before = sizes_before
-            trace.sizes_after = sizes_after
-        if not hook(current, self.rooted):
-            raise ReductionError("proof-of-reduction check failed: a relation is "
-                                 "not semijoin-stable against a tree neighbour")
-        return current
+            removed = 0
+            steps_run = 0
+            for vertex, _parent in self.rooted.order:
+                if len(current[vertex]) == 0:
+                    removed += kill_component(component_of[vertex])
+            for step in self.steps:
+                if component_of[step.target] in dead_components:
+                    continue
+                target = current[step.target]
+                reduced = semijoin(target, current[step.source],
+                                   on=sorted_nodes(step.separator) if step.separator else None)
+                steps_run += 1
+                if reduced is not target:
+                    removed += len(target) - len(reduced)
+                    current[step.target] = reduced
+                    if len(reduced) == 0:
+                        removed += kill_component(component_of[step.target])
+            sizes_after = tuple(len(current[vertex]) for vertex, _ in self.rooted.order)
+            if trace is not None:
+                trace.steps_run += steps_run
+                trace.rows_removed += removed
+                trace.sizes_before = sizes_before
+                trace.sizes_after = sizes_after
+            if span.is_recording:
+                span.set("vertices", [format_node_set(vertex)
+                                      for vertex, _ in self.rooted.order])
+                span.set("sizes_before", list(sizes_before))
+                span.set("sizes_after", list(sizes_after))
+                span.set("rows_removed", removed)
+                span.set("steps", steps_run)
+            if not hook(current, self.rooted):
+                raise ReductionError("proof-of-reduction check failed: a relation is "
+                                     "not semijoin-stable against a tree neighbour")
+            return current
 
 
 def verify_full_reduction(relations: Mapping[Edge, Relation],

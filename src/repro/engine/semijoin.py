@@ -21,6 +21,7 @@ from ..core.nodes import sorted_nodes
 from ..exceptions import UnknownAttributeError
 from ..relational.relation import Relation, Row
 from ..relational.schema import Attribute, RelationSchema
+from ..telemetry.tracing import current_tracer
 from .indexes import HashIndex, index_for
 
 __all__ = ["shared_attributes", "semijoin_indexed", "antijoin_indexed",
@@ -73,27 +74,45 @@ def semijoin_indexed(left: Relation, right: Relation,
     the result keeps ``left``'s schema.  When nothing is filtered out,
     ``left`` itself is returned so reducer fixpoints allocate nothing.
     """
-    separator = _separator(left, right, on)
-    if not separator:
-        return left if len(right) else Relation.from_valid_rows(left.schema, frozenset())
-    index = index_for(right, separator)
-    keep = [row for row in left.rows if index.key_of(row) in index]
-    if len(keep) == len(left):
-        return left
-    return Relation.from_valid_rows(left.schema, keep)
+    span = current_tracer().span("kernel:semijoin")
+    with span:
+        separator = _separator(left, right, on)
+        if not separator:
+            result = left if len(right) \
+                else Relation.from_valid_rows(left.schema, frozenset())
+        else:
+            index = index_for(right, separator)
+            keep = [row for row in left.rows if index.key_of(row) in index]
+            result = left if len(keep) == len(left) \
+                else Relation.from_valid_rows(left.schema, keep)
+        if span.is_recording:
+            span.set("mode", "row")
+            span.set("left_rows", len(left))
+            span.set("right_rows", len(right))
+            span.set("output_rows", len(result))
+        return result
 
 
 def antijoin_indexed(left: Relation, right: Relation,
                      on: Optional[Iterable[Attribute]] = None) -> Relation:
     """``left ▷ right`` — the rows of ``left`` with no join partner in ``right``."""
-    separator = _separator(left, right, on)
-    if not separator:
-        return Relation.from_valid_rows(left.schema, frozenset()) if len(right) else left
-    index = index_for(right, separator)
-    keep = [row for row in left.rows if index.key_of(row) not in index]
-    if len(keep) == len(left):
-        return left
-    return Relation.from_valid_rows(left.schema, keep)
+    span = current_tracer().span("kernel:antijoin")
+    with span:
+        separator = _separator(left, right, on)
+        if not separator:
+            result = Relation.from_valid_rows(left.schema, frozenset()) \
+                if len(right) else left
+        else:
+            index = index_for(right, separator)
+            keep = [row for row in left.rows if index.key_of(row) not in index]
+            result = left if len(keep) == len(left) \
+                else Relation.from_valid_rows(left.schema, keep)
+        if span.is_recording:
+            span.set("mode", "row")
+            span.set("left_rows", len(left))
+            span.set("right_rows", len(right))
+            span.set("output_rows", len(result))
+        return result
 
 
 def natural_join_indexed(left: Relation, right: Relation, *,
@@ -106,32 +125,39 @@ def natural_join_indexed(left: Relation, right: Relation, *,
     already determined to be dead — the projection-fusion that keeps
     Yannakakis' bottom-up phase inside its output-size bound.
     """
-    joined_attributes = list(left.schema.attributes)
-    for attribute in right.schema.attributes:
-        if attribute not in left.schema.attribute_set:
-            joined_attributes.append(attribute)
-    if project_onto is not None:
-        kept = [a for a in joined_attributes if a in project_onto]
-    else:
-        kept = joined_attributes
-    schema = RelationSchema.of(name or f"({left.name} ⋈ {right.name})", kept)
-    project_needed = len(kept) != len(joined_attributes)
+    span = current_tracer().span("kernel:join")
+    with span:
+        joined_attributes = list(left.schema.attributes)
+        for attribute in right.schema.attributes:
+            if attribute not in left.schema.attribute_set:
+                joined_attributes.append(attribute)
+        if project_onto is not None:
+            kept = [a for a in joined_attributes if a in project_onto]
+        else:
+            kept = joined_attributes
+        schema = RelationSchema.of(name or f"({left.name} ⋈ {right.name})", kept)
+        project_needed = len(kept) != len(joined_attributes)
 
-    separator = shared_attributes(left, right)
-    rows: Set[Row] = set()
-    if not separator:
-        for left_row in left.rows:
-            for right_row in right.rows:
-                merged = left_row.merge(right_row)
-                if merged is not None:
-                    rows.add(merged.project(kept) if project_needed else merged)
-        return Relation.from_valid_rows(schema, rows)
-
-    build, probe = (left, right) if len(left) <= len(right) else (right, left)
-    index = index_for(build, separator)
-    for row in probe.rows:
-        for partner in index.matches(row):
-            merged = row.merge(partner)
-            if merged is not None:
-                rows.add(merged.project(kept) if project_needed else merged)
-    return Relation.from_valid_rows(schema, rows)
+        separator = shared_attributes(left, right)
+        rows: Set[Row] = set()
+        if not separator:
+            for left_row in left.rows:
+                for right_row in right.rows:
+                    merged = left_row.merge(right_row)
+                    if merged is not None:
+                        rows.add(merged.project(kept) if project_needed else merged)
+        else:
+            build, probe = (left, right) if len(left) <= len(right) else (right, left)
+            index = index_for(build, separator)
+            for row in probe.rows:
+                for partner in index.matches(row):
+                    merged = row.merge(partner)
+                    if merged is not None:
+                        rows.add(merged.project(kept) if project_needed else merged)
+        result = Relation.from_valid_rows(schema, rows)
+        if span.is_recording:
+            span.set("mode", "row")
+            span.set("left_rows", len(left))
+            span.set("right_rows", len(right))
+            span.set("output_rows", len(result))
+        return result

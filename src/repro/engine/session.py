@@ -37,6 +37,7 @@ import warnings
 import weakref
 from collections import OrderedDict
 from dataclasses import dataclass, fields, replace
+from time import perf_counter
 from typing import (
     TYPE_CHECKING,
     Dict,
@@ -52,7 +53,17 @@ from ..exceptions import SchemaError, CyclicHypergraphError
 from ..relational.database import Database
 from ..relational.relation import Relation
 from ..relational.schema import Attribute, DatabaseSchema
+from ..telemetry.explain import ExplainAnalysis, build_explain_analysis
+from ..telemetry.metrics import MetricsRegistry, global_registry
+from ..telemetry.tracing import (
+    NULL_TRACER,
+    Tracer,
+    current_tracer,
+    merge_phase_times,
+    use_tracer,
+)
 from .catalog import StatisticsCatalog
+from .columnar.block import column_cache_info
 from .planner import (
     DEFAULT_PLANNER,
     AnnotatedPlan,
@@ -123,6 +134,13 @@ class ExecutionOptions:
       ``None`` (the default) inherits the process-wide default — columnar,
       unless :func:`~repro.engine.columnar.set_default_execution_mode`
       flipped it.  Answers are byte-identical across modes.
+    * ``trace`` — record spans of every prepare/execute into the owning
+      session's :class:`~repro.telemetry.tracing.Tracer` when no ambient
+      tracer is already active.  Off by default: the untraced hot path pays
+      only null-tracer pointer checks.  An explicitly installed tracer
+      (:func:`~repro.telemetry.tracing.use_tracer`) always wins, so
+      ``explain(analyze=True)`` and callers with their own sinks are never
+      clobbered by this flag.
     """
 
     adaptive: bool = True
@@ -132,6 +150,7 @@ class ExecutionOptions:
     sample_limit: Optional[int] = None
     force_cyclic: bool = False
     execution_mode: Optional[str] = None
+    trace: bool = False
 
     def __post_init__(self) -> None:
         from .columnar import EXECUTION_MODES
@@ -290,13 +309,42 @@ class BatchStatistics:
             return None
         return sum(estimates)
 
+    @property
+    def phase_times(self) -> Tuple[Tuple[str, float], ...]:
+        """Per-phase wall-time summed across the batch (empty when untimed)."""
+        return merge_phase_times(*(getattr(run, "phase_times", ()) or ()
+                                   for run in self.runs))
+
+    @property
+    def elapsed_seconds(self) -> Optional[float]:
+        """Total measured wall-time across the batch (``None`` when untimed)."""
+        phases = self.phase_times
+        if not phases:
+            return None
+        return sum(seconds for _, seconds in phases)
+
+    @property
+    def planner_hit_ratio(self) -> Optional[float]:
+        """The last run's planner hit ratio (the batch-end state of the LRU)."""
+        for run in reversed(self.runs):
+            ratio = getattr(run, "planner_hit_ratio", None)
+            if ratio is not None:
+                return ratio
+        return None
+
     def describe(self) -> str:
         """A one-line batch summary aligned with ``JoinStatistics.describe``."""
-        return (f"{self.plan_name}: {len(self.runs)} databases "
-                f"inputs={sum(self.input_sizes)} max={self.max_intermediate} "
-                f"total_intermediate={self.total_intermediate} "
-                f"output={self.output_size} "
-                f"plan_cache={'hit' if self.plan_cache_hit else 'miss'}")
+        summary = (f"{self.plan_name}: {len(self.runs)} databases "
+                   f"inputs={sum(self.input_sizes)} max={self.max_intermediate} "
+                   f"total_intermediate={self.total_intermediate} "
+                   f"output={self.output_size} "
+                   f"plan_cache={'hit' if self.plan_cache_hit else 'miss'}")
+        elapsed = self.elapsed_seconds
+        if elapsed is not None:
+            phases = " ".join(f"{phase}={seconds * 1000:.2f}ms"
+                              for phase, seconds in self.phase_times)
+            summary += f" wall={elapsed * 1000:.2f}ms ({phases})"
+        return summary
 
 
 @dataclass(frozen=True)
@@ -406,7 +454,10 @@ class PreparedQuery:
         against the *same* database reuse them outright — no cover search,
         no structure planning, no re-annotation.
         """
-        return self._run(self._binding_for(database))
+        if self._options.trace and current_tracer() is NULL_TRACER:
+            with use_tracer(self._session.tracer):
+                return self._traced_run(self._binding_for(database))
+        return self._traced_run(self._binding_for(database))
 
     def execute_many(self, databases: Iterable[Database], *,
                      labels: Optional[Sequence[str]] = None) -> ExecutionBatch:
@@ -435,15 +486,29 @@ class PreparedQuery:
         :meth:`execute` for repeated traffic.
         """
         binding = self._bind_relations(tuple(relations))
-        return self._run(binding)
+        if self._options.trace and current_tracer() is NULL_TRACER:
+            with use_tracer(self._session.tracer):
+                return self._traced_run(binding)
+        return self._traced_run(binding)
 
-    def explain(self, database: Optional[Database] = None) -> str:
+    def explain(self, database: Optional[Database] = None, *,
+                analyze: bool = False) -> str:
         """A human-readable account of the prepared plan.
 
         Without a database: dispatch kind, options and the structure plan.
         With one: additionally the resolved per-database half — the cost
         annotation (acyclic) or the catalog-chosen cover (cyclic).
+
+        ``analyze=True`` (EXPLAIN ANALYZE) *executes* the query against the
+        database under a recording tracer and renders the annotated plan tree
+        with estimated vs **actual** rows per vertex, join step and cluster —
+        see :meth:`explain_analyze` for the structured form.
         """
+        if analyze:
+            if database is None:
+                raise ValueError("explain(analyze=True) executes the query, "
+                                 "so it needs a database")
+            return self.explain_analyze(database).render()
         wanted = "*" if self._output is None else \
             ", ".join(str(attribute) for attribute in self._output)
         lines = [f"PreparedQuery {self._name!r}: {self._kind} dispatch, "
@@ -462,9 +527,55 @@ class PreparedQuery:
                 lines.append(binding.catalog.describe())
         return "\n".join(lines)
 
+    def explain_analyze(self, database: Database) -> ExplainAnalysis:
+        """Execute against ``database`` under a recording tracer; return the analysis.
+
+        The returned :class:`~repro.telemetry.explain.ExplainAnalysis` pairs
+        the annotation's *estimates* with the *actual* cardinalities sourced
+        from the trace's span attributes (not copied from the statistics
+        object — the trace is an independent witness), plus the measured
+        per-phase wall-times.  ``.render()`` gives the textual report.
+        """
+        tracer = Tracer()
+        with use_tracer(tracer):
+            result = self.execute(database)
+        binding = self._binding_for(database)
+        vertex_estimates: Dict[str, float] = {}
+        if isinstance(binding.plan, AnnotatedPlan):
+            from ..core.nodes import format_node_set
+
+            estimates = binding.plan.annotation.reduced_estimates
+            for vertex, _parent in binding.plan.rooted.order:
+                estimate = estimates.get(vertex)
+                if estimate is not None:
+                    vertex_estimates[format_node_set(vertex)] = estimate
+        return build_explain_analysis(
+            name=self._name, kind=self._kind, statistics=result.statistics,
+            records=tuple(tracer.records), vertex_estimates=vertex_estimates,
+            plan_description=self._structure.describe())
+
     # ------------------------------------------------------------------ #
     # Internals
     # ------------------------------------------------------------------ #
+    def _traced_run(self, binding: "_DatabaseBinding"):
+        """Run one execution under an ``execute`` root span, feeding the session's metrics."""
+        span = current_tracer().span("execute")
+        started = perf_counter()
+        try:
+            with span:
+                result = self._run(binding)
+                if span.is_recording:
+                    span.set("query", self._name)
+                    span.set("kind", self._kind)
+                    span.set("mode", result.statistics.execution_mode)
+                    span.set("output_rows", result.statistics.output_size)
+        except Exception:
+            self._session._record_error(self._kind)
+            raise
+        self._session._record_execution(self._kind, result.statistics,
+                                        perf_counter() - started)
+        return result
+
     def _binding_for(self, database: Database) -> _DatabaseBinding:
         """The memoized per-database execution state (resolved on first use).
 
@@ -572,11 +683,23 @@ class EngineSession:
     def __init__(self, planner: Optional[QueryPlanner] = None, *,
                  options: Optional[ExecutionOptions] = None,
                  planner_capacity: int = 128,
+                 tracer: Optional[Tracer] = None,
+                 metrics: Optional[MetricsRegistry] = None,
                  **overrides: object) -> None:
         self._planner = planner if planner is not None \
             else QueryPlanner(planner_capacity)
         self._options = ExecutionOptions.resolve(
             ExecutionOptions(), options, dict(overrides))
+        # Every session owns a tracer (used when ``options.trace`` is on and
+        # no ambient tracer is installed) and a metrics registry parented to
+        # the process-wide one, so per-session counters roll up automatically.
+        self._tracer = tracer if tracer is not None else Tracer()
+        self._metrics = metrics if metrics is not None \
+            else MetricsRegistry(parent=global_registry())
+        # Resolved metric series handles, keyed by (kind, mode) / phase name:
+        # the per-execution path must not pay the name+label family lookup.
+        self._execution_series_cache: Dict[Tuple[str, str], Dict[str, object]] = {}
+        self._phase_series_cache: Dict[str, object] = {}
         self._lock = threading.RLock()
         # Schema-keyed prepared queries: (fingerprint, outputs, options, name).
         self._prepared: "OrderedDict[Tuple[object, ...], PreparedQuery]" = OrderedDict()
@@ -600,6 +723,16 @@ class EngineSession:
     def options(self) -> ExecutionOptions:
         """The session's default execution options."""
         return self._options
+
+    @property
+    def tracer(self) -> Tracer:
+        """The session's tracer (records when ``options.trace`` routes through it)."""
+        return self._tracer
+
+    @property
+    def metrics(self) -> MetricsRegistry:
+        """The session's metrics registry (parented to the process-wide one)."""
+        return self._metrics
 
     # ------------------------------------------------------------------ #
     # Catalog lifecycle
@@ -679,7 +812,12 @@ class EngineSession:
                     self._prepared.move_to_end(schema_key)
                     return cached
 
-        kind, structure = self._dispatch(hypergraph, query, resolved)
+        if resolved.trace and current_tracer() is NULL_TRACER:
+            with use_tracer(self._tracer):
+                kind, structure = self._dispatch_traced(hypergraph, query,
+                                                        resolved)
+        else:
+            kind, structure = self._dispatch_traced(hypergraph, query, resolved)
         prepared = PreparedQuery(self, kind=kind, structure=structure,
                                  hypergraph=hypergraph,
                                  output_attributes=wanted, options=resolved,
@@ -744,6 +882,19 @@ class EngineSession:
                 f"output attributes {sorted(missing, key=str)} are not in the schema")
         return wanted
 
+    def _dispatch_traced(self, hypergraph: Hypergraph,
+                         query: Optional["ConjunctiveQuery"],
+                         options: ExecutionOptions) -> Tuple[str, object]:
+        """Dispatch under a ``prepare`` span (cover search traces beneath it)."""
+        span = current_tracer().span("prepare")
+        with span:
+            kind, structure = self._dispatch(hypergraph, query, options)
+            if span.is_recording:
+                span.set("kind", kind)
+                span.set("fingerprint",
+                         fingerprint_digest(structure.fingerprint))
+            return kind, structure
+
     def _dispatch(self, hypergraph: Hypergraph,
                   query: Optional["ConjunctiveQuery"],
                   options: ExecutionOptions) -> Tuple[str, object]:
@@ -795,6 +946,98 @@ class EngineSession:
         """The prepared plan's explanation (see :meth:`PreparedQuery.explain`)."""
         return self.prepare(source, output_attributes,
                             **prepare_kwargs).explain(database)
+
+    # ------------------------------------------------------------------ #
+    # Telemetry
+    # ------------------------------------------------------------------ #
+    def _record_execution(self, kind: str, statistics: object,
+                          elapsed_seconds: float) -> None:
+        """Fold one execution's accounting into the session's metrics.
+
+        Also stamps ``statistics.planner_hit_ratio`` — the serving planner is
+        session state, so the per-run statistics object cannot compute the
+        ratio itself.
+        """
+        info = self._planner.cache_info()
+        lookups = info.hits + info.misses
+        ratio = (info.hits / lookups) if lookups else None
+        if ratio is not None and hasattr(statistics, "planner_hit_ratio"):
+            statistics.planner_hit_ratio = ratio
+        mode = str(getattr(statistics, "execution_mode", "-"))
+        series = self._execution_series(kind, mode)
+        series["queries"].inc()
+        series["semijoins"].inc(getattr(statistics, "semijoin_steps", 0) or 0)
+        series["removed"].inc(
+            getattr(statistics, "rows_removed_by_reduction", 0) or 0)
+        series["output"].inc(getattr(statistics, "output_size", 0) or 0)
+        hit = bool(getattr(statistics, "plan_cache_hit", False))
+        series["cache_hit" if hit else "cache_miss"].inc()
+        series["latency"].observe(elapsed_seconds)
+        for phase, seconds in getattr(statistics, "phase_times", ()) or ():
+            histogram = self._phase_series_cache.get(phase)
+            if histogram is None:
+                histogram = self._phase_series_cache[phase] = \
+                    self._metrics.histogram("engine_phase_seconds",
+                                            "Per-phase latency.",
+                                            labels={"phase": phase})
+            histogram.observe(seconds)
+        if ratio is not None:
+            series["hit_ratio"].set(ratio)
+        series["cache_size"].set(info.size)
+        series["blocks"].set(column_cache_info()["relations"])
+
+    def _execution_series(self, kind: str, mode: str) -> Dict[str, object]:
+        """The resolved metric series the per-execution path records into.
+
+        Resolving a series walks the family registry (name lookup, label-key
+        canonicalisation, parent chaining) under a lock — fine once, too slow
+        per query.  The handles are stable once created, so cache them.
+        """
+        key = (kind, mode)
+        series = self._execution_series_cache.get(key)
+        if series is None:
+            metrics = self._metrics
+            series = self._execution_series_cache[key] = {
+                "queries": metrics.counter(
+                    "engine_queries_total",
+                    "Queries executed through the session.",
+                    labels={"kind": kind, "mode": mode}),
+                "semijoins": metrics.counter(
+                    "engine_semijoin_steps_total",
+                    "Semijoin steps run by the full reducer."),
+                "removed": metrics.counter(
+                    "engine_rows_removed_total",
+                    "Dangling rows removed by reduction."),
+                "output": metrics.counter(
+                    "engine_rows_output_total",
+                    "Answer rows returned to callers."),
+                "cache_hit": metrics.counter(
+                    "engine_plan_cache_requests_total",
+                    "Plan-cache lookups by outcome.",
+                    labels={"outcome": "hit"}),
+                "cache_miss": metrics.counter(
+                    "engine_plan_cache_requests_total",
+                    "Plan-cache lookups by outcome.",
+                    labels={"outcome": "miss"}),
+                "latency": metrics.histogram(
+                    "engine_query_seconds", "End-to-end query latency."),
+                "hit_ratio": metrics.gauge(
+                    "engine_planner_cache_hit_ratio",
+                    "The session planner's LRU hit ratio."),
+                "cache_size": metrics.gauge(
+                    "engine_planner_cache_size",
+                    "Compiled plans resident in the planner LRU."),
+                "blocks": metrics.gauge(
+                    "engine_blocks_cached",
+                    "Relations holding a cached column block."),
+            }
+        return series
+
+    def _record_error(self, kind: str) -> None:
+        """Count one failed execution."""
+        self._metrics.counter("engine_query_errors_total",
+                              "Queries that raised during execution.",
+                              labels={"kind": kind}).inc()
 
     # ------------------------------------------------------------------ #
     # Cache lifecycle

@@ -20,6 +20,7 @@ a whole :class:`~repro.relational.database.Database` can be evaluated.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from time import perf_counter
 from typing import Dict, FrozenSet, Iterable, Optional, Sequence, Tuple, Union
 
 from ..core.hypergraph import Edge, Hypergraph
@@ -44,6 +45,7 @@ from .planner import (
 )
 from .reducer import ReductionTrace
 from .semijoin import merge_relations_by_scheme, natural_join_indexed
+from ..telemetry.tracing import current_tracer
 
 __all__ = ["EngineResult", "evaluate", "evaluate_database"]
 
@@ -132,54 +134,88 @@ def evaluate(relations: Sequence[Relation],
         missing = wanted - universe
         raise SchemaError(f"output attributes {sorted_nodes(missing)} are not in the schema")
 
+    tracer = current_tracer()
     annotated: Optional[AnnotatedPlan] = None
-    if plan is None:
-        # Misses, not hits: the adaptive path may serve the default-root plan
-        # from cache (a hit) and still compile its re-rooted structure (a
-        # miss) in the same call — only "no compilation happened" counts.
-        plan_misses_before = active_planner.cache_info().misses
-        if catalog is not None:
-            annotated = active_planner.annotate(hypergraph, catalog,
-                                                output_attributes=wanted, root=root)
-            plan = annotated.structure
+    prepare_span = tracer.span("prepare")
+    prepare_started = perf_counter()
+    with prepare_span:
+        if plan is None:
+            # Misses, not hits: the adaptive path may serve the default-root
+            # plan from cache (a hit) and still compile its re-rooted
+            # structure (a miss) in the same call — only "no compilation
+            # happened" counts.
+            plan_misses_before = active_planner.cache_info().misses
+            if catalog is not None:
+                annotated = active_planner.annotate(hypergraph, catalog,
+                                                    output_attributes=wanted,
+                                                    root=root)
+                plan = annotated.structure
+            else:
+                plan = active_planner.plan_for(hypergraph, root=root)
+            plan_cache_hit = active_planner.cache_info().misses == plan_misses_before
         else:
-            plan = active_planner.plan_for(hypergraph, root=root)
-        plan_cache_hit = active_planner.cache_info().misses == plan_misses_before
-    else:
-        if isinstance(plan, AnnotatedPlan):
-            annotated = plan
-            plan = annotated.structure
-        elif catalog is not None:
-            annotated = annotate_plan(plan, catalog, output_attributes=wanted)
-        if plan.fingerprint != schema_fingerprint(hypergraph):
-            raise SchemaError("the supplied execution plan was compiled for a "
-                              "different schema fingerprint")
-        plan_cache_hit = True
+            if isinstance(plan, AnnotatedPlan):
+                annotated = plan
+                plan = annotated.structure
+            elif catalog is not None:
+                annotated = annotate_plan(plan, catalog, output_attributes=wanted)
+            if plan.fingerprint != schema_fingerprint(hypergraph):
+                raise SchemaError("the supplied execution plan was compiled for "
+                                  "a different schema fingerprint")
+            plan_cache_hit = True
+        if prepare_span.is_recording:
+            prepare_span.set("kind", "acyclic")
+            prepare_span.set("mode", mode)
+            prepare_span.set("plan_cache_hit", plan_cache_hit)
+            prepare_span.set("adaptive", annotated is not None)
+    prepare_seconds = perf_counter() - prepare_started
 
     trace = ReductionTrace()
     if mode == "columnar":
         # Columnar physical layer: encode once (cached per relation), reduce
         # and join whole blocks, decode only the final result.
         column_before = column_cache_info()
+        encode_started = perf_counter()
         blocks = vertex_blocks(relations, plan.vertices)
-        result_block, intermediate_sizes = run_columnar_plan(
+        encode_seconds = perf_counter() - encode_started
+        result_block, intermediate_sizes, physical_seconds = run_columnar_plan(
             plan, annotated, blocks, wanted,
             trace=trace, check_reduction=check_reduction)
-        result = result_block.to_relation(name)
+        decode_span = tracer.span("decode")
+        decode_started = perf_counter()
+        with decode_span:
+            result = result_block.to_relation(name)
+            if decode_span.is_recording:
+                decode_span.set("mode", mode)
+                decode_span.set("output_rows", len(result))
+        decode_seconds = perf_counter() - decode_started
         intermediates = list(intermediate_sizes)
         column_after = column_cache_info()
         cache_hits = column_after["hits"] - column_before["hits"]
         cache_misses = column_after["misses"] - column_before["misses"]
     else:
         index_before = index_cache_info()
+        encode_span = tracer.span("encode")
+        encode_started = perf_counter()
+        with encode_span:
+            vertex_relations = _vertex_relations(relations, plan.vertices)
+            if encode_span.is_recording:
+                encode_span.set("mode", mode)
+                encode_span.set("vertices", len(vertex_relations))
+                encode_span.set("input_rows",
+                                sum(len(r) for r in vertex_relations.values()))
+        encode_seconds = perf_counter() - encode_started
+
         # Phase 2: full reduction (the cost-ordered program when annotated).
-        vertex_relations = _vertex_relations(relations, plan.vertices)
         reducer = annotated.reducer if annotated is not None else plan.reducer
+        reduce_started = perf_counter()
         reduced = reducer.run(vertex_relations, trace=trace,
                               check_hook=None if check_reduction else _SKIP_CHECK)
+        reduce_seconds = perf_counter() - reduce_started
 
         # Phase 3: the shared bottom-up join fold with the row operators
         # plugged in (fused projection lives in fold_join_tree).
+        fold_started = perf_counter()
         result, intermediates = fold_join_tree(
             plan.rooted, reduced, wanted,
             order_children=(annotated.order_children if annotated is not None
@@ -188,13 +224,29 @@ def evaluate(relations: Sequence[Relation],
                                                                 project_onto=keep),
             project=_project_validated,
             attributes_of=lambda relation: relation.schema.attribute_set)
-        if result.name != name:
-            result = Relation.from_valid_rows(result.schema.rename(name), result.rows)
+        fold_seconds = perf_counter() - fold_started
+        physical_seconds = {"reduce": reduce_seconds, "fold": fold_seconds}
+
+        decode_span = tracer.span("decode")
+        decode_started = perf_counter()
+        with decode_span:
+            if result.name != name:
+                result = Relation.from_valid_rows(result.schema.rename(name),
+                                                  result.rows)
+            if decode_span.is_recording:
+                decode_span.set("mode", mode)
+                decode_span.set("output_rows", len(result))
+        decode_seconds = perf_counter() - decode_started
 
         index_after = index_cache_info()
         cache_hits = index_after["hits"] - index_before["hits"]
         cache_misses = index_after["misses"] - index_before["misses"]
 
+    phase_times = (("prepare", prepare_seconds),
+                   ("encode", encode_seconds),
+                   ("reduce", physical_seconds["reduce"]),
+                   ("fold", physical_seconds["fold"]),
+                   ("decode", decode_seconds))
     statistics = EngineStatistics(
         plan_name="engine-yannakakis-adaptive" if annotated is not None
         else "engine-yannakakis",
@@ -214,6 +266,7 @@ def evaluate(relations: Sequence[Relation],
             if annotated is not None else ()),
         estimated_output_size=(annotated.annotation.estimated_output_size
                                if annotated is not None else None),
+        phase_times=phase_times,
     )
     return EngineResult(relation=result, plan=plan, statistics=statistics,
                         annotated=annotated)

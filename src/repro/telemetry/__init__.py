@@ -1,0 +1,70 @@
+"""``repro.telemetry`` — zero-dependency observability for the engine.
+
+Three pillars, all stdlib-only and import-cycle-free (this package never
+imports the engine; the engine's layers import *it*):
+
+* :mod:`~repro.telemetry.tracing` — nested context-manager **spans**
+  (``prepare``, ``annotate``, ``cover_search``, ``reduce``, ``fold``,
+  ``kernel:semijoin`` / ``kernel:join`` / ``kernel:antijoin``, ``encode``,
+  ``materialise``, ``decode``, ``execute``) carrying wall-time and
+  cardinality attributes, a contextvar-ambient :func:`current_tracer`, a
+  no-allocation null tracer for the disabled hot path, and pluggable sinks
+  (:class:`JsonlTraceSink` streams JSONL);
+* :mod:`~repro.telemetry.metrics` — counter/gauge/histogram families with
+  labels, per-:class:`~repro.engine.session.EngineSession` registries that
+  roll up into the process-wide :func:`global_registry`, a ``snapshot()``
+  dict and a Prometheus text exposition;
+* :mod:`~repro.telemetry.explain` — ``EXPLAIN ANALYZE``: estimated-vs-actual
+  rows per vertex / join step / cluster, with the actuals sourced from the
+  span attributes of a recorded run;
+* :mod:`~repro.telemetry.schema` — validation of emitted JSONL traces
+  against the checked-in ``trace_schema.json`` (required span names,
+  monotonic timestamps, parent/child closure) — what the CI trace-smoke job
+  runs.
+"""
+
+from .explain import ExplainAnalysis, ExplainEntry, build_explain_analysis
+from .metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    global_registry,
+)
+from .schema import (
+    TRACE_SCHEMA_PATH,
+    TraceValidationError,
+    load_trace_schema,
+    read_jsonl,
+    validate_trace_records,
+)
+from .tracing import (
+    NULL_TRACER,
+    JsonlTraceSink,
+    ListTraceSink,
+    NullTracer,
+    Span,
+    TraceSink,
+    Tracer,
+    current_tracer,
+    merge_phase_times,
+    span_totals,
+    use_tracer,
+)
+
+__all__ = [
+    # tracing
+    "Tracer", "NullTracer", "NULL_TRACER", "Span",
+    "current_tracer", "use_tracer",
+    "TraceSink", "ListTraceSink", "JsonlTraceSink",
+    "span_totals", "merge_phase_times",
+    # metrics
+    "MetricsRegistry", "Counter", "Gauge", "Histogram",
+    "DEFAULT_LATENCY_BUCKETS", "global_registry",
+    # explain analyze
+    "ExplainAnalysis", "ExplainEntry", "build_explain_analysis",
+    # trace schema
+    "TRACE_SCHEMA_PATH", "TraceValidationError", "load_trace_schema",
+    "read_jsonl", "validate_trace_records",
+]

@@ -1,0 +1,203 @@
+"""EXPLAIN ANALYZE: estimated-vs-actual plan accounting built from a trace.
+
+``PreparedQuery.explain(analyze=True)`` executes the query under a fresh
+recording :class:`~repro.telemetry.tracing.Tracer` and hands the records —
+plus the run's statistics and the annotation's estimates — to
+:func:`build_explain_analysis`.  The *actual* numbers here are deliberately
+sourced from span attributes, not copied out of ``EngineStatistics``: the
+reduce span's per-vertex sizes, the materialise/fold spans' intermediates
+and the decode span's output count.  The property suite asserts they match
+``EngineStatistics`` exactly, which makes the trace a genuine independent
+witness of the engine's accounting (and the estimated column the feedback
+signal re-optimisation needs).
+
+This module is duck-typed on purpose — it never imports the engine, so the
+telemetry package stays dependency-free and import-cycle-free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+__all__ = ["ExplainEntry", "ExplainAnalysis", "build_explain_analysis"]
+
+
+@dataclass(frozen=True)
+class ExplainEntry:
+    """One plan element's estimated-vs-actual cardinality (``None`` = unknown)."""
+
+    label: str
+    estimated: Optional[float]
+    actual: Optional[int]
+
+    def render(self) -> str:
+        est = "-" if self.estimated is None else f"{self.estimated:g}"
+        actual = "-" if self.actual is None else str(self.actual)
+        return f"{self.label}  est={est}  actual={actual}"
+
+
+def _last_span(records: Sequence[Mapping[str, object]],
+               name: str) -> Optional[Mapping[str, object]]:
+    """The last record with ``name`` (one engine run emits each phase once)."""
+    for record in reversed(records):
+        if record.get("name") == name:
+            return record
+    return None
+
+
+def _span_attr(records: Sequence[Mapping[str, object]], name: str,
+               attribute: str) -> object:
+    record = _last_span(records, name)
+    if record is None:
+        return None
+    return record.get("attributes", {}).get(attribute)  # type: ignore[union-attr]
+
+
+def _paired(labels: Sequence[str], estimates: Sequence[Optional[float]],
+            actuals: Sequence[Optional[int]]) -> Tuple[ExplainEntry, ...]:
+    """Zip label/estimate/actual columns defensively (shorter columns pad)."""
+    length = max(len(labels), len(estimates), len(actuals))
+    entries: List[ExplainEntry] = []
+    for index in range(length):
+        label = labels[index] if index < len(labels) else f"#{index}"
+        estimated = estimates[index] if index < len(estimates) else None
+        actual = actuals[index] if index < len(actuals) else None
+        entries.append(ExplainEntry(label=label, estimated=estimated,
+                                    actual=actual))
+    return tuple(entries)
+
+
+@dataclass(frozen=True)
+class ExplainAnalysis:
+    """The annotated plan tree of one executed query, ready to render.
+
+    ``vertices`` are the join-tree vertices with their reduced sizes,
+    ``steps`` the intermediate-producing join steps (cluster materialisation
+    first on the cyclic path, then the bottom-up fold), ``clusters`` the
+    cyclic plan's materialised cluster relations (empty for acyclic runs).
+    """
+
+    name: str
+    kind: str
+    mode: str
+    adaptive: bool
+    phase_seconds: Tuple[Tuple[str, float], ...]
+    vertices: Tuple[ExplainEntry, ...]
+    steps: Tuple[ExplainEntry, ...]
+    clusters: Tuple[ExplainEntry, ...]
+    output: ExplainEntry
+    statistics: object
+    records: Tuple[Mapping[str, object], ...]
+    plan_description: str = ""
+
+    @property
+    def actual_vertex_sizes(self) -> Tuple[Optional[int], ...]:
+        """The trace-sourced per-vertex reduced sizes, in rooted order."""
+        return tuple(entry.actual for entry in self.vertices)
+
+    @property
+    def actual_step_sizes(self) -> Tuple[Optional[int], ...]:
+        """The trace-sourced intermediate sizes, in execution order."""
+        return tuple(entry.actual for entry in self.steps)
+
+    @property
+    def actual_cluster_sizes(self) -> Tuple[Optional[int], ...]:
+        """The trace-sourced materialised cluster sizes (cyclic runs)."""
+        return tuple(entry.actual for entry in self.clusters)
+
+    def render(self) -> str:
+        """The multi-line EXPLAIN ANALYZE report."""
+        adaptive = "adaptive" if self.adaptive else "static"
+        lines = [f"EXPLAIN ANALYZE {self.name!r} "
+                 f"({self.kind} dispatch, {self.mode} mode, {adaptive})"]
+        if self.phase_seconds:
+            rendered = " | ".join(f"{phase} {seconds * 1000.0:.3f}ms"
+                                  for phase, seconds in self.phase_seconds)
+            lines.append(f"  phases: {rendered}")
+        if self.clusters:
+            lines.append("  clusters (materialised rows):")
+            lines.extend(f"    {entry.render()}" for entry in self.clusters)
+        if self.vertices:
+            lines.append("  vertices (reduced rows):")
+            lines.extend(f"    {entry.render()}" for entry in self.vertices)
+        if self.steps:
+            lines.append("  join steps (intermediate rows):")
+            lines.extend(f"    {entry.render()}" for entry in self.steps)
+        lines.append(f"  output: {self.output.render()}")
+        if self.plan_description:
+            lines.append("  plan:")
+            lines.extend(f"    {line}"
+                         for line in self.plan_description.splitlines())
+        return "\n".join(lines)
+
+
+def build_explain_analysis(*, name: str, kind: str, statistics: object,
+                           records: Sequence[Mapping[str, object]],
+                           vertex_estimates: Optional[Mapping[str, float]] = None,
+                           plan_description: str = "") -> ExplainAnalysis:
+    """Assemble an :class:`ExplainAnalysis` from one traced execution.
+
+    ``statistics`` is the run's (duck-typed) ``EngineStatistics`` — it
+    supplies the *estimates*; every *actual* comes out of ``records``:
+
+    * per-vertex reduced sizes — the ``reduce`` span's ``vertices`` /
+      ``sizes_after`` attributes;
+    * intermediate sizes — the ``materialise`` span's ``intermediates``
+      (cyclic runs) followed by the ``fold`` span's ``intermediates``;
+    * cluster sizes — the ``materialise`` span's ``cluster_sizes``;
+    * the output count — the ``decode`` span's ``output_rows``.
+
+    ``vertex_estimates`` maps vertex labels (as the reduce span records
+    them) to estimated reduced cardinalities; omitted labels render "-".
+    """
+    records = tuple(records)
+    vertex_labels = [str(label) for label
+                     in (_span_attr(records, "reduce", "vertices") or ())]
+    vertex_actuals = [int(size) for size
+                      in (_span_attr(records, "reduce", "sizes_after") or ())]
+    estimates_by_label = dict(vertex_estimates or {})
+    vertices = _paired(
+        vertex_labels,
+        [estimates_by_label.get(label) for label in vertex_labels],
+        vertex_actuals)
+
+    cluster_actuals = [int(size) for size
+                       in (_span_attr(records, "materialise", "cluster_sizes")
+                           or ())]
+    cluster_estimates = list(getattr(statistics, "estimated_cluster_sizes",
+                                     ()) or ())
+    clusters = _paired(
+        [f"cluster[{index}]" for index in range(
+            max(len(cluster_actuals), len(cluster_estimates)))],
+        cluster_estimates, cluster_actuals)
+
+    step_actuals = ([int(size) for size
+                     in (_span_attr(records, "materialise", "intermediates")
+                         or ())]
+                    + [int(size) for size
+                       in (_span_attr(records, "fold", "intermediates") or ())])
+    adaptive = bool(getattr(statistics, "adaptive", False))
+    step_estimates = list(getattr(statistics, "estimated_intermediate_sizes",
+                                  ()) or ()) if adaptive else []
+    steps = _paired(
+        [f"step[{index}]" for index in range(
+            max(len(step_actuals), len(step_estimates)))],
+        step_estimates, step_actuals)
+
+    output_actual = _span_attr(records, "decode", "output_rows")
+    estimated_output = getattr(statistics, "estimated_output_size", None) \
+        if adaptive else None
+    output = ExplainEntry(
+        label="output",
+        estimated=None if estimated_output is None else float(estimated_output),
+        actual=None if output_actual is None else int(output_actual))
+
+    return ExplainAnalysis(
+        name=name, kind=kind,
+        mode=str(getattr(statistics, "execution_mode", "-")),
+        adaptive=adaptive,
+        phase_seconds=tuple(getattr(statistics, "phase_times", ()) or ()),
+        vertices=vertices, steps=steps, clusters=clusters, output=output,
+        statistics=statistics, records=records,
+        plan_description=plan_description)

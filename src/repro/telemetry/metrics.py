@@ -1,0 +1,303 @@
+"""Counters, gauges and histograms with a Prometheus text exposition.
+
+The registry is the future service front-end's metrics surface: each
+:class:`~repro.engine.session.EngineSession` owns one, parented to the
+process-wide :func:`global_registry`, so per-session counters and histogram
+observations roll up into process totals automatically (gauges stay local —
+a point-in-time value has no meaningful sum across sessions).
+
+Everything is plain stdlib: families are created on first use
+(``registry.counter("engine_queries_total", labels={"kind": "acyclic"})``),
+label sets address independent series within a family, and two read-outs
+exist — :meth:`MetricsRegistry.snapshot` (a flat dict for tests and JSON
+payloads) and :meth:`MetricsRegistry.render_prometheus` (the ``# HELP`` /
+``# TYPE`` text format with cumulative histogram buckets).
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_left
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_LATENCY_BUCKETS",
+    "global_registry",
+    "GLOBAL_REGISTRY",
+]
+
+#: Fixed latency buckets (seconds) for the per-phase/per-query histograms:
+#: 100µs to 5s, roughly logarithmic — the engine's in-process range.
+DEFAULT_LATENCY_BUCKETS: Tuple[float, ...] = (
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025,
+    0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0)
+
+LabelValues = Tuple[Tuple[str, str], ...]
+
+
+def _label_key(labels: Optional[Mapping[str, object]]) -> LabelValues:
+    """Canonical hashable form of a label mapping (values coerced to str)."""
+    if not labels:
+        return ()
+    return tuple(sorted((str(key), str(value)) for key, value in labels.items()))
+
+
+def _format_labels(labels: LabelValues) -> str:
+    """The ``{k="v",…}`` suffix of an exposition line ("" when unlabelled)."""
+    if not labels:
+        return ""
+    escaped = []
+    for key, value in labels:
+        value = value.replace("\\", r"\\").replace('"', r"\"").replace("\n", r"\n")
+        escaped.append(f'{key}="{value}"')
+    return "{" + ",".join(escaped) + "}"
+
+
+def _format_bound(bound: float) -> str:
+    """A bucket bound rendered without trailing float noise (``0.001``, not ``0.0010``)."""
+    return f"{bound:g}"
+
+
+class Counter:
+    """A monotonically increasing count; increments chain to the parent series."""
+
+    __slots__ = ("_lock", "_value", "_parent")
+
+    def __init__(self, parent: Optional["Counter"] = None) -> None:
+        self._lock = threading.Lock()
+        self._value = 0.0
+        self._parent = parent
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be non-negative) to this series and its parent."""
+        if amount < 0:
+            raise ValueError("counters only go up; use a gauge for decrements")
+        with self._lock:
+            self._value += amount
+        if self._parent is not None:
+            self._parent.inc(amount)
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+
+class Gauge:
+    """A point-in-time value (cache sizes, hit ratios); not parent-chained."""
+
+    __slots__ = ("_lock", "_value")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+
+class Histogram:
+    """Fixed-bucket distribution; observations chain to the parent series."""
+
+    __slots__ = ("_lock", "_buckets", "_counts", "_sum", "_count", "_parent")
+
+    def __init__(self, buckets: Sequence[float],
+                 parent: Optional["Histogram"] = None) -> None:
+        self._lock = threading.Lock()
+        self._buckets = tuple(sorted(buckets))
+        self._counts = [0] * (len(self._buckets) + 1)  # last slot is +Inf
+        self._sum = 0.0
+        self._count = 0
+        self._parent = parent
+
+    def observe(self, value: float) -> None:
+        """Record one observation in this series and its parent."""
+        index = bisect_left(self._buckets, value)
+        with self._lock:
+            self._counts[index] += 1
+            self._sum += value
+            self._count += 1
+        if self._parent is not None:
+            self._parent.observe(value)
+
+    @property
+    def buckets(self) -> Tuple[float, ...]:
+        return self._buckets
+
+    @property
+    def sum(self) -> float:
+        with self._lock:
+            return self._sum
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._count
+
+    def cumulative_counts(self) -> Tuple[Tuple[str, int], ...]:
+        """Prometheus-style cumulative ``(le, count)`` pairs, ``+Inf`` last."""
+        with self._lock:
+            counts = list(self._counts)
+        out: List[Tuple[str, int]] = []
+        running = 0
+        for bound, count in zip(self._buckets, counts):
+            running += count
+            out.append((_format_bound(bound), running))
+        out.append(("+Inf", running + counts[-1]))
+        return tuple(out)
+
+
+class _Family:
+    """One metric family: a kind, a help string and its labelled series."""
+
+    __slots__ = ("kind", "help", "buckets", "series")
+
+    def __init__(self, kind: str, help: str,
+                 buckets: Optional[Tuple[float, ...]] = None) -> None:
+        self.kind = kind
+        self.help = help
+        self.buckets = buckets
+        self.series: "Dict[LabelValues, object]" = {}
+
+
+class MetricsRegistry:
+    """Get-or-create metric families keyed by name, with parent roll-up.
+
+    ``parent`` chains counters and histograms: any increment/observation on
+    a child series is replayed on the same-named series of the parent
+    registry — a per-session registry parented to :func:`global_registry`
+    yields process totals for free.  A name keeps the kind it was first
+    created with; re-requesting it as a different kind raises ``ValueError``.
+    """
+
+    def __init__(self, parent: Optional["MetricsRegistry"] = None) -> None:
+        self._parent = parent
+        self._lock = threading.Lock()
+        self._families: "Dict[str, _Family]" = {}
+
+    def _family(self, name: str, kind: str, help: str,
+                buckets: Optional[Tuple[float, ...]] = None) -> _Family:
+        with self._lock:
+            family = self._families.get(name)
+            if family is None:
+                family = _Family(kind, help, buckets)
+                self._families[name] = family
+            elif family.kind != kind:
+                raise ValueError(f"metric {name!r} already registered as a "
+                                 f"{family.kind}, not a {kind}")
+            return family
+
+    def counter(self, name: str, help: str = "",
+                labels: Optional[Mapping[str, object]] = None) -> Counter:
+        """The counter series for ``(name, labels)``, created on first use."""
+        family = self._family(name, "counter", help)
+        key = _label_key(labels)
+        with self._lock:
+            series = family.series.get(key)
+            if series is None:
+                parent = None if self._parent is None \
+                    else self._parent.counter(name, help, labels)
+                series = family.series[key] = Counter(parent)
+        return series  # type: ignore[return-value]
+
+    def gauge(self, name: str, help: str = "",
+              labels: Optional[Mapping[str, object]] = None) -> Gauge:
+        """The gauge series for ``(name, labels)``, created on first use."""
+        family = self._family(name, "gauge", help)
+        key = _label_key(labels)
+        with self._lock:
+            series = family.series.get(key)
+            if series is None:
+                series = family.series[key] = Gauge()
+        return series  # type: ignore[return-value]
+
+    def histogram(self, name: str, help: str = "",
+                  labels: Optional[Mapping[str, object]] = None,
+                  buckets: Optional[Sequence[float]] = None) -> Histogram:
+        """The histogram series for ``(name, labels)``; buckets fix on first use."""
+        chosen = tuple(buckets) if buckets is not None else DEFAULT_LATENCY_BUCKETS
+        family = self._family(name, "histogram", help, chosen)
+        key = _label_key(labels)
+        with self._lock:
+            series = family.series.get(key)
+            if series is None:
+                parent = None if self._parent is None \
+                    else self._parent.histogram(name, help, labels,
+                                                family.buckets)
+                series = family.series[key] = Histogram(family.buckets, parent)
+        return series  # type: ignore[return-value]
+
+    def snapshot(self) -> Dict[str, object]:
+        """A flat dict of every series: scalars for counters/gauges, dicts for histograms.
+
+        Keys are ``name`` or ``name{k=v,…}``; histogram values carry
+        ``count``/``sum`` plus cumulative ``buckets``.
+        """
+        with self._lock:
+            families = [(name, family, dict(family.series))
+                        for name, family in sorted(self._families.items())]
+        out: Dict[str, object] = {}
+        for name, family, series_map in families:
+            for key, series in sorted(series_map.items()):
+                label_text = ",".join(f"{k}={v}" for k, v in key)
+                full = f"{name}{{{label_text}}}" if label_text else name
+                if family.kind == "histogram":
+                    out[full] = {
+                        "count": series.count,
+                        "sum": series.sum,
+                        "buckets": dict(series.cumulative_counts()),
+                    }
+                else:
+                    out[full] = series.value
+        return out
+
+    def render_prometheus(self) -> str:
+        """The Prometheus text exposition of every family, name-sorted."""
+        with self._lock:
+            families = [(name, family, dict(family.series))
+                        for name, family in sorted(self._families.items())]
+        lines: List[str] = []
+        for name, family, series_map in families:
+            if family.help:
+                lines.append(f"# HELP {name} {family.help}")
+            lines.append(f"# TYPE {name} {family.kind}")
+            for key, series in sorted(series_map.items()):
+                suffix = _format_labels(key)
+                if family.kind == "histogram":
+                    for le, count in series.cumulative_counts():
+                        bucket_labels = key + (("le", le),)
+                        lines.append(f"{name}_bucket"
+                                     f"{_format_labels(bucket_labels)} {count}")
+                    lines.append(f"{name}_sum{suffix} {series.sum:g}")
+                    lines.append(f"{name}_count{suffix} {series.count}")
+                else:
+                    lines.append(f"{name}{suffix} {series.value:g}")
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def clear(self) -> None:
+        """Drop every family and series (tests; the parent is untouched)."""
+        with self._lock:
+            self._families.clear()
+
+
+GLOBAL_REGISTRY = MetricsRegistry()
+"""The process-wide registry; session registries are parented to it."""
+
+
+def global_registry() -> MetricsRegistry:
+    """The process-wide metrics registry."""
+    return GLOBAL_REGISTRY

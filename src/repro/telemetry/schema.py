@@ -1,0 +1,150 @@
+"""Trace-record validation against the checked-in JSON schema.
+
+The CI trace-smoke job runs one acyclic and one cyclic query with JSONL
+tracing enabled and validates the emitted records here: every record has
+the required fields with the right types, completion timestamps are
+monotonic, the parent/child relation is closed (every parent exists, no
+self-parenting, children complete inside their parent's interval), and the
+span names the engine promises to emit all appear.  The schema itself lives
+next to this module in ``trace_schema.json`` so external consumers can
+validate the same contract without importing the package.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from ..exceptions import ReproError
+from .tracing import TraceRecord
+
+__all__ = [
+    "TraceValidationError",
+    "TRACE_SCHEMA_PATH",
+    "load_trace_schema",
+    "read_jsonl",
+    "validate_trace_records",
+]
+
+TRACE_SCHEMA_PATH = os.path.join(os.path.dirname(__file__), "trace_schema.json")
+"""The checked-in schema the engine's trace records conform to."""
+
+
+class TraceValidationError(ReproError):
+    """Raised when a trace record set violates the schema."""
+
+
+def load_trace_schema(path: Optional[str] = None) -> Dict[str, object]:
+    """Load a trace schema document (the checked-in one by default)."""
+    with open(path or TRACE_SCHEMA_PATH, "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def read_jsonl(path: str) -> List[TraceRecord]:
+    """Read a JSONL trace file back into a record list (blank lines skipped)."""
+    records: List[TraceRecord] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                records.append(json.loads(line))
+            except json.JSONDecodeError as error:
+                raise TraceValidationError(
+                    f"line {line_number} is not valid JSON: {error}") from error
+    return records
+
+
+def validate_trace_records(records: Sequence[Mapping[str, object]],
+                           schema: Optional[Mapping[str, object]] = None, *,
+                           cyclic: bool = False) -> Dict[str, object]:
+    """Validate records against the schema; return a summary dict.
+
+    Checks, in order: per-record required fields and numeric types,
+    ``start <= end`` with a consistent ``duration``, monotonic completion
+    order, parent/child closure (parents exist, no self-parent, interval
+    containment), and — over the whole set — that every required span name
+    appears (plus the cyclic-only names when ``cyclic=True``).
+
+    Raises :class:`TraceValidationError` on the first violation.  The
+    summary carries ``records``, ``roots`` and the distinct ``span_names``.
+    """
+    if schema is None:
+        schema = load_trace_schema()
+    required_fields = [str(f) for f in schema.get("required_fields", ())]
+    numeric_fields = set(str(f) for f in schema.get("numeric_fields", ()))
+    monotonic_field = schema.get("monotonic_field")
+
+    if not records:
+        raise TraceValidationError("the trace is empty — nothing was recorded")
+
+    by_id: Dict[int, Mapping[str, object]] = {}
+    previous_mark: Optional[float] = None
+    for index, record in enumerate(records):
+        for field in required_fields:
+            if field not in record:
+                raise TraceValidationError(
+                    f"record {index} is missing required field {field!r}")
+        for field in numeric_fields:
+            if not isinstance(record[field], (int, float)) \
+                    or isinstance(record[field], bool):
+                raise TraceValidationError(
+                    f"record {index} field {field!r} is not numeric: "
+                    f"{record[field]!r}")
+        start, end = float(record["start"]), float(record["end"])
+        if start > end:
+            raise TraceValidationError(
+                f"record {index} ({record['name']!r}) has start > end")
+        if abs((end - start) - float(record["duration"])) > 1e-6:
+            raise TraceValidationError(
+                f"record {index} ({record['name']!r}) duration does not "
+                "match end - start")
+        if monotonic_field:
+            mark = float(record[str(monotonic_field)])
+            if previous_mark is not None and mark < previous_mark:
+                raise TraceValidationError(
+                    f"record {index} breaks {monotonic_field!r} monotonicity: "
+                    f"{mark} after {previous_mark}")
+            previous_mark = mark
+        span_id = record["span_id"]
+        if span_id in by_id:
+            raise TraceValidationError(f"duplicate span_id {span_id!r}")
+        by_id[span_id] = record  # type: ignore[index]
+
+    roots = 0
+    for record in records:
+        parent_id = record.get("parent_id")
+        if parent_id is None:
+            roots += 1
+            continue
+        if parent_id == record["span_id"]:
+            raise TraceValidationError(
+                f"span {record['span_id']!r} ({record['name']!r}) is its own "
+                "parent")
+        parent = by_id.get(parent_id)  # type: ignore[arg-type]
+        if parent is None:
+            raise TraceValidationError(
+                f"span {record['span_id']!r} ({record['name']!r}) references "
+                f"unknown parent {parent_id!r}")
+        # Records complete children-first, so a child's interval must sit
+        # inside its parent's (tiny clock tolerance for equal endpoints).
+        if float(record["start"]) < float(parent["start"]) - 1e-9 \
+                or float(record["end"]) > float(parent["end"]) + 1e-9:
+            raise TraceValidationError(
+                f"span {record['span_id']!r} ({record['name']!r}) does not "
+                f"nest inside parent {parent_id!r} ({parent['name']!r})")
+
+    seen_names = {str(record["name"]) for record in records}
+    required_names = [str(name) for name in schema.get("required_span_names", ())]
+    if cyclic:
+        required_names += [str(name) for name in schema.get("cyclic_span_names", ())]
+    missing = [name for name in required_names if name not in seen_names]
+    if missing:
+        raise TraceValidationError(
+            f"required span name(s) never appeared: {missing} "
+            f"(saw {sorted(seen_names)})")
+
+    return {"records": len(records), "roots": roots,
+            "span_names": sorted(seen_names)}

@@ -1,0 +1,105 @@
+"""The CI trace-smoke entry point: trace two queries, validate the JSONL.
+
+``python -m repro.telemetry.smoke`` runs one acyclic and one cyclic query
+end to end with JSONL tracing enabled, reads the emitted files back, and
+validates them against the checked-in ``trace_schema.json`` contract —
+required span names, monotonic completion timestamps, parent/child closure.
+It exits non-zero on any violation, so the CI job fails the moment an engine
+change stops emitting a promised span or breaks trace well-formedness.
+
+The cyclic query uses a triangle core with chain ears on purpose: a pure
+triangle collapses to a single-cluster quotient whose reducer runs zero
+semijoins, which would make the required ``kernel:semijoin`` span vacuously
+absent.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import tempfile
+
+from ..engine.session import EngineSession
+from ..generators import (
+    generate_database,
+    skewed_chain_database,
+    triangle_core_chain,
+)
+from ..relational.schema import DatabaseSchema, RelationSchema
+from .schema import TraceValidationError, read_jsonl, validate_trace_records
+from .tracing import JsonlTraceSink, Tracer, use_tracer
+
+__all__ = ["run_smoke", "main"]
+
+
+def _trace_one(session: EngineSession, database, path: str) -> dict:
+    """Prepare and execute ``database``'s universal join under a JSONL tracer."""
+    tracer = Tracer()
+    with JsonlTraceSink(path) as sink:
+        tracer.add_sink(sink)
+        with use_tracer(tracer):
+            prepared = session.prepare(database)
+            result = prepared.execute(database)
+    return {"kind": prepared.kind,
+            "output_rows": result.statistics.output_size,
+            "phase_times": list(result.statistics.phase_times)}
+
+
+def run_smoke(directory: str) -> dict:
+    """Run the acyclic + cyclic traced queries; validate both JSONL files.
+
+    Returns a summary dict (printed by :func:`main` as JSON); raises
+    :class:`~repro.telemetry.schema.TraceValidationError` when either trace
+    violates the schema.
+    """
+    session = EngineSession()
+
+    acyclic_db = skewed_chain_database(3)
+    acyclic_path = os.path.join(directory, "trace_acyclic.jsonl")
+    acyclic_run = _trace_one(session, acyclic_db, acyclic_path)
+    if acyclic_run["kind"] != "acyclic":
+        raise TraceValidationError("the chain database dispatched cyclically")
+    acyclic_summary = validate_trace_records(read_jsonl(acyclic_path))
+
+    hypergraph = triangle_core_chain(3)
+    schema = DatabaseSchema(
+        RelationSchema.of(f"R{index}", sorted(edge, key=str))
+        for index, edge in enumerate(hypergraph.edges))
+    cyclic_db = generate_database(schema, universe_rows=40, seed=3)
+    cyclic_path = os.path.join(directory, "trace_cyclic.jsonl")
+    cyclic_run = _trace_one(session, cyclic_db, cyclic_path)
+    if cyclic_run["kind"] != "cyclic":
+        raise TraceValidationError("the triangle-core database dispatched "
+                                   "acyclically")
+    cyclic_summary = validate_trace_records(read_jsonl(cyclic_path),
+                                            cyclic=True)
+
+    return {
+        "acyclic": {"run": acyclic_run, "trace": acyclic_summary},
+        "cyclic": {"run": cyclic_run, "trace": cyclic_summary},
+        "metrics": session.metrics.snapshot(),
+    }
+
+
+def main(argv=None) -> int:
+    """CLI entry point; prints the summary JSON and returns the exit code."""
+    argv = list(sys.argv[1:] if argv is None else argv)
+    directory = argv[0] if argv else None
+    try:
+        if directory is None:
+            with tempfile.TemporaryDirectory(prefix="repro-trace-") as tmp:
+                summary = run_smoke(tmp)
+        else:
+            os.makedirs(directory, exist_ok=True)
+            summary = run_smoke(directory)
+    except TraceValidationError as error:
+        print(f"trace smoke FAILED: {error}", file=sys.stderr)
+        return 1
+    print(json.dumps(summary, indent=2, default=str))
+    print("trace smoke OK", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

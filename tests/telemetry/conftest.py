@@ -1,0 +1,21 @@
+"""Telemetry-package fixtures: every test runs under both execution modes.
+
+The tracing contract (which spans appear, how they nest, what the actuals
+say) is mode-independent by design — the columnar and row physical layers
+emit the same span names with the same cardinality attributes.  Running the
+whole package under both process-default modes proves it.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine.columnar import set_default_execution_mode
+
+
+@pytest.fixture(params=["columnar", "row"], autouse=True)
+def engine_execution_mode(request):
+    """Flip the process-default execution mode for every telemetry test."""
+    previous = set_default_execution_mode(request.param)
+    yield request.param
+    set_default_execution_mode(previous)

@@ -1,0 +1,147 @@
+"""Trace-schema validation: real traces pass, every tampering is caught."""
+
+from __future__ import annotations
+
+import copy
+
+import pytest
+
+from repro.engine import EngineSession
+from repro.generators import skewed_chain_database
+from repro.telemetry import (
+    TRACE_SCHEMA_PATH,
+    JsonlTraceSink,
+    TraceValidationError,
+    Tracer,
+    load_trace_schema,
+    read_jsonl,
+    use_tracer,
+    validate_trace_records,
+)
+from repro.telemetry.smoke import run_smoke
+
+
+@pytest.fixture
+def traced_records():
+    database = skewed_chain_database(3, heads=6, fanout=3, junction_values=2,
+                                     seed=1)
+    session = EngineSession()
+    prepared = session.prepare(database)
+    tracer = Tracer()
+    with use_tracer(tracer):
+        prepared.execute(database)
+    return [copy.deepcopy(record) for record in tracer.records]
+
+
+def test_the_checked_in_schema_loads():
+    schema = load_trace_schema(TRACE_SCHEMA_PATH)
+    assert "required_fields" in schema
+    assert "required_span_names" in schema
+
+
+def test_a_real_trace_validates(traced_records):
+    summary = validate_trace_records(traced_records)
+    assert summary["records"] == len(traced_records)
+    assert summary["roots"] >= 1
+    assert "kernel:semijoin" in summary["span_names"]
+
+
+def test_jsonl_round_trip_validates(traced_records, tmp_path):
+    database = skewed_chain_database(3, heads=6, fanout=3, junction_values=2,
+                                     seed=1)
+    session = EngineSession()
+    prepared = session.prepare(database)
+    path = tmp_path / "trace.jsonl"
+    tracer = Tracer()
+    with JsonlTraceSink(str(path)) as sink:
+        tracer.add_sink(sink)
+        with use_tracer(tracer):
+            prepared.execute(database)
+    records = read_jsonl(str(path))
+    assert validate_trace_records(records)["records"] == len(tracer.records)
+
+
+def test_read_jsonl_rejects_broken_lines(tmp_path):
+    path = tmp_path / "broken.jsonl"
+    path.write_text('{"span_id": 1}\nnot json\n', encoding="utf-8")
+    with pytest.raises(TraceValidationError, match="line 2"):
+        read_jsonl(str(path))
+
+
+def test_empty_traces_are_rejected():
+    with pytest.raises(TraceValidationError, match="empty"):
+        validate_trace_records([])
+
+
+def test_missing_fields_are_rejected(traced_records):
+    del traced_records[0]["duration"]
+    with pytest.raises(TraceValidationError, match="missing required field"):
+        validate_trace_records(traced_records)
+
+
+def test_non_numeric_fields_are_rejected(traced_records):
+    traced_records[0]["start"] = "soon"
+    with pytest.raises(TraceValidationError, match="not numeric"):
+        validate_trace_records(traced_records)
+
+
+def test_inconsistent_duration_is_rejected(traced_records):
+    traced_records[0]["duration"] += 1.0
+    with pytest.raises(TraceValidationError, match="duration"):
+        validate_trace_records(traced_records)
+
+
+def test_completion_order_must_be_monotonic(traced_records):
+    # Keep the record internally consistent (start <= end, duration right)
+    # so the only violation left is the completion-order one.
+    last = traced_records[-1]
+    last["start"] = traced_records[0]["end"] - 2.0
+    last["end"] = traced_records[0]["end"] - 1.0
+    last["duration"] = last["end"] - last["start"]
+    with pytest.raises(TraceValidationError, match="monotonicity"):
+        validate_trace_records(traced_records)
+
+
+def test_duplicate_span_ids_are_rejected(traced_records):
+    traced_records[1]["span_id"] = traced_records[0]["span_id"]
+    with pytest.raises(TraceValidationError, match="duplicate"):
+        validate_trace_records(traced_records)
+
+
+def test_unknown_parents_are_rejected(traced_records):
+    traced_records[0]["parent_id"] = 10 ** 9
+    with pytest.raises(TraceValidationError, match="unknown parent"):
+        validate_trace_records(traced_records)
+
+
+def test_self_parenting_is_rejected(traced_records):
+    traced_records[0]["parent_id"] = traced_records[0]["span_id"]
+    with pytest.raises(TraceValidationError, match="own"):
+        validate_trace_records(traced_records)
+
+
+def test_children_must_nest_inside_their_parent(traced_records):
+    child = next(record for record in traced_records
+                 if record["parent_id"] is not None)
+    parent = next(record for record in traced_records
+                  if record["span_id"] == child["parent_id"])
+    child["start"] = parent["start"] - 1.0
+    child["duration"] = child["end"] - child["start"]
+    with pytest.raises(TraceValidationError, match="nest"):
+        validate_trace_records(traced_records)
+
+
+def test_missing_required_span_names_are_reported(traced_records):
+    kept = [record for record in traced_records
+            if record["name"] != "decode"]
+    with pytest.raises(TraceValidationError, match="decode"):
+        validate_trace_records(kept)
+
+
+def test_the_smoke_entry_point_traces_and_validates_both_kinds(tmp_path):
+    summary = run_smoke(str(tmp_path))
+    assert summary["acyclic"]["run"]["kind"] == "acyclic"
+    assert summary["cyclic"]["run"]["kind"] == "cyclic"
+    assert "cover_search" in summary["cyclic"]["trace"]["span_names"]
+    assert (tmp_path / "trace_acyclic.jsonl").exists()
+    assert (tmp_path / "trace_cyclic.jsonl").exists()
