@@ -21,6 +21,7 @@ for the CI smoke step; wall clock comes from pytest-benchmark
 
 from __future__ import annotations
 
+import gc
 import json
 import time
 from pathlib import Path
@@ -103,7 +104,7 @@ def test_warm_execute_many_beats_the_legacy_per_call_loop(workload):
     assert 2 * session_seconds <= legacy_seconds, \
         f"warm execute_many only {speedup:.2f}x over the legacy loop"
 
-    RESULT_PATH.write_text(json.dumps({
+    _merge_into_results({
         "workload": f"{DATABASES} skewed-chain({CHAIN_LENGTH}) databases "
                     f"x {REPEATS} repeats",
         "calls": calls,
@@ -117,7 +118,90 @@ def test_warm_execute_many_beats_the_legacy_per_call_loop(workload):
         # BatchStatistics.phase_times).
         "phases_ms": {phase: round(seconds * 1000, 4) for phase, seconds
                       in warm_batch.statistics.phase_times},
-    }, indent=2) + "\n", encoding="utf-8")
+    })
+
+
+def _merge_into_results(extra):
+    """Fold ``extra`` into ``BENCH_session.json`` without clobbering the
+    headline numbers the throughput test wrote (test order is not fixed)."""
+    payload = {}
+    if RESULT_PATH.exists():
+        payload = json.loads(RESULT_PATH.read_text(encoding="utf-8"))
+    payload.update(extra)
+    RESULT_PATH.write_text(json.dumps(payload, indent=2) + "\n",
+                           encoding="utf-8")
+
+
+def test_monitor_overhead_is_under_five_percent():
+    """The query log must be affordable on the warm path.
+
+    One session, one prepared query, the monitor toggled off and on between
+    interleaved timing rounds (``session.monitor = None`` / the monitor
+    back) — an A/B where literally everything else (plan caches, catalogs,
+    memory layout) is shared, so the delta is the monitor's per-run cost
+    and nothing else.  Min-of-N per side cancels scheduler noise.
+
+    The monitor costs a small *fixed* amount per execution (log append +
+    q-error fold, ~10µs), so the workload is a realistically-sized serving
+    query (~1ms warm) rather than the module's deliberately tiny annotation
+    stress instances — overhead is a ratio, and the acceptance bound
+    (< 5 %) is about serving traffic, not about queries that finish in the
+    time the log entry takes to build.
+    """
+    databases = tuple(
+        skewed_chain_database(CHAIN_LENGTH, heads=16, fanout=8,
+                              junction_values=4, seed=seed)
+        for seed in range(DATABASES))
+    session = EngineSession(monitor=True)
+    monitor = session.monitor
+    prepared = session.prepare(databases[0], ENDPOINTS)
+
+    def loop():
+        for _ in range(5):
+            prepared.execute_many(databases)
+
+    loop()                      # warm plan caches and instance catalogs
+    runs_per_loop = 5 * DATABASES
+
+    # Rounds are ~15ms; scheduler noise on shared runners is bursty at the
+    # millisecond scale.  Each round times the two sides back to back and
+    # contributes one paired difference; the *median* of the differences is
+    # robust to bursts landing in either side's half (a min-vs-min compare
+    # needs both minima to escape the noise, which one round in six did
+    # not).  The cyclic collector is paused so a collection landing in one
+    # side's round doesn't masquerade as monitor cost.
+    differences = []
+    off_best = float("inf")
+    gc.disable()
+    try:
+        for _ in range(25):
+            session.monitor = None
+            started = time.perf_counter()
+            loop()
+            off = time.perf_counter() - started
+            session.monitor = monitor
+            started = time.perf_counter()
+            loop()
+            on = time.perf_counter() - started
+            differences.append(on - off)
+            off_best = min(off_best, off)
+    finally:
+        gc.enable()
+
+    median_delta = sorted(differences)[len(differences) // 2]
+    overhead_pct = median_delta / off_best * 100.0
+    per_run_us = median_delta / runs_per_loop * 1e6
+    print(banner("E-SESSION: monitor overhead on the warm path"))
+    print(f"monitor off: {off_best * 1000:.2f} ms per round "
+          f"({off_best / runs_per_loop * 1000:.3f} ms per query)")
+    print(f"monitor on : {monitor.log.total_recorded} runs logged, "
+          f"median paired delta {median_delta * 1000:+.3f} ms")
+    print(f"overhead   : {overhead_pct:+.2f}% ({per_run_us:+.1f} us per run)")
+
+    assert monitor.log.total_recorded > 0, "the monitor logged nothing"
+    assert overhead_pct < 5.0, \
+        f"monitor overhead {overhead_pct:.2f}% breaches the 5% budget"
+    _merge_into_results({"monitor_overhead_pct": round(overhead_pct, 2)})
 
 
 def test_warm_path_statistics_report_cache_hits(workload):

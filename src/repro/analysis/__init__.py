@@ -4,6 +4,8 @@ from .reports import (
     banner,
     format_mapping,
     format_table,
+    plan_quality_table,
+    query_log_table,
     statistics_table,
     trace_table,
     trace_tree,
@@ -20,4 +22,6 @@ __all__ = [
     "statistics_table",
     "trace_table",
     "trace_tree",
+    "query_log_table",
+    "plan_quality_table",
 ]

@@ -10,7 +10,8 @@ from __future__ import annotations
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence
 
 __all__ = ["format_table", "format_mapping", "banner", "statistics_table",
-           "trace_table", "trace_tree"]
+           "trace_table", "trace_tree", "query_log_table",
+           "plan_quality_table"]
 
 
 def format_table(rows: Sequence[Mapping[str, object]], *,
@@ -207,3 +208,93 @@ def trace_tree(records: Sequence[Mapping[str, object]]) -> str:
     for root in sorted(roots, key=start_of):
         render(root, 0)
     return "\n".join(lines)
+
+
+def query_log_table(entries: Sequence[object], *,
+                    title: Optional[str] = None) -> str:
+    """Render query-log entries (one row per recorded execution) as a table.
+
+    Accepts :class:`~repro.telemetry.monitor.QueryLogEntry` objects or the
+    ``/querylog`` endpoint's JSON dicts (duck-typed via ``getattr``-or-key
+    access, so this module keeps its import-light contract).  Errored runs
+    show the error in place of their cardinalities; slow runs are marked,
+    with ``*`` when their span trace was retained.
+    """
+    def pick(entry: object, name: str, default: object = None) -> object:
+        if isinstance(entry, Mapping):
+            return entry.get(name, default)
+        return getattr(entry, name, default)
+
+    rows: List[Dict[str, object]] = []
+    for entry in entries:
+        error = pick(entry, "error")
+        traced = pick(entry, "trace") is not None or bool(pick(entry, "traced"))
+        slow = bool(pick(entry, "slow"))
+        elapsed = pick(entry, "elapsed_seconds", 0.0) or 0.0
+        rows.append({
+            "seq": pick(entry, "seq", "-"),
+            "query": pick(entry, "query", "-"),
+            "kind": pick(entry, "kind", "-"),
+            "db": pick(entry, "database", "-"),
+            "mode": pick(entry, "mode", "-"),
+            "ms": f"{float(elapsed) * 1000:.2f}",
+            "rows": "-" if error else pick(entry, "output_rows", "-"),
+            "plan cache": "-" if error else
+            ("hit" if pick(entry, "plan_cache_hit") else "miss"),
+            "slow": ("slow*" if traced else "slow") if slow else "-",
+            "error": error or "-",
+        })
+    return format_table(rows, columns=("seq", "query", "kind", "db", "mode",
+                                       "ms", "rows", "plan cache", "slow",
+                                       "error"), title=title)
+
+
+def plan_quality_table(quality: object, *, title: Optional[str] = None) -> str:
+    """Render per-fingerprint plan-quality records (q-error accounting).
+
+    Accepts a :class:`~repro.telemetry.qualitylog.PlanQualityTracker`, a
+    sequence of its records, or the ``/quality`` endpoint's JSON document.
+    One row per fingerprint: runs, estimate count, mean/recent/max q-error,
+    the q-error histogram (``le=count`` pairs, zero buckets elided) and the
+    drift flag.
+    """
+    tracker = None
+    if hasattr(quality, "records") and hasattr(quality, "is_drifted"):
+        tracker = quality
+        records: Sequence[object] = quality.records()
+    elif isinstance(quality, Mapping):
+        records = quality.get("fingerprints", ())
+    else:
+        records = quality  # already a record sequence
+
+    def pick(record: object, name: str, default: object = None) -> object:
+        if isinstance(record, Mapping):
+            return record.get(name, default)
+        return getattr(record, name, default)
+
+    rows: List[Dict[str, object]] = []
+    for record in records:
+        histogram = pick(record, "histogram", None)
+        if callable(histogram):  # a QualityRecord method, not the JSON dict
+            histogram = dict(histogram())
+        histogram = histogram or {}
+        drifted = pick(record, "drifted", None)
+        if drifted is None and tracker is not None:
+            drifted = tracker.is_drifted(record)
+        rendered_histogram = " ".join(
+            f"≤{le}={count}" for le, count in histogram.items() if count) or "-"
+        rows.append({
+            "fingerprint": pick(record, "fingerprint", "-"),
+            "queries": ",".join(pick(record, "queries", ()) or ()) or "-",
+            "runs": pick(record, "runs", 0),
+            "estimates": pick(record, "observations", 0),
+            "mean q": f"{float(pick(record, 'mean_q', 1.0)):.2f}",
+            "recent q": f"{float(pick(record, 'recent_mean_q', 1.0)):.2f}",
+            "max q": f"{float(pick(record, 'max_q', 1.0)):.2f}",
+            "q histogram": rendered_histogram,
+            "drift": "DRIFTED" if drifted else "-",
+        })
+    return format_table(rows, columns=("fingerprint", "queries", "runs",
+                                       "estimates", "mean q", "recent q",
+                                       "max q", "q histogram", "drift"),
+                        title=title)

@@ -55,6 +55,7 @@ from ..relational.relation import Relation
 from ..relational.schema import Attribute, DatabaseSchema
 from ..telemetry.explain import ExplainAnalysis, build_explain_analysis
 from ..telemetry.metrics import MetricsRegistry, global_registry
+from ..telemetry.monitor import MonitorConfig, SessionMonitor
 from ..telemetry.tracing import (
     NULL_TRACER,
     Tracer,
@@ -405,6 +406,9 @@ class PreparedQuery:
         self._options = options
         self._name = name
         self._query = query
+        # The digest is hashed once here — the monitor stamps it on every
+        # query-log entry, so the execute path must not re-hash per run.
+        self._digest = fingerprint_digest(structure.fingerprint)
         self._bindings: "weakref.WeakKeyDictionary[Database, _DatabaseBinding]" = \
             weakref.WeakKeyDictionary()
 
@@ -454,10 +458,24 @@ class PreparedQuery:
         against the *same* database reuse them outright — no cover search,
         no structure planning, no re-annotation.
         """
+        try:
+            binding = self._binding_for(database)
+        except Exception as error:
+            # Binding resolution (schema check, catalog measurement) fails
+            # before any span opens, but the monitor's log must still see it:
+            # a misrouted query is exactly what an operator greps the log for.
+            self._session._record_error(self._kind)
+            monitor = self._session._monitor
+            if monitor is not None:
+                monitor.observe_error(query=self._name,
+                                      fingerprint=self._digest,
+                                      kind=self._kind, elapsed_seconds=0.0,
+                                      error=error, database=database)
+            raise
         if self._options.trace and current_tracer() is NULL_TRACER:
             with use_tracer(self._session.tracer):
-                return self._traced_run(self._binding_for(database))
-        return self._traced_run(self._binding_for(database))
+                return self._traced_run(binding, database=database)
+        return self._traced_run(binding, database=database)
 
     def execute_many(self, databases: Iterable[Database], *,
                      labels: Optional[Sequence[str]] = None) -> ExecutionBatch:
@@ -557,8 +575,32 @@ class PreparedQuery:
     # ------------------------------------------------------------------ #
     # Internals
     # ------------------------------------------------------------------ #
-    def _traced_run(self, binding: "_DatabaseBinding"):
-        """Run one execution under an ``execute`` root span, feeding the session's metrics."""
+    def _traced_run(self, binding: "_DatabaseBinding",
+                    database: Optional[Database] = None):
+        """Run one execution under an ``execute`` root span.
+
+        Feeds the session's metrics and — when the session carries a
+        :class:`~repro.telemetry.monitor.SessionMonitor` — its query log.
+        When the monitor has *armed* slow-query tracing for this query (its
+        previous run breached the threshold untraced) and no ambient tracer
+        is installed, the run executes under a private recording tracer
+        whose spans the monitor retains on the slow log entry.
+        """
+        monitor = self._session._monitor
+        if monitor is not None \
+                and monitor.config.slow_query_seconds is not None \
+                and current_tracer() is NULL_TRACER \
+                and monitor.wants_trace(self._name):
+            capture = Tracer()
+            with use_tracer(capture):
+                return self._recorded_run(binding, database, capture)
+        return self._recorded_run(binding, database, None)
+
+    def _recorded_run(self, binding: "_DatabaseBinding",
+                      database: Optional[Database],
+                      capture: Optional[Tracer]):
+        session = self._session
+        monitor = session._monitor
         span = current_tracer().span("execute")
         started = perf_counter()
         try:
@@ -569,11 +611,24 @@ class PreparedQuery:
                     span.set("kind", self._kind)
                     span.set("mode", result.statistics.execution_mode)
                     span.set("output_rows", result.statistics.output_size)
-        except Exception:
-            self._session._record_error(self._kind)
+        except Exception as error:
+            session._record_error(self._kind)
+            if monitor is not None:
+                monitor.observe_error(
+                    query=self._name, fingerprint=self._digest,
+                    kind=self._kind,
+                    elapsed_seconds=perf_counter() - started,
+                    error=error, database=database)
             raise
-        self._session._record_execution(self._kind, result.statistics,
-                                        perf_counter() - started)
+        elapsed = perf_counter() - started
+        session._record_execution(self._kind, result.statistics, elapsed)
+        if monitor is not None:
+            monitor.observe(
+                query=self._name, fingerprint=self._digest, kind=self._kind,
+                statistics=result.statistics, elapsed_seconds=elapsed,
+                database=database,
+                trace_records=tuple(capture.records)
+                if capture is not None else None)
         return result
 
     def _binding_for(self, database: Database) -> _DatabaseBinding:
@@ -685,6 +740,8 @@ class EngineSession:
                  planner_capacity: int = 128,
                  tracer: Optional[Tracer] = None,
                  metrics: Optional[MetricsRegistry] = None,
+                 monitor: Union[None, bool, MonitorConfig,
+                                SessionMonitor] = None,
                  **overrides: object) -> None:
         self._planner = planner if planner is not None \
             else QueryPlanner(planner_capacity)
@@ -696,6 +753,10 @@ class EngineSession:
         self._tracer = tracer if tracer is not None else Tracer()
         self._metrics = metrics if metrics is not None \
             else MetricsRegistry(parent=global_registry())
+        # Opt-in operational monitoring: ``True`` (defaults), a
+        # MonitorConfig, or a ready SessionMonitor.  Bound after the planner
+        # and registry exist — bind() captures both.
+        self._monitor: Optional[SessionMonitor] = self._resolve_monitor(monitor)
         # Resolved metric series handles, keyed by (kind, mode) / phase name:
         # the per-execution path must not pay the name+label family lookup.
         self._execution_series_cache: Dict[Tuple[str, str], Dict[str, object]] = {}
@@ -733,6 +794,36 @@ class EngineSession:
     def metrics(self) -> MetricsRegistry:
         """The session's metrics registry (parented to the process-wide one)."""
         return self._metrics
+
+    @property
+    def monitor(self) -> Optional[SessionMonitor]:
+        """The session's operational monitor (``None`` unless opted in)."""
+        return self._monitor
+
+    @monitor.setter
+    def monitor(self, monitor: "Union[None, bool, MonitorConfig, SessionMonitor]") -> None:
+        """Attach (``True`` / config / monitor) or detach (``None``/``False``)
+        operational monitoring on a live session.  Detaching keeps the
+        monitor object intact — re-attach it later and the query log and
+        quality records continue where they left off."""
+        self._monitor = self._resolve_monitor(monitor)
+
+    def _resolve_monitor(self, monitor: "Union[None, bool, MonitorConfig, SessionMonitor]"
+                         ) -> Optional[SessionMonitor]:
+        # Duck-typed on purpose: ``python -m repro.telemetry.monitor``
+        # re-executes that module under a second name, so its MonitorConfig
+        # is a *different class object* than the one imported here and an
+        # isinstance() gate would spuriously reject it.
+        if monitor is None or monitor is False:
+            return None
+        if monitor is True:
+            return SessionMonitor().bind(self)
+        if hasattr(monitor, "bind"):            # a ready SessionMonitor
+            return monitor.bind(self)
+        if hasattr(monitor, "log_capacity"):    # a MonitorConfig
+            return SessionMonitor(monitor).bind(self)
+        raise TypeError("monitor= expects True, a MonitorConfig or a "
+                        f"SessionMonitor, not {type(monitor).__name__}")
 
     # ------------------------------------------------------------------ #
     # Catalog lifecycle

@@ -19,11 +19,23 @@ imports the engine; the engine's layers import *it*):
   span attributes of a recorded run;
 * :mod:`~repro.telemetry.schema` — validation of emitted JSONL traces
   against the checked-in ``trace_schema.json`` (required span names,
-  monotonic timestamps, parent/child closure) — what the CI trace-smoke job
-  runs.
+  monotonic timestamps, parent/child closure) and of ``/querylog`` payloads
+  against ``querylog_schema.json`` — what the CI trace-smoke job runs;
+* :mod:`~repro.telemetry.monitor` / :mod:`~repro.telemetry.qualitylog` /
+  :mod:`~repro.telemetry.exposition` — the **operational monitoring**
+  subsystem: a per-session query-log ring buffer with slow-query trace
+  retention, rolling p50/p95/p99 latency and QPS history, per-fingerprint
+  q-error tracking with drift flags, cache/resource gauges, and a stdlib
+  HTTP endpoint serving ``/metrics`` / ``/health`` / ``/querylog`` /
+  ``/quality`` (opt in with ``EngineSession(monitor=True)``).
+
+Module-level imports here never touch the engine (the engine's layers
+import *this* package); the monitor's cache collector and demo entry point
+import engine internals lazily, inside the functions that need them.
 """
 
 from .explain import ExplainAnalysis, ExplainEntry, build_explain_analysis
+from .exposition import MonitoringServer, start_monitoring_server
 from .metrics import (
     DEFAULT_LATENCY_BUCKETS,
     Counter,
@@ -32,11 +44,24 @@ from .metrics import (
     MetricsRegistry,
     global_registry,
 )
+from .monitor import (
+    MonitorConfig,
+    QueryHistory,
+    QueryLog,
+    QueryLogEntry,
+    SessionMonitor,
+    rolling_history,
+)
+from .qualitylog import PlanQualityTracker, QualityObservation, q_error
 from .schema import (
+    QUERYLOG_SCHEMA_PATH,
     TRACE_SCHEMA_PATH,
+    QueryLogValidationError,
     TraceValidationError,
+    load_querylog_schema,
     load_trace_schema,
     read_jsonl,
+    validate_query_log,
     validate_trace_records,
 )
 from .tracing import (
@@ -67,4 +92,11 @@ __all__ = [
     # trace schema
     "TRACE_SCHEMA_PATH", "TraceValidationError", "load_trace_schema",
     "read_jsonl", "validate_trace_records",
+    # operational monitoring
+    "MonitorConfig", "SessionMonitor", "QueryLog", "QueryLogEntry",
+    "QueryHistory", "rolling_history",
+    "PlanQualityTracker", "QualityObservation", "q_error",
+    "MonitoringServer", "start_monitoring_server",
+    "QUERYLOG_SCHEMA_PATH", "QueryLogValidationError",
+    "load_querylog_schema", "validate_query_log",
 ]

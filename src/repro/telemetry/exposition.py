@@ -1,0 +1,184 @@
+"""The repo's first network listener: ``/metrics`` over stdlib ``http.server``.
+
+A :class:`MonitoringServer` wraps one
+:class:`~repro.telemetry.monitor.SessionMonitor` in a daemon-threaded
+:class:`~http.server.ThreadingHTTPServer` bound to localhost (port 0 picks a
+free port) and serves four routes:
+
+* ``GET /metrics`` — the Prometheus text exposition of the session's
+  registry, with :meth:`SessionMonitor.collect` polled first so the cache
+  and catalog gauges are fresh at scrape time;
+* ``GET /health`` — a JSON liveness document (uptime, queries recorded,
+  retained errors/slow runs, drifted fingerprints);
+* ``GET /querylog`` — the query-log ring buffer plus the rolling history as
+  JSON (``?limit=N`` keeps the newest N entries), the document
+  ``querylog_schema.json`` describes;
+* ``GET /quality`` — the per-fingerprint q-error accounting as JSON.
+
+This is deliberately the *seam* the future multi-tenant query service grows
+from — the handler knows nothing about the engine, only the monitor's three
+payload methods — and deliberately minimal: no TLS, no auth, loopback by
+default.  Anything else belongs to the service PR, not the telemetry layer.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional, Tuple
+from urllib.parse import parse_qs, urlparse
+
+__all__ = ["MonitoringServer", "start_monitoring_server"]
+
+#: The content type Prometheus scrapers expect for the text format.
+_METRICS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+class _MonitorRequestHandler(BaseHTTPRequestHandler):
+    """Route GETs to the owning server's monitor payloads."""
+
+    # Set per bound server class (see MonitoringServer._make_handler).
+    monitor = None
+    server_version = "repro-monitor/1.0"
+    protocol_version = "HTTP/1.1"
+
+    # -- plumbing ---------------------------------------------------------- #
+    def log_message(self, format: str, *args: object) -> None:
+        """Silence the default stderr access log (the monitor *is* the log)."""
+
+    def _reply(self, status: int, body: bytes, content_type: str) -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _reply_json(self, document: object, status: int = 200) -> None:
+        body = json.dumps(document, default=str).encode("utf-8")
+        self._reply(status, body, "application/json; charset=utf-8")
+
+    # -- routes ------------------------------------------------------------ #
+    def do_GET(self) -> None:  # noqa: N802 - http.server's naming
+        parsed = urlparse(self.path)
+        route = parsed.path.rstrip("/") or "/"
+        monitor = self.monitor
+        try:
+            if route == "/metrics":
+                monitor.collect()
+                registry = monitor.registry
+                text = registry.render_prometheus() if registry is not None \
+                    else ""
+                self._reply(200, text.encode("utf-8"), _METRICS_CONTENT_TYPE)
+            elif route == "/health":
+                self._reply_json(monitor.health_payload())
+            elif route == "/querylog":
+                limit = self._limit_of(parsed.query)
+                self._reply_json(monitor.querylog_payload(limit=limit))
+            elif route == "/quality":
+                self._reply_json(monitor.quality_payload())
+            elif route == "/":
+                self._reply_json({"routes": ["/metrics", "/health",
+                                             "/querylog", "/quality"]})
+            else:
+                self._reply_json({"error": f"unknown route {route!r}"},
+                                 status=404)
+        except BrokenPipeError:  # pragma: no cover - client went away
+            pass
+        except Exception as error:  # noqa: BLE001 - a scrape must not kill the thread
+            self._reply_json({"error": f"{type(error).__name__}: {error}"},
+                             status=500)
+
+    @staticmethod
+    def _limit_of(query_string: str) -> Optional[int]:
+        values = parse_qs(query_string).get("limit")
+        if not values:
+            return None
+        try:
+            limit = int(values[-1])
+        except ValueError:
+            return None
+        return limit if limit > 0 else None
+
+
+class MonitoringServer:
+    """A daemon-threaded HTTP endpoint over one session monitor.
+
+    ``port=0`` (the default) binds a free port — read it back from
+    :attr:`port` / :attr:`url` after :meth:`start`.  Use as a context
+    manager or call :meth:`close` explicitly; the thread is a daemon either
+    way, so a forgotten server never blocks interpreter exit.
+    """
+
+    def __init__(self, monitor, *, host: str = "127.0.0.1",
+                 port: int = 0) -> None:
+        self._monitor = monitor
+        self._requested = (host, port)
+        self._httpd: Optional[ThreadingHTTPServer] = None
+        self._thread: Optional[threading.Thread] = None
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    def start(self) -> "MonitoringServer":
+        """Bind the socket and start serving; idempotent."""
+        if self._httpd is not None:
+            return self
+        handler = type("BoundMonitorRequestHandler",
+                       (_MonitorRequestHandler,),
+                       {"monitor": self._monitor})
+        self._httpd = ThreadingHTTPServer(self._requested, handler)
+        self._httpd.daemon_threads = True
+        self._thread = threading.Thread(target=self._httpd.serve_forever,
+                                        name="repro-monitoring-endpoint",
+                                        daemon=True)
+        self._thread.start()
+        return self
+
+    def close(self) -> None:
+        """Stop serving and release the socket; idempotent."""
+        httpd, thread = self._httpd, self._thread
+        self._httpd = self._thread = None
+        if httpd is not None:
+            httpd.shutdown()
+            httpd.server_close()
+        if thread is not None:
+            thread.join(timeout=5.0)
+
+    def __enter__(self) -> "MonitoringServer":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def running(self) -> bool:
+        return self._httpd is not None
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The bound ``(host, port)`` (the requested pair before start)."""
+        if self._httpd is None:
+            return self._requested
+        host, port = self._httpd.server_address[:2]
+        return str(host), int(port)
+
+    @property
+    def port(self) -> int:
+        return self.address[1]
+
+    @property
+    def url(self) -> str:
+        """The endpoint's base URL, e.g. ``http://127.0.0.1:43521``."""
+        host, port = self.address
+        return f"http://{host}:{port}"
+
+
+def start_monitoring_server(monitor, *, host: str = "127.0.0.1",
+                            port: int = 0) -> MonitoringServer:
+    """Start (and return) a :class:`MonitoringServer` over ``monitor``."""
+    return MonitoringServer(monitor, host=host, port=port).start()

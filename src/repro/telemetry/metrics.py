@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import threading
 from bisect import bisect_left
+from time import perf_counter
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 __all__ = [
@@ -46,14 +47,26 @@ def _label_key(labels: Optional[Mapping[str, object]]) -> LabelValues:
     return tuple(sorted((str(key), str(value)) for key, value in labels.items()))
 
 
+def _escape_label_value(value: str) -> str:
+    """Escape a label value per the Prometheus text-format spec.
+
+    Backslash must go first (escaping an escape would otherwise double up),
+    then the double quote that delimits the value, then the newline that
+    delimits the line.
+    """
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _escape_help(text: str) -> str:
+    """Escape a ``# HELP`` string (backslash and newline only, per the spec)."""
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
 def _format_labels(labels: LabelValues) -> str:
     """The ``{k="v",…}`` suffix of an exposition line ("" when unlabelled)."""
     if not labels:
         return ""
-    escaped = []
-    for key, value in labels:
-        value = value.replace("\\", r"\\").replace('"', r"\"").replace("\n", r"\n")
-        escaped.append(f'{key}="{value}"')
+    escaped = [f'{key}="{_escape_label_value(value)}"' for key, value in labels]
     return "{" + ",".join(escaped) + "}"
 
 
@@ -104,10 +117,41 @@ class Gauge:
         with self._lock:
             self._value += amount
 
+    def dec(self, amount: float = 1.0) -> None:
+        """Decrease the gauge (in-flight counts, freed capacity)."""
+        with self._lock:
+            self._value -= amount
+
     @property
     def value(self) -> float:
         with self._lock:
             return self._value
+
+
+class _HistogramTimer:
+    """``with histogram.time():`` — observe the block's wall-time on exit.
+
+    The elapsed seconds are observed even when the body raises (the failure
+    path's latency is still latency); the exception propagates.  The last
+    measurement is kept on :attr:`elapsed_seconds` for callers that want the
+    number as well as the observation.
+    """
+
+    __slots__ = ("_histogram", "_started", "elapsed_seconds")
+
+    def __init__(self, histogram: "Histogram") -> None:
+        self._histogram = histogram
+        self._started = 0.0
+        self.elapsed_seconds: Optional[float] = None
+
+    def __enter__(self) -> "_HistogramTimer":
+        self._started = perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.elapsed_seconds = perf_counter() - self._started
+        self._histogram.observe(self.elapsed_seconds)
+        return False
 
 
 class Histogram:
@@ -123,6 +167,10 @@ class Histogram:
         self._sum = 0.0
         self._count = 0
         self._parent = parent
+
+    def time(self) -> _HistogramTimer:
+        """A context manager observing the ``with`` block's wall-time."""
+        return _HistogramTimer(self)
 
     def observe(self, value: float) -> None:
         """Record one observation in this series and its parent."""
@@ -273,7 +321,7 @@ class MetricsRegistry:
         lines: List[str] = []
         for name, family, series_map in families:
             if family.help:
-                lines.append(f"# HELP {name} {family.help}")
+                lines.append(f"# HELP {name} {_escape_help(family.help)}")
             lines.append(f"# TYPE {name} {family.kind}")
             for key, series in sorted(series_map.items()):
                 suffix = _format_labels(key)

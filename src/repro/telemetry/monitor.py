@@ -1,0 +1,748 @@
+"""Operational monitoring: the query log, rolling history and cache accounting.
+
+PR 6 gave the engine spans, metric families and EXPLAIN ANALYZE; this module
+is what *consumes* them continuously.  A :class:`SessionMonitor` attached to
+an :class:`~repro.engine.session.EngineSession` (``EngineSession(monitor=True)``)
+receives every prepared-query execution and error and maintains:
+
+* a :class:`QueryLog` — a bounded ring buffer of :class:`QueryLogEntry`
+  records (fingerprint, query name, database id, execution mode, elapsed,
+  phase times, cardinalities, cache hits, error if any).  Runs slower than
+  the configured :attr:`MonitorConfig.slow_query_seconds` are flagged, and
+  the monitor *arms* slow-query tracing for that query: its next execution
+  runs under a private recording tracer whose full span trace is retained on
+  the log entry if the run is slow again — steady-state fast traffic never
+  pays for span recording;
+* a **rolling history** — windowed p50/p95/p99 latency, QPS and error counts
+  per prepared query, computed on demand from the log (see
+  :meth:`SessionMonitor.history`);
+* a :class:`~repro.telemetry.qualitylog.PlanQualityTracker` — per-fingerprint
+  q-error accounting of the estimated-vs-actual cardinalities every adaptive
+  run already carries (the data feed for estimate-drift re-optimisation);
+* **cache/resource gauges** — :meth:`SessionMonitor.collect` polls the
+  planner LRU (``cache_info``), the hash-index cache, the column-block cache
+  and the per-database catalog sizes into gauges on the session's
+  :class:`~repro.telemetry.metrics.MetricsRegistry`, so one ``/metrics``
+  scrape sees the full warm-path cache state.
+
+``python -m repro.telemetry.monitor`` is the demo/smoke entry point: it
+starts the :mod:`~repro.telemetry.exposition` endpoint, traces a mixed
+acyclic + cyclic workload (including one induced error and one slow query),
+scrapes ``/metrics`` / ``/health`` over live HTTP and validates the
+``/querylog`` payload against the checked-in ``querylog_schema.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+import weakref
+from collections import deque
+from dataclasses import dataclass, replace
+from typing import Deque, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from .qualitylog import PlanQualityTracker
+from .schema import QUERYLOG_SCHEMA_PATH, validate_query_log
+
+__all__ = [
+    "MonitorConfig",
+    "QueryLogEntry",
+    "QueryLog",
+    "QueryHistory",
+    "SessionMonitor",
+    "rolling_history",
+    "QUERYLOG_SCHEMA_PATH",
+    "validate_query_log",
+    "main",
+]
+
+
+# --------------------------------------------------------------------------- #
+# Configuration
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class MonitorConfig:
+    """The monitor's knobs, all with serviceable defaults.
+
+    * ``log_capacity`` — how many :class:`QueryLogEntry` records the ring
+      buffer retains (older entries are dropped, counted in
+      :attr:`QueryLog.dropped`);
+    * ``slow_query_seconds`` — runs at or above this wall-time are flagged
+      slow and arm span-trace capture for the query's next execution
+      (``None`` disables slow-query handling entirely);
+    * ``window_seconds`` — the default rolling-history window;
+    * ``quality_drift_threshold`` / ``quality_drift_min_runs`` /
+      ``quality_window`` — when a fingerprint's recent mean q-error exceeds
+      the threshold over at least ``min_runs`` recent runs it is flagged as
+      drifted (see :class:`~repro.telemetry.qualitylog.PlanQualityTracker`).
+    """
+
+    log_capacity: int = 256
+    slow_query_seconds: Optional[float] = None
+    window_seconds: float = 60.0
+    quality_drift_threshold: float = 2.0
+    quality_drift_min_runs: int = 3
+    quality_window: int = 32
+
+
+# --------------------------------------------------------------------------- #
+# The query log
+# --------------------------------------------------------------------------- #
+class QueryLogEntry:
+    """One prepared-query execution, as the monitor recorded it.
+
+    Treat instances as immutable.  The entry stores the run's (immutable)
+    statistics object and derives the cardinality/cache fields from it
+    lazily — recording a run on the warm path then costs one small
+    11-slot allocation instead of copying ~20 fields out of an object the
+    reader may never look at.  Errored runs carry no statistics, and every
+    derived field falls back to its empty default.
+    """
+
+    __slots__ = ("seq", "ts", "query", "fingerprint", "kind", "database",
+                 "elapsed_seconds", "error", "slow", "trace", "_statistics")
+
+    def __init__(self, query: str, fingerprint: str, kind: str,
+                 database: str, elapsed_seconds: float = 0.0,
+                 statistics: Optional[object] = None,
+                 error: Optional[str] = None, slow: bool = False,
+                 trace: Optional[Tuple[Mapping[str, object], ...]] = None,
+                 seq: int = 0, ts: float = 0.0) -> None:
+        self.seq = seq
+        self.ts = ts
+        self.query = query
+        self.fingerprint = fingerprint
+        self.kind = kind
+        self.database = database
+        self.elapsed_seconds = elapsed_seconds
+        self.error = error
+        self.slow = slow
+        self.trace = trace
+        self._statistics = statistics
+
+    def __repr__(self) -> str:
+        state = f"error={self.error!r}" if self.error else \
+            f"rows={self.output_rows}"
+        return (f"QueryLogEntry(seq={self.seq}, query={self.query!r}, "
+                f"database={self.database!r}, "
+                f"elapsed={self.elapsed_seconds * 1000:.3f}ms, {state})")
+
+    @property
+    def ok(self) -> bool:
+        """``True`` when the run returned a result (no error)."""
+        return self.error is None
+
+    @property
+    def statistics(self) -> Optional[object]:
+        """The run's statistics object (``None`` for errored runs)."""
+        return self._statistics
+
+    @property
+    def mode(self) -> str:
+        mode = getattr(self._statistics, "execution_mode", None)
+        return str(mode) if mode is not None else "-"
+
+    @property
+    def phase_times(self) -> Tuple[Tuple[str, float], ...]:
+        return tuple(getattr(self._statistics, "phase_times", ()) or ())
+
+    @property
+    def input_rows(self) -> int:
+        return sum(getattr(self._statistics, "input_sizes", ()) or ())
+
+    @property
+    def output_rows(self) -> int:
+        return getattr(self._statistics, "output_size", 0) or 0
+
+    @property
+    def max_intermediate(self) -> int:
+        return getattr(self._statistics, "max_intermediate", 0) or 0
+
+    @property
+    def semijoin_steps(self) -> int:
+        return getattr(self._statistics, "semijoin_steps", 0) or 0
+
+    @property
+    def rows_removed(self) -> int:
+        return getattr(self._statistics, "rows_removed_by_reduction", 0) or 0
+
+    @property
+    def plan_cache_hit(self) -> bool:
+        return bool(getattr(self._statistics, "plan_cache_hit", False))
+
+    @property
+    def index_cache_hits(self) -> int:
+        return getattr(self._statistics, "index_cache_hits", 0) or 0
+
+    @property
+    def index_cache_misses(self) -> int:
+        return getattr(self._statistics, "index_cache_misses", 0) or 0
+
+    @property
+    def adaptive(self) -> bool:
+        return bool(getattr(self._statistics, "adaptive", False))
+
+    @property
+    def estimated_output_rows(self) -> Optional[int]:
+        return getattr(self._statistics, "estimated_output_size", None)
+
+    def to_dict(self) -> Dict[str, object]:
+        """A JSON-ready dict (the ``/querylog`` payload's entry shape)."""
+        return {
+            "seq": self.seq,
+            "ts": self.ts,
+            "query": self.query,
+            "fingerprint": self.fingerprint,
+            "kind": self.kind,
+            "database": self.database,
+            "mode": self.mode,
+            "elapsed_seconds": self.elapsed_seconds,
+            "phase_times": [[phase, seconds]
+                            for phase, seconds in self.phase_times],
+            "input_rows": self.input_rows,
+            "output_rows": self.output_rows,
+            "max_intermediate": self.max_intermediate,
+            "semijoin_steps": self.semijoin_steps,
+            "rows_removed": self.rows_removed,
+            "plan_cache_hit": self.plan_cache_hit,
+            "index_cache_hits": self.index_cache_hits,
+            "index_cache_misses": self.index_cache_misses,
+            "adaptive": self.adaptive,
+            "estimated_output_rows": self.estimated_output_rows,
+            "error": self.error,
+            "slow": self.slow,
+            "traced": self.trace is not None,
+        }
+
+
+class QueryLog:
+    """A thread-safe bounded ring buffer of :class:`QueryLogEntry` records.
+
+    The deque's ``maxlen`` enforces the capacity — a full log drops its
+    oldest entry on every append (the drop is counted, never silent), so the
+    buffer can absorb unbounded traffic at O(capacity) memory.
+    """
+
+    def __init__(self, capacity: int = 256) -> None:
+        if capacity < 1:
+            raise ValueError("the query log needs capacity >= 1")
+        self._capacity = capacity
+        self._lock = threading.Lock()
+        self._entries: Deque[QueryLogEntry] = deque(maxlen=capacity)
+        self._seq = 0
+        self._dropped = 0
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    @property
+    def dropped(self) -> int:
+        """How many entries the ring has evicted since creation."""
+        with self._lock:
+            return self._dropped
+
+    @property
+    def total_recorded(self) -> int:
+        """How many entries were ever appended (monotonic sequence counter)."""
+        with self._lock:
+            return self._seq
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def append(self, **fields: object) -> QueryLogEntry:
+        """Record one run; the log assigns ``seq`` and ``ts`` itself."""
+        return self.push(QueryLogEntry(**fields))  # type: ignore[arg-type]
+
+    def push(self, entry: QueryLogEntry) -> QueryLogEntry:
+        """Record an already-built entry (the warm path — construction stays
+        outside the lock; the log still assigns ``seq`` and ``ts``)."""
+        with self._lock:
+            self._seq += 1
+            entry.seq = self._seq
+            entry.ts = time.time()
+            if len(self._entries) == self._capacity:
+                self._dropped += 1
+            self._entries.append(entry)
+        return entry
+
+    def entries(self, *, limit: Optional[int] = None,
+                query: Optional[str] = None) -> Tuple[QueryLogEntry, ...]:
+        """A snapshot, oldest first; ``limit`` keeps the newest N."""
+        with self._lock:
+            snapshot: List[QueryLogEntry] = list(self._entries)
+        if query is not None:
+            snapshot = [entry for entry in snapshot if entry.query == query]
+        if limit is not None:
+            snapshot = snapshot[-limit:]
+        return tuple(snapshot)
+
+    def slow_entries(self) -> Tuple[QueryLogEntry, ...]:
+        """Every retained entry flagged slow, oldest first."""
+        return tuple(entry for entry in self.entries() if entry.slow)
+
+    def errors(self) -> Tuple[QueryLogEntry, ...]:
+        """Every retained entry that recorded an error, oldest first."""
+        return tuple(entry for entry in self.entries() if entry.error is not None)
+
+    def clear(self) -> None:
+        """Drop retained entries (the sequence and drop counters survive)."""
+        with self._lock:
+            self._entries.clear()
+
+
+# --------------------------------------------------------------------------- #
+# Rolling history
+# --------------------------------------------------------------------------- #
+def _percentile(sorted_values: Sequence[float], q: float) -> float:
+    """The q-th percentile (0..100) of a pre-sorted sequence, interpolated."""
+    if not sorted_values:
+        return 0.0
+    if len(sorted_values) == 1:
+        return sorted_values[0]
+    position = (len(sorted_values) - 1) * (q / 100.0)
+    lower = int(position)
+    upper = min(lower + 1, len(sorted_values) - 1)
+    fraction = position - lower
+    return sorted_values[lower] * (1.0 - fraction) + sorted_values[upper] * fraction
+
+
+@dataclass(frozen=True)
+class QueryHistory:
+    """One prepared query's rolling-window latency/throughput summary."""
+
+    query: str
+    window_seconds: float
+    runs: int
+    errors: int
+    qps: float
+    p50_seconds: float
+    p95_seconds: float
+    p99_seconds: float
+    max_seconds: float
+    mean_seconds: float
+    slow_runs: int
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "query": self.query,
+            "window_seconds": self.window_seconds,
+            "runs": self.runs,
+            "errors": self.errors,
+            "qps": self.qps,
+            "p50_seconds": self.p50_seconds,
+            "p95_seconds": self.p95_seconds,
+            "p99_seconds": self.p99_seconds,
+            "max_seconds": self.max_seconds,
+            "mean_seconds": self.mean_seconds,
+            "slow_runs": self.slow_runs,
+        }
+
+
+def rolling_history(entries: Sequence[QueryLogEntry], *,
+                    window_seconds: float = 60.0,
+                    now: Optional[float] = None
+                    ) -> Tuple[QueryHistory, ...]:
+    """Windowed per-query percentiles/QPS over a query-log snapshot.
+
+    Only entries whose ``ts`` falls inside ``[now - window, now]`` count.
+    Errored runs contribute to ``runs``/``errors`` and QPS but not to the
+    latency percentiles (their elapsed time measures the failure path, not
+    the query).  Queries are returned name-sorted.
+    """
+    mark = time.time() if now is None else now
+    cutoff = mark - window_seconds
+    buckets: Dict[str, List[QueryLogEntry]] = {}
+    for entry in entries:
+        if entry.ts >= cutoff:
+            buckets.setdefault(entry.query, []).append(entry)
+    histories: List[QueryHistory] = []
+    for query in sorted(buckets):
+        bucket = buckets[query]
+        latencies = sorted(entry.elapsed_seconds for entry in bucket
+                           if entry.error is None)
+        errors = sum(1 for entry in bucket if entry.error is not None)
+        histories.append(QueryHistory(
+            query=query, window_seconds=window_seconds, runs=len(bucket),
+            errors=errors, qps=len(bucket) / window_seconds,
+            p50_seconds=_percentile(latencies, 50.0),
+            p95_seconds=_percentile(latencies, 95.0),
+            p99_seconds=_percentile(latencies, 99.0),
+            max_seconds=latencies[-1] if latencies else 0.0,
+            mean_seconds=(sum(latencies) / len(latencies)) if latencies else 0.0,
+            slow_runs=sum(1 for entry in bucket if entry.slow)))
+    return tuple(histories)
+
+
+# --------------------------------------------------------------------------- #
+# The session monitor
+# --------------------------------------------------------------------------- #
+class SessionMonitor:
+    """The operational state of one :class:`~repro.engine.session.EngineSession`.
+
+    Created by ``EngineSession(monitor=...)`` (which accepts ``True``, a
+    :class:`MonitorConfig` or a ready monitor) and reachable as
+    ``session.monitor``.  The monitor is passive until
+    :meth:`~repro.engine.session.EngineSession` binds it — ``bind`` hands it
+    the session's planner and metrics registry; every
+    ``PreparedQuery._traced_run`` then feeds :meth:`observe` /
+    :meth:`observe_error`.
+    """
+
+    def __init__(self, config: Optional[MonitorConfig] = None) -> None:
+        self.config = config if config is not None else MonitorConfig()
+        self.log = QueryLog(self.config.log_capacity)
+        self.quality = PlanQualityTracker(
+            drift_threshold=self.config.quality_drift_threshold,
+            drift_min_runs=self.config.quality_drift_min_runs,
+            window=self.config.quality_window)
+        self.started_at = time.time()
+        self._lock = threading.Lock()
+        self._armed: set = set()          # query names armed for slow tracing
+        self._registry = None             # bound by the session
+        self._planner = None
+        self._session_ref = None
+        # Databases seen by observe(), weakly held, labelled db0, db1, …
+        self._database_labels: "weakref.WeakKeyDictionary[object, str]" = \
+            weakref.WeakKeyDictionary()
+        self._database_counter = 0
+        self._slow_counter = None
+        self._error_counter = None
+
+    # ------------------------------------------------------------------ #
+    # Session binding
+    # ------------------------------------------------------------------ #
+    def bind(self, session: object) -> "SessionMonitor":
+        """Attach to a session (its registry and planner); idempotent.
+
+        A monitor belongs to exactly one session — binding a second raises,
+        so two sessions can never interleave entries in one log.
+        """
+        with self._lock:
+            if self._session_ref is not None:
+                bound = self._session_ref()
+                if bound is not None and bound is not session:
+                    raise ValueError("this SessionMonitor is already bound to "
+                                     "a different EngineSession")
+            self._session_ref = weakref.ref(session)
+            self._registry = session.metrics
+            self._planner = session.planner
+            self._slow_counter = self._registry.counter(
+                "engine_slow_queries_total",
+                "Runs at or above the slow-query threshold.")
+            self._error_counter = self._registry.counter(
+                "engine_monitored_errors_total",
+                "Errored runs recorded in the query log.")
+        return self
+
+    @property
+    def registry(self):
+        """The bound session's metrics registry (``None`` before binding)."""
+        return self._registry
+
+    @property
+    def uptime_seconds(self) -> float:
+        return time.time() - self.started_at
+
+    # ------------------------------------------------------------------ #
+    # Observation (called from PreparedQuery._traced_run)
+    # ------------------------------------------------------------------ #
+    def database_label(self, database: Optional[object]) -> str:
+        """A stable ``db<N>`` label for a database instance ("-" when none)."""
+        if database is None:
+            return "-"
+        with self._lock:
+            label = self._database_labels.get(database)
+            if label is None:
+                label = f"db{self._database_counter}"
+                self._database_counter += 1
+                self._database_labels[database] = label
+        return label
+
+    def wants_trace(self, query: str) -> bool:
+        """``True`` when the query's next run should capture a span trace."""
+        if self.config.slow_query_seconds is None:
+            return False
+        with self._lock:
+            return query in self._armed
+
+    def observe(self, *, query: str, fingerprint: str, kind: str,
+                statistics: object, elapsed_seconds: float,
+                database: Optional[object] = None,
+                trace_records: Optional[Sequence[Mapping[str, object]]] = None
+                ) -> QueryLogEntry:
+        """Fold one successful run into the log, the quality tracker and metrics."""
+        threshold = self.config.slow_query_seconds
+        slow = threshold is not None and elapsed_seconds >= threshold
+        trace: Optional[Tuple[Mapping[str, object], ...]] = None
+        if slow and trace_records:
+            trace = tuple(trace_records)
+        if threshold is not None:
+            with self._lock:
+                if slow and trace is None:
+                    # Slow but untraced: arm capture for the next run.
+                    self._armed.add(query)
+                else:
+                    self._armed.discard(query)
+        # Positional construction, outside any lock — the warm path's one
+        # allocation.  The statistics object rides along and the wide
+        # fields derive from it lazily (see QueryLogEntry).
+        entry = self.log.push(QueryLogEntry(
+            query, fingerprint, kind, self.database_label(database),
+            elapsed_seconds, statistics, None, slow, trace))
+        self.quality.fold_run(fingerprint=fingerprint, query=query,
+                              statistics=statistics)
+        if slow and self._slow_counter is not None:
+            self._slow_counter.inc()
+        return entry
+
+    def observe_error(self, *, query: str, fingerprint: str, kind: str,
+                      elapsed_seconds: float, error: BaseException,
+                      database: Optional[object] = None) -> QueryLogEntry:
+        """Record one failed run (kept in the same ring, flagged by ``error``)."""
+        entry = self.log.append(
+            query=query, fingerprint=fingerprint, kind=kind,
+            database=self.database_label(database),
+            elapsed_seconds=elapsed_seconds,
+            error=f"{type(error).__name__}: {error}")
+        if self._error_counter is not None:
+            self._error_counter.inc()
+        return entry
+
+    # ------------------------------------------------------------------ #
+    # Rolling history
+    # ------------------------------------------------------------------ #
+    def history(self, *, window_seconds: Optional[float] = None
+                ) -> Tuple[QueryHistory, ...]:
+        """Windowed p50/p95/p99 latency and QPS per prepared query."""
+        window = window_seconds if window_seconds is not None \
+            else self.config.window_seconds
+        return rolling_history(self.log.entries(), window_seconds=window)
+
+    # ------------------------------------------------------------------ #
+    # Cache / resource collection
+    # ------------------------------------------------------------------ #
+    def collect(self) -> Dict[str, float]:
+        """Poll every cache into gauges on the session registry; return the values.
+
+        Covers the planner LRU (hits/misses/size/capacity), the hash-index
+        cache, the column-block cache, the query-log occupancy and the
+        per-database relation/row counts of every database the monitor has
+        seen (weakly tracked — collected databases drop out on their own).
+        """
+        from ..engine.columnar.block import column_cache_info
+        from ..engine.indexes import index_cache_info
+
+        values: Dict[str, float] = {}
+        registry = self._registry
+        if registry is None:
+            return values
+
+        def gauge(name: str, help: str, value: float,
+                  labels: Optional[Mapping[str, object]] = None) -> None:
+            registry.gauge(name, help, labels=labels).set(value)
+            suffix = "" if not labels else \
+                "{" + ",".join(f"{k}={v}" for k, v in sorted(labels.items())) + "}"
+            values[f"{name}{suffix}"] = float(value)
+
+        if self._planner is not None:
+            info = self._planner.cache_info()
+            gauge("engine_planner_cache_hits", "Planner LRU hits.", info.hits)
+            gauge("engine_planner_cache_misses", "Planner LRU misses.",
+                  info.misses)
+            gauge("engine_planner_cache_size",
+                  "Compiled plans resident in the planner LRU.", info.size)
+            gauge("engine_planner_cache_capacity",
+                  "The planner LRU's capacity.", info.capacity)
+        for prefix, info in (("engine_index_cache", index_cache_info()),
+                             ("engine_column_cache", column_cache_info())):
+            help_what = "hash-index" if "index" in prefix else "column-block"
+            gauge(f"{prefix}_hits", f"Cumulative {help_what} cache hits.",
+                  info["hits"])
+            gauge(f"{prefix}_misses", f"Cumulative {help_what} cache misses.",
+                  info["misses"])
+            gauge(f"{prefix}_relations",
+                  f"Relations resident in the {help_what} cache.",
+                  info["relations"])
+        gauge("engine_querylog_entries",
+              "Entries retained in the query log ring buffer.", len(self.log))
+        gauge("engine_querylog_dropped",
+              "Entries the query log ring buffer has evicted.",
+              self.log.dropped)
+        with self._lock:
+            databases = list(self._database_labels.items())
+        for database, label in databases:
+            relations = getattr(database, "relations", None)
+            if relations is None:
+                continue
+            rels = relations()
+            gauge("engine_database_relations",
+                  "Relations in a monitored database.", len(rels),
+                  labels={"database": label})
+            gauge("engine_database_rows",
+                  "Stored rows in a monitored database.",
+                  sum(len(relation) for relation in rels),
+                  labels={"database": label})
+        return values
+
+    # ------------------------------------------------------------------ #
+    # JSON payloads (served by the exposition endpoint)
+    # ------------------------------------------------------------------ #
+    def querylog_payload(self, *, limit: Optional[int] = None
+                         ) -> Dict[str, object]:
+        """The ``/querylog`` JSON document (validated by ``querylog_schema.json``)."""
+        return {
+            "capacity": self.log.capacity,
+            "recorded": self.log.total_recorded,
+            "dropped": self.log.dropped,
+            "slow_query_seconds": self.config.slow_query_seconds,
+            "entries": [entry.to_dict()
+                        for entry in self.log.entries(limit=limit)],
+            "history": [history.to_dict() for history in self.history()],
+        }
+
+    def quality_payload(self) -> Dict[str, object]:
+        """The ``/quality`` JSON document (per-fingerprint q-error accounting)."""
+        return self.quality.to_dict()
+
+    def health_payload(self) -> Dict[str, object]:
+        """The ``/health`` JSON document."""
+        errors = len(self.log.errors())
+        return {
+            "status": "ok",
+            "uptime_seconds": self.uptime_seconds,
+            "queries_recorded": self.log.total_recorded,
+            "errors_retained": errors,
+            "slow_retained": len(self.log.slow_entries()),
+            "drifted_fingerprints": len(self.quality.drifted_fingerprints()),
+        }
+
+    def describe(self) -> str:
+        """A one-line monitor summary."""
+        return (f"SessionMonitor(entries={len(self.log)}/{self.log.capacity} "
+                f"recorded={self.log.total_recorded} "
+                f"dropped={self.log.dropped} "
+                f"slow={len(self.log.slow_entries())} "
+                f"errors={len(self.log.errors())} "
+                f"drifted={len(self.quality.drifted_fingerprints())})")
+
+
+# --------------------------------------------------------------------------- #
+# Demo / smoke entry point
+# --------------------------------------------------------------------------- #
+def _run_demo_workload(session) -> Dict[str, object]:
+    """A mixed acyclic + cyclic workload with one induced error and one slow query."""
+    from ..exceptions import SchemaError
+    from ..generators import (
+        generate_database,
+        skewed_chain_database,
+        skewed_chain_endpoints,
+        triangle_core_chain,
+    )
+    from ..relational.schema import DatabaseSchema, RelationSchema
+
+    chain_length = 4
+    acyclic_dbs = [skewed_chain_database(chain_length, heads=4, fanout=3,
+                                         junction_values=2, seed=seed)
+                   for seed in range(3)]
+    prepared_acyclic = session.prepare(acyclic_dbs[0],
+                                       skewed_chain_endpoints(chain_length),
+                                       name="chain-endpoints")
+    for _ in range(4):
+        prepared_acyclic.execute_many(acyclic_dbs)
+
+    hypergraph = triangle_core_chain(3)
+    schema = DatabaseSchema(
+        RelationSchema.of(f"R{index}", sorted(edge, key=str))
+        for index, edge in enumerate(hypergraph.edges))
+    cyclic_db = generate_database(schema, universe_rows=30, seed=11)
+    prepared_cyclic = session.prepare(cyclic_db, name="triangle-core")
+    for _ in range(3):
+        prepared_cyclic.execute(cyclic_db)
+
+    # One induced error: execute against a database of the wrong schema.
+    induced_errors = 0
+    try:
+        prepared_cyclic.execute(acyclic_dbs[0])
+    except SchemaError:
+        induced_errors += 1
+
+    # One slow query: drop the threshold to zero so the next runs are
+    # "slow" by definition, which arms (then captures) the span trace.
+    session.monitor.config = replace(session.monitor.config,
+                                     slow_query_seconds=0.0)
+    prepared_acyclic.execute(acyclic_dbs[0])   # slow, arms tracing
+    prepared_acyclic.execute(acyclic_dbs[0])   # slow again, trace retained
+    return {
+        "acyclic_kind": prepared_acyclic.kind,
+        "cyclic_kind": prepared_cyclic.kind,
+        "induced_errors": induced_errors,
+    }
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Run the monitored demo workload against a live ``/metrics`` endpoint."""
+    import sys
+    import urllib.request
+
+    from ..engine.session import EngineSession
+    from .exposition import MonitoringServer
+
+    del argv  # no flags yet; the entry point is deliberately zero-config
+    session = EngineSession(monitor=MonitorConfig(log_capacity=128))
+    monitor = session.monitor
+    server = MonitoringServer(monitor)
+    server.start()
+    try:
+        workload = _run_demo_workload(session)
+        responses: Dict[str, object] = {}
+        for route in ("/health", "/metrics", "/querylog", "/quality"):
+            with urllib.request.urlopen(server.url + route, timeout=10) as reply:
+                body = reply.read().decode("utf-8")
+                responses[route] = body
+                if reply.status != 200:
+                    print(f"monitor smoke FAILED: {route} -> {reply.status}",
+                          file=sys.stderr)
+                    return 1
+        querylog = json.loads(responses["/querylog"])
+        validate_query_log(querylog)
+        health = json.loads(responses["/health"])
+        metrics_text = responses["/metrics"]
+        for required in ("engine_queries_total", "engine_planner_cache_size",
+                         "engine_querylog_entries"):
+            if required not in metrics_text:
+                print(f"monitor smoke FAILED: /metrics lacks {required}",
+                      file=sys.stderr)
+                return 1
+        if not any(entry["error"] for entry in querylog["entries"]):
+            print("monitor smoke FAILED: the induced error never reached "
+                  "the query log", file=sys.stderr)
+            return 1
+        if not any(entry["slow"] and entry["traced"]
+                   for entry in querylog["entries"]):
+            print("monitor smoke FAILED: no slow entry retained its trace",
+                  file=sys.stderr)
+            return 1
+        summary = {
+            "workload": workload,
+            "endpoint": server.url,
+            "health": health,
+            "querylog_entries": len(querylog["entries"]),
+            "history": querylog["history"],
+            "quality": json.loads(responses["/quality"]),
+            "monitor": monitor.describe(),
+        }
+        print(json.dumps(summary, indent=2, default=str))
+        print("monitor smoke OK", file=sys.stderr)
+        return 0
+    finally:
+        server.close()
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised by the CI smoke job
+    import sys
+
+    sys.exit(main())

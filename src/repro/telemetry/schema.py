@@ -21,23 +21,41 @@ from .tracing import TraceRecord
 
 __all__ = [
     "TraceValidationError",
+    "QueryLogValidationError",
     "TRACE_SCHEMA_PATH",
+    "QUERYLOG_SCHEMA_PATH",
     "load_trace_schema",
+    "load_querylog_schema",
     "read_jsonl",
     "validate_trace_records",
+    "validate_query_log",
 ]
 
 TRACE_SCHEMA_PATH = os.path.join(os.path.dirname(__file__), "trace_schema.json")
 """The checked-in schema the engine's trace records conform to."""
+
+QUERYLOG_SCHEMA_PATH = os.path.join(os.path.dirname(__file__),
+                                    "querylog_schema.json")
+"""The checked-in schema the ``/querylog`` endpoint's JSON conforms to."""
 
 
 class TraceValidationError(ReproError):
     """Raised when a trace record set violates the schema."""
 
 
+class QueryLogValidationError(ReproError):
+    """Raised when a ``/querylog`` payload violates the schema."""
+
+
 def load_trace_schema(path: Optional[str] = None) -> Dict[str, object]:
     """Load a trace schema document (the checked-in one by default)."""
     with open(path or TRACE_SCHEMA_PATH, "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def load_querylog_schema(path: Optional[str] = None) -> Dict[str, object]:
+    """Load a query-log schema document (the checked-in one by default)."""
+    with open(path or QUERYLOG_SCHEMA_PATH, "r", encoding="utf-8") as handle:
         return json.load(handle)
 
 
@@ -148,3 +166,103 @@ def validate_trace_records(records: Sequence[Mapping[str, object]],
 
     return {"records": len(records), "roots": roots,
             "span_names": sorted(seen_names)}
+
+
+def validate_query_log(payload: Mapping[str, object],
+                       schema: Optional[Mapping[str, object]] = None
+                       ) -> Dict[str, object]:
+    """Validate a ``/querylog`` JSON document against the checked-in schema.
+
+    Checks, in order: the top-level accounting fields, every entry's
+    required fields with per-kind types (numeric / string / boolean, with
+    ``error`` nullable-string and ``phase_times`` a list of
+    ``[phase, seconds]`` pairs), strictly increasing ``seq``, known ``kind``
+    values, and the rolling-history rows' fields.  Raises
+    :class:`QueryLogValidationError` on the first violation; returns a
+    summary dict (``entries`` / ``errors`` / ``slow`` / ``traced`` /
+    ``queries``).
+    """
+    if schema is None:
+        schema = load_querylog_schema()
+    for field in schema.get("required_top_level", ()):
+        if str(field) not in payload:
+            raise QueryLogValidationError(
+                f"the payload is missing top-level field {field!r}")
+    entries = payload["entries"]
+    if not isinstance(entries, list):
+        raise QueryLogValidationError("'entries' must be a list")
+
+    required = [str(f) for f in schema.get("entry_required_fields", ())]
+    numeric = {str(f) for f in schema.get("entry_numeric_fields", ())}
+    strings = {str(f) for f in schema.get("entry_string_fields", ())}
+    booleans = {str(f) for f in schema.get("entry_boolean_fields", ())}
+    monotonic = schema.get("monotonic_entry_field")
+    kinds = {str(kind) for kind in schema.get("kinds", ())}
+
+    previous_mark: Optional[float] = None
+    for index, entry in enumerate(entries):
+        if not isinstance(entry, Mapping):
+            raise QueryLogValidationError(f"entry {index} is not an object")
+        for field in required:
+            if field not in entry:
+                raise QueryLogValidationError(
+                    f"entry {index} is missing required field {field!r}")
+        for field in numeric:
+            if not isinstance(entry[field], (int, float)) \
+                    or isinstance(entry[field], bool):
+                raise QueryLogValidationError(
+                    f"entry {index} field {field!r} is not numeric: "
+                    f"{entry[field]!r}")
+        for field in strings:
+            if not isinstance(entry[field], str):
+                raise QueryLogValidationError(
+                    f"entry {index} field {field!r} is not a string: "
+                    f"{entry[field]!r}")
+        for field in booleans:
+            if not isinstance(entry[field], bool):
+                raise QueryLogValidationError(
+                    f"entry {index} field {field!r} is not boolean: "
+                    f"{entry[field]!r}")
+        if entry["error"] is not None and not isinstance(entry["error"], str):
+            raise QueryLogValidationError(
+                f"entry {index} field 'error' must be null or a string")
+        phase_times = entry["phase_times"]
+        if not isinstance(phase_times, list) or any(
+                not isinstance(pair, (list, tuple)) or len(pair) != 2
+                or not isinstance(pair[0], str)
+                or not isinstance(pair[1], (int, float))
+                for pair in phase_times):
+            raise QueryLogValidationError(
+                f"entry {index} field 'phase_times' must be a list of "
+                "[phase, seconds] pairs")
+        if kinds and str(entry["kind"]) not in kinds:
+            raise QueryLogValidationError(
+                f"entry {index} has unknown kind {entry['kind']!r} "
+                f"(expected one of {sorted(kinds)})")
+        if monotonic:
+            mark = float(entry[str(monotonic)])
+            if previous_mark is not None and mark <= previous_mark:
+                raise QueryLogValidationError(
+                    f"entry {index} breaks {monotonic!r} monotonicity: "
+                    f"{mark} after {previous_mark}")
+            previous_mark = mark
+
+    history = payload.get("history", [])
+    if not isinstance(history, list):
+        raise QueryLogValidationError("'history' must be a list")
+    history_fields = [str(f) for f in schema.get("history_required_fields", ())]
+    for index, row in enumerate(history):
+        if not isinstance(row, Mapping):
+            raise QueryLogValidationError(f"history row {index} is not an object")
+        for field in history_fields:
+            if field not in row:
+                raise QueryLogValidationError(
+                    f"history row {index} is missing required field {field!r}")
+
+    return {
+        "entries": len(entries),
+        "errors": sum(1 for entry in entries if entry["error"] is not None),
+        "slow": sum(1 for entry in entries if entry["slow"]),
+        "traced": sum(1 for entry in entries if entry["traced"]),
+        "queries": sorted({str(entry["query"]) for entry in entries}),
+    }

@@ -183,3 +183,113 @@ class TestBatchStatisticsTable:
                                intermediate_sizes=(50,), output_size=4)
         text = statistics_table([naive, self._batch()])
         assert "naive" in text and "(total)" in text
+
+
+class TestQueryLogTable:
+    def _entries(self):
+        from repro.telemetry import QueryLogEntry
+
+        class Stats:
+            execution_mode = "columnar"
+            output_size = 42
+            plan_cache_hit = True
+
+        ok = QueryLogEntry("endpoints", "f1", "acyclic", "db0",
+                           elapsed_seconds=0.0123, statistics=Stats(), seq=1)
+        slow = QueryLogEntry("endpoints", "f1", "acyclic", "db1",
+                             elapsed_seconds=0.9, statistics=Stats(),
+                             slow=True, trace=({"name": "execute"},), seq=2)
+        bad = QueryLogEntry("endpoints", "f1", "acyclic", "db0",
+                            error="SchemaError: wrong shape", seq=3)
+        return ok, slow, bad
+
+    def test_renders_objects_one_row_per_execution(self):
+        from repro.analysis import query_log_table
+
+        text = query_log_table(self._entries(), title="query log")
+        assert "query log" in text
+        lines = text.splitlines()
+        assert sum("endpoints" in line for line in lines) == 3
+        assert "12.30" in text and "42" in text and "hit" in text
+
+    def test_slow_marker_distinguishes_retained_traces(self):
+        from repro.analysis import query_log_table
+
+        ok, slow, bad = self._entries()
+        with_trace = query_log_table([slow])
+        assert "slow*" in with_trace
+        slow.trace = None
+        without = query_log_table([slow])
+        assert "slow" in without and "slow*" not in without
+
+    def test_errored_rows_show_the_error_not_cardinalities(self):
+        from repro.analysis import query_log_table
+
+        ok, slow, bad = self._entries()
+        (row,) = [line for line in query_log_table([bad]).splitlines()
+                  if "SchemaError" in line]
+        assert " - " in row  # rows and plan-cache columns are blanked
+
+    def test_accepts_the_querylog_endpoint_json(self):
+        from repro.analysis import query_log_table
+
+        ok, slow, bad = self._entries()
+        text = query_log_table([entry.to_dict()
+                                for entry in (ok, slow, bad)])
+        assert "slow*" in text and "SchemaError" in text and "42" in text
+
+
+class TestPlanQualityTable:
+    def _tracker(self):
+        from dataclasses import dataclass, field
+        from typing import Tuple
+
+        from repro.telemetry import PlanQualityTracker
+
+        @dataclass(frozen=True)
+        class Stats:
+            adaptive: bool = True
+            estimated_intermediate_sizes: Tuple[int, ...] = ()
+            intermediate_sizes: Tuple[int, ...] = ()
+            estimated_output_size: object = None
+            output_size: int = 0
+
+        tracker = PlanQualityTracker(drift_min_runs=1)
+        tracker.observe(fingerprint="drifty", query="q1", statistics=Stats(
+            estimated_intermediate_sizes=(1,), intermediate_sizes=(100,)))
+        tracker.observe(fingerprint="steady", query="q2", statistics=Stats(
+            estimated_intermediate_sizes=(10,), intermediate_sizes=(10,)))
+        return tracker
+
+    def test_renders_a_tracker_with_drift_flags(self):
+        from repro.analysis import plan_quality_table
+
+        text = plan_quality_table(self._tracker(), title="plan quality")
+        assert "plan quality" in text
+        (drifty,) = [line for line in text.splitlines() if "drifty" in line]
+        (steady,) = [line for line in text.splitlines() if "steady" in line]
+        assert "DRIFTED" in drifty and "DRIFTED" not in steady
+        assert "q1" in drifty and "50.50" in drifty
+        assert "≤64=1" in drifty
+
+    def test_accepts_the_quality_endpoint_json(self):
+        from repro.analysis import plan_quality_table
+
+        text = plan_quality_table(self._tracker().to_dict())
+        assert "DRIFTED" in text and "drifty" in text and "steady" in text
+
+    def test_accepts_a_bare_record_sequence(self):
+        from repro.analysis import plan_quality_table
+
+        text = plan_quality_table(self._tracker().records())
+        # No tracker and no JSON flag: drift is unknown, not asserted.
+        assert "drifty" in text and "DRIFTED" not in text
+
+    def test_zero_count_buckets_are_elided(self):
+        from repro.analysis import plan_quality_table
+
+        (steady_line,) = [line
+                          for line in plan_quality_table(
+                              self._tracker()).splitlines()
+                          if "steady" in line]
+        assert "≤1.5=1" in steady_line and "≤2" not in steady_line

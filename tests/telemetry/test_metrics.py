@@ -144,3 +144,73 @@ class TestSessionMetrics:
         after = global_registry().counter("engine_queries_total",
                                           labels=labels).value
         assert after == before + 1
+
+
+class TestGaugeDec:
+    def test_dec_decreases_the_value(self):
+        gauge = MetricsRegistry().gauge("in_flight")
+        gauge.inc(3)
+        gauge.dec()
+        gauge.dec(1.5)
+        assert gauge.value == pytest.approx(0.5)
+
+
+class TestHistogramTimer:
+    def test_time_observes_the_block_wall_time(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("latency", buckets=(60.0,))
+        with histogram.time() as timer:
+            pass
+        assert histogram.count == 1
+        assert timer.elapsed_seconds is not None
+        assert 0.0 <= timer.elapsed_seconds < 60.0
+        assert histogram.sum == pytest.approx(timer.elapsed_seconds)
+
+    def test_time_observes_even_when_the_body_raises(self):
+        histogram = MetricsRegistry().histogram("latency")
+        with pytest.raises(RuntimeError):
+            with histogram.time():
+                raise RuntimeError("the failure path's latency still counts")
+        assert histogram.count == 1
+
+    def test_timers_chain_to_the_parent_like_any_observation(self):
+        parent = MetricsRegistry()
+        child = MetricsRegistry(parent=parent)
+        with child.histogram("latency").time():
+            pass
+        assert parent.histogram("latency").count == 1
+
+
+class TestPrometheusEscaping:
+    """Label values may contain anything — query names, error strings."""
+
+    def test_hostile_label_values_are_escaped_per_the_spec(self):
+        registry = MetricsRegistry()
+        hostile = 'back\\slash "quoted"\nnewline'
+        registry.counter("queries", labels={"query": hostile}).inc()
+        text = registry.render_prometheus()
+        # Backslash -> \\, double quote -> \", newline -> \n; the series
+        # must render as exactly one line with the escaped value.
+        assert ('queries{query="back\\\\slash \\"quoted\\"\\nnewline"} 1'
+                in text.splitlines())
+
+    def test_label_escaping_round_trips_backslash_before_quote(self):
+        # A value ending in a backslash must not escape its closing quote.
+        registry = MetricsRegistry()
+        registry.counter("queries", labels={"query": 'trailing\\'}).inc()
+        assert 'queries{query="trailing\\\\"} 1' in registry.render_prometheus()
+
+    def test_help_text_escapes_backslash_and_newline(self):
+        registry = MetricsRegistry()
+        registry.counter("queries", help="line one\nline \\ two").inc()
+        text = registry.render_prometheus()
+        assert "# HELP queries line one\\nline \\\\ two" in text
+        assert all("\n" not in line for line in text.splitlines())
+
+    def test_exposition_stays_one_line_per_series(self):
+        registry = MetricsRegistry()
+        registry.gauge("cache", labels={"db": "a\nb"}).set(1)
+        registry.gauge("cache", labels={"db": "plain"}).set(2)
+        lines = [line for line in registry.render_prometheus().splitlines()
+                 if line.startswith("cache{")]
+        assert len(lines) == 2

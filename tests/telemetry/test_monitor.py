@@ -1,0 +1,503 @@
+"""The operational monitoring subsystem: query log, history, endpoint.
+
+Covers the ring buffer's bounds and bookkeeping, the rolling-history
+percentiles, slow-query trace retention (arm on the offending run, capture
+on the next), error capture including bindings that fail before the engine
+runs, the cache collector's gauges, the live HTTP endpoint, and the whole
+stack under concurrent ``execute_many`` traffic from multiple threads.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.engine import EngineSession
+from repro.exceptions import SchemaError
+from repro.generators import skewed_chain_database, skewed_chain_endpoints
+from repro.telemetry import (
+    MonitorConfig,
+    MonitoringServer,
+    QueryLog,
+    QueryLogEntry,
+    QueryLogValidationError,
+    SessionMonitor,
+    rolling_history,
+    validate_query_log,
+)
+
+CHAIN = 4
+
+
+def chain_db(seed: int = 0):
+    return skewed_chain_database(CHAIN, heads=4, fanout=3,
+                                 junction_values=2, seed=seed)
+
+
+def monitored_session(**config) -> EngineSession:
+    return EngineSession(monitor=MonitorConfig(**config))
+
+
+# --------------------------------------------------------------------------- #
+# The ring buffer
+# --------------------------------------------------------------------------- #
+class TestQueryLog:
+    def test_capacity_bounds_retention_and_counts_drops(self):
+        log = QueryLog(capacity=3)
+        for index in range(5):
+            log.append(query=f"q{index}", fingerprint="f", kind="acyclic",
+                       database="db0")
+        assert len(log) == 3
+        assert log.total_recorded == 5
+        assert log.dropped == 2
+        assert [entry.query for entry in log.entries()] == ["q2", "q3", "q4"]
+
+    def test_sequence_numbers_are_monotonic_and_survive_clear(self):
+        log = QueryLog(capacity=4)
+        log.append(query="a", fingerprint="f", kind="acyclic", database="-")
+        log.append(query="b", fingerprint="f", kind="acyclic", database="-")
+        log.clear()
+        entry = log.append(query="c", fingerprint="f", kind="acyclic",
+                           database="-")
+        assert entry.seq == 3
+        assert log.total_recorded == 3
+
+    def test_entries_filter_by_query_and_limit_keeps_newest(self):
+        log = QueryLog(capacity=8)
+        for index in range(6):
+            log.append(query="even" if index % 2 == 0 else "odd",
+                       fingerprint="f", kind="acyclic", database="-")
+        evens = log.entries(query="even")
+        assert [entry.seq for entry in evens] == [1, 3, 5]
+        assert [entry.seq for entry in log.entries(limit=2)] == [5, 6]
+
+    def test_error_and_slow_views(self):
+        log = QueryLog(capacity=8)
+        log.append(query="ok", fingerprint="f", kind="acyclic", database="-")
+        log.append(query="bad", fingerprint="f", kind="acyclic", database="-",
+                   error="SchemaError: nope")
+        log.append(query="slow", fingerprint="f", kind="acyclic",
+                   database="-", slow=True)
+        assert [entry.query for entry in log.errors()] == ["bad"]
+        assert [entry.query for entry in log.slow_entries()] == ["slow"]
+        assert not log.errors()[0].ok
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            QueryLog(capacity=0)
+
+    def test_entry_derives_fields_from_statistics_lazily(self):
+        class Stats:
+            execution_mode = "columnar"
+            phase_times = (("reduce", 0.001),)
+            input_sizes = (3, 4)
+            output_size = 7
+            plan_cache_hit = True
+            adaptive = True
+            estimated_output_size = 9
+
+        entry = QueryLogEntry("q", "f", "acyclic", "db0",
+                              elapsed_seconds=0.5, statistics=Stats())
+        assert entry.mode == "columnar"
+        assert entry.input_rows == 7
+        assert entry.output_rows == 7
+        assert entry.plan_cache_hit
+        assert entry.estimated_output_rows == 9
+        assert entry.to_dict()["phase_times"] == [["reduce", 0.001]]
+
+    def test_errored_entries_report_empty_defaults(self):
+        entry = QueryLogEntry("q", "f", "acyclic", "db0", error="boom")
+        assert entry.mode == "-"
+        assert entry.output_rows == 0
+        assert not entry.plan_cache_hit
+        assert entry.to_dict()["error"] == "boom"
+        assert entry.to_dict()["traced"] is False
+
+
+# --------------------------------------------------------------------------- #
+# Rolling history
+# --------------------------------------------------------------------------- #
+def history_entry(query: str, ts: float, elapsed: float,
+                  error: str = None, slow: bool = False) -> QueryLogEntry:
+    return QueryLogEntry(query, "f", "acyclic", "db0",
+                         elapsed_seconds=elapsed, error=error, slow=slow,
+                         ts=ts)
+
+
+class TestRollingHistory:
+    def test_percentiles_qps_and_error_counts(self):
+        now = 1000.0
+        entries = [history_entry("q", now - index, 0.010 * (index + 1))
+                   for index in range(10)]
+        entries.append(history_entry("q", now - 1, 9.9, error="boom"))
+        (history,) = rolling_history(entries, window_seconds=60.0, now=now)
+        assert history.runs == 11
+        assert history.errors == 1
+        assert history.qps == pytest.approx(11 / 60.0)
+        # Errored runs are excluded from the latency distribution.
+        assert history.max_seconds == pytest.approx(0.100)
+        assert history.p50_seconds == pytest.approx(0.055)
+        assert history.p99_seconds <= 0.100
+        assert history.mean_seconds == pytest.approx(0.055)
+
+    def test_entries_outside_the_window_are_ignored(self):
+        now = 1000.0
+        entries = [history_entry("q", now - 500, 1.0),
+                   history_entry("q", now - 5, 0.010)]
+        (history,) = rolling_history(entries, window_seconds=60.0, now=now)
+        assert history.runs == 1
+        assert history.max_seconds == pytest.approx(0.010)
+
+    def test_queries_are_separated_and_name_sorted(self):
+        now = 1000.0
+        entries = [history_entry("zeta", now, 0.010),
+                   history_entry("alpha", now, 0.020),
+                   history_entry("zeta", now, 0.030, slow=True)]
+        histories = rolling_history(entries, window_seconds=60.0, now=now)
+        assert [history.query for history in histories] == ["alpha", "zeta"]
+        assert histories[1].runs == 2
+        assert histories[1].slow_runs == 1
+
+    def test_single_sample_percentiles_collapse_to_it(self):
+        (history,) = rolling_history([history_entry("q", 10.0, 0.042)],
+                                     window_seconds=60.0, now=10.0)
+        assert history.p50_seconds == history.p99_seconds == \
+            pytest.approx(0.042)
+
+
+# --------------------------------------------------------------------------- #
+# Session integration
+# --------------------------------------------------------------------------- #
+class TestSessionIntegration:
+    def test_every_execution_lands_in_the_log(self, engine_execution_mode):
+        databases = [chain_db(seed) for seed in range(2)]
+        session = monitored_session()
+        prepared = session.prepare(databases[0],
+                                   skewed_chain_endpoints(CHAIN),
+                                   name="endpoints")
+        prepared.execute_many(databases)
+        prepared.execute_many(databases)
+        entries = session.monitor.log.entries()
+        assert len(entries) == 4
+        assert {entry.query for entry in entries} == {"endpoints"}
+        assert {entry.database for entry in entries} == {"db0", "db1"}
+        assert all(entry.mode == engine_execution_mode for entry in entries)
+        assert all(entry.kind == "acyclic" for entry in entries)
+        assert all(entry.fingerprint for entry in entries)
+        # The second batch serves from the prepared plan.
+        assert entries[-1].plan_cache_hit
+
+    def test_monitor_true_and_config_and_ready_monitor_all_bind(self):
+        database = chain_db()
+        assert EngineSession().monitor is None
+        assert EngineSession(monitor=False).monitor is None
+        assert isinstance(EngineSession(monitor=True).monitor,
+                          SessionMonitor)
+        session = EngineSession(monitor=MonitorConfig(log_capacity=7))
+        assert session.monitor.log.capacity == 7
+        ready = SessionMonitor(MonitorConfig(log_capacity=9))
+        assert EngineSession(monitor=ready).monitor is ready
+        with pytest.raises(TypeError):
+            EngineSession(monitor="yes")
+        del database
+
+    def test_a_monitor_binds_to_exactly_one_session(self):
+        monitor = SessionMonitor()
+        first = EngineSession(monitor=monitor)
+        with pytest.raises(ValueError):
+            EngineSession(monitor=monitor)
+        assert first.monitor is monitor
+
+    def test_detach_and_reattach_preserves_the_log(self):
+        database = chain_db()
+        session = monitored_session()
+        monitor = session.monitor
+        prepared = session.prepare(database, skewed_chain_endpoints(CHAIN))
+        prepared.execute(database)
+        session.monitor = None
+        prepared.execute(database)          # unmonitored run
+        session.monitor = monitor
+        prepared.execute(database)
+        assert session.monitor is monitor
+        assert monitor.log.total_recorded == 2
+
+    def test_errors_are_recorded_and_reraised(self, engine_execution_mode):
+        database = chain_db()
+        session = monitored_session()
+        prepared = session.prepare(database, skewed_chain_endpoints(CHAIN),
+                                   name="endpoints")
+        prepared.execute(database)
+        with pytest.raises(SchemaError):
+            # A database of a different schema fails binding resolution
+            # before the engine runs; the log still gets the entry.
+            prepared.execute(skewed_chain_database(CHAIN + 1))
+        (entry,) = session.monitor.log.errors()
+        assert entry.query == "endpoints"
+        assert "SchemaError" in entry.error
+        assert not entry.ok
+        counter = session.metrics.counter("engine_monitored_errors_total")
+        assert counter.value == 1
+
+    def test_slow_runs_arm_tracing_and_the_next_run_retains_a_trace(
+            self, engine_execution_mode):
+        database = chain_db()
+        session = monitored_session(slow_query_seconds=0.0)
+        prepared = session.prepare(database, skewed_chain_endpoints(CHAIN),
+                                   name="endpoints")
+        prepared.execute(database)          # slow, untraced -> arms capture
+        prepared.execute(database)          # runs traced -> trace retained
+        first, second = session.monitor.log.entries()
+        assert first.slow and first.trace is None
+        assert second.slow and second.trace is not None
+        span_names = {record["name"] for record in second.trace}
+        assert "execute" in span_names
+        assert session.metrics.counter("engine_slow_queries_total").value == 2
+        # Retention disarms the query: steady state does not re-trace until
+        # another slow untraced run arms it again.
+        assert session.monitor.wants_trace("endpoints") is False
+
+    def test_fast_runs_never_trace(self):
+        database = chain_db()
+        session = monitored_session(slow_query_seconds=10.0)
+        prepared = session.prepare(database, skewed_chain_endpoints(CHAIN))
+        prepared.execute(database)
+        prepared.execute(database)
+        entries = session.monitor.log.entries()
+        assert all(not entry.slow and entry.trace is None
+                   for entry in entries)
+
+    def test_database_labels_are_stable_per_instance(self):
+        databases = [chain_db(seed) for seed in range(2)]
+        session = monitored_session()
+        prepared = session.prepare(databases[0],
+                                   skewed_chain_endpoints(CHAIN))
+        for _ in range(2):
+            for database in databases:
+                prepared.execute(database)
+        labels = [entry.database for entry in session.monitor.log.entries()]
+        assert labels == ["db0", "db1", "db0", "db1"]
+
+
+# --------------------------------------------------------------------------- #
+# The cache/resource collector
+# --------------------------------------------------------------------------- #
+class TestCollector:
+    def test_collect_polls_caches_and_catalog_sizes_into_gauges(self):
+        database = chain_db()
+        session = monitored_session()
+        prepared = session.prepare(database, skewed_chain_endpoints(CHAIN))
+        prepared.execute(database)
+        values = session.monitor.collect()
+        assert values["engine_planner_cache_size"] >= 1
+        assert values["engine_querylog_entries"] == 1
+        assert values["engine_database_relations{database=db0}"] == CHAIN
+        assert values["engine_database_rows{database=db0}"] > 0
+        snapshot = session.metrics.snapshot()
+        assert snapshot["engine_planner_cache_size"] == \
+            values["engine_planner_cache_size"]
+        assert snapshot["engine_database_rows{database=db0}"] == \
+            values["engine_database_rows{database=db0}"]
+
+    def test_unbound_monitor_collects_nothing(self):
+        assert SessionMonitor().collect() == {}
+
+
+# --------------------------------------------------------------------------- #
+# Payloads and schema validation
+# --------------------------------------------------------------------------- #
+class TestPayloads:
+    def test_querylog_payload_validates_against_the_schema(self):
+        databases = [chain_db(seed) for seed in range(2)]
+        session = monitored_session()
+        prepared = session.prepare(databases[0],
+                                   skewed_chain_endpoints(CHAIN),
+                                   name="endpoints")
+        prepared.execute_many(databases)
+        with pytest.raises(SchemaError):
+            prepared.execute(skewed_chain_database(CHAIN + 1))
+        payload = session.monitor.querylog_payload()
+        summary = validate_query_log(payload)
+        assert summary["entries"] == 3
+        assert summary["errors"] == 1
+        assert summary["queries"] == ["endpoints"]
+        json.dumps(payload)  # the endpoint serves it verbatim
+
+    def test_validation_rejects_tampered_payloads(self):
+        session = monitored_session()
+        database = chain_db()
+        session.prepare(database,
+                        skewed_chain_endpoints(CHAIN)).execute(database)
+        payload = session.monitor.querylog_payload()
+        broken = json.loads(json.dumps(payload))
+        broken["entries"][0]["seq"] = 99
+        broken["entries"][0]["kind"] = "unknown-kind"
+        with pytest.raises(QueryLogValidationError):
+            validate_query_log(broken)
+        missing = json.loads(json.dumps(payload))
+        del missing["entries"][0]["fingerprint"]
+        with pytest.raises(QueryLogValidationError):
+            validate_query_log(missing)
+
+    def test_health_and_describe_summarise_the_monitor(self):
+        session = monitored_session()
+        database = chain_db()
+        session.prepare(database,
+                        skewed_chain_endpoints(CHAIN)).execute(database)
+        health = session.monitor.health_payload()
+        assert health["status"] == "ok"
+        assert health["queries_recorded"] == 1
+        assert health["errors_retained"] == 0
+        assert "recorded=1" in session.monitor.describe()
+
+
+# --------------------------------------------------------------------------- #
+# The live HTTP endpoint
+# --------------------------------------------------------------------------- #
+def fetch(url: str):
+    with urllib.request.urlopen(url, timeout=10) as reply:
+        return reply.status, reply.headers.get("Content-Type"), reply.read()
+
+
+class TestExpositionEndpoint:
+    def test_all_routes_serve_live_state(self, engine_execution_mode):
+        databases = [chain_db(seed) for seed in range(2)]
+        session = monitored_session()
+        prepared = session.prepare(databases[0],
+                                   skewed_chain_endpoints(CHAIN),
+                                   name="endpoints")
+        with MonitoringServer(session.monitor) as server:
+            prepared.execute_many(databases)
+
+            status, content_type, body = fetch(server.url + "/metrics")
+            assert status == 200
+            assert content_type == "text/plain; version=0.0.4; charset=utf-8"
+            text = body.decode("utf-8")
+            assert "engine_queries_total" in text
+            assert "engine_planner_cache_size" in text
+            assert "engine_querylog_entries 2" in text
+
+            status, content_type, body = fetch(server.url + "/health")
+            assert status == 200
+            assert content_type == "application/json; charset=utf-8"
+            assert json.loads(body)["queries_recorded"] == 2
+
+            _, _, body = fetch(server.url + "/querylog?limit=1")
+            payload = json.loads(body)
+            assert len(payload["entries"]) == 1
+            assert payload["recorded"] == 2
+            validate_query_log(payload)
+
+            _, _, body = fetch(server.url + "/quality")
+            assert len(json.loads(body)["fingerprints"]) == 1
+
+            _, _, body = fetch(server.url + "/")
+            assert "/metrics" in json.loads(body)["routes"]
+
+    def test_scrapes_observe_traffic_that_happens_between_them(self):
+        database = chain_db()
+        session = monitored_session()
+        prepared = session.prepare(database, skewed_chain_endpoints(CHAIN))
+        with MonitoringServer(session.monitor) as server:
+            _, _, body = fetch(server.url + "/health")
+            assert json.loads(body)["queries_recorded"] == 0
+            prepared.execute(database)
+            _, _, body = fetch(server.url + "/health")
+            assert json.loads(body)["queries_recorded"] == 1
+
+    def test_unknown_routes_get_a_json_404(self):
+        session = monitored_session()
+        with MonitoringServer(session.monitor) as server:
+            with pytest.raises(urllib.error.HTTPError) as failure:
+                fetch(server.url + "/nope")
+            assert failure.value.code == 404
+            assert json.loads(failure.value.read())["error"]
+
+    def test_close_is_idempotent_and_frees_the_port(self):
+        session = monitored_session()
+        server = MonitoringServer(session.monitor)
+        url = server.url
+        server.close()
+        server.close()
+        with pytest.raises(urllib.error.URLError):
+            fetch(url + "/health")
+
+
+# --------------------------------------------------------------------------- #
+# Concurrency
+# --------------------------------------------------------------------------- #
+class TestConcurrency:
+    def test_concurrent_execute_many_loses_no_entries_or_counts(
+            self, engine_execution_mode):
+        databases = [chain_db(seed) for seed in range(3)]
+        session = monitored_session(log_capacity=32)
+        prepared = session.prepare(databases[0],
+                                   skewed_chain_endpoints(CHAIN),
+                                   name="endpoints")
+        prepared.execute_many(databases)    # warm the plan and catalogs
+
+        threads, repeats = 4, 5
+        failures = []
+
+        def serve():
+            try:
+                for _ in range(repeats):
+                    prepared.execute_many(databases)
+            except Exception as error:  # pragma: no cover - failure path
+                failures.append(error)
+
+        workers = [threading.Thread(target=serve) for _ in range(threads)]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join()
+
+        assert failures == []
+        total = (threads * repeats + 1) * len(databases)
+        log = session.monitor.log
+        assert log.total_recorded == total
+        assert len(log) == 32               # ring never exceeds capacity
+        assert log.dropped == total - 32
+        entries = log.entries()
+        assert [entry.seq for entry in entries] == \
+            list(range(total - 31, total + 1))
+        # The metrics registry agrees with the log: no increment was lost.
+        labels = {"kind": "acyclic", "mode": engine_execution_mode}
+        counted = session.metrics.counter("engine_queries_total",
+                                          labels=labels).value
+        assert counted == total
+
+    def test_concurrent_traffic_against_a_live_endpoint(self):
+        databases = [chain_db(seed) for seed in range(2)]
+        session = monitored_session()
+        prepared = session.prepare(databases[0],
+                                   skewed_chain_endpoints(CHAIN))
+        prepared.execute_many(databases)
+        stop = threading.Event()
+        failures = []
+
+        def serve():
+            try:
+                while not stop.is_set():
+                    prepared.execute_many(databases)
+            except Exception as error:  # pragma: no cover - failure path
+                failures.append(error)
+
+        worker = threading.Thread(target=serve)
+        worker.start()
+        try:
+            with MonitoringServer(session.monitor) as server:
+                for _ in range(5):
+                    status, _, body = fetch(server.url + "/querylog")
+                    assert status == 200
+                    validate_query_log(json.loads(body))
+                    status, _, _ = fetch(server.url + "/metrics")
+                    assert status == 200
+        finally:
+            stop.set()
+            worker.join()
+        assert failures == []
+        assert session.monitor.log.total_recorded >= 2
