@@ -73,6 +73,10 @@ def _statistics_row(stats: object, *, plan: Optional[str] = None) -> Dict[str, o
     estimated_max = getattr(stats, "estimated_max_intermediate", None)
     estimated_output = getattr(stats, "estimated_output_size", None)
     mode = getattr(stats, "execution_mode", None)
+    backend = getattr(stats, "column_backend", None)
+    if mode is not None and backend is not None:
+        # Columnar runs name their compute backend inline: "columnar[array]".
+        mode = f"{mode}[{backend}]"
     index_hits = getattr(stats, "index_cache_hits", None)
     index_misses = getattr(stats, "index_cache_misses", None)
     elapsed = getattr(stats, "elapsed_seconds", None)

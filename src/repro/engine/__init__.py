@@ -65,14 +65,18 @@ from .catalog import (
 from .columnar import (
     ColumnBlock,
     antijoin_blocks,
+    available_column_backends,
     block_for,
     clear_column_caches,
     column_cache_info,
+    default_column_backend,
     default_execution_mode,
     intersect_blocks,
     natural_join_blocks,
     semijoin_blocks,
+    set_default_column_backend,
     set_default_execution_mode,
+    use_column_backend,
 )
 from .indexes import HashIndex, clear_index_cache, index_cache_info, index_for
 from .planner import (
@@ -131,6 +135,8 @@ __all__ = [
     "ColumnBlock", "block_for", "column_cache_info", "clear_column_caches",
     "semijoin_blocks", "antijoin_blocks", "natural_join_blocks", "intersect_blocks",
     "default_execution_mode", "set_default_execution_mode",
+    "available_column_backends", "default_column_backend",
+    "set_default_column_backend", "use_column_backend",
     # physical operators (row reference implementation)
     "semijoin_indexed", "antijoin_indexed", "natural_join_indexed", "shared_attributes",
     # reducer

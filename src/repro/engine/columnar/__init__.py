@@ -26,12 +26,25 @@ point) keeps the original row-at-a-time operators as the reference
 implementation for differential testing.
 """
 
+from .buffers import (
+    COLUMN_BACKENDS,
+    ArrayColumnBackend,
+    NumpyColumnBackend,
+    ValueInterner,
+    active_column_backend,
+    available_column_backends,
+    default_column_backend,
+    resolve_column_backend,
+    set_default_column_backend,
+    use_column_backend,
+)
 from .block import (
     EXECUTION_MODES,
     ColumnBlock,
     block_for,
     clear_column_caches,
     column_cache_info,
+    current_interner,
     default_execution_mode,
     peek_block,
     resolve_execution_mode,
@@ -55,9 +68,14 @@ from .executor import (
 __all__ = [
     # blocks + caches + mode switch
     "ColumnBlock", "block_for", "peek_block",
-    "column_cache_info", "clear_column_caches",
+    "column_cache_info", "clear_column_caches", "current_interner",
     "EXECUTION_MODES", "default_execution_mode", "set_default_execution_mode",
     "resolve_execution_mode",
+    # typed buffers + backends
+    "ValueInterner", "ArrayColumnBackend", "NumpyColumnBackend",
+    "COLUMN_BACKENDS", "available_column_backends",
+    "default_column_backend", "set_default_column_backend",
+    "resolve_column_backend", "active_column_backend", "use_column_backend",
     # kernels
     "semijoin_blocks", "antijoin_blocks", "natural_join_blocks",
     "intersect_blocks", "merge_blocks_by_scheme", "shared_block_attributes",

@@ -1,20 +1,27 @@
-"""Columnar blocks: per-attribute value arrays with positional selection vectors.
+"""Columnar blocks: typed id arrays per attribute with positional selection vectors.
 
 A :class:`ColumnBlock` is the columnar physical representation of a relation:
-one value array per attribute plus an optional *selection vector* of storage
-positions.  Filtering a block (semijoin, antijoin) only replaces the selection
-vector; projecting or renaming it only changes the visible column set — the
-underlying :class:`_ColumnStorage` (and everything cached on it: grouped key
-encodings, key-group indexes) is shared zero-copy by every derived block.
+one ``array('q')`` of dictionary-encoded value ids per attribute plus an
+optional *selection vector* of storage positions.  Filtering a block
+(semijoin, antijoin) only replaces the selection vector; projecting or
+renaming it only changes the visible column set — the underlying
+:class:`_ColumnStorage` (and everything cached on it: grouped key encodings,
+key-id sets, join tables) is shared zero-copy by every derived block.
 
-**Grouped key encoding** is what makes whole-block kernels cheap: for a tuple
-of key attributes, every row's key is encoded exactly once into a cached
-per-storage array (the bare column value for single-attribute keys, a
-canonical-order tuple otherwise) and grouped into a position index.  Equal
-keys in *different* blocks encode to equal values, so a semijoin degenerates
-to set membership over two cached key arrays and a hash join groups
-positions by key — no per-row attribute lookups on the warm path, and no
-shared mutable state between blocks.
+Values are interned through the generation's
+:class:`~repro.engine.columnar.buffers.ValueInterner`, so equal values in
+*different* blocks encode to equal integer ids and every kernel compares
+machine integers; multi-attribute keys intern their id tuples through the
+same id space.  Decoding back to values happens only at the result boundary
+(or on the opt-in :meth:`ColumnBlock.value_at` accessors).
+
+**Selection-aware derived caches** are what make warm prepared-query runs
+cheap: key-id sets, membership structures and join tables are cached on the
+storage keyed by ``(kind, attributes, selection bytes, backend)``.  A warm
+re-execution reproduces the same selection vectors over the same cached
+base-block storages, so every reducer step and join build probes a cached
+structure — the ``keyset_hits`` counter in :func:`column_cache_info` makes
+that observable.
 
 Blocks built from relations are cached weakly per relation instance
 (:func:`block_for`), mirroring the row engine's
@@ -31,12 +38,14 @@ from __future__ import annotations
 
 import threading
 import weakref
+from array import array
 from typing import Any, Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from ...core.nodes import sorted_nodes
 from ...exceptions import SchemaError, UnknownAttributeError
 from ...relational.relation import Relation, Row
 from ...relational.schema import Attribute, RelationSchema
+from .buffers import ValueInterner, active_column_backend
 
 __all__ = [
     "ColumnBlock",
@@ -44,6 +53,7 @@ __all__ = [
     "peek_block",
     "column_cache_info",
     "clear_column_caches",
+    "current_interner",
     "EXECUTION_MODES",
     "default_execution_mode",
     "set_default_execution_mode",
@@ -51,6 +61,11 @@ __all__ = [
 ]
 
 KeyAttributes = Tuple[Attribute, ...]
+
+#: How many derived structures (key sets, join tables, …) one storage retains
+#: before its cache is dropped wholesale — a crude bound that keeps adversarial
+#: selection churn from accumulating unboundedly on long-lived base blocks.
+_DERIVED_CACHE_CAP = 512
 
 # --------------------------------------------------------------------------- #
 # Execution mode
@@ -91,70 +106,141 @@ def resolve_execution_mode(mode: Optional[str]) -> str:
     return mode
 
 
-class _ColumnStorage:
-    """The shared, immutable column arrays one or more blocks view.
+# --------------------------------------------------------------------------- #
+# The encoding generation
+# --------------------------------------------------------------------------- #
+_INTERNER = ValueInterner()
 
-    ``key_codes`` and ``key_groups`` memoise the grouped key encoding per
-    key-attribute tuple: every selection-vector block derived from this
-    storage reuses them, which is where the warm-path win comes from.  The
-    encoding is *value-based* (the bare column value for a single key
-    attribute, a canonical-order tuple otherwise): encodings of different
-    storages never share state, yet equal keys encode equal — so the arrays
-    compare across blocks, are immune to concurrent encoding races, and die
-    with their storage instead of accumulating process-wide.
+# Selection-aware key-id-set cache traffic (storage-level, process-wide
+# counters so ``column_cache_info`` can report reuse across warm runs).
+_KEYSET_HITS = 0
+_KEYSET_MISSES = 0
+
+
+def current_interner() -> ValueInterner:
+    """The interner new encodings go through (swapped by :func:`clear_column_caches`)."""
+    return _INTERNER
+
+
+class _ColumnStorage:
+    """The shared, immutable id arrays one or more blocks view.
+
+    ``key_codes`` memoises the grouped key encoding per key-attribute tuple
+    (the bare id column for a single attribute, interned id tuples
+    otherwise); the ``_derived`` cache memoises everything computed *from*
+    codes under a selection — key-id sets, backend membership structures,
+    join tables, position groups — keyed by the selection's bytes, so every
+    block with an equal selection over this storage (including the fresh but
+    identical selections of a warm re-execution) reuses one build.
     """
 
-    __slots__ = ("columns", "length", "source_rows", "_code_cache", "_group_cache",
-                 "_set_cache")
+    __slots__ = ("columns", "length", "source_rows", "interner",
+                 "_code_cache", "_derived", "_decoded")
 
-    def __init__(self, columns: Dict[Attribute, List[Any]], length: int,
+    def __init__(self, columns: Dict[Attribute, array], length: int,
+                 interner: ValueInterner,
                  source_rows: Optional[Tuple[Row, ...]] = None) -> None:
         self.columns = columns
         self.length = length
+        self.interner = interner
         self.source_rows = source_rows
-        self._code_cache: Dict[KeyAttributes, List[Any]] = {}
-        self._group_cache: Dict[KeyAttributes, Dict[Any, Tuple[int, ...]]] = {}
-        self._set_cache: Dict[KeyAttributes, FrozenSet[Any]] = {}
+        self._code_cache: Dict[KeyAttributes, array] = {}
+        self._derived: Dict[Tuple, Any] = {}
+        self._decoded: Dict[Attribute, List[Any]] = {}
 
-    def key_codes(self, attributes: KeyAttributes) -> List[Any]:
-        """One encoded key per storage position (cached per attribute tuple)."""
-        cached = self._code_cache.get(attributes)
-        if cached is not None:
-            return cached
+    # -- codes ----------------------------------------------------------- #
+    def key_codes(self, attributes: KeyAttributes) -> array:
+        """One encoded key id per storage position (cached per attribute tuple)."""
         if len(attributes) == 1:
-            codes: List[Any] = self.columns[attributes[0]]
-        else:
-            codes = list(zip(*(self.columns[attribute] for attribute in attributes)))
-        self._code_cache[attributes] = codes
-        return codes
-
-    def key_groups(self, attributes: KeyAttributes) -> Dict[Any, Tuple[int, ...]]:
-        """All storage positions grouped by encoded key (cached per attribute tuple)."""
-        cached = self._group_cache.get(attributes)
-        if cached is not None:
-            return cached
-        codes = self.key_codes(attributes)
-        grouped: Dict[Any, List[int]] = {}
-        for position, code in enumerate(codes):
-            bucket = grouped.get(code)
-            if bucket is None:
-                grouped[code] = [position]
-            else:
-                bucket.append(position)
-        groups = {code: tuple(positions) for code, positions in grouped.items()}
-        self._group_cache[attributes] = groups
-        return groups
-
-    def key_set(self, attributes: KeyAttributes) -> FrozenSet[Any]:
-        """The distinct encoded keys over all positions (cached per attribute tuple)."""
-        cached = self._set_cache.get(attributes)
+            return self.columns[attributes[0]]
+        cached = self._code_cache.get(attributes)
         if cached is None:
-            cached = self._set_cache[attributes] = frozenset(self.key_codes(attributes))
+            cached = self._code_cache[attributes] = self.interner.combine(
+                [self.columns[attribute] for attribute in attributes])
+        return cached
+
+    # -- selection-aware derived structures ------------------------------ #
+    def _derived_get(self, key: Tuple) -> Any:
+        return self._derived.get(key)
+
+    def _derived_put(self, key: Tuple, value: Any) -> Any:
+        if len(self._derived) >= _DERIVED_CACHE_CAP:
+            self._derived.clear()
+        self._derived[key] = value
+        return value
+
+    def key_set_for(self, attributes: KeyAttributes,
+                    sel: Optional[array]) -> FrozenSet[int]:
+        """The distinct key ids among the selected positions (cached, counted)."""
+        global _KEYSET_HITS, _KEYSET_MISSES
+        key = ("set", attributes, None if sel is None else sel.tobytes())
+        cached = self._derived_get(key)
+        if cached is not None:
+            _KEYSET_HITS += 1
+            return cached
+        _KEYSET_MISSES += 1
+        codes = self.key_codes(attributes)
+        if sel is None:
+            return self._derived_put(key, frozenset(codes))
+        return self._derived_put(key,
+                                 frozenset(map(codes.__getitem__, sel)))
+
+    def prepared_set_for(self, attributes: KeyAttributes, sel: Optional[array],
+                         backend) -> Any:
+        """The backend's membership structure over the selected key ids (cached)."""
+        key = ("prepared", backend.name, attributes,
+               None if sel is None else sel.tobytes())
+        cached = self._derived_get(key)
+        if cached is None:
+            cached = self._derived_put(
+                key, backend.prepare_set(self.key_set_for(attributes, sel)))
+        return cached
+
+    def table_for(self, attributes: KeyAttributes, sel: Optional[array],
+                  backend) -> Any:
+        """The backend's join build table over the selected positions (cached)."""
+        key = ("table", backend.name, attributes,
+               None if sel is None else sel.tobytes())
+        cached = self._derived_get(key)
+        if cached is None:
+            codes = self.key_codes(attributes)
+            positions = sel if sel is not None else range(self.length)
+            cached = self._derived_put(key, backend.build_table(codes, positions))
+        return cached
+
+    def groups_for(self, attributes: KeyAttributes,
+                   sel: Optional[array]) -> Dict[int, Tuple[int, ...]]:
+        """Selected positions grouped by key id, as a plain dict (cached)."""
+        key = ("groups", attributes, None if sel is None else sel.tobytes())
+        cached = self._derived_get(key)
+        if cached is None:
+            codes = self.key_codes(attributes)
+            positions = sel if sel is not None else range(self.length)
+            grouped: Dict[int, List[int]] = {}
+            get = grouped.get
+            for position in positions:
+                code = codes[position]
+                bucket = get(code)
+                if bucket is None:
+                    grouped[code] = [position]
+                else:
+                    bucket.append(position)
+            cached = self._derived_put(
+                key, {code: tuple(bucket) for code, bucket in grouped.items()})
+        return cached
+
+    # -- decode ---------------------------------------------------------- #
+    def decoded_column(self, attribute: Attribute) -> List[Any]:
+        """The full-length original values of one column (cached per attribute)."""
+        cached = self._decoded.get(attribute)
+        if cached is None:
+            cached = self._decoded[attribute] = self.interner.decode(
+                self.columns[attribute])
         return cached
 
 
 class ColumnBlock:
-    """A columnar view of a relation: shared columns + a positional selection.
+    """A columnar view of a relation: shared id columns + a positional selection.
 
     Blocks are immutable; every operation returns a new block.  ``project``,
     ``rename`` and ``select`` are zero-copy (they share the storage), so the
@@ -167,7 +253,7 @@ class ColumnBlock:
 
     def __init__(self, name: str, attributes: KeyAttributes,
                  storage: _ColumnStorage,
-                 selection: Optional[Tuple[int, ...]] = None) -> None:
+                 selection: Optional[array] = None) -> None:
         self._name = name
         self._attributes = attributes
         self._attribute_set: FrozenSet[Attribute] = frozenset(attributes)
@@ -180,7 +266,7 @@ class ColumnBlock:
     # ------------------------------------------------------------------ #
     @classmethod
     def from_relation(cls, relation: Relation) -> "ColumnBlock":
-        """Encode a relation into columns (one pass over its rows).
+        """Encode a relation into id columns (one interning pass per attribute).
 
         The source rows are retained on the storage so the row engine's
         :meth:`HashIndex.build_columnar
@@ -190,19 +276,18 @@ class ColumnBlock:
         """
         attributes = relation.schema.attributes
         rows = tuple(relation.rows)
-        columns: Dict[Attribute, List[Any]] = {attribute: [] for attribute in attributes}
-        appenders = [(columns[attribute].append, attribute) for attribute in attributes]
-        for row in rows:
-            for append, attribute in appenders:
-                append(row[attribute])
-        storage = _ColumnStorage(columns, len(rows), source_rows=rows)
+        interner = _INTERNER
+        columns: Dict[Attribute, array] = {
+            attribute: interner.encode(row[attribute] for row in rows)
+            for attribute in attributes}
+        storage = _ColumnStorage(columns, len(rows), interner, source_rows=rows)
         return cls(relation.name, attributes, storage)
 
     @classmethod
     def from_columns(cls, name: str, attributes: Iterable[Attribute],
                      columns: Dict[Attribute, List[Any]], *,
                      length: Optional[int] = None) -> "ColumnBlock":
-        """Wrap freshly built column arrays (all the same length) in a block.
+        """Intern freshly built value columns (all the same length) into a block.
 
         ``length`` is required for 0-ary blocks (no columns to measure): a
         projection that keeps no attributes still distinguishes "some row
@@ -216,8 +301,19 @@ class ColumnBlock:
             lengths.add(length)
         if len(lengths) > 1:
             raise SchemaError(f"ragged columns for block {name!r}: lengths {sorted(lengths)}")
+        interner = _INTERNER
+        encoded = {attribute: interner.encode(columns[attribute])
+                   for attribute in attributes}
         return cls(name, attributes,
-                   _ColumnStorage(dict(columns), lengths.pop() if lengths else 0))
+                   _ColumnStorage(encoded, lengths.pop() if lengths else 0,
+                                  interner))
+
+    @classmethod
+    def _from_ids(cls, name: str, attributes: KeyAttributes,
+                  columns: Dict[Attribute, array], length: int,
+                  interner: ValueInterner) -> "ColumnBlock":
+        """Wrap already-encoded id arrays (the kernels' output constructor)."""
+        return cls(name, attributes, _ColumnStorage(columns, length, interner))
 
     # ------------------------------------------------------------------ #
     # Accessors
@@ -251,6 +347,11 @@ class ColumnBlock:
             return self._sel
         return range(self._storage.length)
 
+    @property
+    def interner(self) -> ValueInterner:
+        """The interner this block's ids decode through (generation identity)."""
+        return self._storage.interner
+
     def __len__(self) -> int:
         return len(self._sel) if self._sel is not None else self._storage.length
 
@@ -258,55 +359,59 @@ class ColumnBlock:
         """``True`` when no rows are selected."""
         return len(self) == 0
 
-    def column(self, attribute: Attribute) -> List[Any]:
-        """The *full-length* storage array of one column (index by positions)."""
+    def column(self, attribute: Attribute) -> array:
+        """The *full-length* id array of one column (index by positions)."""
         if attribute not in self._attribute_set:
             raise UnknownAttributeError(attribute)
         return self._storage.columns[attribute]
 
-    def key_codes(self, attributes: KeyAttributes) -> List[Any]:
-        """Full-length encoded keys for a key-attribute tuple (storage-cached)."""
+    def decoded_column(self, attribute: Attribute) -> List[Any]:
+        """The *full-length* original values of one column (cached on the storage)."""
+        if attribute not in self._attribute_set:
+            raise UnknownAttributeError(attribute)
+        return self._storage.decoded_column(attribute)
+
+    def value_at(self, attribute: Attribute, position: int) -> Any:
+        """The original value at one storage position (a point decode)."""
+        if attribute not in self._attribute_set:
+            raise UnknownAttributeError(attribute)
+        return self._storage.interner.values[
+            self._storage.columns[attribute][position]]
+
+    def key_codes(self, attributes: KeyAttributes) -> array:
+        """Full-length encoded key ids for a key-attribute tuple (storage-cached)."""
         for attribute in attributes:
             if attribute not in self._attribute_set:
                 raise UnknownAttributeError(attribute)
         return self._storage.key_codes(attributes)
 
-    def key_groups(self, attributes: KeyAttributes) -> Dict[Any, Tuple[int, ...]]:
-        """Selected positions grouped by encoded key.
+    def key_groups(self, attributes: KeyAttributes) -> Dict[int, Tuple[int, ...]]:
+        """Selected positions grouped by encoded key id (storage-cached)."""
+        for attribute in attributes:
+            if attribute not in self._attribute_set:
+                raise UnknownAttributeError(attribute)
+        return self._storage.groups_for(attributes, self._sel)
 
-        With no selection vector the storage-level grouping is returned
-        (and cached); a selected block groups only its visible positions.
+    def key_code_set(self, attributes: KeyAttributes) -> FrozenSet[int]:
+        """The distinct encoded key ids present among the selected rows.
+
+        Selection-aware and storage-cached: warm reducer fixpoint steps (and
+        the subset/disjointness fast paths built on these sets) rebuild
+        nothing, whether the block is a base relation or a reduced view of
+        one — a warm run's identical selection bytes hit the same entry.
         """
         for attribute in attributes:
             if attribute not in self._attribute_set:
                 raise UnknownAttributeError(attribute)
-        if self._sel is None:
-            return self._storage.key_groups(attributes)
-        codes = self._storage.key_codes(attributes)
-        grouped: Dict[Any, List[int]] = {}
-        for position in self._sel:
-            code = codes[position]
-            bucket = grouped.get(code)
-            if bucket is None:
-                grouped[code] = [position]
-            else:
-                bucket.append(position)
-        return {code: tuple(positions) for code, positions in grouped.items()}
+        return self._storage.key_set_for(attributes, self._sel)
 
-    def key_code_set(self, attributes: KeyAttributes) -> FrozenSet[Any]:
-        """The distinct encoded keys present among the selected rows.
+    def prepared_key_set(self, attributes: KeyAttributes, backend) -> Any:
+        """The backend's membership structure over the selected key ids (cached)."""
+        return self._storage.prepared_set_for(attributes, self._sel, backend)
 
-        Storage-cached for unselected blocks, so warm reducer fixpoint steps
-        against base relations rebuild nothing; a selected block's set is
-        derived from the cached key array per call.
-        """
-        for attribute in attributes:
-            if attribute not in self._attribute_set:
-                raise UnknownAttributeError(attribute)
-        if self._sel is None:
-            return self._storage.key_set(attributes)
-        codes = self._storage.key_codes(attributes)
-        return frozenset(codes[position] for position in self._sel)
+    def join_table(self, attributes: KeyAttributes, backend) -> Any:
+        """The backend's join build table over the selected positions (cached)."""
+        return self._storage.table_for(attributes, self._sel, backend)
 
     @property
     def source_rows(self) -> Optional[Tuple[Row, ...]]:
@@ -314,15 +419,49 @@ class ColumnBlock:
         return self._storage.source_rows
 
     # ------------------------------------------------------------------ #
+    # Cross-block derived caching (the kernels' warm-run result cache)
+    # ------------------------------------------------------------------ #
+    def selection_bytes(self) -> Optional[bytes]:
+        """The selection vector's bytes (``None`` = all positions) — a value key.
+
+        Two blocks over one storage with equal selection bytes select the
+        same rows in the same order, so kernel results computed from one are
+        valid for the other — this is what lets a warm re-execution, which
+        rebuilds fresh but identical selections, reuse every cached result.
+        """
+        return None if self._sel is None else self._sel.tobytes()
+
+    def storage_token(self) -> object:
+        """An identity token for this block's storage, for cross-block cache keys."""
+        return self._storage
+
+    def derived_get(self, key: Tuple) -> Any:
+        """Look up a kernel-level derived result cached on this block's storage."""
+        return self._storage._derived_get(key)
+
+    def derived_put(self, key: Tuple, value: Any) -> Any:
+        """Cache a kernel-level derived result on this block's storage."""
+        return self._storage._derived_put(key, value)
+
+    # ------------------------------------------------------------------ #
     # Zero-copy derivations
     # ------------------------------------------------------------------ #
-    def select(self, positions: Tuple[int, ...]) -> "ColumnBlock":
-        """The block restricted to the given storage positions (zero-copy)."""
+    def select(self, positions: Iterable[int]) -> "ColumnBlock":
+        """The block restricted to the given storage positions (zero-copy).
+
+        Passing this block's own selection vector (the kernels' fixpoint
+        case) returns ``self`` — no new block, no re-materialised positions.
+        """
+        if positions is self._sel:
+            return self
+        if type(positions) is not array:
+            positions = array("q", positions)
         return ColumnBlock(self._name, self._attributes, self._storage, positions)
 
     def empty(self) -> "ColumnBlock":
         """The empty block over the same scheme (zero-copy)."""
-        return self.select(())
+        return ColumnBlock(self._name, self._attributes, self._storage,
+                           array("q"))
 
     def rename(self, name: str) -> "ColumnBlock":
         """The same block under a different relation name (zero-copy)."""
@@ -346,48 +485,58 @@ class ColumnBlock:
         """The block with duplicate (visible) rows removed, first occurrence kept.
 
         Returns ``self`` when the selected rows are already distinct, so
-        fixpoints allocate nothing.
+        fixpoints allocate nothing.  Runs on the active column backend.
         """
-        columns = [self._storage.columns[attribute] for attribute in self._attributes]
-        seen: set = set()
-        keep: List[int] = []
-        if len(columns) == 1:
-            column = columns[0]
-            for position in self.positions:
-                value = column[position]
-                if value not in seen:
-                    seen.add(value)
-                    keep.append(position)
-        else:
-            for position in self.positions:
-                key = tuple(column[position] for column in columns)
-                if key not in seen:
-                    seen.add(key)
-                    keep.append(position)
-        if len(keep) == len(self):
+        count = len(self)
+        if not self._attributes:
+            # 0-ary: every surviving position is the same (empty) row.
+            if count <= 1:
+                return self
+            return self.select(array("q", [next(iter(self.positions))]))
+        keep = active_column_backend().first_occurrence(
+            [self._storage.columns[attribute] for attribute in self._attributes],
+            self.positions)
+        if len(keep) == count:
             return self
-        return self.select(tuple(keep))
+        return self.select(keep)
 
     # ------------------------------------------------------------------ #
     # Decode boundary
     # ------------------------------------------------------------------ #
     def row_values(self, position: int) -> Tuple[Any, ...]:
         """The values of one storage position, in column order."""
-        return tuple(self._storage.columns[attribute][position]
+        values = self._storage.interner.values
+        return tuple(values[self._storage.columns[attribute][position]]
                      for attribute in self._attributes)
 
     def iter_rows(self) -> Iterator[Tuple[Any, ...]]:
         """The selected rows as plain value tuples, in column order."""
-        columns = [self._storage.columns[attribute] for attribute in self._attributes]
+        decoded = [self._storage.decoded_column(attribute)
+                   for attribute in self._attributes]
         for position in self.positions:
-            yield tuple(column[position] for column in columns)
+            yield tuple(column[position] for column in decoded)
 
     def to_relation(self, name: Optional[str] = None) -> Relation:
-        """Decode the block back into a :class:`Relation` (the result boundary)."""
+        """Decode the block back into a :class:`Relation` (the result boundary).
+
+        Rows are assembled directly in canonical attribute order through
+        :meth:`Row._from_sorted_items <repro.relational.relation.Row>` — no
+        per-row dict build, no per-row re-sort.
+        """
         attributes = self._attributes
         schema = RelationSchema(name or self._name, attributes)
-        rows = frozenset(Row(dict(zip(attributes, values)))
-                         for values in self.iter_rows())
+        if not attributes:
+            rows = frozenset([Row._from_sorted_items(())] if len(self) else [])
+            return Relation.from_valid_rows(schema, rows)
+        ordered = tuple(sorted_nodes(attributes))
+        decoded = [self._storage.decoded_column(attribute)
+                   for attribute in ordered]
+        from_items = Row._from_sorted_items
+        rows = frozenset(
+            from_items(tuple(zip(ordered, values)))
+            for values in zip(*(
+                [column[position] for position in self.positions]
+                for column in decoded)))
         return Relation.from_valid_rows(schema, rows)
 
     def __repr__(self) -> str:
@@ -405,9 +554,9 @@ class ColumnBlock:
 # encoding itself runs outside the lock — two threads racing on the same
 # cold relation may both encode (blocks are immutable and interchangeable;
 # the first insert wins), which trades a little duplicate work for never
-# blocking the cache on a large scan.  The per-storage key-encoding caches
-# are deliberately lock-free for the same reason: a race rebuilds an
-# equivalent array and last-write-wins.
+# blocking the cache on a large scan.  The per-storage derived caches are
+# deliberately lock-free for the same reason: a race rebuilds an equivalent
+# structure and last-write-wins.
 _BLOCK_CACHE: "weakref.WeakKeyDictionary[Relation, ColumnBlock]" = weakref.WeakKeyDictionary()
 _BLOCK_CACHE_LOCK = threading.Lock()
 _BLOCK_HITS = 0
@@ -435,21 +584,34 @@ def peek_block(relation: Relation) -> Optional[ColumnBlock]:
 
 
 def column_cache_info() -> Dict[str, int]:
-    """Cumulative hit/miss counters of the per-relation block cache."""
+    """Cumulative counters of the block cache and the key-id-set cache.
+
+    ``hits``/``misses``/``relations`` describe the per-relation block cache;
+    ``keyset_hits``/``keyset_misses`` count selection-aware key-id-set
+    lookups on block storages — the structure every semijoin fast path and
+    membership probe starts from, so warm prepared-query runs should be
+    nearly all hits.
+    """
     with _BLOCK_CACHE_LOCK:
         return {"hits": _BLOCK_HITS, "misses": _BLOCK_MISSES,
-                "relations": len(_BLOCK_CACHE)}
+                "relations": len(_BLOCK_CACHE),
+                "keyset_hits": _KEYSET_HITS, "keyset_misses": _KEYSET_MISSES}
 
 
 def clear_column_caches() -> None:
-    """Drop the per-relation block cache and reset its counters (tests/benchmarks).
+    """Drop the block cache, reset counters, and start a fresh interner generation.
 
-    Key encodings live on the block storages themselves, so they are
-    reclaimed with their blocks — there is no process-wide encoding state
-    to clear.
+    Derived key structures live on the block storages themselves, so they
+    are reclaimed with their blocks.  Blocks that outlive the clear keep a
+    reference to their own interner and still decode; they simply cannot be
+    combined with blocks encoded after the clear (the kernels reject mixed
+    generations).
     """
-    global _BLOCK_HITS, _BLOCK_MISSES
+    global _BLOCK_HITS, _BLOCK_MISSES, _KEYSET_HITS, _KEYSET_MISSES, _INTERNER
     with _BLOCK_CACHE_LOCK:
         _BLOCK_CACHE.clear()
         _BLOCK_HITS = 0
         _BLOCK_MISSES = 0
+        _KEYSET_HITS = 0
+        _KEYSET_MISSES = 0
+        _INTERNER = ValueInterner()

@@ -1,0 +1,471 @@
+"""Typed column buffers: the id interner and the batched compute backends.
+
+The columnar layer stores every column as a compact ``array('q')`` of
+**value ids**: a process-generation :class:`ValueInterner` maps each distinct
+value (and each distinct multi-attribute key tuple) to a dense integer, so
+equal values in *different* blocks encode to equal ids and every kernel
+compares machine integers instead of Python objects.  Decoding happens only
+at the result boundary, through the interner's reverse table.
+
+On top of the id arrays sits a small **column-buffer backend** interface —
+the batched counterparts of "probe one key": filter a whole position vector
+by key-set membership, probe a join table with a whole code array, gather a
+column by a position vector, keep first occurrences.  Two implementations
+ship:
+
+* :class:`ArrayColumnBackend` — pure Python over ``array('q')``; always
+  available, and the reference the property suite holds numpy to;
+* :class:`NumpyColumnBackend` — the same operations vectorized with
+  ``numpy`` (``frombuffer`` gives zero-copy int64 views of the id arrays);
+  registered only when numpy imports.
+
+The active backend resolves per call site: an execution-scoped override
+(:func:`use_column_backend`, installed by the evaluators from
+``ExecutionOptions.column_backend``) wins over the process default, which is
+seeded from ``REPRO_COLUMN_BACKEND`` or auto-detection (numpy when present).
+Both backends consume and produce the same canonical ``array('q')``
+selection vectors, so blocks built under one backend are probed by the
+other without conversion — the backend changes *compute*, never *state*.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from array import array
+from contextlib import contextmanager
+from itertools import compress
+from typing import Any, Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple, Union
+
+__all__ = [
+    "ValueInterner",
+    "ArrayColumnBackend",
+    "NumpyColumnBackend",
+    "COLUMN_BACKENDS",
+    "available_column_backends",
+    "default_column_backend",
+    "set_default_column_backend",
+    "resolve_column_backend",
+    "active_column_backend",
+    "use_column_backend",
+]
+
+try:  # pragma: no cover - exercised on both legs of the CI numpy matrix
+    import numpy as _np
+except ImportError:  # pragma: no cover
+    _np = None
+
+#: The canonical positions type: a selection vector or a full ``range``.
+Positions = Union[array, range]
+
+IdArray = array
+
+
+# --------------------------------------------------------------------------- #
+# The interner
+# --------------------------------------------------------------------------- #
+class ValueInterner:
+    """A dense value → id dictionary shared by every block of one generation.
+
+    Ids are allocated from a single counter across plain values and
+    multi-attribute key tuples (two separate forward dictionaries, so a
+    tuple-*valued* column entry can never collide with a tuple-of-ids key),
+    which keeps every id usable as an index into one reverse table.  A new
+    interner is installed by :func:`~repro.engine.columnar.clear_column_caches`;
+    storages keep a reference to the interner they were encoded under, so
+    blocks that survive a cache clear still decode — they just cannot be
+    combined with blocks of a newer generation (the kernels check).
+    """
+
+    __slots__ = ("_value_ids", "_tuple_ids", "values", "_lock")
+
+    def __init__(self) -> None:
+        self._value_ids: Dict[Any, int] = {}
+        self._tuple_ids: Dict[Tuple[int, ...], int] = {}
+        #: id → original value (key tuples are stored too, keeping indexes
+        #: aligned; they are never decoded).
+        self.values: List[Any] = []
+        self._lock = threading.Lock()
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def encode(self, column: Iterable[Any]) -> IdArray:
+        """Intern one column of values into an id array (one pass, one lock)."""
+        out = array("q")
+        append = out.append
+        ids = self._value_ids
+        with self._lock:
+            values = self.values
+            for value in column:
+                encoded = ids.get(value)
+                if encoded is None:
+                    encoded = len(values)
+                    ids[value] = encoded
+                    values.append(value)
+                append(encoded)
+        return out
+
+    def combine(self, columns: Sequence[IdArray]) -> IdArray:
+        """Intern per-position id tuples of a multi-attribute key into one id array."""
+        out = array("q")
+        append = out.append
+        ids = self._tuple_ids
+        with self._lock:
+            values = self.values
+            for key in zip(*columns):
+                encoded = ids.get(key)
+                if encoded is None:
+                    encoded = len(values)
+                    ids[key] = encoded
+                    values.append(key)
+                append(encoded)
+        return out
+
+    def decode(self, column: IdArray) -> List[Any]:
+        """The original values of one id column (reads are lock-free)."""
+        values = self.values
+        return [values[encoded] for encoded in column]
+
+
+# --------------------------------------------------------------------------- #
+# Backends
+# --------------------------------------------------------------------------- #
+class ArrayColumnBackend:
+    """The always-available pure-Python backend over ``array('q')`` buffers.
+
+    Loops are written against C-level building blocks (``map`` +
+    ``array.__init__``, list comprehensions over int membership, ``extend``
+    of cached buckets) so even without numpy the kernels move whole position
+    vectors per call instead of rebuilding Python tuples per row.
+    """
+
+    name = "array"
+
+    def selection(self, positions: Iterable[int]) -> IdArray:
+        """Canonicalise any position iterable into an ``array('q')`` vector."""
+        if type(positions) is array:
+            return positions
+        return array("q", positions)
+
+    def take(self, column: IdArray, positions: Positions) -> IdArray:
+        """Gather ``column[p]`` for every selected position, as a new id array."""
+        return array("q", map(column.__getitem__, positions))
+
+    def prepare_set(self, key_set: FrozenSet[int]) -> FrozenSet[int]:
+        """The membership structure :meth:`filter_membership` probes (cached upstream)."""
+        return key_set
+
+    @staticmethod
+    def _gathered(codes: IdArray, positions: Positions) -> Iterable[int]:
+        """``codes[p]`` for every selected position, as a C-level iterator."""
+        if type(positions) is range and len(positions) == len(codes):
+            return codes
+        return map(codes.__getitem__, positions)
+
+    def filter_membership(self, codes: IdArray, positions: Positions,
+                          prepared: FrozenSet[int], *,
+                          negate: bool = False) -> IdArray:
+        """The positions whose code is (not) in the prepared key set."""
+        gathered = self._gathered(codes, positions)
+        if negate:
+            flags = [code not in prepared for code in gathered]
+        else:
+            flags = map(prepared.__contains__, gathered)
+        return array("q", compress(positions, flags))
+
+    def build_table(self, codes: IdArray, positions: Positions) -> Dict[int, IdArray]:
+        """Group the selected positions by code — the hash-join build side.
+
+        Buckets are ``array('q')`` so probing can splice them into the output
+        with a same-typecode ``extend`` (a straight memory copy).
+        """
+        table: Dict[int, IdArray] = {}
+        get = table.get
+        for p, code in zip(positions, self._gathered(codes, positions)):
+            bucket = get(code)
+            if bucket is None:
+                table[code] = array("q", (p,))
+            else:
+                bucket.append(p)
+        return table
+
+    def probe_table(self, table: Dict[int, IdArray], codes: IdArray,
+                    positions: Positions) -> Tuple[IdArray, IdArray]:
+        """Probe the build table with a whole position vector.
+
+        Returns ``(build positions, probe positions)`` — one matched pair per
+        output row, probe-major, build buckets in position order.
+        """
+        build_out = array("q")
+        probe_out = array("q")
+        build_extend = build_out.extend
+        probe_append = probe_out.append
+        probe_extend = probe_out.extend
+        get = table.get
+        for p, code in zip(positions, self._gathered(codes, positions)):
+            bucket = get(code)
+            if bucket is not None:
+                build_extend(bucket)
+                if len(bucket) == 1:
+                    probe_append(p)
+                else:
+                    probe_extend([p] * len(bucket))
+        return build_out, probe_out
+
+    def first_occurrence(self, columns: Sequence[IdArray],
+                         positions: Positions) -> IdArray:
+        """The selected positions whose visible id tuple appears for the first time."""
+        keep = array("q")
+        keep_append = keep.append
+        seen: set = set()
+        seen_add = seen.add
+        if len(columns) == 1:
+            column = columns[0]
+            for p in positions:
+                code = column[p]
+                if code not in seen:
+                    seen_add(code)
+                    keep_append(p)
+            return keep
+        # Gather each column C-side first, then let zip build the key tuples
+        # in C — an order of magnitude cheaper than a per-row genexpr.
+        if type(positions) is range:
+            gathered: Sequence[IdArray] = columns
+        else:
+            gathered = [array("q", map(column.__getitem__, positions))
+                        for column in columns]
+        index = 0
+        for key in zip(*gathered):
+            if key not in seen:
+                seen_add(key)
+                keep_append(positions[index])
+            index += 1
+        return keep
+
+
+class NumpyColumnBackend:
+    """The numpy backend: identical semantics, vectorized compute.
+
+    Id arrays are viewed zero-copy via ``np.frombuffer``; membership and
+    join probes run on sorted code tables with ``searchsorted`` (stable
+    sorts preserve position order inside equal keys, so outputs match the
+    array backend pair for pair); results are copied back into canonical
+    ``array('q')`` vectors so downstream blocks stay backend-agnostic.
+    """
+
+    name = "numpy"
+
+    def __init__(self) -> None:
+        if _np is None:  # pragma: no cover - registry never builds it then
+            raise RuntimeError("numpy is not installed")
+
+    @staticmethod
+    def _view(buffer: IdArray) -> "Any":
+        if len(buffer) == 0:
+            return _np.empty(0, dtype=_np.int64)
+        return _np.frombuffer(buffer, dtype=_np.int64)
+
+    @classmethod
+    def _positions(cls, positions: Positions) -> "Any":
+        if type(positions) is range:
+            return _np.arange(positions.start, positions.stop, dtype=_np.int64)
+        if type(positions) is array:
+            return cls._view(positions)
+        return _np.asarray(positions, dtype=_np.int64)
+
+    @staticmethod
+    def _to_q(vector: "Any") -> IdArray:
+        out = array("q")
+        out.frombytes(_np.ascontiguousarray(vector, dtype=_np.int64).tobytes())
+        return out
+
+    def selection(self, positions: Iterable[int]) -> IdArray:
+        if type(positions) is array:
+            return positions
+        if _np is not None and isinstance(positions, _np.ndarray):
+            return self._to_q(positions)
+        return array("q", positions)
+
+    def take(self, column: IdArray, positions: Positions) -> IdArray:
+        return self._to_q(self._view(column)[self._positions(positions)])
+
+    def prepare_set(self, key_set: FrozenSet[int]) -> "Any":
+        if not key_set:
+            return _np.empty(0, dtype=_np.int64)
+        return _np.sort(_np.fromiter(key_set, dtype=_np.int64, count=len(key_set)))
+
+    def _member_mask(self, sorted_keys: "Any", values: "Any") -> "Any":
+        if sorted_keys.size == 0:
+            return _np.zeros(values.shape, dtype=bool)
+        slots = _np.searchsorted(sorted_keys, values)
+        # A value greater than every key lands one past the end; clamping it
+        # to slot 0 is safe — such a value can never equal sorted_keys[0].
+        slots[slots == sorted_keys.size] = 0
+        return sorted_keys[slots] == values
+
+    def filter_membership(self, codes: IdArray, positions: Positions,
+                          prepared: "Any", *, negate: bool = False) -> IdArray:
+        selected = self._positions(positions)
+        mask = self._member_mask(prepared, self._view(codes)[selected])
+        if negate:
+            mask = ~mask
+        return self._to_q(selected[mask])
+
+    def build_table(self, codes: IdArray, positions: Positions) -> Tuple["Any", "Any"]:
+        selected = self._positions(positions)
+        values = self._view(codes)[selected]
+        order = _np.argsort(values, kind="stable")
+        return values[order], selected[order]
+
+    def probe_table(self, table: Tuple["Any", "Any"], codes: IdArray,
+                    positions: Positions) -> Tuple[IdArray, IdArray]:
+        sorted_codes, sorted_positions = table
+        selected = self._positions(positions)
+        values = self._view(codes)[selected]
+        lower = _np.searchsorted(sorted_codes, values, side="left")
+        upper = _np.searchsorted(sorted_codes, values, side="right")
+        counts = upper - lower
+        total = int(counts.sum())
+        if total == 0:
+            return array("q"), array("q")
+        probe_out = _np.repeat(selected, counts)
+        # Expand each probe's [lower, upper) match range: repeat the range
+        # starts, then add a per-output offset that restarts at every probe.
+        starts = _np.repeat(lower, counts)
+        resets = _np.repeat(_np.cumsum(counts) - counts, counts)
+        build_out = sorted_positions[starts + _np.arange(total) - resets]
+        return self._to_q(build_out), self._to_q(probe_out)
+
+    def first_occurrence(self, columns: Sequence[IdArray],
+                         positions: Positions) -> IdArray:
+        selected = self._positions(positions)
+        if len(columns) == 1:
+            values = self._view(columns[0])[selected]
+        else:
+            # Pack the per-column ids into one int64 key (mixed-radix over
+            # each column's id range) — far cheaper than np.unique(axis=0)'s
+            # row-view machinery.  Ids are dense and small, so the packed
+            # range almost never overflows; when it would, fall back to the
+            # scalar tuple loop.
+            gathered = [self._view(column)[selected] for column in columns]
+            values = self._pack(gathered)
+            if values is None:
+                seen: set = set()
+                add = seen.add
+                keep = array("q")
+                append = keep.append
+                for index, key in enumerate(zip(*gathered)):
+                    if key not in seen:
+                        add(key)
+                        append(int(selected[index]))
+                return keep
+        _, first = _np.unique(values, return_index=True)
+        if first.size == selected.size:
+            return self._to_q(selected)
+        return self._to_q(selected[_np.sort(first)])
+
+    @staticmethod
+    def _pack(gathered: Sequence["Any"]) -> Optional["Any"]:
+        """Mixed-radix-pack gathered id columns into one int64 key array.
+
+        Returns ``None`` when the packed range could overflow 63 bits.
+        """
+        if gathered[0].size == 0:
+            return gathered[0]
+        radix = 1
+        for values in gathered:
+            radix *= int(values.max()) + 1
+            if radix >= (1 << 63):
+                return None
+        packed = gathered[0]
+        for values in gathered[1:]:
+            packed = packed * (int(values.max()) + 1) + values
+        return packed
+
+
+# --------------------------------------------------------------------------- #
+# Registry, default, and execution-scoped override
+# --------------------------------------------------------------------------- #
+_BACKENDS: Dict[str, object] = {"array": ArrayColumnBackend()}
+if _np is not None:
+    _BACKENDS["numpy"] = NumpyColumnBackend()
+
+#: Every backend name the interface knows, installed or not (for validation).
+COLUMN_BACKENDS = ("array", "numpy")
+
+
+def available_column_backends() -> Tuple[str, ...]:
+    """The backend names usable in this process (``numpy`` only when importable)."""
+    return tuple(name for name in COLUMN_BACKENDS if name in _BACKENDS)
+
+
+def _initial_default() -> str:
+    forced = os.environ.get("REPRO_COLUMN_BACKEND")
+    if forced:
+        if forced not in COLUMN_BACKENDS:
+            raise ValueError(f"REPRO_COLUMN_BACKEND={forced!r} is not one of "
+                             f"{COLUMN_BACKENDS}")
+        if forced not in _BACKENDS:
+            raise ValueError(f"REPRO_COLUMN_BACKEND={forced!r} requested but "
+                             f"that backend is not installed")
+        return forced
+    return "numpy" if "numpy" in _BACKENDS else "array"
+
+
+_DEFAULT_BACKEND = _initial_default()
+
+
+def default_column_backend() -> str:
+    """The process-wide default backend name (auto-detected unless overridden)."""
+    return _DEFAULT_BACKEND
+
+
+def set_default_column_backend(name: str) -> str:
+    """Set the process-wide default backend; return the previous name."""
+    global _DEFAULT_BACKEND
+    if name not in COLUMN_BACKENDS:
+        raise ValueError(f"unknown column backend {name!r}; "
+                         f"expected one of {COLUMN_BACKENDS}")
+    if name not in _BACKENDS:
+        raise ValueError(f"column backend {name!r} is not available "
+                         f"(numpy is not installed)")
+    previous = _DEFAULT_BACKEND
+    _DEFAULT_BACKEND = name
+    return previous
+
+
+def resolve_column_backend(name: Optional[str]) -> object:
+    """``None`` → the active (override or default) backend; a name is validated."""
+    if name is None:
+        return active_column_backend()
+    if name not in COLUMN_BACKENDS:
+        raise ValueError(f"unknown column backend {name!r}; "
+                         f"expected one of {COLUMN_BACKENDS} or None")
+    backend = _BACKENDS.get(name)
+    if backend is None:
+        raise ValueError(f"column backend {name!r} is not available "
+                         f"(numpy is not installed)")
+    return backend
+
+
+_ACTIVE = threading.local()
+
+
+def active_column_backend() -> object:
+    """The backend the kernels use right now: the innermost override, else the default."""
+    override = getattr(_ACTIVE, "backend", None)
+    if override is not None:
+        return override
+    return _BACKENDS[_DEFAULT_BACKEND]
+
+
+@contextmanager
+def use_column_backend(backend: object):
+    """Install ``backend`` as this thread's active backend for the duration."""
+    previous = getattr(_ACTIVE, "backend", None)
+    _ACTIVE.backend = backend
+    try:
+        yield backend
+    finally:
+        _ACTIVE.backend = previous

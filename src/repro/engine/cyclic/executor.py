@@ -31,12 +31,18 @@ from ...relational.database import Database
 from ...relational.relation import Relation
 from ...relational.schema import Attribute
 from ..catalog import StatisticsCatalog
-from ..columnar import column_cache_info, resolve_execution_mode
+from ..columnar import (
+    ColumnBlock,
+    column_cache_info,
+    resolve_column_backend,
+    resolve_execution_mode,
+    use_column_backend,
+)
 from ..columnar.executor import catalog_from_blocks, run_columnar_plan, vertex_blocks
 from ..indexes import index_cache_info
 from ..planner import DEFAULT_PLANNER, QueryPlanner, annotate_plan, schema_fingerprint
 from ..reducer import ReductionTrace
-from ..yannakakis import evaluate as evaluate_acyclic
+from ..yannakakis import evaluate as evaluate_acyclic, resolve_decode_mode
 from ...telemetry.tracing import current_tracer, merge_phase_times
 from .plans import CyclicEngineStatistics, CyclicExecutionPlan
 from .quotient import materialise_cluster_blocks, materialise_clusters
@@ -46,11 +52,29 @@ __all__ = ["CyclicEngineResult", "evaluate_cyclic", "evaluate_cyclic_database"]
 
 @dataclass(frozen=True)
 class CyclicEngineResult:
-    """The cyclic engine's answer plus the plan that produced it and its accounting."""
+    """The cyclic engine's answer plus the plan that produced it and its accounting.
 
-    relation: Relation
+    Mirrors :class:`~repro.engine.yannakakis.EngineResult`'s decode contract:
+    under ``decode="block"`` ``relation`` is ``None`` and :meth:`decoded`
+    materialises it lazily from ``block``.
+    """
+
+    relation: Optional[Relation]
     plan: CyclicExecutionPlan
     statistics: CyclicEngineStatistics
+    block: Optional[ColumnBlock] = None
+    result_name: str = "cyclic"
+
+    def decoded(self) -> Relation:
+        """The answer as a :class:`Relation`, decoding the block if deferred."""
+        if self.relation is not None:
+            return self.relation
+        if self.block is None:
+            raise SchemaError("this result holds neither a decoded relation "
+                              "nor a column block")
+        relation = self.block.to_relation(self.result_name)
+        object.__setattr__(self, "relation", relation)
+        return relation
 
 
 def evaluate_cyclic(relations: Sequence[Relation],
@@ -61,7 +85,9 @@ def evaluate_cyclic(relations: Sequence[Relation],
                     cluster_row_bound: Optional[int] = None,
                     catalog: Optional[StatisticsCatalog] = None,
                     plan: Optional[CyclicExecutionPlan] = None,
-                    execution_mode: Optional[str] = None) -> CyclicEngineResult:
+                    execution_mode: Optional[str] = None,
+                    column_backend: Optional[str] = None,
+                    decode: str = "rows") -> CyclicEngineResult:
     """Evaluate the natural join of ``relations`` (optionally projected), cyclic schemas included.
 
     Acyclic schemas work too (the cover is trivially all singletons and the
@@ -91,6 +117,7 @@ def evaluate_cyclic(relations: Sequence[Relation],
     if not relations:
         raise SchemaError("the cyclic engine needs at least one relation to evaluate")
     mode = resolve_execution_mode(execution_mode)
+    decode = resolve_decode_mode(decode, mode)
     active_planner = planner if planner is not None else DEFAULT_PLANNER
     hypergraph = Hypergraph([relation.schema.attribute_set for relation in relations])
     wanted: Optional[FrozenSet[Attribute]] = (
@@ -138,48 +165,60 @@ def evaluate_cyclic(relations: Sequence[Relation],
     # an exact catalog of the materialised clusters: their sizes are known
     # the moment they exist, so the quotient-level annotation is free.
     inner_plan = plan.inner
+    result_block: Optional[ColumnBlock] = None
+    backend_name: Optional[str] = None
     if mode == "columnar":
         # Columnar end to end: the cluster blocks feed the quotient pipeline
         # directly — no decode/re-encode round trip between the phases; only
-        # the final quotient result is decoded to a relation.
+        # the final quotient result is decoded to a relation (and not even
+        # that under decode="block").
+        backend = resolve_column_backend(column_backend)
+        backend_name = backend.name
         column_before = column_cache_info()
-        materialise_span = tracer.span("materialise")
-        materialise_started = perf_counter()
-        with materialise_span:
-            materialised = materialise_cluster_blocks(plan.cover, relations,
-                                                      row_bound=cluster_row_bound,
-                                                      catalog=catalog)
-            if materialise_span.is_recording:
-                materialise_span.set("mode", mode)
-                materialise_span.set("cluster_sizes",
-                                     list(materialised.cluster_sizes))
-                materialise_span.set("intermediates",
-                                     list(materialised.intermediate_sizes))
-        materialise_seconds = perf_counter() - materialise_started
-        annotate_started = perf_counter()
-        inner_annotated = None
-        if catalog is not None:
-            inner_annotated = annotate_plan(inner_plan,
-                                            catalog_from_blocks(materialised.blocks),
-                                            output_attributes=wanted)
-        # The quotient-level annotation is planning work, so its time counts
-        # toward the prepare phase even though it runs post-materialisation.
-        prepare_seconds += perf_counter() - annotate_started
-        trace = ReductionTrace()
-        encode_started = perf_counter()
-        blocks = vertex_blocks(materialised.blocks, inner_plan.vertices)
-        encode_seconds = perf_counter() - encode_started
-        result_block, inner_intermediates, physical_seconds = run_columnar_plan(
-            inner_plan, inner_annotated, blocks, wanted,
-            trace=trace, check_reduction=check_reduction)
-        decode_span = tracer.span("decode")
-        decode_started = perf_counter()
-        with decode_span:
-            relation = result_block.to_relation(name)
-            if decode_span.is_recording:
-                decode_span.set("mode", mode)
-                decode_span.set("output_rows", len(relation))
-        decode_seconds = perf_counter() - decode_started
+        with use_column_backend(backend):
+            materialise_span = tracer.span("materialise")
+            materialise_started = perf_counter()
+            with materialise_span:
+                materialised = materialise_cluster_blocks(plan.cover, relations,
+                                                          row_bound=cluster_row_bound,
+                                                          catalog=catalog)
+                if materialise_span.is_recording:
+                    materialise_span.set("mode", mode)
+                    materialise_span.set("backend", backend_name)
+                    materialise_span.set("cluster_sizes",
+                                         list(materialised.cluster_sizes))
+                    materialise_span.set("intermediates",
+                                         list(materialised.intermediate_sizes))
+            materialise_seconds = perf_counter() - materialise_started
+            annotate_started = perf_counter()
+            inner_annotated = None
+            if catalog is not None:
+                inner_annotated = annotate_plan(inner_plan,
+                                                catalog_from_blocks(materialised.blocks),
+                                                output_attributes=wanted)
+            # The quotient-level annotation is planning work, so its time counts
+            # toward the prepare phase even though it runs post-materialisation.
+            prepare_seconds += perf_counter() - annotate_started
+            trace = ReductionTrace()
+            encode_started = perf_counter()
+            blocks = vertex_blocks(materialised.blocks, inner_plan.vertices)
+            encode_seconds = perf_counter() - encode_started
+            result_block, inner_intermediates, physical_seconds = run_columnar_plan(
+                inner_plan, inner_annotated, blocks, wanted,
+                trace=trace, check_reduction=check_reduction)
+            if decode == "rows":
+                decode_span = tracer.span("decode")
+                decode_started = perf_counter()
+                with decode_span:
+                    relation = result_block.to_relation(name)
+                    if decode_span.is_recording:
+                        decode_span.set("mode", mode)
+                        decode_span.set("backend", backend_name)
+                        decode_span.set("output_rows", len(relation))
+                decode_seconds = perf_counter() - decode_started
+            else:
+                relation = None
+                decode_seconds = 0.0
         phase_times = (("prepare", prepare_seconds),
                        ("materialise", materialise_seconds),
                        ("encode", encode_seconds),
@@ -239,7 +278,7 @@ def evaluate_cyclic(relations: Sequence[Relation],
         plan_name="engine-cyclic-adaptive" if catalog is not None else "engine-cyclic",
         input_sizes=tuple(len(relation_) for relation_ in relations),
         intermediate_sizes=materialised.intermediate_sizes + tuple(inner_intermediates),
-        output_size=len(relation),
+        output_size=len(relation) if relation is not None else len(result_block),
         semijoin_steps=semijoin_steps,
         rows_removed_by_reduction=rows_removed,
         reduced_sizes=reduced_sizes,
@@ -247,6 +286,7 @@ def evaluate_cyclic(relations: Sequence[Relation],
         index_cache_hits=cache_hits,
         index_cache_misses=cache_misses,
         execution_mode=mode,
+        column_backend=backend_name,
         adaptive=catalog is not None,
         estimated_intermediate_sizes=estimated_materialisation + tuple(inner_estimated),
         estimated_output_size=estimated_output,
@@ -255,7 +295,8 @@ def evaluate_cyclic(relations: Sequence[Relation],
         estimated_cluster_sizes=estimated_cluster_sizes,
         phase_times=phase_times,
     )
-    return CyclicEngineResult(relation=relation, plan=plan, statistics=statistics)
+    return CyclicEngineResult(relation=relation, plan=plan, statistics=statistics,
+                              block=result_block, result_name=name)
 
 
 def evaluate_cyclic_database(database: Database,
@@ -266,8 +307,9 @@ def evaluate_cyclic_database(database: Database,
                              cluster_row_bound: Optional[int] = None,
                              adaptive: bool = False,
                              catalog: Optional[StatisticsCatalog] = None,
-                             execution_mode: Optional[str] = None
-                             ) -> CyclicEngineResult:
+                             execution_mode: Optional[str] = None,
+                             column_backend: Optional[str] = None,
+                             decode: str = "rows") -> CyclicEngineResult:
     """Evaluate a database's universal join (optionally projected) via the cyclic engine.
 
     The cyclic counterpart of :func:`repro.engine.yannakakis.evaluate_database`,
@@ -280,4 +322,5 @@ def evaluate_cyclic_database(database: Database,
     return evaluate_cyclic(database.relations(), output_attributes, planner=planner,
                            name=name, check_reduction=check_reduction,
                            cluster_row_bound=cluster_row_bound, catalog=catalog,
-                           execution_mode=execution_mode)
+                           execution_mode=execution_mode,
+                           column_backend=column_backend, decode=decode)

@@ -83,11 +83,14 @@ class HashIndex:
             return index
         groups = block.key_groups(tuple(sorted_nodes(wanted)))
         rows = block.source_rows
+        # Columns hold interned ids; bucket keys must be the original values,
+        # decoded once per distinct key (not per row) via the interner.
+        decode = block.interner.values.__getitem__
         columns = [block.column(attribute) for attribute in wanted]
         buckets: Dict[IndexKey, Tuple[Row, ...]] = {}
         for positions in groups.values():
             first = positions[0]
-            key = tuple(column[first] for column in columns)
+            key = tuple(decode(column[first]) for column in columns)
             buckets[key] = tuple(rows[position] for position in positions)
         index._buckets = buckets
         index._size = len(block)

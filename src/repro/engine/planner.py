@@ -124,6 +124,9 @@ class EngineStatistics(JoinStatistics):
     index_cache_hits: int = 0
     index_cache_misses: int = 0
     execution_mode: str = "row"
+    #: The column-buffer backend the columnar run computed on (``"array"`` or
+    #: ``"numpy"``); ``None`` for row-mode runs, which have no backend.
+    column_backend: Optional[str] = None
     adaptive: bool = False
     estimated_intermediate_sizes: Tuple[int, ...] = ()
     estimated_output_size: Optional[int] = None
@@ -164,7 +167,10 @@ class EngineStatistics(JoinStatistics):
     def describe(self) -> str:
         """A one-line summary aligned with ``JoinStatistics.describe``."""
         base = super().describe()
-        summary = (f"{base} mode={self.execution_mode} "
+        mode = self.execution_mode
+        if self.column_backend is not None:
+            mode += f"[{self.column_backend}]"
+        summary = (f"{base} mode={mode} "
                    f"semijoins={self.semijoin_steps} "
                    f"removed={self.rows_removed_by_reduction} "
                    f"reduced={list(self.reduced_sizes)} "

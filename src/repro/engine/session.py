@@ -135,6 +135,16 @@ class ExecutionOptions:
       ``None`` (the default) inherits the process-wide default — columnar,
       unless :func:`~repro.engine.columnar.set_default_execution_mode`
       flipped it.  Answers are byte-identical across modes.
+    * ``column_backend`` — the columnar compute backend: ``"array"`` (pure
+      Python, always available) or ``"numpy"`` (when installed); ``None``
+      inherits the process default (numpy when importable, else array; the
+      ``REPRO_COLUMN_BACKEND`` environment variable overrides).  Backends
+      change compute, never results.
+    * ``decode`` — how results cross the engine boundary: ``"rows"``
+      (default) decodes eagerly into a :class:`Relation`; ``"block"``
+      (columnar only) skips the decode phase and defers it to
+      ``result.decoded()`` — the win for callers that only need counts,
+      emptiness, or re-feed blocks into further columnar work.
     * ``trace`` — record spans of every prepare/execute into the owning
       session's :class:`~repro.telemetry.tracing.Tracer` when no ambient
       tracer is already active.  Off by default: the untraced hot path pays
@@ -151,15 +161,28 @@ class ExecutionOptions:
     sample_limit: Optional[int] = None
     force_cyclic: bool = False
     execution_mode: Optional[str] = None
+    column_backend: Optional[str] = None
+    decode: str = "rows"
     trace: bool = False
 
     def __post_init__(self) -> None:
-        from .columnar import EXECUTION_MODES
+        from .columnar import COLUMN_BACKENDS, EXECUTION_MODES
+        from .yannakakis import DECODE_MODES
 
         if self.execution_mode is not None \
                 and self.execution_mode not in EXECUTION_MODES:
             raise ValueError(f"unknown execution mode {self.execution_mode!r}; "
                              f"expected one of {EXECUTION_MODES} or None")
+        if self.column_backend is not None \
+                and self.column_backend not in COLUMN_BACKENDS:
+            raise ValueError(f"unknown column backend {self.column_backend!r}; "
+                             f"expected one of {COLUMN_BACKENDS} or None")
+        if self.decode not in DECODE_MODES:
+            raise ValueError(f"unknown decode mode {self.decode!r}; "
+                             f"expected one of {DECODE_MODES}")
+        if self.decode == "block" and self.execution_mode == "row":
+            raise ValueError('decode="block" requires the columnar '
+                             'execution mode')
 
     def merged(self, **overrides: object) -> "ExecutionOptions":
         """A copy with the given fields replaced; unknown names raise ``TypeError``."""
@@ -366,8 +389,14 @@ class ExecutionBatch:
 
     @property
     def relations(self) -> Tuple[Relation, ...]:
-        """The per-database answer relations, in batch order."""
-        return tuple(result.relation for result in self.results)
+        """The per-database answer relations, in batch order.
+
+        Decodes deferred (``decode="block"``) results on access, so batch
+        callers see relations regardless of the decode option.
+        """
+        return tuple(result.decoded() if result.relation is None
+                     and hasattr(result, "decoded") else result.relation
+                     for result in self.results)
 
 
 # --------------------------------------------------------------------------- #
@@ -700,7 +729,9 @@ class PreparedQuery:
             return _yannakakis.evaluate(
                 binding.relations, self._output, name=self._name,
                 check_reduction=options.check_reduction, plan=binding.plan,
-                execution_mode=options.execution_mode)
+                execution_mode=options.execution_mode,
+                column_backend=options.column_backend,
+                decode=options.decode)
         # Resolved through the package attribute at call time so test doubles
         # patched onto ``repro.engine.cyclic`` intercept the dispatch.
         from . import cyclic
@@ -710,7 +741,9 @@ class PreparedQuery:
             cluster_row_bound=options.cluster_row_bound,
             plan=binding.plan, catalog=binding.catalog,
             planner=self._session.planner,
-            execution_mode=options.execution_mode)
+            execution_mode=options.execution_mode,
+            column_backend=options.column_backend,
+            decode=options.decode)
 
 
 # --------------------------------------------------------------------------- #

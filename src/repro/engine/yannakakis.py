@@ -30,7 +30,13 @@ from ..relational.database import Database
 from ..relational.relation import Relation
 from ..relational.schema import Attribute, RelationSchema
 from .catalog import StatisticsCatalog
-from .columnar import column_cache_info, resolve_execution_mode
+from .columnar import (
+    ColumnBlock,
+    column_cache_info,
+    resolve_column_backend,
+    resolve_execution_mode,
+    use_column_backend,
+)
 from .columnar.executor import run_columnar_plan, vertex_blocks
 from .fold import fold_join_tree
 from .indexes import index_cache_info
@@ -47,17 +53,53 @@ from .reducer import ReductionTrace
 from .semijoin import merge_relations_by_scheme, natural_join_indexed
 from ..telemetry.tracing import current_tracer
 
-__all__ = ["EngineResult", "evaluate", "evaluate_database"]
+__all__ = ["DECODE_MODES", "EngineResult", "evaluate", "evaluate_database"]
+
+#: How results cross the engine boundary: ``"rows"`` decodes to a
+#: :class:`Relation` eagerly (the default); ``"block"`` hands back the
+#: columnar result block and defers decoding until someone asks.
+DECODE_MODES = ("rows", "block")
+
+
+def resolve_decode_mode(decode: str, execution_mode: str) -> str:
+    """Validate a decode mode against the physical mode actually running."""
+    if decode not in DECODE_MODES:
+        raise ValueError(f"unknown decode mode {decode!r}; "
+                         f"expected one of {DECODE_MODES}")
+    if decode == "block" and execution_mode != "columnar":
+        raise ValueError('decode="block" requires the columnar execution '
+                         f'mode, not {execution_mode!r}')
+    return decode
 
 
 @dataclass(frozen=True)
 class EngineResult:
-    """The engine's answer plus the plan that produced it and its accounting."""
+    """The engine's answer plus the plan that produced it and its accounting.
 
-    relation: Relation
+    Under ``decode="rows"`` (the default) ``relation`` is the decoded answer
+    and, in columnar mode, ``block`` additionally exposes the typed result
+    block.  Under ``decode="block"`` the engine skips the decode phase
+    entirely: ``relation`` is ``None`` and :meth:`decoded` materialises it
+    on first request (cached on the result).
+    """
+
+    relation: Optional[Relation]
     plan: ExecutionPlan
     statistics: EngineStatistics
     annotated: Optional[AnnotatedPlan] = None
+    block: Optional[ColumnBlock] = None
+    result_name: str = "yannakakis"
+
+    def decoded(self) -> Relation:
+        """The answer as a :class:`Relation`, decoding the block if deferred."""
+        if self.relation is not None:
+            return self.relation
+        if self.block is None:
+            raise SchemaError("this result holds neither a decoded relation "
+                              "nor a column block")
+        relation = self.block.to_relation(self.result_name)
+        object.__setattr__(self, "relation", relation)
+        return relation
 
 
 def _SKIP_CHECK(relations, rooted) -> bool:
@@ -95,7 +137,9 @@ def evaluate(relations: Sequence[Relation],
              check_reduction: bool = False,
              plan: Optional[Union[ExecutionPlan, AnnotatedPlan]] = None,
              catalog: Optional[StatisticsCatalog] = None,
-             execution_mode: Optional[str] = None) -> EngineResult:
+             execution_mode: Optional[str] = None,
+             column_backend: Optional[str] = None,
+             decode: str = "rows") -> EngineResult:
     """Evaluate the natural join of ``relations`` (optionally projected) via the engine.
 
     Raises :class:`~repro.exceptions.CyclicHypergraphError` when the schemas'
@@ -121,10 +165,17 @@ def evaluate(relations: Sequence[Relation],
     :class:`Relation` only at the result boundary; ``"row"`` is the original
     row-at-a-time reference implementation.  Results and all logical
     accounting are byte-identical across modes.
+
+    ``column_backend`` pins the columnar compute backend (``"array"`` or
+    ``"numpy"``) for this evaluation; ``None`` keeps the ambient default.
+    ``decode="block"`` (columnar only) skips the decode phase and returns a
+    result whose ``relation`` is materialised lazily via
+    :meth:`EngineResult.decoded`.
     """
     if not relations:
         raise SchemaError("the engine needs at least one relation to evaluate")
     mode = resolve_execution_mode(execution_mode)
+    decode = resolve_decode_mode(decode, mode)
     active_planner = planner if planner is not None else DEFAULT_PLANNER
     hypergraph = Hypergraph([relation.schema.attribute_set for relation in relations])
     universe = hypergraph.nodes
@@ -171,24 +222,35 @@ def evaluate(relations: Sequence[Relation],
     prepare_seconds = perf_counter() - prepare_started
 
     trace = ReductionTrace()
+    result_block: Optional[ColumnBlock] = None
+    backend_name: Optional[str] = None
     if mode == "columnar":
         # Columnar physical layer: encode once (cached per relation), reduce
-        # and join whole blocks, decode only the final result.
+        # and join whole blocks, decode only the final result — or not at
+        # all under decode="block".
+        backend = resolve_column_backend(column_backend)
+        backend_name = backend.name
         column_before = column_cache_info()
-        encode_started = perf_counter()
-        blocks = vertex_blocks(relations, plan.vertices)
-        encode_seconds = perf_counter() - encode_started
-        result_block, intermediate_sizes, physical_seconds = run_columnar_plan(
-            plan, annotated, blocks, wanted,
-            trace=trace, check_reduction=check_reduction)
-        decode_span = tracer.span("decode")
-        decode_started = perf_counter()
-        with decode_span:
-            result = result_block.to_relation(name)
-            if decode_span.is_recording:
-                decode_span.set("mode", mode)
-                decode_span.set("output_rows", len(result))
-        decode_seconds = perf_counter() - decode_started
+        with use_column_backend(backend):
+            encode_started = perf_counter()
+            blocks = vertex_blocks(relations, plan.vertices)
+            encode_seconds = perf_counter() - encode_started
+            result_block, intermediate_sizes, physical_seconds = run_columnar_plan(
+                plan, annotated, blocks, wanted,
+                trace=trace, check_reduction=check_reduction)
+            if decode == "rows":
+                decode_span = tracer.span("decode")
+                decode_started = perf_counter()
+                with decode_span:
+                    result = result_block.to_relation(name)
+                    if decode_span.is_recording:
+                        decode_span.set("mode", mode)
+                        decode_span.set("backend", backend_name)
+                        decode_span.set("output_rows", len(result))
+                decode_seconds = perf_counter() - decode_started
+            else:
+                result = None
+                decode_seconds = 0.0
         intermediates = list(intermediate_sizes)
         column_after = column_cache_info()
         cache_hits = column_after["hits"] - column_before["hits"]
@@ -252,7 +314,7 @@ def evaluate(relations: Sequence[Relation],
         else "engine-yannakakis",
         input_sizes=tuple(len(relation) for relation in relations),
         intermediate_sizes=tuple(intermediates),
-        output_size=len(result),
+        output_size=len(result) if result is not None else len(result_block),
         semijoin_steps=trace.steps_run,
         rows_removed_by_reduction=trace.rows_removed,
         reduced_sizes=trace.sizes_after,
@@ -260,6 +322,7 @@ def evaluate(relations: Sequence[Relation],
         index_cache_hits=cache_hits,
         index_cache_misses=cache_misses,
         execution_mode=mode,
+        column_backend=backend_name,
         adaptive=annotated is not None,
         estimated_intermediate_sizes=(
             annotated.annotation.estimated_intermediate_sizes
@@ -269,7 +332,8 @@ def evaluate(relations: Sequence[Relation],
         phase_times=phase_times,
     )
     return EngineResult(relation=result, plan=plan, statistics=statistics,
-                        annotated=annotated)
+                        annotated=annotated, block=result_block,
+                        result_name=name)
 
 
 def evaluate_database(database: Database,
@@ -280,7 +344,9 @@ def evaluate_database(database: Database,
                       check_reduction: bool = False,
                       adaptive: bool = False,
                       catalog: Optional[StatisticsCatalog] = None,
-                      execution_mode: Optional[str] = None) -> EngineResult:
+                      execution_mode: Optional[str] = None,
+                      column_backend: Optional[str] = None,
+                      decode: str = "rows") -> EngineResult:
     """Evaluate a database's universal join (optionally projected) via the engine.
 
     The engine counterpart of :func:`repro.relational.yannakakis.yannakakis_join`;
@@ -293,4 +359,5 @@ def evaluate_database(database: Database,
         catalog = database.statistics_catalog()
     return evaluate(database.relations(), output_attributes, planner=planner,
                     root=root, name=name, check_reduction=check_reduction,
-                    catalog=catalog, execution_mode=execution_mode)
+                    catalog=catalog, execution_mode=execution_mode,
+                    column_backend=column_backend, decode=decode)

@@ -28,6 +28,21 @@ class Row(Mapping[Attribute, Any]):
         self._mapping: Optional[Dict[Attribute, Any]] = None
         self._hash: Optional[int] = None
 
+    @classmethod
+    def _from_sorted_items(cls, items: Tuple[Tuple[Attribute, Any], ...]) -> "Row":
+        """Wrap an already-canonically-sorted items tuple without re-sorting.
+
+        The columnar decode boundary builds rows in bulk from columns it has
+        already arranged in canonical attribute order; going through
+        ``__init__`` would re-sort (and re-dict) every row.  The caller is
+        responsible for the sort order — equality/hash semantics depend on it.
+        """
+        row = cls.__new__(cls)
+        row._items = items
+        row._mapping = None
+        row._hash = None
+        return row
+
     # Mapping interface ------------------------------------------------- #
     def __getitem__(self, attribute: Attribute) -> Any:
         # Attribute lookup is the hottest operation under joins and

@@ -567,6 +567,13 @@ class SessionMonitor:
             gauge(f"{prefix}_relations",
                   f"Relations resident in the {help_what} cache.",
                   info["relations"])
+        column_info = column_cache_info()
+        gauge("engine_keyset_cache_hits",
+              "Selection-aware key-id-set cache hits on block storages.",
+              column_info["keyset_hits"])
+        gauge("engine_keyset_cache_misses",
+              "Selection-aware key-id-set cache misses on block storages.",
+              column_info["keyset_misses"])
         gauge("engine_querylog_entries",
               "Entries retained in the query log ring buffer.", len(self.log))
         gauge("engine_querylog_dropped",

@@ -6,18 +6,36 @@ implementation.  Parametrising the process-wide default over both modes
 makes the whole engine test package (sessions, evaluators, reducer, cyclic
 subsystem, planner) a differential suite: anything the columnar kernels get
 wrong fails the same test that passes in row mode.
+
+When numpy is installed the columnar leg additionally splits by compute
+backend — ``columnar`` (the ambient default, numpy here) and
+``columnar-array`` (the always-available pure-Python backend) — so both
+backends face the full differential suite, not just the property tests.
 """
 
 from __future__ import annotations
 
 import pytest
 
-from repro.engine.columnar import set_default_execution_mode
+from repro.engine.columnar import (
+    available_column_backends,
+    set_default_column_backend,
+    set_default_execution_mode,
+)
+
+_MODES = ["columnar", "row"]
+if "numpy" in available_column_backends():
+    # The default columnar leg computes on numpy; add the pure-python leg.
+    _MODES.insert(1, "columnar-array")
 
 
-@pytest.fixture(params=["columnar", "row"], autouse=True)
+@pytest.fixture(params=_MODES, autouse=True)
 def engine_execution_mode(request):
-    """Flip the process-default execution mode for every engine test."""
-    previous = set_default_execution_mode(request.param)
-    yield request.param
+    """Flip the process-default execution mode (and backend) for every engine test."""
+    mode, _, backend = request.param.partition("-")
+    previous = set_default_execution_mode(mode)
+    previous_backend = set_default_column_backend(backend) if backend else None
+    yield mode
+    if previous_backend is not None:
+        set_default_column_backend(previous_backend)
     set_default_execution_mode(previous)

@@ -1,0 +1,214 @@
+"""Typed id-array storage: backend registry, identity fast paths, caches,
+deferred decoding, and the operational reporting around all of it."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import statistics_table
+from repro.engine import EngineSession, ExecutionOptions
+from repro.engine.columnar import (
+    available_column_backends,
+    block_for,
+    clear_column_caches,
+    column_cache_info,
+    default_column_backend,
+    intersect_blocks,
+    merge_blocks_by_scheme,
+    resolve_column_backend,
+    semijoin_blocks,
+    set_default_column_backend,
+    use_column_backend,
+)
+from repro.exceptions import SchemaError
+from repro.generators import chain_hypergraph, generate_database
+from repro.relational import DatabaseSchema, Relation, RelationSchema
+
+NUMPY_INSTALLED = "numpy" in available_column_backends()
+
+
+@pytest.fixture()
+def acyclic_db():
+    hypergraph = chain_hypergraph(4, arity=3, overlap=2)
+    schema = DatabaseSchema.from_hypergraph(hypergraph)
+    return generate_database(schema, universe_rows=40, domain_size=4,
+                             dangling_fraction=0.4, seed=11)
+
+
+@pytest.fixture
+def r_ab():
+    return Relation.from_tuples(RelationSchema.of("R", ("A", "B")),
+                                [(1, "x"), (2, "y"), (3, "z")])
+
+
+@pytest.fixture
+def s_bc():
+    return Relation.from_tuples(RelationSchema.of("S", ("B", "C")),
+                                [("x", 10), ("x", 11), ("z", 12)])
+
+
+class TestBackendRegistry:
+    def test_array_backend_is_always_available(self):
+        assert "array" in available_column_backends()
+
+    def test_numpy_backend_tracks_the_import(self):
+        try:
+            import numpy  # noqa: F401
+            importable = True
+        except ImportError:
+            importable = False
+        assert ("numpy" in available_column_backends()) == importable
+
+    def test_resolve_by_name_and_unknown_name(self):
+        assert resolve_column_backend("array").name == "array"
+        with pytest.raises(ValueError, match="unknown column backend"):
+            resolve_column_backend("bogus")
+
+    def test_none_resolves_to_the_active_default(self):
+        assert resolve_column_backend(None).name == default_column_backend()
+
+    def test_use_column_backend_overrides_and_restores(self):
+        before = default_column_backend()
+        with use_column_backend(resolve_column_backend("array")) as active:
+            assert active.name == "array"
+            assert resolve_column_backend(None) is active
+        assert resolve_column_backend(None).name == before
+
+    def test_set_default_returns_the_previous_default(self):
+        previous = set_default_column_backend("array")
+        try:
+            assert default_column_backend() == "array"
+        finally:
+            set_default_column_backend(previous)
+
+
+class TestIdentityFastPaths:
+    def test_semijoin_fixpoint_returns_the_left_block_itself(self, r_ab, s_bc):
+        left = block_for(r_ab)
+        wide = block_for(Relation.from_tuples(
+            RelationSchema.of("T", ("B",)), [("x",), ("y",), ("z",)]))
+        assert semijoin_blocks(left, wide) is left
+
+    def test_merge_by_scheme_passes_single_blocks_through(self, r_ab, s_bc):
+        merged = merge_blocks_by_scheme([r_ab, s_bc])
+        assert merged[frozenset(("A", "B"))] is block_for(r_ab)
+        assert merged[frozenset(("B", "C"))] is block_for(s_bc)
+
+    def test_intersect_subset_fast_path_reuses_the_block(self, r_ab):
+        subset = Relation.from_tuples(r_ab.schema, [(1, "x"), (3, "z")])
+        narrowed = intersect_blocks(block_for(r_ab), block_for(subset))
+        assert frozenset(narrowed.to_relation().rows) == frozenset(subset.rows)
+        # And intersecting with a superset filters nothing — same block back.
+        assert intersect_blocks(block_for(subset), block_for(r_ab)) \
+            is block_for(subset)
+
+    def test_select_on_own_selection_is_self(self, r_ab):
+        base = block_for(r_ab)
+        sub = base.select([0, 2])
+        assert sub.select(sub.positions) is sub
+
+
+class TestKeysetCacheCounters:
+    def test_warm_runs_hit_the_keyset_cache(self, acyclic_db):
+        clear_column_caches()
+        session = EngineSession(execution_mode="columnar")
+        prepared = session.prepare(acyclic_db, ("C0", "C5"))
+        prepared.execute(acyclic_db)
+        cold = column_cache_info()
+        assert cold["keyset_misses"] > 0
+        prepared.execute(acyclic_db)
+        warm = column_cache_info()
+        assert warm["keyset_hits"] > cold["keyset_hits"]
+        assert warm["keyset_misses"] == cold["keyset_misses"]
+
+    def test_monitor_exports_keyset_gauges(self, acyclic_db):
+        session = EngineSession(execution_mode="columnar", monitor=True)
+        session.prepare(acyclic_db, ("C0", "C5")).execute(acyclic_db)
+        gauges = session.monitor.collect()
+        info = column_cache_info()
+        assert gauges["engine_keyset_cache_hits"] == info["keyset_hits"]
+        assert gauges["engine_keyset_cache_misses"] == info["keyset_misses"]
+
+
+class TestBackendReporting:
+    def test_statistics_carry_the_active_backend(self, acyclic_db):
+        result = EngineSession(execution_mode="columnar", column_backend="array") \
+            .prepare(acyclic_db, ("C0", "C5")).execute(acyclic_db)
+        assert result.statistics.column_backend == "array"
+        assert "columnar[array]" in statistics_table([result.statistics])
+        assert "columnar[array]" in result.statistics.describe()
+
+    def test_row_mode_reports_no_backend(self, acyclic_db):
+        result = EngineSession(execution_mode="row") \
+            .prepare(acyclic_db, ("C0", "C5")).execute(acyclic_db)
+        assert result.statistics.column_backend is None
+        assert "columnar[" not in statistics_table([result.statistics])
+
+    @pytest.mark.skipif(not NUMPY_INSTALLED, reason="numpy not installed")
+    def test_numpy_backend_is_reported_when_forced(self, acyclic_db):
+        result = EngineSession(execution_mode="columnar", column_backend="numpy") \
+            .prepare(acyclic_db, ("C0", "C5")).execute(acyclic_db)
+        assert result.statistics.column_backend == "numpy"
+
+
+class TestExecutionOptionsValidation:
+    def test_unknown_backend_is_rejected(self):
+        with pytest.raises(ValueError, match="column backend"):
+            ExecutionOptions(column_backend="bogus")
+
+    def test_unknown_decode_mode_is_rejected(self):
+        with pytest.raises(ValueError, match="decode"):
+            ExecutionOptions(decode="bogus")
+
+    def test_block_decode_requires_columnar_mode(self):
+        with pytest.raises(ValueError, match="columnar"):
+            ExecutionOptions(execution_mode="row", decode="block")
+
+
+class TestDeferredDecoding:
+    def test_block_decode_skips_the_relation(self, acyclic_db):
+        session = EngineSession(execution_mode="columnar", decode="block")
+        result = session.prepare(acyclic_db, ("C0", "C5")).execute(acyclic_db)
+        assert result.relation is None
+        assert result.block is not None
+        assert result.statistics.output_size == len(result.block)
+
+    def test_decoded_materialises_once_and_caches(self, acyclic_db):
+        session = EngineSession(execution_mode="columnar", decode="block")
+        result = session.prepare(acyclic_db, ("C0", "C5")).execute(acyclic_db)
+        eager = EngineSession(execution_mode="columnar") \
+            .prepare(acyclic_db, ("C0", "C5")).execute(acyclic_db)
+        first = result.decoded()
+        assert first is result.decoded()
+        assert frozenset(first.rows) == frozenset(eager.relation.rows)
+        assert first.schema.attributes == eager.relation.schema.attributes
+        assert first.name == eager.relation.name
+
+    def test_eager_results_decode_to_their_own_relation(self, acyclic_db):
+        result = EngineSession(execution_mode="columnar") \
+            .prepare(acyclic_db, ("C0", "C5")).execute(acyclic_db)
+        assert result.decoded() is result.relation
+
+    def test_batch_relations_decode_deferred_results(self, acyclic_db):
+        session = EngineSession(execution_mode="columnar", decode="block")
+        prepared = session.prepare(acyclic_db, ("C0", "C5"))
+        batch = prepared.execute_many([acyclic_db, acyclic_db])
+        assert all(result.relation is None for result in batch.results)
+        eager = EngineSession(execution_mode="columnar") \
+            .prepare(acyclic_db, ("C0", "C5")).execute(acyclic_db)
+        for relation in batch.relations:
+            assert frozenset(relation.rows) == frozenset(eager.relation.rows)
+
+    def test_cyclic_block_decode(self):
+        from repro.generators import triangle_core_chain
+        schema = DatabaseSchema.from_hypergraph(triangle_core_chain(3))
+        database = generate_database(schema, universe_rows=40, domain_size=4,
+                                     dangling_fraction=0.4, seed=7)
+        session = EngineSession(execution_mode="columnar", decode="block")
+        prepared = session.prepare(database)
+        assert prepared.kind == "cyclic"
+        result = prepared.execute(database)
+        assert result.relation is None
+        eager = EngineSession(execution_mode="columnar") \
+            .prepare(database).execute(database)
+        assert frozenset(result.decoded().rows) == frozenset(eager.relation.rows)
