@@ -113,8 +113,21 @@ _INTERNER = ValueInterner()
 
 # Selection-aware key-id-set cache traffic (storage-level, process-wide
 # counters so ``column_cache_info`` can report reuse across warm runs).
+# Guarded by ``_KEYSET_LOCK``: a bare ``+= 1`` compiles to a read-add-store
+# sequence that loses updates when concurrent executes interleave, and these
+# counters feed bench/test assertions that expect exact totals.
 _KEYSET_HITS = 0
 _KEYSET_MISSES = 0
+_KEYSET_LOCK = threading.Lock()
+
+
+def _count_keyset(hit: bool) -> None:
+    global _KEYSET_HITS, _KEYSET_MISSES
+    with _KEYSET_LOCK:
+        if hit:
+            _KEYSET_HITS += 1
+        else:
+            _KEYSET_MISSES += 1
 
 
 def current_interner() -> ValueInterner:
@@ -132,10 +145,23 @@ class _ColumnStorage:
     join tables, position groups — keyed by the selection's bytes, so every
     block with an equal selection over this storage (including the fresh but
     identical selections of a warm re-execution) reuses one build.
+
+    **Concurrency contract** (concurrent executes share storages through the
+    per-relation block cache): cached values are immutable once published and
+    derivable only from immutable inputs, so *lookups* are lock-free — two
+    threads racing on a cold key both build equivalent structures and the
+    last insert wins, which wastes one build but never corrupts a result
+    (CPython dict get/set are single bytecode operations).  The one compound
+    mutation — the cap-eviction ``clear()`` followed by the insert in
+    :meth:`_derived_put` — runs under the storage lock so an eviction cannot
+    interleave halfway into another thread's insert.  Interner encode/combine
+    are locked in :class:`~repro.engine.columnar.buffers.ValueInterner`
+    itself; its decode is lock-free by the values-before-ids publication
+    order there.
     """
 
     __slots__ = ("columns", "length", "source_rows", "interner",
-                 "_code_cache", "_derived", "_decoded")
+                 "_code_cache", "_derived", "_decoded", "_lock")
 
     def __init__(self, columns: Dict[Attribute, array], length: int,
                  interner: ValueInterner,
@@ -147,6 +173,7 @@ class _ColumnStorage:
         self._code_cache: Dict[KeyAttributes, array] = {}
         self._derived: Dict[Tuple, Any] = {}
         self._decoded: Dict[Attribute, List[Any]] = {}
+        self._lock = threading.Lock()
 
     # -- codes ----------------------------------------------------------- #
     def key_codes(self, attributes: KeyAttributes) -> array:
@@ -164,21 +191,25 @@ class _ColumnStorage:
         return self._derived.get(key)
 
     def _derived_put(self, key: Tuple, value: Any) -> Any:
-        if len(self._derived) >= _DERIVED_CACHE_CAP:
-            self._derived.clear()
-        self._derived[key] = value
+        # Evict-then-insert is the one compound mutation on this dict; the
+        # lock keeps a concurrent insert from landing between another
+        # thread's clear() and insert (readers hold their own references, so
+        # an eviction never invalidates a value already handed out).
+        with self._lock:
+            if len(self._derived) >= _DERIVED_CACHE_CAP:
+                self._derived.clear()
+            self._derived[key] = value
         return value
 
     def key_set_for(self, attributes: KeyAttributes,
                     sel: Optional[array]) -> FrozenSet[int]:
         """The distinct key ids among the selected positions (cached, counted)."""
-        global _KEYSET_HITS, _KEYSET_MISSES
         key = ("set", attributes, None if sel is None else sel.tobytes())
         cached = self._derived_get(key)
         if cached is not None:
-            _KEYSET_HITS += 1
+            _count_keyset(hit=True)
             return cached
-        _KEYSET_MISSES += 1
+        _count_keyset(hit=False)
         codes = self.key_codes(attributes)
         if sel is None:
             return self._derived_put(key, frozenset(codes))

@@ -39,6 +39,7 @@ from ..columnar import (
     use_column_backend,
 )
 from ..columnar.executor import catalog_from_blocks, run_columnar_plan, vertex_blocks
+from ..deadline import check_deadline
 from ..indexes import index_cache_info
 from ..planner import DEFAULT_PLANNER, QueryPlanner, annotate_plan, schema_fingerprint
 from ..reducer import ReductionTrace
@@ -146,6 +147,7 @@ def evaluate_cyclic(relations: Sequence[Relation],
             prepare_span.set("adaptive", catalog is not None)
             prepare_span.set("clusters", len(plan.clusters))
     prepare_seconds = perf_counter() - prepare_started
+    check_deadline("materialise")
 
     estimated_cluster_sizes: tuple = ()
     estimated_materialisation: tuple = ()
@@ -190,6 +192,7 @@ def evaluate_cyclic(relations: Sequence[Relation],
                     materialise_span.set("intermediates",
                                          list(materialised.intermediate_sizes))
             materialise_seconds = perf_counter() - materialise_started
+            check_deadline("encode")
             annotate_started = perf_counter()
             inner_annotated = None
             if catalog is not None:
@@ -203,9 +206,11 @@ def evaluate_cyclic(relations: Sequence[Relation],
             encode_started = perf_counter()
             blocks = vertex_blocks(materialised.blocks, inner_plan.vertices)
             encode_seconds = perf_counter() - encode_started
+            check_deadline("reduce")
             result_block, inner_intermediates, physical_seconds = run_columnar_plan(
                 inner_plan, inner_annotated, blocks, wanted,
                 trace=trace, check_reduction=check_reduction)
+            check_deadline("decode")
             if decode == "rows":
                 decode_span = tracer.span("decode")
                 decode_started = perf_counter()
@@ -250,6 +255,9 @@ def evaluate_cyclic(relations: Sequence[Relation],
                 materialise_span.set("intermediates",
                                      list(materialised.intermediate_sizes))
         materialise_seconds = perf_counter() - materialise_started
+        # The inner acyclic evaluation re-checks the ambient deadline between
+        # each of its own phases; this covers the materialise boundary.
+        check_deadline("encode")
         inner_catalog = None
         if catalog is not None:
             inner_catalog = StatisticsCatalog.from_relations(materialised.relations)

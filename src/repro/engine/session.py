@@ -59,11 +59,13 @@ from ..telemetry.monitor import MonitorConfig, SessionMonitor
 from ..telemetry.tracing import (
     NULL_TRACER,
     Tracer,
+    current_span_tags,
     current_tracer,
     merge_phase_times,
     use_tracer,
 )
 from .catalog import StatisticsCatalog
+from .deadline import deadline_scope
 from .columnar.block import column_cache_info
 from .planner import (
     DEFAULT_PLANNER,
@@ -152,6 +154,11 @@ class ExecutionOptions:
       (:func:`~repro.telemetry.tracing.use_tracer`) always wins, so
       ``explain(analyze=True)`` and callers with their own sinks are never
       clobbered by this flag.
+    * ``deadline_seconds`` — a wall-clock budget per execution.  Enforced
+      cooperatively between engine phases (see :mod:`repro.engine.deadline`):
+      a breach raises :class:`~repro.exceptions.ExecutionTimeoutError`, and a
+      phase already running is never interrupted mid-flight, so the overshoot
+      is bounded by the longest single phase.  ``None`` (default) = no limit.
     """
 
     adaptive: bool = True
@@ -164,6 +171,7 @@ class ExecutionOptions:
     column_backend: Optional[str] = None
     decode: str = "rows"
     trace: bool = False
+    deadline_seconds: Optional[float] = None
 
     def __post_init__(self) -> None:
         from .columnar import COLUMN_BACKENDS, EXECUTION_MODES
@@ -173,6 +181,9 @@ class ExecutionOptions:
                 and self.execution_mode not in EXECUTION_MODES:
             raise ValueError(f"unknown execution mode {self.execution_mode!r}; "
                              f"expected one of {EXECUTION_MODES} or None")
+        if self.deadline_seconds is not None and self.deadline_seconds <= 0:
+            raise ValueError("deadline_seconds must be positive (or None "
+                             "for no deadline)")
         if self.column_backend is not None \
                 and self.column_backend not in COLUMN_BACKENDS:
             raise ValueError(f"unknown column backend {self.column_backend!r}; "
@@ -507,7 +518,9 @@ class PreparedQuery:
         return self._traced_run(binding, database=database)
 
     def execute_many(self, databases: Iterable[Database], *,
-                     labels: Optional[Sequence[str]] = None) -> ExecutionBatch:
+                     labels: Optional[Sequence[str]] = None,
+                     max_workers: Optional[int] = None,
+                     pool: Optional[object] = None) -> ExecutionBatch:
         """Evaluate against many databases; aggregate the accounting.
 
         Hash indexes are shared across the batch (they are cached per
@@ -516,8 +529,34 @@ class PreparedQuery:
         :class:`BatchStatistics` that
         :func:`repro.analysis.reports.statistics_table` renders as a
         per-database breakdown plus a totals row.
+
+        ``max_workers`` (or an explicit
+        :class:`~repro.service.pool.ExecutionPool` via ``pool=``) runs the
+        per-database executions on a thread pool — the runs are independent
+        once prepared (the planner LRU, prepared caches and columnar caches
+        are all safe under concurrent executes), results come back in batch
+        order, and ambient context (tracer, deadline, span tags) propagates
+        into the workers.  The default stays serial: for CPU-bound pure
+        Python work the GIL serialises the runs anyway, so threads pay off
+        when the caller overlaps execution with I/O or other native work
+        (the query service's case), not in a tight in-process loop.
         """
-        results = tuple(self.execute(database) for database in databases)
+        databases = tuple(databases)
+        if pool is not None or (max_workers is not None and max_workers > 1
+                                and len(databases) > 1):
+            # Imported lazily: the service package sits above the engine
+            # (its server imports this module), so the engine only touches
+            # it when a caller asks for the parallel path.
+            from ..service.pool import ExecutionPool
+
+            if pool is None:
+                with ExecutionPool(max_workers=max_workers) as transient:
+                    results = tuple(transient.map_ordered(self.execute,
+                                                          databases))
+            else:
+                results = tuple(pool.map_ordered(self.execute, databases))
+        else:
+            results = tuple(self.execute(database) for database in databases)
         statistics = BatchStatistics.from_runs(
             tuple(result.statistics for result in results), labels=labels,
             plan_name=f"session-batch:{self._name}")
@@ -636,6 +675,11 @@ class PreparedQuery:
             with span:
                 result = self._run(binding)
                 if span.is_recording:
+                    # Ambient request attribution (the query service installs
+                    # client/request ids via use_span_tags) lands first so
+                    # the engine's own attributes win any key clash.
+                    for key, value in current_span_tags():
+                        span.set(key, value)
                     span.set("query", self._name)
                     span.set("kind", self._kind)
                     span.set("mode", result.statistics.execution_mode)
@@ -724,6 +768,13 @@ class PreparedQuery:
         return planner.cyclic_plan_for(self._hypergraph, catalog=catalog)
 
     def _run(self, binding: _DatabaseBinding):
+        options = self._options
+        if options.deadline_seconds is not None:
+            with deadline_scope(options.deadline_seconds):
+                return self._run_engine(binding)
+        return self._run_engine(binding)
+
+    def _run_engine(self, binding: _DatabaseBinding):
         options = self._options
         if self._kind == "acyclic":
             return _yannakakis.evaluate(
@@ -1048,6 +1099,23 @@ class EngineSession:
         """
         return self.prepare(source, output_attributes,
                             **prepare_kwargs).execute(database)
+
+    def execute_many(self, source: PreparedSource,
+                     databases: Iterable[Database],
+                     output_attributes: Optional[Iterable[Attribute]] = None, *,
+                     labels: Optional[Sequence[str]] = None,
+                     max_workers: Optional[int] = None,
+                     pool: Optional[object] = None,
+                     **prepare_kwargs: object) -> ExecutionBatch:
+        """``prepare(source, …).execute_many(databases, …)`` in one call.
+
+        ``max_workers`` (or a shared ``pool=``) overlaps the per-database
+        runs on a thread pool — see :meth:`PreparedQuery.execute_many` for
+        the concurrency contract.
+        """
+        prepared = self.prepare(source, output_attributes, **prepare_kwargs)
+        return prepared.execute_many(databases, labels=labels,
+                                     max_workers=max_workers, pool=pool)
 
     def execute_join(self, relations: Sequence[Relation],
                      output_attributes: Optional[Iterable[Attribute]] = None, *,

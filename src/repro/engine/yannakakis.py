@@ -38,6 +38,7 @@ from .columnar import (
     use_column_backend,
 )
 from .columnar.executor import run_columnar_plan, vertex_blocks
+from .deadline import check_deadline
 from .fold import fold_join_tree
 from .indexes import index_cache_info
 from .planner import (
@@ -220,6 +221,7 @@ def evaluate(relations: Sequence[Relation],
             prepare_span.set("plan_cache_hit", plan_cache_hit)
             prepare_span.set("adaptive", annotated is not None)
     prepare_seconds = perf_counter() - prepare_started
+    check_deadline("encode")
 
     trace = ReductionTrace()
     result_block: Optional[ColumnBlock] = None
@@ -235,9 +237,11 @@ def evaluate(relations: Sequence[Relation],
             encode_started = perf_counter()
             blocks = vertex_blocks(relations, plan.vertices)
             encode_seconds = perf_counter() - encode_started
+            check_deadline("reduce")
             result_block, intermediate_sizes, physical_seconds = run_columnar_plan(
                 plan, annotated, blocks, wanted,
                 trace=trace, check_reduction=check_reduction)
+            check_deadline("decode")
             if decode == "rows":
                 decode_span = tracer.span("decode")
                 decode_started = perf_counter()
@@ -267,6 +271,7 @@ def evaluate(relations: Sequence[Relation],
                 encode_span.set("input_rows",
                                 sum(len(r) for r in vertex_relations.values()))
         encode_seconds = perf_counter() - encode_started
+        check_deadline("reduce")
 
         # Phase 2: full reduction (the cost-ordered program when annotated).
         reducer = annotated.reducer if annotated is not None else plan.reducer
@@ -274,6 +279,7 @@ def evaluate(relations: Sequence[Relation],
         reduced = reducer.run(vertex_relations, trace=trace,
                               check_hook=None if check_reduction else _SKIP_CHECK)
         reduce_seconds = perf_counter() - reduce_started
+        check_deadline("fold")
 
         # Phase 3: the shared bottom-up join fold with the row operators
         # plugged in (fused projection lives in fold_join_tree).
@@ -288,6 +294,7 @@ def evaluate(relations: Sequence[Relation],
             attributes_of=lambda relation: relation.schema.attribute_set)
         fold_seconds = perf_counter() - fold_started
         physical_seconds = {"reduce": reduce_seconds, "fold": fold_seconds}
+        check_deadline("decode")
 
         decode_span = tracer.span("decode")
         decode_started = perf_counter()

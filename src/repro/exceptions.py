@@ -75,6 +75,28 @@ class CoverSearchBudgetExceededError(ReproError):
     """
 
 
+class ExecutionTimeoutError(ReproError):
+    """An execution exceeded its ``deadline_seconds`` budget.
+
+    Raised *between* engine phases (prepare / materialise / encode / reduce /
+    fold / decode) — a phase that is already running is never interrupted
+    mid-flight, so the overshoot is bounded by the longest single phase.
+    Carries the phase that observed the breach plus the configured budget and
+    the measured elapsed time, so services can answer with a structured
+    timeout response.
+    """
+
+    def __init__(self, *, phase: str, deadline_seconds: float,
+                 elapsed_seconds: float) -> None:
+        super().__init__(
+            f"execution exceeded its {deadline_seconds:.3f}s deadline "
+            f"({elapsed_seconds:.3f}s elapsed, observed entering the "
+            f"{phase!r} phase)")
+        self.phase = phase
+        self.deadline_seconds = deadline_seconds
+        self.elapsed_seconds = elapsed_seconds
+
+
 class RelationalError(ReproError):
     """Base class for errors raised by the relational substrate."""
 

@@ -1,0 +1,189 @@
+"""``python -m repro.service`` — serve the demo service, or smoke-test it.
+
+Two modes:
+
+* ``--serve`` — boot a :class:`~repro.service.server.ServiceServer` over the
+  demo databases, print ``SERVING http://host:port`` (machine-parseable —
+  the benchmark's server subprocess is driven through exactly this line)
+  and run until interrupted.
+* default (smoke) — boot the same server in-process, fire a concurrent
+  client burst at it (``--clients`` threads × ``--requests`` calls each,
+  mixing execute / execute_many / explain / stats), scrape ``/metrics``,
+  ``/health`` and ``/querylog``, assert that every execution landed in the
+  query log with **zero dropped entries**, print a JSON summary and exit
+  non-zero on any failure.  This is the CI ``service-smoke`` job.
+
+The demo data is two named tenants' worth of databases: the skewed
+3-relation chain (acyclic dispatch) and a consistent 4-cycle (cyclic
+dispatch, cluster cover + acyclic quotient).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import threading
+import time
+from typing import Any, Dict, List
+
+from ..engine.session import EngineSession
+from ..generators import (
+    generate_consistent_database,
+    k_cycle_hypergraph,
+    skewed_chain_database,
+    skewed_chain_endpoints,
+)
+from ..relational.schema import DatabaseSchema
+from ..telemetry.monitor import MonitorConfig
+from .client import ServiceCallError, ServiceClient
+from .server import QueryService, ServiceServer
+
+
+def demo_service(*, log_capacity: int = 4096) -> QueryService:
+    """The demo :class:`QueryService`: an acyclic and a cyclic tenant database."""
+    session = EngineSession(
+        monitor=MonitorConfig(log_capacity=log_capacity))
+    service = QueryService(session)
+    service.add_database(
+        "chain", skewed_chain_database(3, heads=12, fanout=6,
+                                       junction_values=4, seed=7))
+    cycle_schema = DatabaseSchema.from_hypergraph(k_cycle_hypergraph(4))
+    service.add_database(
+        "cycle", generate_consistent_database(cycle_schema, universe_rows=40,
+                                              domain_size=8, seed=11))
+    return service
+
+
+def _serve(host: str, port: int) -> int:
+    service = demo_service()
+    with ServiceServer(service, host=host, port=port) as server:
+        print(f"SERVING {server.url}", flush=True)
+        try:
+            while True:
+                time.sleep(3600)
+        except KeyboardInterrupt:
+            print("shutting down", flush=True)
+    return 0
+
+
+def _client_worker(url: str, worker: int, requests: int,
+                   failures: List[str]) -> None:
+    """One smoke client: prepare once, then a mixed request loop."""
+    try:
+        client = ServiceClient(url, client_id=f"smoke-{worker}")
+        chain_query = client.prepare(
+            "chain", outputs=[str(a) for a in skewed_chain_endpoints(3)],
+            name=f"chain-endpoints-{worker}")
+        cycle_query = client.prepare("cycle", name=f"cycle-full-{worker}")
+        expected_rows = None
+        for index in range(requests):
+            turn = index % 4
+            if turn == 0:
+                answer = client.execute(chain_query, "chain")
+                if expected_rows is None:
+                    expected_rows = answer["row_count"]
+                elif answer["row_count"] != expected_rows:
+                    failures.append(
+                        f"worker {worker}: row count drifted "
+                        f"({answer['row_count']} != {expected_rows})")
+            elif turn == 1:
+                client.execute(cycle_query, "cycle", include_rows=False)
+            elif turn == 2:
+                batch = client.execute_many(chain_query, ["chain", "chain"],
+                                            max_workers=2)
+                if len(batch["row_counts"]) != 2:
+                    failures.append(f"worker {worker}: short batch")
+            else:
+                text = client.explain(chain_query)
+                if "dispatch" not in text:
+                    failures.append(f"worker {worker}: odd explain output")
+        client.close()
+    except ServiceCallError as error:
+        # Overload pushback is the admission gate doing its job under a
+        # deliberately oversized burst — anything else is a real failure.
+        if error.code not in ("overloaded", "shutting-down"):
+            failures.append(f"worker {worker}: {error.code}: {error}")
+    except Exception as error:  # noqa: BLE001 - reported, not raised
+        failures.append(f"worker {worker}: {type(error).__name__}: {error}")
+
+
+def _smoke(host: str, port: int, clients: int, requests: int) -> int:
+    service = demo_service(log_capacity=max(4096, clients * requests * 4))
+    failures: List[str] = []
+    with ServiceServer(service, host=host, port=port) as server:
+        started = time.perf_counter()
+        threads = [threading.Thread(target=_client_worker,
+                                    args=(server.url, worker, requests,
+                                          failures),
+                                    name=f"smoke-client-{worker}")
+                   for worker in range(clients)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        elapsed = time.perf_counter() - started
+
+        scraper = ServiceClient(server.url, client_id="smoke-scraper")
+        metrics = scraper.metrics_text()
+        health = scraper.health()
+        querylog = scraper.querylog()
+        stats = scraper.stats()
+        scraper.close()
+
+    # -------------------------------------------------------------- #
+    # Assertions
+    # -------------------------------------------------------------- #
+    if "engine_queries_total" not in metrics:
+        failures.append("/metrics is missing engine_queries_total")
+    if health.get("status") != "ok":
+        failures.append(f"/health status is {health.get('status')!r}")
+    dropped = querylog.get("dropped", -1)
+    if dropped != 0:
+        failures.append(f"query log dropped {dropped} entries (expected 0)")
+    recorded = querylog.get("recorded", 0)
+    if recorded <= 0:
+        failures.append("query log recorded nothing")
+    admission = stats.get("admission", {})
+    if admission.get("in_flight", -1) != 0:
+        failures.append("in-flight count did not return to zero")
+
+    summary: Dict[str, Any] = {
+        "ok": not failures,
+        "clients": clients,
+        "requests_per_client": requests,
+        "elapsed_seconds": round(elapsed, 3),
+        "querylog": {"recorded": recorded, "dropped": dropped},
+        "health": health,
+        "admission": {key: admission.get(key)
+                      for key in ("admitted_total", "rejected_queue_full",
+                                  "rejected_timeout", "in_flight")},
+        "failures": failures,
+    }
+    print(json.dumps(summary, indent=2, default=str))
+    return 0 if not failures else 1
+
+
+def main(argv: List[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service",
+        description="Serve the demo query service, or smoke-test it "
+                    "with a concurrent client burst.")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=0,
+                        help="port to bind (0 = any free port)")
+    parser.add_argument("--serve", action="store_true",
+                        help="serve until interrupted instead of smoking")
+    parser.add_argument("--clients", type=int, default=8,
+                        help="concurrent smoke clients (default 8)")
+    parser.add_argument("--requests", type=int, default=12,
+                        help="requests per smoke client (default 12)")
+    arguments = parser.parse_args(argv)
+    if arguments.serve:
+        return _serve(arguments.host, arguments.port)
+    return _smoke(arguments.host, arguments.port,
+                  max(1, arguments.clients), max(1, arguments.requests))
+
+
+if __name__ == "__main__":
+    sys.exit(main())

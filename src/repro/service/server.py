@@ -1,0 +1,625 @@
+"""The query service: the protocol engine plus its asyncio HTTP front-end.
+
+Two layers, deliberately separable:
+
+* :class:`QueryService` — transport-free.  Owns one
+  :class:`~repro.engine.session.EngineSession` (with a
+  :class:`~repro.telemetry.monitor.SessionMonitor` attached), the named
+  server-side databases, the per-client registry, the admission gate and
+  the batch execution pool.  ``handle(document)`` takes one decoded JSON
+  request and returns ``(http_status, response_document)`` — tests drive it
+  directly, no sockets involved.
+* :class:`ServiceServer` — the stdlib-asyncio HTTP front-end.  One
+  ``asyncio.start_server`` loop on a background thread parses requests,
+  serves the monitor's exposition routes (``/metrics`` / ``/health`` /
+  ``/querylog`` / ``/quality`` — the same payloads as
+  :mod:`repro.telemetry.exposition`) plus ``/stats`` inline, and offloads
+  every ``POST /v1`` RPC to a request pool so slow executions never stall
+  the accept loop.
+
+Concurrency shape: the *request pool* is sized to the whole admission
+window (``max_in_flight + max_queued`` plus slack) because admitted-but-
+queued requests park inside their worker thread; the separate *batch pool*
+runs ``execute_many`` fan-out, so a batch can never deadlock waiting for
+threads its own request occupies.  Each request runs under
+:func:`~repro.telemetry.tracing.use_span_tags`, so every trace span an
+execution produces carries the client and request id.
+
+Graceful drain (:meth:`ServiceServer.close`): stop accepting connections →
+flip the admission gate (new work gets 503 ``shutting-down``) → wait for
+in-flight requests to retire → cancel idle keep-alive connections → stop
+the loop and shut the pools down.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Dict, Iterable, Mapping, Optional, Tuple
+from urllib.parse import parse_qs, urlparse
+
+from ..engine.deadline import deadline_scope
+from ..engine.planner import fingerprint_digest
+from ..engine.session import EngineSession, ExecutionOptions
+from ..relational.database import Database
+from ..telemetry.tracing import use_span_tags
+from .admission import AdmissionConfig, AdmissionController, ClientRegistry
+from .pool import ExecutionPool
+from .protocol import (
+    PROTOCOL_VERSION,
+    ProtocolError,
+    ServiceRequest,
+    UnknownDatabaseError,
+    allowed_methods,
+    error_response,
+    ok_response,
+    parse_request,
+)
+
+__all__ = ["QueryService", "ServiceServer", "WIRE_OPTION_FIELDS"]
+
+#: The content type Prometheus scrapers expect for the text format.
+_METRICS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+#: Request bodies past this are rejected outright (64 MiB — generous for
+#: JSON RPC, small enough that a misbehaving client cannot balloon memory).
+_MAX_BODY_BYTES = 64 * 1024 * 1024
+
+#: The ``ExecutionOptions`` fields a client may set over the wire.  ``root``
+#: needs an in-process Edge object and ``decode`` must stay ``"rows"`` (the
+#: service serialises relations), so neither is reachable remotely.
+WIRE_OPTION_FIELDS = frozenset({
+    "adaptive", "check_reduction", "cluster_row_bound", "sample_limit",
+    "force_cyclic", "execution_mode", "column_backend", "trace",
+    "deadline_seconds",
+})
+
+
+def _statistics_payload(statistics: object) -> Dict[str, Any]:
+    """The JSON view of one run's engine statistics (duck-typed, tolerant)."""
+    payload: Dict[str, Any] = {
+        "plan_name": getattr(statistics, "plan_name", None),
+        "output_size": getattr(statistics, "output_size", None),
+        "max_intermediate": getattr(statistics, "max_intermediate", None),
+        "total_intermediate": getattr(statistics, "total_intermediate", None),
+        "semijoin_steps": getattr(statistics, "semijoin_steps", None),
+        "rows_removed_by_reduction": getattr(
+            statistics, "rows_removed_by_reduction", None),
+        "plan_cache_hit": getattr(statistics, "plan_cache_hit", None),
+        "execution_mode": getattr(statistics, "execution_mode", None),
+    }
+    phases = getattr(statistics, "phase_times", ()) or ()
+    if phases:
+        payload["phase_seconds"] = {phase: seconds for phase, seconds in phases}
+    return payload
+
+
+def _relation_payload(relation: Any) -> Dict[str, Any]:
+    """One relation as JSON: ordered columns, deterministically sorted rows.
+
+    ``Relation.rows`` is a frozenset, so the sort (by each value's ``repr``)
+    is what makes two equal relations serialise byte-identically — the
+    property suite compares concurrent and serial responses literally.
+    """
+    attributes = relation.attributes
+    rows = [[row[attribute] for attribute in attributes]
+            for row in relation.rows]
+    rows.sort(key=repr)
+    return {"name": relation.name,
+            "columns": [str(attribute) for attribute in attributes],
+            "rows": rows,
+            "row_count": len(rows)}
+
+
+class QueryService:
+    """The transport-free protocol engine: session + tenants + admission.
+
+    Dispatch is registry-driven: ``handle`` validates against
+    :data:`~repro.service.protocol.METHOD_REGISTRY` and routes to
+    ``_method_<name>`` — only declared methods have handlers, and only
+    admission-gated ones pass through the gate.
+    """
+
+    def __init__(self, session: Optional[EngineSession] = None, *,
+                 databases: Optional[Mapping[str, Database]] = None,
+                 admission: Optional[AdmissionConfig] = None,
+                 pool: Optional[ExecutionPool] = None) -> None:
+        self.session = session if session is not None \
+            else EngineSession(monitor=True)
+        self.admission = AdmissionController(admission)
+        # The batch pool fans execute_many out; never share it with the
+        # server's request pool (a request waiting on its own batch would
+        # deadlock a saturated shared pool).
+        self.pool = pool if pool is not None else ExecutionPool(
+            max_workers=self.admission.config.max_in_flight)
+        self.clients = ClientRegistry()
+        self._databases: Dict[str, Database] = {}
+        self._databases_lock = threading.Lock()
+        if databases:
+            for name, database in databases.items():
+                self.add_database(name, database)
+
+    # ------------------------------------------------------------------ #
+    # Databases
+    # ------------------------------------------------------------------ #
+    def add_database(self, name: str, database: Database) -> "QueryService":
+        """Register (or replace) a named server-side database; chainable."""
+        with self._databases_lock:
+            self._databases[name] = database
+        return self
+
+    def database(self, name: object) -> Database:
+        with self._databases_lock:
+            database = self._databases.get(name)
+        if database is None:
+            raise UnknownDatabaseError(name)
+        return database
+
+    def database_names(self) -> Tuple[str, ...]:
+        with self._databases_lock:
+            return tuple(sorted(self._databases))
+
+    # ------------------------------------------------------------------ #
+    # The entry point
+    # ------------------------------------------------------------------ #
+    def handle(self, document: Any) -> Tuple[int, Dict[str, Any]]:
+        """One request in, ``(http_status, response_document)`` out.
+
+        Never raises: every failure becomes the matching protocol error
+        envelope.  Runs synchronously in the calling thread — the HTTP
+        layer offloads calls to its request pool.
+        """
+        request_id = document.get("id") if isinstance(document, dict) else None
+        if request_id is not None and not isinstance(request_id, str):
+            request_id = None
+        try:
+            request = parse_request(document)
+        except Exception as error:  # noqa: BLE001 - mapped to an envelope
+            return error_response(request_id, error)
+        client = self.clients.session(request.client)
+        handler = getattr(self, f"_method_{request.method}")
+        try:
+            with use_span_tags(client=request.client,
+                               request_id=request.request_id):
+                if request.spec.admitted:
+                    with self.admission.admit(request.client):
+                        result = handler(request)
+                else:
+                    result = handler(request)
+        except Exception as error:  # noqa: BLE001 - mapped to an envelope
+            client.touch(error=True)
+            return error_response(request.request_id, error)
+        client.touch()
+        return 200, ok_response(request.request_id, result)
+
+    # ------------------------------------------------------------------ #
+    # Method handlers (one per METHOD_REGISTRY entry)
+    # ------------------------------------------------------------------ #
+    def _method_prepare(self, request: ServiceRequest) -> Dict[str, Any]:
+        params = request.params
+        database = self.database(params["database"])
+        outputs = params.get("outputs")
+        if outputs is not None:
+            if not all(isinstance(item, str) for item in outputs):
+                raise ProtocolError("'outputs' must be a list of attribute "
+                                    "names (strings)", code="invalid-param")
+            outputs = tuple(outputs)
+        overrides = dict(params.get("options", {}))
+        unknown = set(overrides) - WIRE_OPTION_FIELDS
+        if unknown:
+            raise ProtocolError(
+                f"unknown or non-wire option(s) {sorted(unknown)}; expected "
+                f"a subset of {sorted(WIRE_OPTION_FIELDS)}",
+                code="invalid-param")
+        try:
+            options = self.session.options.merged(**overrides)
+        except (TypeError, ValueError) as error:
+            raise ProtocolError(f"invalid options: {error}",
+                                code="invalid-param")
+        prepared = self.session.prepare(database, outputs, options=options,
+                                        name=params.get("name"))
+        handle = self.clients.session(request.client).register(prepared)
+        return {"query": handle,
+                "kind": prepared.kind,
+                "name": prepared.name,
+                "fingerprint": fingerprint_digest(prepared.fingerprint),
+                "options": {field: getattr(prepared.options, field)
+                            for field in sorted(WIRE_OPTION_FIELDS)}}
+
+    def _method_execute(self, request: ServiceRequest) -> Dict[str, Any]:
+        params = request.params
+        prepared = self.clients.session(request.client).prepared(params["query"])
+        database = self.database(params["database"])
+        deadline = params.get("deadline_seconds")
+        if deadline is not None and deadline <= 0:
+            raise ProtocolError("deadline_seconds must be positive",
+                                code="invalid-param")
+        with deadline_scope(deadline):
+            result = prepared.execute(database)
+        payload: Dict[str, Any] = {
+            "database": params["database"],
+            "row_count": result.statistics.output_size,
+            "statistics": _statistics_payload(result.statistics),
+        }
+        if params.get("include_rows", True):
+            payload["relation"] = _relation_payload(result.relation)
+        return payload
+
+    def _method_execute_many(self, request: ServiceRequest) -> Dict[str, Any]:
+        params = request.params
+        prepared = self.clients.session(request.client).prepared(params["query"])
+        names = params["databases"]
+        if not names or not all(isinstance(name, str) for name in names):
+            raise ProtocolError("'databases' must be a non-empty list of "
+                                "registered database names",
+                                code="invalid-param")
+        databases = [self.database(name) for name in names]
+        deadline = params.get("deadline_seconds")
+        if deadline is not None and deadline <= 0:
+            raise ProtocolError("deadline_seconds must be positive",
+                                code="invalid-param")
+        max_workers = params.get("max_workers")
+        if max_workers is not None and max_workers < 1:
+            raise ProtocolError("max_workers must be at least 1",
+                                code="invalid-param")
+        run_options = {"labels": tuple(names)}
+        if max_workers is None or max_workers > 1:
+            run_options["pool"] = self.pool
+        with deadline_scope(deadline):
+            batch = prepared.execute_many(databases, **run_options)
+        payload: Dict[str, Any] = {
+            "databases": list(names),
+            "row_counts": [result.statistics.output_size
+                           for result in batch.results],
+            "statistics": _statistics_payload(batch.statistics),
+        }
+        if params.get("include_rows", False):
+            payload["relations"] = [_relation_payload(relation)
+                                    for relation in batch.relations]
+        return payload
+
+    def _method_explain(self, request: ServiceRequest) -> Dict[str, Any]:
+        params = request.params
+        prepared = self.clients.session(request.client).prepared(params["query"])
+        database = None
+        if params.get("database") is not None:
+            database = self.database(params["database"])
+        analyze = params.get("analyze", False)
+        if analyze and database is None:
+            raise ProtocolError("explain with analyze=true executes the "
+                                "query, so it needs a database",
+                                code="missing-param")
+        return {"kind": prepared.kind,
+                "explain": prepared.explain(database, analyze=analyze)}
+
+    def _method_stats(self, request: ServiceRequest) -> Dict[str, Any]:
+        return self.stats_payload()
+
+    # ------------------------------------------------------------------ #
+    # Introspection / lifecycle
+    # ------------------------------------------------------------------ #
+    @property
+    def monitor(self):
+        """The session's monitor (the exposition routes' payload source)."""
+        return self.session.monitor
+
+    def stats_payload(self) -> Dict[str, Any]:
+        """The service-level counters the ``stats`` method and ``/stats`` serve."""
+        payload: Dict[str, Any] = {
+            "protocol_version": PROTOCOL_VERSION,
+            "methods": list(allowed_methods()),
+            "databases": list(self.database_names()),
+            "admission": self.admission.snapshot(),
+            "pool": self.pool.snapshot(),
+            "clients": self.clients.snapshot(),
+            "session": self.session.describe(),
+        }
+        monitor = self.monitor
+        if monitor is not None:
+            payload["health"] = monitor.health_payload()
+        return payload
+
+    def begin_drain(self) -> None:
+        """Reject new admission-gated work from now on."""
+        self.admission.begin_drain()
+
+    def drain(self, timeout_seconds: float = 10.0) -> bool:
+        """Wait for in-flight work to retire (call :meth:`begin_drain` first)."""
+        return self.admission.drain(timeout_seconds)
+
+    def shutdown(self, timeout_seconds: float = 10.0) -> bool:
+        """Drain, then stop the batch pool; ``True`` when fully drained."""
+        self.begin_drain()
+        drained = self.drain(timeout_seconds)
+        self.pool.shutdown(wait=True)
+        return drained
+
+
+# --------------------------------------------------------------------------- #
+# The asyncio HTTP front-end
+# --------------------------------------------------------------------------- #
+class ServiceServer:
+    """A background-threaded asyncio HTTP server over one :class:`QueryService`.
+
+    ``port=0`` binds a free port; read :attr:`url` back after :meth:`start`.
+    Use as a context manager, or pair :meth:`start` with :meth:`close`.
+    """
+
+    def __init__(self, service: QueryService, *, host: str = "127.0.0.1",
+                 port: int = 0, drain_timeout_seconds: float = 10.0) -> None:
+        self._service = service
+        self._requested = (host, port)
+        self._drain_timeout = drain_timeout_seconds
+        config = service.admission.config
+        # Every admitted-or-queued request parks inside one request-pool
+        # thread (admission waits happen there), so the pool must cover the
+        # whole window or queued requests would starve running ones.
+        self._request_pool = ThreadPoolExecutor(
+            max_workers=config.max_in_flight + config.max_queued + 4,
+            thread_name_prefix="repro-service-rpc")
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._thread: Optional[threading.Thread] = None
+        self._connections: set = set()
+        self._bound: Tuple[str, int] = (host, port)
+        self._started = threading.Event()
+        self._startup_error: Optional[BaseException] = None
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    def start(self) -> "ServiceServer":
+        """Bind and serve on a background event-loop thread; idempotent."""
+        if self._thread is not None:
+            return self
+        self._thread = threading.Thread(target=self._run_loop,
+                                        name="repro-service-loop", daemon=True)
+        self._thread.start()
+        self._started.wait(timeout=10.0)
+        if self._startup_error is not None:
+            error, self._startup_error = self._startup_error, None
+            self._thread.join(timeout=5.0)
+            self._thread = None
+            raise error
+        return self
+
+    def _run_loop(self) -> None:
+        loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(loop)
+        self._loop = loop
+        try:
+            try:
+                server = loop.run_until_complete(asyncio.start_server(
+                    self._serve_connection, *self._requested))
+            except BaseException as error:  # noqa: BLE001 - surfaced to start()
+                self._startup_error = error
+                return
+            self._server = server
+            sockname = server.sockets[0].getsockname()
+            self._bound = (str(sockname[0]), int(sockname[1]))
+            self._started.set()
+            loop.run_forever()
+            # Drain-time cleanup, scheduled by close() before stopping us.
+            loop.run_until_complete(loop.shutdown_asyncgens())
+        finally:
+            self._started.set()
+            loop.close()
+
+    def close(self) -> None:
+        """Graceful drain and shutdown; idempotent.
+
+        Stops accepting, flips the admission gate (new work → 503), waits
+        up to the drain timeout for in-flight requests, then tears the
+        loop, connections and pools down.
+        """
+        loop, thread = self._loop, self._thread
+        if loop is None or thread is None:
+            return
+        self._loop = self._thread = None
+
+        def _stop_accepting() -> None:
+            if self._server is not None:
+                self._server.close()
+
+        loop.call_soon_threadsafe(_stop_accepting)
+        # Reject new executions, let admitted ones retire.
+        self._service.begin_drain()
+        self._service.drain(self._drain_timeout)
+
+        async def _teardown() -> None:
+            tasks = tuple(self._connections)
+            for task in tasks:
+                task.cancel()
+            if tasks:
+                await asyncio.gather(*tasks, return_exceptions=True)
+            loop.stop()
+
+        def _schedule_teardown() -> None:
+            loop.create_task(_teardown())
+
+        loop.call_soon_threadsafe(_schedule_teardown)
+        thread.join(timeout=self._drain_timeout + 5.0)
+        self._request_pool.shutdown(wait=True)
+        self._service.pool.shutdown(wait=True)
+
+    def __enter__(self) -> "ServiceServer":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def service(self) -> QueryService:
+        return self._service
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        return self._bound
+
+    @property
+    def port(self) -> int:
+        return self._bound[1]
+
+    @property
+    def url(self) -> str:
+        host, port = self._bound
+        return f"http://{host}:{port}"
+
+    # ------------------------------------------------------------------ #
+    # HTTP plumbing
+    # ------------------------------------------------------------------ #
+    async def _serve_connection(self, reader: asyncio.StreamReader,
+                                writer: asyncio.StreamWriter) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._connections.add(task)
+        try:
+            while True:
+                request = await self._read_request(reader)
+                if request is None:
+                    break
+                method, path, headers, body = request
+                keep_alive = headers.get("connection", "").lower() != "close"
+                status, content_type, payload = await self._dispatch(
+                    method, path, body)
+                writer.write(self._render(status, content_type, payload,
+                                          keep_alive))
+                await writer.drain()
+                if not keep_alive:
+                    break
+        except (asyncio.IncompleteReadError, asyncio.LimitOverrunError,
+                ConnectionError, asyncio.CancelledError):
+            pass
+        finally:
+            if task is not None:
+                self._connections.discard(task)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except Exception:  # noqa: BLE001 - socket already gone
+                pass
+
+    @staticmethod
+    async def _read_request(reader: asyncio.StreamReader
+                            ) -> Optional[Tuple[str, str, Dict[str, str], bytes]]:
+        """Parse one HTTP/1.1 request; ``None`` on a cleanly closed connection."""
+        request_line = await reader.readline()
+        if not request_line or not request_line.strip():
+            return None
+        parts = request_line.decode("latin-1").split()
+        if len(parts) < 2:
+            raise ConnectionError("malformed request line")
+        method, target = parts[0].upper(), parts[1]
+        headers: Dict[str, str] = {}
+        for _ in range(100):
+            line = await reader.readline()
+            if not line or line in (b"\r\n", b"\n"):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        else:
+            raise ConnectionError("too many headers")
+        body = b""
+        length = headers.get("content-length")
+        if length is not None:
+            try:
+                size = int(length)
+            except ValueError:
+                raise ConnectionError("bad Content-Length")
+            if not 0 <= size <= _MAX_BODY_BYTES:
+                raise ConnectionError("unreasonable Content-Length")
+            body = await reader.readexactly(size)
+        return method, target, headers, body
+
+    @staticmethod
+    def _render(status: int, content_type: str, payload: bytes,
+                keep_alive: bool) -> bytes:
+        reasons = {200: "OK", 400: "Bad Request", 404: "Not Found",
+                   405: "Method Not Allowed", 429: "Too Many Requests",
+                   500: "Internal Server Error", 503: "Service Unavailable",
+                   504: "Gateway Timeout"}
+        head = (f"HTTP/1.1 {status} {reasons.get(status, 'Status')}\r\n"
+                f"Content-Type: {content_type}\r\n"
+                f"Content-Length: {len(payload)}\r\n"
+                f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
+                "Server: repro-service/1.0\r\n\r\n")
+        return head.encode("latin-1") + payload
+
+    @staticmethod
+    def _json_bytes(document: Any) -> bytes:
+        return json.dumps(document, default=str).encode("utf-8")
+
+    async def _dispatch(self, method: str, target: str,
+                        body: bytes) -> Tuple[int, str, bytes]:
+        """Route one request; JSON everywhere except the Prometheus text."""
+        parsed = urlparse(target)
+        route = parsed.path.rstrip("/") or "/"
+        json_type = "application/json; charset=utf-8"
+        try:
+            if route == "/v1":
+                if method != "POST":
+                    return (405, json_type, self._json_bytes(
+                        {"error": "POST JSON requests to /v1"}))
+                try:
+                    document = json.loads(body.decode("utf-8"))
+                except (UnicodeDecodeError, json.JSONDecodeError) as error:
+                    status, envelope = error_response(None, ProtocolError(
+                        f"request body is not valid JSON: {error}",
+                        code="malformed-request"))
+                    return status, json_type, self._json_bytes(envelope)
+                loop = asyncio.get_running_loop()
+                status, envelope = await loop.run_in_executor(
+                    self._request_pool, self._service.handle, document)
+                return status, json_type, self._json_bytes(envelope)
+            if method != "GET":
+                return (405, json_type,
+                        self._json_bytes({"error": f"{route} is GET-only"}))
+            monitor = self._service.monitor
+            if route == "/metrics" and monitor is not None:
+                monitor.collect()
+                registry = monitor.registry
+                text = registry.render_prometheus() if registry is not None \
+                    else ""
+                return 200, _METRICS_CONTENT_TYPE, text.encode("utf-8")
+            if route == "/health" and monitor is not None:
+                return 200, json_type, self._json_bytes(
+                    monitor.health_payload())
+            if route == "/querylog" and monitor is not None:
+                limit = self._limit_of(parsed.query)
+                return 200, json_type, self._json_bytes(
+                    monitor.querylog_payload(limit=limit))
+            if route == "/quality" and monitor is not None:
+                return 200, json_type, self._json_bytes(
+                    monitor.quality_payload())
+            if route == "/stats":
+                return 200, json_type, self._json_bytes(
+                    self._service.stats_payload())
+            if route == "/":
+                return 200, json_type, self._json_bytes(
+                    {"service": "repro-query-service",
+                     "protocol_version": PROTOCOL_VERSION,
+                     "rpc": {"route": "/v1", "methods": list(allowed_methods())},
+                     "routes": ["/metrics", "/health", "/querylog",
+                                "/quality", "/stats"]})
+            return (404, json_type,
+                    self._json_bytes({"error": f"unknown route {route!r}"}))
+        except Exception as error:  # noqa: BLE001 - a request must not kill the loop
+            return (500, json_type, self._json_bytes(
+                {"error": f"{type(error).__name__}: {error}"}))
+
+    @staticmethod
+    def _limit_of(query_string: str) -> Optional[int]:
+        values = parse_qs(query_string).get("limit")
+        if not values:
+            return None
+        try:
+            limit = int(values[-1])
+        except ValueError:
+            return None
+        return limit if limit > 0 else None

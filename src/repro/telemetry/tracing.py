@@ -39,6 +39,8 @@ __all__ = [
     "NULL_TRACER",
     "current_tracer",
     "use_tracer",
+    "current_span_tags",
+    "use_span_tags",
     "TraceSink",
     "ListTraceSink",
     "JsonlTraceSink",
@@ -104,6 +106,37 @@ def use_tracer(tracer) -> Iterator[object]:
         yield _ACTIVE_TRACER.get()
     finally:
         _ACTIVE_TRACER.reset(token)
+
+
+#: Ambient attributes stamped onto recording root spans: the query service
+#: installs ``(client, request_id)`` here so every span a request produces is
+#: attributable without threading ids through the engine's signatures.
+_SPAN_TAGS: "ContextVar[Tuple[Tuple[str, object], ...]]" = ContextVar(
+    "repro_span_tags", default=())
+
+
+def current_span_tags() -> Tuple[Tuple[str, object], ...]:
+    """The ambient ``(key, value)`` tags for spans opened in this context."""
+    return _SPAN_TAGS.get()
+
+
+@contextmanager
+def use_span_tags(**tags: object) -> Iterator[Tuple[Tuple[str, object], ...]]:
+    """Merge ``tags`` into the ambient span tags for the ``with`` block.
+
+    Tags accumulate across nested scopes (inner values win on key clashes)
+    and propagate wherever contextvars do — including into pool threads run
+    under ``contextvars.copy_context()``.  Instrumentation sites apply them
+    with ``span.set`` guarded by ``is_recording``, so untraced runs pay one
+    contextvar read and nothing else.
+    """
+    merged = dict(_SPAN_TAGS.get())
+    merged.update(tags)
+    token = _SPAN_TAGS.set(tuple(merged.items()))
+    try:
+        yield _SPAN_TAGS.get()
+    finally:
+        _SPAN_TAGS.reset(token)
 
 
 class Span:

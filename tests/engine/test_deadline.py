@@ -1,0 +1,137 @@
+"""Cooperative execution deadlines: the scope, the checks, the option."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine.deadline import (
+    active_deadline,
+    check_deadline,
+    deadline_scope,
+    remaining_seconds,
+)
+from repro.engine.session import EngineSession, ExecutionOptions
+from repro.exceptions import ExecutionTimeoutError
+from repro.generators import (
+    generate_consistent_database,
+    k_cycle_hypergraph,
+    skewed_chain_database,
+)
+from repro.relational import DatabaseSchema
+
+
+@pytest.fixture(scope="module")
+def chain_database():
+    return skewed_chain_database(3, heads=10, fanout=5, junction_values=3,
+                                 seed=3)
+
+
+@pytest.fixture(scope="module")
+def cycle_database():
+    schema = DatabaseSchema.from_hypergraph(k_cycle_hypergraph(4))
+    return generate_consistent_database(schema, universe_rows=30,
+                                        domain_size=6, seed=5)
+
+
+# --------------------------------------------------------------------------- #
+# The scope primitive
+# --------------------------------------------------------------------------- #
+def test_no_scope_means_no_deadline():
+    assert active_deadline() is None
+    assert remaining_seconds() is None
+    check_deadline("anywhere")  # must be a no-op
+
+
+def test_scope_exposes_the_budget():
+    with deadline_scope(5.0):
+        expires_at, budget = active_deadline()
+        assert budget == 5.0
+        assert 0 < remaining_seconds() <= 5.0
+    assert active_deadline() is None
+
+
+def test_none_scope_is_transparent():
+    with deadline_scope(None):
+        assert active_deadline() is None
+
+
+def test_scopes_nest_and_restore():
+    with deadline_scope(10.0):
+        with deadline_scope(1.0):
+            assert active_deadline()[1] == 1.0
+        assert active_deadline()[1] == 10.0
+
+
+def test_an_expired_deadline_raises_with_the_phase():
+    with deadline_scope(1e-9):
+        with pytest.raises(ExecutionTimeoutError) as caught:
+            check_deadline("reduce")
+    error = caught.value
+    assert error.phase == "reduce"
+    assert error.deadline_seconds == 1e-9
+    assert error.elapsed_seconds >= error.deadline_seconds
+    assert "reduce" in str(error)
+
+
+def test_scope_rejects_nonpositive_budgets():
+    with pytest.raises(ValueError):
+        with deadline_scope(0.0):
+            pass
+
+
+# --------------------------------------------------------------------------- #
+# The ExecutionOptions field
+# --------------------------------------------------------------------------- #
+def test_options_validate_the_deadline():
+    assert ExecutionOptions().deadline_seconds is None
+    assert ExecutionOptions(deadline_seconds=2.5).deadline_seconds == 2.5
+    with pytest.raises(ValueError):
+        ExecutionOptions(deadline_seconds=0.0)
+    with pytest.raises(ValueError):
+        ExecutionOptions(deadline_seconds=-1.0)
+
+
+def test_generous_deadline_does_not_disturb_execution(chain_database):
+    session = EngineSession()
+    baseline = session.execute(chain_database, chain_database)
+    timed = EngineSession(deadline_seconds=60.0).execute(
+        chain_database, chain_database)
+    assert frozenset(timed.relation.rows) == frozenset(baseline.relation.rows)
+
+
+@pytest.mark.parametrize("execution_mode", ["row", "columnar"])
+def test_tiny_deadline_times_out_acyclic(chain_database, execution_mode):
+    session = EngineSession(deadline_seconds=1e-9,
+                            execution_mode=execution_mode)
+    with pytest.raises(ExecutionTimeoutError) as caught:
+        session.execute(chain_database, chain_database)
+    # The breach is observed at a phase boundary, so the phase is named.
+    assert caught.value.phase in ("encode", "reduce", "fold", "decode")
+
+
+@pytest.mark.parametrize("execution_mode", ["row", "columnar"])
+def test_tiny_deadline_times_out_cyclic(cycle_database, execution_mode):
+    session = EngineSession(deadline_seconds=1e-9,
+                            execution_mode=execution_mode)
+    with pytest.raises(ExecutionTimeoutError) as caught:
+        session.execute(cycle_database, cycle_database)
+    assert caught.value.phase in ("materialise", "encode", "reduce",
+                                  "fold", "decode")
+
+
+def test_ambient_scope_times_out_an_unoptioned_execution(chain_database):
+    prepared = EngineSession().prepare(chain_database)
+    prepared.execute(chain_database)  # warm: binding resolved, no deadline
+    with deadline_scope(1e-9):
+        with pytest.raises(ExecutionTimeoutError):
+            prepared.execute(chain_database)
+    prepared.execute(chain_database)  # the scope does not stick
+
+
+def test_deadline_failures_reach_the_monitor(chain_database):
+    session = EngineSession(monitor=True, deadline_seconds=1e-9)
+    with pytest.raises(ExecutionTimeoutError):
+        session.execute(chain_database, chain_database)
+    entries = session.monitor.log.errors()
+    assert entries, "the timeout must land in the query log"
+    assert "ExecutionTimeoutError" in (entries[-1].error or "")

@@ -1,0 +1,100 @@
+"""The execution pool: ordering, context propagation, failure semantics."""
+
+from __future__ import annotations
+
+import contextvars
+import threading
+import time
+
+import pytest
+
+from repro.engine.deadline import deadline_scope, remaining_seconds
+from repro.service.pool import ExecutionPool, default_pool_size
+from repro.telemetry.tracing import current_span_tags, use_span_tags
+
+
+def test_default_pool_size_is_at_least_eight():
+    assert default_pool_size() >= 8
+
+
+def test_rejects_a_zero_worker_pool():
+    with pytest.raises(ValueError):
+        ExecutionPool(max_workers=0)
+
+
+def test_map_ordered_preserves_submission_order():
+    with ExecutionPool(max_workers=4) as pool:
+        # Reverse sleeps: the last item finishes first; order must hold.
+        def job(item):
+            time.sleep(0.01 * (5 - item))
+            return item * 10
+
+        assert pool.map_ordered(job, range(5)) == [0, 10, 20, 30, 40]
+
+
+def test_map_ordered_raises_the_first_failure_by_position():
+    with ExecutionPool(max_workers=4) as pool:
+        def job(item):
+            if item in (1, 3):
+                raise ValueError(f"bad {item}")
+            return item
+
+        with pytest.raises(ValueError, match="bad 1"):
+            pool.map_ordered(job, range(5))
+
+
+def test_jobs_run_on_worker_threads():
+    with ExecutionPool(max_workers=2) as pool:
+        names = pool.map_ordered(
+            lambda _: threading.current_thread().name, range(4))
+    assert all(name.startswith("repro-exec") for name in names)
+
+
+def test_contextvars_propagate_into_workers():
+    ambient = contextvars.ContextVar("ambient", default="unset")
+    ambient.set("from-submitter")
+    with ExecutionPool(max_workers=2) as pool:
+        assert pool.submit(ambient.get).result() == "from-submitter"
+
+
+def test_span_tags_and_deadline_propagate_into_workers():
+    def probe(_):
+        return dict(current_span_tags()), remaining_seconds()
+
+    with ExecutionPool(max_workers=2) as pool:
+        with use_span_tags(client="tenant-1", request_id="req-9"):
+            with deadline_scope(30.0):
+                tags, remaining = pool.submit(probe, None).result()
+    assert tags == {"client": "tenant-1", "request_id": "req-9"}
+    assert remaining is not None and 0 < remaining <= 30.0
+
+
+def test_worker_context_changes_do_not_leak_back():
+    ambient = contextvars.ContextVar("leak", default="clean")
+
+    with ExecutionPool(max_workers=1) as pool:
+        pool.submit(ambient.set, "dirty").result()
+    assert ambient.get() == "clean"
+
+
+def test_snapshot_counts_outcomes():
+    with ExecutionPool(max_workers=2) as pool:
+        pool.submit(lambda: None).result()
+        with pytest.raises(RuntimeError):
+            pool.submit(_raise).result()
+        snapshot = pool.snapshot()
+    assert snapshot["submitted"] == 2
+    assert snapshot["completed"] == 1
+    assert snapshot["failed"] == 1
+    assert snapshot["active"] == 0
+
+
+def _raise():
+    raise RuntimeError("boom")
+
+
+def test_submit_after_shutdown_is_refused():
+    pool = ExecutionPool(max_workers=1)
+    pool.shutdown()
+    with pytest.raises(RuntimeError, match="shut-down"):
+        pool.submit(lambda: None)

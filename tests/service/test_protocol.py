@@ -1,0 +1,192 @@
+"""The versioned JSON protocol: parsing, validation and error mapping."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import CyclicHypergraphError, ExecutionTimeoutError
+from repro.service.protocol import (
+    METHOD_REGISTRY,
+    PROTOCOL_VERSION,
+    OverloadedError,
+    ProtocolError,
+    ShuttingDownError,
+    UnknownDatabaseError,
+    UnknownMethodError,
+    UnknownQueryError,
+    allowed_methods,
+    error_response,
+    ok_response,
+    parse_request,
+)
+
+
+def _envelope(method="stats", **overrides):
+    document = {"version": PROTOCOL_VERSION, "method": method,
+                "client": "tenant-1", "id": "req-1", "params": {}}
+    document.update(overrides)
+    return document
+
+
+# --------------------------------------------------------------------------- #
+# The method registry
+# --------------------------------------------------------------------------- #
+def test_registry_declares_the_five_methods():
+    assert allowed_methods() == ("prepare", "execute", "execute_many",
+                                 "explain", "stats")
+    assert set(METHOD_REGISTRY) == set(allowed_methods())
+
+
+def test_only_stats_skips_admission():
+    gated = {name for name, spec in METHOD_REGISTRY.items() if spec.admitted}
+    assert gated == {"prepare", "execute", "execute_many", "explain"}
+
+
+def test_every_declared_param_is_documented():
+    for spec in METHOD_REGISTRY.values():
+        assert spec.doc
+        for param in spec.required + spec.optional:
+            assert param.doc, f"{spec.name}.{param.name} has no doc"
+
+
+# --------------------------------------------------------------------------- #
+# Envelope parsing
+# --------------------------------------------------------------------------- #
+def test_parse_request_round_trips_a_valid_envelope():
+    request = parse_request(_envelope("execute", params={
+        "query": "q-1", "database": "chain"}))
+    assert request.method == "execute"
+    assert request.client == "tenant-1"
+    assert request.request_id == "req-1"
+    assert request.params == {"query": "q-1", "database": "chain"}
+    assert request.spec is METHOD_REGISTRY["execute"]
+
+
+def test_client_defaults_to_anonymous():
+    document = _envelope()
+    del document["client"]
+    assert parse_request(document).client == "anonymous"
+
+
+@pytest.mark.parametrize("document", [
+    None, [], "stats", 42,
+    {"version": "one", "method": "stats"},       # non-integer version
+    {"version": PROTOCOL_VERSION},               # missing method
+    {"version": PROTOCOL_VERSION, "method": 7},  # non-string method
+    _envelope(params=[1, 2]),                    # params not an object
+    _envelope(client=123),                       # non-string client
+    _envelope(id=99),                            # non-string id
+    _envelope(bogus="field"),                    # undeclared envelope field
+])
+def test_malformed_envelopes_raise_protocol_errors(document):
+    with pytest.raises(ProtocolError) as caught:
+        parse_request(document)
+    assert caught.value.http_status == 400
+
+
+def test_unsupported_version_is_rejected():
+    with pytest.raises(ProtocolError) as caught:
+        parse_request(_envelope(version=PROTOCOL_VERSION + 1))
+    assert caught.value.code == "unsupported-version"
+
+
+def test_unknown_method_is_rejected_with_the_allowlist():
+    with pytest.raises(UnknownMethodError) as caught:
+        parse_request(_envelope("drop_tables"))
+    message = str(caught.value)
+    for name in allowed_methods():
+        assert name in message
+
+
+# --------------------------------------------------------------------------- #
+# Per-method parameter validation
+# --------------------------------------------------------------------------- #
+def test_missing_required_param():
+    with pytest.raises(ProtocolError) as caught:
+        parse_request(_envelope("execute", params={"database": "chain"}))
+    assert caught.value.code == "missing-param"
+    assert "query" in str(caught.value)
+
+
+def test_unknown_param_is_rejected():
+    with pytest.raises(ProtocolError) as caught:
+        parse_request(_envelope("stats", params={"verbose": True}))
+    assert caught.value.code == "unknown-param"
+
+
+def test_wrong_param_type_is_rejected():
+    with pytest.raises(ProtocolError) as caught:
+        parse_request(_envelope("execute", params={
+            "query": "q-1", "database": "chain", "include_rows": "yes"}))
+    assert caught.value.code == "invalid-param"
+
+
+def test_bool_is_not_accepted_where_a_number_is_wanted():
+    # bool subclasses int; the validator must not let True pass as a count.
+    with pytest.raises(ProtocolError) as caught:
+        parse_request(_envelope("execute_many", params={
+            "query": "q-1", "databases": ["chain"], "max_workers": True}))
+    assert caught.value.code == "invalid-param"
+
+
+def test_optional_params_pass_validation():
+    request = parse_request(_envelope("execute_many", params={
+        "query": "q-1", "databases": ["a", "b"], "max_workers": 4,
+        "include_rows": True, "deadline_seconds": 1.5}))
+    assert request.params["max_workers"] == 4
+
+
+# --------------------------------------------------------------------------- #
+# Response envelopes
+# --------------------------------------------------------------------------- #
+def test_ok_response_shape():
+    envelope = ok_response("req-9", {"answer": 42})
+    assert envelope == {"version": PROTOCOL_VERSION, "id": "req-9",
+                        "ok": True, "result": {"answer": 42}}
+
+
+@pytest.mark.parametrize("error,status,code", [
+    (ProtocolError("bad", code="invalid-param"), 400, "invalid-param"),
+    (UnknownMethodError("nope"), 400, "unknown-method"),
+    (UnknownQueryError("q-9"), 404, "unknown-query"),
+    (UnknownDatabaseError("prod"), 404, "unknown-database"),
+    (OverloadedError("full", retry_after_seconds=2.0), 429, "overloaded"),
+    (ShuttingDownError(), 503, "shutting-down"),
+])
+def test_service_errors_map_to_their_statuses(error, status, code):
+    http_status, envelope = error_response("req-1", error)
+    assert http_status == status
+    assert envelope["ok"] is False
+    assert envelope["id"] == "req-1"
+    assert envelope["error"]["code"] == code
+
+
+def test_execution_timeout_maps_to_504_with_the_deadline_details():
+    error = ExecutionTimeoutError(phase="reduce", deadline_seconds=0.5,
+                                  elapsed_seconds=0.75)
+    status, envelope = error_response("req-1", error)
+    assert status == 504
+    assert envelope["error"]["code"] == "timeout"
+    assert envelope["error"]["phase"] == "reduce"
+    assert envelope["error"]["deadline_seconds"] == 0.5
+    assert envelope["error"]["elapsed_seconds"] == 0.75
+
+
+def test_engine_errors_map_to_400_with_their_type():
+    status, envelope = error_response(None, CyclicHypergraphError("cyclic"))
+    assert status == 400
+    assert envelope["error"]["code"] == "engine-error"
+    assert envelope["error"]["error_type"] == "CyclicHypergraphError"
+    assert envelope["id"] is None
+
+
+def test_unexpected_errors_map_to_500():
+    status, envelope = error_response("req-1", RuntimeError("boom"))
+    assert status == 500
+    assert envelope["error"]["code"] == "internal-error"
+
+
+def test_overload_carries_retry_after():
+    _, envelope = error_response(None, OverloadedError(
+        "full", retry_after_seconds=3.5))
+    assert envelope["error"]["retry_after_seconds"] == 3.5

@@ -1,0 +1,357 @@
+"""The query service: handler round trips, the HTTP front-end, drain."""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+
+import pytest
+
+from repro.engine.session import EngineSession
+from repro.generators import (
+    generate_consistent_database,
+    k_cycle_hypergraph,
+    skewed_chain_database,
+    skewed_chain_endpoints,
+)
+from repro.relational import DatabaseSchema
+from repro.service import (
+    AdmissionConfig,
+    QueryService,
+    ServiceCallError,
+    ServiceClient,
+    ServiceServer,
+)
+from repro.service.protocol import PROTOCOL_VERSION
+
+
+@pytest.fixture(scope="module")
+def chain_database():
+    return skewed_chain_database(3, heads=10, fanout=5, junction_values=3,
+                                 seed=3)
+
+
+@pytest.fixture(scope="module")
+def cycle_database():
+    schema = DatabaseSchema.from_hypergraph(k_cycle_hypergraph(4))
+    return generate_consistent_database(schema, universe_rows=30,
+                                        domain_size=6, seed=5)
+
+
+@pytest.fixture()
+def service(chain_database, cycle_database):
+    service = QueryService(EngineSession(monitor=True))
+    service.add_database("chain", chain_database)
+    service.add_database("cycle", cycle_database)
+    yield service
+    service.pool.shutdown(wait=True)
+
+
+def _rpc(service, method, params=None, *, client="tenant-1", request_id="r1"):
+    return service.handle({"version": PROTOCOL_VERSION, "method": method,
+                           "client": client, "id": request_id,
+                           "params": params or {}})
+
+
+def _prepare(service, database="chain", *, client="tenant-1", **params):
+    status, envelope = _rpc(service, "prepare",
+                            {"database": database, **params}, client=client)
+    assert status == 200, envelope
+    return envelope["result"]["query"]
+
+
+# --------------------------------------------------------------------------- #
+# Handler round trips (no HTTP)
+# --------------------------------------------------------------------------- #
+def test_prepare_returns_a_handle_and_the_resolved_options(service):
+    status, envelope = _rpc(service, "prepare", {
+        "database": "chain",
+        "outputs": [str(a) for a in skewed_chain_endpoints(3)],
+        "options": {"adaptive": True}})
+    assert status == 200
+    result = envelope["result"]
+    assert result["query"] == "q-1"
+    assert result["kind"] == "acyclic"
+    assert result["options"]["adaptive"] is True
+    assert result["fingerprint"]
+
+
+def test_execute_round_trip_matches_the_engine(service, chain_database):
+    handle = _prepare(service)
+    status, envelope = _rpc(service, "execute",
+                            {"query": handle, "database": "chain"})
+    assert status == 200
+    result = envelope["result"]
+    direct = EngineSession().execute(chain_database, chain_database)
+    assert result["row_count"] == len(direct.relation.rows)
+    assert len(result["relation"]["rows"]) == result["row_count"]
+    assert result["statistics"]["plan_cache_hit"] in (True, False)
+    # The wire rows are deterministically sorted: a repeat is byte-identical.
+    _, again = _rpc(service, "execute",
+                    {"query": handle, "database": "chain"})
+    assert json.dumps(envelope["result"]["relation"]) \
+        == json.dumps(again["result"]["relation"])
+
+
+def test_execute_on_the_cyclic_tenant(service):
+    handle = _prepare(service, "cycle")
+    status, envelope = _rpc(service, "execute",
+                            {"query": handle, "database": "cycle",
+                             "include_rows": False})
+    assert status == 200
+    assert "relation" not in envelope["result"]
+    assert envelope["result"]["row_count"] >= 0
+
+
+def test_execute_many_round_trip(service):
+    handle = _prepare(service)
+    status, envelope = _rpc(service, "execute_many", {
+        "query": handle, "databases": ["chain", "chain"],
+        "max_workers": 2, "include_rows": True})
+    assert status == 200
+    result = envelope["result"]
+    assert result["databases"] == ["chain", "chain"]
+    assert len(result["row_counts"]) == 2
+    assert result["row_counts"][0] == result["row_counts"][1]
+    assert len(result["relations"]) == 2
+
+
+def test_explain_renders_the_plan(service):
+    handle = _prepare(service)
+    status, envelope = _rpc(service, "explain",
+                            {"query": handle, "database": "chain"})
+    assert status == 200
+    assert "acyclic dispatch" in envelope["result"]["explain"]
+
+
+def test_explain_analyze_requires_a_database(service):
+    handle = _prepare(service)
+    status, envelope = _rpc(service, "explain",
+                            {"query": handle, "analyze": True})
+    assert status == 400
+    assert envelope["error"]["code"] == "missing-param"
+
+
+def test_stats_reports_the_service_shape(service):
+    _prepare(service)
+    status, envelope = _rpc(service, "stats")
+    assert status == 200
+    result = envelope["result"]
+    assert result["databases"] == ["chain", "cycle"]
+    assert result["admission"]["in_flight"] == 0
+    assert result["pool"]["max_workers"] >= 1
+    assert any(s["client"] == "tenant-1"
+               for s in result["clients"]["sessions"])
+
+
+# --------------------------------------------------------------------------- #
+# Error envelopes
+# --------------------------------------------------------------------------- #
+def test_unknown_method_envelope(service):
+    status, envelope = _rpc(service, "drop_tables")
+    assert status == 400
+    assert envelope["ok"] is False
+    assert envelope["error"]["code"] == "unknown-method"
+    assert envelope["id"] == "r1"
+
+
+def test_unknown_database_is_a_404(service):
+    status, envelope = _rpc(service, "prepare", {"database": "prod"})
+    assert status == 404
+    assert envelope["error"]["code"] == "unknown-database"
+
+
+def test_unknown_handle_is_a_404(service):
+    status, envelope = _rpc(service, "execute",
+                            {"query": "q-99", "database": "chain"})
+    assert status == 404
+    assert envelope["error"]["code"] == "unknown-query"
+
+
+def test_handles_are_tenant_scoped(service):
+    handle = _prepare(service, client="tenant-1")
+    status, envelope = _rpc(service, "execute",
+                            {"query": handle, "database": "chain"},
+                            client="tenant-2")
+    assert status == 404
+    assert envelope["error"]["code"] == "unknown-query"
+
+
+def test_non_wire_options_are_rejected(service):
+    status, envelope = _rpc(service, "prepare", {
+        "database": "chain", "options": {"decode": "block"}})
+    assert status == 400
+    assert envelope["error"]["code"] == "invalid-param"
+    assert "decode" in envelope["error"]["message"]
+
+
+def test_invalid_option_values_are_rejected(service):
+    status, envelope = _rpc(service, "prepare", {
+        "database": "chain", "options": {"execution_mode": "quantum"}})
+    assert status == 400
+    assert envelope["error"]["code"] == "invalid-param"
+
+
+def test_malformed_document_is_a_400(service):
+    status, envelope = _rpc(service, "execute", {"query": "q-1"})
+    assert status == 400
+    assert envelope["error"]["code"] == "missing-param"
+
+
+def test_deadline_breach_maps_to_504(service):
+    handle = _prepare(service)
+    status, envelope = _rpc(service, "execute", {
+        "query": handle, "database": "chain", "deadline_seconds": 1e-9})
+    assert status == 504
+    assert envelope["error"]["code"] == "timeout"
+    assert envelope["error"]["deadline_seconds"] == 1e-9
+    assert envelope["error"]["phase"]
+
+
+def test_errors_count_against_the_client(service):
+    _rpc(service, "execute", {"query": "q-404", "database": "chain"})
+    session = [s for s in service.clients.snapshot()["sessions"]
+               if s["client"] == "tenant-1"][0]
+    assert session["errors"] >= 1
+
+
+# --------------------------------------------------------------------------- #
+# Admission through the handler
+# --------------------------------------------------------------------------- #
+def test_saturated_admission_returns_429(chain_database):
+    service = QueryService(
+        EngineSession(),
+        admission=AdmissionConfig(max_in_flight=1,
+                                  max_in_flight_per_client=1, max_queued=0,
+                                  queue_timeout_seconds=0.2))
+    service.add_database("chain", chain_database)
+    handle = _prepare(service)
+    # Occupy the single slot out-of-band, then ask for another execution.
+    service.admission.acquire("someone-else")
+    try:
+        status, envelope = _rpc(service, "execute",
+                                {"query": handle, "database": "chain"})
+    finally:
+        service.admission.release("someone-else")
+        service.pool.shutdown(wait=True)
+    assert status == 429
+    assert envelope["error"]["code"] == "overloaded"
+    assert envelope["error"]["retry_after_seconds"] > 0
+
+
+def test_draining_service_returns_503(service):
+    handle = _prepare(service)
+    service.begin_drain()
+    status, envelope = _rpc(service, "execute",
+                            {"query": handle, "database": "chain"})
+    assert status == 503
+    assert envelope["error"]["code"] == "shutting-down"
+    # stats is not admission-gated: still reachable during drain.
+    status, _ = _rpc(service, "stats")
+    assert status == 200
+
+
+# --------------------------------------------------------------------------- #
+# The HTTP front-end
+# --------------------------------------------------------------------------- #
+@pytest.fixture()
+def server(service):
+    with ServiceServer(service) as running:
+        yield running
+
+
+def test_http_execute_round_trip(server, chain_database):
+    client = ServiceClient(server.url, client_id="http-tenant")
+    handle = client.prepare(
+        "chain", outputs=[str(a) for a in skewed_chain_endpoints(3)])
+    answer = client.execute(handle, "chain")
+    direct = EngineSession().execute(chain_database, chain_database,
+                                     skewed_chain_endpoints(3))
+    assert answer["row_count"] == len(direct.relation.rows)
+    batch = client.execute_many(handle, ["chain", "chain"], max_workers=2)
+    assert batch["row_counts"] == [answer["row_count"]] * 2
+    assert "dispatch" in client.explain(handle)
+    client.close()
+
+
+def test_http_error_envelopes_carry_codes(server):
+    client = ServiceClient(server.url)
+    with pytest.raises(ServiceCallError) as caught:
+        client.execute("q-99", "chain")
+    assert caught.value.code == "unknown-query"
+    assert caught.value.http_status == 404
+    client.close()
+
+
+def test_http_rejects_non_json_bodies(server):
+    client = ServiceClient(server.url)
+    status, _, payload = client._request("POST", "/v1", b"not json")
+    assert status == 400
+    assert json.loads(payload)["error"]["code"] == "malformed-request"
+    client.close()
+
+
+def test_exposition_routes_are_mounted(server):
+    client = ServiceClient(server.url, client_id="scraper")
+    handle = client.prepare("chain")
+    client.execute(handle, "chain", include_rows=False)
+
+    metrics = client.metrics_text()
+    assert "engine_queries_total" in metrics
+    health = client.health()
+    assert health["status"] == "ok"
+    querylog = client.querylog(limit=5)
+    assert querylog["dropped"] == 0
+    assert querylog["recorded"] >= 1
+    index = client.get_json("/")
+    assert index["rpc"]["route"] == "/v1"
+    stats = client.get_json("/stats")
+    assert stats["protocol_version"] == PROTOCOL_VERSION
+    status, _, _ = client.get("/nope")
+    assert status == 404
+    client.close()
+
+
+def test_request_ids_land_in_trace_spans(service):
+    # The service wraps every handler in use_span_tags(client=…, request_id=…);
+    # running the handler under a recording tracer witnesses the attribution.
+    from repro.telemetry.tracing import Tracer, use_tracer
+
+    handle = _prepare(service, client="traced-tenant")
+    tracer = Tracer()
+    with use_tracer(tracer):
+        status, _ = _rpc(service, "execute",
+                         {"query": handle, "database": "chain"},
+                         client="traced-tenant", request_id="req-42")
+    assert status == 200
+    roots = [record for record in tracer.records
+             if record["parent_id"] is None]
+    assert roots, "the execution must have produced a root span"
+    tagged = [record for record in roots
+              if record["attributes"].get("client") == "traced-tenant"
+              and record["attributes"].get("request_id") == "req-42"]
+    assert tagged, f"no root span carries the request tags: {roots}"
+
+
+def test_graceful_drain_over_http(chain_database):
+    service = QueryService(EngineSession(monitor=True))
+    service.add_database("chain", chain_database)
+    server = ServiceServer(service)
+    server.start()
+    client = ServiceClient(server.url)
+    handle = client.prepare("chain")
+    client.execute(handle, "chain", include_rows=False)
+    server.close()
+    # The admission gate is drained: the service refuses new executions.
+    assert service.admission.draining
+    with pytest.raises((ServiceCallError, OSError)):
+        client.execute(handle, "chain")
+    client.close()
+    server.close()  # idempotent
+
+
+def test_port_zero_binds_a_real_port(service):
+    with ServiceServer(service) as server:
+        assert server.port > 0
+        assert server.url.startswith("http://127.0.0.1:")
