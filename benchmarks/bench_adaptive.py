@@ -20,12 +20,14 @@ pytest-benchmark (``pytest benchmarks/ --benchmark-only``).
 from __future__ import annotations
 
 import json
+import os
 from pathlib import Path
 
 import pytest
 
 from repro.analysis import banner, statistics_table
 from repro.engine import EngineSession
+from repro.engine.columnar import default_column_backend
 from repro.generators import skewed_chain_database, skewed_chain_endpoints
 
 CHAIN_LENGTH = 3
@@ -61,6 +63,8 @@ def test_adaptive_order_halves_the_largest_intermediate(skewed_db):
     RESULT_PATH.write_text(json.dumps({
         "workload": f"skewed-chain({CHAIN_LENGTH}, heads=40, fanout=25, "
                     "junction_values=4)",
+        "cpu_count": os.cpu_count() or 1,
+        "backend": default_column_backend(),
         "static_max_intermediate": static.statistics.max_intermediate,
         "adaptive_max_intermediate": adaptive.statistics.max_intermediate,
         "estimated_max_intermediate": adaptive.statistics.estimated_max_intermediate,

@@ -33,6 +33,7 @@ clock comes from pytest-benchmark (``pytest benchmarks/ --benchmark-only``).
 from __future__ import annotations
 
 import json
+import os
 import time
 from pathlib import Path
 
@@ -164,6 +165,8 @@ def test_columnar_beats_row_on_both_workload_families(chain_database,
              f"columnar baseline on {family['family']}")
 
     report = {
+        "cpu_count": os.cpu_count() or 1,
+        "backend": "array",
         "families": [chain, cyclic],
         "min_speedup": min(chain["speedup"], cyclic["speedup"]),
         "min_speedup_vs_pr5": min(chain["speedup_vs_pr5"],

@@ -20,6 +20,7 @@ backend beats the scalar loop on the probe-heavy kernels.
 from __future__ import annotations
 
 import json
+import os
 import random
 import time
 from array import array
@@ -28,7 +29,10 @@ from pathlib import Path
 import pytest
 
 from repro.analysis import banner
-from repro.engine.columnar import available_column_backends
+from repro.engine.columnar import (
+    available_column_backends,
+    default_column_backend,
+)
 from repro.engine.columnar.buffers import resolve_column_backend
 
 N_BUILD = 4_000
@@ -169,6 +173,8 @@ def test_batched_kernels_beat_scalar_probing(workload):
     on the probe-heavy kernels; headline throughput to BENCH_kernels.json."""
     print(banner("E-KERNELS: batched column buffers vs scalar loops"))
     report = {"rows": {"build": N_BUILD, "probe": N_PROBE, "domain": DOMAIN},
+              "cpu_count": os.cpu_count() or 1,
+              "backend": default_column_backend(),
               "backends": sorted(available_column_backends()),
               "kernels": []}
     for kernel, (scalar, backends) in _kernel_races(workload).items():

@@ -34,6 +34,7 @@ import pytest
 
 from repro.analysis import banner
 from repro.engine import EngineSession
+from repro.engine.columnar import default_column_backend
 from repro.generators import skewed_chain_database, skewed_chain_endpoints
 from repro.service import ServiceClient
 
@@ -54,6 +55,8 @@ def _merge_into_results(extra):
     if RESULT_PATH.exists():
         payload = json.loads(RESULT_PATH.read_text(encoding="utf-8"))
     payload.update(extra)
+    payload["cpu_count"] = os.cpu_count() or 1
+    payload["backend"] = default_column_backend()
     RESULT_PATH.write_text(json.dumps(payload, indent=2) + "\n",
                            encoding="utf-8")
 

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import gc
 import json
+import os
 import time
 from pathlib import Path
 
@@ -30,6 +31,7 @@ import pytest
 
 from repro.analysis import banner, statistics_table
 from repro.engine import EngineSession, QueryPlanner
+from repro.engine.columnar import default_column_backend
 from repro.engine.yannakakis import evaluate_database as legacy_evaluate_database
 from repro.generators import skewed_chain_database, skewed_chain_endpoints
 
@@ -128,6 +130,8 @@ def _merge_into_results(extra):
     if RESULT_PATH.exists():
         payload = json.loads(RESULT_PATH.read_text(encoding="utf-8"))
     payload.update(extra)
+    payload["cpu_count"] = os.cpu_count() or 1
+    payload["backend"] = default_column_backend()
     RESULT_PATH.write_text(json.dumps(payload, indent=2) + "\n",
                            encoding="utf-8")
 

@@ -269,6 +269,63 @@ class _ColumnStorage:
                 self.columns[attribute])
         return cached
 
+    # -- pickling -------------------------------------------------------- #
+    def __reduce__(self):
+        """Ship the id vectors plus a storage-local vocabulary.
+
+        Interner ids are process-generation state, so a pickled storage
+        remaps every id to a dense local id and carries the referenced
+        values (only those — not the whole interner) alongside.  Unpickling
+        re-encodes the vocabulary through the *receiving* process'
+        generation, so rebuilt blocks combine freely with blocks encoded
+        there.  Derived caches, the lock and ``source_rows`` are dropped —
+        all are rebuildable (or decodable) on the other side.
+        """
+        values = self.interner.values
+        local_ids: Dict[int, int] = {}
+        vocabulary: List[Any] = []
+        column_items: List[Tuple[Attribute, bytes]] = []
+        for attribute, column in self.columns.items():
+            local = array("q")
+            append = local.append
+            for encoded in column:
+                local_id = local_ids.get(encoded)
+                if local_id is None:
+                    local_id = local_ids[encoded] = len(vocabulary)
+                    vocabulary.append(values[encoded])
+                append(local_id)
+            column_items.append((attribute, local.tobytes()))
+        return (_rebuild_storage,
+                (tuple(column_items), self.length, tuple(vocabulary)))
+
+
+def _rebuild_storage(column_items: Tuple[Tuple[Attribute, bytes], ...],
+                     length: int, vocabulary: Tuple[Any, ...]) -> _ColumnStorage:
+    """Rebuild a pickled storage under *this* process' interner generation.
+
+    The shipped local ids index ``vocabulary``; encoding the vocabulary once
+    through the current interner yields the local→global id mapping, and the
+    columns are rewritten through it in one pass.
+    """
+    interner = _INTERNER
+    mapping = interner.encode(vocabulary)
+    columns: Dict[Attribute, array] = {}
+    for attribute, raw in column_items:
+        local = array("q")
+        local.frombytes(raw)
+        columns[attribute] = array("q", map(mapping.__getitem__, local))
+    return _ColumnStorage(columns, length, interner)
+
+
+def _rebuild_block(name: str, attributes: KeyAttributes,
+                   storage: _ColumnStorage,
+                   selection_bytes: Optional[bytes]) -> "ColumnBlock":
+    selection = None
+    if selection_bytes is not None:
+        selection = array("q")
+        selection.frombytes(selection_bytes)
+    return ColumnBlock(name, attributes, storage, selection)
+
 
 class ColumnBlock:
     """A columnar view of a relation: shared id columns + a positional selection.
@@ -498,6 +555,25 @@ class ColumnBlock:
         """The same block under a different relation name (zero-copy)."""
         return ColumnBlock(name, self._attributes, self._storage, self._sel)
 
+    def with_column_order(self, attributes: Iterable[Attribute]) -> "ColumnBlock":
+        """The same rows with the visible columns permuted (zero-copy).
+
+        The attribute *set* must be unchanged — this only picks a different
+        display/decode order over the shared storage.  Used at the result
+        boundary to canonicalise output column order, which is what makes
+        per-shard results (whose fold orders are annotation-dependent)
+        merge into a byte-identical whole.
+        """
+        attributes = tuple(attributes)
+        if attributes == self._attributes:
+            return self
+        if frozenset(attributes) != self._attribute_set or \
+                len(attributes) != len(self._attributes):
+            raise SchemaError(
+                f"with_column_order expects a permutation of {self._attributes}, "
+                f"got {attributes}")
+        return ColumnBlock(self._name, attributes, self._storage, self._sel)
+
     def project_onto(self, keep: Iterable[Attribute]) -> "ColumnBlock":
         """Keep only the listed attributes, in this block's column order (zero-copy).
 
@@ -569,6 +645,16 @@ class ColumnBlock:
                 [column[position] for position in self.positions]
                 for column in decoded)))
         return Relation.from_valid_rows(schema, rows)
+
+    def __reduce__(self):
+        """Pickle as (name, attributes, storage, selection bytes).
+
+        The storage is pickled through its own ``__reduce__`` (dense local
+        ids + vocabulary); pickle memoisation keeps storages shared, so a
+        payload of many blocks over one storage ships the id arrays once.
+        """
+        return (_rebuild_block, (self._name, self._attributes, self._storage,
+                                 self.selection_bytes()))
 
     def __repr__(self) -> str:
         names = ", ".join(str(a) for a in self._attributes)

@@ -159,6 +159,15 @@ class ExecutionOptions:
       a breach raises :class:`~repro.exceptions.ExecutionTimeoutError`, and a
       phase already running is never interrupted mid-flight, so the overshoot
       is bounded by the longest single phase.  ``None`` (default) = no limit.
+    * ``shards`` — hash-partition each database on a join key into this many
+      slices and run the full reducer + fold per shard in parallel, merging
+      with dedup (see :mod:`repro.engine.sharded`).  Results are always
+      identical to the unsharded run.  ``None`` (default) executes unsharded
+      unless the ``REPRO_SHARDS`` environment variable sets a count.
+    * ``shard_executor`` — how shards fan out: ``"thread"`` (in-process pool;
+      the default) or ``"process"`` (long-lived worker processes fed pickled
+      column-block payloads — the executor that escapes the GIL for
+      pure-Python kernels).  ``None`` inherits ``REPRO_SHARD_EXECUTOR``.
     """
 
     adaptive: bool = True
@@ -172,9 +181,12 @@ class ExecutionOptions:
     decode: str = "rows"
     trace: bool = False
     deadline_seconds: Optional[float] = None
+    shards: Optional[int] = None
+    shard_executor: Optional[str] = None
 
     def __post_init__(self) -> None:
         from .columnar import COLUMN_BACKENDS, EXECUTION_MODES
+        from .sharded.executor import SHARD_EXECUTORS
         from .yannakakis import DECODE_MODES
 
         if self.execution_mode is not None \
@@ -194,6 +206,13 @@ class ExecutionOptions:
         if self.decode == "block" and self.execution_mode == "row":
             raise ValueError('decode="block" requires the columnar '
                              'execution mode')
+        if self.shards is not None and self.shards < 1:
+            raise ValueError("shards must be at least 1 (or None for "
+                             "unsharded execution)")
+        if self.shard_executor is not None \
+                and self.shard_executor not in SHARD_EXECUTORS:
+            raise ValueError(f"unknown shard executor {self.shard_executor!r}; "
+                             f"expected one of {SHARD_EXECUTORS} or None")
 
     def merged(self, **overrides: object) -> "ExecutionOptions":
         """A copy with the given fields replaced; unknown names raise ``TypeError``."""
@@ -420,6 +439,25 @@ class _DatabaseBinding:
     relations: Tuple[Relation, ...]
     catalog: Optional[StatisticsCatalog]
     plan: object  # ExecutionPlan | AnnotatedPlan | CyclicExecutionPlan
+
+
+@dataclass(frozen=True)
+class _ShardedBinding(_DatabaseBinding):
+    """A database binding plus its resolved shard partition and plans.
+
+    ``plan`` stays the full-database plan (so ``explain`` keeps working);
+    ``shard_plans``/``shard_catalogs`` hold the per-slice annotations the
+    shard driver actually executes.  The partition — including the
+    generation ``token`` that keys the process workers' caches — is resolved
+    once per database at binding time, so warm sharded executions do no
+    partitioning work.
+    """
+
+    partition: object  # sharded.ShardPartition
+    shard_plans: Tuple[object, ...]
+    shard_catalogs: Tuple[Optional[StatisticsCatalog], ...]
+    executor_name: str
+    token: str
 
 
 class PreparedQuery:
@@ -739,8 +777,7 @@ class PreparedQuery:
             if self._options.adaptive:
                 catalog = self._session.catalog_for(
                     database, sample_limit=self._options.sample_limit)
-        return _DatabaseBinding(relations=relations, catalog=catalog,
-                                plan=self._plan_with(catalog))
+        return self._build_binding(relations, catalog)
 
     def _bind_relations(self, relations: Tuple[Relation, ...]) -> _DatabaseBinding:
         expected = schema_fingerprint(
@@ -753,8 +790,39 @@ class PreparedQuery:
         if self._options.adaptive:
             catalog = StatisticsCatalog.from_relations(
                 relations, sample_limit=self._options.sample_limit)
-        return _DatabaseBinding(relations=relations, catalog=catalog,
-                                plan=self._plan_with(catalog))
+        return self._build_binding(relations, catalog)
+
+    def _build_binding(self, relations: Tuple[Relation, ...],
+                       catalog: Optional[StatisticsCatalog]) -> _DatabaseBinding:
+        """Compose the binding, resolving the shard partition when enabled."""
+        from . import sharded
+
+        plan = self._plan_with(catalog)
+        shards = sharded.effective_shards(self._options.shards)
+        if shards is None:
+            return _DatabaseBinding(relations=relations, catalog=catalog,
+                                    plan=plan)
+        partition = sharded.partition_relations(relations, shards)
+        shard_plans = []
+        shard_catalogs = []
+        for piece in partition.slices:
+            if catalog is None:
+                shard_plans.append(plan)
+                shard_catalogs.append(None)
+            else:
+                # Per-shard catalogs keep per-shard plans cardinality-aware:
+                # a skewed slice may prefer a different root or fold order.
+                shard_catalog = StatisticsCatalog.from_relations(
+                    piece.relations, sample_limit=self._options.sample_limit)
+                shard_plans.append(self._plan_with(shard_catalog))
+                shard_catalogs.append(shard_catalog)
+        return _ShardedBinding(
+            relations=relations, catalog=catalog, plan=plan,
+            partition=partition, shard_plans=tuple(shard_plans),
+            shard_catalogs=tuple(shard_catalogs),
+            executor_name=sharded.effective_shard_executor(
+                self._options.shard_executor),
+            token=sharded.next_generation_token())
 
     def _plan_with(self, catalog: Optional[StatisticsCatalog]) -> object:
         """Compose the structure plan with a catalog (static plans pass through)."""
@@ -776,6 +844,9 @@ class PreparedQuery:
 
     def _run_engine(self, binding: _DatabaseBinding):
         options = self._options
+        if isinstance(binding, _ShardedBinding):
+            from .sharded.driver import run_sharded
+            return run_sharded(self, binding)
         if self._kind == "acyclic":
             return _yannakakis.evaluate(
                 binding.relations, self._output, name=self._name,

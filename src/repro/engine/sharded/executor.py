@@ -1,0 +1,280 @@
+"""Pluggable shard executors: in-process threads or long-lived worker processes.
+
+A :class:`ShardExecutor` runs one :class:`ShardTask` per shard and returns
+``(relation, statistics)`` pairs in shard order.  Two implementations:
+
+* :class:`ThreadShardExecutor` — a thread pool in this process.  Ambient
+  context (tracer, deadline, span tags) propagates via
+  ``contextvars.copy_context()``; useful for testing, for numpy paths that
+  release the GIL, and as the default that needs no process plumbing.
+* :class:`ProcessShardExecutor` — one long-lived worker *process* per shard
+  slot, fed over private pipes with versioned block payloads
+  (:mod:`~repro.engine.sharded.serial`).  Shard *i* always lands on worker
+  ``i % n``, so each worker's plan/binding caches stay warm across runs of
+  the same partition generation.  This is the executor that actually
+  escapes the GIL for pure-Python kernels.
+
+Executors are pooled in a module registry keyed by ``(name, shard_count)``
+and shut down atexit — sessions and benchmarks share warm workers instead
+of forking per query.
+"""
+
+from __future__ import annotations
+
+import atexit
+import multiprocessing
+import os
+import threading
+from collections import deque
+from concurrent.futures import ThreadPoolExecutor
+from contextvars import copy_context
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ...exceptions import ExecutionTimeoutError, ShardExecutionError
+
+__all__ = ["SHARD_EXECUTORS", "ShardTask", "ShardExecutor",
+           "ThreadShardExecutor", "ProcessShardExecutor", "shard_executor_for",
+           "shutdown_shard_executors"]
+
+#: The recognised executor names, in preference order for documentation.
+SHARD_EXECUTORS: Tuple[str, ...] = ("thread", "process")
+
+
+class ShardTask:
+    """One shard's work order: a local closure plus its process-shippable form.
+
+    ``run_local`` executes the shard in this process (thread executor).
+    ``token``/``payload_factory``/``spec`` describe the same work for a
+    worker process: the payload ships the shard's relations as a versioned
+    block payload, built lazily so the thread executor never serialises.
+    """
+
+    __slots__ = ("index", "run_local", "token", "payload_factory", "spec")
+
+    def __init__(self, index: int, run_local: Callable[[], tuple], *,
+                 token: str, payload_factory: Callable[[], bytes],
+                 spec: Optional[dict]) -> None:
+        self.index = index
+        self.run_local = run_local
+        self.token = token
+        self.payload_factory = payload_factory
+        self.spec = spec
+
+
+class ShardExecutor:
+    """The executor contract: run all tasks, results in shard order."""
+
+    name: str = "abstract"
+
+    def run(self, tasks: Sequence[ShardTask]) -> List[tuple]:
+        raise NotImplementedError
+
+    def shutdown(self) -> None:
+        """Release threads/processes; the executor is unusable afterwards."""
+
+
+class ThreadShardExecutor(ShardExecutor):
+    """Fan shards out over an in-process thread pool (context-propagating)."""
+
+    name = "thread"
+
+    def __init__(self, shard_count: int) -> None:
+        self._pool = ThreadPoolExecutor(max_workers=max(1, shard_count),
+                                        thread_name_prefix="repro-shard")
+
+    def run(self, tasks: Sequence[ShardTask]) -> List[tuple]:
+        futures = [self._pool.submit(copy_context().run, task.run_local)
+                   for task in tasks]
+        return [future.result() for future in futures]
+
+    def shutdown(self) -> None:
+        self._pool.shutdown(wait=True)
+
+
+class _Worker:
+    """A live worker process plus the parent's view of what it has loaded."""
+
+    __slots__ = ("process", "connection", "tokens")
+
+    def __init__(self, process, connection) -> None:
+        self.process = process
+        self.connection = connection
+        self.tokens: set = set()
+
+
+def _start_method() -> str:
+    """``fork`` where available (cheap, shares the warm parent), else spawn."""
+    override = os.environ.get("REPRO_SHARD_START_METHOD")
+    if override:
+        return override
+    methods = multiprocessing.get_all_start_methods()
+    return "fork" if "fork" in methods else methods[0]
+
+
+class ProcessShardExecutor(ShardExecutor):
+    """Long-lived worker processes with warm per-worker plan caches."""
+
+    name = "process"
+
+    def __init__(self, shard_count: int) -> None:
+        self._context = multiprocessing.get_context(_start_method())
+        self._count = max(1, shard_count)
+        self._workers: List[Optional[_Worker]] = [None] * self._count
+        self._lock = threading.Lock()
+        self._closed = False
+
+    # ------------------------------------------------------------------ #
+    # Worker lifecycle
+    # ------------------------------------------------------------------ #
+    def _worker_for(self, slot: int) -> _Worker:
+        worker = self._workers[slot]
+        if worker is not None and worker.process.is_alive():
+            return worker
+        from .worker import worker_main
+        parent_end, child_end = self._context.Pipe()
+        process = self._context.Process(target=worker_main, args=(child_end,),
+                                        name=f"repro-shard-worker-{slot}",
+                                        daemon=True)
+        process.start()
+        child_end.close()
+        worker = self._workers[slot] = _Worker(process, parent_end)
+        return worker
+
+    def run(self, tasks: Sequence[ShardTask]) -> List[tuple]:
+        with self._lock:
+            if self._closed:
+                raise ShardExecutionError("the process shard executor was "
+                                          "shut down")
+            try:
+                return self._run_locked(tasks)
+            except (ExecutionTimeoutError, ShardExecutionError):
+                raise
+            except BaseException as error:
+                # A broken pipe / dead worker leaves unknown channel state:
+                # dispose the whole pool so the next run starts clean.
+                self._dispose()
+                raise ShardExecutionError(
+                    f"shard executor infrastructure failure: {error}") from error
+
+    def _run_locked(self, tasks: Sequence[ShardTask]) -> List[tuple]:
+        # Dispatch everything first (workers run concurrently), then drain
+        # replies in send order per worker — the protocol is strictly
+        # one-reply-per-request, so ordering is deterministic.
+        pending: "deque[Tuple[int, ShardTask, _Worker]]" = deque()
+        for task in tasks:
+            worker = self._worker_for(task.index % self._count)
+            self._dispatch(worker, task)
+            pending.append((task.index, task, worker))
+        results: Dict[int, tuple] = {}
+        while pending:
+            index, task, worker = pending.popleft()
+            reply = self._receive(worker, task)
+            if reply is None:
+                # The worker evicted our token: reload and retry at the end
+                # (the worker serves messages in order, so appending keeps
+                # the one-reply-per-request invariant).
+                self._dispatch(worker, task, force_load=True)
+                pending.append((index, task, worker))
+                continue
+            results[index] = reply
+        return [results[task.index] for task in tasks]
+
+    def _dispatch(self, worker: _Worker, task: ShardTask, *,
+                  force_load: bool = False) -> None:
+        if force_load or task.token not in worker.tokens:
+            worker.connection.send(("load", task.payload_factory()))
+            reply = worker.connection.recv()
+            if reply[0] != "ok":
+                self._raise_worker_failure(task, reply)
+            worker.tokens.add(task.token)
+        spec = dict(task.spec)
+        spec["token"] = task.token
+        worker.connection.send(("execute", task.token, spec))
+
+    def _receive(self, worker: _Worker, task: ShardTask) -> Optional[tuple]:
+        reply = worker.connection.recv()
+        kind = reply[0]
+        if kind == "result":
+            return reply[1]
+        if kind == "missing":
+            worker.tokens.discard(task.token)
+            return None
+        self._raise_worker_failure(task, reply)
+
+    def _raise_worker_failure(self, task: ShardTask, reply: tuple) -> None:
+        self._dispose()
+        if reply[0] == "timeout":
+            raise ShardExecutionError(
+                f"shard {task.index} timed out in its worker: {reply[1]}")
+        detail = reply[2] if len(reply) > 2 and reply[2] else reply[1]
+        raise ShardExecutionError(
+            f"shard {task.index} failed in its worker process "
+            f"({self.name} executor): {reply[1]}\n{detail}")
+
+    # ------------------------------------------------------------------ #
+    # Teardown
+    # ------------------------------------------------------------------ #
+    def _dispose(self) -> None:
+        for slot, worker in enumerate(self._workers):
+            if worker is None:
+                continue
+            try:
+                worker.connection.send(("stop",))
+            except OSError:
+                pass
+            try:
+                worker.connection.close()
+            except OSError:
+                pass
+            worker.process.join(timeout=2)
+            if worker.process.is_alive():
+                worker.process.terminate()
+            self._workers[slot] = None
+        _forget_executor(self)
+
+    def shutdown(self) -> None:
+        with self._lock:
+            self._closed = True
+            self._dispose()
+
+
+# --------------------------------------------------------------------------- #
+# Registry
+# --------------------------------------------------------------------------- #
+_EXECUTOR_CLASSES = {"thread": ThreadShardExecutor,
+                     "process": ProcessShardExecutor}
+_EXECUTORS: Dict[Tuple[str, int], ShardExecutor] = {}
+_EXECUTORS_LOCK = threading.Lock()
+
+
+def shard_executor_for(name: str, shard_count: int) -> ShardExecutor:
+    """The pooled executor for ``(name, shard_count)`` (created on first use)."""
+    if name not in _EXECUTOR_CLASSES:
+        raise ValueError(f"unknown shard executor {name!r}; expected one of "
+                         f"{SHARD_EXECUTORS}")
+    key = (name, shard_count)
+    with _EXECUTORS_LOCK:
+        executor = _EXECUTORS.get(key)
+        if executor is None:
+            executor = _EXECUTORS[key] = _EXECUTOR_CLASSES[name](shard_count)
+        return executor
+
+
+def _forget_executor(executor: ShardExecutor) -> None:
+    """Drop a disposed executor from the pool (idempotent)."""
+    with _EXECUTORS_LOCK:
+        for key, pooled in list(_EXECUTORS.items()):
+            if pooled is executor:
+                _EXECUTORS.pop(key, None)
+
+
+def shutdown_shard_executors() -> None:
+    """Shut down every pooled executor (used by tests and atexit)."""
+    with _EXECUTORS_LOCK:
+        executors = list(_EXECUTORS.values())
+        _EXECUTORS.clear()
+    for executor in executors:
+        executor.shutdown()
+
+
+atexit.register(shutdown_shard_executors)

@@ -1,0 +1,166 @@
+"""Hash-partitioning a relation set into shard slices on a join key.
+
+The grouped key encoding (PR 5/8) interns every value to a dense integer id,
+so partitioning is an integer modulo over the existing ``array('q')`` id
+buffers — no value hashing, no row copying beyond regrouping the already
+shared :class:`~repro.relational.relation.Row` objects.
+
+Correctness rests on the join being monotone: for any shard key *K*,
+
+* every relation whose schema contains *K* is split so a row lands in shard
+  ``id(K) % N`` — two rows that join on *K* agree on it, hence land in the
+  same shard;
+* every relation *not* containing *K* is **broadcast** (shared by reference)
+  to every shard, so joins through non-key attributes see the full relation.
+
+The union of per-shard results therefore equals the unsharded result.  When
+the key is projected *out* of the output, the same output tuple can be
+witnessed in more than one shard (distinct key values proving the same
+projected row), so the merge must always deduplicate — the driver does.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ...relational.database import Database
+from ...relational.relation import Relation
+from ...relational.schema import Attribute
+from ..columnar.block import block_for
+
+__all__ = ["ShardSlice", "ShardPartition", "choose_shard_key",
+           "partition_relations", "partition_database"]
+
+
+def choose_shard_key(relations: Sequence[Relation]) -> Optional[Attribute]:
+    """The attribute to co-partition on: the one shared by the most relations.
+
+    Ties break towards the lexicographically smallest attribute so the choice
+    is deterministic across runs and processes.  Returns ``None`` when no
+    attribute appears in at least two relations — partitioning on a private
+    attribute would broadcast everything else, which is all cost and no
+    parallelism; the caller should fall back to a single slice.
+    """
+    counts: "Counter[Attribute]" = Counter()
+    for relation in relations:
+        counts.update(relation.schema.attributes)
+    best: Optional[Attribute] = None
+    best_count = 1
+    for attribute, count in counts.items():
+        if count > best_count or \
+                (count == best_count and best is not None
+                 and str(attribute) < str(best)):
+            best, best_count = attribute, count
+    return best
+
+
+@dataclass(frozen=True)
+class ShardSlice:
+    """One shard's view of the database: split + broadcast relations."""
+
+    index: int
+    relations: Tuple[Relation, ...]
+    #: Rows of *partitioned* relations routed to this shard (broadcast rows
+    #: are excluded — they are identical everywhere and would mask skew).
+    partitioned_rows: int
+
+    def as_database(self, schema) -> Database:
+        """This slice as a :class:`Database` over the original schema."""
+        return Database(schema, {relation.name: relation
+                                 for relation in self.relations})
+
+
+@dataclass(frozen=True)
+class ShardPartition:
+    """A full co-partitioning of one relation set on one key attribute.
+
+    ``key`` is ``None`` exactly when partitioning degenerated to a single
+    slice (one shard requested, or no shared attribute to split on) — the
+    slice then holds the original relations untouched.
+    """
+
+    key: Optional[Attribute]
+    shard_count: int
+    slices: Tuple[ShardSlice, ...]
+    partitioned: Tuple[str, ...]
+    broadcast: Tuple[str, ...]
+
+    @property
+    def row_counts(self) -> Tuple[int, ...]:
+        """Partitioned input rows per shard — the distribution behind ``skew``."""
+        return tuple(piece.partitioned_rows for piece in self.slices)
+
+    @property
+    def skew(self) -> Optional[float]:
+        """Max/mean of the per-shard partitioned row counts (1.0 = balanced)."""
+        counts = self.row_counts
+        total = sum(counts)
+        if not counts or total == 0:
+            return None
+        return max(counts) / (total / len(counts))
+
+
+def partition_relations(relations: Sequence[Relation], shard_count: int, *,
+                        key: Optional[Attribute] = None) -> ShardPartition:
+    """Co-partition ``relations`` into ``shard_count`` slices on ``key``.
+
+    ``key=None`` picks the key with :func:`choose_shard_key`.  Relations
+    containing the key are split by ``interned_id % shard_count`` over their
+    cached column blocks; the rest are broadcast by reference.  With one
+    shard (or no viable key) the single slice shares the original relation
+    objects outright, so the sharded driver stays byte-identical to the
+    unsharded engine even in the degenerate configuration.
+    """
+    relations = tuple(relations)
+    if shard_count < 1:
+        raise ValueError("shard_count must be at least 1")
+    if key is None:
+        key = choose_shard_key(relations)
+    if shard_count == 1 or key is None:
+        slices = (ShardSlice(index=0, relations=relations,
+                             partitioned_rows=sum(len(r) for r in relations)),)
+        return ShardPartition(key=None, shard_count=1, slices=slices,
+                              partitioned=(),
+                              broadcast=tuple(r.name for r in relations))
+
+    partitioned_names: List[str] = []
+    broadcast_names: List[str] = []
+    per_shard: List[List[Relation]] = [[] for _ in range(shard_count)]
+    per_shard_rows = [0] * shard_count
+    for relation in relations:
+        if key not in relation.schema.attribute_set or not relation:
+            # Broadcast (or trivially empty): every shard shares the object.
+            broadcast_names.append(relation.name)
+            for shard in per_shard:
+                shard.append(relation)
+            continue
+        partitioned_names.append(relation.name)
+        block = block_for(relation)
+        column = block.column(key)
+        rows = block.source_rows
+        buckets: List[List] = [[] for _ in range(shard_count)]
+        for position in block.positions:
+            buckets[column[position] % shard_count].append(rows[position])
+        for index, bucket in enumerate(buckets):
+            per_shard[index].append(
+                Relation.from_valid_rows(relation.schema, frozenset(bucket)))
+            per_shard_rows[index] += len(bucket)
+    slices = tuple(
+        ShardSlice(index=index, relations=tuple(shard_relations),
+                   partitioned_rows=per_shard_rows[index])
+        for index, shard_relations in enumerate(per_shard))
+    return ShardPartition(key=key, shard_count=shard_count, slices=slices,
+                          partitioned=tuple(partitioned_names),
+                          broadcast=tuple(broadcast_names))
+
+
+def partition_database(database: Database, shard_count: int, *,
+                       key: Optional[Attribute] = None
+                       ) -> Tuple[ShardPartition, Tuple[Database, ...]]:
+    """Partition a database; also return each slice as a :class:`Database`."""
+    partition = partition_relations(database.relations(), shard_count, key=key)
+    databases = tuple(piece.as_database(database.schema)
+                      for piece in partition.slices)
+    return partition, databases

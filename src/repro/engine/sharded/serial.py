@@ -1,0 +1,70 @@
+"""Versioned byte payloads for shipping column blocks across processes.
+
+:class:`~repro.engine.columnar.block.ColumnBlock` and its storage implement
+``__reduce__`` with a compact wire form — per-column dense local-id vectors
+(``array('q')`` bytes) plus a deduplicated vocabulary tuple — so pickling a
+payload of blocks ships each distinct value once and the receiving process
+re-interns the vocabulary through *its own* interner.  This module frames
+that pickle with magic bytes and a format version: shard workers are
+long-lived, so a worker left over from an older engine generation must
+reject a payload it cannot faithfully decode instead of producing garbage.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import pickle
+import threading
+from typing import Sequence, Tuple
+
+from ...exceptions import ShardPayloadError
+from ..columnar.block import ColumnBlock
+
+__all__ = ["MAGIC", "FORMAT_VERSION", "dump_blocks", "load_blocks",
+           "next_generation_token"]
+
+#: Frame marker for shard payloads ("Repro SHarD").
+MAGIC = b"RSHD"
+#: Bump on any change to the block wire form (``__reduce__`` layout).
+FORMAT_VERSION = 1
+
+_TOKEN_LOCK = threading.Lock()
+_TOKEN_COUNTER = itertools.count()
+
+
+def next_generation_token() -> str:
+    """A process-unique token naming one partition generation.
+
+    Workers key their relation/plan caches by this token, so a re-partition
+    (new database, new shard count) never aliases a previous generation's
+    cached state.
+    """
+    with _TOKEN_LOCK:
+        counter = next(_TOKEN_COUNTER)
+    return f"{os.getpid()}-{counter}"
+
+
+def dump_blocks(token: str, blocks: Sequence[ColumnBlock]) -> bytes:
+    """Frame ``(token, blocks)`` as a versioned byte payload."""
+    body = pickle.dumps((token, tuple(blocks)),
+                        protocol=pickle.HIGHEST_PROTOCOL)
+    return MAGIC + FORMAT_VERSION.to_bytes(2, "big") + body
+
+
+def load_blocks(payload: bytes) -> Tuple[str, Tuple[ColumnBlock, ...]]:
+    """Decode a :func:`dump_blocks` payload, validating magic and version.
+
+    Raises :class:`~repro.exceptions.ShardPayloadError` on a foreign or
+    version-mismatched payload — the caller (a shard worker) reports the
+    rejection rather than decoding bytes from a different generation.
+    """
+    if len(payload) < len(MAGIC) + 2 or not payload.startswith(MAGIC):
+        raise ShardPayloadError("not a shard block payload (bad magic)")
+    version = int.from_bytes(payload[len(MAGIC):len(MAGIC) + 2], "big")
+    if version != FORMAT_VERSION:
+        raise ShardPayloadError(
+            f"shard payload format v{version} does not match this worker's "
+            f"v{FORMAT_VERSION}; refusing to decode a mismatched generation")
+    token, blocks = pickle.loads(payload[len(MAGIC) + 2:])
+    return token, blocks

@@ -241,6 +241,11 @@ def evaluate(relations: Sequence[Relation],
             result_block, intermediate_sizes, physical_seconds = run_columnar_plan(
                 plan, annotated, blocks, wanted,
                 trace=trace, check_reduction=check_reduction)
+            # Canonical result column order: the fold's output order is
+            # annotation-dependent, so the boundary sorts it — making the
+            # order deterministic across plans, modes and shards.
+            result_block = result_block.with_column_order(
+                sorted_nodes(result_block.attributes))
             check_deadline("decode")
             if decode == "rows":
                 decode_span = tracer.span("decode")
@@ -299,9 +304,12 @@ def evaluate(relations: Sequence[Relation],
         decode_span = tracer.span("decode")
         decode_started = perf_counter()
         with decode_span:
-            if result.name != name:
-                result = Relation.from_valid_rows(result.schema.rename(name),
-                                                  result.rows)
+            # Same canonical column order as the columnar boundary (rows are
+            # attribute-order-insensitive, so only the schema is rebuilt).
+            ordered = tuple(sorted_nodes(result.schema.attributes))
+            if result.name != name or result.schema.attributes != ordered:
+                result = Relation.from_valid_rows(
+                    RelationSchema.of(name, ordered), result.rows)
             if decode_span.is_recording:
                 decode_span.set("mode", mode)
                 decode_span.set("output_rows", len(result))

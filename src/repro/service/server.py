@@ -73,7 +73,7 @@ _MAX_BODY_BYTES = 64 * 1024 * 1024
 WIRE_OPTION_FIELDS = frozenset({
     "adaptive", "check_reduction", "cluster_row_bound", "sample_limit",
     "force_cyclic", "execution_mode", "column_backend", "trace",
-    "deadline_seconds",
+    "deadline_seconds", "shards", "shard_executor",
 })
 
 

@@ -105,8 +105,10 @@ def test_tiny_deadline_times_out_acyclic(chain_database, execution_mode):
                             execution_mode=execution_mode)
     with pytest.raises(ExecutionTimeoutError) as caught:
         session.execute(chain_database, chain_database)
-    # The breach is observed at a phase boundary, so the phase is named.
-    assert caught.value.phase in ("encode", "reduce", "fold", "decode")
+    # The breach is observed at a phase boundary, so the phase is named
+    # (sharded runs add their own dispatch/merge boundaries).
+    assert caught.value.phase in ("encode", "reduce", "fold", "decode",
+                                  "shard-dispatch", "merge")
 
 
 @pytest.mark.parametrize("execution_mode", ["row", "columnar"])
@@ -116,7 +118,7 @@ def test_tiny_deadline_times_out_cyclic(cycle_database, execution_mode):
     with pytest.raises(ExecutionTimeoutError) as caught:
         session.execute(cycle_database, cycle_database)
     assert caught.value.phase in ("materialise", "encode", "reduce",
-                                  "fold", "decode")
+                                  "fold", "decode", "shard-dispatch", "merge")
 
 
 def test_ambient_scope_times_out_an_unoptioned_execution(chain_database):
